@@ -1,0 +1,508 @@
+//! Row-separable proximity operators.
+//!
+//! AO-ADMM handles a constraint or regularization `r(·)` entirely through
+//! its proximity operator (Algorithm 1, line 8):
+//!
+//! ```text
+//! prox_{r/rho}(v) = argmin_x  r(x) + (rho/2) * ||x - v||^2
+//! ```
+//!
+//! The paper's blocked reformulation requires `r` to be *row separable*
+//! (Section IV-B) — the prox of a matrix is the prox of each row
+//! independently — which holds for every operator here. Implementing a
+//! new constraint means implementing [`Prox::apply_row`]; everything else
+//! (parallelism, blocking, convergence, sparsity exploitation) is
+//! inherited.
+
+use std::sync::Arc;
+
+/// A row-separable proximity operator for a penalty `r(·)`.
+///
+/// Implementations must be pure functions of the row (no shared mutable
+/// state) so they can be applied from many threads at once.
+pub trait Prox: Sync + Send {
+    /// Replace `row` with `prox_{r/rho}(row)`.
+    fn apply_row(&self, row: &mut [f64], rho: f64);
+
+    /// The penalty value `r(row)` (0 for feasible hard constraints; used
+    /// for objective reporting, never inside the solver loop).
+    fn penalty_row(&self, row: &[f64]) -> f64 {
+        let _ = row;
+        0.0
+    }
+
+    /// Whether `row` satisfies the hard constraint (within `tol`).
+    /// Regularizers (which admit any point) return `true`.
+    fn is_feasible_row(&self, row: &[f64], tol: f64) -> bool {
+        let _ = (row, tol);
+        true
+    }
+
+    /// Hint: does this operator produce exact zeros, so the factor tends
+    /// to become sparse? Drives the dynamic-sparsity MTTKRP of
+    /// Section IV-C.
+    fn induces_sparsity(&self) -> bool {
+        false
+    }
+
+    /// Short human-readable name for traces and harness output.
+    fn name(&self) -> &'static str;
+}
+
+/// No constraint: `r = 0`, prox is the identity. AO-ADMM with this
+/// operator degenerates to (damped) ALS.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unconstrained;
+
+impl Prox for Unconstrained {
+    #[inline]
+    fn apply_row(&self, _row: &mut [f64], _rho: f64) {}
+
+    fn name(&self) -> &'static str {
+        "unconstrained"
+    }
+}
+
+/// Non-negativity: indicator of the non-negative orthant; prox zeroes out
+/// negative entries ("project to the non-negative orthant").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NonNeg;
+
+impl Prox for NonNeg {
+    #[inline]
+    fn apply_row(&self, row: &mut [f64], _rho: f64) {
+        for x in row {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+    }
+
+    fn is_feasible_row(&self, row: &[f64], tol: f64) -> bool {
+        row.iter().all(|&x| x >= -tol)
+    }
+
+    fn induces_sparsity(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "non-negative"
+    }
+}
+
+/// l1 regularization `r(x) = lambda * ||x||_1`; prox is soft thresholding.
+/// This is the sparsity-promoting penalty of Table II.
+#[derive(Debug, Clone, Copy)]
+pub struct Lasso {
+    /// Regularization weight.
+    pub lambda: f64,
+}
+
+#[inline]
+fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+impl Prox for Lasso {
+    #[inline]
+    fn apply_row(&self, row: &mut [f64], rho: f64) {
+        let t = self.lambda / rho;
+        for x in row {
+            *x = soft_threshold(*x, t);
+        }
+    }
+
+    fn penalty_row(&self, row: &[f64]) -> f64 {
+        self.lambda * row.iter().map(|x| x.abs()).sum::<f64>()
+    }
+
+    fn induces_sparsity(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "l1"
+    }
+}
+
+/// Non-negative l1: `r(x) = lambda*||x||_1 + indicator(x >= 0)`; prox is
+/// one-sided soft thresholding.
+#[derive(Debug, Clone, Copy)]
+pub struct NonNegLasso {
+    /// Regularization weight.
+    pub lambda: f64,
+}
+
+impl Prox for NonNegLasso {
+    #[inline]
+    fn apply_row(&self, row: &mut [f64], rho: f64) {
+        let t = self.lambda / rho;
+        for x in row {
+            *x = (*x - t).max(0.0);
+        }
+    }
+
+    fn penalty_row(&self, row: &[f64]) -> f64 {
+        self.lambda * row.iter().map(|x| x.abs()).sum::<f64>()
+    }
+
+    fn is_feasible_row(&self, row: &[f64], tol: f64) -> bool {
+        row.iter().all(|&x| x >= -tol)
+    }
+
+    fn induces_sparsity(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "non-negative l1"
+    }
+}
+
+/// Tikhonov / ridge regularization `r(x) = lambda * ||x||_2^2`; prox is a
+/// uniform shrink toward the origin.
+#[derive(Debug, Clone, Copy)]
+pub struct Ridge {
+    /// Regularization weight.
+    pub lambda: f64,
+}
+
+impl Prox for Ridge {
+    #[inline]
+    fn apply_row(&self, row: &mut [f64], rho: f64) {
+        let scale = rho / (rho + 2.0 * self.lambda);
+        for x in row {
+            *x *= scale;
+        }
+    }
+
+    fn penalty_row(&self, row: &[f64]) -> f64 {
+        self.lambda * row.iter().map(|x| x * x).sum::<f64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "l2"
+    }
+}
+
+/// Box constraint `lo <= x <= hi` elementwise; prox clamps.
+#[derive(Debug, Clone, Copy)]
+pub struct BoxBound {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Prox for BoxBound {
+    #[inline]
+    fn apply_row(&self, row: &mut [f64], _rho: f64) {
+        for x in row {
+            *x = x.clamp(self.lo, self.hi);
+        }
+    }
+
+    fn is_feasible_row(&self, row: &[f64], tol: f64) -> bool {
+        row.iter().all(|&x| x >= self.lo - tol && x <= self.hi + tol)
+    }
+
+    fn induces_sparsity(&self) -> bool {
+        self.lo == 0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "box"
+    }
+}
+
+/// Row-simplex constraint: each row lies on the probability simplex
+/// (non-negative, sums to one). Projection via the sort-based algorithm
+/// of Duchi et al. (2008). The paper names row-simplex constraints as a
+/// motivating row-separable example (Section IV-A).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simplex;
+
+impl Prox for Simplex {
+    fn apply_row(&self, row: &mut [f64], _rho: f64) {
+        let n = row.len();
+        if n == 0 {
+            return;
+        }
+        // Sort a copy descending.
+        let mut sorted: Vec<f64> = row.to_vec();
+        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        // Largest k with sorted[k] - (cumsum(sorted[..=k]) - 1)/(k+1) > 0.
+        let mut cumsum = 0.0;
+        let mut theta = 0.0;
+        for (k, &v) in sorted.iter().enumerate() {
+            cumsum += v;
+            let t = (cumsum - 1.0) / (k + 1) as f64;
+            if v - t > 0.0 {
+                theta = t;
+            }
+        }
+        for x in row {
+            *x = (*x - theta).max(0.0);
+        }
+    }
+
+    fn is_feasible_row(&self, row: &[f64], tol: f64) -> bool {
+        let sum: f64 = row.iter().sum();
+        (sum - 1.0).abs() <= tol * row.len() as f64 && row.iter().all(|&x| x >= -tol)
+    }
+
+    fn induces_sparsity(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "row-simplex"
+    }
+}
+
+/// Row max-norm bound: `||x||_2 <= bound` per row; prox rescales rows
+/// that exceed the ball.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxRowNorm {
+    /// Euclidean radius of the row ball.
+    pub bound: f64,
+}
+
+impl Prox for MaxRowNorm {
+    fn apply_row(&self, row: &mut [f64], _rho: f64) {
+        let norm = row.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > self.bound && norm > 0.0 {
+            let s = self.bound / norm;
+            for x in row {
+                *x *= s;
+            }
+        }
+    }
+
+    fn is_feasible_row(&self, row: &[f64], tol: f64) -> bool {
+        row.iter().map(|x| x * x).sum::<f64>().sqrt() <= self.bound + tol
+    }
+
+    fn name(&self) -> &'static str {
+        "max-row-norm"
+    }
+}
+
+/// Convenience constructors returning shareable trait objects.
+///
+/// ```
+/// use admm::constraints;
+/// let nn = constraints::nonneg();
+/// let mut row = [0.5, -0.25];
+/// nn.apply_row(&mut row, 1.0);
+/// assert_eq!(row, [0.5, 0.0]);
+/// ```
+pub mod constraints {
+    use super::*;
+
+    /// No constraint (plain least squares).
+    pub fn unconstrained() -> Arc<dyn Prox> {
+        Arc::new(Unconstrained)
+    }
+
+    /// Non-negativity constraint.
+    pub fn nonneg() -> Arc<dyn Prox> {
+        Arc::new(NonNeg)
+    }
+
+    /// `lambda * ||x||_1` sparsity regularization.
+    pub fn lasso(lambda: f64) -> Arc<dyn Prox> {
+        Arc::new(Lasso { lambda })
+    }
+
+    /// Non-negative `lambda * ||x||_1`.
+    pub fn nonneg_lasso(lambda: f64) -> Arc<dyn Prox> {
+        Arc::new(NonNegLasso { lambda })
+    }
+
+    /// `lambda * ||x||_2^2` ridge regularization.
+    pub fn ridge(lambda: f64) -> Arc<dyn Prox> {
+        Arc::new(Ridge { lambda })
+    }
+
+    /// Elementwise box constraint.
+    pub fn boxed(lo: f64, hi: f64) -> Arc<dyn Prox> {
+        Arc::new(BoxBound { lo, hi })
+    }
+
+    /// Row-simplex constraint.
+    pub fn simplex() -> Arc<dyn Prox> {
+        Arc::new(Simplex)
+    }
+
+    /// Row Euclidean-norm bound.
+    pub fn max_row_norm(bound: f64) -> Arc<dyn Prox> {
+        Arc::new(MaxRowNorm { bound })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_is_identity() {
+        let mut row = vec![1.0, -2.0, 3.0];
+        Unconstrained.apply_row(&mut row, 1.0);
+        assert_eq!(row, vec![1.0, -2.0, 3.0]);
+        assert!(Unconstrained.is_feasible_row(&row, 0.0));
+    }
+
+    #[test]
+    fn nonneg_zeroes_negatives() {
+        let mut row = vec![1.0, -2.0, 0.0, 3.0];
+        NonNeg.apply_row(&mut row, 5.0);
+        assert_eq!(row, vec![1.0, 0.0, 0.0, 3.0]);
+        assert!(NonNeg.is_feasible_row(&row, 0.0));
+        assert!(!NonNeg.is_feasible_row(&[-1.0], 1e-9));
+        assert!(NonNeg.induces_sparsity());
+    }
+
+    #[test]
+    fn lasso_soft_thresholds() {
+        let l = Lasso { lambda: 1.0 };
+        let mut row = vec![2.0, -2.0, 0.5, -0.5];
+        l.apply_row(&mut row, 2.0); // threshold = 0.5
+        assert_eq!(row, vec![1.5, -1.5, 0.0, 0.0]);
+        assert_eq!(l.penalty_row(&[1.0, -2.0]), 3.0);
+    }
+
+    #[test]
+    fn lasso_threshold_scales_with_rho() {
+        let l = Lasso { lambda: 1.0 };
+        let mut a = vec![1.0];
+        l.apply_row(&mut a, 10.0); // t = 0.1
+        assert!((a[0] - 0.9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nonneg_lasso_one_sided() {
+        let l = NonNegLasso { lambda: 1.0 };
+        let mut row = vec![2.0, -2.0, 0.4];
+        l.apply_row(&mut row, 2.0); // t = 0.5
+        assert_eq!(row, vec![1.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ridge_shrinks() {
+        let r = Ridge { lambda: 1.0 };
+        let mut row = vec![4.0];
+        r.apply_row(&mut row, 2.0); // scale 2/(2+2) = 0.5
+        assert_eq!(row, vec![2.0]);
+        assert_eq!(r.penalty_row(&[3.0]), 9.0);
+    }
+
+    /// The prox definition says apply_row minimizes
+    /// r(x) + rho/2 ||x - v||^2; check numerically for ridge.
+    #[test]
+    fn ridge_prox_is_argmin() {
+        let r = Ridge { lambda: 0.7 };
+        let rho = 1.3;
+        let v = 2.0;
+        let mut row = vec![v];
+        r.apply_row(&mut row, rho);
+        let obj = |x: f64| 0.7 * x * x + rho / 2.0 * (x - v) * (x - v);
+        let fx = obj(row[0]);
+        for dx in [-0.01, 0.01] {
+            assert!(obj(row[0] + dx) > fx);
+        }
+    }
+
+    #[test]
+    fn box_clamps() {
+        let b = BoxBound { lo: 0.0, hi: 1.0 };
+        let mut row = vec![-0.5, 0.5, 1.5];
+        b.apply_row(&mut row, 1.0);
+        assert_eq!(row, vec![0.0, 0.5, 1.0]);
+        assert!(b.is_feasible_row(&row, 0.0));
+    }
+
+    #[test]
+    fn simplex_projects_to_simplex() {
+        let s = Simplex;
+        let mut row = vec![0.5, 0.5, 2.0, -1.0];
+        s.apply_row(&mut row, 1.0);
+        let sum: f64 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(row.iter().all(|&x| x >= 0.0));
+        assert!(s.is_feasible_row(&row, 1e-9));
+    }
+
+    #[test]
+    fn simplex_fixed_point() {
+        // A point already on the simplex must not move.
+        let s = Simplex;
+        let mut row = vec![0.2, 0.3, 0.5];
+        s.apply_row(&mut row, 1.0);
+        assert!((row[0] - 0.2).abs() < 1e-12);
+        assert!((row[1] - 0.3).abs() < 1e-12);
+        assert!((row[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplex_uniform_from_equal_inputs() {
+        let s = Simplex;
+        let mut row = vec![5.0, 5.0, 5.0, 5.0];
+        s.apply_row(&mut row, 1.0);
+        for &x in &row {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_row_norm_rescales() {
+        let m = MaxRowNorm { bound: 5.0 };
+        let mut row = vec![6.0, 8.0]; // norm 10
+        m.apply_row(&mut row, 1.0);
+        assert!((row[0] - 3.0).abs() < 1e-12);
+        assert!((row[1] - 4.0).abs() < 1e-12);
+        // Inside the ball: untouched.
+        let mut small = vec![1.0, 1.0];
+        m.apply_row(&mut small, 1.0);
+        assert_eq!(small, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn constructors_produce_named_operators() {
+        assert_eq!(constraints::nonneg().name(), "non-negative");
+        assert_eq!(constraints::lasso(0.1).name(), "l1");
+        assert_eq!(constraints::simplex().name(), "row-simplex");
+        assert_eq!(constraints::unconstrained().name(), "unconstrained");
+        assert_eq!(constraints::ridge(0.1).name(), "l2");
+        assert_eq!(constraints::boxed(0.0, 1.0).name(), "box");
+        assert_eq!(constraints::nonneg_lasso(0.1).name(), "non-negative l1");
+        assert_eq!(constraints::max_row_norm(1.0).name(), "max-row-norm");
+    }
+
+    /// Projection operators must be idempotent.
+    #[test]
+    fn projections_idempotent() {
+        let ops: Vec<Arc<dyn Prox>> = vec![
+            constraints::nonneg(),
+            constraints::boxed(-1.0, 1.0),
+            constraints::simplex(),
+            constraints::max_row_norm(2.0),
+        ];
+        for op in ops {
+            let mut row = vec![2.0, -3.0, 0.5, 1.5];
+            op.apply_row(&mut row, 1.7);
+            let once = row.clone();
+            op.apply_row(&mut row, 1.7);
+            for (a, b) in row.iter().zip(&once) {
+                assert!((a - b).abs() < 1e-12, "{} not idempotent", op.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Core ADMM machinery shared by the fused and blocked formulations.
+//!
+//! [`admm_update`] is the entry point used by the outer AO loop: given the
+//! Gram matrix `G` and the MTTKRP output `K` for one mode, it forms
+//! `rho = trace(G)/F`, factors `G + rho*I` once (Algorithm 1, lines 3-4),
+//! and then runs inner iterations with the configured strategy.
+//!
+//! [`run_block`] is the sequential kernel both strategies build on: one
+//! full ADMM on a contiguous block of rows, touching each row once per
+//! inner iteration (solve -> prox -> dual -> residuals in a single pass,
+//! which is what gives the blocked formulation its temporal locality).
+
+use crate::config::{AdmmConfig, AdmmStrategy};
+use crate::prox::Prox;
+use splinalg::{vecops, Cholesky, DMat, LinalgError};
+
+/// Outcome of one ADMM run (per block, or global for the fused strategy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockOutcome {
+    /// Inner iterations executed.
+    pub iterations: usize,
+    /// Final squared relative primal residual.
+    pub primal: f64,
+    /// Final squared relative dual residual.
+    pub dual: f64,
+    /// Whether both residuals fell below tolerance.
+    pub converged: bool,
+}
+
+/// Aggregate statistics of an ADMM update over a whole factor matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmmStats {
+    /// Inner iterations: global count for fused; the maximum over blocks
+    /// for blocked (wall-clock-determining block).
+    pub iterations: usize,
+    /// Sum over rows of the iterations applied to that row — the total
+    /// work measure that blocking reduces on "low-signal" rows.
+    pub row_iterations: u64,
+    /// Number of blocks that reached tolerance (fused counts as 1 block).
+    pub blocks_converged: usize,
+    /// Total number of blocks.
+    pub blocks: usize,
+    /// Worst final squared relative primal residual.
+    pub primal: f64,
+    /// Worst final squared relative dual residual.
+    pub dual: f64,
+}
+
+impl AdmmStats {
+    /// Whether every block converged.
+    pub fn converged(&self) -> bool {
+        self.blocks_converged == self.blocks
+    }
+}
+
+/// Run ADMM to convergence on a contiguous block of rows.
+///
+/// `k`, `h`, `u` are the block's rows of the MTTKRP output, primal and
+/// dual matrices (flat, row-major, `nrows * f` long). `haux_buf` and
+/// `hold_buf` are `f`-length scratch rows.
+///
+/// When `adaptive` is set, the block privately rebalances its penalty
+/// with Boyd's residual-balancing rule, re-factoring `gram + rho*I`
+/// on each rescale (the blocked formulation makes this per-block cost
+/// acceptable; `gram` must then be the Gram matrix `chol` was built
+/// from).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_block(
+    chol: &Cholesky,
+    rho: f64,
+    gram: &DMat,
+    adaptive: Option<crate::config::AdaptiveRho>,
+    relaxation: f64,
+    k: &[f64],
+    h: &mut [f64],
+    u: &mut [f64],
+    f: usize,
+    prox: &dyn Prox,
+    tol: f64,
+    max_inner: usize,
+    haux_buf: &mut [f64],
+    hold_buf: &mut [f64],
+) -> BlockOutcome {
+    debug_assert_eq!(k.len(), h.len());
+    debug_assert_eq!(k.len(), u.len());
+    debug_assert_eq!(haux_buf.len(), f);
+    debug_assert_eq!(hold_buf.len(), f);
+    let nrows = k.len() / f;
+
+    // Penalty state: starts on the shared factorization; a rescale
+    // switches to a block-private one.
+    let mut rho = rho;
+    let mut local_chol: Option<Cholesky> = None;
+    let mut rescales = 0usize;
+
+    let mut primal = f64::INFINITY;
+    let mut dual = f64::INFINITY;
+    let mut iterations = 0;
+    while iterations < max_inner {
+        iterations += 1;
+        let chol = local_chol.as_ref().unwrap_or(chol);
+        let mut r_num = 0.0; // ||H - Ht||^2
+        let mut h_sq = 0.0; // ||H||^2
+        let mut s_num = 0.0; // ||H - H0||^2
+        let mut u_sq = 0.0; // ||U||^2
+
+        for r in 0..nrows {
+            let kr = &k[r * f..(r + 1) * f];
+            let hr = &mut h[r * f..(r + 1) * f];
+            let ur = &mut u[r * f..(r + 1) * f];
+
+            // Line 6: Ht_row = (G + rho I)^-1 (K + rho (H + U))_row.
+            for c in 0..f {
+                haux_buf[c] = kr[c] + rho * (hr[c] + ur[c]);
+            }
+            chol.solve_row(haux_buf);
+
+            // Over-relaxation (Boyd 3.4.3): blend toward the previous
+            // primal before the prox and dual steps.
+            if relaxation != 1.0 {
+                for c in 0..f {
+                    haux_buf[c] = relaxation * haux_buf[c] + (1.0 - relaxation) * hr[c];
+                }
+            }
+
+            // Line 7: H0 <- H.
+            hold_buf.copy_from_slice(hr);
+
+            // Line 8: H <- prox_{r/rho}(Ht - U).
+            for c in 0..f {
+                hr[c] = haux_buf[c] - ur[c];
+            }
+            prox.apply_row(hr, rho);
+
+            // Line 9: U <- U + H - Ht.
+            for c in 0..f {
+                ur[c] += hr[c] - haux_buf[c];
+            }
+
+            // Lines 10-11 partials.
+            r_num += vecops::dist_sq(hr, haux_buf);
+            h_sq += vecops::norm_sq(hr);
+            s_num += vecops::dist_sq(hr, hold_buf);
+            u_sq += vecops::norm_sq(ur);
+        }
+
+        primal = relative(r_num, h_sq);
+        // With no active constraint the dual variable stays exactly zero;
+        // fall back to measuring the step relative to ||H||^2 so the
+        // unconstrained (ALS-like) case can still be detected as
+        // converged.
+        dual = relative(s_num, if u_sq > 0.0 { u_sq } else { h_sq });
+        if primal <= tol && dual <= tol {
+            return BlockOutcome {
+                iterations,
+                primal,
+                dual,
+                converged: true,
+            };
+        }
+
+        // Residual balancing (raw squared norms, so the imbalance test
+        // compares mu^2).
+        if let Some(ar) = adaptive {
+            if rescales < ar.max_rescales {
+                let mu_sq = ar.mu * ar.mu;
+                let new_rho = if r_num > mu_sq * s_num {
+                    Some(rho * ar.tau)
+                } else if s_num > mu_sq * r_num {
+                    Some(rho / ar.tau)
+                } else {
+                    None
+                };
+                if let Some(nr) = new_rho {
+                    // Scaled dual u = y / rho must be rescaled with rho.
+                    let scale = rho / nr;
+                    for x in u.iter_mut() {
+                        *x *= scale;
+                    }
+                    let mut normal = gram.clone();
+                    normal.add_diag(nr);
+                    // A PSD gram + positive rho is always factorable.
+                    local_chol = Some(Cholesky::factor(&normal).expect("G + rho I is SPD"));
+                    rho = nr;
+                    rescales += 1;
+                }
+            }
+        }
+    }
+    BlockOutcome {
+        iterations,
+        primal,
+        dual,
+        converged: false,
+    }
+}
+
+/// Relative squared residual with a zero-denominator guard: an exactly
+/// zero numerator is converged regardless of the denominator.
+#[inline]
+pub(crate) fn relative(num: f64, den: f64) -> f64 {
+    if num == 0.0 {
+        0.0
+    } else if den == 0.0 {
+        f64::INFINITY
+    } else {
+        num / den
+    }
+}
+
+/// One full ADMM update of a factor matrix (one call site of Algorithm 1
+/// from Algorithm 2).
+///
+/// * `gram` — the combined Gram matrix `G` of the other modes.
+/// * `k` — the MTTKRP output for this mode.
+/// * `h`, `u` — primal and dual matrices, updated in place.
+///
+/// Returns per-update statistics. Errors only if `G + rho I` is not
+/// positive definite, which cannot happen for `rho > 0` with a
+/// positive semidefinite `G` (Gram matrices are PSD by construction).
+pub fn admm_update(
+    gram: &DMat,
+    k: &DMat,
+    h: &mut DMat,
+    u: &mut DMat,
+    prox: &dyn Prox,
+    cfg: &AdmmConfig,
+) -> Result<AdmmStats, LinalgError> {
+    let f = gram.nrows();
+    if k.ncols() != f || h.ncols() != f || u.ncols() != f {
+        return Err(LinalgError::DimMismatch {
+            op: "admm_update",
+            lhs: (f, f),
+            rhs: (k.nrows(), k.ncols()),
+        });
+    }
+    if k.nrows() != h.nrows() || k.nrows() != u.nrows() {
+        return Err(LinalgError::DimMismatch {
+            op: "admm_update rows",
+            lhs: (h.nrows(), f),
+            rhs: (k.nrows(), f),
+        });
+    }
+
+    // Line 3: rho = trace(G) / F. A vanishing trace means the other
+    // factors collapsed to zero; fall back to rho = 1 so the system stays
+    // well posed.
+    let mut rho = gram.trace() / f as f64;
+    if rho.is_nan() || rho <= 1e-12 {
+        rho = 1.0;
+    }
+
+    // Line 4: L = Cholesky(G + rho I), shared by every row and block.
+    let mut normal = gram.clone();
+    normal.add_diag(rho);
+    let chol = Cholesky::factor(&normal)?;
+
+    match cfg.strategy {
+        AdmmStrategy::Blocked => Ok(crate::blocked::run_blocked(
+            &chol, rho, gram, k, h, u, prox, cfg,
+        )),
+        AdmmStrategy::Fused => Ok(crate::fused::run_fused(&chol, rho, k, h, u, prox, cfg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prox::{constraints, NonNeg};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Build a small least-squares problem: K = X * W where we ask ADMM to
+    /// recover H with X(1) = H W^T; here we test the stationary equation
+    /// H (G + ..) directly through convergence behaviour.
+    fn setup(n: usize, f: usize, seed: u64) -> (DMat, DMat, DMat, DMat) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = DMat::random(3 * f, f, 0.0, 1.0, &mut rng);
+        let gram = w.gram();
+        let target = DMat::random(n, f, 0.0, 1.0, &mut rng);
+        // K = target * G so that the unconstrained minimizer of
+        // 1/2||X - H W^T||^2 (normal equations H G = K) is exactly target.
+        let k = target.matmul(&gram).unwrap();
+        let h = DMat::zeros(n, f);
+        let u = DMat::zeros(n, f);
+        (gram, k, h, u)
+    }
+
+    #[test]
+    fn unconstrained_admm_approaches_least_squares_solution() {
+        let (gram, k, mut h, mut u) = setup(40, 4, 1);
+        let target = {
+            // Recover target = K G^-1 via Cholesky for reference.
+            let ch = Cholesky::factor(&gram).unwrap();
+            let mut t = k.clone();
+            ch.solve_mat(&mut t).unwrap();
+            t
+        };
+        let cfg = AdmmConfig {
+            tol: 1e-12,
+            max_inner: 5000,
+            ..AdmmConfig::blocked(8)
+        };
+        let stats = admm_update(&gram, &k, &mut h, &mut u, &*constraints::unconstrained(), &cfg).unwrap();
+        assert!(stats.converged(), "stats: {stats:?}");
+        assert!(
+            h.max_abs_diff(&target) < 1e-3,
+            "max diff {}",
+            h.max_abs_diff(&target)
+        );
+    }
+
+    #[test]
+    fn nonneg_admm_produces_feasible_output() {
+        let (gram, mut k, mut h, mut u) = setup(30, 5, 2);
+        // Make parts of the optimal solution negative by flipping K signs.
+        for v in k.as_mut_slice().iter_mut().step_by(3) {
+            *v = -*v;
+        }
+        let cfg = AdmmConfig::default();
+        let stats = admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &cfg).unwrap();
+        assert!(stats.iterations >= 1);
+        for i in 0..h.nrows() {
+            assert!(NonNeg.is_feasible_row(h.row(i), 1e-12));
+        }
+    }
+
+    #[test]
+    fn fused_and_blocked_agree_on_tight_tolerance() {
+        let (gram, k, h0, u0) = setup(64, 4, 3);
+        let tol = 1e-12;
+        let mut hf = h0.clone();
+        let mut uf = u0.clone();
+        let mut cfg = AdmmConfig::fused();
+        cfg.tol = tol;
+        cfg.max_inner = 1000;
+        admm_update(&gram, &k, &mut hf, &mut uf, &NonNeg, &cfg).unwrap();
+
+        let mut hb = h0;
+        let mut ub = u0;
+        let mut cfg = AdmmConfig::blocked(16);
+        cfg.tol = tol;
+        cfg.max_inner = 1000;
+        admm_update(&gram, &k, &mut hb, &mut ub, &NonNeg, &cfg).unwrap();
+
+        // Both drive the same fixed point; with tight tolerance they agree.
+        assert!(hf.max_abs_diff(&hb) < 1e-4, "diff {}", hf.max_abs_diff(&hb));
+    }
+
+    #[test]
+    fn zero_gram_falls_back_gracefully() {
+        let gram = DMat::zeros(3, 3);
+        let k = DMat::zeros(10, 3);
+        let mut h = DMat::zeros(10, 3);
+        let mut u = DMat::zeros(10, 3);
+        let stats = admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &AdmmConfig::default()).unwrap();
+        // All-zero problem: converges immediately to zero.
+        assert!(stats.converged());
+        assert_eq!(h.norm_fro(), 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatches_rejected() {
+        let gram = DMat::eye(3);
+        let k = DMat::zeros(10, 4);
+        let mut h = DMat::zeros(10, 3);
+        let mut u = DMat::zeros(10, 3);
+        assert!(admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &AdmmConfig::default()).is_err());
+
+        let k = DMat::zeros(9, 3);
+        assert!(admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &AdmmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn relative_guards() {
+        assert_eq!(relative(0.0, 0.0), 0.0);
+        assert_eq!(relative(1.0, 0.0), f64::INFINITY);
+        assert_eq!(relative(1.0, 2.0), 0.5);
+    }
+
+    #[test]
+    fn over_relaxation_converges_to_same_fixed_point() {
+        let (gram, k, h0, u0) = setup(50, 4, 31);
+        let run = |alpha: f64, strategy_blocked: bool| {
+            let mut cfg = if strategy_blocked {
+                AdmmConfig::blocked(10)
+            } else {
+                AdmmConfig::fused()
+            };
+            cfg.relaxation = alpha;
+            cfg.max_inner = 2000;
+            cfg.tol = 1e-13;
+            let mut h = h0.clone();
+            let mut u = u0.clone();
+            admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &cfg).unwrap();
+            h
+        };
+        let plain = run(1.0, true);
+        for alpha in [1.5, 1.8] {
+            let relaxed = run(alpha, true);
+            assert!(
+                plain.max_abs_diff(&relaxed) < 1e-3,
+                "alpha={alpha} blocked diff {}",
+                plain.max_abs_diff(&relaxed)
+            );
+            let relaxed_fused = run(alpha, false);
+            assert!(
+                plain.max_abs_diff(&relaxed_fused) < 1e-3,
+                "alpha={alpha} fused diff {}",
+                plain.max_abs_diff(&relaxed_fused)
+            );
+        }
+    }
+
+    #[test]
+    fn over_relaxation_does_not_slow_convergence_much() {
+        // Boyd: alpha in [1.5, 1.8] typically accelerates; at minimum it
+        // must not explode the iteration count on a benign problem.
+        let (gram, k, h0, u0) = setup(80, 4, 32);
+        let iters = |alpha: f64| {
+            let mut cfg = AdmmConfig::blocked(80);
+            cfg.relaxation = alpha;
+            cfg.max_inner = 3000;
+            cfg.tol = 1e-10;
+            let mut h = h0.clone();
+            let mut u = u0.clone();
+            admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &cfg)
+                .unwrap()
+                .iterations
+        };
+        let plain = iters(1.0);
+        let relaxed = iters(1.6);
+        assert!(
+            relaxed <= plain * 2,
+            "relaxed {relaxed} iters vs plain {plain}"
+        );
+    }
+
+    #[test]
+    fn adaptive_rho_still_converges_and_respects_constraints() {
+        let (gram, mut k, h0, u0) = setup(60, 4, 21);
+        for v in k.as_mut_slice().iter_mut().step_by(2) {
+            *v *= -3.0; // push part of the optimum infeasible
+        }
+        let mut cfg = AdmmConfig::blocked(20);
+        cfg.adaptive_rho = Some(crate::config::AdaptiveRho::default());
+        cfg.max_inner = 400;
+        cfg.tol = 1e-10;
+        let mut h = h0;
+        let mut u = u0;
+        let stats = admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &cfg).unwrap();
+        assert!(stats.iterations >= 1);
+        assert!(h.as_slice().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn adaptive_rho_matches_fixed_rho_fixed_point() {
+        // Adapting the penalty changes the path, not the destination.
+        let (gram, k, h0, u0) = setup(40, 3, 22);
+        let run = |adaptive| {
+            let mut cfg = AdmmConfig::blocked(10);
+            cfg.adaptive_rho = adaptive;
+            cfg.max_inner = 2000;
+            cfg.tol = 1e-13;
+            let mut h = h0.clone();
+            let mut u = u0.clone();
+            admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &cfg).unwrap();
+            h
+        };
+        let fixed = run(None);
+        let adaptive = run(Some(crate::config::AdaptiveRho::default()));
+        assert!(
+            fixed.max_abs_diff(&adaptive) < 1e-3,
+            "diff {}",
+            fixed.max_abs_diff(&adaptive)
+        );
+    }
+
+    #[test]
+    fn stats_track_block_counts() {
+        let (gram, k, mut h, mut u) = setup(100, 3, 5);
+        let cfg = AdmmConfig::blocked(30); // 4 blocks (30+30+30+10)
+        let stats = admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &cfg).unwrap();
+        assert_eq!(stats.blocks, 4);
+        assert!(stats.blocks_converged <= 4);
+        assert!(stats.row_iterations >= 100);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the proximity operators and the ADMM solver.
+//!
+//! All built-in penalties are convex, so their proximity operators must
+//! be *firmly non-expansive*; projections must additionally be
+//! idempotent and land in the feasible set. These properties hold for
+//! arbitrary inputs, which is exactly what proptest shakes out.
+
+use admm::prox::{BoxBound, Lasso, MaxRowNorm, NonNeg, NonNegLasso, Prox, Ridge, Simplex};
+use admm::{admm_update, AdmmConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::DMat;
+
+fn row_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, 1..12)
+}
+
+fn all_ops() -> Vec<Box<dyn Prox>> {
+    vec![
+        Box::new(NonNeg),
+        Box::new(Lasso { lambda: 0.5 }),
+        Box::new(NonNegLasso { lambda: 0.5 }),
+        Box::new(Ridge { lambda: 0.5 }),
+        Box::new(BoxBound { lo: -1.0, hi: 1.0 }),
+        Box::new(Simplex),
+        Box::new(MaxRowNorm { bound: 2.0 }),
+    ]
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn prox_is_nonexpansive(x in row_strategy(), shift in -2.0f64..2.0, rho in 0.1f64..10.0) {
+        // y = x + shift elementwise; ||prox(x) - prox(y)|| <= ||x - y||.
+        let y: Vec<f64> = x.iter().map(|v| v + shift).collect();
+        for op in all_ops() {
+            let mut px = x.clone();
+            let mut py = y.clone();
+            op.apply_row(&mut px, rho);
+            op.apply_row(&mut py, rho);
+            let d_in: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            let d_out: f64 = px.iter().zip(&py).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            prop_assert!(d_out <= d_in + 1e-9, "{} expanded: {d_out} > {d_in}", op.name());
+        }
+    }
+
+    #[test]
+    fn projections_idempotent_and_feasible(x in row_strategy(), rho in 0.1f64..10.0) {
+        let projections: Vec<Box<dyn Prox>> = vec![
+            Box::new(NonNeg),
+            Box::new(BoxBound { lo: -1.0, hi: 1.0 }),
+            Box::new(Simplex),
+            Box::new(MaxRowNorm { bound: 2.0 }),
+        ];
+        for op in projections {
+            let mut once = x.clone();
+            op.apply_row(&mut once, rho);
+            prop_assert!(op.is_feasible_row(&once, 1e-9), "{} infeasible output", op.name());
+            let mut twice = once.clone();
+            op.apply_row(&mut twice, rho);
+            for (a, b) in once.iter().zip(&twice) {
+                prop_assert!((a - b).abs() < 1e-9, "{} not idempotent", op.name());
+            }
+        }
+    }
+
+    #[test]
+    fn soft_threshold_shrinks_l1_norm(x in row_strategy(), rho in 0.1f64..10.0) {
+        let op = Lasso { lambda: 1.0 };
+        let mut px = x.clone();
+        op.apply_row(&mut px, rho);
+        let before: f64 = x.iter().map(|v| v.abs()).sum();
+        let after: f64 = px.iter().map(|v| v.abs()).sum();
+        prop_assert!(after <= before + 1e-12);
+        // Sign preservation on surviving entries.
+        for (a, b) in x.iter().zip(&px) {
+            prop_assert!(*b == 0.0 || a.signum() == b.signum());
+        }
+    }
+
+    #[test]
+    fn ridge_prox_scales_toward_zero(x in row_strategy(), rho in 0.1f64..10.0, lambda in 0.01f64..5.0) {
+        let op = Ridge { lambda };
+        let mut px = x.clone();
+        op.apply_row(&mut px, rho);
+        prop_assert!(norm(&px) <= norm(&x) + 1e-12);
+    }
+
+    #[test]
+    fn admm_fixed_point_is_feasible(rows in 1usize..40, f in 1usize..6, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = DMat::random(f + 2, f, -1.0, 1.0, &mut rng);
+        let mut gram = w.gram();
+        gram.add_diag(0.1);
+        let k = DMat::random(rows, f, -2.0, 2.0, &mut rng);
+        let mut h = DMat::zeros(rows, f);
+        let mut u = DMat::zeros(rows, f);
+        admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &AdmmConfig::default()).unwrap();
+        prop_assert!(h.as_slice().iter().all(|&x| x >= 0.0));
+        prop_assert!(h.as_slice().iter().all(|x| x.is_finite()));
+        prop_assert!(u.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn blocked_block_size_never_changes_feasibility(bs in 1usize..200, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let f = 4;
+        let w = DMat::random(f + 3, f, 0.0, 1.0, &mut rng);
+        let gram = w.gram();
+        let k = DMat::random(60, f, -1.0, 1.0, &mut rng);
+        let mut h = DMat::zeros(60, f);
+        let mut u = DMat::zeros(60, f);
+        let cfg = AdmmConfig::blocked(bs);
+        let stats = admm_update(&gram, &k, &mut h, &mut u, &Simplex, &cfg).unwrap();
+        prop_assert!(stats.blocks >= 1);
+        for i in 0..60 {
+            prop_assert!(Simplex.is_feasible_row(h.row(i), 1e-6), "row {i} infeasible");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for the inner ADMM: fused baseline vs.
+//! blocked at several block sizes.
+
+use admm::{admm_update, constraints, AdmmConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::DMat;
+
+fn problem(rows: usize, f: usize, seed: u64) -> (DMat, DMat) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let w = DMat::random(3 * f, f, 0.1, 1.0, &mut rng);
+    let gram = w.gram();
+    let k = DMat::random(rows, f, -0.5, 2.0, &mut rng);
+    (gram, k)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let rows = 50_000;
+    let f = 32;
+    let (gram, k) = problem(rows, f, 3);
+    let nonneg = constraints::nonneg();
+
+    let mut group = c.benchmark_group("admm_inner");
+    group.sample_size(10);
+
+    let configs = [
+        ("fused", AdmmConfig::fused()),
+        ("blocked_1", AdmmConfig::blocked(1)),
+        ("blocked_50", AdmmConfig::blocked(50)),
+        ("blocked_1000", AdmmConfig::blocked(1000)),
+    ];
+    for (name, mut cfg) in configs {
+        cfg.max_inner = 10;
+        cfg.tol = 0.0; // fixed work for a fair kernel comparison
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                let mut h = DMat::zeros(rows, f);
+                let mut u = DMat::zeros(rows, f);
+                admm_update(&gram, &k, &mut h, &mut u, &*nonneg, &cfg).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rank_scaling(c: &mut Criterion) {
+    let rows = 20_000;
+    let mut group = c.benchmark_group("admm_rank_scaling");
+    group.sample_size(10);
+    for f in [16usize, 64] {
+        let (gram, k) = problem(rows, f, 11);
+        let nonneg = constraints::nonneg();
+        let mut cfg = AdmmConfig::blocked(50);
+        cfg.max_inner = 5;
+        cfg.tol = 0.0;
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, _| {
+            b.iter(|| {
+                let mut h = DMat::zeros(rows, f);
+                let mut u = DMat::zeros(rows, f);
+                admm_update(&gram, &k, &mut h, &mut u, &*nonneg, &cfg).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_rank_scaling);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion microbenchmarks for CSF compilation and sparse-factor
+//! snapshot builds — the setup costs the dynamic-sparsity policy must
+//! amortize (Section IV-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use splinalg::{CsrMatrix, DMat, HybridMat};
+use sptensor::gen;
+use sptensor::Csf;
+
+fn bench_csf_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csf_from_coo");
+    group.sample_size(10);
+    for nnz in [10_000usize, 100_000] {
+        let coo = gen::random_uniform(&[2_000, 1_500, 2_500], nnz, 1).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(nnz), &nnz, |b, _| {
+            b.iter(|| Csf::from_coo_rooted(&coo, 0).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot_builds(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut factor = DMat::random(100_000, 32, 0.1, 1.0, &mut rng);
+    for v in factor.as_mut_slice() {
+        if rng.gen::<f64>() < 0.9 {
+            *v = 0.0;
+        }
+    }
+    let mut group = c.benchmark_group("factor_snapshot_build_100k_f32");
+    group.sample_size(20);
+    group.bench_function("csr", |b| {
+        b.iter(|| CsrMatrix::from_dense(&factor, 0.0));
+    });
+    group.bench_function("hybrid", |b| {
+        b.iter(|| HybridMat::from_dense(&factor, 0.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_csf_build, bench_snapshot_builds);
+criterion_main!(benches);

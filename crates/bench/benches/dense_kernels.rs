@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks for the dense kernels the paper takes from
+//! MKL: Cholesky factorization, triangular solves, Gram matrices,
+//! Khatri-Rao products.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::{ops, Cholesky, DMat};
+
+fn spd(f: usize, seed: u64) -> DMat {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = DMat::random(2 * f, f, -1.0, 1.0, &mut rng);
+    let mut g = m.gram();
+    g.add_diag(f as f64);
+    g
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_factor");
+    for f in [16usize, 50, 100, 200] {
+        let a = spd(f, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, _| {
+            b.iter(|| Cholesky::factor(&a).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_solve_10k_rows");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for f in [16usize, 50, 100] {
+        let chol = Cholesky::factor(&spd(f, 3)).unwrap();
+        let rhs = DMat::random(10_000, f, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, _| {
+            b.iter(|| {
+                let mut x = rhs.clone();
+                chol.solve_mat(&mut x).unwrap();
+                x
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram_100k_rows");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for f in [16usize, 50] {
+        let a = DMat::random(100_000, f, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, _| {
+            b.iter(|| a.gram());
+        });
+    }
+    group.finish();
+}
+
+fn bench_khatri_rao(c: &mut Criterion) {
+    let mut group = c.benchmark_group("khatri_rao");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let bmat = DMat::random(300, 16, -1.0, 1.0, &mut rng);
+    let cmat = DMat::random(400, 16, -1.0, 1.0, &mut rng);
+    group.bench_function("300x400_f16", |b| {
+        b.iter(|| ops::khatri_rao(&bmat, &cmat).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cholesky,
+    bench_solve,
+    bench_gram,
+    bench_khatri_rao
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion end-to-end benchmark: a small fixed-iteration factorization
+//! under the fused baseline vs. the blocked strategy, with and without
+//! sparse MTTKRP — the headline comparisons of the paper in miniature.
+
+use admm::{constraints, AdmmConfig};
+use aoadmm::{Factorizer, SparsityConfig, Structure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sptensor::gen::{planted, PlantedConfig};
+
+fn tensor() -> sptensor::CooTensor {
+    planted(&PlantedConfig {
+        dims: vec![800, 100, 1_200],
+        nnz: 60_000,
+        rank: 8,
+        noise: 0.1,
+        factor_density: 0.3,
+        zipf_exponents: vec![1.1, 0.8, 1.1],
+        seed: 3,
+    })
+    .unwrap()
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let t = tensor();
+    let mut group = c.benchmark_group("factorize_5_outer_iters");
+    group.sample_size(10);
+
+    group.bench_function("fused_nonneg", |b| {
+        b.iter(|| {
+            Factorizer::new(16)
+                .constrain_all(constraints::nonneg())
+                .admm(AdmmConfig::fused())
+                .sparsity(SparsityConfig::disabled())
+                .max_outer(5)
+                .tolerance(0.0)
+                .factorize(&t)
+                .unwrap()
+        });
+    });
+
+    group.bench_function("blocked_nonneg", |b| {
+        b.iter(|| {
+            Factorizer::new(16)
+                .constrain_all(constraints::nonneg())
+                .admm(AdmmConfig::blocked(50))
+                .sparsity(SparsityConfig::disabled())
+                .max_outer(5)
+                .tolerance(0.0)
+                .factorize(&t)
+                .unwrap()
+        });
+    });
+
+    group.bench_function("blocked_l1_dense_mttkrp", |b| {
+        b.iter(|| {
+            Factorizer::new(16)
+                .constrain_all(constraints::nonneg_lasso(0.2))
+                .sparsity(SparsityConfig::disabled())
+                .max_outer(5)
+                .tolerance(0.0)
+                .factorize(&t)
+                .unwrap()
+        });
+    });
+
+    group.bench_function("blocked_l1_csr_mttkrp", |b| {
+        b.iter(|| {
+            Factorizer::new(16)
+                .constrain_all(constraints::nonneg_lasso(0.2))
+                .sparsity(SparsityConfig::force(Structure::Csr))
+                .max_outer(5)
+                .tolerance(0.0)
+                .factorize(&t)
+                .unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks for the MTTKRP kernels: dense vs. CSR vs.
+//! hybrid leaf factors, across factor densities and output modes.
+
+use aoadmm::mttkrp::{mttkrp_dense, mttkrp_with_leaf};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use splinalg::{CsrMatrix, DMat, HybridMat};
+use sptensor::gen::{planted, PlantedConfig};
+use sptensor::Csf;
+
+fn tensor() -> sptensor::CooTensor {
+    planted(&PlantedConfig {
+        dims: vec![2_000, 150, 3_000],
+        nnz: 200_000,
+        rank: 8,
+        noise: 0.1,
+        factor_density: 1.0,
+        zipf_exponents: vec![1.1, 0.8, 1.1],
+        seed: 5,
+    })
+    .unwrap()
+}
+
+fn factors(dims: &[usize], f: usize, leaf_mode: usize, leaf_density: f64, seed: u64) -> Vec<DMat> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    dims.iter()
+        .enumerate()
+        .map(|(m, &d)| {
+            let mut fac = DMat::random(d, f, 0.1, 1.0, &mut rng);
+            if m == leaf_mode {
+                for v in fac.as_mut_slice() {
+                    if rng.gen::<f64>() > leaf_density {
+                        *v = 0.0;
+                    }
+                }
+            }
+            fac
+        })
+        .collect()
+}
+
+fn bench_mttkrp_structures(c: &mut Criterion) {
+    let coo = tensor();
+    let f = 32;
+    let mode = 0;
+    let csf = Csf::from_coo_rooted(&coo, mode).unwrap();
+    let leaf_mode = *csf.mode_order().last().unwrap();
+
+    let mut group = c.benchmark_group("mttkrp_leaf_structure");
+    group.sample_size(10);
+    for density in [0.05, 0.2, 1.0] {
+        let facs = factors(coo.dims(), f, leaf_mode, density, 7);
+        let mut out = DMat::zeros(coo.dims()[mode], f);
+
+        group.bench_with_input(BenchmarkId::new("dense", density), &density, |b, _| {
+            b.iter(|| mttkrp_dense(&csf, &facs, &mut out).unwrap());
+        });
+
+        let csr = CsrMatrix::from_dense(&facs[leaf_mode], 0.0);
+        group.bench_with_input(BenchmarkId::new("csr", density), &density, |b, _| {
+            b.iter(|| mttkrp_with_leaf(&csf, &facs, &csr, &mut out).unwrap());
+        });
+
+        let hyb = HybridMat::from_dense(&facs[leaf_mode], 0.0);
+        group.bench_with_input(BenchmarkId::new("hybrid", density), &density, |b, _| {
+            b.iter(|| mttkrp_with_leaf(&csf, &facs, &hyb, &mut out).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_mttkrp_modes(c: &mut Criterion) {
+    let coo = tensor();
+    let f = 16;
+    let mut group = c.benchmark_group("mttkrp_by_mode");
+    group.sample_size(10);
+    for mode in 0..3 {
+        let csf = Csf::from_coo_rooted(&coo, mode).unwrap();
+        let facs = factors(coo.dims(), f, usize::MAX, 1.0, 9);
+        let mut out = DMat::zeros(coo.dims()[mode], f);
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, _| {
+            b.iter(|| mttkrp_dense(&csf, &facs, &mut out).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_mttkrp_one_csf(c: &mut Criterion) {
+    // One shared CSF vs per-mode CSFs: the memory-saving configuration
+    // pays for conflicting updates on non-root modes.
+    let coo = tensor();
+    let f = 16;
+    let root = 1; // shortest mode of the generator config
+    let one = Csf::from_coo_rooted(&coo, root).unwrap();
+    let facs = factors(coo.dims(), f, usize::MAX, 1.0, 11);
+
+    let mut group = c.benchmark_group("mttkrp_one_csf_vs_per_mode");
+    group.sample_size(10);
+    for target in 0..3 {
+        let mut out = DMat::zeros(coo.dims()[target], f);
+        group.bench_with_input(BenchmarkId::new("one_csf", target), &target, |b, _| {
+            b.iter(|| aoadmm::mttkrp_onecsf::mttkrp_one_csf(&one, &facs, target, &mut out).unwrap());
+        });
+        let per_mode = Csf::from_coo_rooted(&coo, target).unwrap();
+        group.bench_with_input(BenchmarkId::new("per_mode", target), &target, |b, _| {
+            b.iter(|| mttkrp_dense(&per_mode, &facs, &mut out).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mttkrp_structures, bench_mttkrp_modes, bench_mttkrp_one_csf);
+criterion_main!(benches);

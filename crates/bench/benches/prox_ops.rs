@@ -1,0 +1,42 @@
+//! Criterion microbenchmarks for the proximity operators (Algorithm 1
+//! line 8), per 100k-row factor matrix.
+
+use admm::prox::{BoxBound, Lasso, MaxRowNorm, NonNeg, NonNegLasso, Prox, Ridge, Simplex};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::DMat;
+
+fn bench_prox(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let f = 32;
+    let base = DMat::random(100_000, f, -1.0, 1.0, &mut rng);
+
+    let ops: Vec<(&str, Box<dyn Prox>)> = vec![
+        ("nonneg", Box::new(NonNeg)),
+        ("lasso", Box::new(Lasso { lambda: 0.1 })),
+        ("nonneg_lasso", Box::new(NonNegLasso { lambda: 0.1 })),
+        ("ridge", Box::new(Ridge { lambda: 0.1 })),
+        ("box", Box::new(BoxBound { lo: 0.0, hi: 1.0 })),
+        ("simplex", Box::new(Simplex)),
+        ("max_row_norm", Box::new(MaxRowNorm { bound: 1.0 })),
+    ];
+
+    let mut group = c.benchmark_group("prox_100k_rows_f32");
+    group.sample_size(20);
+    for (name, op) in ops {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = base.clone();
+                for i in 0..m.nrows() {
+                    op.apply_row(m.row_mut(i), 2.0);
+                }
+                m
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prox);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation A (paper future work, Section VI): block-size sweep.
+//!
+//! Times a fixed number of outer iterations of blocked AO-ADMM at block
+//! sizes from 1 row to the full matrix, and prints the analytical
+//! model's suggestion ([`aoadmm::block_model`]) next to the measured
+//! optimum.
+//!
+//! Usage: `cargo run --release -p aoadmm-bench --bin ablation_block -- \
+//!         [--scale 1.0] [--rank 50] [--max-outer 5] [--seed 1]`
+
+use admm::{constraints, AdmmConfig};
+use aoadmm::block_model;
+use aoadmm::{Factorizer, SparsityConfig};
+use aoadmm_bench::{csv_writer, load_analog, Args};
+use sptensor::gen::Analog;
+use std::io::Write;
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 1.0);
+    let rank: usize = args.get("rank", 50);
+    let max_outer: usize = args.get("max-outer", 5);
+    let seed: u64 = args.get("seed", 1);
+
+    let t = load_analog(Analog::Reddit, scale, seed);
+    let longest = *t.dims().iter().max().unwrap();
+    let sizes = [1usize, 10, 50, 250, 1000, longest];
+
+    println!("Ablation: block size sweep on Reddit analog, rank {rank}, {max_outer} outer iters");
+    println!(
+        "analytical model suggests B = {} (default cache budget)\n",
+        block_model::suggest_block_size_default(rank)
+    );
+
+    let (mut csv, path) = csv_writer("ablation_block");
+    writeln!(csv, "block_size,seconds,final_error,working_set_bytes").unwrap();
+
+    for &bs in &sizes {
+        let res = Factorizer::new(rank)
+            .constrain_all(constraints::nonneg())
+            .admm(AdmmConfig::blocked(bs))
+            .sparsity(SparsityConfig::disabled())
+            .max_outer(max_outer)
+            .tolerance(0.0)
+            .seed(seed)
+            .factorize(&t)
+            .expect("factorization");
+        let ws = block_model::block_working_set(bs, rank);
+        println!(
+            "  B={bs:<7} {:>8.2}s  err {:.4}  working set {:>10} B",
+            res.trace.total.as_secs_f64(),
+            res.trace.final_error,
+            ws
+        );
+        writeln!(
+            csv,
+            "{bs},{:.3},{:.6},{ws}",
+            res.trace.total.as_secs_f64(),
+            res.trace.final_error
+        )
+        .unwrap();
+    }
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,54 @@
+//! Figure 3: fraction of factorization time in MTTKRP vs. ADMM vs.
+//! other, for a rank-50 non-negative factorization of each dataset.
+//!
+//! The paper measures its *baseline* AO-ADMM (no blocking, no sparsity),
+//! so this harness runs the fused strategy with sparsity disabled.
+//!
+//! Usage: `cargo run --release -p aoadmm-bench --bin fig3 -- \
+//!         [--scale 1.0] [--rank 50] [--max-outer 10] [--seed 1]`
+
+use admm::{constraints, AdmmConfig};
+use aoadmm::{Factorizer, SparsityConfig};
+use aoadmm_bench::{bar, csv_writer, load_analog, Args};
+use sptensor::gen::Analog;
+use std::io::Write;
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 1.0);
+    let rank: usize = args.get("rank", 50);
+    let max_outer: usize = args.get("max-outer", 10);
+    let seed: u64 = args.get("seed", 1);
+
+    println!("Figure 3: fraction of time in MTTKRP / ADMM / OTHER");
+    println!("(rank-{rank} non-negative CPD, baseline fused ADMM, {max_outer} outer iterations)\n");
+
+    let (mut csv, path) = csv_writer("fig3");
+    writeln!(csv, "dataset,mttkrp_frac,admm_frac,other_frac,total_s").unwrap();
+
+    for analog in Analog::ALL {
+        let t = load_analog(analog, scale, seed);
+        let res = Factorizer::new(rank)
+            .constrain_all(constraints::nonneg())
+            .admm(AdmmConfig::fused())
+            .sparsity(SparsityConfig::disabled())
+            .max_outer(max_outer)
+            .tolerance(0.0)
+            .seed(seed)
+            .factorize(&t)
+            .expect("factorization");
+        let (m, a, o) = res.trace.time_fractions();
+        println!("{:<10} total {:>8.2}s", analog.name(), res.trace.total.as_secs_f64());
+        println!("  MTTKRP {m:>5.2} |{}|", bar(m, 40));
+        println!("  ADMM   {a:>5.2} |{}|", bar(a, 40));
+        println!("  OTHER  {o:>5.2} |{}|", bar(o, 40));
+        writeln!(
+            csv,
+            "{},{m:.4},{a:.4},{o:.4},{:.3}",
+            analog.name(),
+            res.trace.total.as_secs_f64()
+        )
+        .unwrap();
+    }
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,17 @@
+//! Figure 4: parallel speedup of the *baseline* (fused-kernel) rank-50
+//! non-negative CPD as a function of thread count.
+//!
+//! The paper sweeps 1-20 threads on a 2x10-core Xeon; this harness
+//! sweeps 1..available_parallelism. On machines exposing a single core
+//! the sweep still exercises the multi-threaded code paths (rayon pools
+//! of each size) but cannot show real speedup — see EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p aoadmm-bench --bin fig4 -- \
+//!         [--scale 1.0] [--rank 50] [--max-outer 3] [--seed 1]`
+
+use admm::AdmmConfig;
+use aoadmm_bench::speedup_sweep;
+
+fn main() {
+    speedup_sweep(AdmmConfig::fused(), "fig4", "baseline (fused)");
+}

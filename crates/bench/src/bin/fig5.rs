@@ -1,0 +1,16 @@
+//! Figure 5: parallel speedup of the *blocked* rank-50 non-negative CPD
+//! as a function of thread count.
+//!
+//! Same protocol as Figure 4 but with the blockwise ADMM of Section IV-B
+//! (50-row blocks, dynamically scheduled). The paper's trend: datasets
+//! dominated by ADMM time (NELL) gain the most from blocking.
+//!
+//! Usage: `cargo run --release -p aoadmm-bench --bin fig5 -- \
+//!         [--scale 1.0] [--rank 50] [--max-outer 3] [--seed 1]`
+
+use admm::AdmmConfig;
+use aoadmm_bench::speedup_sweep;
+
+fn main() {
+    speedup_sweep(AdmmConfig::blocked(50), "fig5", "blocked (50-row blocks)");
+}

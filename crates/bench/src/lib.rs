@@ -1,0 +1,277 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure of the
+//! evaluation section (see DESIGN.md for the index); this library holds
+//! the pieces they share: a tiny CLI-flag parser, dataset loading,
+//! thread-pool scoping, CSV output under `bench_results/`, and ASCII
+//! rendering of bar charts and convergence curves so the harness output
+//! is readable without plotting tools.
+
+#![warn(missing_docs)]
+
+use sptensor::gen::Analog;
+use sptensor::CooTensor;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Minimal `--key value` argument parser (no external CLI dependency).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()` after the binary name.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit iterator of arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut flags = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                flags.insert(key.to_string(), val);
+            }
+        }
+        Args { flags }
+    }
+
+    /// Fetch a flag parsed into `T`, or the default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Fetch a string flag.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether a flag is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+/// Generate an analog dataset, printing a one-line provenance note.
+pub fn load_analog(analog: Analog, scale: f64, seed: u64) -> CooTensor {
+    eprintln!(
+        "[gen] {} analog at scale {scale} (seed {seed}) ...",
+        analog.name()
+    );
+    let t = analog.generate(scale, seed).expect("generator config is valid");
+    eprintln!(
+        "[gen] {}: nnz={} dims={:?}",
+        analog.name(),
+        t.nnz(),
+        t.dims()
+    );
+    t
+}
+
+/// Run `f` inside a rayon pool with exactly `threads` threads.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    pool.install(f)
+}
+
+/// Geometric thread counts to sweep: 1, 2, 4, ... up to the machine's
+/// available parallelism (always including the max itself).
+pub fn thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut v = Vec::new();
+    let mut t = 1;
+    while t < max {
+        v.push(t);
+        t *= 2;
+    }
+    v.push(max);
+    v.dedup();
+    v
+}
+
+/// Open `bench_results/<name>.csv` for writing (creating the directory),
+/// returning the writer and the path.
+pub fn csv_writer(name: &str) -> (impl Write, PathBuf) {
+    let dir = PathBuf::from("bench_results");
+    std::fs::create_dir_all(&dir).expect("create bench_results/");
+    let path = dir.join(format!("{name}.csv"));
+    let f = std::fs::File::create(&path).expect("create csv");
+    (std::io::BufWriter::new(f), path)
+}
+
+/// Render a horizontal ASCII bar of `frac` in [0,1], `width` chars wide.
+pub fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Render an ASCII convergence curve: y values downsampled onto a
+/// `rows x cols` grid, lower values lower on the chart.
+pub fn ascii_curve(points: &[(f64, f64)], rows: usize, cols: usize) -> String {
+    if points.is_empty() {
+        return String::new();
+    }
+    let (xmin, xmax) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.0), hi.max(p.0))
+        });
+    let (ymin, ymax) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.1), hi.max(p.1))
+        });
+    let xspan = (xmax - xmin).max(1e-12);
+    let yspan = (ymax - ymin).max(1e-12);
+    let mut grid = vec![vec![' '; cols]; rows];
+    for &(x, y) in points {
+        let c = (((x - xmin) / xspan) * (cols - 1) as f64).round() as usize;
+        let r = (((ymax - y) / yspan) * (rows - 1) as f64).round() as usize;
+        grid[r][c] = '*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{ymax:>10.4} +\n"));
+    for row in grid {
+        out.push_str("           |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{ymin:>10.4} +{}\n            {:<8.2}{}{:>8.2}\n",
+        "-".repeat(cols),
+        xmin,
+        " ".repeat(cols.saturating_sub(16)),
+        xmax
+    ));
+    out
+}
+
+/// Format a duration in seconds with sensible precision.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Thread-scaling sweep shared by the Figure 4 (fused) and Figure 5
+/// (blocked) harnesses: time a fixed number of outer iterations of a
+/// rank-`--rank` non-negative CPD on every dataset analog under thread
+/// pools of increasing size, reporting speedup over one thread.
+pub fn speedup_sweep(admm_cfg: admm::AdmmConfig, csv_name: &str, label: &str) {
+    use admm::constraints;
+    use aoadmm::{Factorizer, SparsityConfig};
+
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 1.0);
+    let rank: usize = args.get("rank", 50);
+    let max_outer: usize = args.get("max-outer", 3);
+    let seed: u64 = args.get("seed", 1);
+    let threads = thread_sweep();
+
+    println!("Speedup of {label} rank-{rank} non-negative CPD");
+    println!("threads swept: {threads:?}\n");
+
+    let (mut csv, path) = csv_writer(csv_name);
+    writeln!(csv, "dataset,threads,seconds,speedup").unwrap();
+
+    for analog in Analog::ALL {
+        let t = load_analog(analog, scale, seed);
+        let mut base_time = None;
+        print!("{:<10}", analog.name());
+        for &nt in &threads {
+            let cfg = admm_cfg;
+            let elapsed = with_threads(nt, || {
+                let res = Factorizer::new(rank)
+                    .constrain_all(constraints::nonneg())
+                    .admm(cfg)
+                    .sparsity(SparsityConfig::disabled())
+                    .max_outer(max_outer)
+                    .tolerance(0.0)
+                    .seed(seed)
+                    .factorize(&t)
+                    .expect("factorization");
+                res.trace.total
+            });
+            let secs = elapsed.as_secs_f64();
+            let base = *base_time.get_or_insert(secs);
+            let speedup = base / secs;
+            print!("  {nt}t: {speedup:>5.2}x");
+            writeln!(csv, "{},{nt},{secs:.3},{speedup:.3}", analog.name()).unwrap();
+        }
+        println!();
+    }
+    println!("\nwrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_and_values() {
+        let a = Args::parse(
+            ["--scale", "0.5", "--verbose", "--rank", "50"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.get::<f64>("scale", 1.0), 0.5);
+        assert_eq!(a.get::<usize>("rank", 10), 50);
+        assert!(a.has("verbose"));
+        assert_eq!(a.get::<usize>("missing", 7), 7);
+        assert_eq!(a.get_str("name", "x"), "x");
+    }
+
+    #[test]
+    fn bar_renders_fractions() {
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(1.0, 4), "####");
+        assert_eq!(bar(0.5, 4), "##..");
+        // Out-of-range clamps.
+        assert_eq!(bar(2.0, 3), "###");
+    }
+
+    #[test]
+    fn thread_sweep_is_sorted_unique() {
+        let v = thread_sweep();
+        assert!(!v.is_empty());
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v[0], 1);
+    }
+
+    #[test]
+    fn ascii_curve_nonempty() {
+        let pts = vec![(0.0, 1.0), (1.0, 0.5), (2.0, 0.25)];
+        let s = ascii_curve(&pts, 5, 20);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn csv_writer_creates_file() {
+        let (mut w, path) = csv_writer("unit_test_tmp");
+        writeln!(w, "a,b").unwrap();
+        drop(w);
+        assert!(path.exists());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,132 @@
+//! Flag parsing for the CLI: `--key value` pairs, bare `--flag`
+//! booleans, and repeatable keys.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, Vec<String>>,
+}
+
+impl Args {
+    /// Parse the arguments after the subcommand. A `--key` followed by a
+    /// non-`--` token is a key/value pair; otherwise it is a boolean
+    /// flag. Bare positional tokens are rejected.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut values: HashMap<String, Vec<String>> = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let tok = &argv[i];
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected positional argument {tok:?}"))?;
+            if key.is_empty() {
+                return Err("empty flag `--`".into());
+            }
+            let entry = values.entry(key.to_string()).or_default();
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                entry.push(argv[i + 1].clone());
+                i += 2;
+            } else {
+                entry.push("true".to_string());
+                i += 1;
+            }
+        }
+        Ok(Args { values })
+    }
+
+    /// Whether the flag appeared at all.
+    pub fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    /// Last value of a flag, as a string.
+    pub fn get_str(&self, key: &str) -> Option<String> {
+        self.values.get(key).and_then(|v| v.last()).cloned()
+    }
+
+    /// All values of a repeatable flag.
+    pub fn get_all(&self, key: &str) -> Vec<String> {
+        self.values.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Parse a flag into `T`, with a default when absent.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get_str(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{key} has invalid value {v:?}")),
+        }
+    }
+
+    /// Parse a flag into `T`, erroring when absent or invalid.
+    pub fn get_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get_str(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag --{key} has invalid value {v:?}")),
+        }
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<String, String> {
+        self.get_str(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Required parsed flag.
+    pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let v = self.require(key)?;
+        v.parse()
+            .map_err(|_| format!("flag --{key} has invalid value {v:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(toks: &[&str]) -> Args {
+        Args::parse(&toks.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn key_value_and_boolean() {
+        let a = parse(&["--rank", "50", "--adaptive-rho", "--tol", "1e-4"]);
+        assert_eq!(a.get::<usize>("rank", 0).unwrap(), 50);
+        assert!(a.has("adaptive-rho"));
+        assert_eq!(a.get::<f64>("tol", 0.0).unwrap(), 1e-4);
+        assert_eq!(a.get::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn repeatable_flags_collect() {
+        let a = parse(&["--mode-constraint", "0=nonneg", "--mode-constraint", "1=simplex"]);
+        assert_eq!(a.get_all("mode-constraint").len(), 2);
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(Args::parse(&["oops".to_string()]).is_err());
+        assert!(Args::parse(&["--".to_string()]).is_err());
+    }
+
+    #[test]
+    fn invalid_parse_is_error() {
+        let a = parse(&["--rank", "abc"]);
+        assert!(a.get::<usize>("rank", 0).is_err());
+        assert!(a.require_parsed::<usize>("rank").is_err());
+        assert!(a.get_opt::<usize>("rank").is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&[]);
+        assert!(a.require("input").is_err());
+        assert!(a.get_opt::<usize>("threads").unwrap().is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! Textual constraint specifications for the CLI.
+//!
+//! Grammar (case-insensitive names):
+//!
+//! ```text
+//! SPEC := none | nonneg | simplex
+//!       | l1:LAMBDA | nonneg-l1:LAMBDA | ridge:LAMBDA
+//!       | box:LO,HI | maxnorm:BOUND
+//! ```
+
+use admm::{constraints, Prox};
+use std::sync::Arc;
+
+/// Parse a constraint specification into a proximity operator.
+pub fn parse_constraint(spec: &str) -> Result<Arc<dyn Prox>, String> {
+    let spec = spec.trim();
+    let (name, arg) = match spec.split_once(':') {
+        Some((n, a)) => (n.trim().to_lowercase(), Some(a.trim())),
+        None => (spec.to_lowercase(), None),
+    };
+    let need_num = |what: &str| -> Result<f64, String> {
+        let a = arg.ok_or_else(|| format!("constraint {name:?} needs {what} (e.g. {name}:0.1)"))?;
+        a.parse()
+            .map_err(|_| format!("constraint {name:?}: bad {what} {a:?}"))
+    };
+    match name.as_str() {
+        "none" | "unconstrained" => no_arg(arg, constraints::unconstrained()),
+        "nonneg" | "nn" => no_arg(arg, constraints::nonneg()),
+        "simplex" => no_arg(arg, constraints::simplex()),
+        "l1" | "lasso" => Ok(constraints::lasso(positive(need_num("a lambda")?)?)),
+        "nonneg-l1" | "nnl1" => Ok(constraints::nonneg_lasso(positive(need_num("a lambda")?)?)),
+        "ridge" | "l2" => Ok(constraints::ridge(positive(need_num("a lambda")?)?)),
+        "maxnorm" => Ok(constraints::max_row_norm(positive(need_num("a bound")?)?)),
+        "box" => {
+            let a = arg.ok_or_else(|| "box needs bounds, e.g. box:0,1".to_string())?;
+            let (lo, hi) = a
+                .split_once(',')
+                .ok_or_else(|| format!("box bounds must be LO,HI; got {a:?}"))?;
+            let lo: f64 = lo.trim().parse().map_err(|_| format!("bad box lower bound {lo:?}"))?;
+            let hi: f64 = hi.trim().parse().map_err(|_| format!("bad box upper bound {hi:?}"))?;
+            if lo > hi {
+                return Err(format!("box bounds out of order: {lo} > {hi}"));
+            }
+            Ok(constraints::boxed(lo, hi))
+        }
+        other => Err(format!("unknown constraint {other:?}; see `aoadmm help`")),
+    }
+}
+
+fn no_arg(arg: Option<&str>, c: Arc<dyn Prox>) -> Result<Arc<dyn Prox>, String> {
+    match arg {
+        Some(a) => Err(format!("constraint {:?} takes no argument (got {a:?})", c.name())),
+        None => Ok(c),
+    }
+}
+
+fn positive(x: f64) -> Result<f64, String> {
+    if x > 0.0 && x.is_finite() {
+        Ok(x)
+    } else {
+        Err(format!("parameter must be positive and finite, got {x}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_names() {
+        assert_eq!(parse_constraint("nonneg").unwrap().name(), "non-negative");
+        assert_eq!(parse_constraint("NONE").unwrap().name(), "unconstrained");
+        assert_eq!(parse_constraint("simplex").unwrap().name(), "row-simplex");
+        assert_eq!(parse_constraint(" nn ").unwrap().name(), "non-negative");
+    }
+
+    #[test]
+    fn parameterized() {
+        assert_eq!(parse_constraint("l1:0.1").unwrap().name(), "l1");
+        assert_eq!(parse_constraint("nonneg-l1:0.5").unwrap().name(), "non-negative l1");
+        assert_eq!(parse_constraint("ridge:2").unwrap().name(), "l2");
+        assert_eq!(parse_constraint("box:0,1").unwrap().name(), "box");
+        assert_eq!(parse_constraint("maxnorm:3.5").unwrap().name(), "max-row-norm");
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(parse_constraint("l1").is_err()); // missing lambda
+        assert!(parse_constraint("l1:x").is_err());
+        assert!(parse_constraint("l1:-1").is_err());
+        assert!(parse_constraint("nonneg:0.1").is_err()); // spurious arg
+        assert!(parse_constraint("box:1").is_err());
+        assert!(parse_constraint("box:2,1").is_err());
+        assert!(parse_constraint("wat").is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! `aoadmm` — command-line constrained sparse tensor factorization.
+//!
+//! Subcommands:
+//!
+//! * `factorize` — run AO-ADMM on a FROSTT `.tns` tensor with configurable
+//!   rank, constraints (global and per-mode), ADMM strategy and sparsity
+//!   policy; optionally save the model and a convergence trace.
+//! * `generate` — write a synthetic tensor (dataset analog or custom
+//!   shape) in `.tns` format.
+//! * `stats` — print summary statistics of a `.tns` tensor.
+//! * `als` — the unconstrained CP-ALS baseline.
+//!
+//! Run `aoadmm help` for full usage.
+
+mod args;
+mod constraint_spec;
+
+use aoadmm::als::{als_factorize, AlsConfig};
+use aoadmm::{model_io, Factorizer, SparsityConfig, Structure, StructureChoice};
+use args::Args;
+use constraint_spec::parse_constraint;
+use sptensor::gen::Analog;
+use sptensor::TensorStats;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+aoadmm — constrained sparse tensor factorization (AO-ADMM, ICPP 2017)
+
+USAGE:
+  aoadmm factorize --input X.tns --rank R [options]
+  aoadmm als       --input X.tns --rank R [--max-outer N] [--tol T] [--seed S]
+  aoadmm generate  (--analog reddit|nell|amazon|patents | --dims I,J,K --nnz N)
+                   --output X.tns [--scale F] [--seed S]
+  aoadmm stats     --input X.tns
+  aoadmm help
+
+factorize options:
+  --constraint SPEC        constraint for all modes (default: nonneg)
+  --mode-constraint M=SPEC per-mode override (repeatable)
+  --max-outer N            outer iteration cap (default 200)
+  --tol T                  outer tolerance on error improvement (default 1e-6)
+  --seed S                 factor init seed (default 0)
+  --strategy blocked|fused inner ADMM strategy (default blocked)
+  --block-size B           rows per block (default 50)
+  --inner-tol T            inner ADMM tolerance (default 1e-3)
+  --max-inner N            inner ADMM iteration cap (default 25)
+  --adaptive-rho           enable residual-balancing penalty adaptation
+  --sparsity auto|off|csr|hybrid   leaf-factor MTTKRP policy (default auto)
+  --threads N              rayon thread count (default: all cores)
+  --output FILE            save the factor model
+  --trace FILE             save per-iteration CSV (iter,seconds,rel_error)
+  --checkpoint FILE        save resumable state (factors + duals) at the end
+  --resume FILE            start from a previously saved checkpoint
+
+constraint SPECs:
+  none | nonneg | l1:LAMBDA | nonneg-l1:LAMBDA | ridge:LAMBDA |
+  simplex | box:LO,HI | maxnorm:BOUND
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "factorize" => factorize(&args),
+        "als" => als(&args),
+        "generate" => generate(&args),
+        "stats" => stats(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}; see `aoadmm help`")),
+    }
+}
+
+fn load_input(args: &Args) -> Result<sptensor::CooTensor, String> {
+    let path = args.require("input")?;
+    eprintln!("reading {path} ...");
+    let t = sptensor::io::read_tns_file(&path, None).map_err(|e| e.to_string())?;
+    eprintln!("loaded: nnz={} dims={:?}", t.nnz(), t.dims());
+    Ok(t)
+}
+
+fn setup_threads(args: &Args) -> Result<(), String> {
+    if let Some(n) = args.get_opt::<usize>("threads")? {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn factorize(args: &Args) -> Result<(), String> {
+    setup_threads(args)?;
+    let tensor = load_input(args)?;
+    let rank: usize = args.require_parsed("rank")?;
+
+    let mut admm_cfg = match args.get_str("strategy").as_deref().unwrap_or("blocked") {
+        "blocked" => admm::AdmmConfig::blocked(args.get("block-size", 50)?),
+        "fused" => admm::AdmmConfig::fused(),
+        other => return Err(format!("unknown strategy {other:?}")),
+    };
+    admm_cfg.tol = args.get("inner-tol", 1e-3)?;
+    admm_cfg.max_inner = args.get("max-inner", 25)?;
+    if args.has("adaptive-rho") {
+        admm_cfg.adaptive_rho = Some(admm::AdaptiveRho::default());
+    }
+
+    let sparsity = match args.get_str("sparsity").as_deref().unwrap_or("auto") {
+        "auto" => SparsityConfig::default(),
+        "off" => SparsityConfig::disabled(),
+        "csr" => SparsityConfig {
+            choice: StructureChoice::Force(Structure::Csr),
+            ..Default::default()
+        },
+        "hybrid" => SparsityConfig {
+            choice: StructureChoice::Force(Structure::Hybrid),
+            ..Default::default()
+        },
+        other => return Err(format!("unknown sparsity policy {other:?}")),
+    };
+
+    let global = parse_constraint(args.get_str("constraint").as_deref().unwrap_or("nonneg"))?;
+    let mut fz = Factorizer::new(rank)
+        .constrain_all(global)
+        .admm(admm_cfg)
+        .sparsity(sparsity)
+        .max_outer(args.get("max-outer", 200)?)
+        .tolerance(args.get("tol", 1e-6)?)
+        .seed(args.get("seed", 0)?);
+    for spec in args.get_all("mode-constraint") {
+        let (mode, cspec) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--mode-constraint expects M=SPEC, got {spec:?}"))?;
+        let mode: usize = mode
+            .parse()
+            .map_err(|_| format!("bad mode in --mode-constraint {spec:?}"))?;
+        fz = fz.constrain_mode(mode, parse_constraint(cspec)?);
+    }
+
+    let res = if let Some(ckpath) = args.get_str("resume") {
+        let ck = aoadmm::checkpoint::Checkpoint::load(&ckpath).map_err(|e| e.to_string())?;
+        eprintln!("resuming from {ckpath}");
+        fz.factorize_warm(&tensor, ck.model, Some(ck.duals))
+            .map_err(|e| e.to_string())?
+    } else {
+        fz.factorize(&tensor).map_err(|e| e.to_string())?
+    };
+    println!(
+        "done: {} outer iterations in {:.2}s (converged: {})",
+        res.trace.outer_iterations(),
+        res.trace.total.as_secs_f64(),
+        res.trace.converged
+    );
+    println!("relative error: {:.6}", res.trace.final_error);
+    let (m, a, o) = res.trace.time_fractions();
+    println!("time split: MTTKRP {:.0}%  ADMM {:.0}%  other {:.0}%", m * 100.0, a * 100.0, o * 100.0);
+    let dens = res.model.factor_densities(0.0);
+    for (mode, d) in dens.iter().enumerate() {
+        println!("factor {mode}: density {:.1}%", d * 100.0);
+    }
+
+    if let Some(path) = args.get_str("output") {
+        model_io::save_model(&res.model, &path).map_err(|e| e.to_string())?;
+        println!("model written to {path}");
+    }
+    if let Some(path) = args.get_str("trace") {
+        write_trace(&res.trace, &path)?;
+        println!("trace written to {path}");
+    }
+    if let Some(path) = args.get_str("checkpoint") {
+        aoadmm::checkpoint::Checkpoint::from_result(&res)
+            .save(&path)
+            .map_err(|e| e.to_string())?;
+        println!("checkpoint written to {path}");
+    }
+    Ok(())
+}
+
+fn als(args: &Args) -> Result<(), String> {
+    setup_threads(args)?;
+    let tensor = load_input(args)?;
+    let cfg = AlsConfig {
+        rank: args.require_parsed("rank")?,
+        max_outer: args.get("max-outer", 200)?,
+        tol: args.get("tol", 1e-6)?,
+        seed: args.get("seed", 0)?,
+        ..Default::default()
+    };
+    let res = als_factorize(&tensor, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "ALS done: {} outer iterations in {:.2}s, relative error {:.6}",
+        res.trace.outer_iterations(),
+        res.trace.total.as_secs_f64(),
+        res.trace.final_error
+    );
+    if let Some(path) = args.get_str("output") {
+        model_io::save_model(&res.model, &path).map_err(|e| e.to_string())?;
+        println!("model written to {path}");
+    }
+    Ok(())
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let out = args.require("output")?;
+    let seed: u64 = args.get("seed", 1)?;
+    let tensor = if let Some(name) = args.get_str("analog") {
+        let analog = match name.to_lowercase().as_str() {
+            "reddit" => Analog::Reddit,
+            "nell" => Analog::Nell,
+            "amazon" => Analog::Amazon,
+            "patents" => Analog::Patents,
+            other => return Err(format!("unknown analog {other:?}")),
+        };
+        analog
+            .generate(args.get("scale", 1.0)?, seed)
+            .map_err(|e| e.to_string())?
+    } else {
+        let dims: Vec<usize> = args
+            .require("dims")?
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("bad dims entry {s:?}")))
+            .collect::<Result<_, _>>()?;
+        let cfg = sptensor::gen::PlantedConfig {
+            zipf_exponents: vec![0.8; dims.len()],
+            dims,
+            nnz: args.require_parsed("nnz")?,
+            rank: args.get("planted-rank", 10)?,
+            noise: args.get("noise", 0.1)?,
+            factor_density: args.get("factor-density", 1.0)?,
+            seed,
+        };
+        sptensor::gen::planted(&cfg).map_err(|e| e.to_string())?
+    };
+    sptensor::io::write_tns_file(&tensor, &out).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} nnz, dims {:?})", out, tensor.nnz(), tensor.dims());
+    Ok(())
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let tensor = load_input(args)?;
+    print!("{}", TensorStats::compute(&tensor).summary());
+    Ok(())
+}
+
+fn write_trace(trace: &aoadmm::FactorizeTrace, path: &str) -> Result<(), String> {
+    use std::io::Write;
+    let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    let mut w = std::io::BufWriter::new(f);
+    writeln!(w, "iter,seconds,rel_error").map_err(|e| e.to_string())?;
+    for it in &trace.iterations {
+        writeln!(w, "{},{:.6},{:.8}", it.iter, it.elapsed.as_secs_f64(), it.rel_error)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_runs() {
+        assert!(run(&["help".to_string()]).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&["bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_stats_factorize() {
+        let dir = std::env::temp_dir();
+        let tns = dir.join("aoadmm_cli_test.tns");
+        let model = dir.join("aoadmm_cli_test.model");
+        let trace = dir.join("aoadmm_cli_test.csv");
+        let s = |x: &str| x.to_string();
+
+        run(&[
+            s("generate"),
+            s("--dims"),
+            s("30,20,25"),
+            s("--nnz"),
+            s("800"),
+            s("--output"),
+            s(tns.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(tns.exists());
+
+        run(&[s("stats"), s("--input"), s(tns.to_str().unwrap())]).unwrap();
+
+        run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("4"),
+            s("--max-outer"),
+            s("5"),
+            s("--constraint"),
+            s("nonneg-l1:0.1"),
+            s("--mode-constraint"),
+            s("1=simplex"),
+            s("--output"),
+            s(model.to_str().unwrap()),
+            s("--trace"),
+            s(trace.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(model.exists());
+        assert!(trace.exists());
+
+        // The saved model loads back.
+        let m = model_io::load_model(&model).unwrap();
+        assert_eq!(m.rank(), 4);
+
+        // Checkpoint + resume through the CLI.
+        let ck = dir.join("aoadmm_cli_test.ckpt");
+        run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("4"),
+            s("--max-outer"),
+            s("2"),
+            s("--checkpoint"),
+            s(ck.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(ck.exists());
+        run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("4"),
+            s("--max-outer"),
+            s("2"),
+            s("--resume"),
+            s(ck.to_str().unwrap()),
+        ])
+        .unwrap();
+        let _ = std::fs::remove_file(ck);
+
+        run(&[
+            s("als"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("3"),
+            s("--max-outer"),
+            s("3"),
+        ])
+        .unwrap();
+
+        let _ = std::fs::remove_file(tns);
+        let _ = std::fs::remove_file(model);
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn factorize_requires_input() {
+        assert!(run(&["factorize".to_string(), "--rank".to_string(), "3".to_string()]).is_err());
+    }
+
+    #[test]
+    fn generate_analog_small() {
+        let dir = std::env::temp_dir();
+        let tns = dir.join("aoadmm_cli_analog.tns");
+        let s = |x: &str| x.to_string();
+        run(&[
+            s("generate"),
+            s("--analog"),
+            s("patents"),
+            s("--scale"),
+            s("0.001"),
+            s("--output"),
+            s(tns.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(tns.exists());
+        let _ = std::fs::remove_file(tns);
+    }
+}

@@ -1,0 +1,275 @@
+//! Factorization configuration and builder.
+//!
+//! [`Factorizer`] is the public entry point: configure rank, per-mode
+//! constraints, the ADMM strategy and the sparsity policy, then call
+//! [`Factorizer::factorize`].
+
+use crate::driver;
+use crate::error::AoAdmmError;
+use crate::sparsity::SparsityConfig;
+use crate::FactorizeResult;
+use admm::prox::Unconstrained;
+use admm::{AdmmConfig, Prox};
+use sptensor::CooTensor;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How many CSF representations of the tensor the driver builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsfPolicy {
+    /// One CSF per mode, each rooted at its output mode (SPLATT
+    /// `ALLMODE`): fastest MTTKRP, `nmodes` copies of the tensor.
+    PerMode,
+    /// A single CSF rooted at the shortest mode (SPLATT `ONEMODE`):
+    /// one tensor copy; non-root modes use conflicting-update MTTKRP
+    /// ([`crate::mttkrp_onecsf`]). Third-order tensors only — higher
+    /// orders fall back to `PerMode`.
+    One,
+}
+
+/// Builder-style configuration for an AO-ADMM factorization.
+///
+/// Defaults follow the paper's evaluation: 200 outer iterations max,
+/// outer tolerance `1e-6` on relative-error improvement, blocked ADMM
+/// with 50-row blocks, dynamic sparsity with a 20 % density threshold.
+#[derive(Clone)]
+pub struct Factorizer {
+    rank: usize,
+    default_constraint: Arc<dyn Prox>,
+    mode_constraints: HashMap<usize, Arc<dyn Prox>>,
+    admm: AdmmConfig,
+    max_outer: usize,
+    outer_tol: f64,
+    seed: u64,
+    sparsity: SparsityConfig,
+    csf_policy: CsfPolicy,
+    progress: Option<Arc<dyn Fn(&crate::IterRecord) + Send + Sync>>,
+}
+
+impl Factorizer {
+    /// Start configuring a rank-`rank` factorization (unconstrained by
+    /// default).
+    pub fn new(rank: usize) -> Self {
+        Factorizer {
+            rank,
+            default_constraint: Arc::new(Unconstrained),
+            mode_constraints: HashMap::new(),
+            admm: AdmmConfig::default(),
+            max_outer: 200,
+            outer_tol: 1e-6,
+            seed: 0,
+            sparsity: SparsityConfig::default(),
+            csf_policy: CsfPolicy::PerMode,
+            progress: None,
+        }
+    }
+
+    /// Apply `prox` to every mode (per-mode overrides still win).
+    pub fn constrain_all(mut self, prox: Arc<dyn Prox>) -> Self {
+        self.default_constraint = prox;
+        self
+    }
+
+    /// Apply `prox` to one specific mode.
+    pub fn constrain_mode(mut self, mode: usize, prox: Arc<dyn Prox>) -> Self {
+        self.mode_constraints.insert(mode, prox);
+        self
+    }
+
+    /// Configure the inner ADMM (strategy, block size, tolerance, cap).
+    pub fn admm(mut self, cfg: AdmmConfig) -> Self {
+        self.admm = cfg;
+        self
+    }
+
+    /// Cap on outer iterations (paper: 200).
+    pub fn max_outer(mut self, n: usize) -> Self {
+        self.max_outer = n;
+        self
+    }
+
+    /// Outer convergence tolerance on relative-error improvement
+    /// (paper: `1e-6`).
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.outer_tol = tol;
+        self
+    }
+
+    /// Seed for the random factor initialization.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Configure dynamic factor-sparsity exploitation.
+    pub fn sparsity(mut self, cfg: SparsityConfig) -> Self {
+        self.sparsity = cfg;
+        self
+    }
+
+    /// Choose between per-mode CSFs (fastest) and a single shared CSF
+    /// (one tensor copy in memory).
+    pub fn csf_policy(mut self, policy: CsfPolicy) -> Self {
+        self.csf_policy = policy;
+        self
+    }
+
+    /// Configured CSF policy.
+    pub fn csf_policy_value(&self) -> CsfPolicy {
+        self.csf_policy
+    }
+
+    /// Install a per-outer-iteration progress callback (invoked after
+    /// each iteration's record is complete; useful for logging or
+    /// early-feedback UIs on long runs).
+    pub fn on_iteration<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&crate::IterRecord) + Send + Sync + 'static,
+    {
+        self.progress = Some(Arc::new(f));
+        self
+    }
+
+    /// The installed progress callback, if any.
+    pub fn progress_callback(&self) -> Option<&Arc<dyn Fn(&crate::IterRecord) + Send + Sync>> {
+        self.progress.as_ref()
+    }
+
+    /// The constraint in effect for `mode`.
+    pub fn constraint_for(&self, mode: usize) -> &Arc<dyn Prox> {
+        self.mode_constraints
+            .get(&mode)
+            .unwrap_or(&self.default_constraint)
+    }
+
+    /// Configured rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Configured ADMM settings.
+    pub fn admm_config(&self) -> &AdmmConfig {
+        &self.admm
+    }
+
+    /// Configured outer-iteration cap.
+    pub fn max_outer_iterations(&self) -> usize {
+        self.max_outer
+    }
+
+    /// Configured outer tolerance.
+    pub fn outer_tolerance(&self) -> f64 {
+        self.outer_tol
+    }
+
+    /// Configured seed.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// Configured sparsity policy.
+    pub fn sparsity_config(&self) -> &SparsityConfig {
+        &self.sparsity
+    }
+
+    /// Check configuration invariants against a tensor.
+    pub fn validate(&self, tensor: &CooTensor) -> Result<(), AoAdmmError> {
+        if self.rank == 0 {
+            return Err(AoAdmmError::Config("rank must be positive".into()));
+        }
+        if self.max_outer == 0 {
+            return Err(AoAdmmError::Config("max_outer must be positive".into()));
+        }
+        if tensor.nnz() == 0 {
+            return Err(AoAdmmError::Config("tensor has no nonzeros".into()));
+        }
+        for &m in self.mode_constraints.keys() {
+            if m >= tensor.nmodes() {
+                return Err(AoAdmmError::Config(format!(
+                    "constraint set on mode {m} of a {}-mode tensor",
+                    tensor.nmodes()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Run AO-ADMM (Algorithm 2) on `tensor`.
+    pub fn factorize(&self, tensor: &CooTensor) -> Result<FactorizeResult, AoAdmmError> {
+        driver::factorize(tensor, self)
+    }
+
+    /// Run AO-ADMM starting from an existing model (and optionally its
+    /// dual state): resume a checkpoint, or refine an ALS/PGD solution
+    /// under constraints.
+    pub fn factorize_warm(
+        &self,
+        tensor: &CooTensor,
+        model: crate::KruskalModel,
+        duals: Option<Vec<splinalg::DMat>>,
+    ) -> Result<FactorizeResult, AoAdmmError> {
+        driver::factorize_warm(tensor, self, model, duals)
+    }
+}
+
+impl std::fmt::Debug for Factorizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Factorizer")
+            .field("rank", &self.rank)
+            .field("default_constraint", &self.default_constraint.name())
+            .field("mode_constraints", &self.mode_constraints.len())
+            .field("admm", &self.admm)
+            .field("max_outer", &self.max_outer)
+            .field("outer_tol", &self.outer_tol)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use admm::constraints;
+
+    #[test]
+    fn defaults_match_paper() {
+        let f = Factorizer::new(50);
+        assert_eq!(f.rank(), 50);
+        assert_eq!(f.max_outer_iterations(), 200);
+        assert_eq!(f.outer_tolerance(), 1e-6);
+        assert_eq!(f.admm_config().block_size, 50);
+        assert_eq!(f.constraint_for(0).name(), "unconstrained");
+    }
+
+    #[test]
+    fn per_mode_constraints_override_default() {
+        let f = Factorizer::new(4)
+            .constrain_all(constraints::nonneg())
+            .constrain_mode(1, constraints::lasso(0.1));
+        assert_eq!(f.constraint_for(0).name(), "non-negative");
+        assert_eq!(f.constraint_for(1).name(), "l1");
+        assert_eq!(f.constraint_for(2).name(), "non-negative");
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let t = sptensor::gen::random_uniform(&[5, 5], 10, 1).unwrap();
+        assert!(Factorizer::new(0).validate(&t).is_err());
+        assert!(Factorizer::new(2).max_outer(0).validate(&t).is_err());
+        assert!(Factorizer::new(2)
+            .constrain_mode(7, constraints::nonneg())
+            .validate(&t)
+            .is_err());
+        assert!(Factorizer::new(2).validate(&t).is_ok());
+
+        let empty = sptensor::CooTensor::new(vec![3, 3]).unwrap();
+        assert!(Factorizer::new(2).validate(&empty).is_err());
+    }
+
+    #[test]
+    fn debug_impl_prints_constraint_name() {
+        let f = Factorizer::new(3).constrain_all(constraints::simplex());
+        let s = format!("{f:?}");
+        assert!(s.contains("row-simplex"));
+    }
+}

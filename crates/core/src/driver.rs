@@ -1,0 +1,553 @@
+//! The AO-ADMM outer loop (Algorithm 2 of the paper).
+//!
+//! Per outer iteration, each mode `m` is updated in turn:
+//!
+//! 1. `G = *_{n != m} (A_n^T A_n)` — Hadamard product of cached Gram
+//!    matrices (lines 4/8/12);
+//! 2. `K = X_(m) (.. (*) ..)` — MTTKRP over the CSF rooted at `m`
+//!    (lines 5/9/13), reading the leaf-level factor through a dense, CSR
+//!    or hybrid snapshot per the dynamic-sparsity policy;
+//! 3. `A_m, U_m <- ADMM(A_m, U_m, K, G)` — the inner solver (lines
+//!    6/10/14), blocked or fused;
+//! 4. the mode's Gram matrix is refreshed.
+//!
+//! After the last mode the relative error is computed for free from the
+//! already-available `K` (`<X, M> = <K, A_last>`) and the Gram cache
+//! (`||M||^2`), and the run stops when the error improves by less than
+//! the outer tolerance (paper: 1e-6) or the iteration cap (paper: 200)
+//! is reached.
+
+use crate::config::{CsfPolicy, Factorizer};
+use crate::error::AoAdmmError;
+use crate::kruskal::{relative_error_fast, KruskalModel};
+use crate::mttkrp_onecsf::mttkrp_one_csf;
+use crate::sparsity::{prepare_leaf, SparsityDecision, Structure};
+use crate::trace::{FactorizeTrace, IterRecord, ModeRecord};
+use admm::admm_update;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::{ops, DMat};
+use sptensor::{CooTensor, Csf};
+use std::time::Instant;
+
+/// Result of a factorization: the model plus the full run trace.
+#[derive(Debug, Clone)]
+pub struct FactorizeResult {
+    /// The factor matrices.
+    pub model: KruskalModel,
+    /// Timing and convergence history.
+    pub trace: FactorizeTrace,
+    /// Final ADMM dual variables, one per mode. Feeding these back via
+    /// [`factorize_warm`] resumes the optimization exactly where it
+    /// stopped (checkpoint/restart; see [`crate::checkpoint`]).
+    pub duals: Vec<DMat>,
+}
+
+/// The CSF representations the run operates on (see [`CsfPolicy`]).
+enum CsfSet {
+    PerMode(Vec<Csf>),
+    One(Csf),
+}
+
+impl CsfSet {
+    fn build(tensor: &CooTensor, policy: CsfPolicy) -> Result<Self, AoAdmmError> {
+        match policy {
+            CsfPolicy::One if tensor.nmodes() == 3 => {
+                // Root at the shortest mode for maximal prefix sharing.
+                let root = (0..3).min_by_key(|&m| tensor.dims()[m]).unwrap();
+                Ok(CsfSet::One(Csf::from_coo_rooted(tensor, root)?))
+            }
+            _ => Ok(CsfSet::PerMode(
+                (0..tensor.nmodes())
+                    .map(|m| Csf::from_coo_rooted(tensor, m))
+                    .collect::<Result<_, _>>()?,
+            )),
+        }
+    }
+
+    /// MTTKRP for `mode`, applying the dynamic-sparsity policy where the
+    /// representation allows it (per-mode CSFs, or the shared CSF when
+    /// `mode` is its root).
+    fn mttkrp(
+        &self,
+        mode: usize,
+        factors: &[DMat],
+        cfg: &Factorizer,
+        out: &mut DMat,
+    ) -> Result<SparsityDecision, AoAdmmError> {
+        let dense_decision = SparsityDecision {
+            density: 1.0,
+            structure: Structure::Dense,
+        };
+        match self {
+            CsfSet::PerMode(csfs) => {
+                let csf = &csfs[mode];
+                let leaf_mode = *csf.mode_order().last().unwrap();
+                let leaf_prox = cfg.constraint_for(leaf_mode);
+                let (leaf, decision) = prepare_leaf(
+                    &factors[leaf_mode],
+                    leaf_prox.induces_sparsity(),
+                    cfg.sparsity_config(),
+                );
+                leaf.mttkrp(csf, factors, out)?;
+                Ok(decision)
+            }
+            CsfSet::One(csf) => {
+                if csf.mode_order()[0] == mode {
+                    let leaf_mode = *csf.mode_order().last().unwrap();
+                    let leaf_prox = cfg.constraint_for(leaf_mode);
+                    let (leaf, decision) = prepare_leaf(
+                        &factors[leaf_mode],
+                        leaf_prox.induces_sparsity(),
+                        cfg.sparsity_config(),
+                    );
+                    leaf.mttkrp(csf, factors, out)?;
+                    Ok(decision)
+                } else {
+                    mttkrp_one_csf(csf, factors, mode, out)?;
+                    Ok(dense_decision)
+                }
+            }
+        }
+    }
+}
+
+/// Run AO-ADMM on `tensor` with the given configuration.
+///
+/// Prefer the builder entry point [`Factorizer::factorize`].
+pub fn factorize(tensor: &CooTensor, cfg: &Factorizer) -> Result<FactorizeResult, AoAdmmError> {
+    cfg.validate(tensor)?;
+    let rank = cfg.rank();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed_value());
+    let mut factors: Vec<DMat> = tensor
+        .dims()
+        .iter()
+        .map(|&d| DMat::random(d, rank, 0.0, 1.0, &mut rng))
+        .collect();
+
+    // Scale the random init so the initial model norm matches the data
+    // norm. On very sparse tensors an unscaled random model is orders of
+    // magnitude too large; its Gram matrices then make rho = trace(G)/F
+    // enormous and the first ADMM updates barely move, stalling the
+    // outer loop inside its early-stopping window (standard CP practice,
+    // cf. Tensor Toolbox / SPLATT initialization).
+    let grams: Vec<DMat> = factors.iter().map(|f| f.gram()).collect();
+    let mnorm_sq = ops::model_norm_sq(&grams)?;
+    let xnorm_sq = tensor.norm_sq();
+    if mnorm_sq > 0.0 && xnorm_sq > 0.0 {
+        let scale = (xnorm_sq / mnorm_sq).powf(1.0 / (2.0 * tensor.nmodes() as f64));
+        for f in &mut factors {
+            f.scale(scale);
+        }
+    }
+
+    let duals: Vec<DMat> = tensor
+        .dims()
+        .iter()
+        .map(|&d| DMat::zeros(d, rank))
+        .collect();
+    run(tensor, cfg, factors, duals)
+}
+
+/// Run AO-ADMM starting from existing factors (and optionally duals):
+/// warm restarts, checkpoint resumption, or refining an ALS solution
+/// under constraints.
+pub fn factorize_warm(
+    tensor: &CooTensor,
+    cfg: &Factorizer,
+    model: KruskalModel,
+    duals: Option<Vec<DMat>>,
+) -> Result<FactorizeResult, AoAdmmError> {
+    cfg.validate(tensor)?;
+    let rank = cfg.rank();
+    if model.rank() != rank {
+        return Err(AoAdmmError::Config(format!(
+            "warm-start model has rank {}, configuration says {rank}",
+            model.rank()
+        )));
+    }
+    if model.nmodes() != tensor.nmodes() {
+        return Err(AoAdmmError::Config(format!(
+            "warm-start model has {} modes, tensor has {}",
+            model.nmodes(),
+            tensor.nmodes()
+        )));
+    }
+    for (m, fac) in model.factors().iter().enumerate() {
+        if fac.nrows() != tensor.dims()[m] {
+            return Err(AoAdmmError::Config(format!(
+                "warm-start factor {m} has {} rows; mode is {}",
+                fac.nrows(),
+                tensor.dims()[m]
+            )));
+        }
+    }
+    let factors = model.into_factors();
+    let duals = match duals {
+        Some(d) => {
+            if d.len() != factors.len()
+                || d.iter()
+                    .zip(&factors)
+                    .any(|(a, b)| a.nrows() != b.nrows() || a.ncols() != b.ncols())
+            {
+                return Err(AoAdmmError::Config(
+                    "warm-start duals do not match the factor shapes".into(),
+                ));
+            }
+            d
+        }
+        None => factors
+            .iter()
+            .map(|f| DMat::zeros(f.nrows(), f.ncols()))
+            .collect(),
+    };
+    run(tensor, cfg, factors, duals)
+}
+
+/// Shared AO-ADMM loop over explicit initial state.
+fn run(
+    tensor: &CooTensor,
+    cfg: &Factorizer,
+    mut factors: Vec<DMat>,
+    mut duals: Vec<DMat>,
+) -> Result<FactorizeResult, AoAdmmError> {
+    let nmodes = tensor.nmodes();
+    let rank = cfg.rank();
+    let dims = tensor.dims().to_vec();
+    let t0 = Instant::now();
+
+    // --- Setup: CSF representation(s), Gram cache, MTTKRP buffers. ---
+    let csfs = CsfSet::build(tensor, cfg.csf_policy_value())?;
+    let mut grams: Vec<DMat> = factors.iter().map(|f| f.gram()).collect();
+    let mut kbufs: Vec<DMat> = dims.iter().map(|&d| DMat::zeros(d, rank)).collect();
+    let xnorm_sq = tensor.norm_sq();
+    let setup = t0.elapsed();
+
+    let mut iterations: Vec<IterRecord> = Vec::new();
+    let mut prev_err = f64::INFINITY;
+    let mut converged = false;
+
+    for outer in 1..=cfg.max_outer_iterations() {
+        let mut modes: Vec<ModeRecord> = Vec::with_capacity(nmodes);
+        let mut last_inner = 0.0;
+
+        for m in 0..nmodes {
+            // Line 4/8/12: combined Gram matrix of the other modes.
+            let gram = ops::gram_hadamard(&grams, m)?;
+
+            // Line 5/9/13: MTTKRP (timed together with any sparse
+            // snapshot build, which is part of its cost).
+            let tm = Instant::now();
+            let decision = csfs.mttkrp(m, &factors, cfg, &mut kbufs[m])?;
+            let mttkrp_time = tm.elapsed();
+
+            // Line 6/10/14: inner ADMM.
+            let ta = Instant::now();
+            let stats = admm_update(
+                &gram,
+                &kbufs[m],
+                &mut factors[m],
+                &mut duals[m],
+                &**cfg.constraint_for(m),
+                cfg.admm_config(),
+            )?;
+            let admm_time = ta.elapsed();
+
+            // Refresh this mode's Gram matrix for subsequent modes.
+            grams[m] = factors[m].gram();
+
+            if m == nmodes - 1 {
+                // Fit trick: <X, M> = <K_last, A_last>; K was computed
+                // from the *other* factors, which have not changed since.
+                last_inner = ops::inner_product(&kbufs[m], &factors[m])?;
+            }
+
+            modes.push(ModeRecord {
+                mode: m,
+                mttkrp: mttkrp_time,
+                admm: admm_time,
+                admm_iterations: stats.iterations,
+                admm_row_iterations: stats.row_iterations,
+                sparsity: decision,
+            });
+        }
+
+        let model_norm_sq = ops::model_norm_sq(&grams)?;
+        let rel_error = relative_error_fast(xnorm_sq, last_inner, model_norm_sq);
+        iterations.push(IterRecord {
+            iter: outer,
+            rel_error,
+            elapsed: t0.elapsed(),
+            modes,
+        });
+        if let Some(cb) = cfg.progress_callback() {
+            cb(iterations.last().expect("just pushed"));
+        }
+
+        // Paper's stopping rule: relative error improves less than tol.
+        if outer > 1 && prev_err - rel_error < cfg.outer_tolerance() {
+            converged = true;
+            break;
+        }
+        prev_err = rel_error;
+    }
+
+    let final_error = iterations.last().map(|i| i.rel_error).unwrap_or(f64::NAN);
+    let trace = FactorizeTrace {
+        iterations,
+        total: t0.elapsed(),
+        setup,
+        final_error,
+        converged,
+    };
+    Ok(FactorizeResult {
+        model: KruskalModel::new(factors),
+        trace,
+        duals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use admm::constraints;
+    use sptensor::gen::{planted, PlantedConfig};
+
+    fn small_tensor() -> CooTensor {
+        planted(&PlantedConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn error_decreases_monotonically_overall() {
+        let t = small_tensor();
+        let res = Factorizer::new(6)
+            .constrain_all(constraints::nonneg())
+            .max_outer(15)
+            .seed(1)
+            .factorize(&t)
+            .unwrap();
+        let errs: Vec<f64> = res.trace.iterations.iter().map(|i| i.rel_error).collect();
+        assert!(errs.len() >= 2);
+        // First-to-last improvement must be substantial and no iteration
+        // may blow the error up.
+        assert!(errs.last().unwrap() < &errs[0], "{errs:?}");
+        for w in errs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "error increased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn nonneg_factors_are_feasible() {
+        let t = small_tensor();
+        let res = Factorizer::new(5)
+            .constrain_all(constraints::nonneg())
+            .max_outer(10)
+            .seed(2)
+            .factorize(&t)
+            .unwrap();
+        for m in 0..3 {
+            let fac = res.model.factor(m);
+            assert!(
+                fac.as_slice().iter().all(|&x| x >= 0.0),
+                "mode {m} has negative entries"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_planted_low_rank_structure() {
+        // Rank-5 planted data, rank-8 model. Because unsampled cells of a
+        // sparse tensor count as zeros, the reachable relative error sits
+        // well below 1 but far above the noise floor — the same regime as
+        // the paper's datasets (final errors 0.54-0.89 in Figure 6).
+        let t = small_tensor();
+        let res = Factorizer::new(8)
+            .constrain_all(constraints::nonneg())
+            .max_outer(60)
+            .seed(3)
+            .factorize(&t)
+            .unwrap();
+        assert!(
+            res.trace.final_error < 0.75,
+            "final error {}",
+            res.trace.final_error
+        );
+    }
+
+    #[test]
+    fn fast_error_matches_direct_evaluation() {
+        let t = small_tensor();
+        let res = Factorizer::new(4)
+            .constrain_all(constraints::nonneg())
+            .max_outer(5)
+            .seed(4)
+            .factorize(&t)
+            .unwrap();
+        let direct = res.model.relative_error(&t);
+        assert!(
+            (direct - res.trace.final_error).abs() < 1e-8,
+            "direct {direct} vs fast {}",
+            res.trace.final_error
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = small_tensor();
+        let run = || {
+            Factorizer::new(4)
+                .constrain_all(constraints::nonneg())
+                .max_outer(5)
+                .seed(9)
+                .factorize(&t)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.trace.final_error, b.trace.final_error);
+        for m in 0..3 {
+            assert_eq!(a.model.factor(m).max_abs_diff(b.model.factor(m)), 0.0);
+        }
+    }
+
+    #[test]
+    fn trace_records_all_modes() {
+        let t = small_tensor();
+        let res = Factorizer::new(3).max_outer(3).factorize(&t).unwrap();
+        for it in &res.trace.iterations {
+            assert_eq!(it.modes.len(), 3);
+            for (m, rec) in it.modes.iter().enumerate() {
+                assert_eq!(rec.mode, m);
+                assert!(rec.admm_iterations >= 1);
+            }
+        }
+        assert!(res.trace.total >= res.trace.setup);
+    }
+
+    #[test]
+    fn l1_regularization_produces_sparser_factors() {
+        let mut cfg = PlantedConfig::small();
+        cfg.factor_density = 0.3;
+        cfg.nnz = 8_000;
+        let t = planted(&cfg).unwrap();
+
+        let dense_run = Factorizer::new(8)
+            .constrain_all(constraints::nonneg())
+            .max_outer(25)
+            .seed(5)
+            .factorize(&t)
+            .unwrap();
+        let sparse_run = Factorizer::new(8)
+            .constrain_all(constraints::nonneg_lasso(0.5))
+            .max_outer(25)
+            .seed(5)
+            .factorize(&t)
+            .unwrap();
+
+        let dd: f64 = dense_run.model.factor_densities(0.0).iter().sum();
+        let sd: f64 = sparse_run.model.factor_densities(0.0).iter().sum();
+        assert!(sd < dd, "l1 densities {sd} !< nonneg densities {dd}");
+    }
+
+    #[test]
+    fn mixed_per_mode_constraints() {
+        let t = small_tensor();
+        let res = Factorizer::new(4)
+            .constrain_all(constraints::nonneg())
+            .constrain_mode(1, constraints::simplex())
+            .max_outer(10)
+            .seed(6)
+            .factorize(&t)
+            .unwrap();
+        let fac = res.model.factor(1);
+        for i in 0..fac.nrows() {
+            let sum: f64 = fac.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {i} sums to {sum}");
+            assert!(fac.row(i).iter().all(|&x| x >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn respects_max_outer_cap() {
+        let t = small_tensor();
+        let res = Factorizer::new(4).max_outer(2).factorize(&t).unwrap();
+        assert_eq!(res.trace.outer_iterations(), 2);
+    }
+
+    #[test]
+    fn one_csf_policy_matches_per_mode() {
+        // The same arithmetic through different tensor representations:
+        // identical trajectories up to fp reduction order.
+        let t = small_tensor();
+        let run = |policy: CsfPolicy| {
+            Factorizer::new(5)
+                .constrain_all(constraints::nonneg())
+                .csf_policy(policy)
+                .max_outer(6)
+                .seed(8)
+                .factorize(&t)
+                .unwrap()
+        };
+        let per_mode = run(CsfPolicy::PerMode);
+        let one = run(CsfPolicy::One);
+        assert!(
+            (per_mode.trace.final_error - one.trace.final_error).abs() < 1e-8,
+            "{} vs {}",
+            per_mode.trace.final_error,
+            one.trace.final_error
+        );
+        for m in 0..3 {
+            assert!(per_mode.model.factor(m).max_abs_diff(one.model.factor(m)) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn one_csf_policy_falls_back_for_higher_order() {
+        let mut cfg = PlantedConfig::small();
+        cfg.dims = vec![10, 8, 9, 7];
+        cfg.zipf_exponents = vec![0.5; 4];
+        cfg.nnz = 1_000;
+        let t = planted(&cfg).unwrap();
+        let res = Factorizer::new(3)
+            .csf_policy(CsfPolicy::One)
+            .max_outer(3)
+            .factorize(&t)
+            .unwrap();
+        assert_eq!(res.model.nmodes(), 4);
+    }
+
+    #[test]
+    fn progress_callback_fires_each_iteration() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let t = small_tensor();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let res = Factorizer::new(3)
+            .max_outer(4)
+            .tolerance(0.0)
+            .on_iteration(move |rec| {
+                assert!(rec.rel_error.is_finite());
+                c2.fetch_add(1, Ordering::SeqCst);
+            })
+            .factorize(&t)
+            .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), res.trace.outer_iterations());
+    }
+
+    #[test]
+    fn four_mode_factorization_works() {
+        let mut cfg = PlantedConfig::small();
+        cfg.dims = vec![15, 12, 10, 8];
+        cfg.zipf_exponents = vec![0.5; 4];
+        cfg.nnz = 3_000;
+        let t = planted(&cfg).unwrap();
+        let res = Factorizer::new(4)
+            .constrain_all(constraints::nonneg())
+            .max_outer(10)
+            .factorize(&t)
+            .unwrap();
+        assert_eq!(res.model.nmodes(), 4);
+        assert!(res.trace.final_error < 1.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the factorization driver.
+
+use splinalg::LinalgError;
+use sptensor::TensorError;
+use std::fmt;
+
+/// Errors raised while setting up or running a factorization.
+#[derive(Debug)]
+pub enum AoAdmmError {
+    /// Invalid configuration (zero rank, mismatched constraint count, ...).
+    Config(String),
+    /// Propagated tensor-substrate error.
+    Tensor(TensorError),
+    /// Propagated linear-algebra error.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for AoAdmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AoAdmmError::Config(msg) => write!(f, "configuration error: {msg}"),
+            AoAdmmError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AoAdmmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AoAdmmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AoAdmmError::Tensor(e) => Some(e),
+            AoAdmmError::Linalg(e) => Some(e),
+            AoAdmmError::Config(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for AoAdmmError {
+    fn from(e: TensorError) -> Self {
+        AoAdmmError::Tensor(e)
+    }
+}
+
+impl From<LinalgError> for AoAdmmError {
+    fn from(e: LinalgError) -> Self {
+        AoAdmmError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(AoAdmmError::Config("bad".into()).to_string().contains("bad"));
+        let t: AoAdmmError = TensorError::Invalid("x".into()).into();
+        assert!(t.to_string().contains("tensor"));
+        let l: AoAdmmError = LinalgError::InvalidArgument("y".into()).into();
+        assert!(l.to_string().contains("linear"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let t: AoAdmmError = TensorError::Invalid("x".into()).into();
+        assert!(t.source().is_some());
+        assert!(AoAdmmError::Config("z".into()).source().is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! The Kruskal (CP) model and the paper's quality metric.
+//!
+//! A rank-`F` CPD approximates the tensor as a sum of `F` outer products
+//! of factor-matrix columns (Figure 1 of the paper). The quality metric
+//! is the *relative error* of Section V-A:
+//!
+//! ```text
+//! relerr = || X - [[A, B, C]] ||_F / || X ||_F
+//! ```
+//!
+//! Evaluating the norm of the residual directly costs `O(prod(dims))`;
+//! the driver instead uses the standard expansion
+//!
+//! ```text
+//! || X - M ||^2 = ||X||^2 - 2 <X, M> + ||M||^2
+//! ```
+//!
+//! where `<X, M>` falls out of the final mode's MTTKRP
+//! (`<K, A_last>`, SPLATT's fit trick) and `||M||^2` is a Hadamard
+//! product of Gram matrices — both `O(I*F)`-cheap.
+
+use splinalg::{ops, DMat};
+use sptensor::{CooTensor, Idx};
+
+/// A CP decomposition: one factor matrix per mode, all with `rank`
+/// columns. Weights are folded into the factors (no separate lambda).
+#[derive(Debug, Clone)]
+pub struct KruskalModel {
+    factors: Vec<DMat>,
+}
+
+impl KruskalModel {
+    /// Wrap factor matrices into a model.
+    ///
+    /// # Panics
+    /// Panics if the factors have differing column counts (programming
+    /// error, not data error).
+    pub fn new(factors: Vec<DMat>) -> Self {
+        assert!(!factors.is_empty(), "model needs at least one factor");
+        let f = factors[0].ncols();
+        assert!(
+            factors.iter().all(|m| m.ncols() == f),
+            "factor ranks disagree"
+        );
+        KruskalModel { factors }
+    }
+
+    /// Rank of the decomposition.
+    pub fn rank(&self) -> usize {
+        self.factors[0].ncols()
+    }
+
+    /// Number of modes.
+    pub fn nmodes(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Borrow the factor matrix of one mode.
+    pub fn factor(&self, mode: usize) -> &DMat {
+        &self.factors[mode]
+    }
+
+    /// Borrow all factors.
+    pub fn factors(&self) -> &[DMat] {
+        &self.factors
+    }
+
+    /// Consume the model, returning the factor matrices.
+    pub fn into_factors(self) -> Vec<DMat> {
+        self.factors
+    }
+
+    /// Model value at one coordinate:
+    /// `sum_f prod_m factors[m](coord[m], f)`.
+    pub fn value_at(&self, coord: &[Idx]) -> f64 {
+        debug_assert_eq!(coord.len(), self.nmodes());
+        let f = self.rank();
+        let mut acc = 0.0;
+        for r in 0..f {
+            let mut p = 1.0;
+            for (m, fac) in self.factors.iter().enumerate() {
+                p *= fac.row(coord[m] as usize)[r];
+            }
+            acc += p;
+        }
+        acc
+    }
+
+    /// `||M||_F^2` via the Gram-matrix identity (cheap).
+    pub fn norm_sq(&self) -> f64 {
+        let grams: Vec<DMat> = self.factors.iter().map(|m| m.gram()).collect();
+        ops::model_norm_sq(&grams).expect("factors share rank by construction")
+    }
+
+    /// `<X, M>` for a sparse tensor: only the stored nonzeros contribute
+    /// a nonzero product against the model *in the inner product's X
+    /// weighting* — `<X, M> = sum_{nonzeros} X(c) * M(c)`.
+    pub fn inner_with(&self, x: &CooTensor) -> f64 {
+        let nmodes = self.nmodes();
+        debug_assert_eq!(nmodes, x.nmodes());
+        let f = self.rank();
+        let mut total = 0.0;
+        let mut prod = vec![0.0; f];
+        for n in 0..x.nnz() {
+            for p in prod.iter_mut() {
+                *p = 1.0;
+            }
+            for m in 0..nmodes {
+                let row = self.factors[m].row(x.mode_inds(m)[n] as usize);
+                for (p, &v) in prod.iter_mut().zip(row) {
+                    *p *= v;
+                }
+            }
+            total += x.values()[n] * prod.iter().sum::<f64>();
+        }
+        total
+    }
+
+    /// Relative error against a sparse tensor, computed exactly:
+    /// `sqrt(||X||^2 - 2<X,M> + ||M||^2) / ||X||`.
+    ///
+    /// This is `O(nnz * F * nmodes)` — fine for evaluation, too slow to
+    /// call inside the driver loop (which uses the MTTKRP-based identity
+    /// instead; see [`relative_error_fast`]).
+    pub fn relative_error(&self, x: &CooTensor) -> f64 {
+        let xsq = x.norm_sq();
+        relative_error_fast(xsq, self.inner_with(x), self.norm_sq())
+    }
+
+    /// Density (fraction of entries with magnitude > `tol`) of each
+    /// factor — the quantity reported in Table II.
+    pub fn factor_densities(&self, tol: f64) -> Vec<f64> {
+        self.factors.iter().map(|m| m.density(tol)).collect()
+    }
+}
+
+/// Assemble the relative error from its three cheap pieces.
+///
+/// Clamps tiny negative residuals (floating point) to zero.
+pub fn relative_error_fast(xnorm_sq: f64, inner: f64, model_norm_sq: f64) -> f64 {
+    if xnorm_sq <= 0.0 {
+        return 0.0;
+    }
+    let resid_sq = (xnorm_sq - 2.0 * inner + model_norm_sq).max(0.0);
+    (resid_sq / xnorm_sq).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model(i: usize, j: usize, k: usize, f: usize, seed: u64) -> KruskalModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        KruskalModel::new(vec![
+            DMat::random(i, f, 0.0, 1.0, &mut rng),
+            DMat::random(j, f, 0.0, 1.0, &mut rng),
+            DMat::random(k, f, 0.0, 1.0, &mut rng),
+        ])
+    }
+
+    #[test]
+    fn accessors() {
+        let m = model(3, 4, 5, 2, 1);
+        assert_eq!(m.rank(), 2);
+        assert_eq!(m.nmodes(), 3);
+        assert_eq!(m.factor(1).nrows(), 4);
+        assert_eq!(m.factors().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks disagree")]
+    fn mismatched_ranks_panic() {
+        let _ = KruskalModel::new(vec![DMat::zeros(2, 2), DMat::zeros(2, 3)]);
+    }
+
+    #[test]
+    fn value_at_matches_manual_sum() {
+        let m = model(2, 2, 2, 3, 2);
+        let v = m.value_at(&[1, 0, 1]);
+        let mut expect = 0.0;
+        for r in 0..3 {
+            expect += m.factor(0).get(1, r) * m.factor(1).get(0, r) * m.factor(2).get(1, r);
+        }
+        assert!((v - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn norm_sq_matches_dense_reconstruction() {
+        let m = model(3, 4, 2, 2, 3);
+        let mut direct = 0.0;
+        for i in 0..3 {
+            for j in 0..4 {
+                for k in 0..2 {
+                    let v = m.value_at(&[i as Idx, j as Idx, k as Idx]);
+                    direct += v * v;
+                }
+            }
+        }
+        assert!((m.norm_sq() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_tensor_perfectly_fit_by_zero_model() {
+        let m = KruskalModel::new(vec![DMat::zeros(3, 2), DMat::zeros(4, 2)]);
+        let mut x = CooTensor::new(vec![3, 4]).unwrap();
+        x.push(&[0, 0], 0.0).unwrap();
+        // ||X|| = 0 -> relative error defined as 0.
+        assert_eq!(m.relative_error(&x), 0.0);
+    }
+
+    #[test]
+    fn exact_model_gives_zero_error() {
+        // Build the tensor exactly from the model at every dense cell.
+        let m = model(3, 3, 3, 2, 4);
+        let mut x = CooTensor::new(vec![3, 3, 3]).unwrap();
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                for k in 0..3u32 {
+                    x.push(&[i, j, k], m.value_at(&[i, j, k])).unwrap();
+                }
+            }
+        }
+        assert!(m.relative_error(&x) < 1e-7);
+    }
+
+    #[test]
+    fn zero_model_gives_error_one() {
+        let m = KruskalModel::new(vec![DMat::zeros(2, 2), DMat::zeros(2, 2)]);
+        let mut x = CooTensor::new(vec![2, 2]).unwrap();
+        x.push(&[0, 0], 2.0).unwrap();
+        assert!((m.relative_error(&x) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn fast_error_clamps_negative_residual() {
+        // Floating-point cancellation can make the expansion slightly
+        // negative; it must clamp, not NaN.
+        let e = relative_error_fast(1.0, 0.5 + 5e-17, 0.0);
+        assert!(e >= 0.0 && !e.is_nan());
+        let e = relative_error_fast(1.0, 1.0, 1.0 - 1e-17);
+        assert!(e >= 0.0 && !e.is_nan());
+        // Plain case: ||X||^2=4, <X,M>=1, ||M||^2=1 -> sqrt(3)/2.
+        let e = relative_error_fast(4.0, 1.0, 1.0);
+        assert!((e - (3.0f64).sqrt() / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn densities_reported_per_factor() {
+        let mut a = DMat::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        let b = DMat::from_vec(2, 2, vec![1.0; 4]).unwrap();
+        let m = KruskalModel::new(vec![a, b]);
+        assert_eq!(m.factor_densities(0.0), vec![0.25, 1.0]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Saving and loading Kruskal models.
+//!
+//! A simple self-describing text format so factors can be inspected with
+//! standard tools and exchanged with other CP toolkits:
+//!
+//! ```text
+//! # aoadmm kruskal model
+//! nmodes 3
+//! rank 8
+//! mode 0 rows 310
+//! <row 0: 8 whitespace-separated values>
+//! ...
+//! mode 1 rows 6
+//! ...
+//! ```
+
+use crate::error::AoAdmmError;
+use crate::kruskal::KruskalModel;
+use splinalg::DMat;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+fn io_err(e: std::io::Error) -> AoAdmmError {
+    AoAdmmError::Config(format!("model I/O error: {e}"))
+}
+
+fn parse_err(line: usize, msg: impl std::fmt::Display) -> AoAdmmError {
+    AoAdmmError::Config(format!("model parse error at line {line}: {msg}"))
+}
+
+/// Write a model to any writer in the text format above.
+pub fn write_model<W: Write>(model: &KruskalModel, writer: W) -> Result<(), AoAdmmError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# aoadmm kruskal model").map_err(io_err)?;
+    writeln!(w, "nmodes {}", model.nmodes()).map_err(io_err)?;
+    writeln!(w, "rank {}", model.rank()).map_err(io_err)?;
+    for m in 0..model.nmodes() {
+        let fac = model.factor(m);
+        writeln!(w, "mode {m} rows {}", fac.nrows()).map_err(io_err)?;
+        for i in 0..fac.nrows() {
+            let mut first = true;
+            for &v in fac.row(i) {
+                if !first {
+                    write!(w, " ").map_err(io_err)?;
+                }
+                // 17 significant digits: lossless f64 round trip.
+                write!(w, "{v:.17e}").map_err(io_err)?;
+                first = false;
+            }
+            writeln!(w).map_err(io_err)?;
+        }
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Write a model to a file.
+pub fn save_model<P: AsRef<Path>>(model: &KruskalModel, path: P) -> Result<(), AoAdmmError> {
+    let f = std::fs::File::create(path).map_err(io_err)?;
+    write_model(model, f)
+}
+
+/// Read a model from any reader.
+pub fn read_model<R: Read>(reader: R) -> Result<KruskalModel, AoAdmmError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+    let mut next_line = |expect: &str| -> Result<(usize, String), AoAdmmError> {
+        loop {
+            match lines.next() {
+                Some((n, Ok(l))) => {
+                    let t = l.trim().to_string();
+                    if t.is_empty() || t.starts_with('#') {
+                        continue;
+                    }
+                    return Ok((n + 1, t));
+                }
+                Some((n, Err(e))) => return Err(parse_err(n + 1, e)),
+                None => {
+                    return Err(AoAdmmError::Config(format!(
+                        "model file truncated; expected {expect}"
+                    )))
+                }
+            }
+        }
+    };
+
+    let (n, l) = next_line("nmodes header")?;
+    let nmodes: usize = l
+        .strip_prefix("nmodes ")
+        .ok_or_else(|| parse_err(n, "expected `nmodes <N>`"))?
+        .parse()
+        .map_err(|e| parse_err(n, e))?;
+    let (n, l) = next_line("rank header")?;
+    let rank: usize = l
+        .strip_prefix("rank ")
+        .ok_or_else(|| parse_err(n, "expected `rank <F>`"))?
+        .parse()
+        .map_err(|e| parse_err(n, e))?;
+    if nmodes < 1 || rank < 1 {
+        return Err(AoAdmmError::Config("model must have nmodes,rank >= 1".into()));
+    }
+
+    let mut factors = Vec::with_capacity(nmodes);
+    for m in 0..nmodes {
+        let (n, l) = next_line("mode header")?;
+        let rest = l
+            .strip_prefix(&format!("mode {m} rows "))
+            .ok_or_else(|| parse_err(n, format!("expected `mode {m} rows <R>`, got {l:?}")))?;
+        let rows: usize = rest.parse().map_err(|e| parse_err(n, e))?;
+        let mut fac = DMat::zeros(rows, rank);
+        for i in 0..rows {
+            let (n, l) = next_line("factor row")?;
+            let mut count = 0;
+            for (c, tok) in l.split_whitespace().enumerate() {
+                if c >= rank {
+                    return Err(parse_err(n, "too many values in row"));
+                }
+                fac.set(i, c, tok.parse().map_err(|e| parse_err(n, e))?);
+                count += 1;
+            }
+            if count != rank {
+                return Err(parse_err(n, format!("expected {rank} values, got {count}")));
+            }
+        }
+        factors.push(fac);
+    }
+    Ok(KruskalModel::new(factors))
+}
+
+/// Read a model from a file.
+pub fn load_model<P: AsRef<Path>>(path: P) -> Result<KruskalModel, AoAdmmError> {
+    let f = std::fs::File::open(path).map_err(io_err)?;
+    read_model(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model() -> KruskalModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        KruskalModel::new(vec![
+            DMat::random(7, 3, -1.0, 1.0, &mut rng),
+            DMat::random(5, 3, -1.0, 1.0, &mut rng),
+            DMat::random(6, 3, -1.0, 1.0, &mut rng),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let m = model();
+        let mut buf = Vec::new();
+        write_model(&m, &mut buf).unwrap();
+        let back = read_model(buf.as_slice()).unwrap();
+        assert_eq!(back.nmodes(), 3);
+        assert_eq!(back.rank(), 3);
+        for mode in 0..3 {
+            assert_eq!(back.factor(mode).max_abs_diff(m.factor(mode)), 0.0);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = model();
+        let path = std::env::temp_dir().join("aoadmm_model_io_test.txt");
+        save_model(&m, &path).unwrap();
+        let back = load_model(&path).unwrap();
+        assert_eq!(back.factor(0).max_abs_diff(m.factor(0)), 0.0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let m = model();
+        let mut buf = Vec::new();
+        write_model(&m, &mut buf).unwrap();
+        let cut = buf.len() / 2;
+        assert!(read_model(&buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_headers() {
+        assert!(read_model("nmodes x\n".as_bytes()).is_err());
+        assert!(read_model("rank 2\n".as_bytes()).is_err());
+        assert!(read_model("nmodes 1\nrank 0\n".as_bytes()).is_err());
+        assert!(read_model("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_row_arity() {
+        let src = "nmodes 1\nrank 2\nmode 0 rows 1\n1.0 2.0 3.0\n";
+        assert!(read_model(src.as_bytes()).is_err());
+        let src = "nmodes 1\nrank 2\nmode 0 rows 1\n1.0\n";
+        assert!(read_model(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "# hi\n\nnmodes 1\n# mid\nrank 1\nmode 0 rows 2\n1.5\n# x\n-2.5\n";
+        let m = read_model(src.as_bytes()).unwrap();
+        assert_eq!(m.factor(0).get(0, 0), 1.5);
+        assert_eq!(m.factor(0).get(1, 0), -2.5);
+    }
+}

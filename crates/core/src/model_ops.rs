@@ -1,0 +1,352 @@
+//! Operations on Kruskal models: column normalization, component
+//! arrangement, and the factor match score (FMS).
+//!
+//! These are the standard post-processing utilities of CP toolkits
+//! (Tensor Toolbox's `normalize`/`arrange`/`score`): factorizations are
+//! only defined up to per-component scaling and permutation, so
+//! comparing two models — e.g. a recovered factorization against planted
+//! ground truth — requires normalizing columns, matching components, and
+//! scoring their congruence.
+
+use crate::kruskal::KruskalModel;
+use splinalg::DMat;
+
+/// A Kruskal model with explicit per-component weights:
+/// `X ~ sum_f lambda[f] * a_f (o) b_f (o) c_f` with unit-norm columns.
+#[derive(Debug, Clone)]
+pub struct NormalizedModel {
+    /// Unit-column factors.
+    pub model: KruskalModel,
+    /// Component weights, the product of the absorbed column norms.
+    pub lambda: Vec<f64>,
+}
+
+impl NormalizedModel {
+    /// Fold the weights back into the first factor, recovering a plain
+    /// Kruskal model that reconstructs identically.
+    pub fn into_denormalized(self) -> KruskalModel {
+        let mut factors = self.model.into_factors();
+        let f = self.lambda.len();
+        for i in 0..factors[0].nrows() {
+            let row = factors[0].row_mut(i);
+            for (x, &l) in row.iter_mut().zip(&self.lambda[..f]) {
+                *x *= l;
+            }
+        }
+        KruskalModel::new(factors)
+    }
+}
+
+/// Normalize every factor column to unit Euclidean norm, absorbing the
+/// norms into per-component weights `lambda` (all-zero columns get
+/// weight 0 and are left as zero columns).
+///
+/// ```
+/// use aoadmm::{model_ops, KruskalModel};
+/// use splinalg::DMat;
+/// let m = KruskalModel::new(vec![
+///     DMat::from_vec(2, 1, vec![3.0, 4.0]).unwrap(),
+///     DMat::from_vec(1, 1, vec![2.0]).unwrap(),
+/// ]);
+/// let n = model_ops::normalize_columns(&m);
+/// assert!((n.lambda[0] - 10.0).abs() < 1e-12); // 5 * 2
+/// ```
+pub fn normalize_columns(model: &KruskalModel) -> NormalizedModel {
+    let rank = model.rank();
+    let mut lambda = vec![1.0; rank];
+    let mut factors: Vec<DMat> = model.factors().to_vec();
+    for fac in &mut factors {
+        // Column norms of a row-major tall matrix: accumulate per column.
+        let mut norms = vec![0.0f64; rank];
+        for i in 0..fac.nrows() {
+            for (c, &v) in fac.row(i).iter().enumerate() {
+                norms[c] += v * v;
+            }
+        }
+        for n in &mut norms {
+            *n = n.sqrt();
+        }
+        for i in 0..fac.nrows() {
+            let row = fac.row_mut(i);
+            for c in 0..rank {
+                if norms[c] > 0.0 {
+                    row[c] /= norms[c];
+                }
+            }
+        }
+        for (l, &n) in lambda.iter_mut().zip(&norms) {
+            *l *= n;
+        }
+    }
+    NormalizedModel {
+        model: KruskalModel::new(factors),
+        lambda,
+    }
+}
+
+/// Permute components so the weights are non-increasing (the canonical
+/// presentation order).
+pub fn arrange(normalized: &NormalizedModel) -> NormalizedModel {
+    let rank = normalized.lambda.len();
+    let mut perm: Vec<usize> = (0..rank).collect();
+    perm.sort_by(|&a, &b| {
+        normalized.lambda[b]
+            .partial_cmp(&normalized.lambda[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let lambda: Vec<f64> = perm.iter().map(|&p| normalized.lambda[p]).collect();
+    let factors: Vec<DMat> = normalized
+        .model
+        .factors()
+        .iter()
+        .map(|fac| {
+            let mut out = DMat::zeros(fac.nrows(), rank);
+            for i in 0..fac.nrows() {
+                let src = fac.row(i);
+                let dst = out.row_mut(i);
+                for (c, &p) in perm.iter().enumerate() {
+                    dst[c] = src[p];
+                }
+            }
+            out
+        })
+        .collect();
+    NormalizedModel {
+        model: KruskalModel::new(factors),
+        lambda,
+    }
+}
+
+/// Cosine congruence of column `ca` of `a` and column `cb` of `b`.
+fn column_congruence(a: &DMat, ca: usize, b: &DMat, cb: usize) -> f64 {
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for i in 0..a.nrows() {
+        let x = a.row(i)[ca];
+        let y = b.row(i)[cb];
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Factor match score between two models over the same tensor shape.
+///
+/// For each pair of components `(p, q)` the congruence is the product of
+/// per-mode column cosines; components are matched greedily
+/// (highest congruence first, each used once) and the FMS is the mean
+/// congruence of the matched pairs over `min(rank_a, rank_b)` pairs.
+/// 1.0 means identical up to scaling/permutation; values near 0 mean no
+/// recovery.
+///
+/// Returns an error message if the shapes are incompatible.
+pub fn factor_match_score(a: &KruskalModel, b: &KruskalModel) -> Result<f64, String> {
+    if a.nmodes() != b.nmodes() {
+        return Err(format!(
+            "mode counts differ: {} vs {}",
+            a.nmodes(),
+            b.nmodes()
+        ));
+    }
+    for m in 0..a.nmodes() {
+        if a.factor(m).nrows() != b.factor(m).nrows() {
+            return Err(format!(
+                "mode {m} lengths differ: {} vs {}",
+                a.factor(m).nrows(),
+                b.factor(m).nrows()
+            ));
+        }
+    }
+    let ra = a.rank();
+    let rb = b.rank();
+    let pairs = ra.min(rb);
+    if pairs == 0 {
+        return Err("zero-rank model".into());
+    }
+
+    // Congruence matrix (ra x rb): product over modes of column cosines.
+    let mut cong = vec![1.0f64; ra * rb];
+    for m in 0..a.nmodes() {
+        for p in 0..ra {
+            for q in 0..rb {
+                cong[p * rb + q] *= column_congruence(a.factor(m), p, b.factor(m), q).abs();
+            }
+        }
+    }
+
+    // Greedy matching.
+    let mut used_a = vec![false; ra];
+    let mut used_b = vec![false; rb];
+    let mut total = 0.0;
+    for _ in 0..pairs {
+        let mut best = (0usize, 0usize, -1.0f64);
+        for p in 0..ra {
+            if used_a[p] {
+                continue;
+            }
+            for q in 0..rb {
+                if used_b[q] {
+                    continue;
+                }
+                let c = cong[p * rb + q];
+                if c > best.2 {
+                    best = (p, q, c);
+                }
+            }
+        }
+        used_a[best.0] = true;
+        used_b[best.1] = true;
+        total += best.2;
+    }
+    Ok(total / pairs as f64)
+}
+
+/// Relative difference of the reconstruction of two models at a set of
+/// probe coordinates (cheap sanity check that two models agree).
+pub fn max_value_diff(a: &KruskalModel, b: &KruskalModel, probes: &[Vec<sptensor::Idx>]) -> f64 {
+    probes
+        .iter()
+        .map(|c| (a.value_at(c) - b.value_at(c)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Column norms of one factor (diagnostics).
+pub fn column_norms(fac: &DMat) -> Vec<f64> {
+    let rank = fac.ncols();
+    let mut norms = vec![0.0f64; rank];
+    for i in 0..fac.nrows() {
+        for (c, &v) in fac.row(i).iter().enumerate() {
+            norms[c] += v * v;
+        }
+    }
+    for n in &mut norms {
+        *n = n.sqrt();
+    }
+    norms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sptensor::Idx;
+
+    fn random_model(dims: &[usize], f: usize, seed: u64) -> KruskalModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        KruskalModel::new(
+            dims.iter()
+                .map(|&d| DMat::random(d, f, 0.1, 1.0, &mut rng))
+                .collect(),
+        )
+    }
+
+    fn probes(dims: &[usize]) -> Vec<Vec<Idx>> {
+        let mut out = Vec::new();
+        for k in 0..10 {
+            out.push(
+                dims.iter()
+                    .map(|&d| ((k * 7) % d) as Idx)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn normalize_makes_unit_columns() {
+        let m = random_model(&[8, 6, 7], 3, 1);
+        let n = normalize_columns(&m);
+        for fac in n.model.factors() {
+            let norms = column_norms(fac);
+            for c in norms {
+                assert!((c - 1.0).abs() < 1e-12, "column norm {c}");
+            }
+        }
+        assert!(n.lambda.iter().all(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn normalize_roundtrips_reconstruction() {
+        let m = random_model(&[5, 4, 6], 3, 2);
+        let back = normalize_columns(&m).into_denormalized();
+        let p = probes(&[5, 4, 6]);
+        assert!(max_value_diff(&m, &back, &p) < 1e-10);
+    }
+
+    #[test]
+    fn arrange_sorts_weights() {
+        let m = random_model(&[5, 5], 4, 3);
+        let arranged = arrange(&normalize_columns(&m));
+        for w in arranged.lambda.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // Reconstruction unchanged by permutation.
+        let p = probes(&[5, 5]);
+        assert!(max_value_diff(&m, &arranged.into_denormalized(), &p) < 1e-10);
+    }
+
+    #[test]
+    fn fms_of_identical_models_is_one() {
+        let m = random_model(&[6, 7, 8], 4, 4);
+        let s = factor_match_score(&m, &m).unwrap();
+        assert!((s - 1.0).abs() < 1e-10, "fms {s}");
+    }
+
+    #[test]
+    fn fms_invariant_to_permutation_and_scaling() {
+        let m = random_model(&[6, 7], 3, 5);
+        // Permute columns (0,1,2) -> (2,0,1) and scale a factor.
+        let mut permuted: Vec<DMat> = m.factors().to_vec();
+        for fac in &mut permuted {
+            let copy = fac.clone();
+            for i in 0..fac.nrows() {
+                let dst = fac.row_mut(i);
+                let src = copy.row(i);
+                dst[0] = src[2];
+                dst[1] = src[0];
+                dst[2] = src[1];
+            }
+        }
+        permuted[0].scale(5.0);
+        let s = factor_match_score(&m, &KruskalModel::new(permuted)).unwrap();
+        assert!((s - 1.0).abs() < 1e-10, "fms {s}");
+    }
+
+    #[test]
+    fn fms_of_unrelated_models_is_low() {
+        let a = random_model(&[40, 40, 40], 3, 6);
+        let b = random_model(&[40, 40, 40], 3, 7);
+        let s = factor_match_score(&a, &b).unwrap();
+        // Random positive columns are somewhat aligned, but far from 1.
+        assert!(s < 0.995, "fms {s}");
+    }
+
+    #[test]
+    fn fms_shape_validation() {
+        let a = random_model(&[4, 4], 2, 8);
+        let b = random_model(&[4, 5], 2, 9);
+        assert!(factor_match_score(&a, &b).is_err());
+        let c = random_model(&[4, 4, 4], 2, 10);
+        assert!(factor_match_score(&a, &c).is_err());
+    }
+
+    #[test]
+    fn zero_column_normalizes_to_zero_weight() {
+        let mut f0 = DMat::zeros(3, 2);
+        for i in 0..3 {
+            f0.set(i, 0, 1.0);
+        }
+        let f1 = DMat::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]).unwrap();
+        let m = KruskalModel::new(vec![f0, f1]);
+        let n = normalize_columns(&m);
+        assert_eq!(n.lambda[1], 0.0);
+        assert!(n.lambda[0] > 0.0);
+    }
+}

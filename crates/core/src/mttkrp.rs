@@ -1,0 +1,553 @@
+//! MTTKRP: matricized tensor times Khatri–Rao product.
+//!
+//! `K = X_(m) (C (*) B)` is the dominant kernel of AO-ADMM (Algorithm 2,
+//! lines 5/9/13) and of unconstrained CPD alike. This module implements
+//! the paper's Algorithm 3 over a CSF tensor rooted at the output mode:
+//! three nested loops for third-order tensors, generalized to arbitrary
+//! order by recursion over CSF levels.
+//!
+//! Parallelism follows SPLATT: the traversal is distributed over root
+//! subtrees. Because the CSF is rooted at the *output* mode, every root
+//! subtree writes a distinct output row, so threads never conflict and no
+//! locks or atomics are needed (a [`RowWriter`] makes that contract
+//! explicit).
+//!
+//! The kernel is generic over how the *leaf-level* factor is read
+//! ([`RowScatter`]); `mttkrp_dense` reads it as a dense matrix and the
+//! sparse variants in [`crate::mttkrp_sparse`] read CSR / hybrid
+//! snapshots (Section IV-C), since the leaf factor is the one accessed
+//! once per nonzero and dominates factor traffic.
+
+use crate::error::AoAdmmError;
+use rayon::prelude::*;
+use splinalg::{vecops, CsrMatrix, DMat, HybridMat};
+use sptensor::Csf;
+use std::marker::PhantomData;
+
+/// Read access pattern of the leaf-level factor during MTTKRP: scatter
+/// `alpha * row(i)` into an accumulator indexed by original columns.
+pub trait RowScatter: Sync {
+    /// `out += alpha * self[i, :]` (scattered for sparse layouts).
+    fn scatter_row(&self, i: usize, alpha: f64, out: &mut [f64]);
+    /// Number of rows (bounds validation).
+    fn nrows(&self) -> usize;
+    /// Number of columns (bounds validation).
+    fn ncols(&self) -> usize;
+}
+
+impl RowScatter for DMat {
+    #[inline]
+    fn scatter_row(&self, i: usize, alpha: f64, out: &mut [f64]) {
+        vecops::axpy(alpha, self.row(i), out);
+    }
+    fn nrows(&self) -> usize {
+        DMat::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        DMat::ncols(self)
+    }
+}
+
+impl RowScatter for CsrMatrix {
+    #[inline]
+    fn scatter_row(&self, i: usize, alpha: f64, out: &mut [f64]) {
+        self.scatter_axpy(i, alpha, out);
+    }
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+}
+
+impl RowScatter for HybridMat {
+    #[inline]
+    fn scatter_row(&self, i: usize, alpha: f64, out: &mut [f64]) {
+        self.scatter_axpy(i, alpha, out);
+    }
+    fn nrows(&self) -> usize {
+        HybridMat::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        HybridMat::ncols(self)
+    }
+}
+
+/// Raw-pointer view of a matrix whose rows are written concurrently at
+/// *provably disjoint* indices (each CSF root subtree owns one output
+/// row).
+struct RowWriter<'a> {
+    data: *mut f64,
+    nrows: usize,
+    ncols: usize,
+    _marker: PhantomData<&'a mut f64>,
+}
+
+// SAFETY: RowWriter is only handed to the parallel traversal below, which
+// writes row `fids(0)[r]` from the task that owns root `r`; root indices
+// are strictly increasing and unique in a CSF, so no two tasks alias.
+unsafe impl Send for RowWriter<'_> {}
+unsafe impl Sync for RowWriter<'_> {}
+
+impl<'a> RowWriter<'a> {
+    fn new(m: &'a mut DMat) -> Self {
+        RowWriter {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            data: m.as_mut_slice().as_mut_ptr(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// `i < nrows` and no other thread may hold a reference to row `i`.
+    // Returning &mut from &self is the point of this wrapper: disjoint
+    // rows are handed to different tasks under the caller's aliasing
+    // contract.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    unsafe fn row_mut(&self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.nrows);
+        std::slice::from_raw_parts_mut(self.data.add(i * self.ncols), self.ncols)
+    }
+}
+
+fn validate(
+    csf: &Csf,
+    factors: &[DMat],
+    leaf: &dyn RowScatter,
+    out: &DMat,
+) -> Result<(), AoAdmmError> {
+    let nmodes = csf.nmodes();
+    if factors.len() != nmodes {
+        return Err(AoAdmmError::Config(format!(
+            "{} factors supplied for a {nmodes}-mode tensor",
+            factors.len()
+        )));
+    }
+    let f = out.ncols();
+    let root_mode = csf.mode_order()[0];
+    if out.nrows() != csf.dims()[root_mode] {
+        return Err(AoAdmmError::Config(format!(
+            "output has {} rows; root mode {} has length {}",
+            out.nrows(),
+            root_mode,
+            csf.dims()[root_mode]
+        )));
+    }
+    for (m, fac) in factors.iter().enumerate() {
+        if m == root_mode {
+            continue; // the root-mode factor is not read
+        }
+        if fac.ncols() != f || fac.nrows() != csf.dims()[m] {
+            return Err(AoAdmmError::Config(format!(
+                "factor {m} is {}x{}; expected {}x{f}",
+                fac.nrows(),
+                fac.ncols(),
+                csf.dims()[m]
+            )));
+        }
+    }
+    let leaf_mode = *csf.mode_order().last().unwrap();
+    if leaf.nrows() != csf.dims()[leaf_mode] || leaf.ncols() != f {
+        return Err(AoAdmmError::Config(format!(
+            "leaf factor is {}x{}; expected {}x{f}",
+            leaf.nrows(),
+            leaf.ncols(),
+            csf.dims()[leaf_mode]
+        )));
+    }
+    Ok(())
+}
+
+/// MTTKRP for the CSF's root mode with all factors dense.
+///
+/// `factors` are indexed by tensor mode; the factor of the root (output)
+/// mode is not read. `out` is fully overwritten.
+pub fn mttkrp_dense(csf: &Csf, factors: &[DMat], out: &mut DMat) -> Result<(), AoAdmmError> {
+    let leaf_mode = *csf.mode_order().last().unwrap();
+    if leaf_mode >= factors.len() {
+        return Err(AoAdmmError::Config(format!(
+            "{} factors supplied for a {}-mode tensor",
+            factors.len(),
+            csf.nmodes()
+        )));
+    }
+    mttkrp_with_leaf(csf, factors, &factors[leaf_mode], out)
+}
+
+/// MTTKRP for the CSF's root mode with an explicit leaf-level factor
+/// representation (dense, CSR or hybrid).
+///
+/// This is Algorithm 3 generalized to arbitrary order. The computation
+/// for each root subtree `i` is
+///
+/// ```text
+/// K(i,:) = sum_{level-1 nodes j} F1(j,:) .* ( ... .* (sum_leaf val * Leaf(k,:)) )
+/// ```
+pub fn mttkrp_with_leaf<L: RowScatter>(
+    csf: &Csf,
+    factors: &[DMat],
+    leaf: &L,
+    out: &mut DMat,
+) -> Result<(), AoAdmmError> {
+    validate(csf, factors, leaf, out)?;
+    let f = out.ncols();
+    let nmodes = csf.nmodes();
+    out.fill(0.0);
+    let writer = RowWriter::new(out);
+
+    // Factor of each non-root, non-leaf level, in level order.
+    let level_factors: Vec<&DMat> = csf.mode_order()[1..nmodes - 1]
+        .iter()
+        .map(|&m| &factors[m])
+        .collect();
+
+    let nroots = csf.root_count();
+
+    // Load-balance escape hatch: a tensor like Patents (46 root slices)
+    // starves root-level parallelism. When there are few, fat roots,
+    // switch to fiber-level parallelism with striped row locks (the
+    // analogue of SPLATT's tiled scheduling).
+    let threads = rayon::current_num_threads();
+    if nmodes == 3 && nroots < threads * 4 && csf.fids(1).len() >= nroots.saturating_mul(8) {
+        three_mode_fiber_parallel(csf, level_factors[0], leaf, &writer, f);
+        return Ok(());
+    }
+
+    (0..nroots)
+        .into_par_iter()
+        .with_min_len(16)
+        .for_each_init(
+            // One accumulator row per intermediate level (nmodes - 2 of
+            // them; zero for matrices).
+            || vec![vec![0.0f64; f]; nmodes.saturating_sub(2)],
+            |bufs, r| {
+                let out_row =
+                    // SAFETY: root ids are unique, so row fids(0)[r] is
+                    // written only by the task owning root r.
+                    unsafe { writer.row_mut(csf.fids(0)[r] as usize) };
+                let children = csf.fptr(0)[r]..csf.fptr(0)[r + 1];
+                if nmodes == 3 {
+                    // Hot path: the paper's three-loop Algorithm 3.
+                    three_mode_root(csf, level_factors[0], leaf, children, &mut bufs[0], out_row);
+                } else {
+                    subtree_sum(csf, &level_factors, leaf, 1, children, bufs, out_row);
+                }
+            },
+        );
+    Ok(())
+}
+
+/// Fiber-parallel third-order traversal for few-root tensors: fibers
+/// are chunked across threads and each fiber's contribution is added to
+/// its root's output row under a striped lock.
+fn three_mode_fiber_parallel<L: RowScatter>(
+    csf: &Csf,
+    bfac: &DMat,
+    leaf: &L,
+    writer: &RowWriter<'_>,
+    f: usize,
+) {
+    use parking_lot::Mutex;
+    const STRIPES: usize = 512;
+    let locks: Vec<Mutex<()>> = (0..STRIPES).map(|_| Mutex::new(())).collect();
+
+    // Map each fiber to its root node (one pass over fptr(0)).
+    let nroots = csf.root_count();
+    let nfibers = csf.fids(1).len();
+    let mut fiber_root = vec![0u32; nfibers];
+    for r in 0..nroots {
+        fiber_root[csf.fptr(0)[r]..csf.fptr(0)[r + 1]].fill(r as u32);
+    }
+    let fiber_root = &fiber_root;
+
+    let chunk = nfibers.div_ceil(rayon::current_num_threads().max(1) * 8).max(1);
+    let ranges: Vec<std::ops::Range<usize>> = (0..nfibers)
+        .step_by(chunk)
+        .map(|lo| lo..(lo + chunk).min(nfibers))
+        .collect();
+
+    ranges.into_par_iter().for_each(|fibers| {
+        let fids0 = csf.fids(0);
+        let fids1 = csf.fids(1);
+        let fids2 = csf.fids(2);
+        let fptr1 = csf.fptr(1);
+        let vals = csf.vals();
+        let mut z = vec![0.0f64; f];
+        let mut contrib = vec![0.0f64; f];
+        for j in fibers {
+            vecops::fill(&mut z, 0.0);
+            for n in fptr1[j]..fptr1[j + 1] {
+                leaf.scatter_row(fids2[n] as usize, vals[n], &mut z);
+            }
+            let brow = bfac.row(fids1[j] as usize);
+            for c in 0..f {
+                contrib[c] = z[c] * brow[c];
+            }
+            let row = fids0[fiber_root[j] as usize] as usize;
+            let _guard = locks[row % STRIPES].lock();
+            // SAFETY: the stripe lock serializes every writer of rows in
+            // this stripe, and `row < out.nrows()` because root fids are
+            // bounds-checked tensor coordinates.
+            let out_row = unsafe { writer.row_mut(row) };
+            vecops::axpy(1.0, &contrib, out_row);
+        }
+    });
+}
+
+/// Unrolled third-order traversal (Algorithm 3 lines 4-13).
+#[inline]
+fn three_mode_root<L: RowScatter>(
+    csf: &Csf,
+    bfac: &DMat,
+    leaf: &L,
+    fibers: std::ops::Range<usize>,
+    z: &mut [f64],
+    out_row: &mut [f64],
+) {
+    let fids1 = csf.fids(1);
+    let fids2 = csf.fids(2);
+    let fptr1 = csf.fptr(1);
+    let vals = csf.vals();
+    for j in fibers {
+        vecops::fill(z, 0.0);
+        for n in fptr1[j]..fptr1[j + 1] {
+            leaf.scatter_row(fids2[n] as usize, vals[n], z);
+        }
+        vecops::hadamard_acc(z, bfac.row(fids1[j] as usize), out_row);
+    }
+}
+
+/// Recursive traversal for orders other than 3: accumulates
+/// `sum_{node in range} c_level(node)` into `target`, where
+/// `c_level(node) = F_level(fid) .* sum_children c_{level+1}` and leaves
+/// contribute `val * Leaf(fid,:)`.
+fn subtree_sum<L: RowScatter>(
+    csf: &Csf,
+    level_factors: &[&DMat],
+    leaf: &L,
+    level: usize,
+    range: std::ops::Range<usize>,
+    bufs: &mut [Vec<f64>],
+    target: &mut [f64],
+) {
+    let nmodes = csf.nmodes();
+    if level == nmodes - 1 {
+        let fids = csf.fids(level);
+        let vals = csf.vals();
+        for n in range {
+            leaf.scatter_row(fids[n] as usize, vals[n], target);
+        }
+        return;
+    }
+    let fids = csf.fids(level);
+    let fptr = csf.fptr(level);
+    let fac = level_factors[level - 1];
+    for n in range {
+        let (buf, rest) = bufs.split_first_mut().expect("buffer per level");
+        vecops::fill(buf, 0.0);
+        subtree_sum(csf, level_factors, leaf, level + 1, fptr[n]..fptr[n + 1], rest, buf);
+        vecops::hadamard_acc(buf, fac.row(fids[n] as usize), target);
+    }
+}
+
+/// Reference MTTKRP straight from the definition, iterating COO nonzeros:
+/// `K(i_m, :) += val * (.*_{other modes} F(i_other, :))`.
+///
+/// `O(nnz * F * nmodes)`; used to validate the CSF kernels and in tests.
+pub fn mttkrp_reference(
+    coo: &sptensor::CooTensor,
+    factors: &[DMat],
+    mode: usize,
+) -> Result<DMat, AoAdmmError> {
+    let nmodes = coo.nmodes();
+    if factors.len() != nmodes || mode >= nmodes {
+        return Err(AoAdmmError::Config("bad reference MTTKRP arguments".into()));
+    }
+    let f = factors[0].ncols();
+    let mut out = DMat::zeros(coo.dims()[mode], f);
+    let mut prod = vec![0.0; f];
+    for n in 0..coo.nnz() {
+        for p in prod.iter_mut() {
+            *p = coo.values()[n];
+        }
+        for (m, fac) in factors.iter().enumerate() {
+            if m == mode {
+                continue;
+            }
+            let row = fac.row(coo.mode_inds(m)[n] as usize);
+            vecops::hadamard_assign(&mut prod, row);
+        }
+        let orow = out.row_mut(coo.mode_inds(mode)[n] as usize);
+        for (o, &p) in orow.iter_mut().zip(&prod) {
+            *o += p;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sptensor::gen;
+
+    fn random_factors(dims: &[usize], f: usize, seed: u64) -> Vec<DMat> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        dims.iter()
+            .map(|&d| DMat::random(d, f, -1.0, 1.0, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn csf_matches_reference_three_mode_all_modes() {
+        let coo = gen::random_uniform(&[12, 9, 15], 300, 1).unwrap();
+        let factors = random_factors(coo.dims(), 4, 2);
+        for mode in 0..3 {
+            let csf = Csf::from_coo_rooted(&coo, mode).unwrap();
+            let mut out = DMat::zeros(coo.dims()[mode], 4);
+            mttkrp_dense(&csf, &factors, &mut out).unwrap();
+            let reference = mttkrp_reference(&coo, &factors, mode).unwrap();
+            assert!(
+                out.max_abs_diff(&reference) < 1e-10,
+                "mode {mode}: diff {}",
+                out.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn csf_matches_reference_four_mode() {
+        let coo = gen::random_uniform(&[6, 7, 8, 5], 250, 3).unwrap();
+        let factors = random_factors(coo.dims(), 3, 4);
+        for mode in 0..4 {
+            let csf = Csf::from_coo_rooted(&coo, mode).unwrap();
+            let mut out = DMat::zeros(coo.dims()[mode], 3);
+            mttkrp_dense(&csf, &factors, &mut out).unwrap();
+            let reference = mttkrp_reference(&coo, &factors, mode).unwrap();
+            assert!(
+                out.max_abs_diff(&reference) < 1e-10,
+                "mode {mode}: diff {}",
+                out.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn csf_matches_reference_two_mode_matrix() {
+        // A matrix: MTTKRP reduces to sparse matrix times dense matrix.
+        let coo = gen::random_uniform(&[20, 14], 80, 5).unwrap();
+        let factors = random_factors(coo.dims(), 5, 6);
+        for mode in 0..2 {
+            let csf = Csf::from_coo_rooted(&coo, mode).unwrap();
+            let mut out = DMat::zeros(coo.dims()[mode], 5);
+            mttkrp_dense(&csf, &factors, &mut out).unwrap();
+            let reference = mttkrp_reference(&coo, &factors, mode).unwrap();
+            assert!(out.max_abs_diff(&reference) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reference_matches_khatri_rao_matricization() {
+        // K = X_(1) (C (*) B) computed via the explicit Khatri-Rao product
+        // must equal the streaming reference.
+        let coo = gen::random_uniform(&[5, 4, 3], 30, 7).unwrap();
+        let factors = random_factors(coo.dims(), 2, 8);
+        let reference = mttkrp_reference(&coo, &factors, 0).unwrap();
+
+        // Dense matricization X_(1) is 5 x 12 with column j*3 + k
+        // (mode-1 matricization pairs (j, k) with k fastest, matching
+        // khatri_rao(B, C) whose row j*K + k is B(j,:) .* C(k,:)).
+        let kr = splinalg::ops::khatri_rao(&factors[1], &factors[2]).unwrap();
+        let mut x1 = DMat::zeros(5, 12);
+        for n in 0..coo.nnz() {
+            let (i, j, k) = (
+                coo.mode_inds(0)[n] as usize,
+                coo.mode_inds(1)[n] as usize,
+                coo.mode_inds(2)[n] as usize,
+            );
+            x1.set(i, j * 3 + k, coo.values()[n]);
+        }
+        let direct = x1.matmul(&kr).unwrap();
+        assert!(direct.max_abs_diff(&reference) < 1e-10);
+    }
+
+    #[test]
+    fn rows_without_nonzeros_stay_zero() {
+        let mut coo = sptensor::CooTensor::new(vec![10, 3, 3]).unwrap();
+        coo.push(&[2, 0, 0], 1.0).unwrap();
+        let factors = random_factors(coo.dims(), 2, 9);
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let mut out = DMat::from_vec(10, 2, vec![9.0; 20]).unwrap(); // dirty
+        mttkrp_dense(&csf, &factors, &mut out).unwrap();
+        for i in 0..10 {
+            if i != 2 {
+                assert_eq!(out.row(i), &[0.0, 0.0], "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn validates_shapes() {
+        let coo = gen::random_uniform(&[4, 4, 4], 20, 11).unwrap();
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let factors = random_factors(&[4, 4, 4], 3, 12);
+
+        let mut bad_out = DMat::zeros(5, 3);
+        assert!(mttkrp_dense(&csf, &factors, &mut bad_out).is_err());
+
+        let bad_factors = random_factors(&[4, 5, 4], 3, 12);
+        let mut out = DMat::zeros(4, 3);
+        assert!(mttkrp_dense(&csf, &bad_factors, &mut out).is_err());
+
+        let two = random_factors(&[4, 4], 3, 12);
+        assert!(mttkrp_dense(&csf, &two, &mut out).is_err());
+    }
+
+    #[test]
+    fn reference_validates_arguments() {
+        let coo = gen::random_uniform(&[4, 4], 10, 1).unwrap();
+        let factors = random_factors(&[4, 4], 2, 1);
+        assert!(mttkrp_reference(&coo, &factors, 2).is_err());
+        assert!(mttkrp_reference(&coo, &factors[..1], 0).is_err());
+    }
+
+    #[test]
+    fn few_root_fiber_parallel_path_matches_reference() {
+        // Patents-like: a tiny root mode with many nonzeros per slice
+        // triggers the fiber-parallel striped-lock path.
+        let coo = gen::random_uniform(&[3, 60, 60], 4_000, 17).unwrap();
+        let factors = random_factors(coo.dims(), 6, 18);
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        assert!(csf.root_count() <= 3);
+        let mut out = DMat::zeros(3, 6);
+        mttkrp_dense(&csf, &factors, &mut out).unwrap();
+        let reference = mttkrp_reference(&coo, &factors, 0).unwrap();
+        assert!(
+            out.max_abs_diff(&reference) < 1e-9,
+            "diff {}",
+            out.max_abs_diff(&reference)
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        // Run the same kernel under a single-thread pool and the global
+        // pool; results must be bitwise comparable within fp tolerance.
+        let coo = gen::random_uniform(&[40, 30, 20], 3_000, 13).unwrap();
+        let factors = random_factors(coo.dims(), 8, 14);
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+
+        let mut par_out = DMat::zeros(40, 8);
+        mttkrp_dense(&csf, &factors, &mut par_out).unwrap();
+
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let mut ser_out = DMat::zeros(40, 8);
+        pool.install(|| mttkrp_dense(&csf, &factors, &mut ser_out).unwrap());
+
+        assert!(par_out.max_abs_diff(&ser_out) < 1e-12);
+    }
+}

@@ -1,0 +1,242 @@
+//! Dynamic factor-sparsity management.
+//!
+//! Factor matrices of constrained factorizations evolve toward sparsity
+//! as outer iterations proceed (non-negativity projects entries to exact
+//! zero; l1 soft-thresholds them). Unlike the tensor, whose pattern is
+//! static, the factors' patterns change every iteration, so the decision
+//! to use a compressed representation — and the `O(K*F)` snapshot build —
+//! must be re-made per use (Section IV-C of the paper).
+//!
+//! The paper empirically treats a factor as gainfully sparse below 20 %
+//! density, and leaves automatic *structure* selection (CSR vs. hybrid)
+//! to future work; [`choose_structure`] implements the heuristic the
+//! paper's Table II data suggests: hybrid wins on shorter modes (Reddit),
+//! plain CSR on very long modes (Amazon) where the dense panel's extra
+//! bandwidth dominates.
+
+use crate::mttkrp_sparse::LeafRepr;
+use splinalg::DMat;
+
+/// Which compressed structure to use for a sparse leaf factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Structure {
+    /// Plain dense reads (paper's DENSE baseline).
+    Dense,
+    /// Compressed sparse row snapshot (paper's CSR).
+    Csr,
+    /// Hybrid dense-panel + CSR snapshot (paper's CSR-H).
+    Hybrid,
+}
+
+/// How the driver picks the leaf-factor structure each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructureChoice {
+    /// Pick per-iteration via [`choose_structure`] (our extension of the
+    /// paper's future-work item).
+    Auto,
+    /// Always use the given structure (when below the density threshold).
+    Force(Structure),
+}
+
+/// Configuration of dynamic sparsity exploitation.
+#[derive(Debug, Clone, Copy)]
+pub struct SparsityConfig {
+    /// Master switch; when false every MTTKRP reads dense factors.
+    pub enabled: bool,
+    /// Structure selection policy.
+    pub choice: StructureChoice,
+    /// Use a compressed structure only below this density (paper: 0.2).
+    pub density_threshold: f64,
+    /// Entries with magnitude <= this are treated as zero when measuring
+    /// density and building snapshots (prox operators produce exact
+    /// zeros, so 0.0 is the right default).
+    pub zero_tol: f64,
+}
+
+impl Default for SparsityConfig {
+    fn default() -> Self {
+        SparsityConfig {
+            enabled: true,
+            choice: StructureChoice::Auto,
+            density_threshold: 0.2,
+            zero_tol: 0.0,
+        }
+    }
+}
+
+impl SparsityConfig {
+    /// Disable sparsity exploitation entirely (paper's DENSE baseline).
+    pub fn disabled() -> Self {
+        SparsityConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Always use `structure` when the density threshold is met.
+    pub fn force(structure: Structure) -> Self {
+        SparsityConfig {
+            choice: StructureChoice::Force(structure),
+            ..Default::default()
+        }
+    }
+}
+
+/// Pick CSR vs. hybrid for a sparse factor of the given shape.
+///
+/// Rationale from Table II: the hybrid structure pays a dense panel of
+/// `nrows * ndense_cols` extra bandwidth to remove per-row latency. On
+/// Reddit (longest mode 510 K) it won; on Amazon (longest mode 4.8 M,
+/// over thirty times longer) it lost. We therefore switch to plain CSR
+/// when the mode is long (panel bandwidth dominates) and prefer hybrid on
+/// shorter modes.
+pub fn choose_structure(nrows: usize, ncols: usize, density: f64) -> Structure {
+    let _ = ncols;
+    // Long modes: the hybrid's dense panel is pure overhead at scale.
+    const LONG_MODE_ROWS: usize = 1_000_000;
+    if nrows >= LONG_MODE_ROWS {
+        return Structure::Csr;
+    }
+    // Extremely sparse factors have few "dense" columns to exploit.
+    if density < 0.01 {
+        return Structure::Csr;
+    }
+    Structure::Hybrid
+}
+
+/// Decision record for one MTTKRP invocation (traced by the driver).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityDecision {
+    /// Measured density of the leaf factor.
+    pub density: f64,
+    /// Structure chosen.
+    pub structure: Structure,
+}
+
+/// Measure the leaf factor and build the snapshot the kernel should use.
+///
+/// `constraint_induces_sparsity` short-circuits the density measurement
+/// for constraints that never produce zeros (the factor stays dense, so
+/// the `O(K*F)` pass would be wasted every iteration).
+pub fn prepare_leaf(
+    factor: &DMat,
+    constraint_induces_sparsity: bool,
+    cfg: &SparsityConfig,
+) -> (LeafRepr, SparsityDecision) {
+    if !cfg.enabled || !constraint_induces_sparsity {
+        return (
+            LeafRepr::Dense,
+            SparsityDecision {
+                density: 1.0,
+                structure: Structure::Dense,
+            },
+        );
+    }
+    let density = factor.density(cfg.zero_tol);
+    if density >= cfg.density_threshold {
+        return (
+            LeafRepr::Dense,
+            SparsityDecision {
+                density,
+                structure: Structure::Dense,
+            },
+        );
+    }
+    let structure = match cfg.choice {
+        StructureChoice::Auto => choose_structure(factor.nrows(), factor.ncols(), density),
+        StructureChoice::Force(s) => s,
+    };
+    (
+        LeafRepr::build(structure, factor, cfg.zero_tol),
+        SparsityDecision { density, structure },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_factor(rows: usize, cols: usize, density: f64) -> DMat {
+        let mut m = DMat::zeros(rows, cols);
+        let keep = (rows * cols) as f64 * density;
+        let mut placed = 0.0;
+        'outer: for i in 0..rows {
+            for j in 0..cols {
+                if placed >= keep {
+                    break 'outer;
+                }
+                m.set(i, j, 1.0);
+                placed += 1.0;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = SparsityConfig::default();
+        assert!(c.enabled);
+        assert_eq!(c.density_threshold, 0.2);
+        assert_eq!(c.choice, StructureChoice::Auto);
+    }
+
+    #[test]
+    fn disabled_always_dense() {
+        let f = sparse_factor(100, 10, 0.05);
+        let (repr, d) = prepare_leaf(&f, true, &SparsityConfig::disabled());
+        assert!(matches!(repr, LeafRepr::Dense));
+        assert_eq!(d.structure, Structure::Dense);
+    }
+
+    #[test]
+    fn non_sparsifying_constraint_skips_measurement() {
+        let f = sparse_factor(100, 10, 0.01);
+        let (repr, d) = prepare_leaf(&f, false, &SparsityConfig::default());
+        assert!(matches!(repr, LeafRepr::Dense));
+        assert_eq!(d.density, 1.0); // not measured
+    }
+
+    #[test]
+    fn dense_factor_stays_dense() {
+        let f = sparse_factor(50, 8, 0.9);
+        let (repr, d) = prepare_leaf(&f, true, &SparsityConfig::default());
+        assert!(matches!(repr, LeafRepr::Dense));
+        assert!(d.density > 0.2);
+    }
+
+    #[test]
+    fn sparse_factor_gets_compressed() {
+        let f = sparse_factor(200, 10, 0.05);
+        let (repr, d) = prepare_leaf(&f, true, &SparsityConfig::default());
+        assert!(!matches!(repr, LeafRepr::Dense));
+        assert!(d.density < 0.2);
+        assert_ne!(d.structure, Structure::Dense);
+    }
+
+    #[test]
+    fn forced_structure_respected() {
+        let f = sparse_factor(200, 10, 0.05);
+        let (repr, _) = prepare_leaf(&f, true, &SparsityConfig::force(Structure::Csr));
+        assert!(matches!(repr, LeafRepr::Csr(_)));
+        let (repr, _) = prepare_leaf(&f, true, &SparsityConfig::force(Structure::Hybrid));
+        assert!(matches!(repr, LeafRepr::Hybrid(_)));
+    }
+
+    #[test]
+    fn heuristic_prefers_csr_on_long_modes() {
+        assert_eq!(choose_structure(5_000_000, 50, 0.1), Structure::Csr);
+        assert_eq!(choose_structure(500_000, 50, 0.1), Structure::Hybrid);
+        // Ultra-sparse: CSR regardless of length.
+        assert_eq!(choose_structure(1_000, 50, 0.001), Structure::Csr);
+    }
+
+    #[test]
+    fn threshold_boundary_is_exclusive() {
+        // Density exactly at the threshold stays dense (strictly-below
+        // semantics).
+        let f = sparse_factor(10, 10, 0.2);
+        let cfg = SparsityConfig::default();
+        let (_, d) = prepare_leaf(&f, true, &cfg);
+        assert_eq!(d.structure, Structure::Dense);
+    }
+}

@@ -1,0 +1,203 @@
+//! Timing and convergence traces.
+//!
+//! The paper's evaluation needs three views of a run: the per-kernel time
+//! breakdown (Figure 3), the wall-clock convergence curve (Figure 6, left
+//! column) and the per-outer-iteration convergence curve (Figure 6, right
+//! column). The driver records everything needed for all three here.
+
+use crate::sparsity::SparsityDecision;
+use std::time::Duration;
+
+/// Record of one mode update within an outer iteration.
+#[derive(Debug, Clone)]
+pub struct ModeRecord {
+    /// Tensor mode updated.
+    pub mode: usize,
+    /// Time spent in MTTKRP (including any sparse-snapshot build).
+    pub mttkrp: Duration,
+    /// Time spent in the ADMM inner solver.
+    pub admm: Duration,
+    /// Inner ADMM iterations (max over blocks for the blocked strategy).
+    pub admm_iterations: usize,
+    /// Total row-iterations of ADMM work.
+    pub admm_row_iterations: u64,
+    /// Sparsity decision taken for this mode's MTTKRP leaf factor.
+    pub sparsity: SparsityDecision,
+}
+
+/// Record of one outer iteration.
+#[derive(Debug, Clone)]
+pub struct IterRecord {
+    /// 1-based outer iteration number.
+    pub iter: usize,
+    /// Relative error at the end of this iteration.
+    pub rel_error: f64,
+    /// Wall-clock time since factorization start, at the end of this
+    /// iteration.
+    pub elapsed: Duration,
+    /// Per-mode details.
+    pub modes: Vec<ModeRecord>,
+}
+
+impl IterRecord {
+    /// Total MTTKRP time in this iteration.
+    pub fn mttkrp_time(&self) -> Duration {
+        self.modes.iter().map(|m| m.mttkrp).sum()
+    }
+
+    /// Total ADMM time in this iteration.
+    pub fn admm_time(&self) -> Duration {
+        self.modes.iter().map(|m| m.admm).sum()
+    }
+}
+
+/// Complete trace of a factorization run.
+#[derive(Debug, Clone)]
+pub struct FactorizeTrace {
+    /// One record per outer iteration.
+    pub iterations: Vec<IterRecord>,
+    /// Total wall-clock time including setup (CSF builds, init).
+    pub total: Duration,
+    /// Time spent building CSF structures and initializing factors.
+    pub setup: Duration,
+    /// Relative error after the final iteration.
+    pub final_error: f64,
+    /// Whether the outer tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+impl FactorizeTrace {
+    /// Total MTTKRP time across the run.
+    pub fn mttkrp_total(&self) -> Duration {
+        self.iterations.iter().map(|i| i.mttkrp_time()).sum()
+    }
+
+    /// Total ADMM time across the run.
+    pub fn admm_total(&self) -> Duration {
+        self.iterations.iter().map(|i| i.admm_time()).sum()
+    }
+
+    /// Everything in the iteration loop that is neither MTTKRP nor ADMM
+    /// (Gram products, error evaluation). One-time setup (CSF builds,
+    /// factor init) is excluded, matching the paper's "factorization
+    /// time".
+    pub fn other_total(&self) -> Duration {
+        self.total
+            .saturating_sub(self.setup)
+            .saturating_sub(self.mttkrp_total())
+            .saturating_sub(self.admm_total())
+    }
+
+    /// Fractions of factorization time (setup excluded) in
+    /// (MTTKRP, ADMM, other) — the bars of Figure 3.
+    pub fn time_fractions(&self) -> (f64, f64, f64) {
+        let total = self.total.saturating_sub(self.setup).as_secs_f64();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let m = self.mttkrp_total().as_secs_f64() / total;
+        let a = self.admm_total().as_secs_f64() / total;
+        (m, a, (1.0 - m - a).max(0.0))
+    }
+
+    /// Number of outer iterations executed.
+    pub fn outer_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// `(elapsed_seconds, rel_error)` series — Figure 6 left column.
+    pub fn error_vs_time(&self) -> Vec<(f64, f64)> {
+        self.iterations
+            .iter()
+            .map(|i| (i.elapsed.as_secs_f64(), i.rel_error))
+            .collect()
+    }
+
+    /// `(outer_iteration, rel_error)` series — Figure 6 right column.
+    pub fn error_vs_iteration(&self) -> Vec<(usize, f64)> {
+        self.iterations.iter().map(|i| (i.iter, i.rel_error)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparsity::Structure;
+
+    fn mode_record(mttkrp_ms: u64, admm_ms: u64) -> ModeRecord {
+        ModeRecord {
+            mode: 0,
+            mttkrp: Duration::from_millis(mttkrp_ms),
+            admm: Duration::from_millis(admm_ms),
+            admm_iterations: 3,
+            admm_row_iterations: 30,
+            sparsity: SparsityDecision {
+                density: 1.0,
+                structure: Structure::Dense,
+            },
+        }
+    }
+
+    fn trace() -> FactorizeTrace {
+        FactorizeTrace {
+            iterations: vec![
+                IterRecord {
+                    iter: 1,
+                    rel_error: 0.5,
+                    elapsed: Duration::from_millis(100),
+                    modes: vec![mode_record(30, 20), mode_record(10, 20)],
+                },
+                IterRecord {
+                    iter: 2,
+                    rel_error: 0.4,
+                    elapsed: Duration::from_millis(200),
+                    modes: vec![mode_record(30, 20), mode_record(10, 20)],
+                },
+            ],
+            total: Duration::from_millis(200),
+            setup: Duration::from_millis(10),
+            final_error: 0.4,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_iterations() {
+        let t = trace();
+        assert_eq!(t.mttkrp_total(), Duration::from_millis(80));
+        assert_eq!(t.admm_total(), Duration::from_millis(80));
+        // total 200 - setup 10 - 80 - 80.
+        assert_eq!(t.other_total(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let t = trace();
+        let (m, a, o) = t.time_fractions();
+        assert!((m + a + o - 1.0).abs() < 1e-12);
+        // Denominator excludes the 10ms setup: 80 / 190.
+        assert!((m - 80.0 / 190.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_extraction() {
+        let t = trace();
+        assert_eq!(t.error_vs_iteration(), vec![(1, 0.5), (2, 0.4)]);
+        let ts = t.error_vs_time();
+        assert_eq!(ts.len(), 2);
+        assert!((ts[1].0 - 0.2).abs() < 1e-12);
+        assert_eq!(t.outer_iterations(), 2);
+    }
+
+    #[test]
+    fn empty_trace_fractions() {
+        let t = FactorizeTrace {
+            iterations: vec![],
+            total: Duration::ZERO,
+            setup: Duration::ZERO,
+            final_error: 1.0,
+            converged: false,
+        };
+        assert_eq!(t.time_fractions(), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,169 @@
+//! Simulated collectives and their cost accounting.
+//!
+//! The simulation executes the *data movement semantics* of the
+//! collectives (so the algorithm is the real distributed algorithm) and
+//! meters the bytes and message counts a ring implementation would move,
+//! evaluated under a simple alpha-beta (latency + inverse-bandwidth)
+//! machine model.
+
+/// Bytes and messages moved by each collective type, plus per-phase
+/// attribution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommStats {
+    /// Total bytes moved by all-reduce operations (sum over nodes).
+    pub allreduce_bytes: u64,
+    /// Total bytes moved by all-gather operations (sum over nodes).
+    pub allgather_bytes: u64,
+    /// Total point-to-point messages (ring steps summed over nodes).
+    pub messages: u64,
+    /// All-reduce bytes attributable to MTTKRP outputs.
+    pub mttkrp_bytes: u64,
+    /// Bytes attributable to factor-row all-gathers.
+    pub factor_bytes: u64,
+    /// Bytes attributable to `F x F` Gram all-reduces.
+    pub gram_bytes: u64,
+}
+
+impl CommStats {
+    /// Record a ring all-reduce of `elems` f64 elements over `p` nodes.
+    ///
+    /// A ring all-reduce of a `B`-byte buffer sends `2(p-1)/p * B` bytes
+    /// per node in `2(p-1)` steps; summed over nodes that is
+    /// `2(p-1) * B` bytes.
+    pub fn allreduce(&mut self, elems: usize, p: usize, kind: Phase) {
+        if p <= 1 {
+            return;
+        }
+        let bytes = (elems * 8) as u64;
+        let total = 2 * (p as u64 - 1) * bytes;
+        self.allreduce_bytes += total;
+        self.messages += (2 * (p - 1) * p) as u64;
+        self.attribute(total, kind);
+    }
+
+    /// Record a ring all-gather where each node contributes
+    /// `elems_per_node` f64 elements.
+    pub fn allgather(&mut self, elems_per_node: usize, p: usize, kind: Phase) {
+        if p <= 1 {
+            return;
+        }
+        let per = (elems_per_node * 8) as u64;
+        // Each node receives (p-1) shares: total (p-1)*per*p bytes.
+        let total = (p as u64 - 1) * per * p as u64;
+        self.allgather_bytes += total;
+        self.messages += ((p - 1) * p) as u64;
+        self.attribute(total, kind);
+    }
+
+    fn attribute(&mut self, bytes: u64, kind: Phase) {
+        match kind {
+            Phase::Mttkrp => self.mttkrp_bytes += bytes,
+            Phase::Factor => self.factor_bytes += bytes,
+            Phase::Gram => self.gram_bytes += bytes,
+        }
+    }
+
+    /// Total bytes across collective types.
+    pub fn total_bytes(&self) -> u64 {
+        self.allreduce_bytes + self.allgather_bytes
+    }
+
+    /// Fraction of communicated bytes attributable to MTTKRP — the
+    /// paper's claim is that this dominates (blocked ADMM adds nothing).
+    pub fn mttkrp_fraction(&self) -> f64 {
+        let t = self.total_bytes();
+        if t == 0 {
+            return 0.0;
+        }
+        self.mttkrp_bytes as f64 / t as f64
+    }
+}
+
+/// Which algorithm phase a collective belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Summing partial MTTKRP outputs.
+    Mttkrp,
+    /// Replicating updated factor rows.
+    Factor,
+    /// Refreshing the `F x F` Gram cache.
+    Gram,
+}
+
+/// Alpha-beta machine model for estimating communication time.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Per-message latency in seconds (default 1 microsecond).
+    pub alpha: f64,
+    /// Seconds per byte (default: 12.5 GB/s links, i.e. 8e-11 s/B).
+    pub beta: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alpha: 1e-6,
+            beta: 8e-11,
+        }
+    }
+}
+
+impl CostModel {
+    /// Estimated seconds to execute the recorded collectives, assuming
+    /// perfect overlap across nodes (divide totals by node count).
+    pub fn estimate_seconds(&self, stats: &CommStats, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let per_node_bytes = stats.total_bytes() as f64 / p as f64;
+        let per_node_msgs = stats.messages as f64 / p as f64;
+        per_node_msgs * self.alpha + per_node_bytes * self.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_is_free() {
+        let mut s = CommStats::default();
+        s.allreduce(1000, 1, Phase::Mttkrp);
+        s.allgather(1000, 1, Phase::Factor);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.messages, 0);
+    }
+
+    #[test]
+    fn bytes_grow_with_nodes() {
+        let mut s2 = CommStats::default();
+        s2.allreduce(10_000, 2, Phase::Mttkrp);
+        let mut s8 = CommStats::default();
+        s8.allreduce(10_000, 8, Phase::Mttkrp);
+        assert!(s8.allreduce_bytes > s2.allreduce_bytes);
+    }
+
+    #[test]
+    fn attribution_sums_to_total() {
+        let mut s = CommStats::default();
+        s.allreduce(5_000, 4, Phase::Mttkrp);
+        s.allgather(2_000, 4, Phase::Factor);
+        s.allreduce(64, 4, Phase::Gram);
+        assert_eq!(
+            s.mttkrp_bytes + s.factor_bytes + s.gram_bytes,
+            s.total_bytes()
+        );
+        assert!(s.mttkrp_fraction() > 0.5);
+    }
+
+    #[test]
+    fn cost_model_monotone_in_bytes() {
+        let m = CostModel::default();
+        let mut small = CommStats::default();
+        small.allreduce(1_000, 4, Phase::Mttkrp);
+        let mut big = CommStats::default();
+        big.allreduce(1_000_000, 4, Phase::Mttkrp);
+        assert!(m.estimate_seconds(&big, 4) > m.estimate_seconds(&small, 4));
+        assert_eq!(m.estimate_seconds(&big, 1), 0.0);
+    }
+}

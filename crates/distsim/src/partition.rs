@@ -1,0 +1,206 @@
+//! Row partitioning of modes over simulated nodes.
+//!
+//! The coarse-grained 1D decomposition assigns each mode's rows to nodes
+//! in contiguous ranges. Mode-0 ranges are balanced by *nonzero count*
+//! (they determine MTTKRP work per node); the other modes are balanced
+//! by row count (they determine ADMM work per node).
+
+use sptensor::CooTensor;
+
+/// Contiguous row ranges per node, for every mode.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    nnodes: usize,
+    /// `ranges[m][p]` = row range of mode `m` owned by node `p`.
+    ranges: Vec<Vec<std::ops::Range<usize>>>,
+}
+
+impl Partition {
+    /// Partition `tensor` over `nnodes` nodes.
+    ///
+    /// Mode 0 is split at nonzero-count boundaries (greedy prefix split
+    /// of the slice histogram); other modes are split evenly by rows.
+    pub fn build(tensor: &CooTensor, nnodes: usize) -> Self {
+        assert!(nnodes > 0, "need at least one node");
+        let nmodes = tensor.nmodes();
+        let mut ranges = Vec::with_capacity(nmodes);
+
+        // Mode 0: balance nnz.
+        let counts = tensor.slice_counts(0);
+        let total: usize = counts.iter().sum();
+        let target = total.div_ceil(nnodes).max(1);
+        let mut mode0 = Vec::with_capacity(nnodes);
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for (i, &c) in counts.iter().enumerate() {
+            acc += c;
+            if acc >= target && mode0.len() + 1 < nnodes {
+                mode0.push(start..i + 1);
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        mode0.push(start..counts.len());
+        while mode0.len() < nnodes {
+            // Degenerate: fewer slices than nodes; give empty ranges.
+            let end = mode0.last().map(|r| r.end).unwrap_or(0);
+            mode0.push(end..end);
+        }
+        ranges.push(mode0);
+
+        // Other modes: even row split.
+        for m in 1..nmodes {
+            let d = tensor.dims()[m];
+            let per = d.div_ceil(nnodes);
+            let mut v = Vec::with_capacity(nnodes);
+            for p in 0..nnodes {
+                let lo = (p * per).min(d);
+                let hi = ((p + 1) * per).min(d);
+                v.push(lo..hi);
+            }
+            ranges.push(v);
+        }
+        Partition { nnodes, ranges }
+    }
+
+    /// Number of nodes.
+    pub fn nnodes(&self) -> usize {
+        self.nnodes
+    }
+
+    /// Row range of mode `m` owned by node `p`.
+    pub fn range(&self, m: usize, p: usize) -> std::ops::Range<usize> {
+        self.ranges[m][p].clone()
+    }
+
+    /// Owner node of row `i` in mode `m`.
+    pub fn owner(&self, m: usize, i: usize) -> usize {
+        self.ranges[m]
+            .iter()
+            .position(|r| r.contains(&i))
+            .expect("row within dims is owned by some node")
+    }
+
+    /// Split the tensor into per-node local tensors by mode-0 ownership.
+    ///
+    /// Every local tensor keeps the *global* dimensions so factor indices
+    /// remain global (ghost rows of non-owned modes are read from the
+    /// replicated factors, as in the real algorithm).
+    pub fn split_tensor(&self, tensor: &CooTensor) -> Vec<CooTensor> {
+        let mut locals: Vec<CooTensor> = (0..self.nnodes)
+            .map(|_| CooTensor::new(tensor.dims().to_vec()).expect("valid dims"))
+            .collect();
+        let nmodes = tensor.nmodes();
+        let mut coord = vec![0u32; nmodes];
+        for n in 0..tensor.nnz() {
+            for m in 0..nmodes {
+                coord[m] = tensor.mode_inds(m)[n];
+            }
+            let p = self.owner(0, coord[0] as usize);
+            locals[p]
+                .push(&coord, tensor.values()[n])
+                .expect("coordinate already validated");
+        }
+        locals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptensor::gen;
+
+    fn tensor() -> CooTensor {
+        gen::random_uniform(&[40, 30, 20], 600, 3).unwrap()
+    }
+
+    #[test]
+    fn ranges_cover_and_are_disjoint() {
+        let t = tensor();
+        for p in [1usize, 2, 3, 7] {
+            let part = Partition::build(&t, p);
+            for m in 0..3 {
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for node in 0..p {
+                    let r = part.range(m, node);
+                    assert!(r.start == prev_end, "mode {m} node {node} gap");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(prev_end, t.dims()[m], "mode {m} not fully covered");
+                assert_eq!(covered, t.dims()[m]);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_matches_ranges() {
+        let t = tensor();
+        let part = Partition::build(&t, 4);
+        for m in 0..3 {
+            for i in 0..t.dims()[m] {
+                let p = part.owner(m, i);
+                assert!(part.range(m, p).contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn split_preserves_all_nonzeros() {
+        let t = tensor();
+        let part = Partition::build(&t, 3);
+        let locals = part.split_tensor(&t);
+        let total: usize = locals.iter().map(|l| l.nnz()).sum();
+        assert_eq!(total, t.nnz());
+        let norm: f64 = locals.iter().map(|l| l.norm_sq()).sum();
+        assert!((norm - t.norm_sq()).abs() < 1e-9);
+        // Every local nonzero's mode-0 index belongs to that node.
+        for (p, l) in locals.iter().enumerate() {
+            for &i in l.mode_inds(0) {
+                assert_eq!(part.owner(0, i as usize), p);
+            }
+        }
+    }
+
+    #[test]
+    fn mode0_split_is_nnz_balanced() {
+        // A skewed tensor: node loads should be within 2x of each other
+        // when slices allow it.
+        let t = sptensor::gen::planted(&sptensor::gen::PlantedConfig {
+            dims: vec![100, 20, 20],
+            nnz: 5_000,
+            rank: 3,
+            noise: 0.1,
+            factor_density: 1.0,
+            zipf_exponents: vec![0.8, 0.3, 0.3],
+            seed: 9,
+        })
+        .unwrap();
+        let part = Partition::build(&t, 4);
+        let locals = part.split_tensor(&t);
+        let loads: Vec<usize> = locals.iter().map(|l| l.nnz()).collect();
+        let max = *loads.iter().max().unwrap();
+        let avg = t.nnz() / 4;
+        assert!(
+            max < avg * 3,
+            "imbalanced loads {loads:?} (avg {avg})"
+        );
+    }
+
+    #[test]
+    fn more_nodes_than_slices_degenerates_gracefully() {
+        let t = gen::random_uniform(&[2, 10, 10], 50, 1).unwrap();
+        let part = Partition::build(&t, 5);
+        let locals = part.split_tensor(&t);
+        assert_eq!(locals.iter().map(|l| l.nnz()).sum::<usize>(), t.nnz());
+        // Ranges still partition mode 0.
+        let mut end = 0;
+        for p in 0..5 {
+            let r = part.range(0, p);
+            assert_eq!(r.start, end);
+            end = r.end;
+        }
+        assert_eq!(end, 2);
+    }
+}

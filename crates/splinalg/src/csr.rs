@@ -1,0 +1,226 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Section IV-C of the paper stores a sparse *copy* of the leaf-level
+//! factor matrix in CSR during MTTKRP: only nonzero values and their
+//! column indices are fetched from memory, so bandwidth scales with the
+//! factor's density. The conversion from dense is an `O(K*F)` pass that is
+//! re-done whenever the (dynamically evolving) sparsity pattern changes.
+
+use crate::dense::DMat;
+use crate::Idx;
+
+/// A CSR matrix built as a read-only snapshot of a dense factor matrix.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<Idx>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Snapshot a dense matrix, keeping entries with `|x| > tol`.
+    ///
+    /// `tol = 0.0` keeps every entry that is not exactly zero — the right
+    /// choice after a proximity operator that produces exact zeros
+    /// (non-negativity projection, soft thresholding).
+    pub fn from_dense(dense: &DMat, tol: f64) -> Self {
+        let nrows = dense.nrows();
+        let ncols = dense.ncols();
+        let nnz = dense.count_nonzeros(tol);
+        let mut rowptr = Vec::with_capacity(nrows + 1);
+        let mut colidx = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        rowptr.push(0);
+        for i in 0..nrows {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v.abs() > tol {
+                    colidx.push(j as Idx);
+                    vals.push(v);
+                }
+            }
+            rowptr.push(colidx.len());
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Fraction of stored entries: `nnz / (nrows * ncols)`.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.nrows * self.ncols) as f64
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[Idx], &[f64]) {
+        let lo = self.rowptr[i];
+        let hi = self.rowptr[i + 1];
+        (&self.colidx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Number of nonzeros in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.rowptr[i + 1] - self.rowptr[i]
+    }
+
+    /// Accumulate `out += alpha * row(i)` scattered to original columns.
+    ///
+    /// This is the inner MTTKRP operation (Algorithm 3 line 9) with a
+    /// sparse factor.
+    #[inline]
+    pub fn scatter_axpy(&self, i: usize, alpha: f64, out: &mut [f64]) {
+        let (cols, vals) = self.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            out[c as usize] += alpha * v;
+        }
+    }
+
+    /// Expand back to a dense matrix (tests / cold paths).
+    pub fn to_dense(&self) -> DMat {
+        let mut out = DMat::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            let orow = out.row_mut(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                orow[c as usize] = v;
+            }
+        }
+        out
+    }
+
+    /// Per-column nonzero counts (used to build the hybrid structure).
+    pub fn col_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.ncols];
+        for &c in &self.colidx {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Approximate heap footprint in bytes (for the structure-selection
+    /// heuristic).
+    pub fn memory_bytes(&self) -> usize {
+        self.rowptr.len() * std::mem::size_of::<usize>()
+            + self.colidx.len() * std::mem::size_of::<Idx>()
+            + self.vals.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sparse_dense(rows: usize, cols: usize, keep: f64, seed: u64) -> DMat {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = DMat::random(rows, cols, -1.0, 1.0, &mut rng);
+        use rand::Rng;
+        for v in m.as_mut_slice() {
+            if rng.gen::<f64>() > keep {
+                *v = 0.0;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn roundtrip_dense() {
+        let d = sparse_dense(20, 8, 0.3, 1);
+        let csr = CsrMatrix::from_dense(&d, 0.0);
+        assert!(csr.to_dense().max_abs_diff(&d) == 0.0);
+        assert_eq!(csr.nnz(), d.count_nonzeros(0.0));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let d = DMat::zeros(5, 3);
+        let csr = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.density(), 0.0);
+        for i in 0..5 {
+            assert_eq!(csr.row_nnz(i), 0);
+        }
+    }
+
+    #[test]
+    fn tolerance_filters_small_entries() {
+        let d = DMat::from_vec(1, 3, vec![0.5, 1e-12, -0.5]).unwrap();
+        let csr = CsrMatrix::from_dense(&d, 1e-9);
+        assert_eq!(csr.nnz(), 2);
+        let (cols, vals) = csr.row(0);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn scatter_axpy_matches_dense_axpy() {
+        let d = sparse_dense(10, 6, 0.4, 9);
+        let csr = CsrMatrix::from_dense(&d, 0.0);
+        for i in 0..10 {
+            let mut sparse_out = vec![0.1; 6];
+            let mut dense_out = vec![0.1; 6];
+            csr.scatter_axpy(i, 2.5, &mut sparse_out);
+            crate::vecops::axpy(2.5, d.row(i), &mut dense_out);
+            for (a, b) in sparse_out.iter().zip(&dense_out) {
+                assert!((a - b).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn col_counts_sum_to_nnz() {
+        let d = sparse_dense(30, 7, 0.25, 5);
+        let csr = CsrMatrix::from_dense(&d, 0.0);
+        let counts = csr.col_counts();
+        assert_eq!(counts.iter().sum::<usize>(), csr.nnz());
+    }
+
+    #[test]
+    fn density_matches_dense_density() {
+        let d = sparse_dense(40, 5, 0.2, 3);
+        let csr = CsrMatrix::from_dense(&d, 0.0);
+        assert!((csr.density() - d.density(0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn memory_scales_with_nnz() {
+        let dense_full = DMat::from_vec(4, 4, vec![1.0; 16]).unwrap();
+        let sparse = {
+            let mut m = DMat::zeros(4, 4);
+            m.set(0, 0, 1.0);
+            m
+        };
+        let a = CsrMatrix::from_dense(&dense_full, 0.0);
+        let b = CsrMatrix::from_dense(&sparse, 0.0);
+        assert!(b.memory_bytes() < a.memory_bytes());
+    }
+}

@@ -1,0 +1,389 @@
+//! Row-major dense matrices.
+//!
+//! [`DMat`] stores factor matrices (`I x F`, tall and skinny), MTTKRP
+//! outputs, and the small `F x F` Gram matrices. All ADMM and MTTKRP
+//! kernels operate on whole rows, so row-major layout gives unit-stride
+//! access in every hot loop.
+
+use crate::error::LinalgError;
+use crate::vecops;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// A row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DMat {
+    /// Create a matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DMat {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Create a matrix from a flat row-major buffer.
+    ///
+    /// Returns an error when `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != nrows * ncols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "buffer of length {} cannot back a {}x{} matrix",
+                data.len(),
+                nrows,
+                ncols
+            )));
+        }
+        Ok(DMat { nrows, ncols, data })
+    }
+
+    /// Create a matrix whose entries are drawn uniformly from `[lo, hi)`.
+    ///
+    /// Factor matrices in AO-ADMM are initialized with uniform random
+    /// non-negative entries, so constrained runs start feasible.
+    pub fn random<R: Rng + ?Sized>(nrows: usize, ncols: usize, lo: f64, hi: f64, rng: &mut R) -> Self {
+        let dist = Uniform::new(lo, hi);
+        let data = (0..nrows * ncols).map(|_| dist.sample(rng)).collect();
+        DMat { nrows, ncols, data }
+    }
+
+    /// Identity matrix of size `n x n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = DMat::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Flat row-major view of the whole matrix.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the whole matrix.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Entry accessor (used in cold paths and tests; hot code uses rows).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.ncols + j]
+    }
+
+    /// Entry mutator (used in cold paths and tests; hot code uses rows).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.ncols + j] = v;
+    }
+
+    /// Fill the whole matrix with a constant.
+    pub fn fill(&mut self, v: f64) {
+        vecops::fill(&mut self.data, v);
+    }
+
+    /// Copy the contents of `other` into `self`.
+    ///
+    /// Returns an error when shapes differ.
+    pub fn copy_from(&mut self, other: &DMat) -> Result<(), LinalgError> {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return Err(LinalgError::DimMismatch {
+                op: "copy_from",
+                lhs: (self.nrows, self.ncols),
+                rhs: (other.nrows, other.ncols),
+            });
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_fro_sq(&self) -> f64 {
+        vecops::norm_sq(&self.data)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.norm_fro_sq().sqrt()
+    }
+
+    /// Scale every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Gram matrix `A^T A` (size `ncols x ncols`), the quantity the paper
+    /// forms once per mode in Algorithm 2.
+    ///
+    /// Computed as a sum of rank-1 row outer products so the tall matrix
+    /// is streamed once in row order, parallelized over row chunks (each
+    /// chunk accumulates a private `F x F` upper triangle, reduced at the
+    /// end). Only the upper triangle is accumulated, then mirrored.
+    pub fn gram(&self) -> DMat {
+        use rayon::prelude::*;
+        let f = self.ncols;
+        let mut g = DMat::zeros(f, f);
+        if f == 0 || self.nrows == 0 {
+            return g;
+        }
+        let upper = self
+            .data
+            .par_chunks(f * 512)
+            .fold(
+                || vec![0.0f64; f * f],
+                |mut acc, chunk| {
+                    for row in chunk.chunks_exact(f) {
+                        for (a, &ra) in row.iter().enumerate() {
+                            if ra == 0.0 {
+                                continue;
+                            }
+                            let grow = &mut acc[a * f..(a + 1) * f];
+                            for b in a..f {
+                                grow[b] += ra * row[b];
+                            }
+                        }
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0.0f64; f * f],
+                |mut x, y| {
+                    for (a, b) in x.iter_mut().zip(&y) {
+                        *a += b;
+                    }
+                    x
+                },
+            );
+        g.data.copy_from_slice(&upper);
+        // Mirror the upper triangle into the lower triangle.
+        for a in 0..f {
+            for b in (a + 1)..f {
+                g.data[b * f + a] = g.data[a * f + b];
+            }
+        }
+        g
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> f64 {
+        debug_assert_eq!(self.nrows, self.ncols);
+        (0..self.nrows).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Dense matrix product `self * other` (used in tests and cold paths;
+    /// the factorization itself never multiplies two big dense matrices).
+    pub fn matmul(&self, other: &DMat) -> Result<DMat, LinalgError> {
+        if self.ncols != other.nrows {
+            return Err(LinalgError::DimMismatch {
+                op: "matmul",
+                lhs: (self.nrows, self.ncols),
+                rhs: (other.nrows, other.ncols),
+            });
+        }
+        let mut out = DMat::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * other.ncols..(i + 1) * other.ncols];
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                vecops::axpy(aik, other.row(k), orow);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose (cold path / tests).
+    pub fn transpose(&self) -> DMat {
+        let mut out = DMat::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                out.data[j * self.nrows + i] = self.data[i * self.ncols + j];
+            }
+        }
+        out
+    }
+
+    /// Add `alpha` to every diagonal entry (forms `G + rho*I` in place).
+    pub fn add_diag(&mut self, alpha: f64) {
+        debug_assert_eq!(self.nrows, self.ncols);
+        let n = self.nrows;
+        for i in 0..n {
+            self.data[i * n + i] += alpha;
+        }
+    }
+
+    /// Number of entries with magnitude strictly greater than `tol`.
+    pub fn count_nonzeros(&self, tol: f64) -> usize {
+        vecops::count_nonzeros(&self.data, tol)
+    }
+
+    /// Fraction of entries with magnitude strictly greater than `tol`.
+    ///
+    /// This is the density measure of Table II (`nnz(C) / (K*F)`).
+    pub fn density(&self, tol: f64) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.count_nonzeros(tol) as f64 / self.data.len() as f64
+    }
+
+    /// Maximum absolute difference between two equally shaped matrices.
+    pub fn max_abs_diff(&self, other: &DMat) -> f64 {
+        debug_assert_eq!(self.nrows, other.nrows);
+        debug_assert_eq!(self.ncols, other.ncols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = DMat::zeros(3, 2);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(DMat::from_vec(2, 2, vec![1.0; 3]).is_err());
+        let m = DMat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn row_access() {
+        let m = DMat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn gram_matches_transpose_product() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let a = DMat::random(17, 5, -1.0, 1.0, &mut rng);
+        let g = a.gram();
+        let gt = a.transpose().matmul(&a).unwrap();
+        assert!(g.max_abs_diff(&gt) < 1e-12);
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = DMat::random(9, 4, 0.0, 1.0, &mut rng);
+        let g = a.gram();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(g.get(i, j), g.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let a = DMat::random(4, 4, -1.0, 1.0, &mut rng);
+        let i = DMat::eye(4);
+        let ai = a.matmul(&i).unwrap();
+        assert!(a.max_abs_diff(&ai) < 1e-15);
+    }
+
+    #[test]
+    fn matmul_dim_mismatch() {
+        let a = DMat::zeros(2, 3);
+        let b = DMat::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn trace_and_add_diag() {
+        let mut m = DMat::eye(3);
+        assert_eq!(m.trace(), 3.0);
+        m.add_diag(2.0);
+        assert_eq!(m.trace(), 9.0);
+    }
+
+    #[test]
+    fn norms_and_scale() {
+        let mut m = DMat::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        assert_eq!(m.norm_fro(), 5.0);
+        m.scale(2.0);
+        assert_eq!(m.norm_fro(), 10.0);
+    }
+
+    #[test]
+    fn density_counts() {
+        let m = DMat::from_vec(2, 2, vec![0.0, 1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(m.count_nonzeros(0.0), 2);
+        assert_eq!(m.density(0.0), 0.5);
+    }
+
+    #[test]
+    fn copy_from_rejects_shape_mismatch() {
+        let mut a = DMat::zeros(2, 2);
+        let b = DMat::zeros(3, 2);
+        assert!(a.copy_from(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = DMat::random(6, 3, -1.0, 1.0, &mut rng);
+        let att = a.transpose().transpose();
+        assert!(a.max_abs_diff(&att) < 1e-15);
+    }
+
+    #[test]
+    fn random_respects_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = DMat::random(10, 10, 0.25, 0.75, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| (0.25..0.75).contains(&x)));
+    }
+}

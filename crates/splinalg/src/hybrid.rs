@@ -1,0 +1,266 @@
+//! Hybrid dense + CSR factor matrices (Section IV-C of the paper).
+//!
+//! A CSR factor trades bandwidth for latency: three indirections (row
+//! pointer, column index, value) are needed before useful work happens.
+//! Real factor matrices have non-uniform column sparsity — a few
+//! mostly-dense columns and a long tail of nearly empty ones. The hybrid
+//! structure splits them: columns with more nonzeros than the average
+//! column are stored as a small dense panel (one latency cost, then pure
+//! streaming), the rest stay in CSR. During MTTKRP the CSR row is
+//! prefetched while the dense panel is being processed, hiding its latency
+//! behind the dense arithmetic exactly as the paper describes.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DMat;
+use crate::Idx;
+
+/// Hybrid dense + CSR snapshot of a factor matrix.
+#[derive(Debug, Clone)]
+pub struct HybridMat {
+    nrows: usize,
+    ncols: usize,
+    /// Original column indices of the dense panel, ordered densest first.
+    dense_cols: Vec<Idx>,
+    /// Dense panel: `nrows x dense_cols.len()`, column `f` of the panel is
+    /// original column `dense_cols[f]`.
+    dense: DMat,
+    /// Sparse remainder in CSR with *original* column indices, so scatter
+    /// needs no permutation fix-up.
+    sparse: CsrMatrix,
+}
+
+impl HybridMat {
+    /// Build a hybrid snapshot of `m`, keeping entries with `|x| > tol`.
+    ///
+    /// A column is "dense" when its nonzero count strictly exceeds the
+    /// average column count (the paper's rule). Dense columns are sorted
+    /// densest-first into the panel.
+    pub fn from_dense(m: &DMat, tol: f64) -> Self {
+        let nrows = m.nrows();
+        let ncols = m.ncols();
+
+        // Per-column nonzero counts in one pass over the dense matrix.
+        let mut counts = vec![0usize; ncols];
+        for i in 0..nrows {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v.abs() > tol {
+                    counts[j] += 1;
+                }
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let avg = if ncols == 0 { 0.0 } else { total as f64 / ncols as f64 };
+
+        let mut dense_cols: Vec<Idx> = (0..ncols as Idx)
+            .filter(|&j| counts[j as usize] as f64 > avg)
+            .collect();
+        dense_cols.sort_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
+
+        let is_dense: Vec<bool> = {
+            let mut v = vec![false; ncols];
+            for &c in &dense_cols {
+                v[c as usize] = true;
+            }
+            v
+        };
+
+        // Gather the dense panel.
+        let mut dense = DMat::zeros(nrows, dense_cols.len());
+        for i in 0..nrows {
+            let src = m.row(i);
+            let dst = dense.row_mut(i);
+            for (f, &c) in dense_cols.iter().enumerate() {
+                dst[f] = src[c as usize];
+            }
+        }
+
+        // Gather the sparse remainder, masking out dense columns.
+        let mut masked = m.clone();
+        for i in 0..nrows {
+            let row = masked.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                if is_dense[j] || v.abs() <= tol {
+                    *v = 0.0;
+                }
+            }
+        }
+        let sparse = CsrMatrix::from_dense(&masked, 0.0);
+
+        HybridMat {
+            nrows,
+            ncols,
+            dense_cols,
+            dense,
+            sparse,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (of the original matrix).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of columns held in the dense panel.
+    #[inline]
+    pub fn num_dense_cols(&self) -> usize {
+        self.dense_cols.len()
+    }
+
+    /// Nonzeros stored in the CSR remainder.
+    #[inline]
+    pub fn sparse_nnz(&self) -> usize {
+        self.sparse.nnz()
+    }
+
+    /// Accumulate `out += alpha * row(i)` scattered to original columns.
+    ///
+    /// Issues a software prefetch for the CSR row, then processes the
+    /// dense panel while that fetch is in flight (Section IV-C).
+    #[inline]
+    pub fn scatter_axpy(&self, i: usize, alpha: f64, out: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let (cols, vals) = self.sparse.row(i);
+            if !vals.is_empty() {
+                // SAFETY: prefetch is a pure performance hint on valid
+                // addresses; both pointers point into live slices.
+                unsafe {
+                    use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                    _mm_prefetch(cols.as_ptr() as *const i8, _MM_HINT_T0);
+                    _mm_prefetch(vals.as_ptr() as *const i8, _MM_HINT_T0);
+                }
+            }
+        }
+        // Dense panel first: streams while the CSR row is being fetched.
+        let drow = self.dense.row(i);
+        for (f, &c) in self.dense_cols.iter().enumerate() {
+            out[c as usize] += alpha * drow[f];
+        }
+        self.sparse.scatter_axpy(i, alpha, out);
+    }
+
+    /// Expand back to a dense matrix (tests / cold paths).
+    pub fn to_dense(&self) -> DMat {
+        let mut out = self.sparse.to_dense();
+        for i in 0..self.nrows {
+            let drow = self.dense.row(i);
+            let orow = out.row_mut(i);
+            for (f, &c) in self.dense_cols.iter().enumerate() {
+                orow[c as usize] = drow[f];
+            }
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self.dense.as_slice())
+            + self.dense_cols.len() * std::mem::size_of::<Idx>()
+            + self.sparse.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Matrix with a few dense columns and a sparse tail, like an
+    /// l1-regularized factor.
+    fn skewed_matrix(rows: usize, cols: usize, seed: u64) -> DMat {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = DMat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                // Columns 0..2 are ~90% dense, the rest ~5%.
+                let keep = if j < 3 { 0.9 } else { 0.05 };
+                if rng.gen::<f64>() < keep {
+                    m.set(i, j, rng.gen_range(0.1..1.0));
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn roundtrip_dense() {
+        let d = skewed_matrix(50, 10, 1);
+        let h = HybridMat::from_dense(&d, 0.0);
+        assert_eq!(h.to_dense().max_abs_diff(&d), 0.0);
+    }
+
+    #[test]
+    fn dense_columns_are_the_heavy_ones() {
+        let d = skewed_matrix(200, 12, 2);
+        let h = HybridMat::from_dense(&d, 0.0);
+        // The three heavy columns must land in the dense panel.
+        assert!(h.num_dense_cols() >= 3);
+        let mut panel: Vec<Idx> = h.dense_cols.clone();
+        panel.sort_unstable();
+        for c in 0..3 {
+            assert!(panel.binary_search(&(c as Idx)).is_ok());
+        }
+    }
+
+    #[test]
+    fn scatter_axpy_matches_dense() {
+        let d = skewed_matrix(30, 8, 3);
+        let h = HybridMat::from_dense(&d, 0.0);
+        for i in 0..30 {
+            let mut a = vec![0.0; 8];
+            let mut b = vec![0.0; 8];
+            h.scatter_axpy(i, 1.5, &mut a);
+            crate::vecops::axpy(1.5, d.row(i), &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_matrix_has_empty_panel() {
+        let d = DMat::zeros(10, 4);
+        let h = HybridMat::from_dense(&d, 0.0);
+        assert_eq!(h.num_dense_cols(), 0);
+        assert_eq!(h.sparse_nnz(), 0);
+    }
+
+    #[test]
+    fn uniform_matrix_everything_equal_counts() {
+        // All columns have identical counts: none strictly exceeds the
+        // average, so everything stays in CSR.
+        let d = DMat::from_vec(2, 3, vec![1.0; 6]).unwrap();
+        let h = HybridMat::from_dense(&d, 0.0);
+        assert_eq!(h.num_dense_cols(), 0);
+        assert_eq!(h.sparse_nnz(), 6);
+        assert_eq!(h.to_dense().max_abs_diff(&d), 0.0);
+    }
+
+    #[test]
+    fn nnz_partitioned_between_panel_and_csr() {
+        let d = skewed_matrix(100, 10, 4);
+        let h = HybridMat::from_dense(&d, 0.0);
+        // Entries in dense columns that are zero occupy panel slots, so we
+        // check reconstruction rather than exact counts; the CSR side must
+        // hold only non-panel entries.
+        let total = d.count_nonzeros(0.0);
+        let panel_cols: std::collections::HashSet<Idx> = h.dense_cols.iter().copied().collect();
+        let mut panel_nnz = 0;
+        for i in 0..d.nrows() {
+            for (j, &v) in d.row(i).iter().enumerate() {
+                if v != 0.0 && panel_cols.contains(&(j as Idx)) {
+                    panel_nnz += 1;
+                }
+            }
+        }
+        assert_eq!(h.sparse_nnz() + panel_nnz, total);
+    }
+}

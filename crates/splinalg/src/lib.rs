@@ -1,0 +1,45 @@
+//! Dense and sparse matrix kernels for constrained tensor factorization.
+//!
+//! This crate is the linear-algebra substrate of the AO-ADMM reproduction.
+//! The paper relies on Intel MKL for the dense kernels inside ADMM
+//! (Cholesky factorization, forward/backward substitution) and on
+//! hand-written structures for the sparse factor matrices used by MTTKRP
+//! (CSR and the hybrid dense+CSR layout of Section IV-C). All of those are
+//! implemented here from scratch:
+//!
+//! * [`DMat`] — row-major dense matrix, the storage for factor matrices,
+//!   MTTKRP outputs, and Gram matrices. Factor matrices are tall and skinny
+//!   (`I x F` with `F` on the order of 10–200), so row-major layout keeps
+//!   each row in a handful of cache lines.
+//! * [`Cholesky`] — Cholesky factorization of the small `F x F` normal
+//!   matrix `G + rho*I`, plus forward/backward substitution applied row by
+//!   row (Algorithm 1, lines 4 and 6 of the paper).
+//! * [`ops`] — Khatri–Rao and Hadamard products and the Gram-matrix
+//!   helpers used to form `G` (Algorithm 2, lines 4/8/12).
+//! * [`CsrMatrix`] — compressed sparse row storage for factor matrices
+//!   that become sparse under l1 regularization (Section IV-C).
+//! * [`HybridMat`] — the hybrid dense+CSR structure: mostly-dense columns
+//!   are split out into a small dense panel and the long tail of sparse
+//!   columns stays in CSR (Section IV-C).
+
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod hybrid;
+pub mod ops;
+pub mod vecops;
+
+pub use cholesky::Cholesky;
+pub use csr::CsrMatrix;
+pub use dense::DMat;
+pub use error::LinalgError;
+pub use hybrid::HybridMat;
+
+/// Column/row index type used by sparse matrix structures.
+///
+/// `u32` halves index memory traffic relative to `usize`; all mode lengths
+/// in this reproduction (and all FROSTT tensors in the paper) fit in 32 bits.
+pub type Idx = u32;

@@ -1,0 +1,212 @@
+//! Matrix products specific to CP decomposition: Khatri–Rao, Hadamard,
+//! and the Gram-matrix combinations of Algorithm 2.
+
+use crate::dense::DMat;
+use crate::error::LinalgError;
+use crate::vecops;
+
+/// Khatri–Rao product (column-wise Kronecker): for `B (J x F)` and
+/// `C (K x F)` produces a `J*K x F` matrix whose row `j*K + k` is
+/// `B(j,:) .* C(k,:)`.
+///
+/// Only used by reference implementations and tests — the production
+/// MTTKRP never materializes this matrix (that is the whole point of the
+/// CSF kernel).
+pub fn khatri_rao(b: &DMat, c: &DMat) -> Result<DMat, LinalgError> {
+    if b.ncols() != c.ncols() {
+        return Err(LinalgError::DimMismatch {
+            op: "khatri_rao",
+            lhs: (b.nrows(), b.ncols()),
+            rhs: (c.nrows(), c.ncols()),
+        });
+    }
+    let f = b.ncols();
+    let mut out = DMat::zeros(b.nrows() * c.nrows(), f);
+    for j in 0..b.nrows() {
+        let brow = b.row(j);
+        for k in 0..c.nrows() {
+            let crow = c.row(k);
+            let orow = out.row_mut(j * c.nrows() + k);
+            for t in 0..f {
+                orow[t] = brow[t] * crow[t];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Elementwise (Hadamard) product of two equally shaped matrices.
+pub fn hadamard(a: &DMat, b: &DMat) -> Result<DMat, LinalgError> {
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return Err(LinalgError::DimMismatch {
+            op: "hadamard",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    let mut out = a.clone();
+    vecops::hadamard_assign(out.as_mut_slice(), b.as_slice());
+    Ok(out)
+}
+
+/// Hadamard product of all Gram matrices except `skip_mode`:
+/// `G = *_{m != skip} (A_m^T A_m)`.
+///
+/// This is lines 4/8/12 of Algorithm 2 — the normal matrix of the
+/// least-squares subproblem for `skip_mode`.
+pub fn gram_hadamard(grams: &[DMat], skip_mode: usize) -> Result<DMat, LinalgError> {
+    let mut iter = grams
+        .iter()
+        .enumerate()
+        .filter(|(m, _)| *m != skip_mode)
+        .map(|(_, g)| g);
+    let first = iter
+        .next()
+        .ok_or_else(|| LinalgError::InvalidArgument("gram_hadamard needs >= 2 modes".into()))?;
+    let mut out = first.clone();
+    for g in iter {
+        if g.nrows() != out.nrows() || g.ncols() != out.ncols() {
+            return Err(LinalgError::DimMismatch {
+                op: "gram_hadamard",
+                lhs: (out.nrows(), out.ncols()),
+                rhs: (g.nrows(), g.ncols()),
+            });
+        }
+        vecops::hadamard_assign(out.as_mut_slice(), g.as_slice());
+    }
+    Ok(out)
+}
+
+/// Sum of all entries of the Hadamard product of every Gram matrix:
+/// `1^T (*_m A_m^T A_m) 1`.
+///
+/// This equals the squared Frobenius norm of the Kruskal model
+/// `|| [[A_1, ..., A_N]] ||_F^2` and is used by the cheap relative-error
+/// update (Section V-A of the paper).
+pub fn model_norm_sq(grams: &[DMat]) -> Result<f64, LinalgError> {
+    if grams.is_empty() {
+        return Err(LinalgError::InvalidArgument(
+            "model_norm_sq needs at least one gram".into(),
+        ));
+    }
+    let mut acc = grams[0].clone();
+    for g in &grams[1..] {
+        if g.nrows() != acc.nrows() || g.ncols() != acc.ncols() {
+            return Err(LinalgError::DimMismatch {
+                op: "model_norm_sq",
+                lhs: (acc.nrows(), acc.ncols()),
+                rhs: (g.nrows(), g.ncols()),
+            });
+        }
+        vecops::hadamard_assign(acc.as_mut_slice(), g.as_slice());
+    }
+    Ok(acc.as_slice().iter().sum())
+}
+
+/// Inner product `<A, B>` of two equally shaped matrices, i.e.
+/// `sum_ij A(i,j) B(i,j)`.
+///
+/// With `A` a factor matrix and `B` the MTTKRP output for the same mode
+/// this equals `<X, model>` (the SPLATT fit trick).
+pub fn inner_product(a: &DMat, b: &DMat) -> Result<f64, LinalgError> {
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return Err(LinalgError::DimMismatch {
+            op: "inner_product",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    Ok(vecops::dot(a.as_slice(), b.as_slice()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn khatri_rao_small() {
+        let b = DMat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let c = DMat::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let kr = khatri_rao(&b, &c).unwrap();
+        assert_eq!(kr.nrows(), 4);
+        // Row (j=0,k=0): [1*5, 2*6]
+        assert_eq!(kr.row(0), &[5.0, 12.0]);
+        // Row (j=1,k=0): [3*5, 4*6]
+        assert_eq!(kr.row(2), &[15.0, 24.0]);
+    }
+
+    #[test]
+    fn khatri_rao_dim_mismatch() {
+        let b = DMat::zeros(2, 2);
+        let c = DMat::zeros(2, 3);
+        assert!(khatri_rao(&b, &c).is_err());
+    }
+
+    #[test]
+    fn gram_of_khatri_rao_is_hadamard_of_grams() {
+        // The identity (C (*) B)^T (C (*) B) = (B^T B) .* (C^T C) is what
+        // Algorithm 2 exploits to avoid forming the Khatri-Rao product.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let b = DMat::random(7, 4, -1.0, 1.0, &mut rng);
+        let c = DMat::random(5, 4, -1.0, 1.0, &mut rng);
+        let kr = khatri_rao(&c, &b).unwrap();
+        let lhs = kr.gram();
+        let rhs = hadamard(&b.gram(), &c.gram()).unwrap();
+        assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+    }
+
+    #[test]
+    fn gram_hadamard_skips_mode() {
+        let g0 = DMat::from_vec(1, 1, vec![2.0]).unwrap();
+        let g1 = DMat::from_vec(1, 1, vec![3.0]).unwrap();
+        let g2 = DMat::from_vec(1, 1, vec![5.0]).unwrap();
+        let grams = vec![g0, g1, g2];
+        assert_eq!(gram_hadamard(&grams, 0).unwrap().get(0, 0), 15.0);
+        assert_eq!(gram_hadamard(&grams, 1).unwrap().get(0, 0), 10.0);
+        assert_eq!(gram_hadamard(&grams, 2).unwrap().get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn model_norm_matches_direct_reconstruction() {
+        // || [[A, B, C]] ||_F^2 computed from grams must equal the squared
+        // norm of the fully reconstructed tensor.
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let (i, j, k, f) = (4, 3, 5, 2);
+        let a = DMat::random(i, f, -1.0, 1.0, &mut rng);
+        let b = DMat::random(j, f, -1.0, 1.0, &mut rng);
+        let c = DMat::random(k, f, -1.0, 1.0, &mut rng);
+        let grams = vec![a.gram(), b.gram(), c.gram()];
+        let fast = model_norm_sq(&grams).unwrap();
+
+        let mut direct = 0.0;
+        for ii in 0..i {
+            for jj in 0..j {
+                for kk in 0..k {
+                    let mut v = 0.0;
+                    for t in 0..f {
+                        v += a.get(ii, t) * b.get(jj, t) * c.get(kk, t);
+                    }
+                    direct += v * v;
+                }
+            }
+        }
+        assert!((fast - direct).abs() < 1e-9 * direct.abs().max(1.0));
+    }
+
+    #[test]
+    fn inner_product_basic() {
+        let a = DMat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = DMat::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert_eq!(inner_product(&a, &b).unwrap(), 70.0);
+        assert!(inner_product(&a, &DMat::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn hadamard_basic() {
+        let a = DMat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let h = hadamard(&a, &a).unwrap();
+        assert_eq!(h.as_slice(), &[1.0, 4.0, 9.0, 16.0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Small vector kernels shared by the dense and sparse matrix code.
+//!
+//! These are the innermost loops of ADMM and MTTKRP; they are written over
+//! plain slices so the compiler can unroll and vectorize them, and so that
+//! callers can apply them to rows of [`crate::DMat`] without copies.
+
+/// Dot product of two equally sized slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` over equally sized slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Squared Euclidean norm of a slice.
+#[inline]
+pub fn norm_sq(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// Squared Euclidean distance between two equally sized slices.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Elementwise product accumulated into an output slice: `out += a .* b`.
+#[inline]
+pub fn hadamard_acc(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o += x * y;
+    }
+}
+
+/// Elementwise product in place: `a .*= b`.
+#[inline]
+pub fn hadamard_assign(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x *= y;
+    }
+}
+
+/// Fill a slice with a constant.
+#[inline]
+pub fn fill(a: &mut [f64], v: f64) {
+    for x in a.iter_mut() {
+        *x = v;
+    }
+}
+
+/// Count entries whose magnitude is strictly greater than `tol`.
+#[inline]
+pub fn count_nonzeros(a: &[f64], tol: f64) -> usize {
+    a.iter().filter(|x| x.abs() > tol).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(dist_sq(&[1.0, 2.0], &[4.0, 6.0]), 25.0);
+    }
+
+    #[test]
+    fn hadamard_ops() {
+        let mut out = vec![1.0, 1.0];
+        hadamard_acc(&[2.0, 3.0], &[4.0, 5.0], &mut out);
+        assert_eq!(out, vec![9.0, 16.0]);
+
+        let mut a = vec![2.0, 3.0];
+        hadamard_assign(&mut a, &[4.0, 5.0]);
+        assert_eq!(a, vec![8.0, 15.0]);
+    }
+
+    #[test]
+    fn fill_and_count() {
+        let mut a = vec![0.0; 4];
+        fill(&mut a, 2.5);
+        assert!(a.iter().all(|&x| x == 2.5));
+        assert_eq!(count_nonzeros(&[0.0, 1e-12, 0.5, -0.5], 1e-9), 2);
+    }
+}

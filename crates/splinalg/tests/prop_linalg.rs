@@ -1,0 +1,121 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::{ops, Cholesky, CsrMatrix, DMat, HybridMat};
+
+/// Random matrix strategy: dims in [1, 12], seeded values.
+fn mat_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = DMat> {
+    (1..=max_rows, 1..=max_cols, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        DMat::random(r, c, -2.0, 2.0, &mut rng)
+    })
+}
+
+/// Random sparse-ish matrix: random entries zeroed with probability p.
+fn sparse_mat_strategy() -> impl Strategy<Value = DMat> {
+    (mat_strategy(20, 10), 0.0f64..1.0, any::<u64>()).prop_map(|(mut m, p, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        for v in m.as_mut_slice() {
+            if rng.gen::<f64>() < p {
+                *v = 0.0;
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_solves_spd_systems(m in mat_strategy(12, 8), rhs_seed in any::<u64>()) {
+        // A = M^T M + n I is SPD.
+        let n = m.ncols();
+        let mut a = m.gram();
+        a.add_diag(n as f64 + 1.0);
+        let chol = Cholesky::factor(&a).unwrap();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(rhs_seed);
+        let x_true = DMat::random(1, n, -1.0, 1.0, &mut rng);
+        let b = a.matmul(&x_true.transpose()).unwrap().transpose();
+        let mut x = b;
+        chol.solve_row(x.row_mut(0));
+        prop_assert!(x.max_abs_diff(&x_true) < 1e-6);
+    }
+
+    #[test]
+    fn gram_is_psd(m in mat_strategy(15, 8), probe_seed in any::<u64>()) {
+        let g = m.gram();
+        let n = g.nrows();
+        let mut rng = ChaCha8Rng::seed_from_u64(probe_seed);
+        let v = DMat::random(1, n, -1.0, 1.0, &mut rng);
+        // v^T G v = ||M v||^2 >= 0.
+        let gv = g.matmul(&v.transpose()).unwrap();
+        let quad: f64 = (0..n).map(|i| v.get(0, i) * gv.get(i, 0)).sum();
+        prop_assert!(quad >= -1e-9);
+    }
+
+    #[test]
+    fn khatri_rao_gram_identity(b in mat_strategy(8, 5), c_seed in any::<u64>()) {
+        let f = b.ncols();
+        let mut rng = ChaCha8Rng::seed_from_u64(c_seed);
+        let c = DMat::random(6, f, -1.0, 1.0, &mut rng);
+        let kr = ops::khatri_rao(&c, &b).unwrap();
+        let lhs = kr.gram();
+        let rhs = ops::hadamard(&b.gram(), &c.gram()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn csr_roundtrips(m in sparse_mat_strategy()) {
+        let csr = CsrMatrix::from_dense(&m, 0.0);
+        prop_assert_eq!(csr.nnz(), m.count_nonzeros(0.0));
+        prop_assert_eq!(csr.to_dense().max_abs_diff(&m), 0.0);
+    }
+
+    #[test]
+    fn hybrid_roundtrips(m in sparse_mat_strategy()) {
+        let h = HybridMat::from_dense(&m, 0.0);
+        prop_assert_eq!(h.to_dense().max_abs_diff(&m), 0.0);
+    }
+
+    #[test]
+    fn csr_and_hybrid_scatter_agree(m in sparse_mat_strategy(), row_pick in any::<u64>(), alpha in -3.0f64..3.0) {
+        let row = (row_pick as usize) % m.nrows();
+        let csr = CsrMatrix::from_dense(&m, 0.0);
+        let h = HybridMat::from_dense(&m, 0.0);
+        let mut a = vec![0.5; m.ncols()];
+        let mut b = vec![0.5; m.ncols()];
+        csr.scatter_axpy(row, alpha, &mut a);
+        h.scatter_axpy(row, alpha, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn model_norm_nonnegative(a in mat_strategy(6, 4), seeds in any::<u64>()) {
+        let f = a.ncols();
+        let mut rng = ChaCha8Rng::seed_from_u64(seeds);
+        let b = DMat::random(5, f, -1.0, 1.0, &mut rng);
+        let c = DMat::random(4, f, -1.0, 1.0, &mut rng);
+        let grams = vec![a.gram(), b.gram(), c.gram()];
+        // It's a squared Frobenius norm of the reconstruction.
+        prop_assert!(ops::model_norm_sq(&grams).unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn transpose_involution(m in mat_strategy(10, 10)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in mat_strategy(8, 8)) {
+        let i = DMat::eye(m.ncols());
+        let mi = m.matmul(&i).unwrap();
+        prop_assert!(mi.max_abs_diff(&m) < 1e-12);
+    }
+}

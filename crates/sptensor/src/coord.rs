@@ -1,0 +1,351 @@
+//! Coordinate-format (COO) sparse tensors.
+//!
+//! COO (Figure 2a in the paper) is the interchange format: FROSTT files,
+//! synthetic generators and tests all produce COO, and [`crate::Csf`] is
+//! compiled from it. Indices are stored structure-of-arrays (one `Vec`
+//! per mode) so mode-wise passes are unit stride.
+
+use crate::{Idx, TensorError};
+
+/// A sparse tensor in coordinate format with `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooTensor {
+    dims: Vec<usize>,
+    /// `inds[m][n]` is the mode-`m` coordinate of nonzero `n`.
+    inds: Vec<Vec<Idx>>,
+    vals: Vec<f64>,
+}
+
+impl CooTensor {
+    /// Create an empty tensor with the given mode lengths.
+    ///
+    /// Requires at least two modes (a one-mode "tensor" is a vector and is
+    /// not meaningful for CPD) and every mode length to fit in [`Idx`].
+    pub fn new(dims: Vec<usize>) -> Result<Self, TensorError> {
+        if dims.len() < 2 {
+            return Err(TensorError::Invalid(format!(
+                "tensors need >= 2 modes, got {}",
+                dims.len()
+            )));
+        }
+        for (m, &d) in dims.iter().enumerate() {
+            if d == 0 {
+                return Err(TensorError::Invalid(format!("mode {m} has length 0")));
+            }
+            if d > Idx::MAX as usize {
+                return Err(TensorError::Invalid(format!(
+                    "mode {m} length {d} exceeds index type"
+                )));
+            }
+        }
+        let nmodes = dims.len();
+        Ok(CooTensor {
+            dims,
+            inds: vec![Vec::new(); nmodes],
+            vals: Vec::new(),
+        })
+    }
+
+    /// Create with pre-allocated capacity for `cap` nonzeros.
+    pub fn with_capacity(dims: Vec<usize>, cap: usize) -> Result<Self, TensorError> {
+        let mut t = Self::new(dims)?;
+        for v in &mut t.inds {
+            v.reserve(cap);
+        }
+        t.vals.reserve(cap);
+        Ok(t)
+    }
+
+    /// Append a nonzero. Coordinates are bounds-checked.
+    pub fn push(&mut self, coords: &[Idx], val: f64) -> Result<(), TensorError> {
+        if coords.len() != self.nmodes() {
+            return Err(TensorError::Invalid(format!(
+                "coordinate arity {} does not match order {}",
+                coords.len(),
+                self.nmodes()
+            )));
+        }
+        for (m, (&c, &d)) in coords.iter().zip(&self.dims).enumerate() {
+            if c as usize >= d {
+                return Err(TensorError::IndexOutOfBounds {
+                    mode: m,
+                    index: c as u64,
+                    dim: d,
+                });
+            }
+        }
+        for (m, &c) in coords.iter().enumerate() {
+            self.inds[m].push(c);
+        }
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Number of modes (the tensor's order).
+    #[inline]
+    pub fn nmodes(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Mode lengths.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Coordinates of mode `m` for all nonzeros.
+    #[inline]
+    pub fn mode_inds(&self, m: usize) -> &[Idx] {
+        &self.inds[m]
+    }
+
+    /// Values of all nonzeros.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Full coordinate of nonzero `n` (allocates; tests / cold paths).
+    pub fn coord(&self, n: usize) -> Vec<Idx> {
+        self.inds.iter().map(|col| col[n]).collect()
+    }
+
+    /// Squared Frobenius norm `||X||_F^2` — the denominator of the
+    /// paper's relative-error metric.
+    pub fn norm_sq(&self) -> f64 {
+        self.vals.iter().map(|v| v * v).sum()
+    }
+
+    /// Density: `nnz / prod(dims)` computed in `f64` to avoid overflow.
+    pub fn density(&self) -> f64 {
+        let cells: f64 = self.dims.iter().map(|&d| d as f64).product();
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells
+        }
+    }
+
+    /// Sort nonzeros lexicographically by the given mode order
+    /// (`order[0]` is the most significant mode). Used by CSF compilation.
+    pub fn sort_by_mode_order(&mut self, order: &[usize]) {
+        debug_assert_eq!(order.len(), self.nmodes());
+        let mut perm: Vec<usize> = (0..self.nnz()).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            for &m in order {
+                match self.inds[m][a].cmp(&self.inds[m][b]) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.apply_permutation(&perm);
+    }
+
+    fn apply_permutation(&mut self, perm: &[usize]) {
+        for col in &mut self.inds {
+            let new: Vec<Idx> = perm.iter().map(|&p| col[p]).collect();
+            *col = new;
+        }
+        let newv: Vec<f64> = perm.iter().map(|&p| self.vals[p]).collect();
+        self.vals = newv;
+    }
+
+    /// Merge duplicate coordinates by summing their values.
+    ///
+    /// Sorts in canonical mode order first. Generators that sample random
+    /// coordinates call this to restore the set-of-coordinates invariant.
+    pub fn dedup_sum(&mut self) {
+        if self.nnz() <= 1 {
+            return;
+        }
+        let order: Vec<usize> = (0..self.nmodes()).collect();
+        self.sort_by_mode_order(&order);
+        let nmodes = self.nmodes();
+        let mut w = 0usize; // write cursor
+        for r in 1..self.nnz() {
+            let same = (0..nmodes).all(|m| self.inds[m][r] == self.inds[m][w]);
+            if same {
+                self.vals[w] += self.vals[r];
+            } else {
+                w += 1;
+                for m in 0..nmodes {
+                    self.inds[m][w] = self.inds[m][r];
+                }
+                self.vals[w] = self.vals[r];
+            }
+        }
+        let newlen = w + 1;
+        for col in &mut self.inds {
+            col.truncate(newlen);
+        }
+        self.vals.truncate(newlen);
+    }
+
+    /// Drop nonzeros whose magnitude is at most `tol` (cleans up
+    /// generator output where planted model values cancel to ~0).
+    pub fn prune(&mut self, tol: f64) {
+        let keep: Vec<bool> = self.vals.iter().map(|v| v.abs() > tol).collect();
+        for col in &mut self.inds {
+            let mut it = keep.iter();
+            col.retain(|_| *it.next().unwrap());
+        }
+        let mut it = keep.iter();
+        self.vals.retain(|_| *it.next().unwrap());
+    }
+
+    /// Number of distinct indices appearing in mode `m` (occupied slices).
+    pub fn occupied_slices(&self, m: usize) -> usize {
+        let mut seen = vec![false; self.dims[m]];
+        let mut count = 0;
+        for &i in &self.inds[m] {
+            if !seen[i as usize] {
+                seen[i as usize] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Histogram of nonzeros per slice of mode `m`.
+    pub fn slice_counts(&self, m: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; self.dims[m]];
+        for &i in &self.inds[m] {
+            counts[i as usize] += 1;
+        }
+        counts
+    }
+
+    /// Iterate the nonzeros as `(coordinate, value)` pairs without
+    /// allocating per element (the coordinate buffer is reused).
+    pub fn for_each_nonzero<F: FnMut(&[Idx], f64)>(&self, mut f: F) {
+        let nmodes = self.nmodes();
+        let mut coord = vec![0 as Idx; nmodes];
+        for n in 0..self.nnz() {
+            for (c, col) in coord.iter_mut().zip(&self.inds) {
+                *c = col[n];
+            }
+            f(&coord, self.vals[n]);
+        }
+    }
+
+    /// Iterator over `(coordinate, value)` pairs (allocates one `Vec`
+    /// per element; use [`CooTensor::for_each_nonzero`] in hot paths).
+    pub fn nonzeros(&self) -> impl Iterator<Item = (Vec<Idx>, f64)> + '_ {
+        (0..self.nnz()).map(move |n| (self.coord(n), self.vals[n]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t3() -> CooTensor {
+        let mut t = CooTensor::new(vec![3, 4, 5]).unwrap();
+        t.push(&[0, 0, 0], 1.0).unwrap();
+        t.push(&[2, 3, 4], 2.0).unwrap();
+        t.push(&[1, 2, 3], 3.0).unwrap();
+        t
+    }
+
+    #[test]
+    fn new_validates_dims() {
+        assert!(CooTensor::new(vec![3]).is_err());
+        assert!(CooTensor::new(vec![3, 0]).is_err());
+        assert!(CooTensor::new(vec![3, 4]).is_ok());
+    }
+
+    #[test]
+    fn push_bounds_check() {
+        let mut t = CooTensor::new(vec![2, 2]).unwrap();
+        assert!(t.push(&[0, 2], 1.0).is_err());
+        assert!(t.push(&[0], 1.0).is_err());
+        assert!(t.push(&[1, 1], 1.0).is_ok());
+        assert_eq!(t.nnz(), 1);
+    }
+
+    #[test]
+    fn norm_and_density() {
+        let t = t3();
+        assert_eq!(t.norm_sq(), 14.0);
+        assert!((t.density() - 3.0 / 60.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sort_lexicographic() {
+        let mut t = t3();
+        t.sort_by_mode_order(&[0, 1, 2]);
+        assert_eq!(t.mode_inds(0), &[0, 1, 2]);
+        assert_eq!(t.values(), &[1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn sort_with_permuted_order() {
+        let mut t = CooTensor::new(vec![2, 2]).unwrap();
+        t.push(&[0, 1], 1.0).unwrap();
+        t.push(&[1, 0], 2.0).unwrap();
+        // Mode-1-major order puts (1,0) first.
+        t.sort_by_mode_order(&[1, 0]);
+        assert_eq!(t.values(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn dedup_sums_duplicates() {
+        let mut t = CooTensor::new(vec![2, 2]).unwrap();
+        t.push(&[0, 0], 1.0).unwrap();
+        t.push(&[1, 1], 5.0).unwrap();
+        t.push(&[0, 0], 2.0).unwrap();
+        t.dedup_sum();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.values(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn prune_removes_small_values() {
+        let mut t = CooTensor::new(vec![2, 2]).unwrap();
+        t.push(&[0, 0], 1e-12).unwrap();
+        t.push(&[1, 1], 1.0).unwrap();
+        t.prune(1e-9);
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.coord(0), vec![1, 1]);
+    }
+
+    #[test]
+    fn slice_statistics() {
+        let t = t3();
+        assert_eq!(t.occupied_slices(0), 3);
+        assert_eq!(t.slice_counts(0), vec![1, 1, 1]);
+        assert_eq!(t.slice_counts(2)[4], 1);
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let t = t3();
+        assert_eq!(t.coord(1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn nonzero_iteration_apis_agree() {
+        let t = t3();
+        let collected: Vec<(Vec<Idx>, f64)> = t.nonzeros().collect();
+        let mut streamed = Vec::new();
+        t.for_each_nonzero(|c, v| streamed.push((c.to_vec(), v)));
+        assert_eq!(collected, streamed);
+        assert_eq!(collected.len(), 3);
+    }
+
+    #[test]
+    fn four_mode_tensor() {
+        let mut t = CooTensor::new(vec![2, 2, 2, 2]).unwrap();
+        t.push(&[1, 0, 1, 0], 1.0).unwrap();
+        assert_eq!(t.nmodes(), 4);
+        assert_eq!(t.coord(0), vec![1, 0, 1, 0]);
+    }
+}

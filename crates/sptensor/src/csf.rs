@@ -1,0 +1,369 @@
+//! Compressed sparse fiber (CSF) tensors.
+//!
+//! CSF (Figure 2b of the paper; Smith & Karypis, IA^3 2015) generalizes
+//! CSR to higher orders: the modes are nested in a fixed order and each
+//! level stores one node per distinct index prefix, so each root-to-leaf
+//! path encodes the coordinate of one nonzero. MTTKRP (Algorithm 3)
+//! traverses this forest with one loop per mode, accumulating partial
+//! products bottom-up.
+//!
+//! Like SPLATT's `ALLMODE` configuration, the factorization builds one CSF
+//! per mode, rooted at the output mode of that mode's MTTKRP, so the
+//! output rows of the kernel are disjoint across root subtrees and the
+//! traversal parallelizes over roots with no synchronization.
+
+use crate::coord::CooTensor;
+use crate::{Idx, TensorError};
+
+/// A sparse tensor compressed with one fiber tree per root index.
+///
+/// Level `l` of the structure corresponds to tensor mode
+/// `mode_order()[l]`; level 0 holds the roots and level `nmodes-1` the
+/// leaves (one per nonzero, aligned with `vals`).
+#[derive(Debug, Clone)]
+pub struct Csf {
+    dims: Vec<usize>,
+    mode_order: Vec<usize>,
+    /// `fids[l]` — tensor index of each node at level `l`.
+    fids: Vec<Vec<Idx>>,
+    /// `fptr[l]` — children ranges: node `n` at level `l` owns nodes
+    /// `fptr[l][n] .. fptr[l][n+1]` at level `l+1`. One entry array per
+    /// non-leaf level.
+    fptr: Vec<Vec<usize>>,
+    vals: Vec<f64>,
+}
+
+impl Csf {
+    /// Compile a CSF from a COO tensor with the given mode nesting order
+    /// (`order[0]` becomes the root level).
+    ///
+    /// The COO tensor is copied and sorted; the input is left untouched.
+    pub fn from_coo(coo: &CooTensor, order: &[usize]) -> Result<Self, TensorError> {
+        let nmodes = coo.nmodes();
+        if order.len() != nmodes {
+            return Err(TensorError::Invalid(format!(
+                "mode order length {} does not match order {nmodes}",
+                order.len()
+            )));
+        }
+        let mut seen = vec![false; nmodes];
+        for &m in order {
+            if m >= nmodes || seen[m] {
+                return Err(TensorError::Invalid(format!(
+                    "mode order {order:?} is not a permutation of 0..{nmodes}"
+                )));
+            }
+            seen[m] = true;
+        }
+        if coo.nnz() == 0 {
+            return Err(TensorError::Invalid(
+                "cannot build CSF from an empty tensor".into(),
+            ));
+        }
+
+        let mut sorted = coo.clone();
+        sorted.sort_by_mode_order(order);
+
+        let nnz = sorted.nnz();
+        let mut fids: Vec<Vec<Idx>> = vec![Vec::new(); nmodes];
+        let mut fptr: Vec<Vec<usize>> = vec![vec![0]; nmodes - 1];
+
+        // Single pass over the sorted nonzeros. A node at level l begins
+        // whenever the index at level l or any shallower level changes;
+        // because the nonzeros are sorted, each node's children are
+        // contiguous, so its range end is simply the running child count,
+        // refreshed after every nonzero.
+        for n in 0..nnz {
+            let new_from = if n == 0 {
+                0
+            } else {
+                // Exact duplicate coordinates still emit their own leaf so
+                // leaves stay aligned with `vals` (callers normally dedup
+                // first, but CSF must not silently drop values).
+                order
+                    .iter()
+                    .position(|&m| sorted.mode_inds(m)[n] != sorted.mode_inds(m)[n - 1])
+                    .unwrap_or(nmodes - 1)
+            };
+            for l in new_from..nmodes {
+                fids[l].push(sorted.mode_inds(order[l])[n]);
+                if l < nmodes - 1 {
+                    // Placeholder end for the new node; fixed up below.
+                    fptr[l].push(0);
+                }
+            }
+            for l in 0..nmodes - 1 {
+                *fptr[l].last_mut().unwrap() = fids[l + 1].len();
+            }
+        }
+
+        Ok(Csf {
+            dims: coo.dims().to_vec(),
+            mode_order: order.to_vec(),
+            fids,
+            fptr,
+            vals: sorted.values().to_vec(),
+        })
+    }
+
+    /// Compile with the root at `root_mode` and remaining modes ordered by
+    /// increasing length (short modes high in the tree maximizes prefix
+    /// sharing — SPLATT's default heuristic), root first.
+    pub fn from_coo_rooted(coo: &CooTensor, root_mode: usize) -> Result<Self, TensorError> {
+        let nmodes = coo.nmodes();
+        if root_mode >= nmodes {
+            return Err(TensorError::Invalid(format!(
+                "root mode {root_mode} out of range for order {nmodes}"
+            )));
+        }
+        let mut rest: Vec<usize> = (0..nmodes).filter(|&m| m != root_mode).collect();
+        rest.sort_by_key(|&m| coo.dims()[m]);
+        let mut order = Vec::with_capacity(nmodes);
+        order.push(root_mode);
+        order.extend(rest);
+        Self::from_coo(coo, &order)
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn nmodes(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Original tensor dimensions (indexed by tensor mode, not level).
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The mode stored at each level (`mode_order()[0]` is the root mode).
+    #[inline]
+    pub fn mode_order(&self) -> &[usize] {
+        &self.mode_order
+    }
+
+    /// Number of nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of root nodes (distinct root-mode indices with nonzeros).
+    #[inline]
+    pub fn root_count(&self) -> usize {
+        self.fids[0].len()
+    }
+
+    /// Node indices at level `l`.
+    #[inline]
+    pub fn fids(&self, l: usize) -> &[Idx] {
+        &self.fids[l]
+    }
+
+    /// Children ranges for non-leaf level `l`.
+    #[inline]
+    pub fn fptr(&self, l: usize) -> &[usize] {
+        &self.fptr[l]
+    }
+
+    /// Nonzero values, aligned with the leaf level.
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Total node count across levels (memory diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.fids.iter().map(|f| f.len()).sum()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.fids.iter().map(|f| f.len()).sum::<usize>() * std::mem::size_of::<Idx>()
+            + self.fptr.iter().map(|f| f.len()).sum::<usize>() * std::mem::size_of::<usize>()
+            + self.vals.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Visit every nonzero as `(coordinate, value)` with the coordinate in
+    /// *original tensor mode order*. Test/diagnostic path.
+    pub fn for_each_nonzero<F: FnMut(&[Idx], f64)>(&self, mut f: F) {
+        let nmodes = self.nmodes();
+        let mut coord = vec![0 as Idx; nmodes];
+        self.walk_level(0, 0..self.root_count(), &mut coord, &mut f);
+    }
+
+    fn walk_level<F: FnMut(&[Idx], f64)>(
+        &self,
+        level: usize,
+        range: std::ops::Range<usize>,
+        coord: &mut [Idx],
+        f: &mut F,
+    ) {
+        let mode = self.mode_order[level];
+        if level == self.nmodes() - 1 {
+            for n in range {
+                coord[mode] = self.fids[level][n];
+                f(coord, self.vals[n]);
+            }
+        } else {
+            for n in range {
+                coord[mode] = self.fids[level][n];
+                let child = self.fptr[level][n]..self.fptr[level][n + 1];
+                self.walk_level(level + 1, child, coord, f);
+            }
+        }
+    }
+
+    /// Expand back to COO, sorted by the CSF's mode order (tests).
+    pub fn to_coo(&self) -> CooTensor {
+        let mut coo = CooTensor::with_capacity(self.dims.clone(), self.nnz()).unwrap();
+        self.for_each_nonzero(|coord, v| {
+            coo.push(coord, v).unwrap();
+        });
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The four-mode, five-nonzero example of Figure 2 in the paper.
+    fn figure2_tensor() -> CooTensor {
+        let mut t = CooTensor::new(vec![2, 2, 2, 2]).unwrap();
+        // Paper lists (1-indexed): (1,1,1,1), (1,1,1,2), (1,2,1,1),
+        // (2,2,1,2), (2,2,2,2). Stored 0-indexed here.
+        t.push(&[0, 0, 0, 0], 1.0).unwrap();
+        t.push(&[0, 0, 0, 1], 2.0).unwrap();
+        t.push(&[0, 1, 0, 0], 3.0).unwrap();
+        t.push(&[1, 1, 0, 1], 4.0).unwrap();
+        t.push(&[1, 1, 1, 1], 5.0).unwrap();
+        t
+    }
+
+    #[test]
+    fn figure2_structure() {
+        let t = figure2_tensor();
+        let csf = Csf::from_coo(&t, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(csf.nnz(), 5);
+        assert_eq!(csf.root_count(), 2);
+        // Roots: indices 0 and 1.
+        assert_eq!(csf.fids(0), &[0, 1]);
+        // Level 1: under root 0 -> {0, 1}; under root 1 -> {1}.
+        assert_eq!(csf.fids(1), &[0, 1, 1]);
+        assert_eq!(csf.fptr(0), &[0, 2, 3]);
+        // Level 2: fibers (0,0)->{0}, (0,1)->{0}, (1,1)->{0,1}.
+        assert_eq!(csf.fids(2), &[0, 0, 0, 1]);
+        assert_eq!(csf.fptr(1), &[0, 1, 2, 4]);
+        // Leaves.
+        assert_eq!(csf.fids(3), &[0, 1, 0, 1, 1]);
+        assert_eq!(csf.fptr(2), &[0, 2, 3, 4, 5]);
+        assert_eq!(csf.vals(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn roundtrip_three_mode() {
+        let mut t = CooTensor::new(vec![4, 5, 6]).unwrap();
+        t.push(&[3, 1, 2], 1.5).unwrap();
+        t.push(&[0, 0, 0], -2.0).unwrap();
+        t.push(&[3, 1, 5], 0.5).unwrap();
+        t.push(&[1, 4, 2], 3.0).unwrap();
+        let csf = Csf::from_coo(&t, &[0, 1, 2]).unwrap();
+        let mut back = csf.to_coo();
+        back.sort_by_mode_order(&[0, 1, 2]);
+        let mut orig = t.clone();
+        orig.sort_by_mode_order(&[0, 1, 2]);
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn roundtrip_with_permuted_order() {
+        let mut t = CooTensor::new(vec![3, 4, 5]).unwrap();
+        t.push(&[0, 3, 4], 1.0).unwrap();
+        t.push(&[2, 0, 1], 2.0).unwrap();
+        t.push(&[1, 2, 3], 3.0).unwrap();
+        t.push(&[1, 2, 4], 4.0).unwrap();
+        for order in [[2, 1, 0], [1, 0, 2], [2, 0, 1]] {
+            let csf = Csf::from_coo(&t, &order).unwrap();
+            let mut back = csf.to_coo();
+            back.sort_by_mode_order(&[0, 1, 2]);
+            let mut orig = t.clone();
+            orig.sort_by_mode_order(&[0, 1, 2]);
+            assert_eq!(back, orig, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn rooted_builder_puts_root_first() {
+        let mut t = CooTensor::new(vec![10, 2, 5]).unwrap();
+        t.push(&[0, 0, 0], 1.0).unwrap();
+        let csf = Csf::from_coo_rooted(&t, 2).unwrap();
+        assert_eq!(csf.mode_order()[0], 2);
+        // Remaining modes sorted by length: mode 1 (len 2) before mode 0.
+        assert_eq!(csf.mode_order(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn rejects_bad_orders() {
+        let t = figure2_tensor();
+        assert!(Csf::from_coo(&t, &[0, 1, 2]).is_err());
+        assert!(Csf::from_coo(&t, &[0, 1, 2, 2]).is_err());
+        assert!(Csf::from_coo_rooted(&t, 9).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_tensor() {
+        let t = CooTensor::new(vec![2, 2]).unwrap();
+        assert!(Csf::from_coo(&t, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn matrix_as_two_mode_csf_is_csr_like() {
+        let mut t = CooTensor::new(vec![3, 4]).unwrap();
+        t.push(&[0, 1], 1.0).unwrap();
+        t.push(&[0, 3], 2.0).unwrap();
+        t.push(&[2, 0], 3.0).unwrap();
+        let csf = Csf::from_coo(&t, &[0, 1]).unwrap();
+        assert_eq!(csf.root_count(), 2); // rows 0 and 2
+        assert_eq!(csf.fptr(0), &[0, 2, 3]);
+        assert_eq!(csf.fids(1), &[1, 3, 0]);
+    }
+
+    #[test]
+    fn node_count_and_memory() {
+        let t = figure2_tensor();
+        let csf = Csf::from_coo(&t, &[0, 1, 2, 3]).unwrap();
+        // 2 roots + 3 + 4 + 5 leaves.
+        assert_eq!(csf.node_count(), 2 + 3 + 4 + 5);
+        assert!(csf.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn duplicate_coordinates_keep_all_values() {
+        // CSF must not silently drop duplicate coordinates: leaves stay
+        // aligned with values (callers normally dedup first).
+        let mut t = CooTensor::new(vec![2, 2, 2]).unwrap();
+        t.push(&[0, 1, 1], 2.0).unwrap();
+        t.push(&[0, 1, 1], 3.0).unwrap();
+        let csf = Csf::from_coo(&t, &[0, 1, 2]).unwrap();
+        assert_eq!(csf.nnz(), 2);
+        let mut total = 0.0;
+        csf.for_each_nonzero(|c, v| {
+            assert_eq!(c, &[0, 1, 1]);
+            total += v;
+        });
+        assert_eq!(total, 5.0);
+    }
+
+    #[test]
+    fn single_nonzero() {
+        let mut t = CooTensor::new(vec![2, 2, 2]).unwrap();
+        t.push(&[1, 0, 1], 7.0).unwrap();
+        let csf = Csf::from_coo(&t, &[0, 1, 2]).unwrap();
+        assert_eq!(csf.root_count(), 1);
+        assert_eq!(csf.nnz(), 1);
+        let mut seen = Vec::new();
+        csf.for_each_nonzero(|c, v| seen.push((c.to_vec(), v)));
+        assert_eq!(seen, vec![(vec![1, 0, 1], 7.0)]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Dense tensors.
+//!
+//! Small dense tensors back the reference computations in tests (full
+//! reconstructions, explicit matricizations) and support the
+//! related-work dense algorithms. Storage is row-major with the last
+//! mode fastest, matching the matricization convention of Kolda & Bader
+//! that the paper uses (`X_(1)` of an `I x J x K` tensor is `I x JK`).
+
+use crate::coord::CooTensor;
+use crate::{Idx, TensorError};
+
+/// A dense tensor of arbitrary order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTensor {
+    dims: Vec<usize>,
+    /// Row-major with the last mode fastest.
+    data: Vec<f64>,
+}
+
+impl DenseTensor {
+    /// All-zero tensor. Total size must fit in memory; callers are
+    /// expected to keep dense tensors small.
+    pub fn zeros(dims: Vec<usize>) -> Result<Self, TensorError> {
+        if dims.len() < 2 {
+            return Err(TensorError::Invalid("tensors need >= 2 modes".into()));
+        }
+        let mut cells = 1usize;
+        for (m, &d) in dims.iter().enumerate() {
+            if d == 0 {
+                return Err(TensorError::Invalid(format!("mode {m} has length 0")));
+            }
+            cells = cells
+                .checked_mul(d)
+                .ok_or_else(|| TensorError::Invalid("dense tensor too large".into()))?;
+        }
+        Ok(DenseTensor {
+            dims,
+            data: vec![0.0; cells],
+        })
+    }
+
+    /// Materialize a sparse tensor densely.
+    pub fn from_coo(coo: &CooTensor) -> Result<Self, TensorError> {
+        let mut t = Self::zeros(coo.dims().to_vec())?;
+        for n in 0..coo.nnz() {
+            let idx = t.linear_index_of(|m| coo.mode_inds(m)[n] as usize);
+            t.data[idx] += coo.values()[n];
+        }
+        Ok(t)
+    }
+
+    /// Mode lengths.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of modes.
+    pub fn nmodes(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Raw data, row-major, last mode fastest.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    fn linear_index_of(&self, coord: impl Fn(usize) -> usize) -> usize {
+        let mut idx = 0usize;
+        for (m, &d) in self.dims.iter().enumerate() {
+            idx = idx * d + coord(m);
+        }
+        idx
+    }
+
+    /// Value at a coordinate.
+    pub fn get(&self, coord: &[Idx]) -> f64 {
+        debug_assert_eq!(coord.len(), self.nmodes());
+        self.data[self.linear_index_of(|m| coord[m] as usize)]
+    }
+
+    /// Set the value at a coordinate.
+    pub fn set(&mut self, coord: &[Idx], v: f64) {
+        debug_assert_eq!(coord.len(), self.nmodes());
+        let idx = self.linear_index_of(|m| coord[m] as usize);
+        self.data[idx] = v;
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Convert to COO, keeping entries with `|x| > tol`.
+    pub fn to_coo(&self, tol: f64) -> Result<CooTensor, TensorError> {
+        let nmodes = self.nmodes();
+        let mut coo = CooTensor::new(self.dims.clone())?;
+        let mut coord = vec![0 as Idx; nmodes];
+        for (lin, &v) in self.data.iter().enumerate() {
+            if v.abs() > tol {
+                let mut rem = lin;
+                for m in (0..nmodes).rev() {
+                    coord[m] = (rem % self.dims[m]) as Idx;
+                    rem /= self.dims[m];
+                }
+                coo.push(&coord, v)?;
+            }
+        }
+        Ok(coo)
+    }
+
+    /// Mode-`mode` matricization `X_(m)`: a `dims[m] x prod(other dims)`
+    /// row-major matrix buffer, with the column index following Kolda &
+    /// Bader's convention (earlier non-`mode` modes vary slower...
+    /// specifically column = sum over other modes of `i_k * J_k` with
+    /// `J_k = prod_{n < k, n != mode} dims[n]`).
+    pub fn matricize(&self, mode: usize) -> Result<(usize, usize, Vec<f64>), TensorError> {
+        let nmodes = self.nmodes();
+        if mode >= nmodes {
+            return Err(TensorError::Invalid(format!("mode {mode} out of range")));
+        }
+        let rows = self.dims[mode];
+        let cols = self.data.len() / rows;
+        let mut out = vec![0.0f64; self.data.len()];
+
+        // Strides J_k for the matricized column index.
+        let mut strides = vec![0usize; nmodes];
+        {
+            let mut acc = 1usize;
+            for (k, stride) in strides.iter_mut().enumerate() {
+                if k == mode {
+                    continue;
+                }
+                *stride = acc;
+                acc *= self.dims[k];
+            }
+        }
+        let mut coord = vec![0usize; nmodes];
+        for (lin, &v) in self.data.iter().enumerate() {
+            let mut rem = lin;
+            for m in (0..nmodes).rev() {
+                coord[m] = rem % self.dims[m];
+                rem /= self.dims[m];
+            }
+            let mut col = 0usize;
+            for k in 0..nmodes {
+                if k != mode {
+                    col += coord[k] * strides[k];
+                }
+            }
+            out[coord[mode] * cols + col] = v;
+        }
+        Ok((rows, cols, out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_validates() {
+        assert!(DenseTensor::zeros(vec![3]).is_err());
+        assert!(DenseTensor::zeros(vec![3, 0]).is_err());
+        assert!(DenseTensor::zeros(vec![usize::MAX, 3]).is_err());
+        assert!(DenseTensor::zeros(vec![2, 3, 4]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = DenseTensor::zeros(vec![2, 3, 4]).unwrap();
+        t.set(&[1, 2, 3], 5.0);
+        assert_eq!(t.get(&[1, 2, 3]), 5.0);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+        assert_eq!(t.norm_sq(), 25.0);
+    }
+
+    #[test]
+    fn coo_roundtrip_sums_duplicates() {
+        let mut coo = CooTensor::new(vec![2, 2]).unwrap();
+        coo.push(&[0, 1], 1.0).unwrap();
+        coo.push(&[0, 1], 2.0).unwrap();
+        coo.push(&[1, 0], -1.0).unwrap();
+        let dense = DenseTensor::from_coo(&coo).unwrap();
+        assert_eq!(dense.get(&[0, 1]), 3.0);
+        let mut back = dense.to_coo(0.0).unwrap();
+        back.sort_by_mode_order(&[0, 1]);
+        assert_eq!(back.nnz(), 2);
+        assert_eq!(back.values(), &[3.0, -1.0]);
+    }
+
+    #[test]
+    fn matricize_mode0_of_three_mode() {
+        // X(i,j,k) = 100i + 10j + k over a 2x2x2 cube.
+        let mut t = DenseTensor::zeros(vec![2, 2, 2]).unwrap();
+        for i in 0..2u32 {
+            for j in 0..2u32 {
+                for k in 0..2u32 {
+                    t.set(&[i, j, k], (100 * i + 10 * j + k) as f64);
+                }
+            }
+        }
+        let (rows, cols, m) = t.matricize(0).unwrap();
+        assert_eq!((rows, cols), (2, 4));
+        // Column of (j,k) = j * 1 + k * dims[1] = j + 2k.
+        // Row 0: (j,k) = (0,0),(1,0),(0,1),(1,1) -> 0, 10, 1, 11.
+        assert_eq!(&m[0..4], &[0.0, 10.0, 1.0, 11.0]);
+        assert_eq!(&m[4..8], &[100.0, 110.0, 101.0, 111.0]);
+    }
+
+    #[test]
+    fn matricize_preserves_norm() {
+        let mut t = DenseTensor::zeros(vec![3, 4, 2]).unwrap();
+        for (i, v) in (0..24).enumerate() {
+            let c = [(i / 8) as Idx, ((i / 2) % 4) as Idx, (i % 2) as Idx];
+            t.set(&c, v as f64);
+        }
+        for mode in 0..3 {
+            let (_, _, m) = t.matricize(mode).unwrap();
+            let nsq: f64 = m.iter().map(|x| x * x).sum();
+            assert!((nsq - t.norm_sq()).abs() < 1e-9, "mode {mode}");
+        }
+        assert!(t.matricize(5).is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! FROSTT `.tns` text-format reader and writer.
+//!
+//! The paper's four evaluation tensors come from the FROSTT collection,
+//! which distributes tensors as whitespace-separated text: one nonzero per
+//! line, 1-based coordinates followed by the value. Lines starting with
+//! `#` are comments. This module reads and writes that format so real
+//! FROSTT downloads can be dropped into the harness unchanged.
+
+use crate::coord::CooTensor;
+use crate::{Idx, TensorError};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Read a `.tns` tensor from any reader.
+///
+/// Dimensions are inferred as the per-mode maximum coordinate unless
+/// `dims` is given (FROSTT files carry no header). Coordinates in the
+/// file are 1-based; the returned tensor is 0-based.
+///
+/// ```
+/// let t = sptensor::io::read_tns("1 1 1 2.5\n3 2 4 -1.0\n".as_bytes(), None).unwrap();
+/// assert_eq!(t.dims(), &[3, 2, 4]);
+/// assert_eq!(t.nnz(), 2);
+/// ```
+pub fn read_tns<R: Read>(reader: R, dims: Option<Vec<usize>>) -> Result<CooTensor, TensorError> {
+    let reader = BufReader::new(reader);
+    let mut nmodes: Option<usize> = None;
+    let mut coords: Vec<Vec<Idx>> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    let mut maxes: Vec<u64> = Vec::new();
+
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let mut row: Vec<u64> = Vec::with_capacity(nmodes.unwrap_or(4) + 1);
+        let mut raw: Vec<&str> = Vec::with_capacity(nmodes.unwrap_or(4) + 1);
+        for tok in fields.by_ref() {
+            raw.push(tok);
+        }
+        if raw.len() < 3 {
+            return Err(TensorError::Parse {
+                line: lineno,
+                msg: format!("expected >= 3 fields, found {}", raw.len()),
+            });
+        }
+        let (coord_toks, val_tok) = raw.split_at(raw.len() - 1);
+        for tok in coord_toks {
+            let c: u64 = tok.parse().map_err(|_| TensorError::Parse {
+                line: lineno,
+                msg: format!("bad coordinate {tok:?}"),
+            })?;
+            if c == 0 {
+                return Err(TensorError::Parse {
+                    line: lineno,
+                    msg: "coordinates are 1-based; found 0".into(),
+                });
+            }
+            row.push(c - 1);
+        }
+        let v: f64 = val_tok[0].parse().map_err(|_| TensorError::Parse {
+            line: lineno,
+            msg: format!("bad value {:?}", val_tok[0]),
+        })?;
+
+        match nmodes {
+            None => {
+                nmodes = Some(row.len());
+                coords = vec![Vec::new(); row.len()];
+                maxes = vec![0; row.len()];
+            }
+            Some(nm) if nm != row.len() => {
+                return Err(TensorError::Parse {
+                    line: lineno,
+                    msg: format!("arity changed from {nm} to {}", row.len()),
+                });
+            }
+            _ => {}
+        }
+        for (m, &c) in row.iter().enumerate() {
+            if c > Idx::MAX as u64 {
+                return Err(TensorError::Parse {
+                    line: lineno,
+                    msg: format!("coordinate {c} overflows index type"),
+                });
+            }
+            coords[m].push(c as Idx);
+            maxes[m] = maxes[m].max(c);
+        }
+        vals.push(v);
+    }
+
+    let nmodes = nmodes.ok_or_else(|| TensorError::Invalid("empty .tns input".into()))?;
+    let dims = match dims {
+        Some(d) => {
+            if d.len() != nmodes {
+                return Err(TensorError::Invalid(format!(
+                    "given dims have {} modes but file has {nmodes}",
+                    d.len()
+                )));
+            }
+            for (m, (&mx, &dm)) in maxes.iter().zip(&d).enumerate() {
+                if mx as usize >= dm {
+                    return Err(TensorError::IndexOutOfBounds {
+                        mode: m,
+                        index: mx,
+                        dim: dm,
+                    });
+                }
+            }
+            d
+        }
+        None => maxes.iter().map(|&m| m as usize + 1).collect(),
+    };
+
+    let mut t = CooTensor::with_capacity(dims, vals.len())?;
+    let mut coord_buf = vec![0 as Idx; nmodes];
+    for n in 0..vals.len() {
+        for m in 0..nmodes {
+            coord_buf[m] = coords[m][n];
+        }
+        t.push(&coord_buf, vals[n])?;
+    }
+    Ok(t)
+}
+
+/// Read a `.tns` file from disk.
+pub fn read_tns_file<P: AsRef<Path>>(path: P, dims: Option<Vec<usize>>) -> Result<CooTensor, TensorError> {
+    let f = std::fs::File::open(path)?;
+    read_tns(f, dims)
+}
+
+/// Write a tensor in `.tns` format (1-based coordinates).
+pub fn write_tns<W: Write>(tensor: &CooTensor, writer: W) -> Result<(), TensorError> {
+    let mut w = BufWriter::new(writer);
+    for n in 0..tensor.nnz() {
+        for m in 0..tensor.nmodes() {
+            write!(w, "{} ", tensor.mode_inds(m)[n] as u64 + 1)?;
+        }
+        writeln!(w, "{}", tensor.values()[n])?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a tensor to a `.tns` file on disk.
+pub fn write_tns_file<P: AsRef<Path>>(tensor: &CooTensor, path: P) -> Result<(), TensorError> {
+    let f = std::fs::File::create(path)?;
+    write_tns(tensor, f)
+}
+
+/// Magic bytes of the binary tensor format.
+const BIN_MAGIC: &[u8; 8] = b"SPTNSR01";
+
+/// Write a tensor in the compact binary format (fast to load; byte
+/// layout: magic, `u64` nmodes, `u64` dims, `u64` nnz, per-mode `u32`
+/// index columns, `f64` values, all little-endian).
+pub fn write_bin<W: Write>(tensor: &CooTensor, writer: W) -> Result<(), TensorError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BIN_MAGIC)?;
+    w.write_all(&(tensor.nmodes() as u64).to_le_bytes())?;
+    for &d in tensor.dims() {
+        w.write_all(&(d as u64).to_le_bytes())?;
+    }
+    w.write_all(&(tensor.nnz() as u64).to_le_bytes())?;
+    for m in 0..tensor.nmodes() {
+        for &i in tensor.mode_inds(m) {
+            w.write_all(&i.to_le_bytes())?;
+        }
+    }
+    for &v in tensor.values() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a tensor written by [`write_bin`].
+pub fn read_bin<R: Read>(reader: R) -> Result<CooTensor, TensorError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BIN_MAGIC {
+        return Err(TensorError::Invalid("bad binary tensor magic".into()));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut BufReader<R>| -> Result<u64, TensorError> {
+        r.read_exact(&mut u64buf)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let nmodes = read_u64(&mut r)? as usize;
+    if nmodes < 2 || nmodes > 64 {
+        return Err(TensorError::Invalid(format!(
+            "implausible mode count {nmodes} in binary tensor"
+        )));
+    }
+    let mut dims = Vec::with_capacity(nmodes);
+    for _ in 0..nmodes {
+        dims.push(read_u64(&mut r)? as usize);
+    }
+    let nnz = read_u64(&mut r)? as usize;
+
+    let mut cols: Vec<Vec<Idx>> = Vec::with_capacity(nmodes);
+    let mut buf4 = [0u8; 4];
+    for m in 0..nmodes {
+        let mut col = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            r.read_exact(&mut buf4)?;
+            let i = Idx::from_le_bytes(buf4);
+            if i as usize >= dims[m] {
+                return Err(TensorError::IndexOutOfBounds {
+                    mode: m,
+                    index: i as u64,
+                    dim: dims[m],
+                });
+            }
+            col.push(i);
+        }
+        cols.push(col);
+    }
+    let mut t = CooTensor::with_capacity(dims, nnz)?;
+    let mut buf8 = [0u8; 8];
+    let mut coord = vec![0 as Idx; nmodes];
+    for n in 0..nnz {
+        r.read_exact(&mut buf8)?;
+        for (m, col) in cols.iter().enumerate() {
+            coord[m] = col[n];
+        }
+        t.push(&coord, f64::from_le_bytes(buf8))?;
+    }
+    Ok(t)
+}
+
+/// Write a tensor to a binary file.
+pub fn write_bin_file<P: AsRef<Path>>(tensor: &CooTensor, path: P) -> Result<(), TensorError> {
+    write_bin(tensor, std::fs::File::create(path)?)
+}
+
+/// Read a tensor from a binary file.
+pub fn read_bin_file<P: AsRef<Path>>(path: P) -> Result<CooTensor, TensorError> {
+    read_bin(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let src = "1 1 1 1.5\n2 3 4 -2.0\n";
+        let t = read_tns(src.as_bytes(), None).unwrap();
+        assert_eq!(t.nmodes(), 3);
+        assert_eq!(t.dims(), &[2, 3, 4]);
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.coord(0), vec![0, 0, 0]);
+        assert_eq!(t.values(), &[1.5, -2.0]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let src = "# header\n\n1 1 1.0\n# more\n2 2 2.0\n";
+        let t = read_tns(src.as_bytes(), None).unwrap();
+        assert_eq!(t.nmodes(), 2);
+        assert_eq!(t.nnz(), 2);
+    }
+
+    #[test]
+    fn explicit_dims_respected() {
+        let src = "1 1 1 1.0\n";
+        let t = read_tns(src.as_bytes(), Some(vec![10, 10, 10])).unwrap();
+        assert_eq!(t.dims(), &[10, 10, 10]);
+    }
+
+    #[test]
+    fn explicit_dims_too_small_rejected() {
+        let src = "5 1 1 1.0\n";
+        assert!(read_tns(src.as_bytes(), Some(vec![4, 10, 10])).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_coordinate() {
+        let src = "0 1 1 1.0\n";
+        assert!(matches!(
+            read_tns(src.as_bytes(), None),
+            Err(TensorError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_arity_change() {
+        let src = "1 1 1 1.0\n1 1 2.0\n";
+        assert!(matches!(
+            read_tns(src.as_bytes(), None),
+            Err(TensorError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_value() {
+        let src = "1 1 1 abc\n";
+        assert!(read_tns(src.as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn rejects_short_line() {
+        let src = "1 2\n";
+        assert!(read_tns(src.as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(read_tns("# only comments\n".as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut t = CooTensor::new(vec![3, 4, 5]).unwrap();
+        t.push(&[0, 1, 2], 1.25).unwrap();
+        t.push(&[2, 3, 4], -0.5).unwrap();
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(buf.as_slice(), Some(vec![3, 4, 5])).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sptensor_io_test.tns");
+        let mut t = CooTensor::new(vec![2, 2]).unwrap();
+        t.push(&[1, 0], 3.0).unwrap();
+        write_tns_file(&t, &path).unwrap();
+        let back = read_tns_file(&path, Some(vec![2, 2])).unwrap();
+        assert_eq!(back, t);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = crate::gen::random_uniform(&[9, 7, 11], 150, 3).unwrap();
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        let back = read_bin(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_file_roundtrip() {
+        let t = crate::gen::random_uniform(&[5, 6], 30, 5).unwrap();
+        let path = std::env::temp_dir().join("sptensor_io_test.bin");
+        write_bin_file(&t, &path).unwrap();
+        let back = read_bin_file(&path).unwrap();
+        assert_eq!(back, t);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(read_bin(&b"NOTMAGIC"[..]).is_err());
+        assert!(read_bin(&b"SPTNSR01"[..]).is_err()); // truncated header
+        // Corrupt an index out of range.
+        let mut t = CooTensor::new(vec![2, 2]).unwrap();
+        t.push(&[1, 1], 1.0).unwrap();
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        // Mode count sits right after the magic; inflate an index byte.
+        let idx_pos = 8 + 8 + 16 + 8; // magic + nmodes + dims + nnz
+        buf[idx_pos] = 0xEE;
+        assert!(read_bin(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_truncated_values_rejected() {
+        let t = crate::gen::random_uniform(&[4, 4], 10, 7).unwrap();
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(read_bin(buf.as_slice()).is_err());
+    }
+}

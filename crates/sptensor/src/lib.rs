@@ -1,0 +1,95 @@
+//! Sparse tensor substrate for the AO-ADMM reproduction.
+//!
+//! The paper's implementation is built on SPLATT v1.1.1, whose core data
+//! structures this crate reimplements from scratch:
+//!
+//! * [`CooTensor`] — coordinate-format sparse tensors of arbitrary order,
+//!   the interchange format for I/O and generators (Figure 2a).
+//! * [`Csf`] — the compressed sparse fiber structure (Figure 2b), the
+//!   higher-order generalization of CSR that MTTKRP traverses
+//!   (Algorithm 3). One CSF is built per output mode.
+//! * [`io`] — reader/writer for the FROSTT `.tns` text format used by all
+//!   four evaluation datasets.
+//! * [`gen`] — seeded synthetic tensor generators, including shape-faithful
+//!   analogs of the paper's Reddit / NELL / Amazon / Patents tensors
+//!   (Table I) with planted low-rank structure and power-law (Zipf)
+//!   nonzero distributions.
+//! * [`stats`] — per-mode summary statistics (slice/fiber counts, skew)
+//!   used by the harness and by structure-selection heuristics.
+
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod csf;
+pub mod dense_tensor;
+pub mod gen;
+pub mod io;
+pub mod stats;
+pub mod transform;
+pub mod zipf;
+
+pub use coord::CooTensor;
+pub use csf::Csf;
+pub use dense_tensor::DenseTensor;
+pub use stats::TensorStats;
+
+/// Index type for tensor coordinates.
+///
+/// All FROSTT tensors in the paper have mode lengths below 2^32; `u32`
+/// halves the index bandwidth of the MTTKRP-critical structures.
+pub type Idx = u32;
+
+/// Errors raised by tensor construction, I/O and generation.
+#[derive(Debug)]
+pub enum TensorError {
+    /// A coordinate lies outside the declared dimensions.
+    IndexOutOfBounds {
+        /// Mode of the offending coordinate.
+        mode: usize,
+        /// The coordinate value.
+        index: u64,
+        /// The length of that mode.
+        dim: usize,
+    },
+    /// Structural problem (wrong arity, empty tensor where nonzeros are
+    /// required, dimension overflow, ...).
+    Invalid(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line in a `.tns` file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::IndexOutOfBounds { mode, index, dim } => write!(
+                f,
+                "index {index} out of bounds for mode {mode} of length {dim}"
+            ),
+            TensorError::Invalid(msg) => write!(f, "invalid tensor: {msg}"),
+            TensorError::Io(e) => write!(f, "tensor I/O error: {e}"),
+            TensorError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TensorError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TensorError {
+    fn from(e: std::io::Error) -> Self {
+        TensorError::Io(e)
+    }
+}

@@ -1,0 +1,160 @@
+//! Tensor summary statistics.
+//!
+//! Used by the benchmark harness to print Table I-style summaries and by
+//! the structure-selection heuristics to reason about slice skew (the
+//! property that motivates blocked ADMM in Section IV-B).
+
+use crate::coord::CooTensor;
+
+/// Per-mode statistics of a sparse tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeStats {
+    /// Mode length.
+    pub dim: usize,
+    /// Number of slices with at least one nonzero.
+    pub occupied_slices: usize,
+    /// Mean nonzeros per slice (over all slices, including empty).
+    pub mean_slice_nnz: f64,
+    /// Largest slice.
+    pub max_slice_nnz: usize,
+    /// Ratio max/mean — a crude skew measure; >> 1 indicates power-law
+    /// "high-signal rows" that benefit from blockwise ADMM.
+    pub skew: f64,
+}
+
+/// Whole-tensor statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorStats {
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// Mode lengths.
+    pub dims: Vec<usize>,
+    /// Fraction of occupied cells.
+    pub density: f64,
+    /// Frobenius norm of the values.
+    pub norm: f64,
+    /// Per-mode statistics.
+    pub modes: Vec<ModeStats>,
+}
+
+impl TensorStats {
+    /// Compute statistics for a COO tensor.
+    pub fn compute(t: &CooTensor) -> Self {
+        let modes = (0..t.nmodes())
+            .map(|m| {
+                let counts = t.slice_counts(m);
+                let occupied = counts.iter().filter(|&&c| c > 0).count();
+                let max = counts.iter().copied().max().unwrap_or(0);
+                let mean = if counts.is_empty() {
+                    0.0
+                } else {
+                    t.nnz() as f64 / counts.len() as f64
+                };
+                ModeStats {
+                    dim: t.dims()[m],
+                    occupied_slices: occupied,
+                    mean_slice_nnz: mean,
+                    max_slice_nnz: max,
+                    skew: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+                }
+            })
+            .collect();
+        TensorStats {
+            nnz: t.nnz(),
+            dims: t.dims().to_vec(),
+            density: t.density(),
+            norm: t.norm_sq().sqrt(),
+            modes,
+        }
+    }
+
+    /// Human-readable multi-line summary (Table I style).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let dims = self
+            .dims
+            .iter()
+            .map(|d| format_count(*d as f64))
+            .collect::<Vec<_>>()
+            .join(" x ");
+        let _ = writeln!(
+            s,
+            "nnz={} dims={} density={:.3e}",
+            format_count(self.nnz as f64),
+            dims,
+            self.density
+        );
+        for (m, ms) in self.modes.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  mode {m}: len={} occupied={} mean/slice={:.1} max/slice={} skew={:.1}",
+                ms.dim, ms.occupied_slices, ms.mean_slice_nnz, ms.max_slice_nnz, ms.skew
+            );
+        }
+        s
+    }
+}
+
+/// Format a count the way Table I does: `95M`, `310K`, `1.7B`.
+pub fn format_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.1}B", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.0}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.0}K", x / 1e3)
+    } else {
+        format!("{:.0}", x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooTensor {
+        let mut t = CooTensor::new(vec![3, 4]).unwrap();
+        t.push(&[0, 0], 3.0).unwrap();
+        t.push(&[0, 1], 4.0).unwrap();
+        t.push(&[2, 3], 1.0).unwrap();
+        t
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = TensorStats::compute(&sample());
+        assert_eq!(s.nnz, 3);
+        assert_eq!(s.dims, vec![3, 4]);
+        assert!((s.norm - (26.0_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.modes[0].occupied_slices, 2);
+        assert_eq!(s.modes[0].max_slice_nnz, 2);
+    }
+
+    #[test]
+    fn skew_detects_heavy_slice() {
+        let mut t = CooTensor::new(vec![10, 10]).unwrap();
+        for j in 0..10 {
+            t.push(&[0, j], 1.0).unwrap(); // slice 0 holds everything
+        }
+        let s = TensorStats::compute(&t);
+        // mean over mode 0 slices = 1.0, max = 10 -> skew = 10.
+        assert!((s.modes[0].skew - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(format_count(95_000_000.0), "95M");
+        assert_eq!(format_count(310_000.0), "310K");
+        assert_eq!(format_count(1_700_000_000.0), "1.7B");
+        assert_eq!(format_count(46.0), "46");
+    }
+
+    #[test]
+    fn summary_is_nonempty() {
+        let s = TensorStats::compute(&sample());
+        let text = s.summary();
+        assert!(text.contains("mode 0"));
+        assert!(text.contains("nnz=3"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Tensor transformations: mode permutation, subsampling, and
+//! train/test splitting.
+//!
+//! These are the data-preparation steps real pipelines run before
+//! factorization — e.g. holding out nonzeros to evaluate a recommender
+//! factorization — implemented over COO so they compose with I/O and the
+//! generators.
+
+use crate::coord::CooTensor;
+use crate::TensorError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Reorder the modes of a tensor: mode `m` of the result is mode
+/// `perm[m]` of the input.
+pub fn permute_modes(t: &CooTensor, perm: &[usize]) -> Result<CooTensor, TensorError> {
+    let nmodes = t.nmodes();
+    if perm.len() != nmodes {
+        return Err(TensorError::Invalid(format!(
+            "permutation of length {} for {nmodes} modes",
+            perm.len()
+        )));
+    }
+    let mut seen = vec![false; nmodes];
+    for &p in perm {
+        if p >= nmodes || seen[p] {
+            return Err(TensorError::Invalid(format!(
+                "{perm:?} is not a permutation of 0..{nmodes}"
+            )));
+        }
+        seen[p] = true;
+    }
+    let dims: Vec<usize> = perm.iter().map(|&p| t.dims()[p]).collect();
+    let mut out = CooTensor::with_capacity(dims, t.nnz())?;
+    let mut coord = vec![0; nmodes];
+    for n in 0..t.nnz() {
+        for (m, &p) in perm.iter().enumerate() {
+            coord[m] = t.mode_inds(p)[n];
+        }
+        out.push(&coord, t.values()[n])?;
+    }
+    Ok(out)
+}
+
+/// Keep a uniformly random fraction of the nonzeros (seeded).
+pub fn subsample(t: &CooTensor, keep_frac: f64, seed: u64) -> Result<CooTensor, TensorError> {
+    if !(0.0..=1.0).contains(&keep_frac) {
+        return Err(TensorError::Invalid(format!(
+            "keep fraction {keep_frac} outside [0, 1]"
+        )));
+    }
+    let (kept, _) = train_test_split(t, 1.0 - keep_frac, seed)?;
+    Ok(kept)
+}
+
+/// Split the nonzeros into disjoint train/test sets (seeded shuffle).
+/// `test_frac` of the nonzeros (rounded down) go to the test set.
+pub fn train_test_split(
+    t: &CooTensor,
+    test_frac: f64,
+    seed: u64,
+) -> Result<(CooTensor, CooTensor), TensorError> {
+    if !(0.0..=1.0).contains(&test_frac) {
+        return Err(TensorError::Invalid(format!(
+            "test fraction {test_frac} outside [0, 1]"
+        )));
+    }
+    let n = t.nnz();
+    let ntest = (n as f64 * test_frac).floor() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut train = CooTensor::with_capacity(t.dims().to_vec(), n - ntest)?;
+    let mut test = CooTensor::with_capacity(t.dims().to_vec(), ntest)?;
+    let nmodes = t.nmodes();
+    let mut coord = vec![0; nmodes];
+    for (pos, &idx) in order.iter().enumerate() {
+        for (m, c) in coord.iter_mut().enumerate().take(nmodes) {
+            *c = t.mode_inds(m)[idx];
+        }
+        if pos < ntest {
+            test.push(&coord, t.values()[idx])?;
+        } else {
+            train.push(&coord, t.values()[idx])?;
+        }
+    }
+    Ok((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn tensor() -> CooTensor {
+        gen::random_uniform(&[20, 15, 10], 400, 5).unwrap()
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let t = tensor();
+        let p = permute_modes(&t, &[2, 0, 1]).unwrap();
+        assert_eq!(p.dims(), &[10, 20, 15]);
+        assert_eq!(p.nnz(), t.nnz());
+        // Inverse permutation restores the original.
+        let back = permute_modes(&p, &[1, 2, 0]).unwrap();
+        let mut a = back;
+        a.sort_by_mode_order(&[0, 1, 2]);
+        let mut b = t;
+        b.sort_by_mode_order(&[0, 1, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permute_validates() {
+        let t = tensor();
+        assert!(permute_modes(&t, &[0, 1]).is_err());
+        assert!(permute_modes(&t, &[0, 0, 1]).is_err());
+        assert!(permute_modes(&t, &[0, 1, 5]).is_err());
+    }
+
+    #[test]
+    fn split_is_disjoint_partition() {
+        let t = tensor();
+        let (train, test) = train_test_split(&t, 0.25, 7).unwrap();
+        assert_eq!(train.nnz() + test.nnz(), t.nnz());
+        assert_eq!(test.nnz(), t.nnz() / 4);
+        // Values are conserved (the split moves, never duplicates).
+        let total: f64 = t.values().iter().sum();
+        let split_total: f64 =
+            train.values().iter().sum::<f64>() + test.values().iter().sum::<f64>();
+        assert!((total - split_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_is_seeded() {
+        let t = tensor();
+        let (a, _) = train_test_split(&t, 0.3, 9).unwrap();
+        let (b, _) = train_test_split(&t, 0.3, 9).unwrap();
+        let (c, _) = train_test_split(&t, 0.3, 10).unwrap();
+        let sort = |mut x: CooTensor| {
+            x.sort_by_mode_order(&[0, 1, 2]);
+            x
+        };
+        assert_eq!(sort(a.clone()), sort(b));
+        assert_ne!(sort(a), sort(c));
+    }
+
+    #[test]
+    fn subsample_keeps_expected_count() {
+        let t = tensor();
+        let s = subsample(&t, 0.5, 3).unwrap();
+        let expected = t.nnz() - t.nnz() / 2;
+        assert_eq!(s.nnz(), expected);
+        assert!(subsample(&t, 1.5, 3).is_err());
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let t = tensor();
+        let (train, test) = train_test_split(&t, 0.0, 1).unwrap();
+        assert_eq!(train.nnz(), t.nnz());
+        assert_eq!(test.nnz(), 0);
+        let (train, test) = train_test_split(&t, 1.0, 1).unwrap();
+        assert_eq!(train.nnz(), 0);
+        assert_eq!(test.nnz(), t.nnz());
+        assert!(train_test_split(&t, -0.1, 1).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Zipf (power-law) sampling for synthetic tensor generation.
+//!
+//! The paper's blocked-ADMM argument rests on real datasets having
+//! power-law nonzero distributions ("prolific users and popular items",
+//! Section IV-B), so the synthetic analogs must sample slice indices from
+//! a heavy-tailed distribution. This is the standard rejection-inversion
+//! sampler of Hörmann & Derflinger (1996), the same algorithm used by
+//! `rand_distr::Zipf`, implemented here to keep the dependency footprint
+//! to the approved crate list.
+
+use rand::Rng;
+
+/// Samples `1..=n` with `P(k) proportional to 1 / k^s`.
+///
+/// `s = 0` degenerates to the uniform distribution; larger `s` puts more
+/// mass on small indices (more skew). Real tensors in the paper's domains
+/// typically look like `s` in `[0.5, 1.5]`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_n: f64,
+    dist: f64,
+}
+
+impl Zipf {
+    /// Create a sampler over `1..=n` with exponent `s >= 0`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`, or `s` is negative or non-finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        let n = n as f64;
+        let q = s;
+        // H(x) is an antiderivative of the density bound h(x) = x^-q.
+        let h = |x: f64| -> f64 {
+            if (q - 1.0).abs() < 1e-12 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - q) - 1.0) / (1.0 - q)
+            }
+        };
+        let h_x1 = h(1.5) - 1.0;
+        let h_n = h(n + 0.5);
+        Zipf {
+            n,
+            s: q,
+            h_n,
+            dist: h_x1 - h_n,
+        }
+    }
+
+    #[inline]
+    fn h_inv(&self, x: f64) -> f64 {
+        let q = self.s;
+        if (q - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - q)).powf(1.0 / (1.0 - q))
+        }
+    }
+
+    #[inline]
+    fn h(&self, x: f64) -> f64 {
+        let q = self.s;
+        if (q - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - q) - 1.0) / (1.0 - q)
+        }
+    }
+
+    /// Draw one sample in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.s == 0.0 {
+            // Uniform fast path.
+            return rng.gen_range(1..=self.n as u64);
+        }
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * self.dist;
+            let x = self.h_inv(u);
+            let k = x.clamp(1.0, self.n).round();
+            // Rejection-inversion acceptance test: u must fall under the
+            // true mass of bucket k, i.e. u >= H(k + 1/2) - k^-s.
+            if u >= self.h(k + 0.5) - k.powf(-self.s) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Draw a 0-based index in `0..n` (convenience for tensor coords).
+    #[inline]
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.sample(rng) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn stays_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for &s in &[0.0, 0.5, 1.0, 1.5, 2.0] {
+            let z = Zipf::new(100, s);
+            for _ in 0..2000 {
+                let k = z.sample(&mut rng);
+                assert!((1..=100).contains(&k), "s={s} produced {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        // Each bucket should get about 2000 draws.
+        for &c in &counts {
+            assert!((1500..2500).contains(&c), "uniform bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn skew_increases_head_mass() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut head_mass = |s: f64| {
+            let z = Zipf::new(1000, s);
+            let mut head = 0usize;
+            for _ in 0..20_000 {
+                if z.sample(&mut rng) <= 10 {
+                    head += 1;
+                }
+            }
+            head
+        };
+        let flat = head_mass(0.0);
+        let mild = head_mass(0.8);
+        let steep = head_mass(1.5);
+        assert!(mild > flat * 5, "mild={mild} flat={flat}");
+        assert!(steep > mild, "steep={steep} mild={mild}");
+    }
+
+    #[test]
+    fn matches_analytic_frequencies_s1() {
+        // For s=1, P(1)/P(2) = 2.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let z = Zipf::new(50, 1.0);
+        let mut c1 = 0usize;
+        let mut c2 = 0usize;
+        for _ in 0..100_000 {
+            match z.sample(&mut rng) {
+                1 => c1 += 1,
+                2 => c2 += 1,
+                _ => {}
+            }
+        }
+        let ratio = c1 as f64 / c2 as f64;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn support_of_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let z = Zipf::new(1, 1.2);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn sample_index_is_zero_based() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let z = Zipf::new(5, 1.0);
+        for _ in 0..500 {
+            assert!(z.sample_index(&mut rng) < 5);
+        }
+    }
+}

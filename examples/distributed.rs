@@ -1,0 +1,67 @@
+//! Distributed-memory simulation walkthrough.
+//!
+//! The paper closes Section IV-B by noting that blockwise ADMM is
+//! naturally distributed: blocks are independent, so the only
+//! communication is the MTTKRP reduction. This example runs the
+//! simulated coarse-grained distributed algorithm at several node
+//! counts, shows that the answer never changes, and prints where the
+//! communicated bytes go.
+//!
+//! Run with: `cargo run --release -p aoadmm-distsim --example distributed`
+
+use admm::{constraints, AdmmConfig};
+use aoadmm_distsim::{dist_factorize, CostModel, DistConfig};
+use sptensor::gen::{planted, PlantedConfig};
+
+fn main() {
+    let tensor = planted(&PlantedConfig {
+        dims: vec![600, 200, 400],
+        nnz: 80_000,
+        rank: 6,
+        noise: 0.2,
+        factor_density: 1.0,
+        zipf_exponents: vec![0.9, 0.6, 0.9],
+        seed: 5,
+    })
+    .expect("generator");
+    println!(
+        "tensor: {:?}, {} nnz\n",
+        tensor.dims(),
+        tensor.nnz()
+    );
+
+    // Fixed inner work makes the run bitwise node-count invariant.
+    let mut admm_cfg = AdmmConfig::blocked(50);
+    admm_cfg.tol = 0.0;
+    admm_cfg.max_inner = 10;
+
+    println!(
+        "{:>6} {:>10} {:>14} {:>14} {:>12} {:>12}",
+        "nodes", "rel err", "MTTKRP bytes", "factor bytes", "gram bytes", "est comm s"
+    );
+    for nodes in [1usize, 2, 4, 8] {
+        let cfg = DistConfig {
+            nnodes: nodes,
+            rank: 16,
+            max_outer: 6,
+            tol: 0.0,
+            seed: 9,
+            admm: admm_cfg,
+            cost: CostModel::default(),
+        };
+        let res = dist_factorize(&tensor, constraints::nonneg(), &cfg).expect("run");
+        println!(
+            "{nodes:>6} {:>10.5} {:>14} {:>14} {:>12} {:>12.5}",
+            res.final_error,
+            res.comm.mttkrp_bytes,
+            res.comm.factor_bytes,
+            res.comm.gram_bytes,
+            res.est_comm_seconds
+        );
+    }
+    println!(
+        "\nNote: the relative error column is identical for every node count —\n\
+         the distributed algorithm computes exactly the shared-memory result,\n\
+         and no communicated byte is attributable to the ADMM phase."
+    );
+}

@@ -1,0 +1,123 @@
+//! Non-negative matrix factorization via AO-ADMM.
+//!
+//! The paper emphasizes that the framework "is equally applicable to
+//! both matrices and higher order tensors" — a matrix is simply a
+//! two-mode tensor. This example builds a sparse non-negative matrix
+//! with planted block structure (a toy document x term corpus), factors
+//! it with NMF (non-negativity) and with sparse NMF (non-negative l1),
+//! and compares against the related-work projected-gradient baseline.
+//!
+//! Run with: `cargo run --release -p aoadmm --example nmf`
+
+use admm::constraints;
+use aoadmm::pgd::{pgd_factorize, PgdConfig};
+use aoadmm::Factorizer;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sptensor::CooTensor;
+
+/// A sparse documents x terms matrix with `k` planted topic blocks.
+fn corpus(docs: usize, terms: usize, k: usize, seed: u64) -> CooTensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut m = CooTensor::new(vec![docs, terms]).unwrap();
+    for d in 0..docs {
+        let topic = d % k;
+        let t_lo = topic * terms / k;
+        let t_hi = (topic + 1) * terms / k;
+        // Mostly in-topic terms plus background noise.
+        for _ in 0..30 {
+            let t = if rng.gen::<f64>() < 0.85 {
+                rng.gen_range(t_lo..t_hi)
+            } else {
+                rng.gen_range(0..terms)
+            };
+            m.push(&[d as u32, t as u32], rng.gen_range(1.0..4.0)).unwrap();
+        }
+    }
+    m.dedup_sum();
+    m
+}
+
+fn main() {
+    let k = 6;
+    let matrix = corpus(600, 900, k, 42);
+    println!(
+        "corpus matrix: {} docs x {} terms, {} nnz",
+        matrix.dims()[0],
+        matrix.dims()[1],
+        matrix.nnz()
+    );
+
+    // Plain NMF.
+    let nmf = Factorizer::new(k)
+        .constrain_all(constraints::nonneg())
+        .max_outer(40)
+        .seed(1)
+        .factorize(&matrix)
+        .expect("NMF");
+    println!(
+        "NMF        : err {:.4} in {:>5.2}s ({} iters)",
+        nmf.trace.final_error,
+        nmf.trace.total.as_secs_f64(),
+        nmf.trace.outer_iterations()
+    );
+
+    // Sparse NMF: l1 on the term factor keeps topics short.
+    let snmf = Factorizer::new(k)
+        .constrain_all(constraints::nonneg())
+        .constrain_mode(1, constraints::nonneg_lasso(0.3))
+        .max_outer(40)
+        .seed(1)
+        .factorize(&matrix)
+        .expect("sparse NMF");
+    println!(
+        "sparse NMF : err {:.4} in {:>5.2}s (term factor density {:.1}%)",
+        snmf.trace.final_error,
+        snmf.trace.total.as_secs_f64(),
+        100.0 * snmf.model.factor(1).density(0.0)
+    );
+
+    // Related-work baseline: projected gradient descent.
+    let fz = Factorizer::new(k).constrain_all(constraints::nonneg());
+    let pgd = pgd_factorize(
+        &matrix,
+        &fz,
+        &PgdConfig {
+            rank: k,
+            max_outer: 40,
+            seed: 1,
+            ..Default::default()
+        },
+    )
+    .expect("PGD");
+    println!(
+        "PGD (rel. work baseline): err {:.4} in {:>5.2}s",
+        pgd.trace.final_error,
+        pgd.trace.total.as_secs_f64()
+    );
+
+    // Topic recovery: for each component, its top terms should cluster
+    // in one planted block.
+    let terms = matrix.dims()[1];
+    let tfac = snmf.model.factor(1);
+    println!("\ntop terms per component (block size = {}):", terms / k);
+    for f in 0..k {
+        let mut scored: Vec<(usize, f64)> = (0..terms).map(|t| (t, tfac.get(t, f))).collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<usize> = scored.iter().take(6).map(|&(t, _)| t).collect();
+        // Majority block of the top terms.
+        let mut counts = vec![0usize; k];
+        for &t in &top {
+            counts[(t * k / terms).min(k - 1)] += 1;
+        }
+        let (block, votes) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(b, &c)| (b, c))
+            .unwrap();
+        println!(
+            "  component {f}: top terms {top:?} -> block {block} ({votes}/6 agree)"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+#!/bin/bash
+# Regenerate every table and figure; plain-text logs land in bench_results/.
+set -u
+cd /root/repo
+mkdir -p bench_results
+B=./target/release
+run() { name=$1; shift; echo "=== $name: $* ==="; "$@" > bench_results/$name.txt 2>&1; echo "--- $name done (rc=$?)"; }
+run table1 $B/table1
+run fig3 $B/fig3 --max-outer 15
+run fig4 $B/fig4 --max-outer 2
+run fig5 $B/fig5 --max-outer 2
+run fig6 $B/fig6 --max-outer 30
+run ablation_block $B/ablation_block --max-outer 5
+run ablation_sparsity $B/ablation_sparsity --max-outer 12
+run ablation_admm $B/ablation_admm --max-outer 10
+run baselines $B/baselines --max-outer 10
+run recovery $B/recovery
+run distsim $B/distsim
+run table2 $B/table2 --scale 0.5 --ranks 50,100,200 --max-outer 8
+echo ALL-DONE

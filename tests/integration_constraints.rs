@@ -1,0 +1,162 @@
+//! Constraint semantics through the full factorization: each supported
+//! proximity operator must leave its fingerprint on the final factors.
+
+use admm::constraints;
+use aoadmm::Factorizer;
+use sptensor::gen::{planted, PlantedConfig};
+
+fn tensor() -> sptensor::CooTensor {
+    let cfg = PlantedConfig {
+        dims: vec![50, 40, 45],
+        nnz: 6_000,
+        rank: 4,
+        noise: 0.05,
+        factor_density: 0.9,
+        zipf_exponents: vec![0.8, 0.8, 0.8],
+        seed: 31,
+    };
+    planted(&cfg).unwrap()
+}
+
+#[test]
+fn nonneg_all_modes() {
+    let res = Factorizer::new(5)
+        .constrain_all(constraints::nonneg())
+        .max_outer(12)
+        .factorize(&tensor())
+        .unwrap();
+    for m in 0..3 {
+        assert!(
+            res.model.factor(m).as_slice().iter().all(|&x| x >= 0.0),
+            "mode {m}"
+        );
+    }
+}
+
+#[test]
+fn box_constraint_bounds_entries() {
+    let res = Factorizer::new(5)
+        .constrain_all(constraints::boxed(0.0, 0.8))
+        .max_outer(12)
+        .factorize(&tensor())
+        .unwrap();
+    for m in 0..3 {
+        for &x in res.model.factor(m).as_slice() {
+            assert!((0.0..=0.8).contains(&x), "mode {m}: {x}");
+        }
+    }
+}
+
+#[test]
+fn simplex_rows_are_distributions() {
+    let res = Factorizer::new(5)
+        .constrain_all(constraints::nonneg())
+        .constrain_mode(2, constraints::simplex())
+        .max_outer(12)
+        .factorize(&tensor())
+        .unwrap();
+    let fac = res.model.factor(2);
+    for i in 0..fac.nrows() {
+        let row = fac.row(i);
+        let sum: f64 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "row {i} sums to {sum}");
+        assert!(row.iter().all(|&x| x >= -1e-9));
+    }
+}
+
+#[test]
+fn lasso_induces_exact_zeros() {
+    let res = Factorizer::new(8)
+        .constrain_all(constraints::nonneg_lasso(0.6))
+        .max_outer(20)
+        .factorize(&tensor())
+        .unwrap();
+    let total: usize = (0..3)
+        .map(|m| res.model.factor(m).count_nonzeros(0.0))
+        .sum();
+    let cells: usize = (0..3)
+        .map(|m| res.model.factor(m).nrows() * res.model.factor(m).ncols())
+        .sum();
+    assert!(
+        total < cells,
+        "lasso produced no zeros at all ({total}/{cells})"
+    );
+}
+
+#[test]
+fn stronger_lasso_is_sparser() {
+    let run = |lambda: f64| -> f64 {
+        let res = Factorizer::new(8)
+            .constrain_all(constraints::nonneg_lasso(lambda))
+            .max_outer(20)
+            .seed(1)
+            .factorize(&tensor())
+            .unwrap();
+        res.model.factor_densities(0.0).iter().sum::<f64>() / 3.0
+    };
+    let mild = run(0.1);
+    let strong = run(1.5);
+    assert!(
+        strong <= mild + 1e-9,
+        "stronger lasso denser: {strong} vs {mild}"
+    );
+}
+
+#[test]
+fn ridge_shrinks_factor_norms() {
+    let free = Factorizer::new(5)
+        .max_outer(15)
+        .seed(2)
+        .factorize(&tensor())
+        .unwrap();
+    let ridged = Factorizer::new(5)
+        .constrain_all(constraints::ridge(5.0))
+        .max_outer(15)
+        .seed(2)
+        .factorize(&tensor())
+        .unwrap();
+    let norm = |r: &aoadmm::FactorizeResult| -> f64 {
+        (0..3).map(|m| r.model.factor(m).norm_fro_sq()).sum()
+    };
+    assert!(
+        norm(&ridged) < norm(&free),
+        "ridge did not shrink: {} vs {}",
+        norm(&ridged),
+        norm(&free)
+    );
+}
+
+#[test]
+fn max_row_norm_bounds_rows() {
+    let res = Factorizer::new(5)
+        .constrain_all(constraints::max_row_norm(1.0))
+        .max_outer(12)
+        .factorize(&tensor())
+        .unwrap();
+    for m in 0..3 {
+        let fac = res.model.factor(m);
+        for i in 0..fac.nrows() {
+            let n = fac.row(i).iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!(n <= 1.0 + 1e-9, "mode {m} row {i} norm {n}");
+        }
+    }
+}
+
+#[test]
+fn constraint_reduces_attainable_fit() {
+    // The feasible set shrinks under constraints, so the constrained
+    // optimum cannot beat the unconstrained one (up to solver noise).
+    let t = tensor();
+    let free = Factorizer::new(6)
+        .max_outer(25)
+        .seed(3)
+        .factorize(&t)
+        .unwrap();
+    let constrained = Factorizer::new(6)
+        .constrain_all(constraints::boxed(0.0, 0.3))
+        .max_outer(25)
+        .seed(3)
+        .factorize(&t)
+        .unwrap();
+    assert!(constrained.trace.final_error >= free.trace.final_error - 0.02);
+}

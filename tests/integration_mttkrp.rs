@@ -1,0 +1,154 @@
+//! Cross-crate MTTKRP validation: CSF kernels (dense / CSR / hybrid
+//! leaf factors) against the COO reference and against each other, on
+//! realistic power-law tensors.
+
+use aoadmm::mttkrp::{mttkrp_dense, mttkrp_reference, mttkrp_with_leaf};
+use aoadmm::mttkrp_sparse::LeafRepr;
+use aoadmm::Structure;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use splinalg::{CsrMatrix, DMat, HybridMat};
+use sptensor::gen::{planted, Analog, PlantedConfig};
+use sptensor::Csf;
+
+fn factors_for(dims: &[usize], f: usize, seed: u64, sparse_mode: Option<usize>) -> Vec<DMat> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    dims.iter()
+        .enumerate()
+        .map(|(m, &d)| {
+            let mut fac = DMat::random(d, f, 0.0, 1.0, &mut rng);
+            if sparse_mode == Some(m) {
+                for v in fac.as_mut_slice() {
+                    if rng.gen::<f64>() < 0.85 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            fac
+        })
+        .collect()
+}
+
+#[test]
+fn power_law_tensor_all_modes_all_leaf_structures() {
+    let cfg = PlantedConfig {
+        dims: vec![90, 40, 150],
+        nnz: 12_000,
+        rank: 4,
+        noise: 0.1,
+        factor_density: 1.0,
+        zipf_exponents: vec![1.2, 0.9, 1.2],
+        seed: 17,
+    };
+    let coo = planted(&cfg).unwrap();
+
+    for mode in 0..3 {
+        let csf = Csf::from_coo_rooted(&coo, mode).unwrap();
+        let leaf_mode = *csf.mode_order().last().unwrap();
+        let factors = factors_for(coo.dims(), 7, 18, Some(leaf_mode));
+        let reference = mttkrp_reference(&coo, &factors, mode).unwrap();
+
+        for s in [Structure::Dense, Structure::Csr, Structure::Hybrid] {
+            let repr = LeafRepr::build(s, &factors[leaf_mode], 0.0);
+            let mut out = DMat::zeros(coo.dims()[mode], 7);
+            repr.mttkrp(&csf, &factors, &mut out).unwrap();
+            let diff = out.max_abs_diff(&reference);
+            assert!(diff < 1e-9, "mode {mode} {} diff {diff}", repr.name());
+        }
+    }
+}
+
+#[test]
+fn analog_tensors_dense_vs_sparse_kernels() {
+    // Miniature versions of two paper datasets.
+    for analog in [Analog::Reddit, Analog::Patents] {
+        let coo = analog.generate(0.002, 3).unwrap();
+        let mode = 0;
+        let csf = Csf::from_coo_rooted(&coo, mode).unwrap();
+        let leaf_mode = *csf.mode_order().last().unwrap();
+        let factors = factors_for(coo.dims(), 5, 4, Some(leaf_mode));
+
+        let mut dense_out = DMat::zeros(coo.dims()[mode], 5);
+        mttkrp_dense(&csf, &factors, &mut dense_out).unwrap();
+
+        let csr = CsrMatrix::from_dense(&factors[leaf_mode], 0.0);
+        let mut csr_out = DMat::zeros(coo.dims()[mode], 5);
+        mttkrp_with_leaf(&csf, &factors, &csr, &mut csr_out).unwrap();
+
+        let hyb = HybridMat::from_dense(&factors[leaf_mode], 0.0);
+        let mut hyb_out = DMat::zeros(coo.dims()[mode], 5);
+        mttkrp_with_leaf(&csf, &factors, &hyb, &mut hyb_out).unwrap();
+
+        assert!(
+            dense_out.max_abs_diff(&csr_out) < 1e-10,
+            "{}: CSR mismatch",
+            analog.name()
+        );
+        assert!(
+            dense_out.max_abs_diff(&hyb_out) < 1e-10,
+            "{}: hybrid mismatch",
+            analog.name()
+        );
+    }
+}
+
+#[test]
+fn mttkrp_linear_in_values() {
+    // MTTKRP is linear in the tensor values: scaling X scales K.
+    let coo = sptensor::gen::random_uniform(&[20, 15, 10], 500, 5).unwrap();
+    let factors = factors_for(coo.dims(), 3, 6, None);
+    let csf = Csf::from_coo_rooted(&coo, 1).unwrap();
+    let mut k1 = DMat::zeros(15, 3);
+    mttkrp_dense(&csf, &factors, &mut k1).unwrap();
+
+    let mut scaled = sptensor::CooTensor::new(coo.dims().to_vec()).unwrap();
+    for n in 0..coo.nnz() {
+        let c = coo.coord(n);
+        scaled.push(&c, 3.0 * coo.values()[n]).unwrap();
+    }
+    let csf3 = Csf::from_coo_rooted(&scaled, 1).unwrap();
+    let mut k3 = DMat::zeros(15, 3);
+    mttkrp_dense(&csf3, &factors, &mut k3).unwrap();
+
+    k1.scale(3.0);
+    assert!(k1.max_abs_diff(&k3) < 1e-10);
+}
+
+#[test]
+fn mttkrp_zero_factor_gives_zero_output() {
+    let coo = sptensor::gen::random_uniform(&[10, 10, 10], 200, 7).unwrap();
+    let mut factors = factors_for(coo.dims(), 4, 8, None);
+    factors[2].fill(0.0); // zero out one non-output factor
+    let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+    let mut out = DMat::zeros(10, 4);
+    mttkrp_dense(&csf, &factors, &mut out).unwrap();
+    assert_eq!(out.norm_fro(), 0.0);
+}
+
+#[test]
+fn five_mode_tensor_roundtrip_and_mttkrp() {
+    let cfg = PlantedConfig {
+        dims: vec![8, 6, 7, 5, 9],
+        nnz: 1_500,
+        rank: 3,
+        noise: 0.05,
+        factor_density: 1.0,
+        zipf_exponents: vec![0.5; 5],
+        seed: 23,
+    };
+    let coo = planted(&cfg).unwrap();
+    let factors = factors_for(coo.dims(), 4, 24, None);
+    for mode in 0..5 {
+        let csf = Csf::from_coo_rooted(&coo, mode).unwrap();
+        // CSF must preserve the nonzeros exactly.
+        assert_eq!(csf.nnz(), coo.nnz());
+        let mut out = DMat::zeros(coo.dims()[mode], 4);
+        mttkrp_dense(&csf, &factors, &mut out).unwrap();
+        let reference = mttkrp_reference(&coo, &factors, mode).unwrap();
+        assert!(
+            out.max_abs_diff(&reference) < 1e-9,
+            "mode {mode} diff {}",
+            out.max_abs_diff(&reference)
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests over the full stack: random tensors, random
+//! shapes, random constraints — the invariants must hold for all of them.
+
+use admm::constraints;
+use aoadmm::mttkrp::{mttkrp_dense, mttkrp_reference};
+use aoadmm::Factorizer;
+use proptest::prelude::*;
+use splinalg::DMat;
+use sptensor::{CooTensor, Csf, Idx};
+
+/// Strategy: a small random COO tensor with 2-4 modes.
+fn coo_strategy() -> impl Strategy<Value = CooTensor> {
+    (2usize..=4)
+        .prop_flat_map(|nmodes| {
+            (
+                proptest::collection::vec(2usize..12, nmodes),
+                1usize..120,
+                any::<u64>(),
+            )
+        })
+        .prop_map(|(dims, nnz, seed)| {
+            sptensor::gen::random_uniform(&dims, nnz, seed).expect("valid dims")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csf_roundtrips_any_tensor(coo in coo_strategy(), root in 0usize..4) {
+        let root = root % coo.nmodes();
+        let csf = Csf::from_coo_rooted(&coo, root).unwrap();
+        prop_assert_eq!(csf.nnz(), coo.nnz());
+        let mut back = csf.to_coo();
+        let order: Vec<usize> = (0..coo.nmodes()).collect();
+        back.sort_by_mode_order(&order);
+        let mut orig = coo.clone();
+        orig.sort_by_mode_order(&order);
+        prop_assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn mttkrp_kernel_matches_reference(coo in coo_strategy(), root in 0usize..4, f in 1usize..6, seed in any::<u64>()) {
+        let root = root % coo.nmodes();
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let factors: Vec<DMat> = coo
+            .dims()
+            .iter()
+            .map(|&d| DMat::random(d, f, -1.0, 1.0, &mut rng))
+            .collect();
+        let csf = Csf::from_coo_rooted(&coo, root).unwrap();
+        let mut out = DMat::zeros(coo.dims()[root], f);
+        mttkrp_dense(&csf, &factors, &mut out).unwrap();
+        let reference = mttkrp_reference(&coo, &factors, root).unwrap();
+        prop_assert!(out.max_abs_diff(&reference) < 1e-9);
+    }
+
+    #[test]
+    fn factorization_never_increases_error_much(coo in coo_strategy(), seed in any::<u64>()) {
+        // AO with exact-enough inner solves is monotone; allow tiny slack
+        // for the inexact ADMM inner solver.
+        let res = Factorizer::new(3)
+            .constrain_all(constraints::nonneg())
+            .max_outer(6)
+            .seed(seed)
+            .factorize(&coo)
+            .unwrap();
+        let errs: Vec<f64> = res.trace.iterations.iter().map(|i| i.rel_error).collect();
+        for w in errs.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-3, "errors: {:?}", errs);
+        }
+        // Error is a normalized metric: finite and non-negative.
+        prop_assert!(res.trace.final_error.is_finite());
+        prop_assert!(res.trace.final_error >= 0.0);
+    }
+
+    #[test]
+    fn nonneg_factorization_is_feasible_for_any_input(coo in coo_strategy(), seed in any::<u64>()) {
+        let res = Factorizer::new(2)
+            .constrain_all(constraints::nonneg())
+            .max_outer(4)
+            .seed(seed)
+            .factorize(&coo)
+            .unwrap();
+        for m in 0..coo.nmodes() {
+            prop_assert!(res.model.factor(m).as_slice().iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn model_value_is_multilinear(
+        dims in proptest::collection::vec(2usize..8, 3),
+        f in 1usize..5,
+        seed in any::<u64>(),
+        scale in 0.1f64..10.0,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let factors: Vec<DMat> = dims.iter().map(|&d| DMat::random(d, f, -1.0, 1.0, &mut rng)).collect();
+        let model = aoadmm::KruskalModel::new(factors.clone());
+
+        // Scaling one factor scales every model value linearly.
+        let mut scaled = factors;
+        scaled[1].scale(scale);
+        let scaled_model = aoadmm::KruskalModel::new(scaled);
+
+        let coord: Vec<Idx> = dims.iter().map(|&d| (d as Idx) - 1).collect();
+        let a = model.value_at(&coord) * scale;
+        let b = scaled_model.value_at(&coord);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn tns_io_roundtrips(coo in coo_strategy()) {
+        let mut buf = Vec::new();
+        sptensor::io::write_tns(&coo, &mut buf).unwrap();
+        let back = sptensor::io::read_tns(buf.as_slice(), Some(coo.dims().to_vec())).unwrap();
+        prop_assert_eq!(back, coo);
+    }
+}
