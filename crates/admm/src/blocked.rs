@@ -145,8 +145,16 @@ mod tests {
         let h1 = run(1);
         let h50 = run(50);
         let hall = run(120);
-        assert!(h1.max_abs_diff(&h50) < 1e-3, "diff {}", h1.max_abs_diff(&h50));
-        assert!(h50.max_abs_diff(&hall) < 1e-3, "diff {}", h50.max_abs_diff(&hall));
+        assert!(
+            h1.max_abs_diff(&h50) < 1e-3,
+            "diff {}",
+            h1.max_abs_diff(&h50)
+        );
+        assert!(
+            h50.max_abs_diff(&hall) < 1e-3,
+            "diff {}",
+            h50.max_abs_diff(&hall)
+        );
     }
 
     #[test]

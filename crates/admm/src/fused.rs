@@ -175,7 +175,11 @@ mod tests {
         assert!(stats.converged());
         // Residual of the normal equations H G = K.
         let hg = h.matmul(&gram).unwrap();
-        assert!(hg.max_abs_diff(&k) < 1e-4, "residual {}", hg.max_abs_diff(&k));
+        assert!(
+            hg.max_abs_diff(&k) < 1e-4,
+            "residual {}",
+            hg.max_abs_diff(&k)
+        );
     }
 
     #[test]

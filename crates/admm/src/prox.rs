@@ -210,7 +210,8 @@ impl Prox for BoxBound {
     }
 
     fn is_feasible_row(&self, row: &[f64], tol: f64) -> bool {
-        row.iter().all(|&x| x >= self.lo - tol && x <= self.hi + tol)
+        row.iter()
+            .all(|&x| x >= self.lo - tol && x <= self.hi + tol)
     }
 
     fn induces_sparsity(&self) -> bool {

@@ -301,7 +301,15 @@ mod tests {
             max_inner: 5000,
             ..AdmmConfig::blocked(8)
         };
-        let stats = admm_update(&gram, &k, &mut h, &mut u, &*constraints::unconstrained(), &cfg).unwrap();
+        let stats = admm_update(
+            &gram,
+            &k,
+            &mut h,
+            &mut u,
+            &*constraints::unconstrained(),
+            &cfg,
+        )
+        .unwrap();
         assert!(stats.converged(), "stats: {stats:?}");
         assert!(
             h.max_abs_diff(&target) < 1e-3,
@@ -353,7 +361,8 @@ mod tests {
         let k = DMat::zeros(10, 3);
         let mut h = DMat::zeros(10, 3);
         let mut u = DMat::zeros(10, 3);
-        let stats = admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &AdmmConfig::default()).unwrap();
+        let stats =
+            admm_update(&gram, &k, &mut h, &mut u, &NonNeg, &AdmmConfig::default()).unwrap();
         // All-zero problem: converges immediately to zero.
         assert!(stats.converged());
         assert_eq!(h.norm_fro(), 0.0);

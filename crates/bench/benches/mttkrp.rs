@@ -1,7 +1,9 @@
 //! Criterion microbenchmarks for the MTTKRP kernels: dense vs. CSR vs.
-//! hybrid leaf factors, across factor densities and output modes.
+//! hybrid leaf factors, across factor densities and output modes, plus
+//! precomputed execution plans vs. the legacy per-call scheduling.
 
-use aoadmm::mttkrp::{mttkrp_dense, mttkrp_with_leaf};
+use aoadmm::mttkrp::{mttkrp_dense, mttkrp_dense_planned, mttkrp_with_leaf};
+use aoadmm::{MttkrpPlan, PlanOptions, PlanStrategy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -100,7 +102,9 @@ fn bench_mttkrp_one_csf(c: &mut Criterion) {
     for target in 0..3 {
         let mut out = DMat::zeros(coo.dims()[target], f);
         group.bench_with_input(BenchmarkId::new("one_csf", target), &target, |b, _| {
-            b.iter(|| aoadmm::mttkrp_onecsf::mttkrp_one_csf(&one, &facs, target, &mut out).unwrap());
+            b.iter(|| {
+                aoadmm::mttkrp_onecsf::mttkrp_one_csf(&one, &facs, target, &mut out).unwrap()
+            });
         });
         let per_mode = Csf::from_coo_rooted(&coo, target).unwrap();
         group.bench_with_input(BenchmarkId::new("per_mode", target), &target, |b, _| {
@@ -110,5 +114,83 @@ fn bench_mttkrp_one_csf(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mttkrp_structures, bench_mttkrp_modes, bench_mttkrp_one_csf);
+fn bench_mttkrp_plan_uniform(c: &mut Criterion) {
+    // Many uniform root slices: the regime where nnz-balanced root chunks
+    // win and the plan mainly saves the per-call schedule derivation.
+    let coo = planted(&PlantedConfig {
+        dims: vec![2_000, 150, 3_000],
+        nnz: 200_000,
+        rank: 8,
+        noise: 0.1,
+        factor_density: 1.0,
+        zipf_exponents: vec![0.0, 0.0, 0.0],
+        seed: 13,
+    })
+    .unwrap();
+    let f = 32;
+    let mode = 0;
+    let csf = Csf::from_coo_rooted(&coo, mode).unwrap();
+    let facs = factors(coo.dims(), f, usize::MAX, 1.0, 15);
+    let mut out = DMat::zeros(coo.dims()[mode], f);
+
+    let mut group = c.benchmark_group("mttkrp_plan_uniform_many_roots");
+    group.sample_size(10);
+    group.bench_function("legacy_per_call", |b| {
+        b.iter(|| mttkrp_dense(&csf, &facs, &mut out).unwrap());
+    });
+    let plan = MttkrpPlan::build(&csf);
+    group.bench_function("planned", |b| {
+        b.iter(|| mttkrp_dense_planned(&csf, &plan, &facs, &mut out).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_mttkrp_plan_skewed(c: &mut Criterion) {
+    // Few, Zipf-skewed root slices (Patents-like): root-level chunking
+    // starves threads, so the fiber-privatized path is where the plan's
+    // precomputed fiber map and lock-free reduction pay off.
+    let coo = planted(&PlantedConfig {
+        dims: vec![40, 500, 2_000],
+        nnz: 200_000,
+        rank: 8,
+        noise: 0.1,
+        factor_density: 1.0,
+        zipf_exponents: vec![1.8, 0.6, 0.6],
+        seed: 17,
+    })
+    .unwrap();
+    let f = 32;
+    let mode = 0;
+    let csf = Csf::from_coo_rooted(&coo, mode).unwrap();
+    let facs = factors(coo.dims(), f, usize::MAX, 1.0, 19);
+    let mut out = DMat::zeros(coo.dims()[mode], f);
+
+    let mut group = c.benchmark_group("mttkrp_plan_skewed_few_roots");
+    group.sample_size(10);
+    group.bench_function("legacy_per_call", |b| {
+        b.iter(|| mttkrp_dense(&csf, &facs, &mut out).unwrap());
+    });
+    for strategy in [PlanStrategy::RootParallel, PlanStrategy::FiberPrivatized] {
+        let plan = MttkrpPlan::with_options(
+            &csf,
+            PlanOptions {
+                threads: None,
+                force_strategy: Some(strategy),
+            },
+        );
+        group.bench_function(BenchmarkId::new("planned", strategy.name()), |b| {
+            b.iter(|| mttkrp_dense_planned(&csf, &plan, &facs, &mut out).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mttkrp_structures,
+    bench_mttkrp_modes,
+    bench_mttkrp_one_csf,
+    bench_mttkrp_plan_uniform,
+    bench_mttkrp_plan_skewed
+);
 criterion_main!(benches);

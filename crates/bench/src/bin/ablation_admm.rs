@@ -40,7 +40,11 @@ fn main() {
 
     println!("ADMM variant ablation: rank-{rank} non-negative CPD, {max_outer} outer iters\n");
     let (mut csv, path) = csv_writer("ablation_admm");
-    writeln!(csv, "dataset,variant,seconds,final_error,total_inner_row_iters").unwrap();
+    writeln!(
+        csv,
+        "dataset,variant,seconds,final_error,total_inner_row_iters"
+    )
+    .unwrap();
 
     for analog in [Analog::Reddit, Analog::Nell] {
         let t = load_analog(analog, scale, seed);

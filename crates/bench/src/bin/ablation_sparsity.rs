@@ -25,7 +25,9 @@ fn main() {
     let t = load_analog(Analog::Reddit, scale, seed);
     let thresholds = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8, 1.01];
 
-    println!("Ablation: sparsity threshold sweep on Reddit analog, rank {rank}, l1 lambda={lambda}\n");
+    println!(
+        "Ablation: sparsity threshold sweep on Reddit analog, rank {rank}, l1 lambda={lambda}\n"
+    );
     let (mut csv, path) = csv_writer("ablation_sparsity");
     writeln!(csv, "structure,threshold,seconds,final_error").unwrap();
 

@@ -20,9 +20,7 @@ fn main() {
     let max_outer: usize = args.get("max-outer", 15);
     let seed: u64 = args.get("seed", 1);
 
-    println!(
-        "Baselines: rank-{rank} factorization, {max_outer} outer iterations, non-negative\n"
-    );
+    println!("Baselines: rank-{rank} factorization, {max_outer} outer iterations, non-negative\n");
     println!(
         "{:<10} {:>14} {:>10} {:>14} {:>10} {:>14} {:>10}",
         "dataset", "AO-ADMM err", "time(s)", "PGD err", "time(s)", "ALS err*", "time(s)"

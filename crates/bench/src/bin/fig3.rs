@@ -38,7 +38,11 @@ fn main() {
             .factorize(&t)
             .expect("factorization");
         let (m, a, o) = res.trace.time_fractions();
-        println!("{:<10} total {:>8.2}s", analog.name(), res.trace.total.as_secs_f64());
+        println!(
+            "{:<10} total {:>8.2}s",
+            analog.name(),
+            res.trace.total.as_secs_f64()
+        );
         println!("  MTTKRP {m:>5.2} |{}|", bar(m, 40));
         println!("  ADMM   {a:>5.2} |{}|", bar(a, 40));
         println!("  OTHER  {o:>5.2} |{}|", bar(o, 40));

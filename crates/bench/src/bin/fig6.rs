@@ -11,7 +11,13 @@ use aoadmm_bench::{ascii_curve, csv_writer, load_analog, Args};
 use sptensor::gen::Analog;
 use std::io::Write;
 
-fn run(t: &sptensor::CooTensor, rank: usize, max_outer: usize, seed: u64, cfg: AdmmConfig) -> FactorizeResult {
+fn run(
+    t: &sptensor::CooTensor,
+    rank: usize,
+    max_outer: usize,
+    seed: u64,
+    cfg: AdmmConfig,
+) -> FactorizeResult {
     Factorizer::new(rank)
         .constrain_all(constraints::nonneg())
         .admm(cfg)

@@ -65,7 +65,10 @@ fn main() {
     let truth = KruskalModel::new(truth_factors(&dims, rank, seed));
 
     println!("Recovery vs noise: rank-{rank} planted CPD on a {dim}^3 complete tensor\n");
-    println!("{:>8} {:>10} {:>12} {:>8}", "noise", "FMS", "rel error", "outers");
+    println!(
+        "{:>8} {:>10} {:>12} {:>8}",
+        "noise", "FMS", "rel error", "outers"
+    );
     let (mut csv, path) = csv_writer("recovery");
     writeln!(csv, "noise,fms,rel_error,outer_iterations").unwrap();
 

@@ -33,11 +33,7 @@ fn main() {
         let t = load_analog(analog, scale, seed);
         let stats = TensorStats::compute(&t);
         let pd = analog.paper_dims();
-        let skew = stats
-            .modes
-            .iter()
-            .map(|m| m.skew)
-            .fold(0.0f64, f64::max);
+        let skew = stats.modes.iter().map(|m| m.skew).fold(0.0f64, f64::max);
         println!(
             "{:<10} {:>10} {:>24}   {:>10} {:>24}   {:>6.1}",
             analog.name(),

@@ -31,7 +31,11 @@ fn main() {
         "Table II: sparse factor structures, l1 lambda={lambda}, ranks {ranks:?}, max {max_outer} outer iters\n"
     );
     let (mut csv, path) = csv_writer("table2");
-    writeln!(csv, "dataset,rank,structure,seconds,final_error,longest_factor_density").unwrap();
+    writeln!(
+        csv,
+        "dataset,rank,structure,seconds,final_error,longest_factor_density"
+    )
+    .unwrap();
 
     // The paper evaluates the two datasets whose factors actually go
     // sparse under l1 (NELL and Patents are omitted there for converging

@@ -72,7 +72,9 @@ pub fn load_analog(analog: Analog, scale: f64, seed: u64) -> CooTensor {
         "[gen] {} analog at scale {scale} (seed {seed}) ...",
         analog.name()
     );
-    let t = analog.generate(scale, seed).expect("generator config is valid");
+    let t = analog
+        .generate(scale, seed)
+        .expect("generator config is valid");
     eprintln!(
         "[gen] {}: nnz={} dims={:?}",
         analog.name(),

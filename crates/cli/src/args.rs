@@ -105,7 +105,12 @@ mod tests {
 
     #[test]
     fn repeatable_flags_collect() {
-        let a = parse(&["--mode-constraint", "0=nonneg", "--mode-constraint", "1=simplex"]);
+        let a = parse(&[
+            "--mode-constraint",
+            "0=nonneg",
+            "--mode-constraint",
+            "1=simplex",
+        ]);
         assert_eq!(a.get_all("mode-constraint").len(), 2);
     }
 

@@ -36,8 +36,14 @@ pub fn parse_constraint(spec: &str) -> Result<Arc<dyn Prox>, String> {
             let (lo, hi) = a
                 .split_once(',')
                 .ok_or_else(|| format!("box bounds must be LO,HI; got {a:?}"))?;
-            let lo: f64 = lo.trim().parse().map_err(|_| format!("bad box lower bound {lo:?}"))?;
-            let hi: f64 = hi.trim().parse().map_err(|_| format!("bad box upper bound {hi:?}"))?;
+            let lo: f64 = lo
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad box lower bound {lo:?}"))?;
+            let hi: f64 = hi
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad box upper bound {hi:?}"))?;
             if lo > hi {
                 return Err(format!("box bounds out of order: {lo} > {hi}"));
             }
@@ -49,7 +55,10 @@ pub fn parse_constraint(spec: &str) -> Result<Arc<dyn Prox>, String> {
 
 fn no_arg(arg: Option<&str>, c: Arc<dyn Prox>) -> Result<Arc<dyn Prox>, String> {
     match arg {
-        Some(a) => Err(format!("constraint {:?} takes no argument (got {a:?})", c.name())),
+        Some(a) => Err(format!(
+            "constraint {:?} takes no argument (got {a:?})",
+            c.name()
+        )),
         None => Ok(c),
     }
 }
@@ -77,10 +86,16 @@ mod tests {
     #[test]
     fn parameterized() {
         assert_eq!(parse_constraint("l1:0.1").unwrap().name(), "l1");
-        assert_eq!(parse_constraint("nonneg-l1:0.5").unwrap().name(), "non-negative l1");
+        assert_eq!(
+            parse_constraint("nonneg-l1:0.5").unwrap().name(),
+            "non-negative l1"
+        );
         assert_eq!(parse_constraint("ridge:2").unwrap().name(), "l2");
         assert_eq!(parse_constraint("box:0,1").unwrap().name(), "box");
-        assert_eq!(parse_constraint("maxnorm:3.5").unwrap().name(), "max-row-norm");
+        assert_eq!(
+            parse_constraint("maxnorm:3.5").unwrap().name(),
+            "max-row-norm"
+        );
     }
 
     #[test]

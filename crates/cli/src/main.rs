@@ -169,7 +169,12 @@ fn factorize(args: &Args) -> Result<(), String> {
     );
     println!("relative error: {:.6}", res.trace.final_error);
     let (m, a, o) = res.trace.time_fractions();
-    println!("time split: MTTKRP {:.0}%  ADMM {:.0}%  other {:.0}%", m * 100.0, a * 100.0, o * 100.0);
+    println!(
+        "time split: MTTKRP {:.0}%  ADMM {:.0}%  other {:.0}%",
+        m * 100.0,
+        a * 100.0,
+        o * 100.0
+    );
     let dens = res.model.factor_densities(0.0);
     for (mode, d) in dens.iter().enumerate() {
         println!("factor {mode}: density {:.1}%", d * 100.0);
@@ -234,7 +239,11 @@ fn generate(args: &Args) -> Result<(), String> {
         let dims: Vec<usize> = args
             .require("dims")?
             .split(',')
-            .map(|s| s.trim().parse().map_err(|_| format!("bad dims entry {s:?}")))
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("bad dims entry {s:?}"))
+            })
             .collect::<Result<_, _>>()?;
         let cfg = sptensor::gen::PlantedConfig {
             zipf_exponents: vec![0.8; dims.len()],
@@ -248,7 +257,12 @@ fn generate(args: &Args) -> Result<(), String> {
         sptensor::gen::planted(&cfg).map_err(|e| e.to_string())?
     };
     sptensor::io::write_tns_file(&tensor, &out).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} nnz, dims {:?})", out, tensor.nnz(), tensor.dims());
+    println!(
+        "wrote {} ({} nnz, dims {:?})",
+        out,
+        tensor.nnz(),
+        tensor.dims()
+    );
     Ok(())
 }
 
@@ -264,8 +278,14 @@ fn write_trace(trace: &aoadmm::FactorizeTrace, path: &str) -> Result<(), String>
     let mut w = std::io::BufWriter::new(f);
     writeln!(w, "iter,seconds,rel_error").map_err(|e| e.to_string())?;
     for it in &trace.iterations {
-        writeln!(w, "{},{:.6},{:.8}", it.iter, it.elapsed.as_secs_f64(), it.rel_error)
-            .map_err(|e| e.to_string())?;
+        writeln!(
+            w,
+            "{},{:.6},{:.8}",
+            it.iter,
+            it.elapsed.as_secs_f64(),
+            it.rel_error
+        )
+        .map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -379,7 +399,12 @@ mod tests {
 
     #[test]
     fn factorize_requires_input() {
-        assert!(run(&["factorize".to_string(), "--rank".to_string(), "3".to_string()]).is_err());
+        assert!(run(&[
+            "factorize".to_string(),
+            "--rank".to_string(),
+            "3".to_string()
+        ])
+        .is_err());
     }
 
     #[test]

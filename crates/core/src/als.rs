@@ -9,7 +9,8 @@
 
 use crate::error::AoAdmmError;
 use crate::kruskal::{relative_error_fast, KruskalModel};
-use crate::mttkrp::mttkrp_dense;
+use crate::mttkrp::mttkrp_dense_planned;
+use crate::mttkrp_plan::build_mode_plans;
 use crate::sparsity::{SparsityDecision, Structure};
 use crate::trace::{FactorizeTrace, IterRecord, ModeRecord};
 use crate::FactorizeResult;
@@ -17,7 +18,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use splinalg::{ops, Cholesky, DMat};
-use sptensor::{CooTensor, Csf};
+use sptensor::CooTensor;
 use std::time::Instant;
 
 /// Configuration for the ALS baseline.
@@ -51,7 +52,9 @@ impl Default for AlsConfig {
 /// Run CP-ALS on `tensor`.
 pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeResult, AoAdmmError> {
     if cfg.rank == 0 || cfg.max_outer == 0 {
-        return Err(AoAdmmError::Config("rank and max_outer must be positive".into()));
+        return Err(AoAdmmError::Config(
+            "rank and max_outer must be positive".into(),
+        ));
     }
     if tensor.nnz() == 0 {
         return Err(AoAdmmError::Config("tensor has no nonzeros".into()));
@@ -60,9 +63,9 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
     let dims = tensor.dims().to_vec();
     let t0 = Instant::now();
 
-    let csfs: Vec<Csf> = (0..nmodes)
-        .map(|m| Csf::from_coo_rooted(tensor, m))
-        .collect::<Result<_, _>>()?;
+    // Per-mode CSFs and their MTTKRP execution plans, built in parallel
+    // once and reused across every outer iteration.
+    let csfs = build_mode_plans(tensor)?;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut factors: Vec<DMat> = dims
         .iter()
@@ -94,7 +97,7 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
             gram.add_diag(cfg.ridge * (1.0 + gram.trace()));
 
             let tm = Instant::now();
-            mttkrp_dense(&csfs[m], &factors, &mut kbufs[m])?;
+            mttkrp_dense_planned(&csfs[m].0, &csfs[m].1, &factors, &mut kbufs[m])?;
             let mttkrp_time = tm.elapsed();
 
             // Exact per-row solve A_m = K * (G + ridge)^-1, parallel over
@@ -118,6 +121,7 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
             }
             modes.push(ModeRecord {
                 mode: m,
+                mttkrp_strategy: Some(csfs[m].1.strategy()),
                 mttkrp: mttkrp_time,
                 admm: solve_time,
                 admm_iterations: 1,
@@ -184,7 +188,11 @@ mod tests {
         .unwrap();
         // Sparse-tensor regime: zeros at unsampled cells bound the
         // reachable error well above the noise floor (cf. Figure 6).
-        assert!(res.trace.final_error < 0.75, "err {}", res.trace.final_error);
+        assert!(
+            res.trace.final_error < 0.75,
+            "err {}",
+            res.trace.final_error
+        );
         // ALS error is monotone nonincreasing.
         let errs: Vec<f64> = res.trace.iterations.iter().map(|i| i.rel_error).collect();
         for w in errs.windows(2) {
@@ -219,7 +227,14 @@ mod tests {
     #[test]
     fn als_validates_inputs() {
         let t = planted(&PlantedConfig::small()).unwrap();
-        assert!(als_factorize(&t, &AlsConfig { rank: 0, ..Default::default() }).is_err());
+        assert!(als_factorize(
+            &t,
+            &AlsConfig {
+                rank: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let empty = CooTensor::new(vec![2, 2]).unwrap();
         assert!(als_factorize(&empty, &AlsConfig::default()).is_err());
     }

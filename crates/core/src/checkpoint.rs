@@ -55,9 +55,7 @@ impl Checkpoint {
             .match_indices("nmodes ")
             .nth(1)
             .map(|(i, _)| i)
-            .ok_or_else(|| {
-                AoAdmmError::Config("checkpoint is missing the dual section".into())
-            })?;
+            .ok_or_else(|| AoAdmmError::Config("checkpoint is missing the dual section".into()))?;
         let bytes = content.as_bytes();
         let model = model_io::read_model(&bytes[..second])?;
         let duals_model = model_io::read_model(&bytes[second..])?;
@@ -150,7 +148,10 @@ mod tests {
             .unwrap();
 
         for m in 0..3 {
-            let diff = resumed.model.factor(m).max_abs_diff(straight.model.factor(m));
+            let diff = resumed
+                .model
+                .factor(m)
+                .max_abs_diff(straight.model.factor(m));
             assert!(diff < 1e-12, "mode {m} diff {diff}");
         }
         assert!((resumed.trace.final_error - straight.trace.final_error).abs() < 1e-12);

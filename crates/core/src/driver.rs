@@ -20,7 +20,8 @@
 use crate::config::{CsfPolicy, Factorizer};
 use crate::error::AoAdmmError;
 use crate::kruskal::{relative_error_fast, KruskalModel};
-use crate::mttkrp_onecsf::mttkrp_one_csf;
+use crate::mttkrp_onecsf::mttkrp_one_csf_planned;
+use crate::mttkrp_plan::{build_mode_plans, MttkrpPlan, PlanStrategy};
 use crate::sparsity::{prepare_leaf, SparsityDecision, Structure};
 use crate::trace::{FactorizeTrace, IterRecord, ModeRecord};
 use admm::admm_update;
@@ -43,10 +44,12 @@ pub struct FactorizeResult {
     pub duals: Vec<DMat>,
 }
 
-/// The CSF representations the run operates on (see [`CsfPolicy`]).
+/// The CSF representations the run operates on (see [`CsfPolicy`]),
+/// each paired with the MTTKRP execution plan built once at setup and
+/// reused across all outer iterations.
 enum CsfSet {
-    PerMode(Vec<Csf>),
-    One(Csf),
+    PerMode(Vec<(Csf, MttkrpPlan)>),
+    One(Csf, MttkrpPlan),
 }
 
 impl CsfSet {
@@ -55,33 +58,33 @@ impl CsfSet {
             CsfPolicy::One if tensor.nmodes() == 3 => {
                 // Root at the shortest mode for maximal prefix sharing.
                 let root = (0..3).min_by_key(|&m| tensor.dims()[m]).unwrap();
-                Ok(CsfSet::One(Csf::from_coo_rooted(tensor, root)?))
+                let csf = Csf::from_coo_rooted(tensor, root)?;
+                let plan = MttkrpPlan::build(&csf);
+                Ok(CsfSet::One(csf, plan))
             }
-            _ => Ok(CsfSet::PerMode(
-                (0..tensor.nmodes())
-                    .map(|m| Csf::from_coo_rooted(tensor, m))
-                    .collect::<Result<_, _>>()?,
-            )),
+            _ => Ok(CsfSet::PerMode(build_mode_plans(tensor)?)),
         }
     }
 
     /// MTTKRP for `mode`, applying the dynamic-sparsity policy where the
     /// representation allows it (per-mode CSFs, or the shared CSF when
-    /// `mode` is its root).
+    /// `mode` is its root). Returns the sparsity decision and the plan
+    /// strategy that ran (`None` on the one-CSF conflicting-update
+    /// path).
     fn mttkrp(
         &self,
         mode: usize,
         factors: &[DMat],
         cfg: &Factorizer,
         out: &mut DMat,
-    ) -> Result<SparsityDecision, AoAdmmError> {
+    ) -> Result<(SparsityDecision, Option<PlanStrategy>), AoAdmmError> {
         let dense_decision = SparsityDecision {
             density: 1.0,
             structure: Structure::Dense,
         };
         match self {
             CsfSet::PerMode(csfs) => {
-                let csf = &csfs[mode];
+                let (csf, plan) = &csfs[mode];
                 let leaf_mode = *csf.mode_order().last().unwrap();
                 let leaf_prox = cfg.constraint_for(leaf_mode);
                 let (leaf, decision) = prepare_leaf(
@@ -89,10 +92,10 @@ impl CsfSet {
                     leaf_prox.induces_sparsity(),
                     cfg.sparsity_config(),
                 );
-                leaf.mttkrp(csf, factors, out)?;
-                Ok(decision)
+                leaf.mttkrp_planned(csf, plan, factors, out)?;
+                Ok((decision, Some(plan.strategy())))
             }
-            CsfSet::One(csf) => {
+            CsfSet::One(csf, plan) => {
                 if csf.mode_order()[0] == mode {
                     let leaf_mode = *csf.mode_order().last().unwrap();
                     let leaf_prox = cfg.constraint_for(leaf_mode);
@@ -101,11 +104,11 @@ impl CsfSet {
                         leaf_prox.induces_sparsity(),
                         cfg.sparsity_config(),
                     );
-                    leaf.mttkrp(csf, factors, out)?;
-                    Ok(decision)
+                    leaf.mttkrp_planned(csf, plan, factors, out)?;
+                    Ok((decision, Some(plan.strategy())))
                 } else {
-                    mttkrp_one_csf(csf, factors, mode, out)?;
-                    Ok(dense_decision)
+                    mttkrp_one_csf_planned(csf, plan, factors, mode, out)?;
+                    Ok((dense_decision, None))
                 }
             }
         }
@@ -238,7 +241,7 @@ fn run(
             // Line 5/9/13: MTTKRP (timed together with any sparse
             // snapshot build, which is part of its cost).
             let tm = Instant::now();
-            let decision = csfs.mttkrp(m, &factors, cfg, &mut kbufs[m])?;
+            let (decision, strategy) = csfs.mttkrp(m, &factors, cfg, &mut kbufs[m])?;
             let mttkrp_time = tm.elapsed();
 
             // Line 6/10/14: inner ADMM.
@@ -264,6 +267,7 @@ fn run(
 
             modes.push(ModeRecord {
                 mode: m,
+                mttkrp_strategy: strategy,
                 mttkrp: mttkrp_time,
                 admm: admm_time,
                 admm_iterations: stats.iterations,

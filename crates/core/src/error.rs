@@ -53,7 +53,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(AoAdmmError::Config("bad".into()).to_string().contains("bad"));
+        assert!(AoAdmmError::Config("bad".into())
+            .to_string()
+            .contains("bad"));
         let t: AoAdmmError = TensorError::Invalid("x".into()).into();
         assert!(t.to_string().contains("tensor"));
         let l: AoAdmmError = LinalgError::InvalidArgument("y".into()).into();

@@ -18,6 +18,11 @@
 //!    non-negativity constraint, the MTTKRP kernel reads it through a CSR
 //!    or hybrid dense+CSR snapshot, cutting memory traffic.
 //!
+//! On top of those, MTTKRP scheduling decisions (nnz-balanced chunking,
+//! root-parallel vs. privatized fiber-parallel traversal) are hoisted
+//! into a [`MttkrpPlan`] built once per CSF at setup and reused across
+//! every outer iteration; see [`mttkrp_plan`].
+//!
 //! # Quickstart
 //!
 //! ```
@@ -49,6 +54,7 @@ pub mod model_io;
 pub mod model_ops;
 pub mod mttkrp;
 pub mod mttkrp_onecsf;
+pub mod mttkrp_plan;
 pub mod mttkrp_sparse;
 pub mod pgd;
 pub mod sparsity;
@@ -58,6 +64,7 @@ pub use config::{CsfPolicy, Factorizer};
 pub use driver::{factorize, FactorizeResult};
 pub use error::AoAdmmError;
 pub use kruskal::KruskalModel;
+pub use mttkrp_plan::{build_mode_plans, MttkrpPlan, PlanOptions, PlanStats, PlanStrategy};
 pub use sparsity::{SparsityConfig, Structure, StructureChoice};
 pub use trace::{FactorizeTrace, IterRecord};
 
@@ -68,7 +75,8 @@ pub mod prelude {
     pub use crate::model_io::{load_model, save_model};
     pub use crate::model_ops::{arrange, factor_match_score, normalize_columns};
     pub use crate::{
-        CsfPolicy, FactorizeResult, Factorizer, KruskalModel, SparsityConfig, Structure,
+        CsfPolicy, FactorizeResult, Factorizer, KruskalModel, MttkrpPlan, PlanStrategy,
+        SparsityConfig, Structure,
     };
     pub use admm::{constraints, AdaptiveRho, AdmmConfig, AdmmStrategy, Prox};
     pub use sptensor::{CooTensor, Csf};

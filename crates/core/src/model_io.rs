@@ -95,7 +95,9 @@ pub fn read_model<R: Read>(reader: R) -> Result<KruskalModel, AoAdmmError> {
         .parse()
         .map_err(|e| parse_err(n, e))?;
     if nmodes < 1 || rank < 1 {
-        return Err(AoAdmmError::Config("model must have nmodes,rank >= 1".into()));
+        return Err(AoAdmmError::Config(
+            "model must have nmodes,rank >= 1".into(),
+        ));
     }
 
     let mut factors = Vec::with_capacity(nmodes);

@@ -6,11 +6,26 @@
 //! three nested loops for third-order tensors, generalized to arbitrary
 //! order by recursion over CSF levels.
 //!
-//! Parallelism follows SPLATT: the traversal is distributed over root
-//! subtrees. Because the CSF is rooted at the *output* mode, every root
-//! subtree writes a distinct output row, so threads never conflict and no
-//! locks or atomics are needed (a [`RowWriter`] makes that contract
-//! explicit).
+//! Parallelism follows SPLATT, scheduled by a precomputed
+//! [`MttkrpPlan`](crate::mttkrp_plan::MttkrpPlan): the plan partitions
+//! the traversal into contiguous chunks balanced by *nonzero count*
+//! (prefix-sum over the CSF's fiber pointers) and picks one of two
+//! strategies via a small cost model —
+//!
+//! * **root-parallel**: chunks of root subtrees. Because the CSF is
+//!   rooted at the *output* mode, every root subtree writes a distinct
+//!   output row, so threads never conflict and no locks or atomics are
+//!   needed (a [`RowWriter`] makes that contract explicit).
+//! * **fiber-privatized** (third-order, few or skewed roots): chunks of
+//!   level-1 fibers, each accumulating into a thread-local buffer that
+//!   covers only the contiguous roots the chunk touches, reduced into
+//!   the output deterministically in chunk order. No locks on the hot
+//!   path.
+//!
+//! The planned entry points (`*_planned`) take a plan built once at
+//! factorization setup; the plan-free entry points remain as thin
+//! wrappers that build a transient plan per call, so external callers
+//! keep working.
 //!
 //! The kernel is generic over how the *leaf-level* factor is read
 //! ([`RowScatter`]); `mttkrp_dense` reads it as a dense matrix and the
@@ -19,6 +34,7 @@
 //! once per nonzero and dominates factor traffic.
 
 use crate::error::AoAdmmError;
+use crate::mttkrp_plan::{MttkrpPlan, PlanStrategy};
 use rayon::prelude::*;
 use splinalg::{vecops, CsrMatrix, DMat, HybridMat};
 use sptensor::Csf;
@@ -165,7 +181,23 @@ fn validate(
 ///
 /// `factors` are indexed by tensor mode; the factor of the root (output)
 /// mode is not read. `out` is fully overwritten.
+///
+/// Builds a transient [`MttkrpPlan`] per call; loops that run many
+/// MTTKRPs over the same CSF should build the plan once and call
+/// [`mttkrp_dense_planned`].
 pub fn mttkrp_dense(csf: &Csf, factors: &[DMat], out: &mut DMat) -> Result<(), AoAdmmError> {
+    let plan = MttkrpPlan::build(csf);
+    mttkrp_dense_planned(csf, &plan, factors, out)
+}
+
+/// MTTKRP for the CSF's root mode with all factors dense, scheduled by a
+/// precomputed plan.
+pub fn mttkrp_dense_planned(
+    csf: &Csf,
+    plan: &MttkrpPlan,
+    factors: &[DMat],
+    out: &mut DMat,
+) -> Result<(), AoAdmmError> {
     let leaf_mode = *csf.mode_order().last().unwrap();
     if leaf_mode >= factors.len() {
         return Err(AoAdmmError::Config(format!(
@@ -174,11 +206,26 @@ pub fn mttkrp_dense(csf: &Csf, factors: &[DMat], out: &mut DMat) -> Result<(), A
             csf.nmodes()
         )));
     }
-    mttkrp_with_leaf(csf, factors, &factors[leaf_mode], out)
+    mttkrp_with_leaf_planned(csf, plan, factors, &factors[leaf_mode], out)
 }
 
 /// MTTKRP for the CSF's root mode with an explicit leaf-level factor
 /// representation (dense, CSR or hybrid).
+///
+/// Builds a transient [`MttkrpPlan`] per call; loops that run many
+/// MTTKRPs over the same CSF should build the plan once and call
+/// [`mttkrp_with_leaf_planned`].
+pub fn mttkrp_with_leaf<L: RowScatter>(
+    csf: &Csf,
+    factors: &[DMat],
+    leaf: &L,
+    out: &mut DMat,
+) -> Result<(), AoAdmmError> {
+    let plan = MttkrpPlan::build(csf);
+    mttkrp_with_leaf_planned(csf, &plan, factors, leaf, out)
+}
+
+/// MTTKRP for the CSF's root mode, scheduled by a precomputed plan.
 ///
 /// This is Algorithm 3 generalized to arbitrary order. The computation
 /// for each root subtree `i` is
@@ -186,17 +233,21 @@ pub fn mttkrp_dense(csf: &Csf, factors: &[DMat], out: &mut DMat) -> Result<(), A
 /// ```text
 /// K(i,:) = sum_{level-1 nodes j} F1(j,:) .* ( ... .* (sum_leaf val * Leaf(k,:)) )
 /// ```
-pub fn mttkrp_with_leaf<L: RowScatter>(
+///
+/// The plan must have been built from `csf` (or a CSF of identical
+/// shape); a mismatched plan is rejected.
+pub fn mttkrp_with_leaf_planned<L: RowScatter>(
     csf: &Csf,
+    plan: &MttkrpPlan,
     factors: &[DMat],
     leaf: &L,
     out: &mut DMat,
 ) -> Result<(), AoAdmmError> {
     validate(csf, factors, leaf, out)?;
+    plan.check_matches(csf)?;
     let f = out.ncols();
     let nmodes = csf.nmodes();
     out.fill(0.0);
-    let writer = RowWriter::new(out);
 
     // Factor of each non-root, non-leaf level, in level order.
     let level_factors: Vec<&DMat> = csf.mode_order()[1..nmodes - 1]
@@ -204,29 +255,23 @@ pub fn mttkrp_with_leaf<L: RowScatter>(
         .map(|&m| &factors[m])
         .collect();
 
-    let nroots = csf.root_count();
-
-    // Load-balance escape hatch: a tensor like Patents (46 root slices)
-    // starves root-level parallelism. When there are few, fat roots,
-    // switch to fiber-level parallelism with striped row locks (the
-    // analogue of SPLATT's tiled scheduling).
-    let threads = rayon::current_num_threads();
-    if nmodes == 3 && nroots < threads * 4 && csf.fids(1).len() >= nroots.saturating_mul(8) {
-        three_mode_fiber_parallel(csf, level_factors[0], leaf, &writer, f);
+    if plan.strategy() == PlanStrategy::FiberPrivatized {
+        // Plan construction guarantees this strategy only for nmodes == 3.
+        three_mode_fiber_privatized(csf, plan, level_factors[0], leaf, out, f);
         return Ok(());
     }
 
-    (0..nroots)
-        .into_par_iter()
-        .with_min_len(16)
-        .for_each_init(
-            // One accumulator row per intermediate level (nmodes - 2 of
-            // them; zero for matrices).
-            || vec![vec![0.0f64; f]; nmodes.saturating_sub(2)],
-            |bufs, r| {
+    let writer = RowWriter::new(out);
+    plan.root_chunks.par_iter().for_each_init(
+        // One accumulator row per intermediate level (nmodes - 2 of
+        // them; zero for matrices).
+        || vec![vec![0.0f64; f]; nmodes.saturating_sub(2)],
+        |bufs, chunk| {
+            for r in chunk.clone() {
                 let out_row =
-                    // SAFETY: root ids are unique, so row fids(0)[r] is
-                    // written only by the task owning root r.
+                    // SAFETY: root ids are unique and the plan's chunks
+                    // partition the roots, so row fids(0)[r] is written
+                    // only by the task owning the chunk containing r.
                     unsafe { writer.row_mut(csf.fids(0)[r] as usize) };
                 let children = csf.fptr(0)[r]..csf.fptr(0)[r + 1];
                 if nmodes == 3 {
@@ -235,66 +280,63 @@ pub fn mttkrp_with_leaf<L: RowScatter>(
                 } else {
                     subtree_sum(csf, &level_factors, leaf, 1, children, bufs, out_row);
                 }
-            },
-        );
+            }
+        },
+    );
     Ok(())
 }
 
-/// Fiber-parallel third-order traversal for few-root tensors: fibers
-/// are chunked across threads and each fiber's contribution is added to
-/// its root's output row under a striped lock.
-fn three_mode_fiber_parallel<L: RowScatter>(
+/// Fiber-parallel third-order traversal for few-root or heavily skewed
+/// tensors, with thread-local accumulator privatization.
+///
+/// Each plan chunk walks a contiguous, nnz-balanced range of fibers and
+/// accumulates into a private buffer covering only the contiguous roots
+/// the range touches; the per-chunk partials are then folded into the
+/// output serially in chunk order. Because chunks are ordered by fiber
+/// index and fibers of one root are contiguous, every output row
+/// receives its fiber contributions in the same order as a sequential
+/// traversal (only the association of the additions differs), and the
+/// result is deterministic for a fixed plan. No locks are taken.
+fn three_mode_fiber_privatized<L: RowScatter>(
     csf: &Csf,
+    plan: &MttkrpPlan,
     bfac: &DMat,
     leaf: &L,
-    writer: &RowWriter<'_>,
+    out: &mut DMat,
     f: usize,
 ) {
-    use parking_lot::Mutex;
-    const STRIPES: usize = 512;
-    let locks: Vec<Mutex<()>> = (0..STRIPES).map(|_| Mutex::new(())).collect();
-
-    // Map each fiber to its root node (one pass over fptr(0)).
-    let nroots = csf.root_count();
-    let nfibers = csf.fids(1).len();
-    let mut fiber_root = vec![0u32; nfibers];
-    for r in 0..nroots {
-        fiber_root[csf.fptr(0)[r]..csf.fptr(0)[r + 1]].fill(r as u32);
-    }
-    let fiber_root = &fiber_root;
-
-    let chunk = nfibers.div_ceil(rayon::current_num_threads().max(1) * 8).max(1);
-    let ranges: Vec<std::ops::Range<usize>> = (0..nfibers)
-        .step_by(chunk)
-        .map(|lo| lo..(lo + chunk).min(nfibers))
+    let fiber_root = &plan.fiber_root;
+    let partials: Vec<(usize, usize, Vec<f64>)> = plan
+        .fiber_chunks
+        .par_iter()
+        .map(|chunk| {
+            let fids1 = csf.fids(1);
+            let fids2 = csf.fids(2);
+            let fptr1 = csf.fptr(1);
+            let vals = csf.vals();
+            let mut local = vec![0.0f64; (chunk.root_hi - chunk.root_lo) * f];
+            let mut z = vec![0.0f64; f];
+            for j in chunk.fibers.clone() {
+                vecops::fill(&mut z, 0.0);
+                for n in fptr1[j]..fptr1[j + 1] {
+                    leaf.scatter_row(fids2[n] as usize, vals[n], &mut z);
+                }
+                let brow = bfac.row(fids1[j] as usize);
+                let base = (fiber_root[j] as usize - chunk.root_lo) * f;
+                vecops::hadamard_acc(&z, brow, &mut local[base..base + f]);
+            }
+            (chunk.root_lo, chunk.root_hi, local)
+        })
         .collect();
 
-    ranges.into_par_iter().for_each(|fibers| {
-        let fids0 = csf.fids(0);
-        let fids1 = csf.fids(1);
-        let fids2 = csf.fids(2);
-        let fptr1 = csf.fptr(1);
-        let vals = csf.vals();
-        let mut z = vec![0.0f64; f];
-        let mut contrib = vec![0.0f64; f];
-        for j in fibers {
-            vecops::fill(&mut z, 0.0);
-            for n in fptr1[j]..fptr1[j + 1] {
-                leaf.scatter_row(fids2[n] as usize, vals[n], &mut z);
-            }
-            let brow = bfac.row(fids1[j] as usize);
-            for c in 0..f {
-                contrib[c] = z[c] * brow[c];
-            }
-            let row = fids0[fiber_root[j] as usize] as usize;
-            let _guard = locks[row % STRIPES].lock();
-            // SAFETY: the stripe lock serializes every writer of rows in
-            // this stripe, and `row < out.nrows()` because root fids are
-            // bounds-checked tensor coordinates.
-            let out_row = unsafe { writer.row_mut(row) };
-            vecops::axpy(1.0, &contrib, out_row);
+    // Deterministic reduction: chunk order == fiber order.
+    let fids0 = csf.fids(0);
+    for (root_lo, root_hi, local) in partials {
+        for (i, r) in (root_lo..root_hi).enumerate() {
+            let dst = out.row_mut(fids0[r] as usize);
+            vecops::axpy(1.0, &local[i * f..(i + 1) * f], dst);
         }
-    });
+    }
 }
 
 /// Unrolled third-order traversal (Algorithm 3 lines 4-13).
@@ -348,7 +390,15 @@ fn subtree_sum<L: RowScatter>(
     for n in range {
         let (buf, rest) = bufs.split_first_mut().expect("buffer per level");
         vecops::fill(buf, 0.0);
-        subtree_sum(csf, level_factors, leaf, level + 1, fptr[n]..fptr[n + 1], rest, buf);
+        subtree_sum(
+            csf,
+            level_factors,
+            leaf,
+            level + 1,
+            fptr[n]..fptr[n + 1],
+            rest,
+            buf,
+        );
         vecops::hadamard_acc(buf, fac.row(fids[n] as usize), target);
     }
 }
@@ -518,7 +568,7 @@ mod tests {
     #[test]
     fn few_root_fiber_parallel_path_matches_reference() {
         // Patents-like: a tiny root mode with many nonzeros per slice
-        // triggers the fiber-parallel striped-lock path.
+        // triggers the fiber-privatized path via the cost model.
         let coo = gen::random_uniform(&[3, 60, 60], 4_000, 17).unwrap();
         let factors = random_factors(coo.dims(), 6, 18);
         let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
@@ -534,6 +584,61 @@ mod tests {
     }
 
     #[test]
+    fn planned_kernel_matches_reference_under_both_strategies() {
+        use crate::mttkrp_plan::PlanOptions;
+        let coo = gen::random_uniform(&[10, 40, 50], 3_000, 19).unwrap();
+        let factors = random_factors(coo.dims(), 5, 20);
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let reference = mttkrp_reference(&coo, &factors, 0).unwrap();
+        for strategy in [PlanStrategy::RootParallel, PlanStrategy::FiberPrivatized] {
+            let plan = MttkrpPlan::with_options(
+                &csf,
+                PlanOptions {
+                    threads: Some(4),
+                    force_strategy: Some(strategy),
+                },
+            );
+            assert_eq!(plan.strategy(), strategy);
+            let mut out = DMat::zeros(10, 5);
+            mttkrp_dense_planned(&csf, &plan, &factors, &mut out).unwrap();
+            assert!(
+                out.max_abs_diff(&reference) < 1e-9,
+                "{}: diff {}",
+                strategy.name(),
+                out.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn plan_is_reusable_across_calls() {
+        // The whole point: one plan, many MTTKRPs (factors change, the
+        // schedule does not).
+        let coo = gen::random_uniform(&[20, 15, 25], 1_500, 21).unwrap();
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let plan = MttkrpPlan::build(&csf);
+        for seed in [1u64, 2, 3] {
+            let factors = random_factors(coo.dims(), 4, seed);
+            let mut out = DMat::zeros(20, 4);
+            mttkrp_dense_planned(&csf, &plan, &factors, &mut out).unwrap();
+            let reference = mttkrp_reference(&coo, &factors, 0).unwrap();
+            assert!(out.max_abs_diff(&reference) < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn planned_kernel_rejects_mismatched_plan() {
+        let a = gen::random_uniform(&[10, 10, 10], 400, 23).unwrap();
+        let b = gen::random_uniform(&[10, 10, 10], 300, 24).unwrap();
+        let csf_a = Csf::from_coo_rooted(&a, 0).unwrap();
+        let csf_b = Csf::from_coo_rooted(&b, 0).unwrap();
+        let plan_b = MttkrpPlan::build(&csf_b);
+        let factors = random_factors(a.dims(), 3, 25);
+        let mut out = DMat::zeros(10, 3);
+        assert!(mttkrp_dense_planned(&csf_a, &plan_b, &factors, &mut out).is_err());
+    }
+
+    #[test]
     fn parallel_and_serial_agree() {
         // Run the same kernel under a single-thread pool and the global
         // pool; results must be bitwise comparable within fp tolerance.
@@ -544,7 +649,10 @@ mod tests {
         let mut par_out = DMat::zeros(40, 8);
         mttkrp_dense(&csf, &factors, &mut par_out).unwrap();
 
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let mut ser_out = DMat::zeros(40, 8);
         pool.install(|| mttkrp_dense(&csf, &factors, &mut ser_out).unwrap());
 

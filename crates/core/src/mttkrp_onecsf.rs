@@ -28,7 +28,8 @@
 //! higher orders use the per-mode-CSF path.
 
 use crate::error::AoAdmmError;
-use crate::mttkrp::{mttkrp_dense, RowScatter};
+use crate::mttkrp::{mttkrp_dense_planned, RowScatter};
+use crate::mttkrp_plan::MttkrpPlan;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use splinalg::{vecops, DMat};
@@ -61,8 +62,28 @@ pub fn choose_strategy(nrows: usize, ncols: usize) -> UpdateStrategy {
 
 /// MTTKRP for `target_mode` computed from a single three-mode CSF whose
 /// root may be any mode. `out` must be `dims[target_mode] x F`.
+///
+/// Builds a transient [`MttkrpPlan`] per call; iterative callers should
+/// build the plan once and use [`mttkrp_one_csf_planned`].
 pub fn mttkrp_one_csf(
     csf: &Csf,
+    factors: &[DMat],
+    target_mode: usize,
+    out: &mut DMat,
+) -> Result<(), AoAdmmError> {
+    let plan = MttkrpPlan::build(csf);
+    mttkrp_one_csf_planned(csf, &plan, factors, target_mode, out)
+}
+
+/// MTTKRP for `target_mode` from a single three-mode CSF, scheduled by a
+/// precomputed plan.
+///
+/// The root-level output uses the plan's root-mode strategy directly;
+/// the fiber- and leaf-level outputs reuse the plan's nnz-balanced root
+/// chunks to partition the conflicting-update traversal.
+pub fn mttkrp_one_csf_planned(
+    csf: &Csf,
+    plan: &MttkrpPlan,
     factors: &[DMat],
     target_mode: usize,
     out: &mut DMat,
@@ -78,6 +99,7 @@ pub fn mttkrp_one_csf(
             "target mode {target_mode} out of range"
         )));
     }
+    plan.check_matches(csf)?;
     let level = csf
         .mode_order()
         .iter()
@@ -85,9 +107,9 @@ pub fn mttkrp_one_csf(
         .expect("mode order is a permutation");
 
     match level {
-        0 => mttkrp_dense(csf, factors, out),
-        1 => mttkrp_fiber_level(csf, factors, out),
-        2 => mttkrp_leaf_level(csf, factors, out),
+        0 => mttkrp_dense_planned(csf, plan, factors, out),
+        1 => mttkrp_fiber_level(csf, plan, factors, out),
+        2 => mttkrp_leaf_level(csf, plan, factors, out),
         _ => unreachable!("three-mode CSF has three levels"),
     }
 }
@@ -117,100 +139,111 @@ fn check_out(csf: &Csf, factors: &[DMat], level: usize, out: &DMat) -> Result<us
 
 /// MTTKRP whose output mode sits at the fiber (middle) level:
 /// `out(j,:) += A(i,:) .* (sum_k val * C(k,:))` for each fiber `(i, j)`.
-fn mttkrp_fiber_level(csf: &Csf, factors: &[DMat], out: &mut DMat) -> Result<(), AoAdmmError> {
+fn mttkrp_fiber_level(
+    csf: &Csf,
+    plan: &MttkrpPlan,
+    factors: &[DMat],
+    out: &mut DMat,
+) -> Result<(), AoAdmmError> {
     let f = check_out(csf, factors, 1, out)?;
     let root_fac = &factors[csf.mode_order()[0]];
     let leaf_fac = &factors[csf.mode_order()[2]];
     out.fill(0.0);
     let strategy = choose_strategy(out.nrows(), f);
-    let nroots = csf.root_count();
 
-    let body = |acc: &mut dyn FnMut(usize, &[f64]), roots: std::ops::Range<usize>, z: &mut [f64]| {
-        let fids0 = csf.fids(0);
-        let fids1 = csf.fids(1);
-        let fids2 = csf.fids(2);
-        let fptr0 = csf.fptr(0);
-        let fptr1 = csf.fptr(1);
-        let vals = csf.vals();
-        let mut contrib = vec![0.0f64; f];
-        for r in roots {
-            let arow = root_fac.row(fids0[r] as usize);
-            for j in fptr0[r]..fptr0[r + 1] {
-                vecops::fill(z, 0.0);
-                for n in fptr1[j]..fptr1[j + 1] {
-                    leaf_fac.scatter_row(fids2[n] as usize, vals[n], z);
+    let body =
+        |acc: &mut dyn FnMut(usize, &[f64]), roots: std::ops::Range<usize>, z: &mut [f64]| {
+            let fids0 = csf.fids(0);
+            let fids1 = csf.fids(1);
+            let fids2 = csf.fids(2);
+            let fptr0 = csf.fptr(0);
+            let fptr1 = csf.fptr(1);
+            let vals = csf.vals();
+            let mut contrib = vec![0.0f64; f];
+            for r in roots {
+                let arow = root_fac.row(fids0[r] as usize);
+                for j in fptr0[r]..fptr0[r + 1] {
+                    vecops::fill(z, 0.0);
+                    for n in fptr1[j]..fptr1[j + 1] {
+                        leaf_fac.scatter_row(fids2[n] as usize, vals[n], z);
+                    }
+                    for c in 0..f {
+                        contrib[c] = z[c] * arow[c];
+                    }
+                    acc(fids1[j] as usize, &contrib);
                 }
-                for c in 0..f {
-                    contrib[c] = z[c] * arow[c];
-                }
-                acc(fids1[j] as usize, &contrib);
             }
-        }
-    };
-    run_conflicting(out, strategy, nroots, f, body);
+        };
+    run_conflicting(out, strategy, &plan.root_chunks, f, body);
     Ok(())
 }
 
 /// MTTKRP whose output mode sits at the leaf level:
 /// `out(k,:) += val * (A(i,:) .* B(j,:))` for every nonzero.
-fn mttkrp_leaf_level(csf: &Csf, factors: &[DMat], out: &mut DMat) -> Result<(), AoAdmmError> {
+fn mttkrp_leaf_level(
+    csf: &Csf,
+    plan: &MttkrpPlan,
+    factors: &[DMat],
+    out: &mut DMat,
+) -> Result<(), AoAdmmError> {
     let f = check_out(csf, factors, 2, out)?;
     let root_fac = &factors[csf.mode_order()[0]];
     let mid_fac = &factors[csf.mode_order()[1]];
     out.fill(0.0);
     let strategy = choose_strategy(out.nrows(), f);
-    let nroots = csf.root_count();
 
-    let body = |acc: &mut dyn FnMut(usize, &[f64]), roots: std::ops::Range<usize>, w: &mut [f64]| {
-        let fids0 = csf.fids(0);
-        let fids1 = csf.fids(1);
-        let fids2 = csf.fids(2);
-        let fptr0 = csf.fptr(0);
-        let fptr1 = csf.fptr(1);
-        let vals = csf.vals();
-        let mut contrib = vec![0.0f64; f];
-        for r in roots {
-            let arow = root_fac.row(fids0[r] as usize);
-            for j in fptr0[r]..fptr0[r + 1] {
-                let brow = mid_fac.row(fids1[j] as usize);
-                for c in 0..f {
-                    w[c] = arow[c] * brow[c];
-                }
-                for n in fptr1[j]..fptr1[j + 1] {
-                    let v = vals[n];
+    let body =
+        |acc: &mut dyn FnMut(usize, &[f64]), roots: std::ops::Range<usize>, w: &mut [f64]| {
+            let fids0 = csf.fids(0);
+            let fids1 = csf.fids(1);
+            let fids2 = csf.fids(2);
+            let fptr0 = csf.fptr(0);
+            let fptr1 = csf.fptr(1);
+            let vals = csf.vals();
+            let mut contrib = vec![0.0f64; f];
+            for r in roots {
+                let arow = root_fac.row(fids0[r] as usize);
+                for j in fptr0[r]..fptr0[r + 1] {
+                    let brow = mid_fac.row(fids1[j] as usize);
                     for c in 0..f {
-                        contrib[c] = v * w[c];
+                        w[c] = arow[c] * brow[c];
                     }
-                    acc(fids2[n] as usize, &contrib);
+                    for n in fptr1[j]..fptr1[j + 1] {
+                        let v = vals[n];
+                        for c in 0..f {
+                            contrib[c] = v * w[c];
+                        }
+                        acc(fids2[n] as usize, &contrib);
+                    }
                 }
             }
-        }
-    };
-    run_conflicting(out, strategy, nroots, f, body);
+        };
+    run_conflicting(out, strategy, &plan.root_chunks, f, body);
     Ok(())
 }
 
 /// Drive a conflicting-update traversal under the chosen strategy.
 ///
 /// `body(acc, roots, scratch)` walks the given root range, calling
-/// `acc(row, contribution)` for each output-row contribution.
-fn run_conflicting<F>(out: &mut DMat, strategy: UpdateStrategy, nroots: usize, f: usize, body: F)
-where
+/// `acc(row, contribution)` for each output-row contribution. `ranges`
+/// are the plan's nnz-balanced root chunks, so a worker's share of work
+/// is proportional to the nonzeros it traverses rather than the root
+/// slices it owns.
+fn run_conflicting<F>(
+    out: &mut DMat,
+    strategy: UpdateStrategy,
+    ranges: &[std::ops::Range<usize>],
+    f: usize,
+    body: F,
+) where
     F: Fn(&mut dyn FnMut(usize, &[f64]), std::ops::Range<usize>, &mut [f64]) + Sync,
 {
-    // Chunk the roots so each worker gets coarse units.
-    let nchunks = rayon::current_num_threads().max(1) * 4;
-    let chunk = nroots.div_ceil(nchunks).max(1);
-    let ranges: Vec<std::ops::Range<usize>> = (0..nroots)
-        .step_by(chunk)
-        .map(|lo| lo..(lo + chunk).min(nroots))
-        .collect();
-
     match strategy {
         UpdateStrategy::Privatized => {
             let (nrows, ncols) = (out.nrows(), out.ncols());
             let partial = ranges
-                .into_par_iter()
+                .par_iter()
+                .cloned()
                 .fold(
                     || DMat::zeros(nrows, ncols),
                     |mut local, roots| {
@@ -256,7 +289,7 @@ where
                 ncols: f,
             };
             let shared = &shared;
-            ranges.into_par_iter().for_each(|roots| {
+            ranges.par_iter().cloned().for_each(|roots| {
                 let mut scratch = vec![0.0f64; f];
                 body(
                     &mut |row, contrib| {
@@ -305,6 +338,34 @@ mod tests {
                 assert!(diff < 1e-9, "root {root} target {target}: diff {diff}");
             }
         }
+    }
+
+    #[test]
+    fn planned_one_csf_matches_reference_for_all_targets() {
+        let coo = gen::random_uniform(&[25, 18, 30], 900, 51).unwrap();
+        let factors = factors_for(coo.dims(), 5, 52);
+        for root in 0..3 {
+            let csf = Csf::from_coo_rooted(&coo, root).unwrap();
+            let plan = MttkrpPlan::build(&csf);
+            for target in 0..3 {
+                let mut out = DMat::zeros(coo.dims()[target], 5);
+                mttkrp_one_csf_planned(&csf, &plan, &factors, target, &mut out).unwrap();
+                let reference = mttkrp_reference(&coo, &factors, target).unwrap();
+                let diff = out.max_abs_diff(&reference);
+                assert!(diff < 1e-9, "root {root} target {target}: diff {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_one_csf_rejects_mismatched_plan() {
+        let coo = gen::random_uniform(&[8, 9, 10], 300, 53).unwrap();
+        let csf_a = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let csf_b = Csf::from_coo_rooted(&coo, 1).unwrap();
+        let plan_b = MttkrpPlan::build(&csf_b);
+        let factors = factors_for(coo.dims(), 3, 54);
+        let mut out = DMat::zeros(9, 3);
+        assert!(mttkrp_one_csf_planned(&csf_a, &plan_b, &factors, 1, &mut out).is_err());
     }
 
     #[test]

@@ -1,0 +1,490 @@
+//! Precomputed MTTKRP execution plans.
+//!
+//! MTTKRP dominates AO-ADMM runtime (Figure 4 of the paper), and before
+//! this layer existed the kernel re-derived its parallel schedule from
+//! scratch on every invocation — once per mode per outer iteration — and
+//! balanced work by root-slice *count*, which starves threads on skewed
+//! (Zipf-like) tensors. An [`MttkrpPlan`] is built once per CSF at
+//! factorization setup and reused across all outer iterations. It holds:
+//!
+//! * **nnz-balanced root chunks** — contiguous ranges of root subtrees
+//!   whose nonzero counts are equalized via the prefix sum
+//!   [`Csf::root_nnz_offsets`], so a thread's work is proportional to
+//!   the nonzeros it touches, not the slices it owns;
+//! * **nnz-balanced fiber chunks plus the fiber→root map** for the
+//!   few-root / skewed path, which the legacy kernel reallocated and
+//!   refilled on every call;
+//! * **the strategy decision** ([`PlanStrategy`]) from a small cost
+//!   model over root count, nnz skew, and thread count, recorded in
+//!   [`PlanStats`] so the trace/bench layer can report which traversal
+//!   ran.
+//!
+//! The fiber-parallel path uses *thread-local accumulator privatization*
+//! with a deterministic chunk-order reduction instead of the former
+//! striped-mutex scheme: each chunk accumulates into a private buffer
+//! covering only the (contiguous) roots its fibers touch, and the
+//! partials are folded into the output in chunk order. No locks are
+//! taken on the hot path, and results are reproducible for a fixed plan.
+//!
+//! This follows SPLATT-style precomputed scheduling and the adaptive
+//! format/traversal selection of AdaTM; Ballard et al.'s dimension-tree
+//! work similarly amortizes setup across iterations (see PAPERS.md).
+
+use crate::error::AoAdmmError;
+use rayon::prelude::*;
+use sptensor::{CooTensor, Csf};
+
+/// Traversal strategy chosen for the root-mode MTTKRP of one CSF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStrategy {
+    /// Parallelize over contiguous, nnz-balanced chunks of root
+    /// subtrees. Every root owns a distinct output row, so threads never
+    /// conflict and no synchronization is needed.
+    RootParallel,
+    /// Parallelize over nnz-balanced chunks of level-1 fibers with
+    /// thread-local accumulator privatization and a deterministic
+    /// reduction. Used when few or heavily skewed roots would starve
+    /// root-level parallelism (third-order tensors only).
+    FiberPrivatized,
+}
+
+impl PlanStrategy {
+    /// Short label for traces and benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanStrategy::RootParallel => "root-parallel",
+            PlanStrategy::FiberPrivatized => "fiber-privatized",
+        }
+    }
+}
+
+/// Options controlling plan construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanOptions {
+    /// Plan for this many worker threads. Defaults to the size of the
+    /// current rayon pool.
+    pub threads: Option<usize>,
+    /// Force a strategy, bypassing the cost model. A forced
+    /// [`PlanStrategy::FiberPrivatized`] on a non-third-order CSF falls
+    /// back to [`PlanStrategy::RootParallel`] (the fiber traversal is
+    /// only defined for three levels).
+    pub force_strategy: Option<PlanStrategy>,
+}
+
+/// Record of the scheduling decision, for the trace/bench layer.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanStats {
+    /// The strategy the plan executes.
+    pub strategy: PlanStrategy,
+    /// Number of root subtrees in the CSF.
+    pub nroots: usize,
+    /// Number of nonzeros in the CSF.
+    pub nnz: usize,
+    /// Nonzeros in the heaviest root subtree (the skew signal).
+    pub max_root_nnz: usize,
+    /// Thread count the plan was built for.
+    pub threads: usize,
+    /// Number of parallel chunks of the chosen strategy.
+    pub chunks: usize,
+    /// Whether the strategy was forced rather than chosen by the model.
+    pub forced: bool,
+}
+
+/// A contiguous fiber range plus the (contiguous) roots it overlaps.
+#[derive(Debug, Clone)]
+pub(crate) struct FiberChunk {
+    /// Level-1 node range this chunk traverses.
+    pub fibers: std::ops::Range<usize>,
+    /// First root whose subtree overlaps the range.
+    pub root_lo: usize,
+    /// One past the last overlapping root.
+    pub root_hi: usize,
+}
+
+/// A precomputed execution plan for the root-mode MTTKRP of one CSF.
+///
+/// Built once (at factorization setup) and reused for every MTTKRP over
+/// the same CSF; see the module docs for contents. The plan is tied to
+/// the structure it was built from — the kernels verify the pairing and
+/// reject a plan whose shape does not match the CSF.
+#[derive(Debug, Clone)]
+pub struct MttkrpPlan {
+    strategy: PlanStrategy,
+    /// Contiguous nnz-balanced root ranges. Always built (even when the
+    /// strategy is fiber-parallel) because the one-CSF conflicting-update
+    /// kernels chunk by roots regardless of the root-mode strategy.
+    pub(crate) root_chunks: Vec<std::ops::Range<usize>>,
+    /// Contiguous nnz-balanced fiber ranges (fiber strategy only).
+    pub(crate) fiber_chunks: Vec<FiberChunk>,
+    /// Level-1 node index -> root node index (fiber strategy only).
+    pub(crate) fiber_root: Vec<u32>,
+    stats: PlanStats,
+    // Fingerprint of the source CSF for pairing validation.
+    nmodes: usize,
+    root_mode: usize,
+}
+
+impl MttkrpPlan {
+    /// Build a plan for `csf` with default options (current rayon pool
+    /// size, strategy chosen by the cost model).
+    pub fn build(csf: &Csf) -> Self {
+        Self::with_options(csf, PlanOptions::default())
+    }
+
+    /// Build a plan for `csf` with explicit options.
+    pub fn with_options(csf: &Csf, opts: PlanOptions) -> Self {
+        let threads = opts
+            .threads
+            .unwrap_or_else(rayon::current_num_threads)
+            .max(1);
+        let nroots = csf.root_count();
+        let nnz = csf.nnz();
+        let offsets = csf.root_nnz_offsets();
+        let max_root_nnz = offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let nfibers = if csf.nmodes() >= 2 {
+            csf.fids(1).len()
+        } else {
+            0
+        };
+
+        let chosen = match opts.force_strategy {
+            Some(s) => s,
+            None => choose_strategy(csf.nmodes(), threads, nroots, nnz, nfibers, max_root_nnz),
+        };
+        // The fiber traversal is only defined for three levels.
+        let strategy = if chosen == PlanStrategy::FiberPrivatized && csf.nmodes() != 3 {
+            PlanStrategy::RootParallel
+        } else {
+            chosen
+        };
+
+        let root_chunks = balance_by_prefix(&offsets, threads * 8);
+
+        let (fiber_chunks, fiber_root) = if strategy == PlanStrategy::FiberPrivatized {
+            let mut fiber_root = vec![0u32; nfibers];
+            for r in 0..nroots {
+                fiber_root[csf.fptr(0)[r]..csf.fptr(0)[r + 1]].fill(r as u32);
+            }
+            // fptr(1) is the per-fiber leaf prefix sum for a three-mode
+            // CSF, so the same balancer splits fibers by nonzero count.
+            let ranges = balance_by_prefix(csf.fptr(1), threads * 8);
+            let chunks = ranges
+                .into_iter()
+                .map(|fibers| {
+                    let root_lo = fiber_root[fibers.start] as usize;
+                    let root_hi = fiber_root[fibers.end - 1] as usize + 1;
+                    FiberChunk {
+                        fibers,
+                        root_lo,
+                        root_hi,
+                    }
+                })
+                .collect();
+            (chunks, fiber_root)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        let chunks = match strategy {
+            PlanStrategy::RootParallel => root_chunks.len(),
+            PlanStrategy::FiberPrivatized => fiber_chunks.len(),
+        };
+        MttkrpPlan {
+            strategy,
+            root_chunks,
+            fiber_chunks,
+            fiber_root,
+            stats: PlanStats {
+                strategy,
+                nroots,
+                nnz,
+                max_root_nnz,
+                threads,
+                chunks,
+                forced: opts.force_strategy.is_some(),
+            },
+            nmodes: csf.nmodes(),
+            root_mode: csf.mode_order()[0],
+        }
+    }
+
+    /// The strategy this plan executes.
+    #[inline]
+    pub fn strategy(&self) -> PlanStrategy {
+        self.strategy
+    }
+
+    /// The scheduling-decision record.
+    #[inline]
+    pub fn stats(&self) -> &PlanStats {
+        &self.stats
+    }
+
+    /// Error unless this plan was built from a CSF with the same shape
+    /// as `csf` (mode count, root mode, root count, nnz).
+    pub(crate) fn check_matches(&self, csf: &Csf) -> Result<(), AoAdmmError> {
+        if self.nmodes != csf.nmodes()
+            || self.root_mode != csf.mode_order()[0]
+            || self.stats.nroots != csf.root_count()
+            || self.stats.nnz != csf.nnz()
+        {
+            return Err(AoAdmmError::Config(
+                "MTTKRP plan does not match the CSF it is applied to".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The cost model: pick the traversal for a root-mode MTTKRP.
+///
+/// Root-parallelism is free of synchronization and reduction cost, so it
+/// wins whenever nnz-balanced root chunks can keep every thread busy.
+/// Two situations defeat it, both pushed to the fiber-privatized path:
+///
+/// * **few roots** (`nroots < 4 * threads`) — too few scheduling units
+///   regardless of balance (Patents-like tensors);
+/// * **dominant root** (`max_root_nnz > 2 * nnz / threads`) — a single
+///   subtree exceeds twice an even per-thread share, so chunking at root
+///   granularity leaves threads idle behind it (Zipf skew).
+///
+/// The fiber path additionally needs enough fibers (`>= 2 * threads`) to
+/// split, and a single thread always takes the root path (the reduction
+/// would be pure overhead).
+fn choose_strategy(
+    nmodes: usize,
+    threads: usize,
+    nroots: usize,
+    nnz: usize,
+    nfibers: usize,
+    max_root_nnz: usize,
+) -> PlanStrategy {
+    if nmodes != 3 || threads <= 1 || nfibers < threads * 2 {
+        return PlanStrategy::RootParallel;
+    }
+    let few_roots = nroots < threads * 4;
+    let dominant_root = max_root_nnz.saturating_mul(threads) > nnz.saturating_mul(2);
+    if few_roots || dominant_root {
+        PlanStrategy::FiberPrivatized
+    } else {
+        PlanStrategy::RootParallel
+    }
+}
+
+/// Split `0..n` (where `prefix` has length `n + 1` and `prefix[i]` is the
+/// cumulative weight of items `0..i`) into at most `target_chunks`
+/// contiguous ranges of roughly equal weight. Every chunk gets at least
+/// one item; an item heavier than the even share gets its own chunk.
+fn balance_by_prefix(prefix: &[usize], target_chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let n = prefix.len() - 1;
+    if n == 0 {
+        return Vec::new();
+    }
+    let total = prefix[n] - prefix[0];
+    let per = total.div_ceil(target_chunks.max(1)).max(1);
+    let mut chunks = Vec::with_capacity(target_chunks.min(n));
+    let mut start = 0usize;
+    while start < n {
+        let goal = prefix[start] + per;
+        let mut end = start + 1;
+        while end < n && prefix[end + 1] <= goal {
+            end += 1;
+        }
+        chunks.push(start..end);
+        start = end;
+    }
+    chunks
+}
+
+/// Build one CSF per mode — in parallel, since the per-mode sorts and
+/// compilations are independent — each paired with its execution plan.
+///
+/// This is the shared setup path of the ALS, PGD and AO-ADMM drivers.
+pub fn build_mode_plans(tensor: &CooTensor) -> Result<Vec<(Csf, MttkrpPlan)>, AoAdmmError> {
+    (0..tensor.nmodes())
+        .into_par_iter()
+        .map(|m| {
+            let csf = Csf::from_coo_rooted(tensor, m)?;
+            let plan = MttkrpPlan::build(&csf);
+            Ok((csf, plan))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptensor::gen;
+
+    #[test]
+    fn balance_by_prefix_equal_weights() {
+        // 8 items of weight 1, 4 chunks -> 2 items each.
+        let prefix: Vec<usize> = (0..=8).collect();
+        let chunks = balance_by_prefix(&prefix, 4);
+        assert_eq!(chunks, vec![0..2, 2..4, 4..6, 6..8]);
+    }
+
+    #[test]
+    fn balance_by_prefix_heavy_item_gets_own_chunk() {
+        // Weights 1, 100, 1, 1: the heavy item must not drag neighbours
+        // into its chunk beyond the even share.
+        let prefix = vec![0, 1, 101, 102, 103];
+        let chunks = balance_by_prefix(&prefix, 4);
+        // Every item appears exactly once, in order.
+        assert_eq!(chunks.first().unwrap().start, 0);
+        assert_eq!(chunks.last().unwrap().end, 4);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // The heavy item (index 1) is alone in its chunk.
+        let heavy = chunks.iter().find(|c| c.contains(&1)).unwrap();
+        assert_eq!(*heavy, 1..2);
+    }
+
+    #[test]
+    fn balance_by_prefix_single_item() {
+        let chunks = balance_by_prefix(&[0, 7], 16);
+        assert_eq!(chunks, vec![0..1]);
+    }
+
+    #[test]
+    fn balance_by_prefix_empty() {
+        assert!(balance_by_prefix(&[0], 4).is_empty());
+    }
+
+    #[test]
+    fn plan_covers_all_roots_exactly_once() {
+        let coo = gen::random_uniform(&[50, 20, 30], 2_000, 3).unwrap();
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let plan = MttkrpPlan::with_options(
+            &csf,
+            PlanOptions {
+                threads: Some(4),
+                force_strategy: Some(PlanStrategy::RootParallel),
+            },
+        );
+        let covered: usize = plan.root_chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(covered, csf.root_count());
+        assert_eq!(plan.root_chunks.first().unwrap().start, 0);
+        assert_eq!(plan.root_chunks.last().unwrap().end, csf.root_count());
+        for w in plan.root_chunks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn fiber_plan_covers_all_fibers_and_maps_roots() {
+        let coo = gen::random_uniform(&[3, 40, 40], 3_000, 5).unwrap();
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let plan = MttkrpPlan::with_options(
+            &csf,
+            PlanOptions {
+                threads: Some(8),
+                force_strategy: Some(PlanStrategy::FiberPrivatized),
+            },
+        );
+        assert_eq!(plan.strategy(), PlanStrategy::FiberPrivatized);
+        let nfibers = csf.fids(1).len();
+        let covered: usize = plan.fiber_chunks.iter().map(|c| c.fibers.len()).sum();
+        assert_eq!(covered, nfibers);
+        assert_eq!(plan.fiber_root.len(), nfibers);
+        // The fiber -> root map inverts fptr(0).
+        for r in 0..csf.root_count() {
+            for j in csf.fptr(0)[r]..csf.fptr(0)[r + 1] {
+                assert_eq!(plan.fiber_root[j] as usize, r);
+            }
+        }
+        // Chunk root spans are consistent with the map.
+        for c in &plan.fiber_chunks {
+            assert_eq!(c.root_lo, plan.fiber_root[c.fibers.start] as usize);
+            assert_eq!(c.root_hi, plan.fiber_root[c.fibers.end - 1] as usize + 1);
+            assert!(c.root_lo < c.root_hi);
+        }
+    }
+
+    #[test]
+    fn cost_model_prefers_fiber_path_for_few_roots() {
+        // Patents-like: 3 fat root slices, many threads.
+        let coo = gen::random_uniform(&[3, 60, 60], 4_000, 17).unwrap();
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let plan = MttkrpPlan::with_options(
+            &csf,
+            PlanOptions {
+                threads: Some(8),
+                force_strategy: None,
+            },
+        );
+        assert_eq!(plan.strategy(), PlanStrategy::FiberPrivatized);
+        assert!(!plan.stats().forced);
+    }
+
+    #[test]
+    fn cost_model_prefers_root_path_for_many_uniform_roots() {
+        let coo = gen::random_uniform(&[500, 40, 40], 5_000, 19).unwrap();
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let plan = MttkrpPlan::with_options(
+            &csf,
+            PlanOptions {
+                threads: Some(8),
+                force_strategy: None,
+            },
+        );
+        assert_eq!(plan.strategy(), PlanStrategy::RootParallel);
+    }
+
+    #[test]
+    fn single_thread_always_takes_root_path() {
+        let coo = gen::random_uniform(&[3, 60, 60], 4_000, 17).unwrap();
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let plan = MttkrpPlan::with_options(
+            &csf,
+            PlanOptions {
+                threads: Some(1),
+                force_strategy: None,
+            },
+        );
+        assert_eq!(plan.strategy(), PlanStrategy::RootParallel);
+    }
+
+    #[test]
+    fn forced_fiber_strategy_falls_back_on_four_modes() {
+        let coo = gen::random_uniform(&[4, 5, 6, 7], 200, 23).unwrap();
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let plan = MttkrpPlan::with_options(
+            &csf,
+            PlanOptions {
+                threads: Some(8),
+                force_strategy: Some(PlanStrategy::FiberPrivatized),
+            },
+        );
+        assert_eq!(plan.strategy(), PlanStrategy::RootParallel);
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_csf() {
+        let a = gen::random_uniform(&[10, 10, 10], 300, 29).unwrap();
+        let b = gen::random_uniform(&[10, 10, 10], 200, 31).unwrap();
+        let csf_a = Csf::from_coo_rooted(&a, 0).unwrap();
+        let csf_b = Csf::from_coo_rooted(&b, 0).unwrap();
+        let plan = MttkrpPlan::build(&csf_a);
+        assert!(plan.check_matches(&csf_a).is_ok());
+        assert!(plan.check_matches(&csf_b).is_err());
+    }
+
+    #[test]
+    fn build_mode_plans_pairs_each_mode() {
+        let coo = gen::random_uniform(&[12, 9, 15], 400, 37).unwrap();
+        let pairs = build_mode_plans(&coo).unwrap();
+        assert_eq!(pairs.len(), 3);
+        for (m, (csf, plan)) in pairs.iter().enumerate() {
+            assert_eq!(csf.mode_order()[0], m);
+            assert!(plan.check_matches(csf).is_ok());
+        }
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(PlanStrategy::RootParallel.name(), "root-parallel");
+        assert_eq!(PlanStrategy::FiberPrivatized.name(), "fiber-privatized");
+    }
+}

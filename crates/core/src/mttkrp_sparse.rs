@@ -15,7 +15,8 @@
 //! of the same iteration (paper, end of Section IV-C).
 
 use crate::error::AoAdmmError;
-use crate::mttkrp::mttkrp_with_leaf;
+use crate::mttkrp::{mttkrp_with_leaf, mttkrp_with_leaf_planned};
+use crate::mttkrp_plan::MttkrpPlan;
 use splinalg::{CsrMatrix, DMat, HybridMat};
 use sptensor::Csf;
 
@@ -57,17 +58,27 @@ impl LeafRepr {
     /// Run MTTKRP reading the leaf factor through this representation.
     ///
     /// `factors` supplies the root/intermediate factors (and the leaf
-    /// factor itself when `self` is `Dense`).
-    pub fn mttkrp(
+    /// factor itself when `self` is `Dense`). Builds a transient
+    /// execution plan per call; iterative callers should hold an
+    /// [`MttkrpPlan`] and use [`LeafRepr::mttkrp_planned`].
+    pub fn mttkrp(&self, csf: &Csf, factors: &[DMat], out: &mut DMat) -> Result<(), AoAdmmError> {
+        let plan = MttkrpPlan::build(csf);
+        self.mttkrp_planned(csf, &plan, factors, out)
+    }
+
+    /// Run MTTKRP reading the leaf factor through this representation,
+    /// scheduled by a precomputed plan.
+    pub fn mttkrp_planned(
         &self,
         csf: &Csf,
+        plan: &MttkrpPlan,
         factors: &[DMat],
         out: &mut DMat,
     ) -> Result<(), AoAdmmError> {
         match self {
-            LeafRepr::Dense => crate::mttkrp::mttkrp_dense(csf, factors, out),
-            LeafRepr::Csr(csr) => mttkrp_with_leaf(csf, factors, csr, out),
-            LeafRepr::Hybrid(h) => mttkrp_with_leaf(csf, factors, h, out),
+            LeafRepr::Dense => crate::mttkrp::mttkrp_dense_planned(csf, plan, factors, out),
+            LeafRepr::Csr(csr) => mttkrp_with_leaf_planned(csf, plan, factors, csr, out),
+            LeafRepr::Hybrid(h) => mttkrp_with_leaf_planned(csf, plan, factors, h, out),
         }
     }
 
@@ -181,6 +192,40 @@ mod tests {
                 repr.name(),
                 out.max_abs_diff(&reference)
             );
+        }
+    }
+
+    #[test]
+    fn planned_leaf_repr_matches_reference_under_both_strategies() {
+        use crate::mttkrp_plan::{PlanOptions, PlanStrategy};
+        // Few-root shape so the fiber strategy is meaningful.
+        let coo = gen::random_uniform(&[6, 30, 40], 1_800, 61).unwrap();
+        let csf = sptensor::Csf::from_coo_rooted(&coo, 0).unwrap();
+        let leaf_mode = *csf.mode_order().last().unwrap();
+        let factors = sparse_leaf_factors(coo.dims(), 4, 62, leaf_mode);
+        let reference = mttkrp_reference(&coo, &factors, 0).unwrap();
+
+        for strategy in [PlanStrategy::RootParallel, PlanStrategy::FiberPrivatized] {
+            let plan = MttkrpPlan::with_options(
+                &csf,
+                PlanOptions {
+                    threads: Some(4),
+                    force_strategy: Some(strategy),
+                },
+            );
+            for s in [Structure::Dense, Structure::Csr, Structure::Hybrid] {
+                let repr = LeafRepr::build(s, &factors[leaf_mode], 0.0);
+                let mut out = DMat::zeros(6, 4);
+                repr.mttkrp_planned(&csf, &plan, &factors, &mut out)
+                    .unwrap();
+                assert!(
+                    out.max_abs_diff(&reference) < 1e-9,
+                    "{} under {}: diff {}",
+                    repr.name(),
+                    strategy.name(),
+                    out.max_abs_diff(&reference)
+                );
+            }
         }
     }
 

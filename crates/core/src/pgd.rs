@@ -22,6 +22,7 @@
 use crate::config::Factorizer;
 use crate::error::AoAdmmError;
 use crate::kruskal::{relative_error_fast, KruskalModel};
+use crate::mttkrp_plan::build_mode_plans;
 use crate::sparsity::{SparsityDecision, Structure};
 use crate::trace::{FactorizeTrace, IterRecord, ModeRecord};
 use crate::FactorizeResult;
@@ -29,7 +30,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use splinalg::{ops, vecops, DMat};
-use sptensor::{CooTensor, Csf};
+use sptensor::CooTensor;
 use std::time::Instant;
 
 /// Configuration for the PGD baseline.
@@ -96,9 +97,9 @@ pub fn pgd_factorize(
     let dims = tensor.dims().to_vec();
     let t0 = Instant::now();
 
-    let csfs: Vec<Csf> = (0..nmodes)
-        .map(|m| Csf::from_coo_rooted(tensor, m))
-        .collect::<Result<_, _>>()?;
+    // Per-mode CSFs and their MTTKRP execution plans, built in parallel
+    // once and reused across every outer iteration.
+    let csfs = build_mode_plans(tensor)?;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut factors: Vec<DMat> = dims
         .iter()
@@ -129,7 +130,7 @@ pub fn pgd_factorize(
             let gram = ops::gram_hadamard(&grams, m)?;
 
             let tm = Instant::now();
-            crate::mttkrp::mttkrp_dense(&csfs[m], &factors, &mut kbufs[m])?;
+            crate::mttkrp::mttkrp_dense_planned(&csfs[m].0, &csfs[m].1, &factors, &mut kbufs[m])?;
             let mttkrp_time = tm.elapsed();
 
             let ta = Instant::now();
@@ -170,6 +171,7 @@ pub fn pgd_factorize(
             }
             modes.push(ModeRecord {
                 mode: m,
+                mttkrp_strategy: Some(csfs[m].1.strategy()),
                 mttkrp: mttkrp_time,
                 admm: grad_time,
                 admm_iterations: cfg.inner_steps,
@@ -303,7 +305,15 @@ mod tests {
     fn pgd_validates_config() {
         let t = tensor();
         let fz = Factorizer::new(4);
-        assert!(pgd_factorize(&t, &fz, &PgdConfig { rank: 0, ..Default::default() }).is_err());
+        assert!(pgd_factorize(
+            &t,
+            &fz,
+            &PgdConfig {
+                rank: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(pgd_factorize(
             &t,
             &fz,

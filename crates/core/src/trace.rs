@@ -5,6 +5,7 @@
 //! column) and the per-outer-iteration convergence curve (Figure 6, right
 //! column). The driver records everything needed for all three here.
 
+use crate::mttkrp_plan::PlanStrategy;
 use crate::sparsity::SparsityDecision;
 use std::time::Duration;
 
@@ -13,6 +14,10 @@ use std::time::Duration;
 pub struct ModeRecord {
     /// Tensor mode updated.
     pub mode: usize,
+    /// MTTKRP traversal strategy of this mode's execution plan
+    /// (`None` for the one-CSF conflicting-update path, which has no
+    /// root-mode plan strategy).
+    pub mttkrp_strategy: Option<PlanStrategy>,
     /// Time spent in MTTKRP (including any sparse-snapshot build).
     pub mttkrp: Duration,
     /// Time spent in the ADMM inner solver.
@@ -115,7 +120,10 @@ impl FactorizeTrace {
 
     /// `(outer_iteration, rel_error)` series — Figure 6 right column.
     pub fn error_vs_iteration(&self) -> Vec<(usize, f64)> {
-        self.iterations.iter().map(|i| (i.iter, i.rel_error)).collect()
+        self.iterations
+            .iter()
+            .map(|i| (i.iter, i.rel_error))
+            .collect()
     }
 }
 
@@ -127,6 +135,7 @@ mod tests {
     fn mode_record(mttkrp_ms: u64, admm_ms: u64) -> ModeRecord {
         ModeRecord {
             mode: 0,
+            mttkrp_strategy: Some(PlanStrategy::RootParallel),
             mttkrp: Duration::from_millis(mttkrp_ms),
             admm: Duration::from_millis(admm_ms),
             admm_iterations: 3,

@@ -144,11 +144,7 @@ pub fn dist_factorize(
             for csfs in &node_csfs {
                 if let Some(csf) = &csfs[m] {
                     mttkrp_dense(csf, &factors, &mut partials[m])?;
-                    splinalg::vecops::axpy(
-                        1.0,
-                        partials[m].as_slice(),
-                        kbufs[m].as_mut_slice(),
-                    );
+                    splinalg::vecops::axpy(1.0, partials[m].as_slice(), kbufs[m].as_mut_slice());
                 }
             }
             // Reduce-scatter of the K matrix: half an all-reduce.

@@ -182,10 +182,7 @@ mod tests {
         let loads: Vec<usize> = locals.iter().map(|l| l.nnz()).collect();
         let max = *loads.iter().max().unwrap();
         let avg = t.nnz() / 4;
-        assert!(
-            max < avg * 3,
-            "imbalanced loads {loads:?} (avg {avg})"
-        );
+        assert!(max < avg * 3, "imbalanced loads {loads:?} (avg {avg})");
     }
 
     #[test]

@@ -47,7 +47,13 @@ impl DMat {
     ///
     /// Factor matrices in AO-ADMM are initialized with uniform random
     /// non-negative entries, so constrained runs start feasible.
-    pub fn random<R: Rng + ?Sized>(nrows: usize, ncols: usize, lo: f64, hi: f64, rng: &mut R) -> Self {
+    pub fn random<R: Rng + ?Sized>(
+        nrows: usize,
+        ncols: usize,
+        lo: f64,
+        hi: f64,
+        rng: &mut R,
+    ) -> Self {
         let dist = Uniform::new(lo, hi);
         let data = (0..nrows * ncols).map(|_| dist.sample(rng)).collect();
         DMat { nrows, ncols, data }

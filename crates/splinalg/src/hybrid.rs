@@ -49,7 +49,11 @@ impl HybridMat {
             }
         }
         let total: usize = counts.iter().sum();
-        let avg = if ncols == 0 { 0.0 } else { total as f64 / ncols as f64 };
+        let avg = if ncols == 0 {
+            0.0
+        } else {
+            total as f64 / ncols as f64
+        };
 
         let mut dense_cols: Vec<Idx> = (0..ncols as Idx)
             .filter(|&j| counts[j as usize] as f64 > avg)

@@ -172,6 +172,36 @@ impl Csf {
         &self.vals
     }
 
+    /// Number of nonzeros (leaves) in the subtree of root node `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= root_count()`.
+    pub fn subtree_nnz(&self, r: usize) -> usize {
+        self.leaf_offset(r + 1) - self.leaf_offset(r)
+    }
+
+    /// Cumulative leaf offsets of the root subtrees: entry `r` is the
+    /// number of nonzeros owned by roots `0..r`, so root `r`'s leaves are
+    /// `offsets[r]..offsets[r + 1]`. Length is `root_count() + 1` and the
+    /// last entry equals `nnz()`. This is the prefix-sum an execution
+    /// plan needs to partition roots into nnz-balanced chunks.
+    pub fn root_nnz_offsets(&self) -> Vec<usize> {
+        (0..=self.root_count())
+            .map(|r| self.leaf_offset(r))
+            .collect()
+    }
+
+    /// Index of the first leaf reachable from node `n` at level 0,
+    /// following first-child pointers down the tree. `n == root_count()`
+    /// yields `nnz()`.
+    fn leaf_offset(&self, n: usize) -> usize {
+        let mut idx = n;
+        for l in 0..self.nmodes() - 1 {
+            idx = self.fptr[l][idx];
+        }
+        idx
+    }
+
     /// Total node count across levels (memory diagnostics).
     pub fn node_count(&self) -> usize {
         self.fids.iter().map(|f| f.len()).sum()
@@ -327,6 +357,55 @@ mod tests {
         assert_eq!(csf.root_count(), 2); // rows 0 and 2
         assert_eq!(csf.fptr(0), &[0, 2, 3]);
         assert_eq!(csf.fids(1), &[1, 3, 0]);
+    }
+
+    #[test]
+    fn subtree_nnz_and_offsets() {
+        let t = figure2_tensor();
+        let csf = Csf::from_coo(&t, &[0, 1, 2, 3]).unwrap();
+        // Root 0 owns nonzeros (0,0,0,0), (0,0,0,1), (0,1,0,0); root 1
+        // owns (1,1,0,1), (1,1,1,1).
+        assert_eq!(csf.subtree_nnz(0), 3);
+        assert_eq!(csf.subtree_nnz(1), 2);
+        assert_eq!(csf.root_nnz_offsets(), vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn subtree_nnz_sums_to_nnz_on_random_tensors() {
+        let mut t = CooTensor::new(vec![7, 5, 6]).unwrap();
+        // Deterministic scatter with collisions on root index 3.
+        for i in 0..40u32 {
+            t.push(
+                &[(i * i + 3) % 7, (i * 2) % 5, (i * 5 + 1) % 6],
+                1.0 + i as f64,
+            )
+            .unwrap();
+        }
+        t.dedup_sum();
+        for order in [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]] {
+            let csf = Csf::from_coo(&t, &order).unwrap();
+            let offsets = csf.root_nnz_offsets();
+            assert_eq!(offsets.len(), csf.root_count() + 1);
+            assert_eq!(offsets[0], 0);
+            assert_eq!(*offsets.last().unwrap(), csf.nnz());
+            let total: usize = (0..csf.root_count()).map(|r| csf.subtree_nnz(r)).sum();
+            assert_eq!(total, csf.nnz(), "order {order:?}");
+            for w in offsets.windows(2) {
+                assert!(w[0] < w[1], "every root owns at least one nonzero");
+            }
+        }
+    }
+
+    #[test]
+    fn two_mode_offsets_match_row_pointers() {
+        let mut t = CooTensor::new(vec![3, 4]).unwrap();
+        t.push(&[0, 1], 1.0).unwrap();
+        t.push(&[0, 3], 2.0).unwrap();
+        t.push(&[2, 0], 3.0).unwrap();
+        let csf = Csf::from_coo(&t, &[0, 1]).unwrap();
+        assert_eq!(csf.root_nnz_offsets(), vec![0, 2, 3]);
+        assert_eq!(csf.subtree_nnz(0), 2);
+        assert_eq!(csf.subtree_nnz(1), 1);
     }
 
     #[test]

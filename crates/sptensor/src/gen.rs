@@ -175,7 +175,12 @@ pub enum Analog {
 
 impl Analog {
     /// All four datasets in the paper's order.
-    pub const ALL: [Analog; 4] = [Analog::Reddit, Analog::Nell, Analog::Amazon, Analog::Patents];
+    pub const ALL: [Analog; 4] = [
+        Analog::Reddit,
+        Analog::Nell,
+        Analog::Amazon,
+        Analog::Patents,
+    ];
 
     /// Dataset name as printed in the paper.
     pub fn name(self) -> &'static str {

@@ -135,7 +135,10 @@ pub fn read_tns<R: Read>(reader: R, dims: Option<Vec<usize>>) -> Result<CooTenso
 }
 
 /// Read a `.tns` file from disk.
-pub fn read_tns_file<P: AsRef<Path>>(path: P, dims: Option<Vec<usize>>) -> Result<CooTensor, TensorError> {
+pub fn read_tns_file<P: AsRef<Path>>(
+    path: P,
+    dims: Option<Vec<usize>>,
+) -> Result<CooTensor, TensorError> {
     let f = std::fs::File::open(path)?;
     read_tns(f, dims)
 }
@@ -368,7 +371,7 @@ mod tests {
     fn binary_rejects_garbage() {
         assert!(read_bin(&b"NOTMAGIC"[..]).is_err());
         assert!(read_bin(&b"SPTNSR01"[..]).is_err()); // truncated header
-        // Corrupt an index out of range.
+                                                      // Corrupt an index out of range.
         let mut t = CooTensor::new(vec![2, 2]).unwrap();
         t.push(&[1, 1], 1.0).unwrap();
         let mut buf = Vec::new();

@@ -31,7 +31,10 @@ impl Zipf {
     /// Panics when `n == 0`, or `s` is negative or non-finite.
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n > 0, "Zipf needs a non-empty support");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
         let n = n as f64;
         let q = s;
         // H(x) is an antiderivative of the density bound h(x) = x^-q.

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release -p aoadmm --example constraints_tour`
 
-use admm::prox::Prox;
 use admm::constraints;
+use admm::prox::Prox;
 use aoadmm::Factorizer;
 use sptensor::gen::{planted, PlantedConfig};
 use std::sync::Arc;

@@ -24,11 +24,7 @@ fn main() {
         seed: 5,
     })
     .expect("generator");
-    println!(
-        "tensor: {:?}, {} nnz\n",
-        tensor.dims(),
-        tensor.nnz()
-    );
+    println!("tensor: {:?}, {} nnz\n", tensor.dims(), tensor.nnz());
 
     // Fixed inner work makes the run bitwise node-count invariant.
     let mut admm_cfg = AdmmConfig::blocked(50);

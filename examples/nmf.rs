@@ -31,7 +31,8 @@ fn corpus(docs: usize, terms: usize, k: usize, seed: u64) -> CooTensor {
             } else {
                 rng.gen_range(0..terms)
             };
-            m.push(&[d as u32, t as u32], rng.gen_range(1.0..4.0)).unwrap();
+            m.push(&[d as u32, t as u32], rng.gen_range(1.0..4.0))
+                .unwrap();
         }
     }
     m.dedup_sum();
@@ -116,8 +117,6 @@ fn main() {
             .max_by_key(|&(_, &c)| c)
             .map(|(b, &c)| (b, c))
             .unwrap();
-        println!(
-            "  component {f}: top terms {top:?} -> block {block} ({votes}/6 agree)"
-        );
+        println!("  component {f}: top terms {top:?} -> block {block} ({votes}/6 agree)");
     }
 }

@@ -44,7 +44,12 @@ fn main() {
     );
     println!("relative error: {:.4}", result.trace.final_error);
     let (m, a, o) = result.trace.time_fractions();
-    println!("time split:  MTTKRP {m:.0}%  ADMM {a:.0}%  other {o:.0}%", m = m * 100.0, a = a * 100.0, o = o * 100.0);
+    println!(
+        "time split:  MTTKRP {m:.0}%  ADMM {a:.0}%  other {o:.0}%",
+        m = m * 100.0,
+        a = a * 100.0,
+        o = o * 100.0
+    );
 
     for mode in 0..3 {
         let f = result.model.factor(mode);

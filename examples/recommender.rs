@@ -14,7 +14,10 @@ fn main() {
     // power-law popularity and plantable sparse structure.
     let tensor = Analog::Amazon.generate(0.02, 11).expect("generator");
     let (nusers, nitems, nwords) = (tensor.dims()[0], tensor.dims()[1], tensor.dims()[2]);
-    println!("review tensor: {nusers} users x {nitems} items x {nwords} words, {} nnz", tensor.nnz());
+    println!(
+        "review tensor: {nusers} users x {nitems} items x {nwords} words, {} nnz",
+        tensor.nnz()
+    );
 
     // Non-negative l1: non-negativity makes components additive (parts of
     // taste), l1 keeps each component's word list short.

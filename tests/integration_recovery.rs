@@ -49,8 +49,8 @@ fn full_tensor(truth: &KruskalModel, noise: f64, seed: u64) -> CooTensor {
                 coord[0] = i;
                 coord[1] = j;
                 coord[2] = k;
-                let v = truth.value_at(&coord)
-                    + noise * (rng.gen::<f64>() + rng.gen::<f64>() - 1.0);
+                let v =
+                    truth.value_at(&coord) + noise * (rng.gen::<f64>() + rng.gen::<f64>() - 1.0);
                 if v.abs() > 1e-12 {
                     t.push(&coord, v).unwrap();
                 }
@@ -76,7 +76,11 @@ fn recovers_planted_factors_on_complete_tensor() {
 
     let fms = factor_match_score(&res.model, &truth).unwrap();
     assert!(fms > 0.85, "factor match score {fms}");
-    assert!(res.trace.final_error < 0.2, "error {}", res.trace.final_error);
+    assert!(
+        res.trace.final_error < 0.2,
+        "error {}",
+        res.trace.final_error
+    );
 }
 
 #[test]

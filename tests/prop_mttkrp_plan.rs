@@ -1,0 +1,202 @@
+//! Property tests for plan-based MTTKRP: for every tensor shape (2-4
+//! modes), nonzero distribution (uniform and Zipf-skewed), forced
+//! strategy, and executing thread count, the planned kernel must match
+//! the reference evaluation.
+
+use aoadmm::mttkrp::{mttkrp_dense_planned, mttkrp_reference};
+use aoadmm::{MttkrpPlan, PlanOptions, PlanStrategy};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use splinalg::DMat;
+use sptensor::gen::{planted, PlantedConfig};
+use sptensor::{CooTensor, Csf};
+use std::sync::OnceLock;
+
+/// A single-worker rayon pool, so every configuration also runs with all
+/// parallel constructs degenerate to sequential execution.
+fn one_thread_pool() -> &'static rayon::ThreadPool {
+    static POOL: OnceLock<rayon::ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("single-thread pool")
+    })
+}
+
+fn random_factors(dims: &[usize], f: usize, seed: u64) -> Vec<DMat> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    dims.iter()
+        .map(|&d| DMat::random(d, f, -1.0, 1.0, &mut rng))
+        .collect()
+}
+
+/// Run the planned kernel on `csf` under every (strategy, plan-thread,
+/// pool) combination and compare against `reference`.
+fn assert_plan_matches(
+    coo: &CooTensor,
+    csf: &Csf,
+    factors: &[DMat],
+    reference: &DMat,
+    f: usize,
+) -> Result<(), TestCaseError> {
+    let root = csf.mode_order()[0];
+    let strategies = [
+        None,
+        Some(PlanStrategy::RootParallel),
+        Some(PlanStrategy::FiberPrivatized),
+    ];
+    for force in strategies {
+        for threads in [Some(1), Some(4)] {
+            let plan = MttkrpPlan::with_options(
+                csf,
+                PlanOptions {
+                    threads,
+                    force_strategy: force,
+                },
+            );
+            // Global (multi-thread) pool.
+            let mut out = DMat::zeros(coo.dims()[root], f);
+            mttkrp_dense_planned(csf, &plan, factors, &mut out).unwrap();
+            let diff = out.max_abs_diff(reference);
+            prop_assert!(
+                diff < 1e-9,
+                "strategy {} (forced: {}), plan threads {:?}, global pool: diff {diff}",
+                plan.strategy().name(),
+                plan.stats().forced,
+                threads
+            );
+            // Single-thread pool: same plan, degenerate execution.
+            let mut out1 = DMat::zeros(coo.dims()[root], f);
+            one_thread_pool()
+                .install(|| mttkrp_dense_planned(csf, &plan, factors, &mut out1))
+                .unwrap();
+            let diff1 = out1.max_abs_diff(reference);
+            prop_assert!(
+                diff1 < 1e-9,
+                "strategy {} (forced: {}), plan threads {:?}, 1-thread pool: diff {diff1}",
+                plan.strategy().name(),
+                plan.stats().forced,
+                threads
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Strategy: a small random COO tensor with 2-4 modes, uniform or
+/// Zipf-skewed coordinates.
+fn coo_strategy() -> impl Strategy<Value = CooTensor> {
+    (2usize..=4)
+        .prop_flat_map(|nmodes| {
+            (
+                proptest::collection::vec(2usize..14, nmodes),
+                16usize..400,
+                any::<u64>(),
+                // Zipf exponent: 0 = uniform, up to strongly skewed.
+                prop_oneof![Just(0.0f64), 0.5f64..2.0],
+            )
+        })
+        .prop_map(|(dims, nnz, seed, zipf)| {
+            if zipf == 0.0 {
+                sptensor::gen::random_uniform(&dims, nnz, seed).expect("valid dims")
+            } else {
+                let nmodes = dims.len();
+                planted(&PlantedConfig {
+                    dims,
+                    nnz,
+                    rank: 3,
+                    noise: 0.1,
+                    factor_density: 1.0,
+                    zipf_exponents: vec![zipf; nmodes],
+                    seed,
+                })
+                .expect("valid config")
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn planned_mttkrp_matches_reference_for_all_strategies(
+        coo in coo_strategy(),
+        root in 0usize..4,
+        f in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let root = root % coo.nmodes();
+        let factors = random_factors(coo.dims(), f, seed);
+        let csf = Csf::from_coo_rooted(&coo, root).unwrap();
+        let reference = mttkrp_reference(&coo, &factors, root).unwrap();
+        assert_plan_matches(&coo, &csf, &factors, &reference, f)?;
+    }
+
+    #[test]
+    fn plan_reuse_is_deterministic(
+        coo in coo_strategy(),
+        f in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Two runs with the same plan give bit-identical output: the
+        // schedule is frozen in the plan and the reduction order is
+        // deterministic.
+        let factors = random_factors(coo.dims(), f, seed);
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let plan = MttkrpPlan::build(&csf);
+        let mut a = DMat::zeros(coo.dims()[0], f);
+        let mut b = DMat::zeros(coo.dims()[0], f);
+        mttkrp_dense_planned(&csf, &plan, &factors, &mut a).unwrap();
+        mttkrp_dense_planned(&csf, &plan, &factors, &mut b).unwrap();
+        prop_assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+}
+
+/// Deterministic heavy-skew case: one root slice owns nearly all
+/// nonzeros, the regime the fiber-privatized path exists for.
+#[test]
+fn dominant_root_slice_matches_reference_under_both_strategies() {
+    let t = planted(&PlantedConfig {
+        dims: vec![8, 50, 60],
+        nnz: 4_000,
+        rank: 4,
+        noise: 0.05,
+        factor_density: 1.0,
+        zipf_exponents: vec![2.5, 0.3, 0.3],
+        seed: 77,
+    })
+    .unwrap();
+    let factors = random_factors(t.dims(), 5, 78);
+    let csf = Csf::from_coo_rooted(&t, 0).unwrap();
+    let reference = mttkrp_reference(&t, &factors, 0).unwrap();
+
+    for force in [PlanStrategy::RootParallel, PlanStrategy::FiberPrivatized] {
+        let plan = MttkrpPlan::with_options(
+            &csf,
+            PlanOptions {
+                threads: Some(8),
+                force_strategy: Some(force),
+            },
+        );
+        assert_eq!(plan.strategy(), force);
+        let mut out = DMat::zeros(t.dims()[0], 5);
+        mttkrp_dense_planned(&csf, &plan, &factors, &mut out).unwrap();
+        assert!(
+            out.max_abs_diff(&reference) < 1e-9,
+            "{}: diff {}",
+            force.name(),
+            out.max_abs_diff(&reference)
+        );
+    }
+
+    // The cost model should pick the fiber path here on its own.
+    let auto = MttkrpPlan::with_options(
+        &csf,
+        PlanOptions {
+            threads: Some(8),
+            force_strategy: None,
+        },
+    );
+    assert_eq!(auto.strategy(), PlanStrategy::FiberPrivatized);
+}
