@@ -167,35 +167,35 @@ impl DMat {
         if f == 0 || self.nrows == 0 {
             return g;
         }
-        let upper = self
+        // Fixed-size chunks with the partials summed in chunk order: the
+        // result is bit-identical across runs and thread counts (a
+        // fold/reduce here would merge partials in work-stealing order,
+        // breaking seeded determinism and checkpoint/resume bit-equality).
+        let partials: Vec<Vec<f64>> = self
             .data
             .par_chunks(f * 512)
-            .fold(
-                || vec![0.0f64; f * f],
-                |mut acc, chunk| {
-                    for row in chunk.chunks_exact(f) {
-                        for (a, &ra) in row.iter().enumerate() {
-                            if ra == 0.0 {
-                                continue;
-                            }
-                            let grow = &mut acc[a * f..(a + 1) * f];
-                            for b in a..f {
-                                grow[b] += ra * row[b];
-                            }
+            .map(|chunk| {
+                let mut acc = vec![0.0f64; f * f];
+                for row in chunk.chunks_exact(f) {
+                    for (a, &ra) in row.iter().enumerate() {
+                        if ra == 0.0 {
+                            continue;
+                        }
+                        let grow = &mut acc[a * f..(a + 1) * f];
+                        for b in a..f {
+                            grow[b] += ra * row[b];
                         }
                     }
-                    acc
-                },
-            )
-            .reduce(
-                || vec![0.0f64; f * f],
-                |mut x, y| {
-                    for (a, b) in x.iter_mut().zip(&y) {
-                        *a += b;
-                    }
-                    x
-                },
-            );
+                }
+                acc
+            })
+            .collect();
+        let mut upper = vec![0.0f64; f * f];
+        for p in &partials {
+            for (a, b) in upper.iter_mut().zip(p) {
+                *a += b;
+            }
+        }
         g.data.copy_from_slice(&upper);
         // Mirror the upper triangle into the lower triangle.
         for a in 0..f {

@@ -1,0 +1,110 @@
+//! Property tests: the hybrid (dense-panel + CSR) matrix agrees with
+//! the plain dense and pure-CSR representations on randomized shapes
+//! and densities, from empty through fully dense.
+//!
+//! All three representations store exact copies of the same values in
+//! disjoint locations, so agreement here is *bit-exact*, not
+//! approximate — any tolerance would hide a wrong-column scatter.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use splinalg::{CsrMatrix, DMat, HybridMat};
+
+/// Dense matrix with roughly `density` of entries nonzero, plus skewed
+/// per-column densities so the hybrid's panel split actually triggers.
+fn sparse_dmat(rows: usize, cols: usize, density: f64, seed: u64) -> DMat {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut m = DMat::zeros(rows, cols);
+    // A couple of columns are made much denser than the rest: the panel
+    // split keys off columns that are denser than average.
+    let hot = rng.gen_range(0..cols.max(1));
+    for i in 0..rows {
+        for j in 0..cols {
+            let p = if j == hot {
+                (density * 4.0).min(1.0)
+            } else {
+                density
+            };
+            if rng.gen::<f64>() < p {
+                m.set(i, j, rng.gen_range(0.1..2.0));
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hybrid_round_trips_and_scatters_like_dense_and_csr(
+        rows in 1usize..40,
+        cols in 1usize..10,
+        density in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let m = sparse_dmat(rows, cols, density, seed);
+        let hyb = HybridMat::from_dense(&m, 0.0);
+        let csr = CsrMatrix::from_dense(&m, 0.0);
+
+        // Lossless reconstruction from both compressed forms.
+        prop_assert_eq!(hyb.to_dense(), m.clone(), "hybrid to_dense");
+        prop_assert_eq!(csr.to_dense(), m.clone(), "csr to_dense");
+
+        // Row scatter: the kernel-facing operation. One product per
+        // column in every representation, so results must be identical
+        // to the bit.
+        let alpha = 1.0 + (seed % 7) as f64 * 0.37;
+        for i in 0..rows {
+            let mut via_hybrid = vec![0.0f64; cols];
+            hyb.scatter_axpy(i, alpha, &mut via_hybrid);
+            let mut via_csr = vec![0.0f64; cols];
+            csr.scatter_axpy(i, alpha, &mut via_csr);
+            let mut via_dense = vec![0.0f64; cols];
+            for (j, &v) in m.row(i).iter().enumerate() {
+                via_dense[j] += alpha * v;
+            }
+            for j in 0..cols {
+                prop_assert_eq!(
+                    via_hybrid[j].to_bits(),
+                    via_dense[j].to_bits(),
+                    "hybrid scatter row {} col {}", i, j
+                );
+                prop_assert_eq!(
+                    via_csr[j].to_bits(),
+                    via_dense[j].to_bits(),
+                    "csr scatter row {} col {}", i, j
+                );
+            }
+        }
+
+        // Structural invariants of the split.
+        let total = m.count_nonzeros(0.0);
+        prop_assert!(hyb.num_dense_cols() <= cols);
+        prop_assert_eq!(hyb.nrows(), rows);
+        prop_assert_eq!(hyb.ncols(), cols);
+        // The CSR spill holds exactly the nonzeros outside the panel
+        // columns, so it can never exceed the true count...
+        prop_assert!(hyb.sparse_nnz() <= total);
+        // ...and panel storage plus spill covers every nonzero.
+        prop_assert!(hyb.sparse_nnz() + rows * hyb.num_dense_cols() >= total);
+        prop_assert_eq!(csr.nnz(), total);
+    }
+
+    #[test]
+    fn fully_dense_and_fully_empty_extremes(
+        rows in 1usize..20,
+        cols in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let dense = sparse_dmat(rows, cols, 1.0, seed);
+        let hyb = HybridMat::from_dense(&dense, 0.0);
+        prop_assert_eq!(hyb.to_dense(), dense);
+
+        let empty = DMat::zeros(rows, cols);
+        let hyb0 = HybridMat::from_dense(&empty, 0.0);
+        prop_assert_eq!(hyb0.sparse_nnz(), 0);
+        prop_assert_eq!(hyb0.to_dense(), empty);
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic generators for conformance inputs.
+//!
+//! Everything is driven by the self-contained [`TestRng`](crate::rng),
+//! so a `(shape, seed)` pair printed in a failure report reproduces the
+//! exact input on any machine. The generators deliberately cover the
+//! regimes the optimized kernels specialize for: uniform and
+//! Zipf-skewed nonzero distributions (root-parallel vs fiber-privatized
+//! MTTKRP), dense and sparse factors (DENSE vs CSR vs CSR-H reads), and
+//! the full constraint suite.
+
+use crate::rng::TestRng;
+use admm::{constraints, Prox};
+use splinalg::DMat;
+use sptensor::{CooTensor, Idx};
+use std::sync::Arc;
+
+/// Uniform random COO tensor: `nnz` draws with uniform coordinates and
+/// values in `[0.5, 1.5)`, duplicates merged. The result is non-empty
+/// for any `nnz >= 1`.
+pub fn tensor(dims: &[usize], nnz: usize, seed: u64) -> CooTensor {
+    skewed_tensor(dims, nnz, 1.0, seed)
+}
+
+/// Random COO tensor with power-law-skewed coordinates: each index is
+/// drawn as `floor(d * u^skew)` for uniform `u`, so `skew = 1` is
+/// uniform and larger values concentrate nonzeros on low indices (the
+/// "few hot slices" regime the fiber-privatized MTTKRP path targets).
+pub fn skewed_tensor(dims: &[usize], nnz: usize, skew: f64, seed: u64) -> CooTensor {
+    assert!(nnz >= 1, "generated tensors must be non-empty");
+    let mut rng = TestRng::new(seed);
+    let mut t = CooTensor::with_capacity(dims.to_vec(), nnz).expect("valid dims");
+    let mut coord = vec![0 as Idx; dims.len()];
+    for _ in 0..nnz {
+        for (m, &d) in dims.iter().enumerate() {
+            let u = rng.next_f64().powf(skew);
+            coord[m] = (((d as f64) * u) as usize).min(d - 1) as Idx;
+        }
+        t.push(&coord, rng.uniform(0.5, 1.5)).expect("in bounds");
+    }
+    t.dedup_sum();
+    t
+}
+
+/// One dense factor matrix per mode, entries uniform in `[lo, hi)`.
+pub fn factors(dims: &[usize], rank: usize, lo: f64, hi: f64, seed: u64) -> Vec<DMat> {
+    let mut rng = TestRng::new(seed);
+    dims.iter()
+        .map(|&d| {
+            let mut m = DMat::zeros(d, rank);
+            for v in m.as_mut_slice() {
+                *v = rng.uniform(lo, hi);
+            }
+            m
+        })
+        .collect()
+}
+
+/// A factor matrix where each entry is nonzero (uniform in `[0.1, 1.0)`)
+/// with probability `density` — the input regime for CSR/hybrid
+/// snapshots.
+pub fn sparse_factor(rows: usize, cols: usize, density: f64, seed: u64) -> DMat {
+    let mut rng = TestRng::new(seed);
+    let mut m = DMat::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        if rng.next_f64() < density {
+            *v = rng.uniform(0.1, 1.0);
+        }
+    }
+    m
+}
+
+/// The full built-in constraint suite, labeled for failure reports.
+/// Conformance tests sweep every entry so each proximity operator is
+/// pinned to its scalar oracle.
+pub fn constraint_suite() -> Vec<(&'static str, Arc<dyn Prox>)> {
+    vec![
+        ("unconstrained", constraints::unconstrained()),
+        ("nonneg", constraints::nonneg()),
+        ("lasso(0.3)", constraints::lasso(0.3)),
+        ("nonneg_lasso(0.3)", constraints::nonneg_lasso(0.3)),
+        ("ridge(0.5)", constraints::ridge(0.5)),
+        ("boxed(-0.5,0.5)", constraints::boxed(-0.5, 0.5)),
+        ("simplex", constraints::simplex()),
+        ("max_row_norm(1.0)", constraints::max_row_norm(1.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_is_deterministic_and_in_bounds() {
+        let a = tensor(&[10, 8, 6], 200, 3);
+        let b = tensor(&[10, 8, 6], 200, 3);
+        assert_eq!(a, b);
+        assert!(a.nnz() >= 1 && a.nnz() <= 200);
+        for n in 0..a.nnz() {
+            let c = a.coord(n);
+            assert!((c[0] as usize) < 10 && (c[1] as usize) < 8 && (c[2] as usize) < 6);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_indices() {
+        let t = skewed_tensor(&[100, 100], 5_000, 4.0, 7);
+        let counts = t.slice_counts(0);
+        let low: usize = counts[..10].iter().sum();
+        assert!(
+            low * 2 > t.nnz(),
+            "expected >half the nnz in the first 10 slices, got {low}/{}",
+            t.nnz()
+        );
+    }
+
+    #[test]
+    fn factors_shapes_and_range() {
+        let fs = factors(&[5, 7], 3, -1.0, 1.0, 11);
+        assert_eq!(fs.len(), 2);
+        assert_eq!((fs[0].nrows(), fs[0].ncols()), (5, 3));
+        assert_eq!((fs[1].nrows(), fs[1].ncols()), (7, 3));
+        assert!(fs
+            .iter()
+            .all(|f| f.as_slice().iter().all(|v| v.abs() < 1.0)));
+    }
+
+    #[test]
+    fn sparse_factor_density_tracks_request() {
+        let m = sparse_factor(100, 20, 0.1, 13);
+        let d = m.density(0.0);
+        assert!(d > 0.02 && d < 0.25, "density {d}");
+        assert_eq!(sparse_factor(10, 5, 0.0, 1).count_nonzeros(0.0), 0);
+    }
+
+    #[test]
+    fn constraint_suite_covers_all_builtins() {
+        let suite = constraint_suite();
+        assert_eq!(suite.len(), 8);
+        let names: Vec<&str> = suite.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"simplex") && names.contains(&"nonneg"));
+    }
+}

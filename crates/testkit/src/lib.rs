@@ -1,0 +1,38 @@
+//! Differential-verification toolkit for the AO-ADMM stack.
+//!
+//! Every optimized kernel in this workspace (CSF MTTKRP and its
+//! execution plans, CSR/hybrid factor snapshots, blocked and fused ADMM,
+//! the SPLATT fit trick) is validated against a *slow but obviously
+//! correct* reference implementation living here. The oracles are
+//! written straight from the mathematical definitions — naive loops over
+//! COO nonzeros and dense matrices, no parallelism, no shared code with
+//! the optimized paths — so a conformance failure localizes the bug to
+//! the optimized side.
+//!
+//! The crate has four pieces:
+//!
+//! * [`rng`] — a tiny self-contained SplitMix64 PRNG, so generated
+//!   inputs are reproducible from a single `u64` seed and independent of
+//!   any external RNG crate's stream stability;
+//! * [`oracle`] — reference kernels: COO MTTKRP, naive Gram /
+//!   Khatri–Rao / Hadamard / Cholesky, scalar proximity operators, and
+//!   the full (dense-enumeration) CPD objective;
+//! * [`gen`] — deterministic generators for tensors (uniform and
+//!   skewed), factor matrices (dense and sparse), and the constraint
+//!   suite;
+//! * [`tolerance`] and [`shrink`] — ULP/relative-error comparison with
+//!   a documented tolerance policy, and greedy failure minimization
+//!   (shrink a failing tensor to a minimal reproducer before reporting).
+//!
+//! The conformance harness built on top lives in the workspace-level
+//! `tests/conformance_*.rs` suites (wired into the `aoadmm` package).
+
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+pub mod tolerance;
+
+pub use rng::TestRng;
+pub use shrink::shrink_tensor;
+pub use tolerance::{assert_mats_close, mat_diff, mats_close, ulp_diff, MatDiff};

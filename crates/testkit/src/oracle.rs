@@ -1,0 +1,445 @@
+//! Slow-but-obviously-correct reference kernels.
+//!
+//! Every function here is written straight from the mathematical
+//! definition, sequentially, with no code shared with the optimized
+//! paths it validates:
+//!
+//! * [`mttkrp`] — `K = X_(m) (⊙_{n≠m} A_n)` as a plain loop over COO
+//!   nonzeros (no CSF, no plan, no privatization);
+//! * [`gram`], [`khatri_rao`], [`hadamard`], [`gram_hadamard`] — naive
+//!   triple loops over dense matrices;
+//! * [`cholesky`], [`solve_spd`], [`least_squares_rows`] — textbook
+//!   Cholesky–Banachiewicz plus forward/backward substitution, giving
+//!   the exact minimizer the ADMM inner solver must converge to;
+//! * scalar proximity operators ([`prox`]) — closed forms applied one
+//!   entry at a time, with the simplex projection done by bisection on
+//!   the dual variable instead of the production sort-based algorithm;
+//! * [`relative_error`] — the full CPD objective by enumerating *every*
+//!   cell of the dense cube (the SPLATT fit trick must agree with it).
+
+use splinalg::DMat;
+use sptensor::CooTensor;
+use std::collections::HashMap;
+
+/// Reference MTTKRP: for each nonzero `x` at coordinate `c`,
+/// `out[c[mode], f] += x * prod_{n != mode} factors[n][c[n], f]`.
+///
+/// Panics on shape mismatches — oracle inputs are constructed by the
+/// harness, so a mismatch is a harness bug.
+pub fn mttkrp(coo: &CooTensor, factors: &[DMat], mode: usize) -> DMat {
+    assert_eq!(factors.len(), coo.nmodes(), "one factor per mode");
+    assert!(mode < coo.nmodes(), "output mode in range");
+    let rank = factors[mode].ncols();
+    for (m, fac) in factors.iter().enumerate() {
+        assert_eq!(fac.nrows(), coo.dims()[m], "factor {m} row count");
+        assert_eq!(fac.ncols(), rank, "factor {m} rank");
+    }
+    let mut out = DMat::zeros(coo.dims()[mode], rank);
+    for n in 0..coo.nnz() {
+        let c = coo.coord(n);
+        let x = coo.values()[n];
+        for f in 0..rank {
+            let mut p = x;
+            for (m, fac) in factors.iter().enumerate() {
+                if m != mode {
+                    p *= fac.get(c[m] as usize, f);
+                }
+            }
+            let i = c[mode] as usize;
+            out.set(i, f, out.get(i, f) + p);
+        }
+    }
+    out
+}
+
+/// Naive Gram matrix `AᵀA`.
+pub fn gram(a: &DMat) -> DMat {
+    let f = a.ncols();
+    let mut g = DMat::zeros(f, f);
+    for p in 0..f {
+        for q in 0..f {
+            let mut s = 0.0;
+            for i in 0..a.nrows() {
+                s += a.get(i, p) * a.get(i, q);
+            }
+            g.set(p, q, s);
+        }
+    }
+    g
+}
+
+/// Naive Khatri–Rao product: row `j*K + k` of the result is
+/// `B(j,:) .* C(k,:)`.
+pub fn khatri_rao(b: &DMat, c: &DMat) -> DMat {
+    assert_eq!(b.ncols(), c.ncols(), "rank mismatch");
+    let f = b.ncols();
+    let mut out = DMat::zeros(b.nrows() * c.nrows(), f);
+    for j in 0..b.nrows() {
+        for k in 0..c.nrows() {
+            for col in 0..f {
+                out.set(j * c.nrows() + k, col, b.get(j, col) * c.get(k, col));
+            }
+        }
+    }
+    out
+}
+
+/// Naive elementwise (Hadamard) product.
+pub fn hadamard(a: &DMat, b: &DMat) -> DMat {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    let mut out = DMat::zeros(a.nrows(), a.ncols());
+    for i in 0..a.nrows() {
+        for j in 0..a.ncols() {
+            out.set(i, j, a.get(i, j) * b.get(i, j));
+        }
+    }
+    out
+}
+
+/// Hadamard product of the naive Grams of every factor except
+/// `skip_mode` (the combined `G` of the mode update).
+pub fn gram_hadamard(factors: &[DMat], skip_mode: usize) -> DMat {
+    let f = factors[0].ncols();
+    let mut g = DMat::zeros(f, f);
+    for p in 0..f {
+        for q in 0..f {
+            g.set(p, q, 1.0);
+        }
+    }
+    for (m, fac) in factors.iter().enumerate() {
+        if m == skip_mode {
+            continue;
+        }
+        g = hadamard(&g, &gram(fac));
+    }
+    g
+}
+
+/// Textbook Cholesky–Banachiewicz: returns lower-triangular `L` with
+/// `L Lᵀ = g`, or `None` if a pivot is not strictly positive.
+pub fn cholesky(g: &DMat) -> Option<DMat> {
+    assert_eq!(g.nrows(), g.ncols(), "square input");
+    let n = g.nrows();
+    let mut l = DMat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = g.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return None;
+                }
+                l.set(i, j, s.sqrt());
+            } else {
+                l.set(i, j, s / l.get(j, j));
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `g x = rhs` for SPD `g` by Cholesky + forward/backward
+/// substitution. Returns `None` when `g` is not positive definite.
+pub fn solve_spd(g: &DMat, rhs: &[f64]) -> Option<Vec<f64>> {
+    let n = g.nrows();
+    assert_eq!(rhs.len(), n, "rhs length");
+    let l = cholesky(g)?;
+    // Forward: L y = rhs.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = rhs[i];
+        for k in 0..i {
+            s -= l.get(i, k) * y[k];
+        }
+        y[i] = s / l.get(i, i);
+    }
+    // Backward: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l.get(k, i) * x[k];
+        }
+        x[i] = s / l.get(i, i);
+    }
+    Some(x)
+}
+
+/// Row-wise least squares: the exact minimizer `H` of
+/// `½ tr(H G Hᵀ) − tr(Kᵀ H)`, i.e. each row of `H` solves `G h = k`.
+/// This is the fixed point the unconstrained ADMM update converges to.
+pub fn least_squares_rows(g: &DMat, k: &DMat) -> Option<DMat> {
+    let mut h = DMat::zeros(k.nrows(), k.ncols());
+    for i in 0..k.nrows() {
+        let x = solve_spd(g, k.row(i))?;
+        h.row_mut(i).copy_from_slice(&x);
+    }
+    Some(h)
+}
+
+/// Model value at one coordinate: `sum_f prod_m factors[m][c[m], f]`.
+pub fn model_value(factors: &[DMat], coord: &[u32]) -> f64 {
+    let rank = factors[0].ncols();
+    let mut v = 0.0;
+    for f in 0..rank {
+        let mut p = 1.0;
+        for (m, fac) in factors.iter().enumerate() {
+            p *= fac.get(coord[m] as usize, f);
+        }
+        v += p;
+    }
+    v
+}
+
+/// Guard for the dense-enumeration oracles: they visit every cell of the
+/// cube, so the cube must stay small.
+const MAX_DENSE_CELLS: usize = 4_000_000;
+
+/// Full CPD residual `‖X − M‖²_F` by enumerating every cell of the dense
+/// cube: nonzero cells contribute `(x − m)²`, empty cells contribute
+/// `m²`. Obviously correct, O(prod dims · F); small tensors only.
+pub fn residual_norm_sq(coo: &CooTensor, factors: &[DMat]) -> f64 {
+    let cells: usize = coo.dims().iter().product();
+    assert!(
+        cells <= MAX_DENSE_CELLS,
+        "dense-enumeration oracle called on a {cells}-cell tensor"
+    );
+    // Duplicate coordinates (if any) sum, matching COO semantics.
+    let mut values: HashMap<Vec<u32>, f64> = HashMap::new();
+    for n in 0..coo.nnz() {
+        *values.entry(coo.coord(n)).or_insert(0.0) += coo.values()[n];
+    }
+    let nmodes = coo.nmodes();
+    let mut coord = vec![0u32; nmodes];
+    let mut total = 0.0;
+    loop {
+        let m = model_value(factors, &coord);
+        let x = values.get(&coord).copied().unwrap_or(0.0);
+        total += (x - m) * (x - m);
+        // Odometer increment.
+        let mut mode = nmodes;
+        while mode > 0 {
+            mode -= 1;
+            coord[mode] += 1;
+            if (coord[mode] as usize) < coo.dims()[mode] {
+                break;
+            }
+            coord[mode] = 0;
+            if mode == 0 {
+                return total;
+            }
+        }
+    }
+}
+
+/// Full relative error `‖X − M‖_F / ‖X‖_F` by dense enumeration. The
+/// driver's fast fit (SPLATT trick) must agree with this.
+pub fn relative_error(coo: &CooTensor, factors: &[DMat]) -> f64 {
+    (residual_norm_sq(coo, factors) / coo.norm_sq()).sqrt()
+}
+
+/// Scalar / row-wise reference proximity operators.
+pub mod prox {
+    /// Non-negativity projection.
+    pub fn nonneg(x: f64) -> f64 {
+        if x > 0.0 {
+            x
+        } else {
+            0.0
+        }
+    }
+
+    /// Soft threshold at `t` (prox of `t·|x|` with unit penalty).
+    pub fn soft_threshold(x: f64, t: f64) -> f64 {
+        if x > t {
+            x - t
+        } else if x < -t {
+            x + t
+        } else {
+            0.0
+        }
+    }
+
+    /// Non-negative soft threshold.
+    pub fn nonneg_soft_threshold(x: f64, t: f64) -> f64 {
+        nonneg(x - t)
+    }
+
+    /// Prox of `lambda‖·‖²` at penalty `rho`: shrink by
+    /// `rho / (rho + 2 lambda)`.
+    pub fn ridge(x: f64, lambda: f64, rho: f64) -> f64 {
+        x * rho / (rho + 2.0 * lambda)
+    }
+
+    /// Box projection onto `[lo, hi]`.
+    pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+        x.max(lo).min(hi)
+    }
+
+    /// Projection onto the probability simplex by bisection on the dual
+    /// variable `tau` of `sum_i max(x_i − tau, 0) = 1`. Deliberately a
+    /// different algorithm from the production sort-based projection:
+    /// correctness follows from monotonicity of the sum in `tau`.
+    pub fn simplex_project(row: &[f64]) -> Vec<f64> {
+        let hi0 = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut lo = hi0 - 1.0 - 1.0 / row.len().max(1) as f64;
+        let mut hi = hi0;
+        // sum(tau = hi0) = 0 < 1, sum(tau = lo) >= 1: bisect ~90 times
+        // for full double precision.
+        for _ in 0..90 {
+            let mid = 0.5 * (lo + hi);
+            let s: f64 = row.iter().map(|&x| (x - mid).max(0.0)).sum();
+            if s > 1.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let tau = 0.5 * (lo + hi);
+        row.iter().map(|&x| (x - tau).max(0.0)).collect()
+    }
+
+    /// Row clipped to Euclidean norm `bound` (unchanged when already
+    /// inside the ball).
+    pub fn max_row_norm(row: &[f64], bound: f64) -> Vec<f64> {
+        let norm = row.iter().map(|&x| x * x).sum::<f64>().sqrt();
+        if norm <= bound || norm == 0.0 {
+            row.to_vec()
+        } else {
+            row.iter().map(|&x| x * bound / norm).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptensor::CooTensor;
+
+    fn mat(rows: usize, cols: usize, vals: &[f64]) -> DMat {
+        DMat::from_vec(rows, cols, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn mttkrp_hand_computed_2x2x2() {
+        // X with two nonzeros: X[0,1,0] = 2, X[1,0,1] = 3.
+        let mut t = CooTensor::new(vec![2, 2, 2]).unwrap();
+        t.push(&[0, 1, 0], 2.0).unwrap();
+        t.push(&[1, 0, 1], 3.0).unwrap();
+        let a = mat(2, 1, &[1.0, 10.0]);
+        let b = mat(2, 1, &[2.0, 20.0]);
+        let c = mat(2, 1, &[3.0, 30.0]);
+        let k = mttkrp(&t, &[a, b, c], 0);
+        // Row 0: 2 * B(1,0) * C(0,0) = 2*20*3 = 120.
+        // Row 1: 3 * B(0,0) * C(1,0) = 3*2*30 = 180.
+        assert_eq!(k.get(0, 0), 120.0);
+        assert_eq!(k.get(1, 0), 180.0);
+    }
+
+    #[test]
+    fn gram_hand_computed() {
+        let a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let g = gram(&a);
+        assert_eq!(g.get(0, 0), 10.0);
+        assert_eq!(g.get(0, 1), 14.0);
+        assert_eq!(g.get(1, 0), 14.0);
+        assert_eq!(g.get(1, 1), 20.0);
+    }
+
+    #[test]
+    fn khatri_rao_hand_computed() {
+        let b = mat(2, 1, &[1.0, 2.0]);
+        let c = mat(2, 1, &[3.0, 4.0]);
+        let k = khatri_rao(&b, &c);
+        assert_eq!(k.as_slice(), &[3.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn cholesky_recomposes() {
+        let g = mat(2, 2, &[4.0, 2.0, 2.0, 3.0]);
+        let l = cholesky(&g).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for k in 0..2 {
+                    s += l.get(i, k) * l.get(j, k);
+                }
+                assert!((s - g.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let g = mat(2, 2, &[1.0, 2.0, 2.0, 1.0]);
+        assert!(cholesky(&g).is_none());
+    }
+
+    #[test]
+    fn solve_spd_solves() {
+        let g = mat(2, 2, &[4.0, 2.0, 2.0, 3.0]);
+        let x = solve_spd(&g, &[10.0, 8.0]).unwrap();
+        assert!((4.0 * x[0] + 2.0 * x[1] - 10.0).abs() < 1e-12);
+        assert!((2.0 * x[0] + 3.0 * x[1] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_objective_on_exact_model_is_zero() {
+        // Tensor = full rank-1 model: residual must vanish, error = 0.
+        let a = mat(2, 1, &[1.0, 2.0]);
+        let b = mat(2, 1, &[3.0, 4.0]);
+        let c = mat(2, 1, &[5.0, 6.0]);
+        let factors = vec![a, b, c];
+        let mut t = CooTensor::new(vec![2, 2, 2]).unwrap();
+        for i in 0..2u32 {
+            for j in 0..2u32 {
+                for k in 0..2u32 {
+                    t.push(&[i, j, k], model_value(&factors, &[i, j, k]))
+                        .unwrap();
+                }
+            }
+        }
+        assert!(residual_norm_sq(&t, &factors) < 1e-20);
+        assert!(relative_error(&t, &factors) < 1e-10);
+    }
+
+    #[test]
+    fn full_objective_counts_missing_cells_as_zeros() {
+        // One nonzero, rank-1 all-ones model: residual =
+        // (1-1)^2 + 7 cells * 1^2 = 7.
+        let ones = mat(2, 1, &[1.0, 1.0]);
+        let factors = vec![ones.clone(), ones.clone(), ones];
+        let mut t = CooTensor::new(vec![2, 2, 2]).unwrap();
+        t.push(&[0, 0, 0], 1.0).unwrap();
+        assert!((residual_norm_sq(&t, &factors) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplex_bisection_projects() {
+        let p = prox::simplex_project(&[0.4, 0.3, -5.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| x >= 0.0));
+        assert_eq!(p[2], 0.0);
+        // Already on the simplex: unchanged.
+        let q = prox::simplex_project(&[0.5, 0.5]);
+        assert!((q[0] - 0.5).abs() < 1e-9 && (q[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_prox_forms() {
+        assert_eq!(prox::nonneg(-3.0), 0.0);
+        assert_eq!(prox::nonneg(2.0), 2.0);
+        assert_eq!(prox::soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(prox::soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(prox::soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(prox::nonneg_soft_threshold(-0.5, 0.2), 0.0);
+        assert_eq!(prox::clamp(5.0, -1.0, 1.0), 1.0);
+        assert!((prox::ridge(1.0, 0.5, 1.0) - 0.5).abs() < 1e-15);
+        let clipped = prox::max_row_norm(&[3.0, 4.0], 1.0);
+        let n = (clipped[0] * clipped[0] + clipped[1] * clipped[1]).sqrt();
+        assert!((n - 1.0).abs() < 1e-12);
+    }
+}

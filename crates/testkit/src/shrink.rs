@@ -1,0 +1,137 @@
+//! Failure minimization: shrink a failing tensor to a minimal reproducer.
+//!
+//! When a conformance sweep finds a kernel/oracle disagreement on a
+//! generated tensor, reporting the raw input (thousands of nonzeros) is
+//! useless for debugging. [`shrink_tensor`] reduces it while the failure
+//! predicate keeps holding: delta-debugging over the nonzero list
+//! (remove progressively smaller chunks), then tightening each mode's
+//! dimension to the smallest bound covering the surviving coordinates.
+//! The result is printed by [`describe`] in a form that can be pasted
+//! directly into a regression test.
+
+use sptensor::{CooTensor, Idx};
+
+/// Rebuild a tensor from an explicit entry list.
+fn from_entries(dims: &[usize], entries: &[(Vec<Idx>, f64)]) -> CooTensor {
+    let mut t = CooTensor::with_capacity(dims.to_vec(), entries.len()).expect("valid dims");
+    for (c, v) in entries {
+        t.push(c, *v).expect("entry in bounds");
+    }
+    t
+}
+
+/// Shrink `tensor` to a (locally) minimal failing input: the returned
+/// tensor still satisfies `fails`, but removing any *single* nonzero
+/// from it no longer does. Dimensions are tightened to the surviving
+/// coordinates. `fails` must return `true` for the input tensor.
+pub fn shrink_tensor<F>(tensor: &CooTensor, mut fails: F) -> CooTensor
+where
+    F: FnMut(&CooTensor) -> bool,
+{
+    assert!(fails(tensor), "shrink called on a passing input");
+    let mut entries: Vec<(Vec<Idx>, f64)> = (0..tensor.nnz())
+        .map(|n| (tensor.coord(n), tensor.values()[n]))
+        .collect();
+    let mut dims = tensor.dims().to_vec();
+
+    // Delta-debugging over the nonzero list: try dropping chunks of
+    // decreasing size until no single-entry removal keeps the failure.
+    let mut chunk = (entries.len() + 1) / 2;
+    while chunk >= 1 && entries.len() > 1 {
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < entries.len() && entries.len() > 1 {
+            let end = (start + chunk).min(entries.len());
+            let mut candidate = entries.clone();
+            candidate.drain(start..end);
+            if !candidate.is_empty() && fails(&from_entries(&dims, &candidate)) {
+                entries = candidate;
+                removed_any = true;
+                // Do not advance: the next chunk has shifted into place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk /= 2;
+        }
+    }
+
+    // Tighten dimensions to the smallest box covering the survivors,
+    // as long as the failure persists on the shrunk shape.
+    let mut tight = vec![1usize; dims.len()];
+    for (c, _) in &entries {
+        for (m, &i) in c.iter().enumerate() {
+            tight[m] = tight[m].max(i as usize + 1);
+        }
+    }
+    if tight != dims && fails(&from_entries(&tight, &entries)) {
+        dims = tight;
+    }
+    from_entries(&dims, &entries)
+}
+
+/// Render a tensor as a pasteable reproducer for failure messages.
+pub fn describe(t: &CooTensor) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("dims {:?}, {} nnz:", t.dims(), t.nnz());
+    for n in 0..t.nnz().min(64) {
+        let _ = write!(s, "\n  push(&{:?}, {:.17e})", t.coord(n), t.values()[n]);
+    }
+    if t.nnz() > 64 {
+        let _ = write!(s, "\n  ... {} more", t.nnz() - 64);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_with(entries: &[(&[Idx], f64)], dims: &[usize]) -> CooTensor {
+        let list: Vec<(Vec<Idx>, f64)> = entries.iter().map(|(c, v)| (c.to_vec(), *v)).collect();
+        from_entries(dims, &list)
+    }
+
+    #[test]
+    fn shrinks_to_single_culprit() {
+        // Failure: "contains a value > 10". One entry is the culprit.
+        let t = crate::gen::tensor(&[12, 9, 7], 300, 5);
+        let mut spiked = tensor_with(&[], t.dims());
+        for n in 0..t.nnz() {
+            spiked.push(&t.coord(n), t.values()[n]).unwrap();
+        }
+        spiked.push(&[3, 4, 5], 99.0).unwrap();
+        let minimal = shrink_tensor(&spiked, |x| x.values().iter().any(|&v| v > 10.0));
+        assert_eq!(minimal.nnz(), 1);
+        assert_eq!(minimal.values()[0], 99.0);
+        // Dims tightened around the culprit coordinate.
+        assert_eq!(minimal.dims(), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn keeps_entries_the_failure_needs() {
+        // Failure needs at least 3 nonzeros.
+        let t = crate::gen::tensor(&[6, 6], 40, 9);
+        let minimal = shrink_tensor(&t, |x| x.nnz() >= 3);
+        assert_eq!(minimal.nnz(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "passing input")]
+    fn rejects_passing_input() {
+        let t = crate::gen::tensor(&[4, 4], 10, 1);
+        shrink_tensor(&t, |_| false);
+    }
+
+    #[test]
+    fn describe_is_pasteable() {
+        let t = tensor_with(&[(&[1, 2], 0.5)], &[3, 3]);
+        let s = describe(&t);
+        assert!(s.contains("dims [3, 3]"));
+        assert!(s.contains("push(&[1, 2]"));
+    }
+}

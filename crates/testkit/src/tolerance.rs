@@ -1,0 +1,151 @@
+//! Comparison helpers and the workspace tolerance policy.
+//!
+//! Two classes of disagreement are distinguished:
+//!
+//! * **Reassociation error** — optimized kernels sum the same products
+//!   in a different order than the oracle (parallel chunking, CSF fiber
+//!   grouping). The discrepancy grows with the number of accumulated
+//!   terms but stays within a few hundred ULPs for test-sized inputs;
+//!   kernel conformance uses [`KERNEL_RTOL`]/[`KERNEL_ATOL`].
+//! * **Iterative truncation** — ADMM converges to a fixed point it never
+//!   reaches exactly; solver conformance uses [`SOLVER_RTOL`], matched
+//!   to the inner tolerance the tests configure.
+//!
+//! Bit-exactness (`max_abs_diff == 0.0` or ULP distance 0) is asserted
+//! only where the code promises it: plan reuse, checkpoint/model-IO
+//! round-trips, and seeded determinism.
+
+use splinalg::DMat;
+
+/// Elementwise tolerance for kernel-vs-oracle comparisons (same
+/// arithmetic, different association order).
+pub const KERNEL_RTOL: f64 = 1e-9;
+/// Absolute floor for kernel comparisons (entries that are exactly zero
+/// on one side).
+pub const KERNEL_ATOL: f64 = 1e-11;
+/// Tolerance for iterative-solver fixed-point comparisons.
+pub const SOLVER_RTOL: f64 = 1e-4;
+
+/// ULP distance between two doubles (number of representable values
+/// between them). `u64::MAX` for NaN or differing signs.
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0; // covers +0.0 vs -0.0
+    }
+    if a.is_nan() || b.is_nan() || (a < 0.0) != (b < 0.0) {
+        return u64::MAX;
+    }
+    let (x, y) = (a.abs().to_bits(), b.abs().to_bits());
+    x.abs_diff(y)
+}
+
+/// Worst-case disagreement between two same-shape matrices.
+#[derive(Debug, Clone, Copy)]
+pub struct MatDiff {
+    /// Largest absolute difference.
+    pub max_abs: f64,
+    /// Largest relative difference `|a-b| / max(|a|, |b|)` over entries
+    /// where either side is nonzero.
+    pub max_rel: f64,
+    /// Largest ULP distance.
+    pub max_ulp: u64,
+    /// Flat index of the worst (by absolute difference) entry.
+    pub argmax: usize,
+}
+
+/// Compute the worst-case disagreement between `a` and `b` (shapes must
+/// match).
+pub fn mat_diff(a: &DMat, b: &DMat) -> MatDiff {
+    assert_eq!(a.nrows(), b.nrows(), "row mismatch");
+    assert_eq!(a.ncols(), b.ncols(), "col mismatch");
+    let mut d = MatDiff {
+        max_abs: 0.0,
+        max_rel: 0.0,
+        max_ulp: 0,
+        argmax: 0,
+    };
+    for (i, (&x, &y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        let abs = (x - y).abs();
+        if abs > d.max_abs || abs.is_nan() {
+            d.max_abs = abs;
+            d.argmax = i;
+        }
+        let scale = x.abs().max(y.abs());
+        if scale > 0.0 {
+            d.max_rel = d.max_rel.max(abs / scale);
+        }
+        d.max_ulp = d.max_ulp.max(ulp_diff(x, y));
+    }
+    d
+}
+
+/// Whether every entry pair satisfies `|a-b| <= atol + rtol*max(|a|,|b|)`.
+pub fn mats_close(a: &DMat, b: &DMat, rtol: f64, atol: f64) -> bool {
+    a.as_slice().iter().zip(b.as_slice()).all(|(&x, &y)| {
+        let diff = (x - y).abs();
+        diff <= atol + rtol * x.abs().max(y.abs()) && !diff.is_nan()
+    })
+}
+
+/// Assert closeness with a diagnostic naming the worst entry; `label`
+/// should identify the kernel, configuration and seed so the failure is
+/// reproducible from the message alone.
+pub fn assert_mats_close(label: &str, got: &DMat, want: &DMat, rtol: f64, atol: f64) {
+    if !mats_close(got, want, rtol, atol) {
+        let d = mat_diff(got, want);
+        let (r, c) = (
+            d.argmax / want.ncols().max(1),
+            d.argmax % want.ncols().max(1),
+        );
+        panic!(
+            "{label}: max_abs={:.3e} max_rel={:.3e} max_ulp={} at ({r},{c}): got {:.17e}, oracle {:.17e}",
+            d.max_abs,
+            d.max_rel,
+            d.max_ulp,
+            got.as_slice()[d.argmax],
+            want.as_slice()[d.argmax],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_identities() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(0.0, -0.0), 0);
+        assert_eq!(ulp_diff(1.0, 1.0 + f64::EPSILON), 1);
+        assert_eq!(ulp_diff(1.0, -1.0), u64::MAX);
+        assert_eq!(ulp_diff(f64::NAN, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn mat_diff_finds_worst_entry() {
+        let a = DMat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = DMat::from_vec(2, 2, vec![1.0, 2.5, 3.0, 4.0]).unwrap();
+        let d = mat_diff(&a, &b);
+        assert_eq!(d.argmax, 1);
+        assert!((d.max_abs - 0.5).abs() < 1e-15);
+        assert!((d.max_rel - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn close_and_not_close() {
+        let a = DMat::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let mut b = a.clone();
+        assert!(mats_close(&a, &b, 0.0, 0.0));
+        b.set(0, 0, 1.0 + 1e-10);
+        assert!(mats_close(&a, &b, 1e-9, 0.0));
+        assert!(!mats_close(&a, &b, 1e-12, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "demo-kernel")]
+    fn assert_close_panics_with_label() {
+        let a = DMat::from_vec(1, 1, vec![1.0]).unwrap();
+        let b = DMat::from_vec(1, 1, vec![2.0]).unwrap();
+        assert_mats_close("demo-kernel seed=1", &a, &b, 1e-9, 0.0);
+    }
+}

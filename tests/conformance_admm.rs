@@ -1,0 +1,258 @@
+//! Differential conformance: the ADMM solver layer against closed-form
+//! and full-enumeration oracles.
+//!
+//! * Unconstrained `admm_update` must converge to the row-wise normal
+//!   equations solution `G h = k` (computed by the testkit Cholesky
+//!   oracle) under both the blocked and fused strategies.
+//! * Non-negative updates are checked against the KKT conditions of the
+//!   constrained quadratic program rather than another iterative solver.
+//! * Blocked and fused must agree with each other at tight inner
+//!   tolerance from identical warm starts.
+//! * The driver's SPLATT-trick `final_error` is pinned to a
+//!   full-enumeration residual over every cell of a small cube.
+//! * Every built-in proximity operator is pinned to its scalar oracle.
+
+use admm::{admm_update, constraints, AdmmConfig, AdmmStrategy, Prox};
+use splinalg::DMat;
+use testkit::tolerance::SOLVER_RTOL;
+use testkit::{assert_mats_close, gen, oracle, TestRng};
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+/// A well-conditioned Gram matrix and matching MTTKRP-like right-hand
+/// side, plus warm-start primal/dual iterates.
+fn admm_problem(rows: usize, rank: usize, seed: u64) -> (DMat, DMat, DMat, DMat) {
+    let b = gen::factors(&[rows + rank], rank, 0.2, 1.2, seed)
+        .pop()
+        .unwrap();
+    let mut g = oracle::gram(&b);
+    g.add_diag(0.05); // keep the conditioning mild so fixed points are sharp
+    let mut rng = TestRng::new(seed ^ 0xA5A5);
+    let mut k = DMat::zeros(rows, rank);
+    for v in k.as_mut_slice() {
+        *v = rng.uniform(-2.0, 2.0);
+    }
+    let h = DMat::zeros(rows, rank);
+    let u = DMat::zeros(rows, rank);
+    (g, k, h, u)
+}
+
+/// Tight inner settings so the iterate is numerically at the fixed point.
+fn tight(strategy: AdmmStrategy, block_size: usize) -> AdmmConfig {
+    AdmmConfig {
+        tol: 1e-14,
+        max_inner: 5_000,
+        block_size,
+        strategy,
+        ..AdmmConfig::default()
+    }
+}
+
+#[test]
+fn unconstrained_update_converges_to_normal_equations_solution() {
+    let (g, k, h0, u0) = admm_problem(23, 4, 701);
+    let want = oracle::least_squares_rows(&g, &k).expect("G is SPD");
+    let prox = constraints::unconstrained();
+    for strategy in [AdmmStrategy::Blocked, AdmmStrategy::Fused] {
+        for threads in [1usize, 4] {
+            let (mut h, mut u) = (h0.clone(), u0.clone());
+            let cfg = tight(strategy, 7);
+            let stats = pool(threads)
+                .install(|| admm_update(&g, &k, &mut h, &mut u, &*prox, &cfg))
+                .unwrap();
+            assert!(
+                stats.iterations > 0,
+                "{strategy:?} at {threads} threads did no work"
+            );
+            assert_mats_close(
+                &format!(
+                    "unconstrained admm ({strategy:?}, {threads} threads) vs least-squares oracle"
+                ),
+                &h,
+                &want,
+                SOLVER_RTOL,
+                1e-7,
+            );
+        }
+    }
+}
+
+#[test]
+fn nonneg_update_satisfies_kkt_conditions() {
+    let (g, k, h0, u0) = admm_problem(30, 5, 711);
+    let prox = constraints::nonneg();
+    for strategy in [AdmmStrategy::Blocked, AdmmStrategy::Fused] {
+        let (mut h, mut u) = (h0.clone(), u0.clone());
+        admm_update(&g, &k, &mut h, &mut u, &*prox, &tight(strategy, 6)).unwrap();
+
+        // Feasibility is guaranteed by construction (H is a prox output).
+        assert!(
+            h.as_slice().iter().all(|&x| x >= 0.0),
+            "{strategy:?}: H not feasible"
+        );
+
+        // KKT for min_H 0.5 tr(H G H^T) - tr(H K^T) s.t. H >= 0, with
+        // gradient HG - K: active entries need gradient ~ 0, entries at
+        // the bound need gradient >= 0 (no descent into the orthant).
+        let grad = h.matmul(&g).unwrap();
+        let scale = k.as_slice().iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        let eps = 1e-3 * scale.max(1.0);
+        for (i, (&hv, (&gv, &kv))) in h
+            .as_slice()
+            .iter()
+            .zip(grad.as_slice().iter().zip(k.as_slice()))
+            .enumerate()
+        {
+            let g_i = gv - kv;
+            if hv > 1e-7 {
+                assert!(
+                    g_i.abs() <= eps,
+                    "{strategy:?}: interior entry {i} (h={hv:.3e}) has gradient {g_i:.3e} > {eps:.1e}"
+                );
+            } else {
+                assert!(
+                    g_i >= -eps,
+                    "{strategy:?}: boundary entry {i} has descent direction, gradient {g_i:.3e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_and_fused_agree_from_identical_warm_starts() {
+    for (pi, prox) in [constraints::nonneg(), constraints::lasso(0.2)]
+        .into_iter()
+        .enumerate()
+    {
+        let (g, k, h0, u0) = admm_problem(41, 4, 721 + pi as u64);
+        let (mut hb, mut ub) = (h0.clone(), u0.clone());
+        admm_update(
+            &g,
+            &k,
+            &mut hb,
+            &mut ub,
+            &*prox,
+            &tight(AdmmStrategy::Blocked, 9),
+        )
+        .unwrap();
+        let (mut hf, mut uf) = (h0.clone(), u0.clone());
+        admm_update(
+            &g,
+            &k,
+            &mut hf,
+            &mut uf,
+            &*prox,
+            &tight(AdmmStrategy::Fused, 9),
+        )
+        .unwrap();
+        assert_mats_close(
+            &format!("blocked vs fused fixed point, prox {}", prox.name()),
+            &hb,
+            &hf,
+            SOLVER_RTOL,
+            1e-7,
+        );
+    }
+}
+
+#[test]
+fn fast_final_error_matches_full_enumeration_oracle() {
+    // The driver computes the relative error with the SPLATT inner
+    // product trick; the oracle walks every cell of the dense cube.
+    let coo = gen::tensor(&[8, 7, 6], 150, 731);
+    for constrained in [false, true] {
+        let mut f = aoadmm::Factorizer::new(3).max_outer(8).seed(5);
+        if constrained {
+            f = f.constrain_all(constraints::nonneg());
+        }
+        let result = f.factorize(&coo).unwrap();
+        let want = oracle::relative_error(&coo, result.model.factors());
+        assert!(
+            (result.trace.final_error - want).abs() < 1e-8,
+            "constrained={constrained}: fast error {} vs enumerated {}",
+            result.trace.final_error,
+            want
+        );
+    }
+}
+
+#[test]
+fn every_builtin_prox_matches_its_scalar_oracle() {
+    for (name, prox) in gen::constraint_suite() {
+        for (ri, rho) in [0.5f64, 1.0, 3.7].into_iter().enumerate() {
+            let mut rng = TestRng::new(741 + ri as u64);
+            for trial in 0..25 {
+                let row: Vec<f64> = (0..6).map(|_| rng.uniform(-2.0, 2.0)).collect();
+                let mut got = row.clone();
+                prox.apply_row(&mut got, rho);
+                let want: Vec<f64> = match name {
+                    "unconstrained" => row.clone(),
+                    "nonneg" => row.iter().map(|&x| oracle::prox::nonneg(x)).collect(),
+                    "lasso(0.3)" => row
+                        .iter()
+                        .map(|&x| oracle::prox::soft_threshold(x, 0.3 / rho))
+                        .collect(),
+                    "nonneg_lasso(0.3)" => row
+                        .iter()
+                        .map(|&x| oracle::prox::nonneg_soft_threshold(x, 0.3 / rho))
+                        .collect(),
+                    "ridge(0.5)" => row
+                        .iter()
+                        .map(|&x| oracle::prox::ridge(x, 0.5, rho))
+                        .collect(),
+                    "boxed(-0.5,0.5)" => row
+                        .iter()
+                        .map(|&x| oracle::prox::clamp(x, -0.5, 0.5))
+                        .collect(),
+                    "simplex" => oracle::prox::simplex_project(&row),
+                    "max_row_norm(1.0)" => oracle::prox::max_row_norm(&row, 1.0),
+                    other => panic!("constraint_suite entry {other} has no oracle mapping"),
+                };
+                // Scalar operators must agree to rounding; the simplex
+                // oracle uses bisection instead of the solver's sort
+                // algorithm, so allow its convergence slack.
+                let tol = if name == "simplex" { 1e-9 } else { 1e-12 };
+                for (j, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                    assert!(
+                        (g - w).abs() <= tol,
+                        "{name} rho={rho} trial={trial} entry {j}: got {g:.17e}, oracle {w:.17e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hard_constraint_projections_are_idempotent() {
+    // Projections onto convex sets are idempotent; applying the prox to
+    // its own output must be a no-op (up to rounding for the simplex).
+    let hard: Vec<(&str, std::sync::Arc<dyn Prox>)> = vec![
+        ("nonneg", constraints::nonneg()),
+        ("boxed", constraints::boxed(-0.5, 0.5)),
+        ("simplex", constraints::simplex()),
+        ("max_row_norm", constraints::max_row_norm(1.0)),
+    ];
+    let mut rng = TestRng::new(751);
+    for (name, prox) in hard {
+        for _ in 0..10 {
+            let mut once: Vec<f64> = (0..5).map(|_| rng.uniform(-2.0, 2.0)).collect();
+            prox.apply_row(&mut once, 1.0);
+            let mut twice = once.clone();
+            prox.apply_row(&mut twice, 1.0);
+            for (a, b) in once.iter().zip(&twice) {
+                assert!((a - b).abs() <= 1e-12, "{name} projection not idempotent");
+            }
+            assert!(
+                prox.is_feasible_row(&once, 1e-9),
+                "{name} output infeasible"
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Differential conformance: the leaf-factor representations (DENSE /
+//! CSR / CSR-H) against the `testkit` oracle.
+//!
+//! The snapshots are built with `tol = 0.0`, so they drop only exact
+//! zeros and the oracle evaluated on the original dense factors is the
+//! ground truth for every representation. Sweeps leaf densities from
+//! nearly-empty to fully dense, every root mode, both forced plan
+//! strategies, and 1/4-thread pools, and checks the three
+//! representations against the oracle *and* each other.
+
+use aoadmm::mttkrp_sparse::{mttkrp_csr, mttkrp_hybrid, LeafRepr};
+use aoadmm::sparsity::{
+    choose_structure, prepare_leaf, SparsityConfig, Structure, StructureChoice,
+};
+use aoadmm::{MttkrpPlan, PlanOptions, PlanStrategy};
+use splinalg::{CsrMatrix, DMat, HybridMat};
+use sptensor::Csf;
+use testkit::tolerance::{KERNEL_ATOL, KERNEL_RTOL};
+use testkit::{assert_mats_close, gen, oracle};
+
+const DENSITIES: [f64; 4] = [0.02, 0.1, 0.5, 1.0];
+const STRUCTURES: [Structure; 3] = [Structure::Dense, Structure::Csr, Structure::Hybrid];
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+/// Factors where every mode is drawn at `density` (the leaf mode is the
+/// one whose representation is under test, but sparse factors everywhere
+/// exercise the dense gather paths too).
+fn sparse_factors(dims: &[usize], rank: usize, density: f64, seed: u64) -> Vec<DMat> {
+    dims.iter()
+        .enumerate()
+        .map(|(m, &d)| gen::sparse_factor(d, rank, density, seed + m as u64))
+        .collect()
+}
+
+#[test]
+fn every_leaf_representation_matches_oracle_across_densities() {
+    let coo = gen::skewed_tensor(&[16, 13, 11], 1_000, 2.0, 601);
+    for (di, &density) in DENSITIES.iter().enumerate() {
+        let factors = sparse_factors(coo.dims(), 4, density, 610 + di as u64);
+        for root in 0..coo.nmodes() {
+            let csf = Csf::from_coo_rooted(&coo, root).unwrap();
+            let leaf_mode = *csf.mode_order().last().unwrap();
+            let want = oracle::mttkrp(&coo, &factors, root);
+            for structure in STRUCTURES {
+                let leaf = LeafRepr::build(structure, &factors[leaf_mode], 0.0);
+                for strategy in [PlanStrategy::RootParallel, PlanStrategy::FiberPrivatized] {
+                    for threads in [1usize, 4] {
+                        let plan = MttkrpPlan::with_options(
+                            &csf,
+                            PlanOptions {
+                                threads: Some(threads),
+                                force_strategy: Some(strategy),
+                            },
+                        );
+                        let mut out = DMat::zeros(coo.dims()[root], 4);
+                        pool(threads)
+                            .install(|| leaf.mttkrp_planned(&csf, &plan, &factors, &mut out))
+                            .unwrap();
+                        assert_mats_close(
+                            &format!(
+                                "{} leaf, density {density}, root {root}, {}, {threads} threads",
+                                leaf.name(),
+                                strategy.name()
+                            ),
+                            &out,
+                            &want,
+                            KERNEL_RTOL,
+                            KERNEL_ATOL,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn representations_agree_with_each_other_on_identical_plans() {
+    // Same plan, same pool: DENSE / CSR / CSR-H read the same leaf
+    // values through different layouts, so agreement must be tight.
+    let coo = gen::tensor(&[20, 9, 15], 800, 621);
+    let factors = sparse_factors(coo.dims(), 5, 0.3, 622);
+    let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+    let leaf_mode = *csf.mode_order().last().unwrap();
+    let plan = MttkrpPlan::build(&csf);
+    let mut results = Vec::new();
+    for structure in STRUCTURES {
+        let leaf = LeafRepr::build(structure, &factors[leaf_mode], 0.0);
+        let mut out = DMat::zeros(coo.dims()[0], 5);
+        leaf.mttkrp_planned(&csf, &plan, &factors, &mut out)
+            .unwrap();
+        results.push((leaf.name(), out));
+    }
+    for (name, out) in &results[1..] {
+        assert_mats_close(
+            &format!("{name} vs DENSE on identical plan"),
+            out,
+            &results[0].1,
+            KERNEL_RTOL,
+            KERNEL_ATOL,
+        );
+    }
+}
+
+#[test]
+fn free_function_wrappers_match_oracle() {
+    let coo = gen::tensor(&[12, 10, 8], 500, 631);
+    let factors = sparse_factors(coo.dims(), 3, 0.15, 632);
+    let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+    let leaf_mode = *csf.mode_order().last().unwrap();
+    let want = oracle::mttkrp(&coo, &factors, 0);
+
+    let csr = CsrMatrix::from_dense(&factors[leaf_mode], 0.0);
+    let mut out_csr = DMat::zeros(coo.dims()[0], 3);
+    mttkrp_csr(&csf, &factors, &csr, &mut out_csr).unwrap();
+    assert_mats_close("mttkrp_csr", &out_csr, &want, KERNEL_RTOL, KERNEL_ATOL);
+
+    let hyb = HybridMat::from_dense(&factors[leaf_mode], 0.0);
+    let mut out_hyb = DMat::zeros(coo.dims()[0], 3);
+    mttkrp_hybrid(&csf, &factors, &hyb, &mut out_hyb).unwrap();
+    assert_mats_close("mttkrp_hybrid", &out_hyb, &want, KERNEL_RTOL, KERNEL_ATOL);
+}
+
+#[test]
+fn snapshot_density_reflects_the_factor() {
+    // The stored density of a tol=0 snapshot equals the factor's true
+    // nonzero density for CSR; Dense always reports 1.0 and Hybrid
+    // (whole dense columns plus CSR spill) lies in between.
+    let f = gen::sparse_factor(40, 6, 0.2, 641);
+    let true_density = f.density(0.0);
+    let csr = LeafRepr::build(Structure::Csr, &f, 0.0);
+    assert!((csr.stored_density() - true_density).abs() < 1e-12);
+    let dense = LeafRepr::build(Structure::Dense, &f, 0.0);
+    assert_eq!(dense.stored_density(), 1.0);
+    let hybrid = LeafRepr::build(Structure::Hybrid, &f, 0.0);
+    assert!(hybrid.stored_density() >= true_density - 1e-12);
+    assert!(hybrid.stored_density() <= 1.0);
+}
+
+#[test]
+fn structure_selection_respects_the_density_threshold() {
+    let cfg = SparsityConfig {
+        enabled: true,
+        choice: StructureChoice::Auto,
+        density_threshold: 0.2,
+        zero_tol: 0.0,
+    };
+    // Above the threshold the snapshot must stay dense regardless of
+    // what the chooser would say.
+    let dense_factor = gen::factors(&[50], 6, 0.1, 1.0, 651).pop().unwrap();
+    let (_, decision) = prepare_leaf(&dense_factor, true, &cfg);
+    assert_eq!(decision.structure, Structure::Dense);
+    assert!(decision.density >= cfg.density_threshold);
+    // Below it, the Auto chooser picks a compressed structure.
+    let sparse = gen::sparse_factor(50, 6, 0.05, 652);
+    let (_, decision) = prepare_leaf(&sparse, true, &cfg);
+    assert_ne!(decision.structure, Structure::Dense);
+    assert_eq!(
+        decision.structure,
+        choose_structure(50, 6, decision.density)
+    );
+    // A constraint that cannot zero entries short-circuits to Dense.
+    let (_, decision) = prepare_leaf(&sparse, false, &cfg);
+    assert_eq!(decision.structure, Structure::Dense);
+}
