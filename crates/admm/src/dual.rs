@@ -1,0 +1,120 @@
+//! Scaled-dual-variable state persisted across ADMM calls.
+//!
+//! The inner ADMM ([`crate::admm_update`]) takes its dual matrix by
+//! `&mut` and converges in very few iterations when the duals carry over
+//! from the previous outer iteration — that is the warm start the paper's
+//! framework relies on. A streaming deployment needs the same state to
+//! survive *across factorization calls* (one bounded refit per ingested
+//! batch) and to grow rows when new users/items appear; [`DualState`]
+//! owns that lifecycle.
+
+use splinalg::DMat;
+
+/// ADMM scaled dual variables for every mode, persisted across
+/// warm-started factorization calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualState {
+    mats: Vec<DMat>,
+}
+
+impl DualState {
+    /// Zero duals matching `factors` shape-for-shape — the correct cold
+    /// start.
+    pub fn zeros_like(factors: &[DMat]) -> Self {
+        DualState {
+            mats: factors
+                .iter()
+                .map(|f| DMat::zeros(f.nrows(), f.ncols()))
+                .collect(),
+        }
+    }
+
+    /// Wrap existing dual matrices (e.g. from a
+    /// checkpoint or a `FactorizeResult`).
+    pub fn from_mats(mats: Vec<DMat>) -> Self {
+        DualState { mats }
+    }
+
+    /// The per-mode dual matrices.
+    pub fn mats(&self) -> &[DMat] {
+        &self.mats
+    }
+
+    /// Unwrap into the per-mode dual matrices.
+    pub fn into_mats(self) -> Vec<DMat> {
+        self.mats
+    }
+
+    /// Append `extra` zero rows to mode `m`'s duals (mode growth: a new
+    /// entity starts with no constraint-violation history).
+    pub fn grow_mode(&mut self, mode: usize, extra: usize) {
+        self.mats[mode].append_zero_rows(extra);
+    }
+
+    /// Whether the duals match `factors` shape-for-shape (the warm-start
+    /// precondition).
+    pub fn matches(&self, factors: &[DMat]) -> bool {
+        self.mats.len() == factors.len()
+            && self
+                .mats
+                .iter()
+                .zip(factors)
+                .all(|(u, f)| u.nrows() == f.nrows() && u.ncols() == f.ncols())
+    }
+
+    /// Reset every dual to zero (cold-restart the constraint state while
+    /// keeping the factors — e.g. after a drastic decay step).
+    pub fn reset(&mut self) {
+        for m in &mut self.mats {
+            m.fill(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_like_matches_shapes() {
+        let factors = vec![DMat::zeros(4, 2), DMat::zeros(3, 2)];
+        let d = DualState::zeros_like(&factors);
+        assert!(d.matches(&factors));
+        assert!(d
+            .mats()
+            .iter()
+            .all(|m| m.as_slice().iter().all(|&x| x == 0.0)));
+    }
+
+    #[test]
+    fn grow_mode_keeps_existing_rows() {
+        let mut m0 = DMat::zeros(2, 3);
+        m0.set(1, 2, 5.0);
+        let mut d = DualState::from_mats(vec![m0]);
+        d.grow_mode(0, 2);
+        assert_eq!(d.mats()[0].nrows(), 4);
+        assert_eq!(d.mats()[0].get(1, 2), 5.0);
+        assert_eq!(d.mats()[0].row(3), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn matches_detects_mismatch() {
+        let factors = vec![DMat::zeros(4, 2)];
+        let mut d = DualState::zeros_like(&factors);
+        assert!(d.matches(&factors));
+        d.grow_mode(0, 1);
+        assert!(!d.matches(&factors));
+        assert!(!DualState::from_mats(vec![]).matches(&factors));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut m = DMat::zeros(2, 2);
+        m.fill(3.0);
+        let mut d = DualState::from_mats(vec![m]);
+        d.reset();
+        assert!(d.mats()[0].as_slice().iter().all(|&x| x == 0.0));
+        let back = d.into_mats();
+        assert_eq!(back.len(), 1);
+    }
+}

@@ -24,10 +24,12 @@
 
 pub mod blocked;
 pub mod config;
+pub mod dual;
 pub mod fused;
 pub mod prox;
 pub mod solver;
 
 pub use config::{AdaptiveRho, AdmmConfig, AdmmStrategy};
+pub use dual::DualState;
 pub use prox::{constraints, Prox};
 pub use solver::{admm_update, AdmmStats};

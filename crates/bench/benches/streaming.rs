@@ -1,0 +1,143 @@
+//! Criterion benchmarks for the streaming subsystem: what incremental
+//! maintenance buys per batch.
+//!
+//! Two questions, each answered by a direct pair of measurements:
+//!
+//! * `stream_mttkrp` — serving MTTKRP from the compiled base plus an
+//!   uncompiled delta ([`DeltaView`]) versus merging first and running
+//!   the compiled kernel on the result (which pays the CSF+plan rebuild
+//!   every time the tensor changes).
+//! * `stream_refit` — a bounded warm-started refit (persisted factors,
+//!   duals and Gram caches, prepared tensor reused) versus cold
+//!   refactorization of the merged tensor (random init, CSF rebuilt
+//!   inside). Both run the same fixed number of outer iterations.
+
+use aoadmm::{
+    factorize, factorize_prepared, init_factors, CsfPolicy, Factorizer, KruskalModel,
+    PreparedTensor, TensorSource,
+};
+use aoadmm_stream::{DeltaBuffer, DeltaView, StreamOp};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use splinalg::DMat;
+use sptensor::{gen, Idx};
+
+const DIMS: [usize; 3] = [300, 250, 200];
+const BASE_NNZ: usize = 60_000;
+const RANK: usize = 16;
+
+/// A buffer holding the generated base plus `delta_nnz` random appends.
+fn buffer_with_delta(delta_nnz: usize) -> DeltaBuffer {
+    let base = gen::random_uniform(&DIMS, BASE_NNZ, 7).unwrap();
+    let mut buf = DeltaBuffer::new(base).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let ops: Vec<StreamOp> = (0..delta_nnz)
+        .map(|_| StreamOp::Add {
+            coord: DIMS.iter().map(|&d| rng.gen_range(0..d) as Idx).collect(),
+            val: rng.gen_range(0.1..1.0),
+        })
+        .collect();
+    buf.ingest(&ops).unwrap();
+    buf
+}
+
+fn bench_stream_mttkrp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_mttkrp");
+    group.sample_size(10);
+    let cfg = Factorizer::new(RANK);
+    let factors: Vec<DMat> = {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        DIMS.iter()
+            .map(|&d| DMat::random(d, RANK, 0.0, 1.0, &mut rng))
+            .collect()
+    };
+
+    for pct in [1usize, 5, 20] {
+        let buf = buffer_with_delta(BASE_NNZ * pct / 100);
+        let prepared = PreparedTensor::build(buf.base_coo(), CsfPolicy::PerMode).unwrap();
+
+        group.bench_with_input(
+            BenchmarkId::new("csf_plus_delta", format!("{pct}pct")),
+            &pct,
+            |b, _| {
+                let view = DeltaView::new(&prepared, &buf);
+                let mut out = DMat::zeros(DIMS[0], RANK);
+                b.iter(|| view.mttkrp(0, &factors, &cfg, &mut out).unwrap());
+            },
+        );
+        // The honest alternative per serving step: merge, recompile, run.
+        group.bench_with_input(
+            BenchmarkId::new("merge_then_compiled", format!("{pct}pct")),
+            &pct,
+            |b, _| {
+                let mut out = DMat::zeros(DIMS[0], RANK);
+                b.iter(|| {
+                    let merged = buf.merged_coo();
+                    let p = PreparedTensor::build(&merged, CsfPolicy::PerMode).unwrap();
+                    p.mttkrp(0, &factors, &cfg, &mut out).unwrap()
+                });
+            },
+        );
+        // Steady-state floor: the already-compiled merged tensor.
+        let merged = buf.merged_coo();
+        let merged_prepared = PreparedTensor::build(&merged, CsfPolicy::PerMode).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("post_merge_compiled", format!("{pct}pct")),
+            &pct,
+            |b, _| {
+                let mut out = DMat::zeros(DIMS[0], RANK);
+                b.iter(|| merged_prepared.mttkrp(0, &factors, &cfg, &mut out).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stream_refit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_refit");
+    group.sample_size(10);
+
+    let buf = buffer_with_delta(BASE_NNZ / 20);
+    let prepared = PreparedTensor::build(buf.base_coo(), CsfPolicy::PerMode).unwrap();
+    let merged = buf.merged_coo();
+
+    // Fixed five outer iterations on both sides (negative tolerance
+    // disables early stopping) so the comparison is setup + warm-start
+    // quality, not stopping-rule luck.
+    let cfg = Factorizer::new(RANK).seed(2).max_outer(5).tolerance(-1.0);
+
+    // Warm-start state from a converged-ish fit of the base.
+    let full = factorize_prepared(
+        &prepared,
+        &Factorizer::new(RANK).seed(2).max_outer(30),
+        KruskalModel::new(init_factors(buf.dims(), RANK, 2, buf.base_coo().norm_sq())),
+        None,
+        None,
+    )
+    .unwrap();
+    let factors = full.model.into_factors();
+    let (duals, grams) = (full.duals, full.grams);
+
+    group.bench_function("warm_refit_csf_delta", |b| {
+        let view = DeltaView::new(&prepared, &buf);
+        b.iter_batched(
+            || {
+                (
+                    KruskalModel::new(factors.clone()),
+                    duals.clone(),
+                    grams.clone(),
+                )
+            },
+            |(m, d, g)| factorize_prepared(&view, &cfg, m, Some(d), Some(g)).unwrap(),
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("cold_refactorize_merged", |b| {
+        b.iter(|| factorize(&merged, &cfg).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_mttkrp, bench_stream_refit);
+criterion_main!(benches);

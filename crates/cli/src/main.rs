@@ -9,6 +9,8 @@
 //!   shape) in `.tns` format.
 //! * `stats` — print summary statistics of a `.tns` tensor.
 //! * `als` — the unconstrained CP-ALS baseline.
+//! * `stream` — replay a `.tns` tensor as timed update batches through
+//!   the streaming subsystem, reporting per-batch refit latency and fit.
 //!
 //! Run `aoadmm help` for full usage.
 
@@ -32,6 +34,7 @@ USAGE:
   aoadmm generate  (--analog reddit|nell|amazon|patents | --dims I,J,K --nnz N)
                    --output X.tns [--scale F] [--seed S]
   aoadmm stats     --input X.tns
+  aoadmm stream    --input X.tns --rank R [options]
   aoadmm help
 
 factorize options:
@@ -51,6 +54,19 @@ factorize options:
   --trace FILE             save per-iteration CSV (iter,seconds,rel_error)
   --checkpoint FILE        save resumable state (factors + duals) at the end
   --resume FILE            start from a previously saved checkpoint
+
+stream options (replays the tensor's nonzeros as update batches):
+  --batches N              update batches after the base (default 10)
+  --base-frac F            fraction of nonzeros forming the base (default 0.5)
+  --refit-outer K          outer iterations per warm refit (default 10)
+  --refit-tol T            refit early-stopping tolerance (default: --tol)
+  --decay G                exponential decay of old values per batch, in (0,1]
+  --merge-frac F           merge when delta exceeds F * base nnz (default 0.2)
+  --min-merge N            never merge below N delta entries (default 1024)
+  --background-merge       rebuild CSF on a background thread
+  --compare-cold           also cold-refactorize after every batch and report
+                           the warm-vs-cold iteration and latency totals
+  (--constraint, --max-outer, --tol, --seed, --threads as for factorize)
 
 constraint SPECs:
   none | nonneg | l1:LAMBDA | nonneg-l1:LAMBDA | ridge:LAMBDA |
@@ -79,6 +95,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "als" => als(&args),
         "generate" => generate(&args),
         "stats" => stats(&args),
+        "stream" => stream(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -266,6 +283,124 @@ fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn stream(args: &Args) -> Result<(), String> {
+    setup_threads(args)?;
+    let tensor = load_input(args)?;
+    let rank: usize = args.require_parsed("rank")?;
+    let max_outer = args.get("max-outer", 200)?;
+    let tol = args.get("tol", 1e-6)?;
+
+    let global = parse_constraint(args.get_str("constraint").as_deref().unwrap_or("nonneg"))?;
+    let fz = Factorizer::new(rank)
+        .constrain_all(global)
+        .max_outer(max_outer)
+        .tolerance(tol)
+        .seed(args.get("seed", 0)?);
+
+    let replay = aoadmm_stream::ReplayConfig {
+        batches: args.get("batches", 10)?,
+        base_fraction: args.get("base-frac", 0.5)?,
+    };
+    let (base, batches) =
+        aoadmm_stream::replay_batches(&tensor, &replay).map_err(|e| e.to_string())?;
+    eprintln!(
+        "replaying {} nonzeros: base {} + {} batches",
+        tensor.nnz(),
+        base.nnz(),
+        batches.len()
+    );
+
+    let policy = aoadmm_stream::MergePolicy {
+        max_delta_fraction: args.get("merge-frac", 0.2)?,
+        min_delta_nnz: args.get("min-merge", 1024)?,
+        rebuild: if args.has("background-merge") {
+            aoadmm_stream::RebuildMode::Background
+        } else {
+            aoadmm_stream::RebuildMode::Synchronous
+        },
+    };
+    let mut scfg = aoadmm_stream::StreamingConfig::new(fz.clone())
+        .refit_outer(args.get("refit-outer", 10)?)
+        .refit_tol(args.get("refit-tol", tol)?)
+        .policy(policy);
+    if let Some(g) = args.get_opt::<f64>("decay")? {
+        scfg = scfg.decay(g);
+    }
+
+    let compare_cold = args.has("compare-cold");
+    let mut sf = aoadmm_stream::StreamingFactorizer::new(base, scfg).map_err(|e| e.to_string())?;
+    let r0 = &sf.records()[0];
+    println!(
+        "batch   0: base fit           nnz={:<8} iters={:<3} rel_error={:.6} build={:>7.1?} fit={:>7.1?}",
+        r0.total_nnz, r0.outer_iterations, r0.rel_error, r0.ingest, r0.refit
+    );
+    let mut warm_iters = r0.outer_iterations;
+    let (mut cold_iters, mut cold_secs, mut cold_final) = (0usize, 0.0f64, f64::NAN);
+    if compare_cold {
+        let res = fz
+            .factorize(sf.buffer().base_coo())
+            .map_err(|e| e.to_string())?;
+        cold_iters += res.trace.outer_iterations();
+        cold_secs += res.trace.total.as_secs_f64();
+        cold_final = res.trace.final_error;
+    }
+
+    for ops in &batches {
+        let rec = sf.push_batch(ops).map_err(|e| e.to_string())?;
+        println!(
+            "batch {:>3}: +{:<5} ~{:<5} grown={:?} delta={:<7} nnz={:<8} merged={} iters={:<3} rel_error={:.6} ingest={:>7.1?} refit={:>7.1?}",
+            rec.batch,
+            rec.appended,
+            rec.updated,
+            rec.grown_rows,
+            rec.delta_nnz,
+            rec.total_nnz,
+            if rec.merged { "y" } else { "n" },
+            rec.outer_iterations,
+            rec.rel_error,
+            rec.ingest,
+            rec.refit
+        );
+        warm_iters += rec.outer_iterations;
+        if compare_cold {
+            let merged = sf.current_coo();
+            let res = fz.factorize(&merged).map_err(|e| e.to_string())?;
+            cold_iters += res.trace.outer_iterations();
+            cold_secs += res.trace.total.as_secs_f64();
+            cold_final = res.trace.final_error;
+        }
+    }
+    sf.flush().map_err(|e| e.to_string())?;
+
+    let warm_secs: f64 = sf
+        .records()
+        .iter()
+        .map(|r| r.batch_time().as_secs_f64())
+        .sum();
+    println!(
+        "stream done: {} batches, {} total outer iterations, {:.2}s total, final rel_error {:.6}",
+        sf.records().len() - 1,
+        warm_iters,
+        warm_secs,
+        sf.rel_error()
+    );
+    if compare_cold {
+        println!(
+            "cold baseline: {cold_iters} total outer iterations, {cold_secs:.2}s total, final rel_error {cold_final:.6}"
+        );
+        println!(
+            "warm-start advantage: {:.1}x fewer outer iterations",
+            cold_iters as f64 / warm_iters.max(1) as f64
+        );
+    }
+
+    if let Some(path) = args.get_str("output") {
+        model_io::save_model(&sf.model(), &path).map_err(|e| e.to_string())?;
+        println!("model written to {path}");
+    }
+    Ok(())
+}
+
 fn stats(args: &Args) -> Result<(), String> {
     let tensor = load_input(args)?;
     print!("{}", TensorStats::compute(&tensor).summary());
@@ -395,6 +530,74 @@ mod tests {
         let _ = std::fs::remove_file(tns);
         let _ = std::fs::remove_file(model);
         let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn end_to_end_stream() {
+        let dir = std::env::temp_dir();
+        let tns = dir.join("aoadmm_cli_stream.tns");
+        let model = dir.join("aoadmm_cli_stream.model");
+        let s = |x: &str| x.to_string();
+
+        run(&[
+            s("generate"),
+            s("--dims"),
+            s("25,20,15"),
+            s("--nnz"),
+            s("600"),
+            s("--output"),
+            s(tns.to_str().unwrap()),
+        ])
+        .unwrap();
+
+        run(&[
+            s("stream"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("3"),
+            s("--batches"),
+            s("4"),
+            s("--base-frac"),
+            s("0.6"),
+            s("--max-outer"),
+            s("8"),
+            s("--refit-outer"),
+            s("3"),
+            s("--min-merge"),
+            s("50"),
+            s("--compare-cold"),
+            s("--output"),
+            s(model.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(model.exists());
+        let m = model_io::load_model(&model).unwrap();
+        assert_eq!(m.rank(), 3);
+
+        // Background merges and decay through the CLI surface.
+        run(&[
+            s("stream"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("3"),
+            s("--batches"),
+            s("3"),
+            s("--max-outer"),
+            s("6"),
+            s("--refit-outer"),
+            s("2"),
+            s("--decay"),
+            s("0.95"),
+            s("--min-merge"),
+            s("50"),
+            s("--background-merge"),
+        ])
+        .unwrap();
+
+        let _ = std::fs::remove_file(tns);
+        let _ = std::fs::remove_file(model);
     }
 
     #[test]

@@ -155,8 +155,10 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
         .iter()
         .map(|f| DMat::zeros(f.nrows(), f.ncols()))
         .collect();
+    let grams: Vec<DMat> = factors.iter().map(|f| f.gram()).collect();
     Ok(FactorizeResult {
         duals,
+        grams,
         model: KruskalModel::new(factors),
         trace: FactorizeTrace {
             iterations,

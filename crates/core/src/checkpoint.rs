@@ -81,15 +81,19 @@ impl Checkpoint {
 
     /// Save to a file.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), AoAdmmError> {
-        let f = std::fs::File::create(path)
-            .map_err(|e| AoAdmmError::Config(format!("checkpoint I/O error: {e}")))?;
+        let path = path.as_ref();
+        let f = std::fs::File::create(path).map_err(|e| {
+            AoAdmmError::Config(format!("checkpoint I/O error at {}: {e}", path.display()))
+        })?;
         self.write(std::io::BufWriter::new(f))
     }
 
     /// Load from a file.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, AoAdmmError> {
-        let f = std::fs::File::open(path)
-            .map_err(|e| AoAdmmError::Config(format!("checkpoint I/O error: {e}")))?;
+        let path = path.as_ref();
+        let f = std::fs::File::open(path).map_err(|e| {
+            AoAdmmError::Config(format!("checkpoint I/O error at {}: {e}", path.display()))
+        })?;
         Self::read(std::io::BufReader::new(f))
     }
 }
@@ -167,6 +171,13 @@ mod tests {
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(back.model.rank(), 4);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_error_names_the_path() {
+        let missing = std::env::temp_dir().join("aoadmm_missing_checkpoint.ckpt");
+        let err = Checkpoint::load(&missing).unwrap_err().to_string();
+        assert!(err.contains("aoadmm_missing_checkpoint.ckpt"), "{err}");
     }
 
     #[test]

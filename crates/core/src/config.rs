@@ -27,6 +27,9 @@ pub enum CsfPolicy {
     One,
 }
 
+/// A per-outer-iteration progress callback (see [`Factorizer::progress`]).
+pub type ProgressCallback = Arc<dyn Fn(&crate::IterRecord) + Send + Sync>;
+
 /// Builder-style configuration for an AO-ADMM factorization.
 ///
 /// Defaults follow the paper's evaluation: 200 outer iterations max,
@@ -43,7 +46,7 @@ pub struct Factorizer {
     seed: u64,
     sparsity: SparsityConfig,
     csf_policy: CsfPolicy,
-    progress: Option<Arc<dyn Fn(&crate::IterRecord) + Send + Sync>>,
+    progress: Option<ProgressCallback>,
 }
 
 impl Factorizer {
@@ -131,7 +134,7 @@ impl Factorizer {
     }
 
     /// The installed progress callback, if any.
-    pub fn progress_callback(&self) -> Option<&Arc<dyn Fn(&crate::IterRecord) + Send + Sync>> {
+    pub fn progress_callback(&self) -> Option<&ProgressCallback> {
         self.progress.as_ref()
     }
 
@@ -172,26 +175,32 @@ impl Factorizer {
         &self.sparsity
     }
 
-    /// Check configuration invariants against a tensor.
-    pub fn validate(&self, tensor: &CooTensor) -> Result<(), AoAdmmError> {
+    /// Check configuration invariants against a tensor shape (streaming
+    /// sources validate without materializing a [`CooTensor`]).
+    pub fn validate_shape(&self, dims: &[usize], nnz: usize) -> Result<(), AoAdmmError> {
         if self.rank == 0 {
             return Err(AoAdmmError::Config("rank must be positive".into()));
         }
         if self.max_outer == 0 {
             return Err(AoAdmmError::Config("max_outer must be positive".into()));
         }
-        if tensor.nnz() == 0 {
+        if nnz == 0 {
             return Err(AoAdmmError::Config("tensor has no nonzeros".into()));
         }
         for &m in self.mode_constraints.keys() {
-            if m >= tensor.nmodes() {
+            if m >= dims.len() {
                 return Err(AoAdmmError::Config(format!(
                     "constraint set on mode {m} of a {}-mode tensor",
-                    tensor.nmodes()
+                    dims.len()
                 )));
             }
         }
         Ok(())
+    }
+
+    /// Check configuration invariants against a tensor.
+    pub fn validate(&self, tensor: &CooTensor) -> Result<(), AoAdmmError> {
+        self.validate_shape(tensor.dims(), tensor.nnz())
     }
 
     /// Run AO-ADMM (Algorithm 2) on `tensor`.
@@ -209,6 +218,19 @@ impl Factorizer {
         duals: Option<Vec<splinalg::DMat>>,
     ) -> Result<FactorizeResult, AoAdmmError> {
         driver::factorize_warm(tensor, self, model, duals)
+    }
+
+    /// Run AO-ADMM on an already-compiled tensor representation with a
+    /// full warm start (see [`driver::factorize_prepared`]) — the
+    /// streaming refit entry point.
+    pub fn factorize_prepared(
+        &self,
+        source: &dyn driver::TensorSource,
+        model: crate::KruskalModel,
+        duals: Option<Vec<splinalg::DMat>>,
+        grams: Option<Vec<splinalg::DMat>>,
+    ) -> Result<FactorizeResult, AoAdmmError> {
+        driver::factorize_prepared(source, self, model, duals, grams)
     }
 }
 

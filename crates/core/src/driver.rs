@@ -42,11 +42,108 @@ pub struct FactorizeResult {
     /// [`factorize_warm`] resumes the optimization exactly where it
     /// stopped (checkpoint/restart; see [`crate::checkpoint`]).
     pub duals: Vec<DMat>,
+    /// Gram matrices `A_m^T A_m` of the final factors, one per mode.
+    /// A streaming refit passes these back to [`factorize_prepared`] so
+    /// the next warm start skips recomputing them.
+    pub grams: Vec<DMat>,
+}
+
+/// Something the AO-ADMM outer loop can be driven from: the driver only
+/// needs per-mode MTTKRP plus the logical shape and data norm. The
+/// static representation is [`PreparedTensor`]; the streaming crate adds
+/// a CSF+delta view that serves MTTKRP as
+/// `scale * MTTKRP(base) + MTTKRP(delta)` (MTTKRP is linear in the
+/// tensor values).
+pub trait TensorSource: Sync {
+    /// Mode lengths of the logical tensor.
+    fn dims(&self) -> &[usize];
+    /// Number of stored nonzeros.
+    fn nnz(&self) -> usize;
+    /// Squared Frobenius norm of the logical tensor (the relative-error
+    /// denominator).
+    fn norm_sq(&self) -> f64;
+    /// `out = X_(mode) * khatri_rao(other factors)`, applying the
+    /// dynamic-sparsity policy where the representation allows it.
+    /// Returns the sparsity decision and the plan strategy that ran.
+    fn mttkrp(
+        &self,
+        mode: usize,
+        factors: &[DMat],
+        cfg: &Factorizer,
+        out: &mut DMat,
+    ) -> Result<(SparsityDecision, Option<PlanStrategy>), AoAdmmError>;
+}
+
+/// A tensor compiled into its CSF representation(s) with MTTKRP
+/// execution plans, reusable across many factorization calls — the
+/// amortization a streaming refit loop needs (build once, refit every
+/// batch).
+pub struct PreparedTensor {
+    set: CsfSet,
+    dims: Vec<usize>,
+    nnz: usize,
+    norm_sq: f64,
+}
+
+impl PreparedTensor {
+    /// Compile `tensor` under the given CSF policy.
+    pub fn build(tensor: &CooTensor, policy: CsfPolicy) -> Result<Self, AoAdmmError> {
+        Ok(PreparedTensor {
+            set: CsfSet::build(tensor, policy)?,
+            dims: tensor.dims().to_vec(),
+            nnz: tensor.nnz(),
+            norm_sq: tensor.norm_sq(),
+        })
+    }
+
+    /// Grow the mode lengths to `new_dims` (streaming mode growth). The
+    /// fiber structure and the execution plans stay valid because the new
+    /// indices own no nonzeros; only the sizing MTTKRP validates against
+    /// changes.
+    pub fn grow_dims(&mut self, new_dims: &[usize]) -> Result<(), AoAdmmError> {
+        match &mut self.set {
+            CsfSet::PerMode(csfs) => {
+                for (csf, _) in csfs.iter_mut() {
+                    csf.grow_dims(new_dims)?;
+                }
+            }
+            CsfSet::One(csf, _) => csf.grow_dims(new_dims)?,
+        }
+        self.dims = new_dims.to_vec();
+        Ok(())
+    }
+}
+
+impl TensorSource for PreparedTensor {
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn norm_sq(&self) -> f64 {
+        self.norm_sq
+    }
+
+    fn mttkrp(
+        &self,
+        mode: usize,
+        factors: &[DMat],
+        cfg: &Factorizer,
+        out: &mut DMat,
+    ) -> Result<(SparsityDecision, Option<PlanStrategy>), AoAdmmError> {
+        self.set.mttkrp(mode, factors, cfg, out)
+    }
 }
 
 /// The CSF representations the run operates on (see [`CsfPolicy`]),
 /// each paired with the MTTKRP execution plan built once at setup and
 /// reused across all outer iterations.
+// One CsfSet exists per factorization, so the size skew between the
+// variants is irrelevant; boxing would only add a pointer chase.
+#[allow(clippy::large_enum_variant)]
 enum CsfSet {
     PerMode(Vec<(Csf, MttkrpPlan)>),
     One(Csf, MttkrpPlan),
@@ -115,41 +212,47 @@ impl CsfSet {
     }
 }
 
+/// Seeded random factor initialization with norm matching, shared by the
+/// cold entry point and streaming cold starts.
+///
+/// The random init is scaled so the initial model norm matches the data
+/// norm (`xnorm_sq`). On very sparse tensors an unscaled random model is
+/// orders of magnitude too large; its Gram matrices then make
+/// rho = trace(G)/F enormous and the first ADMM updates barely move,
+/// stalling the outer loop inside its early-stopping window (standard CP
+/// practice, cf. Tensor Toolbox / SPLATT initialization).
+pub fn init_factors(dims: &[usize], rank: usize, seed: u64, xnorm_sq: f64) -> Vec<DMat> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut factors: Vec<DMat> = dims
+        .iter()
+        .map(|&d| DMat::random(d, rank, 0.0, 1.0, &mut rng))
+        .collect();
+    let grams: Vec<DMat> = factors.iter().map(|f| f.gram()).collect();
+    let mnorm_sq = ops::model_norm_sq(&grams).expect("grams are square and aligned");
+    if mnorm_sq > 0.0 && xnorm_sq > 0.0 {
+        let scale = (xnorm_sq / mnorm_sq).powf(1.0 / (2.0 * dims.len() as f64));
+        for f in &mut factors {
+            f.scale(scale);
+        }
+    }
+    factors
+}
+
 /// Run AO-ADMM on `tensor` with the given configuration.
 ///
 /// Prefer the builder entry point [`Factorizer::factorize`].
 pub fn factorize(tensor: &CooTensor, cfg: &Factorizer) -> Result<FactorizeResult, AoAdmmError> {
     cfg.validate(tensor)?;
     let rank = cfg.rank();
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed_value());
-    let mut factors: Vec<DMat> = tensor
-        .dims()
-        .iter()
-        .map(|&d| DMat::random(d, rank, 0.0, 1.0, &mut rng))
-        .collect();
-
-    // Scale the random init so the initial model norm matches the data
-    // norm. On very sparse tensors an unscaled random model is orders of
-    // magnitude too large; its Gram matrices then make rho = trace(G)/F
-    // enormous and the first ADMM updates barely move, stalling the
-    // outer loop inside its early-stopping window (standard CP practice,
-    // cf. Tensor Toolbox / SPLATT initialization).
-    let grams: Vec<DMat> = factors.iter().map(|f| f.gram()).collect();
-    let mnorm_sq = ops::model_norm_sq(&grams)?;
-    let xnorm_sq = tensor.norm_sq();
-    if mnorm_sq > 0.0 && xnorm_sq > 0.0 {
-        let scale = (xnorm_sq / mnorm_sq).powf(1.0 / (2.0 * tensor.nmodes() as f64));
-        for f in &mut factors {
-            f.scale(scale);
-        }
-    }
-
+    let t0 = Instant::now();
+    let prepared = PreparedTensor::build(tensor, cfg.csf_policy_value())?;
+    let factors = init_factors(tensor.dims(), rank, cfg.seed_value(), prepared.norm_sq());
     let duals: Vec<DMat> = tensor
         .dims()
         .iter()
         .map(|&d| DMat::zeros(d, rank))
         .collect();
-    run(tensor, cfg, factors, duals)
+    run(&prepared, cfg, factors, duals, None, t0)
 }
 
 /// Run AO-ADMM starting from existing factors (and optionally duals):
@@ -162,6 +265,46 @@ pub fn factorize_warm(
     duals: Option<Vec<DMat>>,
 ) -> Result<FactorizeResult, AoAdmmError> {
     cfg.validate(tensor)?;
+    let (factors, duals) = prepare_warm_state(cfg, tensor.dims(), model, duals)?;
+    let t0 = Instant::now();
+    let prepared = PreparedTensor::build(tensor, cfg.csf_policy_value())?;
+    run(&prepared, cfg, factors, duals, None, t0)
+}
+
+/// Run AO-ADMM on an already-compiled tensor representation, warm-started
+/// from `model` (plus optional duals and cached Gram matrices) — the
+/// streaming refit entry point. The representation is borrowed, so the
+/// same [`PreparedTensor`] (or CSF+delta view) serves many bounded refits
+/// without recompiling; `duals` and `grams` from the previous refit's
+/// [`FactorizeResult`] make the warm start complete.
+pub fn factorize_prepared(
+    source: &dyn TensorSource,
+    cfg: &Factorizer,
+    model: KruskalModel,
+    duals: Option<Vec<DMat>>,
+    grams: Option<Vec<DMat>>,
+) -> Result<FactorizeResult, AoAdmmError> {
+    cfg.validate_shape(source.dims(), source.nnz())?;
+    let (factors, duals) = prepare_warm_state(cfg, source.dims(), model, duals)?;
+    if let Some(g) = &grams {
+        let rank = cfg.rank();
+        if g.len() != factors.len() || g.iter().any(|m| m.nrows() != rank || m.ncols() != rank) {
+            return Err(AoAdmmError::Config(
+                "warm-start gram cache does not match the configured rank".into(),
+            ));
+        }
+    }
+    run(source, cfg, factors, duals, grams, Instant::now())
+}
+
+/// Validate a warm-start model/duals against the configuration and the
+/// tensor shape, returning the initial state for [`run`].
+fn prepare_warm_state(
+    cfg: &Factorizer,
+    dims: &[usize],
+    model: KruskalModel,
+    duals: Option<Vec<DMat>>,
+) -> Result<(Vec<DMat>, Vec<DMat>), AoAdmmError> {
     let rank = cfg.rank();
     if model.rank() != rank {
         return Err(AoAdmmError::Config(format!(
@@ -169,19 +312,19 @@ pub fn factorize_warm(
             model.rank()
         )));
     }
-    if model.nmodes() != tensor.nmodes() {
+    if model.nmodes() != dims.len() {
         return Err(AoAdmmError::Config(format!(
             "warm-start model has {} modes, tensor has {}",
             model.nmodes(),
-            tensor.nmodes()
+            dims.len()
         )));
     }
     for (m, fac) in model.factors().iter().enumerate() {
-        if fac.nrows() != tensor.dims()[m] {
+        if fac.nrows() != dims[m] {
             return Err(AoAdmmError::Config(format!(
                 "warm-start factor {m} has {} rows; mode is {}",
                 fac.nrows(),
-                tensor.dims()[m]
+                dims[m]
             )));
         }
     }
@@ -204,26 +347,33 @@ pub fn factorize_warm(
             .map(|f| DMat::zeros(f.nrows(), f.ncols()))
             .collect(),
     };
-    run(tensor, cfg, factors, duals)
+    Ok((factors, duals))
 }
 
-/// Shared AO-ADMM loop over explicit initial state.
+/// Shared AO-ADMM loop over explicit initial state. `t0` is the caller's
+/// start-of-work instant, so representation builds done by the caller
+/// count toward the trace's setup time; `grams`, when given, must be the
+/// Gram matrices of `factors` (a warm-started refit hands back the cache
+/// from the previous result).
 fn run(
-    tensor: &CooTensor,
+    source: &dyn TensorSource,
     cfg: &Factorizer,
     mut factors: Vec<DMat>,
     mut duals: Vec<DMat>,
+    grams: Option<Vec<DMat>>,
+    t0: Instant,
 ) -> Result<FactorizeResult, AoAdmmError> {
-    let nmodes = tensor.nmodes();
+    let dims = source.dims().to_vec();
+    let nmodes = dims.len();
     let rank = cfg.rank();
-    let dims = tensor.dims().to_vec();
-    let t0 = Instant::now();
 
-    // --- Setup: CSF representation(s), Gram cache, MTTKRP buffers. ---
-    let csfs = CsfSet::build(tensor, cfg.csf_policy_value())?;
-    let mut grams: Vec<DMat> = factors.iter().map(|f| f.gram()).collect();
+    // --- Setup: Gram cache, MTTKRP buffers. ---
+    let mut grams: Vec<DMat> = match grams {
+        Some(g) => g,
+        None => factors.iter().map(|f| f.gram()).collect(),
+    };
     let mut kbufs: Vec<DMat> = dims.iter().map(|&d| DMat::zeros(d, rank)).collect();
-    let xnorm_sq = tensor.norm_sq();
+    let xnorm_sq = source.norm_sq();
     let setup = t0.elapsed();
 
     let mut iterations: Vec<IterRecord> = Vec::new();
@@ -241,7 +391,7 @@ fn run(
             // Line 5/9/13: MTTKRP (timed together with any sparse
             // snapshot build, which is part of its cost).
             let tm = Instant::now();
-            let (decision, strategy) = csfs.mttkrp(m, &factors, cfg, &mut kbufs[m])?;
+            let (decision, strategy) = source.mttkrp(m, &factors, cfg, &mut kbufs[m])?;
             let mttkrp_time = tm.elapsed();
 
             // Line 6/10/14: inner ADMM.
@@ -308,6 +458,7 @@ fn run(
         model: KruskalModel::new(factors),
         trace,
         duals,
+        grams,
     })
 }
 
@@ -537,6 +688,94 @@ mod tests {
             .factorize(&t)
             .unwrap();
         assert_eq!(count.load(Ordering::SeqCst), res.trace.outer_iterations());
+    }
+
+    #[test]
+    fn prepared_path_matches_factorize_exactly() {
+        // factorize() is now a thin wrapper over PreparedTensor +
+        // init_factors + run; driving the pieces by hand must land on the
+        // identical trajectory.
+        let t = small_tensor();
+        let cfg = Factorizer::new(5)
+            .constrain_all(constraints::nonneg())
+            .max_outer(5)
+            .seed(11);
+        let direct = cfg.factorize(&t).unwrap();
+
+        let prepared = PreparedTensor::build(&t, cfg.csf_policy_value()).unwrap();
+        let factors = init_factors(t.dims(), 5, 11, prepared.norm_sq());
+        let manual =
+            factorize_prepared(&prepared, &cfg, KruskalModel::new(factors), None, None).unwrap();
+        assert_eq!(direct.trace.final_error, manual.trace.final_error);
+        for m in 0..3 {
+            assert_eq!(
+                direct.model.factor(m).max_abs_diff(manual.model.factor(m)),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn gram_cache_warm_start_is_exact() {
+        // 3 iterations + 3 resumed with (factors, duals, grams) must land
+        // exactly where 6 straight iterations land: the gram cache is a
+        // pure function of the factors, so handing it back cannot change
+        // the trajectory.
+        let t = small_tensor();
+        let cfg = Factorizer::new(4)
+            .constrain_all(constraints::nonneg())
+            .max_outer(6)
+            .tolerance(0.0)
+            .seed(3);
+        let straight = cfg.factorize(&t).unwrap();
+
+        let first = cfg.clone().max_outer(3).factorize(&t).unwrap();
+        let prepared = PreparedTensor::build(&t, cfg.csf_policy_value()).unwrap();
+        let resumed = factorize_prepared(
+            &prepared,
+            &cfg.clone().max_outer(3),
+            first.model,
+            Some(first.duals),
+            Some(first.grams),
+        )
+        .unwrap();
+        for m in 0..3 {
+            let diff = resumed
+                .model
+                .factor(m)
+                .max_abs_diff(straight.model.factor(m));
+            assert!(diff < 1e-12, "mode {m} diff {diff}");
+        }
+    }
+
+    #[test]
+    fn result_grams_match_final_factors() {
+        let t = small_tensor();
+        let res = Factorizer::new(4).max_outer(3).factorize(&t).unwrap();
+        for m in 0..3 {
+            assert_eq!(res.grams[m].max_abs_diff(&res.model.factor(m).gram()), 0.0);
+        }
+    }
+
+    #[test]
+    fn prepared_grow_dims_accepts_larger_factors() {
+        let t = small_tensor();
+        let cfg = Factorizer::new(3).max_outer(2).seed(5);
+        let mut prepared = PreparedTensor::build(&t, cfg.csf_policy_value()).unwrap();
+        let mut new_dims = t.dims().to_vec();
+        new_dims[0] += 4;
+        new_dims[2] += 1;
+        prepared.grow_dims(&new_dims).unwrap();
+        assert_eq!(prepared.dims(), &new_dims[..]);
+        let mut factors = init_factors(t.dims(), 3, 5, prepared.norm_sq());
+        factors[0].append_zero_rows(4);
+        factors[2].append_zero_rows(1);
+        let res =
+            factorize_prepared(&prepared, &cfg, KruskalModel::new(factors), None, None).unwrap();
+        assert_eq!(res.model.factor(0).nrows(), new_dims[0]);
+        assert!(res.trace.final_error.is_finite());
+        // Shrinking is rejected.
+        assert!(prepared.grow_dims(t.dims()).is_err());
     }
 
     #[test]

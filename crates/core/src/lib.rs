@@ -61,12 +61,15 @@ pub mod sparsity;
 pub mod trace;
 
 pub use config::{CsfPolicy, Factorizer};
-pub use driver::{factorize, FactorizeResult};
+pub use driver::{
+    factorize, factorize_prepared, factorize_warm, init_factors, FactorizeResult, PreparedTensor,
+    TensorSource,
+};
 pub use error::AoAdmmError;
 pub use kruskal::KruskalModel;
 pub use mttkrp_plan::{build_mode_plans, MttkrpPlan, PlanOptions, PlanStats, PlanStrategy};
-pub use sparsity::{SparsityConfig, Structure, StructureChoice};
-pub use trace::{FactorizeTrace, IterRecord};
+pub use sparsity::{SparsityConfig, SparsityDecision, Structure, StructureChoice};
+pub use trace::{FactorizeTrace, IterRecord, RefitRecord};
 
 /// Convenience re-exports for the common use cases: configure, choose
 /// constraints, factorize, inspect.

@@ -205,8 +205,10 @@ pub fn pgd_factorize(
         .iter()
         .map(|f| DMat::zeros(f.nrows(), f.ncols()))
         .collect();
+    let grams: Vec<DMat> = factors.iter().map(|f| f.gram()).collect();
     Ok(FactorizeResult {
         duals,
+        grams,
         model: KruskalModel::new(factors),
         trace: FactorizeTrace {
             iterations,

@@ -56,6 +56,45 @@ impl IterRecord {
     }
 }
 
+/// Record of one streaming batch: ingestion bookkeeping plus the bounded
+/// warm-started refit that followed. Produced by the `aoadmm-stream`
+/// crate's `StreamingFactorizer`; kept here beside the other run records
+/// so trace consumers (CLI reporting, experiment harnesses) share one
+/// vocabulary.
+#[derive(Debug, Clone)]
+pub struct RefitRecord {
+    /// 0-based batch number (batch 0 is the initial fit of the base
+    /// tensor).
+    pub batch: usize,
+    /// Nonzeros appended at previously empty coordinates.
+    pub appended: usize,
+    /// Operations that hit an existing nonzero (value updates).
+    pub updated: usize,
+    /// Rows added to each mode by growth operations in this batch.
+    pub grown_rows: Vec<usize>,
+    /// Delta-buffer size (stored corrections) after ingesting the batch.
+    pub delta_nnz: usize,
+    /// Logical nonzero count of the streamed tensor after the batch.
+    pub total_nnz: usize,
+    /// Whether this batch triggered (or adopted) a CSF merge/rebuild.
+    pub merged: bool,
+    /// Outer AO-ADMM iterations the refit ran.
+    pub outer_iterations: usize,
+    /// Relative error after the refit.
+    pub rel_error: f64,
+    /// Time spent ingesting the batch (delta merge, growth, plan upkeep).
+    pub ingest: Duration,
+    /// Time spent in the warm-started refit.
+    pub refit: Duration,
+}
+
+impl RefitRecord {
+    /// End-to-end latency of the batch: ingestion plus refit.
+    pub fn batch_time(&self) -> Duration {
+        self.ingest + self.refit
+    }
+}
+
 /// Complete trace of a factorization run.
 #[derive(Debug, Clone)]
 pub struct FactorizeTrace {

@@ -93,8 +93,8 @@ impl Partition {
         let nmodes = tensor.nmodes();
         let mut coord = vec![0u32; nmodes];
         for n in 0..tensor.nnz() {
-            for m in 0..nmodes {
-                coord[m] = tensor.mode_inds(m)[n];
+            for (m, c) in coord.iter_mut().enumerate() {
+                *c = tensor.mode_inds(m)[n];
             }
             let p = self.owner(0, coord[0] as usize);
             locals[p]

@@ -136,6 +136,29 @@ impl DMat {
         Ok(())
     }
 
+    /// Append `extra` rows of zeros (mode growth: new entities join a
+    /// streamed factorization with empty factor/dual state).
+    pub fn append_zero_rows(&mut self, extra: usize) {
+        self.data.resize((self.nrows + extra) * self.ncols, 0.0);
+        self.nrows += extra;
+    }
+
+    /// Append the rows of `other` below the existing rows.
+    ///
+    /// Returns an error when the column counts differ.
+    pub fn append_rows(&mut self, other: &DMat) -> Result<(), LinalgError> {
+        if self.ncols != other.ncols {
+            return Err(LinalgError::DimMismatch {
+                op: "append_rows",
+                lhs: (self.nrows, self.ncols),
+                rhs: (other.nrows, other.ncols),
+            });
+        }
+        self.data.extend_from_slice(&other.data);
+        self.nrows += other.nrows;
+        Ok(())
+    }
+
     /// Squared Frobenius norm.
     pub fn norm_fro_sq(&self) -> f64 {
         vecops::norm_sq(&self.data)
@@ -391,5 +414,24 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let m = DMat::random(10, 10, 0.25, 0.75, &mut rng);
         assert!(m.as_slice().iter().all(|&x| (0.25..0.75).contains(&x)));
+    }
+
+    #[test]
+    fn append_zero_rows_extends_shape() {
+        let mut m = DMat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        m.append_zero_rows(3);
+        assert_eq!((m.nrows(), m.ncols()), (5, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert!(m.row(2).iter().chain(m.row(4)).all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn append_rows_stacks_and_validates() {
+        let mut a = DMat::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let b = DMat::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        a.append_rows(&b).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.row(2), &[5.0, 6.0]);
+        assert!(a.append_rows(&DMat::zeros(1, 3)).is_err());
     }
 }

@@ -201,6 +201,165 @@ impl CooTensor {
         self.vals.retain(|_| *it.next().unwrap());
     }
 
+    /// Extend mode `m` to `new_len` indices (streaming mode growth: new
+    /// users/items appear over time). Existing nonzeros are untouched;
+    /// lengths may only grow.
+    pub fn grow_mode(&mut self, mode: usize, new_len: usize) -> Result<(), TensorError> {
+        if mode >= self.nmodes() {
+            return Err(TensorError::Invalid(format!(
+                "grow_mode on mode {mode} of a {}-mode tensor",
+                self.nmodes()
+            )));
+        }
+        if new_len < self.dims[mode] {
+            return Err(TensorError::Invalid(format!(
+                "grow_mode cannot shrink mode {mode} from {} to {new_len}",
+                self.dims[mode]
+            )));
+        }
+        if new_len > Idx::MAX as usize {
+            return Err(TensorError::Invalid(format!(
+                "mode {mode} length {new_len} exceeds index type"
+            )));
+        }
+        self.dims[mode] = new_len;
+        Ok(())
+    }
+
+    /// Multiply every stored value by `alpha` (exponential time-decay of
+    /// a streamed tensor's history).
+    pub fn scale_values(&mut self, alpha: f64) {
+        for v in &mut self.vals {
+            *v *= alpha;
+        }
+    }
+
+    /// Whether the nonzeros are in canonical order: sorted
+    /// lexicographically by mode 0, 1, ... with no duplicate coordinates.
+    /// [`CooTensor::dedup_sum`] establishes this invariant; the sorted
+    /// lookups and [`CooTensor::merge_add`] require it.
+    pub fn is_sorted_canonical(&self) -> bool {
+        let nmodes = self.nmodes();
+        (1..self.nnz()).all(|n| {
+            (0..nmodes)
+                .map(|m| self.inds[m][n - 1].cmp(&self.inds[m][n]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                == std::cmp::Ordering::Less
+        })
+    }
+
+    /// Binary-search for `coord`, returning its nonzero position.
+    /// Requires canonical order (debug-asserted); see
+    /// [`CooTensor::is_sorted_canonical`].
+    pub fn find_sorted(&self, coord: &[Idx]) -> Option<usize> {
+        debug_assert_eq!(coord.len(), self.nmodes());
+        let nmodes = self.nmodes();
+        let cmp_at = |n: usize| {
+            (0..nmodes)
+                .map(|m| self.inds[m][n].cmp(&coord[m]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        };
+        let (mut lo, mut hi) = (0usize, self.nnz());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match cmp_at(mid) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+
+    /// Value stored at `coord`, or `None` when the coordinate holds no
+    /// nonzero. Requires canonical order (see [`CooTensor::find_sorted`]).
+    pub fn value_at_sorted(&self, coord: &[Idx]) -> Option<f64> {
+        self.find_sorted(coord).map(|n| self.vals[n])
+    }
+
+    /// Merge `other` into `self`, summing values at shared coordinates —
+    /// the streaming delta-merge. Mode counts must match; the merged
+    /// dimensions are the per-mode maximum. Both operands are brought to
+    /// canonical order if needed (a no-op for already-sorted inputs),
+    /// then combined in one linear pass; the result is canonical.
+    /// Explicit zeros are kept — callers decide whether to
+    /// [`CooTensor::prune`].
+    pub fn merge_add(&mut self, other: &CooTensor) -> Result<(), TensorError> {
+        if other.nmodes() != self.nmodes() {
+            return Err(TensorError::Invalid(format!(
+                "merge_add of a {}-mode tensor into a {}-mode tensor",
+                other.nmodes(),
+                self.nmodes()
+            )));
+        }
+        let nmodes = self.nmodes();
+        for m in 0..nmodes {
+            if other.dims[m] > self.dims[m] {
+                self.grow_mode(m, other.dims[m])?;
+            }
+        }
+        if !self.is_sorted_canonical() {
+            self.dedup_sum();
+        }
+        let sorted_other;
+        let b = if other.is_sorted_canonical() {
+            other
+        } else {
+            let mut o = other.clone();
+            o.dedup_sum();
+            sorted_other = o;
+            &sorted_other
+        };
+
+        let cmp = |i: usize, j: usize| {
+            (0..nmodes)
+                .map(|m| self.inds[m][i].cmp(&b.inds[m][j]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        };
+        let (an, bn) = (self.nnz(), b.nnz());
+        let mut inds: Vec<Vec<Idx>> = vec![Vec::with_capacity(an + bn); nmodes];
+        let mut vals: Vec<f64> = Vec::with_capacity(an + bn);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < an && j < bn {
+            match cmp(i, j) {
+                std::cmp::Ordering::Less => {
+                    for (dst, src) in inds.iter_mut().zip(&self.inds) {
+                        dst.push(src[i]);
+                    }
+                    vals.push(self.vals[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    for (dst, src) in inds.iter_mut().zip(&b.inds) {
+                        dst.push(src[j]);
+                    }
+                    vals.push(b.vals[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    for (dst, src) in inds.iter_mut().zip(&self.inds) {
+                        dst.push(src[i]);
+                    }
+                    vals.push(self.vals[i] + b.vals[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for (m, dst) in inds.iter_mut().enumerate() {
+            dst.extend_from_slice(&self.inds[m][i..]);
+            dst.extend_from_slice(&b.inds[m][j..]);
+        }
+        vals.extend_from_slice(&self.vals[i..]);
+        vals.extend_from_slice(&b.vals[j..]);
+        self.inds = inds;
+        self.vals = vals;
+        Ok(())
+    }
+
     /// Number of distinct indices appearing in mode `m` (occupied slices).
     pub fn occupied_slices(&self, m: usize) -> usize {
         let mut seen = vec![false; self.dims[m]];
@@ -339,6 +498,82 @@ mod tests {
         t.for_each_nonzero(|c, v| streamed.push((c.to_vec(), v)));
         assert_eq!(collected, streamed);
         assert_eq!(collected.len(), 3);
+    }
+
+    #[test]
+    fn grow_mode_extends_without_touching_nonzeros() {
+        let mut t = t3();
+        t.grow_mode(1, 10).unwrap();
+        assert_eq!(t.dims(), &[3, 10, 5]);
+        assert_eq!(t.nnz(), 3);
+        assert!(t.grow_mode(1, 4).is_err()); // shrink
+        assert!(t.grow_mode(7, 10).is_err()); // bad mode
+        t.push(&[0, 9, 0], 1.0).unwrap(); // new index is addressable
+    }
+
+    #[test]
+    fn scale_values_scales_norm() {
+        let mut t = t3();
+        t.scale_values(2.0);
+        assert_eq!(t.norm_sq(), 56.0);
+    }
+
+    #[test]
+    fn canonical_order_detection() {
+        let mut t = t3();
+        assert!(!t.is_sorted_canonical()); // (2,3,4) precedes (1,2,3)
+        t.dedup_sum();
+        assert!(t.is_sorted_canonical());
+        let mut dup = CooTensor::new(vec![2, 2]).unwrap();
+        dup.push(&[0, 0], 1.0).unwrap();
+        dup.push(&[0, 0], 1.0).unwrap();
+        assert!(!dup.is_sorted_canonical()); // duplicates break it
+    }
+
+    #[test]
+    fn sorted_lookup_finds_every_nonzero() {
+        let mut t = t3();
+        t.dedup_sum();
+        for n in 0..t.nnz() {
+            let c = t.coord(n);
+            assert_eq!(t.find_sorted(&c), Some(n));
+            assert_eq!(t.value_at_sorted(&c), Some(t.values()[n]));
+        }
+        assert_eq!(t.find_sorted(&[0, 1, 1]), None);
+        assert_eq!(t.value_at_sorted(&[2, 2, 2]), None);
+    }
+
+    #[test]
+    fn merge_add_sums_shared_coordinates() {
+        let mut a = CooTensor::new(vec![3, 3]).unwrap();
+        a.push(&[0, 0], 1.0).unwrap();
+        a.push(&[2, 2], 4.0).unwrap();
+        let mut b = CooTensor::new(vec![3, 4]).unwrap();
+        b.push(&[2, 2], -4.0).unwrap();
+        b.push(&[1, 3], 2.0).unwrap();
+        b.push(&[0, 1], 3.0).unwrap(); // unsorted on purpose
+        a.merge_add(&b).unwrap();
+        assert_eq!(a.dims(), &[3, 4]);
+        assert!(a.is_sorted_canonical());
+        assert_eq!(a.nnz(), 4); // explicit zero at (2,2) is kept
+        assert_eq!(a.value_at_sorted(&[2, 2]), Some(0.0));
+        assert_eq!(a.value_at_sorted(&[0, 1]), Some(3.0));
+        assert_eq!(a.value_at_sorted(&[1, 3]), Some(2.0));
+        let mut wrong = CooTensor::new(vec![2, 2, 2]).unwrap();
+        wrong.push(&[0, 0, 0], 1.0).unwrap();
+        assert!(a.merge_add(&wrong).is_err());
+    }
+
+    #[test]
+    fn merge_add_matches_push_dedup() {
+        // Differential check against the obvious implementation.
+        let mut a = crate::gen::random_uniform(&[6, 5, 4], 60, 11).unwrap();
+        let b = crate::gen::random_uniform(&[6, 5, 4], 40, 12).unwrap();
+        let mut oracle = a.clone();
+        b.for_each_nonzero(|c, v| oracle.push(c, v).unwrap());
+        oracle.dedup_sum();
+        a.merge_add(&b).unwrap();
+        assert_eq!(a, oracle);
     }
 
     #[test]

@@ -124,6 +124,35 @@ impl Csf {
         Self::from_coo(coo, &order)
     }
 
+    /// Grow the stored mode lengths to `new_dims` (streaming mode
+    /// growth). The new indices own no nonzeros, so the fiber structure —
+    /// and therefore any execution plan built from it — stays valid;
+    /// only the output/factor sizing the kernels validate against
+    /// changes. Lengths may only grow.
+    pub fn grow_dims(&mut self, new_dims: &[usize]) -> Result<(), TensorError> {
+        if new_dims.len() != self.nmodes() {
+            return Err(TensorError::Invalid(format!(
+                "grow_dims with {} modes on a {}-mode CSF",
+                new_dims.len(),
+                self.nmodes()
+            )));
+        }
+        for (m, (&new, &old)) in new_dims.iter().zip(&self.dims).enumerate() {
+            if new < old {
+                return Err(TensorError::Invalid(format!(
+                    "grow_dims cannot shrink mode {m} from {old} to {new}"
+                )));
+            }
+            if new > Idx::MAX as usize {
+                return Err(TensorError::Invalid(format!(
+                    "mode {m} length {new} exceeds index type"
+                )));
+            }
+        }
+        self.dims.copy_from_slice(new_dims);
+        Ok(())
+    }
+
     /// Number of modes.
     #[inline]
     pub fn nmodes(&self) -> usize {
@@ -444,5 +473,20 @@ mod tests {
         let mut seen = Vec::new();
         csf.for_each_nonzero(|c, v| seen.push((c.to_vec(), v)));
         assert_eq!(seen, vec![(vec![1, 0, 1], 7.0)]);
+    }
+
+    #[test]
+    fn grow_dims_preserves_structure() {
+        let mut t = CooTensor::new(vec![2, 3, 4]).unwrap();
+        t.push(&[1, 2, 3], 1.0).unwrap();
+        t.push(&[0, 0, 0], 2.0).unwrap();
+        let mut csf = Csf::from_coo(&t, &[0, 1, 2]).unwrap();
+        let before = csf.to_coo();
+        csf.grow_dims(&[2, 5, 4]).unwrap();
+        assert_eq!(csf.dims(), &[2, 5, 4]);
+        assert_eq!(csf.nnz(), 2);
+        assert_eq!(csf.to_coo().values(), before.values());
+        assert!(csf.grow_dims(&[1, 5, 4]).is_err()); // shrink
+        assert!(csf.grow_dims(&[2, 5]).is_err()); // arity
     }
 }

@@ -134,13 +134,27 @@ pub fn read_tns<R: Read>(reader: R, dims: Option<Vec<usize>>) -> Result<CooTenso
     Ok(t)
 }
 
+/// Attach the offending file path to any I/O error in `res` — a bare
+/// `io::Error` ("No such file or directory") is useless once it crosses
+/// an API boundary and the caller no longer knows which file was meant.
+fn with_path<T>(path: &Path, res: Result<T, TensorError>) -> Result<T, TensorError> {
+    res.map_err(|e| match e {
+        TensorError::Io(io) => TensorError::Io(std::io::Error::new(
+            io.kind(),
+            format!("{}: {io}", path.display()),
+        )),
+        other => other,
+    })
+}
+
 /// Read a `.tns` file from disk.
 pub fn read_tns_file<P: AsRef<Path>>(
     path: P,
     dims: Option<Vec<usize>>,
 ) -> Result<CooTensor, TensorError> {
-    let f = std::fs::File::open(path)?;
-    read_tns(f, dims)
+    let path = path.as_ref();
+    let f = with_path(path, std::fs::File::open(path).map_err(TensorError::Io))?;
+    with_path(path, read_tns(f, dims))
 }
 
 /// Write a tensor in `.tns` format (1-based coordinates).
@@ -158,8 +172,9 @@ pub fn write_tns<W: Write>(tensor: &CooTensor, writer: W) -> Result<(), TensorEr
 
 /// Write a tensor to a `.tns` file on disk.
 pub fn write_tns_file<P: AsRef<Path>>(tensor: &CooTensor, path: P) -> Result<(), TensorError> {
-    let f = std::fs::File::create(path)?;
-    write_tns(tensor, f)
+    let path = path.as_ref();
+    let f = with_path(path, std::fs::File::create(path).map_err(TensorError::Io))?;
+    with_path(path, write_tns(tensor, f))
 }
 
 /// Magic bytes of the binary tensor format.
@@ -202,7 +217,7 @@ pub fn read_bin<R: Read>(reader: R) -> Result<CooTensor, TensorError> {
         Ok(u64::from_le_bytes(u64buf))
     };
     let nmodes = read_u64(&mut r)? as usize;
-    if nmodes < 2 || nmodes > 64 {
+    if !(2..=64).contains(&nmodes) {
         return Err(TensorError::Invalid(format!(
             "implausible mode count {nmodes} in binary tensor"
         )));
@@ -215,16 +230,16 @@ pub fn read_bin<R: Read>(reader: R) -> Result<CooTensor, TensorError> {
 
     let mut cols: Vec<Vec<Idx>> = Vec::with_capacity(nmodes);
     let mut buf4 = [0u8; 4];
-    for m in 0..nmodes {
+    for (m, &dim) in dims.iter().enumerate() {
         let mut col = Vec::with_capacity(nnz);
         for _ in 0..nnz {
             r.read_exact(&mut buf4)?;
             let i = Idx::from_le_bytes(buf4);
-            if i as usize >= dims[m] {
+            if i as usize >= dim {
                 return Err(TensorError::IndexOutOfBounds {
                     mode: m,
                     index: i as u64,
-                    dim: dims[m],
+                    dim,
                 });
             }
             col.push(i);
@@ -246,12 +261,16 @@ pub fn read_bin<R: Read>(reader: R) -> Result<CooTensor, TensorError> {
 
 /// Write a tensor to a binary file.
 pub fn write_bin_file<P: AsRef<Path>>(tensor: &CooTensor, path: P) -> Result<(), TensorError> {
-    write_bin(tensor, std::fs::File::create(path)?)
+    let path = path.as_ref();
+    let f = with_path(path, std::fs::File::create(path).map_err(TensorError::Io))?;
+    with_path(path, write_bin(tensor, f))
 }
 
 /// Read a tensor from a binary file.
 pub fn read_bin_file<P: AsRef<Path>>(path: P) -> Result<CooTensor, TensorError> {
-    read_bin(std::fs::File::open(path)?)
+    let path = path.as_ref();
+    let f = with_path(path, std::fs::File::open(path).map_err(TensorError::Io))?;
+    with_path(path, read_bin(f))
 }
 
 #[cfg(test)]
@@ -365,6 +384,21 @@ mod tests {
         let back = read_bin_file(&path).unwrap();
         assert_eq!(back, t);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_errors_name_the_path() {
+        let missing = std::env::temp_dir().join("sptensor_definitely_missing.tns");
+        let err = read_tns_file(&missing, None).unwrap_err().to_string();
+        assert!(err.contains("sptensor_definitely_missing.tns"), "{err}");
+        let err = read_bin_file(&missing).unwrap_err().to_string();
+        assert!(err.contains("sptensor_definitely_missing.tns"), "{err}");
+        let t = CooTensor::new(vec![2, 2]).unwrap();
+        let bad_dir = std::env::temp_dir().join("no_such_dir_xyz").join("t.tns");
+        let err = write_tns_file(&t, &bad_dir).unwrap_err().to_string();
+        assert!(err.contains("no_such_dir_xyz"), "{err}");
+        let err = write_bin_file(&t, &bad_dir).unwrap_err().to_string();
+        assert!(err.contains("no_such_dir_xyz"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! The delta buffer: a sorted COO correction tensor next to an
+//! immutable base.
+//!
+//! The streamed tensor is represented as `base_scale * base + delta`:
+//!
+//! * `base` is the canonically sorted COO the current CSF set was
+//!   compiled from — never mutated in place, so compiled representations
+//!   stay valid while the buffer ingests.
+//! * `delta` is a canonically sorted COO of *additive corrections*.
+//!   Appends, value updates and even deletions (set to zero) are all the
+//!   same thing under this encoding: a correction at a coordinate.
+//! * `base_scale` implements exponential time-decay without rewriting
+//!   the base: decaying history by `gamma` multiplies the scalar (and
+//!   the delta values), not the millions of stored values.
+//!
+//! The squared Frobenius norm is maintained incrementally per operation
+//! (`norm += v_new^2 - v_old^2`) so the refit's relative-error
+//! denominator never requires a pass over the data; a merge recomputes
+//! it exactly, flushing accumulated rounding drift.
+
+use crate::error::StreamError;
+use crate::ops::StreamOp;
+use sptensor::{CooTensor, Idx};
+use std::collections::BTreeMap;
+
+/// Bookkeeping for one ingested batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestStats {
+    /// Operations that created a nonzero at a previously empty
+    /// coordinate.
+    pub appended: usize,
+    /// Operations that hit an existing entry (value updates).
+    pub updated: usize,
+    /// Rows added to each mode by growth operations.
+    pub grown_rows: Vec<usize>,
+}
+
+/// Sorted-COO delta corrections over an immutable scaled base tensor.
+#[derive(Debug, Clone)]
+pub struct DeltaBuffer {
+    base: CooTensor,
+    base_scale: f64,
+    delta: CooTensor,
+    dims: Vec<usize>,
+    norm_sq: f64,
+    /// Delta entries at coordinates absent from the base (appends).
+    appended: usize,
+}
+
+impl DeltaBuffer {
+    /// Wrap a non-empty base tensor (canonicalized in place: sorted,
+    /// duplicates summed).
+    pub fn new(mut base: CooTensor) -> Result<Self, StreamError> {
+        if base.nnz() == 0 {
+            return Err(StreamError::Invalid(
+                "streaming needs a non-empty base tensor".into(),
+            ));
+        }
+        base.dedup_sum();
+        let dims = base.dims().to_vec();
+        let norm_sq = base.norm_sq();
+        let delta = CooTensor::new(dims.clone())?;
+        Ok(DeltaBuffer {
+            base,
+            base_scale: 1.0,
+            delta,
+            dims,
+            norm_sq,
+            appended: 0,
+        })
+    }
+
+    /// Current mode lengths (including growth not yet reflected in the
+    /// base).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Logical entry count of the streamed tensor: base entries plus
+    /// appended coordinates. Entries whose current value is zero still
+    /// count — they are stored (and served) explicitly until a merge.
+    pub fn nnz(&self) -> usize {
+        self.base.nnz() + self.appended
+    }
+
+    /// Stored nonzeros in the base.
+    pub fn base_nnz(&self) -> usize {
+        self.base.nnz()
+    }
+
+    /// Stored corrections in the delta.
+    pub fn delta_nnz(&self) -> usize {
+        self.delta.nnz()
+    }
+
+    /// The decay multiplier applied to the base values.
+    pub fn base_scale(&self) -> f64 {
+        self.base_scale
+    }
+
+    /// Squared Frobenius norm of the logical tensor (incrementally
+    /// maintained).
+    pub fn norm_sq(&self) -> f64 {
+        self.norm_sq
+    }
+
+    /// The immutable base COO (what the compiled CSF set represents).
+    pub fn base_coo(&self) -> &CooTensor {
+        &self.base
+    }
+
+    /// The correction COO (canonical order).
+    pub fn delta_coo(&self) -> &CooTensor {
+        &self.delta
+    }
+
+    /// Current value at `coord`: `base_scale * base + delta`.
+    pub fn current_value(&self, coord: &[Idx]) -> f64 {
+        self.base_scale * self.base.value_at_sorted(coord).unwrap_or(0.0)
+            + self.delta.value_at_sorted(coord).unwrap_or(0.0)
+    }
+
+    /// Apply one batch of operations. Operations see the effects of
+    /// earlier operations in the same batch (a `Grow` makes new indices
+    /// addressable; an `Add` after a `Set` adds to the set value).
+    pub fn ingest(&mut self, ops: &[StreamOp]) -> Result<IngestStats, StreamError> {
+        let nmodes = self.dims.len();
+        let mut stats = IngestStats {
+            appended: 0,
+            updated: 0,
+            grown_rows: vec![0; nmodes],
+        };
+        // Batch-local corrections; BTreeMap over coordinates iterates in
+        // canonical order, which is exactly what merge_add wants.
+        let mut staged: BTreeMap<Vec<Idx>, f64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                StreamOp::Grow { mode, new_len } => {
+                    if *mode >= nmodes {
+                        return Err(StreamError::Invalid(format!(
+                            "grow on mode {mode} of a {nmodes}-mode stream"
+                        )));
+                    }
+                    if *new_len < self.dims[*mode] {
+                        return Err(StreamError::Invalid(format!(
+                            "grow cannot shrink mode {mode} from {} to {new_len}",
+                            self.dims[*mode]
+                        )));
+                    }
+                    if *new_len > Idx::MAX as usize {
+                        return Err(StreamError::Invalid(format!(
+                            "mode {mode} length {new_len} exceeds index type"
+                        )));
+                    }
+                    stats.grown_rows[*mode] += new_len - self.dims[*mode];
+                    self.dims[*mode] = *new_len;
+                }
+                StreamOp::Add { coord, val } | StreamOp::Set { coord, val } => {
+                    if coord.len() != nmodes {
+                        return Err(StreamError::Invalid(format!(
+                            "coordinate arity {} does not match order {nmodes}",
+                            coord.len()
+                        )));
+                    }
+                    for (m, (&c, &d)) in coord.iter().zip(&self.dims).enumerate() {
+                        if c as usize >= d {
+                            return Err(StreamError::Invalid(format!(
+                                "coordinate {c} out of bounds for mode {m} (length {d})"
+                            )));
+                        }
+                    }
+                    if !val.is_finite() {
+                        return Err(StreamError::Invalid(format!(
+                            "non-finite value {val} at {coord:?}"
+                        )));
+                    }
+                    let staged_dv = staged.get(coord.as_slice()).copied();
+                    let exists = staged_dv.is_some()
+                        || self.delta.find_sorted(coord).is_some()
+                        || self.base.find_sorted(coord).is_some();
+                    let v0 = self.current_value(coord) + staged_dv.unwrap_or(0.0);
+                    let (v1, dv) = match op {
+                        StreamOp::Add { .. } => (v0 + val, *val),
+                        StreamOp::Set { .. } => (*val, val - v0),
+                        StreamOp::Grow { .. } => unreachable!(),
+                    };
+                    self.norm_sq += v1 * v1 - v0 * v0;
+                    *staged.entry(coord.clone()).or_insert(0.0) += dv;
+                    if exists {
+                        stats.updated += 1;
+                    } else {
+                        stats.appended += 1;
+                    }
+                }
+            }
+        }
+
+        // Fold the batch into the persistent delta. Dimensions first, so
+        // the merge accepts coordinates in grown modes.
+        for m in 0..nmodes {
+            if self.delta.dims()[m] < self.dims[m] {
+                self.delta.grow_mode(m, self.dims[m])?;
+            }
+        }
+        if !staged.is_empty() {
+            let mut staged_coo = CooTensor::with_capacity(self.dims.clone(), staged.len())?;
+            let mut fresh_in_batch = 0usize;
+            for (coord, dv) in &staged {
+                if self.delta.find_sorted(coord).is_none() && self.base.find_sorted(coord).is_none()
+                {
+                    fresh_in_batch += 1;
+                }
+                staged_coo.push(coord, *dv)?;
+            }
+            self.delta.merge_add(&staged_coo)?;
+            self.appended += fresh_in_batch;
+        }
+        Ok(stats)
+    }
+
+    /// Apply exponential time-decay: every stored value (base and delta)
+    /// is multiplied by `gamma` in `(0, 1]`, down-weighting history
+    /// relative to future batches. O(delta) — the base is scaled through
+    /// `base_scale`.
+    pub fn decay(&mut self, gamma: f64) -> Result<(), StreamError> {
+        if !(gamma > 0.0 && gamma <= 1.0) {
+            return Err(StreamError::Invalid(format!(
+                "decay factor {gamma} outside (0, 1]"
+            )));
+        }
+        self.base_scale *= gamma;
+        self.delta.scale_values(gamma);
+        self.norm_sq *= gamma * gamma;
+        Ok(())
+    }
+
+    /// Materialize the current logical tensor
+    /// (`base_scale * base + delta`) as a canonical COO with the current
+    /// dimensions. Explicit zeros are kept so entry counts stay
+    /// comparable with oracle bookkeeping.
+    pub fn merged_coo(&self) -> CooTensor {
+        let mut merged = self.base.clone();
+        if self.base_scale != 1.0 {
+            merged.scale_values(self.base_scale);
+        }
+        for (m, &d) in self.dims.iter().enumerate() {
+            merged.grow_mode(m, d).expect("buffer dims only ever grow");
+        }
+        merged
+            .merge_add(&self.delta)
+            .expect("base and delta share dims by construction");
+        merged
+    }
+
+    /// Fold the delta into the base: the buffer afterwards represents
+    /// the same logical tensor with an empty delta, unit scale, and an
+    /// exactly recomputed norm (flushing incremental rounding drift).
+    /// Returns the new base for the caller to recompile.
+    pub fn merge(&mut self) -> &CooTensor {
+        self.base = self.merged_coo();
+        self.base_scale = 1.0;
+        self.delta = CooTensor::new(self.dims.clone()).expect("dims stay valid");
+        self.appended = 0;
+        self.norm_sq = self.base.norm_sq();
+        &self.base
+    }
+
+    /// Adopt a base that was merged from an earlier snapshot of this
+    /// buffer (background rebuild): `merged` is the snapshot's
+    /// [`DeltaBuffer::merged_coo`], `snapshot_delta` the delta at
+    /// snapshot time *scaled by every decay applied since* (kept in sync
+    /// by the caller so untouched corrections cancel bitwise), and
+    /// `decay_since` the product of those decay factors. The remaining
+    /// delta is `current_delta - snapshot_delta`; the new base serves
+    /// scaled by `decay_since`.
+    pub(crate) fn adopt_merged(
+        &mut self,
+        mut merged: CooTensor,
+        snapshot_delta: &CooTensor,
+        decay_since: f64,
+    ) -> Result<(), StreamError> {
+        for (m, &d) in self.dims.iter().enumerate() {
+            merged.grow_mode(m, d)?;
+        }
+        let mut neg = snapshot_delta.clone();
+        neg.scale_values(-1.0);
+        for (m, &d) in self.dims.iter().enumerate() {
+            if neg.dims()[m] < d {
+                neg.grow_mode(m, d)?;
+            }
+        }
+        self.delta.merge_add(&neg)?;
+        // Corrections untouched since the snapshot cancel exactly (both
+        // sides saw the same sequence of decay multiplications).
+        self.delta.prune(0.0);
+        self.base = merged;
+        self.base_scale = decay_since;
+        self.appended = (0..self.delta.nnz())
+            .filter(|&n| self.base.find_sorted(&self.delta.coord(n)).is_none())
+            .count();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_2x3() -> CooTensor {
+        let mut t = CooTensor::new(vec![2, 3]).unwrap();
+        t.push(&[0, 0], 1.0).unwrap();
+        t.push(&[1, 2], 2.0).unwrap();
+        t
+    }
+
+    #[test]
+    fn rejects_empty_base() {
+        let empty = CooTensor::new(vec![2, 2]).unwrap();
+        assert!(DeltaBuffer::new(empty).is_err());
+    }
+
+    #[test]
+    fn ingest_add_set_grow_bookkeeping() {
+        let mut buf = DeltaBuffer::new(base_2x3()).unwrap();
+        let stats = buf
+            .ingest(&[
+                StreamOp::Add {
+                    coord: vec![0, 0],
+                    val: 0.5,
+                }, // update
+                StreamOp::Set {
+                    coord: vec![0, 1],
+                    val: 3.0,
+                }, // append
+                StreamOp::Grow {
+                    mode: 1,
+                    new_len: 5,
+                },
+                StreamOp::Add {
+                    coord: vec![1, 4],
+                    val: 1.0,
+                }, // append into grown region
+            ])
+            .unwrap();
+        assert_eq!(stats.appended, 2);
+        assert_eq!(stats.updated, 1);
+        assert_eq!(stats.grown_rows, vec![0, 2]);
+        assert_eq!(buf.dims(), &[2, 5]);
+        assert_eq!(buf.nnz(), 4);
+        assert_eq!(buf.delta_nnz(), 3);
+        assert_eq!(buf.current_value(&[0, 0]), 1.5);
+        assert_eq!(buf.current_value(&[0, 1]), 3.0);
+        assert_eq!(buf.current_value(&[1, 4]), 1.0);
+        assert_eq!(buf.current_value(&[1, 2]), 2.0);
+        // Incremental norm matches a direct recomputation.
+        let direct = buf.merged_coo().norm_sq();
+        assert!((buf.norm_sq() - direct).abs() < 1e-12 * direct.max(1.0));
+    }
+
+    #[test]
+    fn within_batch_ops_compose_in_order() {
+        let mut buf = DeltaBuffer::new(base_2x3()).unwrap();
+        buf.ingest(&[
+            StreamOp::Set {
+                coord: vec![0, 0],
+                val: 10.0,
+            },
+            StreamOp::Add {
+                coord: vec![0, 0],
+                val: 1.0,
+            },
+        ])
+        .unwrap();
+        assert_eq!(buf.current_value(&[0, 0]), 11.0);
+    }
+
+    #[test]
+    fn ingest_validates_ops() {
+        let mut buf = DeltaBuffer::new(base_2x3()).unwrap();
+        assert!(buf
+            .ingest(&[StreamOp::Add {
+                coord: vec![0, 9],
+                val: 1.0
+            }])
+            .is_err());
+        assert!(buf
+            .ingest(&[StreamOp::Add {
+                coord: vec![0],
+                val: 1.0
+            }])
+            .is_err());
+        assert!(buf
+            .ingest(&[StreamOp::Grow {
+                mode: 1,
+                new_len: 1
+            }])
+            .is_err());
+        assert!(buf
+            .ingest(&[StreamOp::Add {
+                coord: vec![0, 0],
+                val: f64::NAN
+            }])
+            .is_err());
+        // A failed batch must not have corrupted state.
+        assert_eq!(buf.nnz(), 2);
+    }
+
+    #[test]
+    fn decay_scales_everything() {
+        let mut buf = DeltaBuffer::new(base_2x3()).unwrap();
+        buf.ingest(&[StreamOp::Add {
+            coord: vec![0, 1],
+            val: 4.0,
+        }])
+        .unwrap();
+        let norm0 = buf.norm_sq();
+        buf.decay(0.5).unwrap();
+        assert_eq!(buf.base_scale(), 0.5);
+        assert_eq!(buf.current_value(&[0, 0]), 0.5);
+        assert_eq!(buf.current_value(&[0, 1]), 2.0);
+        assert!((buf.norm_sq() - 0.25 * norm0).abs() < 1e-12);
+        assert!(buf.decay(0.0).is_err());
+        assert!(buf.decay(1.5).is_err());
+    }
+
+    #[test]
+    fn merge_preserves_logical_tensor() {
+        let mut buf = DeltaBuffer::new(base_2x3()).unwrap();
+        buf.ingest(&[
+            StreamOp::Add {
+                coord: vec![0, 0],
+                val: 0.25,
+            },
+            StreamOp::Set {
+                coord: vec![1, 0],
+                val: 7.0,
+            },
+        ])
+        .unwrap();
+        buf.decay(0.8).unwrap();
+        let before = buf.merged_coo();
+        buf.merge();
+        assert_eq!(buf.delta_nnz(), 0);
+        assert_eq!(buf.base_scale(), 1.0);
+        let after = buf.merged_coo();
+        assert_eq!(before, after);
+        assert_eq!(buf.nnz(), 3);
+    }
+}

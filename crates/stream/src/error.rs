@@ -1,0 +1,67 @@
+//! Error type for the streaming subsystem.
+
+use aoadmm::AoAdmmError;
+use sptensor::TensorError;
+use std::fmt;
+
+/// Errors raised while ingesting updates or refitting a streamed tensor.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Invalid stream operation or configuration.
+    Invalid(String),
+    /// Propagated tensor-substrate error.
+    Tensor(TensorError),
+    /// Propagated factorization error.
+    Factorize(AoAdmmError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Invalid(msg) => write!(f, "stream error: {msg}"),
+            StreamError::Tensor(e) => write!(f, "tensor error: {e}"),
+            StreamError::Factorize(e) => write!(f, "factorization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Invalid(_) => None,
+            StreamError::Tensor(e) => Some(e),
+            StreamError::Factorize(e) => Some(e),
+        }
+    }
+}
+
+impl From<TensorError> for StreamError {
+    fn from(e: TensorError) -> Self {
+        StreamError::Tensor(e)
+    }
+}
+
+impl From<AoAdmmError> for StreamError {
+    fn from(e: AoAdmmError) -> Self {
+        StreamError::Factorize(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e = StreamError::Invalid("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let t: StreamError = TensorError::Invalid("x".into()).into();
+        assert!(t.to_string().contains("tensor"));
+        assert!(t.source().is_some());
+        let f: StreamError = AoAdmmError::Config("y".into()).into();
+        assert!(f.to_string().contains("factorization"));
+        assert!(f.source().is_some());
+    }
+}

@@ -1,0 +1,464 @@
+//! The online service loop: ingest a batch, maybe rebuild, refit warm.
+//!
+//! [`StreamingFactorizer`] owns everything a long-lived deployment needs
+//! between batches: the [`DeltaBuffer`], the compiled
+//! [`PreparedTensor`], and the warm-start state — factor matrices, ADMM
+//! scaled duals ([`DualState`]) and cached Gram matrices — that makes
+//! each bounded refit resume exactly where the previous one stopped.
+//! Mode growth appends rows to all three (new entities start at the
+//! column mean of their factor, with zero duals); a merge recompiles the
+//! CSF set and its execution plans either inline or on a background
+//! thread.
+
+use crate::delta::{DeltaBuffer, IngestStats};
+use crate::error::StreamError;
+use crate::ops::StreamOp;
+use crate::policy::{MergePolicy, RebuildMode};
+use crate::view::DeltaView;
+use admm::DualState;
+use aoadmm::trace::RefitRecord;
+use aoadmm::{
+    factorize_prepared, init_factors, AoAdmmError, Factorizer, KruskalModel, PreparedTensor,
+    TensorSource,
+};
+use splinalg::DMat;
+use sptensor::CooTensor;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration for the streaming loop: a base [`Factorizer`] (rank,
+/// constraints, ADMM settings, CSF policy) plus the streaming-specific
+/// knobs.
+#[derive(Clone)]
+pub struct StreamingConfig {
+    factorizer: Factorizer,
+    refit_outer: usize,
+    refit_tol: f64,
+    decay: Option<f64>,
+    policy: MergePolicy,
+}
+
+impl StreamingConfig {
+    /// Wrap a factorizer configuration with streaming defaults: refits
+    /// capped at 10 outer iterations, refit tolerance inherited from the
+    /// factorizer, no decay, default merge policy.
+    pub fn new(factorizer: Factorizer) -> Self {
+        let refit_tol = factorizer.outer_tolerance();
+        StreamingConfig {
+            factorizer,
+            refit_outer: 10,
+            refit_tol,
+            decay: None,
+            policy: MergePolicy::default(),
+        }
+    }
+
+    /// Cap each per-batch refit at `n` outer iterations (the latency
+    /// budget of a batch).
+    pub fn refit_outer(mut self, n: usize) -> Self {
+        self.refit_outer = n;
+        self
+    }
+
+    /// Early-stopping tolerance for the per-batch refit.
+    pub fn refit_tol(mut self, tol: f64) -> Self {
+        self.refit_tol = tol;
+        self
+    }
+
+    /// Multiply all existing values by `gamma` in `(0, 1]` before each
+    /// batch, exponentially down-weighting history.
+    pub fn decay(mut self, gamma: f64) -> Self {
+        self.decay = Some(gamma);
+        self
+    }
+
+    /// When (and how) to fold the delta into the base and recompile.
+    pub fn policy(mut self, policy: MergePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The wrapped factorizer configuration.
+    pub fn factorizer(&self) -> &Factorizer {
+        &self.factorizer
+    }
+
+    /// The per-batch outer-iteration cap.
+    pub fn refit_outer_value(&self) -> usize {
+        self.refit_outer
+    }
+}
+
+/// An in-flight background merge + recompile.
+struct RebuildJob {
+    handle: JoinHandle<Result<(PreparedTensor, CooTensor), AoAdmmError>>,
+    /// The delta at snapshot time, scaled by every decay applied since —
+    /// kept bitwise in sync with the live delta's scaling so untouched
+    /// corrections cancel exactly at adoption.
+    snapshot_delta: CooTensor,
+    /// Product of decay factors applied since the snapshot.
+    decay_since: f64,
+}
+
+/// Online CPD: ingest update batches, keep the compiled representation
+/// fresh per the merge policy, and refit with a bounded warm-started
+/// AO-ADMM after every batch.
+pub struct StreamingFactorizer {
+    cfg: StreamingConfig,
+    buf: DeltaBuffer,
+    prepared: PreparedTensor,
+    factors: Vec<DMat>,
+    duals: DualState,
+    grams: Vec<DMat>,
+    batch: usize,
+    records: Vec<RefitRecord>,
+    job: Option<RebuildJob>,
+}
+
+impl StreamingFactorizer {
+    /// Compile `base`, run the initial (full) factorization, and record
+    /// it as batch 0.
+    pub fn new(base: CooTensor, cfg: StreamingConfig) -> Result<Self, StreamError> {
+        let t0 = Instant::now();
+        let buf = DeltaBuffer::new(base)?;
+        let prepared = PreparedTensor::build(buf.base_coo(), cfg.factorizer.csf_policy_value())?;
+        let ingest = t0.elapsed();
+
+        let t1 = Instant::now();
+        let init = init_factors(
+            buf.dims(),
+            cfg.factorizer.rank(),
+            cfg.factorizer.seed_value(),
+            buf.norm_sq(),
+        );
+        let res = factorize_prepared(
+            &prepared,
+            &cfg.factorizer,
+            KruskalModel::new(init),
+            None,
+            None,
+        )?;
+        let refit = t1.elapsed();
+
+        let record = RefitRecord {
+            batch: 0,
+            appended: buf.nnz(),
+            updated: 0,
+            grown_rows: vec![0; buf.dims().len()],
+            delta_nnz: 0,
+            total_nnz: buf.nnz(),
+            merged: true,
+            outer_iterations: res.trace.outer_iterations(),
+            rel_error: res
+                .trace
+                .iterations
+                .last()
+                .map_or(f64::NAN, |i| i.rel_error),
+            ingest,
+            refit,
+        };
+        Ok(StreamingFactorizer {
+            cfg,
+            buf,
+            factors: res.model.into_factors(),
+            duals: DualState::from_mats(res.duals),
+            grams: res.grams,
+            prepared,
+            batch: 1,
+            records: vec![record],
+            job: None,
+        })
+    }
+
+    /// Ingest one batch of operations and refit. Returns the batch's
+    /// record (also appended to [`StreamingFactorizer::records`]).
+    pub fn push_batch(&mut self, ops: &[StreamOp]) -> Result<&RefitRecord, StreamError> {
+        let t0 = Instant::now();
+        let mut merged = self.try_adopt(false)?;
+
+        if let Some(gamma) = self.cfg.decay {
+            self.buf.decay(gamma)?;
+            if let Some(job) = &mut self.job {
+                job.snapshot_delta.scale_values(gamma);
+                job.decay_since *= gamma;
+            }
+        }
+
+        let stats = self.buf.ingest(ops)?;
+        if stats.grown_rows.iter().any(|&r| r > 0) {
+            self.apply_growth(&stats)?;
+        }
+
+        if self.job.is_none()
+            && self
+                .cfg
+                .policy
+                .should_merge(self.buf.delta_nnz(), self.buf.base_nnz())
+        {
+            match self.cfg.policy.rebuild {
+                RebuildMode::Synchronous => {
+                    self.rebuild_now()?;
+                    merged = true;
+                }
+                RebuildMode::Background => self.spawn_rebuild(),
+            }
+        }
+        let ingest = t0.elapsed();
+
+        let t1 = Instant::now();
+        let refit_cfg = self
+            .cfg
+            .factorizer
+            .clone()
+            .max_outer(self.cfg.refit_outer)
+            .tolerance(self.cfg.refit_tol);
+        let res = {
+            let view = DeltaView::new(&self.prepared, &self.buf);
+            factorize_prepared(
+                &view,
+                &refit_cfg,
+                KruskalModel::new(self.factors.clone()),
+                Some(self.duals.mats().to_vec()),
+                Some(self.grams.clone()),
+            )?
+        };
+        self.factors = res.model.into_factors();
+        self.duals = DualState::from_mats(res.duals);
+        self.grams = res.grams;
+        let refit = t1.elapsed();
+
+        self.records.push(RefitRecord {
+            batch: self.batch,
+            appended: stats.appended,
+            updated: stats.updated,
+            grown_rows: stats.grown_rows,
+            delta_nnz: self.buf.delta_nnz(),
+            total_nnz: self.buf.nnz(),
+            merged,
+            outer_iterations: res.trace.outer_iterations(),
+            rel_error: res
+                .trace
+                .iterations
+                .last()
+                .map_or(f64::NAN, |i| i.rel_error),
+            ingest,
+            refit,
+        });
+        self.batch += 1;
+        Ok(self.records.last().expect("just pushed"))
+    }
+
+    /// Finish any background rebuild and fold the remaining delta into
+    /// the base, leaving a freshly compiled representation (e.g. before
+    /// checkpointing or handing the tensor to batch tooling).
+    pub fn flush(&mut self) -> Result<(), StreamError> {
+        self.try_adopt(true)?;
+        if self.buf.delta_nnz() > 0 || self.buf.base_scale() != 1.0 {
+            self.rebuild_now()?;
+        }
+        Ok(())
+    }
+
+    /// Adopt a finished background rebuild. With `block`, wait for an
+    /// in-flight one. Returns whether an adoption happened.
+    fn try_adopt(&mut self, block: bool) -> Result<bool, StreamError> {
+        match &self.job {
+            None => return Ok(false),
+            Some(job) if !block && !job.handle.is_finished() => return Ok(false),
+            Some(_) => {}
+        }
+        let job = self.job.take().expect("checked above");
+        let (prepared, merged) = job
+            .handle
+            .join()
+            .map_err(|_| StreamError::Invalid("background rebuild thread panicked".into()))??;
+        self.buf
+            .adopt_merged(merged, &job.snapshot_delta, job.decay_since)?;
+        self.prepared = prepared;
+        if self.prepared.dims() != self.buf.dims() {
+            self.prepared.grow_dims(self.buf.dims())?;
+        }
+        Ok(true)
+    }
+
+    /// Inline merge + recompile.
+    fn rebuild_now(&mut self) -> Result<(), StreamError> {
+        let base = self.buf.merge();
+        self.prepared = PreparedTensor::build(base, self.cfg.factorizer.csf_policy_value())?;
+        Ok(())
+    }
+
+    /// Snapshot the buffer and recompile on a background thread;
+    /// ingestion and refits continue against the old base meanwhile.
+    fn spawn_rebuild(&mut self) {
+        let merged = self.buf.merged_coo();
+        let snapshot_delta = self.buf.delta_coo().clone();
+        let policy = self.cfg.factorizer.csf_policy_value();
+        let handle = std::thread::spawn(move || {
+            let prepared = PreparedTensor::build(&merged, policy)?;
+            Ok((prepared, merged))
+        });
+        self.job = Some(RebuildJob {
+            handle,
+            snapshot_delta,
+            decay_since: 1.0,
+        });
+    }
+
+    /// Grow compiled dims, factors (new rows start at the column mean of
+    /// their factor — "a new user looks like the average user"), duals
+    /// (zero rows) and Gram caches after mode growth.
+    fn apply_growth(&mut self, stats: &IngestStats) -> Result<(), StreamError> {
+        self.prepared.grow_dims(self.buf.dims())?;
+        let rank = self.cfg.factorizer.rank();
+        for (m, &extra) in stats.grown_rows.iter().enumerate() {
+            if extra == 0 {
+                continue;
+            }
+            let fac = &mut self.factors[m];
+            let mut mean = vec![0.0; rank];
+            if fac.nrows() > 0 {
+                for r in 0..fac.nrows() {
+                    for (s, &v) in mean.iter_mut().zip(fac.row(r)) {
+                        *s += v;
+                    }
+                }
+                let inv = 1.0 / fac.nrows() as f64;
+                for s in &mut mean {
+                    *s *= inv;
+                }
+            }
+            let old_rows = fac.nrows();
+            fac.append_zero_rows(extra);
+            for r in old_rows..fac.nrows() {
+                fac.row_mut(r).copy_from_slice(&mean);
+            }
+            self.duals.grow_mode(m, extra);
+            self.grams[m] = fac.gram();
+        }
+        Ok(())
+    }
+
+    /// The current factor matrices.
+    pub fn factors(&self) -> &[DMat] {
+        &self.factors
+    }
+
+    /// A clone of the current model.
+    pub fn model(&self) -> KruskalModel {
+        KruskalModel::new(self.factors.clone())
+    }
+
+    /// Per-batch records, starting with the initial fit (batch 0).
+    pub fn records(&self) -> &[RefitRecord] {
+        &self.records
+    }
+
+    /// Relative error after the most recent refit.
+    pub fn rel_error(&self) -> f64 {
+        self.records.last().map_or(f64::NAN, |r| r.rel_error)
+    }
+
+    /// The delta buffer (current logical tensor state).
+    pub fn buffer(&self) -> &DeltaBuffer {
+        &self.buf
+    }
+
+    /// Whether a background rebuild is currently in flight.
+    pub fn rebuild_in_flight(&self) -> bool {
+        self.job.is_some()
+    }
+
+    /// Materialize the current logical tensor as a canonical COO.
+    pub fn current_coo(&self) -> CooTensor {
+        self.buf.merged_coo()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testkit::gen;
+
+    fn small_cfg(rank: usize) -> StreamingConfig {
+        StreamingConfig::new(Factorizer::new(rank).seed(7).max_outer(40).tolerance(1e-7))
+            .refit_outer(6)
+            .refit_tol(1e-8)
+    }
+
+    #[test]
+    fn initial_fit_recorded_as_batch_zero() {
+        let base = gen::tensor(&[8, 7, 6], 150, 3);
+        let sf = StreamingFactorizer::new(base, small_cfg(4)).unwrap();
+        assert_eq!(sf.records().len(), 1);
+        let r0 = &sf.records()[0];
+        assert_eq!(r0.batch, 0);
+        assert!(r0.merged);
+        assert!(r0.outer_iterations > 0);
+        assert!(r0.rel_error.is_finite());
+    }
+
+    #[test]
+    fn batches_update_state_and_records() {
+        let base = gen::tensor(&[8, 7, 6], 150, 3);
+        let mut sf = StreamingFactorizer::new(base, small_cfg(4)).unwrap();
+        let rec = sf
+            .push_batch(&[
+                StreamOp::Add {
+                    coord: vec![0, 0, 0],
+                    val: 0.4,
+                },
+                StreamOp::Set {
+                    coord: vec![7, 6, 5],
+                    val: 1.0,
+                },
+            ])
+            .unwrap();
+        assert_eq!(rec.batch, 1);
+        assert!(rec.outer_iterations <= 6);
+        assert!(sf.rel_error().is_finite());
+        assert_eq!(sf.records().len(), 2);
+    }
+
+    #[test]
+    fn growth_extends_factors_and_duals() {
+        let base = gen::tensor(&[8, 7, 6], 150, 3);
+        let mut sf = StreamingFactorizer::new(base, small_cfg(3)).unwrap();
+        sf.push_batch(&[
+            StreamOp::Grow {
+                mode: 1,
+                new_len: 10,
+            },
+            StreamOp::Add {
+                coord: vec![2, 9, 1],
+                val: 0.8,
+            },
+        ])
+        .unwrap();
+        assert_eq!(sf.buffer().dims(), &[8, 10, 6]);
+        assert_eq!(sf.factors()[1].nrows(), 10);
+        assert_eq!(sf.factors()[0].nrows(), 8);
+        // Refit keeps shapes consistent.
+        assert_eq!(sf.model().factor(1).nrows(), 10);
+    }
+
+    #[test]
+    fn flush_leaves_clean_compiled_state() {
+        let base = gen::tensor(&[8, 7, 6], 150, 3);
+        let cfg = small_cfg(3).decay(0.9).policy(MergePolicy::never());
+        let mut sf = StreamingFactorizer::new(base, cfg).unwrap();
+        sf.push_batch(&[StreamOp::Add {
+            coord: vec![1, 1, 1],
+            val: 0.3,
+        }])
+        .unwrap();
+        assert!(sf.buffer().delta_nnz() > 0);
+        let before = sf.current_coo();
+        sf.flush().unwrap();
+        assert_eq!(sf.buffer().delta_nnz(), 0);
+        assert_eq!(sf.buffer().base_scale(), 1.0);
+        let after = sf.current_coo();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,41 @@
+//! Streaming CPD: incremental tensor ingestion with warm-started
+//! AO-ADMM refits.
+//!
+//! The core crates factorize a static tensor once; this crate turns that
+//! into an online service loop for tensors that grow while being served
+//! (user x item x time interactions arriving continuously, new users and
+//! items appearing in every mode):
+//!
+//! * [`DeltaBuffer`] ingests batches of nonzero updates ([`StreamOp`]:
+//!   appends, value updates, mode growth) and keeps them as a sorted COO
+//!   *correction* tensor next to the immutable base. Because MTTKRP is
+//!   linear in the tensor values,
+//!   `MTTKRP(scale * base + delta) = scale * MTTKRP(base) + MTTKRP(delta)`,
+//!   so the compiled CSF representation and its execution plans keep
+//!   serving unchanged while the delta stays small ([`DeltaView`]).
+//! * [`MergePolicy`] decides when the delta has grown past a configured
+//!   fraction of the base and triggers a merge + CSF/plan rebuild —
+//!   synchronously, or in a background thread while the buffer keeps
+//!   ingesting ([`RebuildMode`]).
+//! * [`StreamingFactorizer`] runs a bounded warm-started AO-ADMM refit
+//!   after each batch, persisting factors, ADMM duals and Gram caches
+//!   across batches, with optional exponential time-decay of the old
+//!   nonzeros. Each batch yields a [`aoadmm::RefitRecord`].
+
+#![warn(missing_docs)]
+
+mod delta;
+mod error;
+mod factorizer;
+mod ops;
+mod policy;
+mod replay;
+mod view;
+
+pub use delta::{DeltaBuffer, IngestStats};
+pub use error::StreamError;
+pub use factorizer::{StreamingConfig, StreamingFactorizer};
+pub use ops::StreamOp;
+pub use policy::{MergePolicy, RebuildMode};
+pub use replay::{replay_batches, ReplayConfig};
+pub use view::{delta_mttkrp_add, DeltaView};

@@ -1,0 +1,34 @@
+//! The stream-ingestion op vocabulary.
+
+use sptensor::Idx;
+
+/// A single mutation of the streamed tensor. Operations inside one batch
+/// are applied in order, so a [`StreamOp::Grow`] makes the new indices
+/// addressable for the rest of its batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamOp {
+    /// Add `val` to the entry at `coord`, appending a nonzero if the
+    /// coordinate was empty.
+    Add {
+        /// Coordinate of the entry.
+        coord: Vec<Idx>,
+        /// Value to add.
+        val: f64,
+    },
+    /// Overwrite the entry at `coord` with `val` (a value update; the
+    /// entry is created if absent).
+    Set {
+        /// Coordinate of the entry.
+        coord: Vec<Idx>,
+        /// New value.
+        val: f64,
+    },
+    /// Extend `mode` to `new_len` indices — new users/items joining.
+    /// Factor and dual matrices gain rows accordingly.
+    Grow {
+        /// Mode to extend.
+        mode: usize,
+        /// New mode length; must not shrink.
+        new_len: usize,
+    },
+}

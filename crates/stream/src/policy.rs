@@ -1,0 +1,95 @@
+//! When to stop serving CSF + delta and recompile.
+//!
+//! Serving the delta costs an extra `O(delta_nnz * rank * nmodes)` per
+//! MTTKRP with no fiber reuse, so its cost grows linearly while the
+//! compiled base amortizes. The policy caps the delta at a fraction of
+//! the base nnz (SPLATT-style rule of thumb: recompilation pays for
+//! itself once the delta pass rivals a CSF root's share of the work),
+//! with an absolute floor so tiny tensors don't thrash on rebuilds.
+
+/// How the merge + CSF/plan rebuild is executed when the policy fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildMode {
+    /// Merge and recompile inline before the next refit. Simple,
+    /// deterministic, but the batch that trips the threshold pays the
+    /// full rebuild latency.
+    Synchronous,
+    /// Merge and recompile on a background thread while ingestion and
+    /// refits continue against the old base; the new base is adopted at
+    /// the next batch boundary after it completes, subtracting the
+    /// snapshot's corrections from the live delta.
+    Background,
+}
+
+/// Decides when the delta buffer is folded into the base.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergePolicy {
+    /// Merge once `delta_nnz > max_delta_fraction * base_nnz`.
+    pub max_delta_fraction: f64,
+    /// Never merge below this many delta entries, regardless of the
+    /// fraction (rebuilds on small tensors cost more than they save).
+    pub min_delta_nnz: usize,
+    /// Inline or background rebuild.
+    pub rebuild: RebuildMode,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        MergePolicy {
+            max_delta_fraction: 0.2,
+            min_delta_nnz: 1024,
+            rebuild: RebuildMode::Synchronous,
+        }
+    }
+}
+
+impl MergePolicy {
+    /// A policy that merges after every non-empty batch (useful for
+    /// conformance testing: the served state is always a freshly
+    /// compiled tensor).
+    pub fn always(rebuild: RebuildMode) -> Self {
+        MergePolicy {
+            max_delta_fraction: 0.0,
+            min_delta_nnz: 1,
+            rebuild,
+        }
+    }
+
+    /// A policy that never merges (pure CSF + delta serving).
+    pub fn never() -> Self {
+        MergePolicy {
+            max_delta_fraction: f64::INFINITY,
+            min_delta_nnz: usize::MAX,
+            rebuild: RebuildMode::Synchronous,
+        }
+    }
+
+    /// Should the buffer be merged given its current sizes?
+    pub fn should_merge(&self, delta_nnz: usize, base_nnz: usize) -> bool {
+        delta_nnz >= self.min_delta_nnz
+            && delta_nnz as f64 > self.max_delta_fraction * base_nnz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_thresholds() {
+        let p = MergePolicy::default();
+        assert!(!p.should_merge(0, 10_000));
+        assert!(!p.should_merge(1000, 10_000)); // below floor
+        assert!(!p.should_merge(1500, 10_000)); // below fraction
+        assert!(p.should_merge(2500, 10_000));
+    }
+
+    #[test]
+    fn always_and_never() {
+        let a = MergePolicy::always(RebuildMode::Background);
+        assert!(a.should_merge(1, 1_000_000));
+        assert!(!a.should_merge(0, 10));
+        let n = MergePolicy::never();
+        assert!(!n.should_merge(usize::MAX - 1, 1));
+    }
+}

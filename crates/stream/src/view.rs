@@ -1,0 +1,184 @@
+//! Serving MTTKRP from a compiled base plus an uncompiled delta.
+//!
+//! MTTKRP is linear in the tensor values, so for the logical tensor
+//! `base_scale * base + delta`:
+//!
+//! ```text
+//! MTTKRP(X, mode) = base_scale * MTTKRP(base, mode) + MTTKRP(delta, mode)
+//! ```
+//!
+//! The base term runs through the compiled CSF set and its execution
+//! plans; the delta term is a sequential pass over the (small, sorted)
+//! correction COO. This is what lets the streaming loop refit after every
+//! batch without recompiling anything until the merge policy fires.
+
+use crate::delta::DeltaBuffer;
+use aoadmm::sparsity::SparsityDecision;
+use aoadmm::{AoAdmmError, Factorizer, PlanStrategy, PreparedTensor, TensorSource};
+use splinalg::{vecops, DMat};
+use sptensor::CooTensor;
+
+/// A [`TensorSource`] over a compiled [`PreparedTensor`] and the
+/// [`DeltaBuffer`] it was compiled from. The prepared tensor must
+/// represent the buffer's *base* (the buffer's dims may be larger if
+/// modes grew — the caller grows the prepared tensor's dims alongside).
+pub struct DeltaView<'a> {
+    prepared: &'a PreparedTensor,
+    buf: &'a DeltaBuffer,
+}
+
+impl<'a> DeltaView<'a> {
+    /// Pair a compiled base with its delta buffer. The two must agree on
+    /// the current mode lengths.
+    pub fn new(prepared: &'a PreparedTensor, buf: &'a DeltaBuffer) -> Self {
+        assert_eq!(
+            prepared.dims(),
+            buf.dims(),
+            "compiled base and delta buffer disagree on dims"
+        );
+        DeltaView { prepared, buf }
+    }
+}
+
+impl TensorSource for DeltaView<'_> {
+    fn dims(&self) -> &[usize] {
+        self.buf.dims()
+    }
+
+    fn nnz(&self) -> usize {
+        self.buf.nnz()
+    }
+
+    fn norm_sq(&self) -> f64 {
+        self.buf.norm_sq()
+    }
+
+    fn mttkrp(
+        &self,
+        mode: usize,
+        factors: &[DMat],
+        cfg: &Factorizer,
+        out: &mut DMat,
+    ) -> Result<(SparsityDecision, Option<PlanStrategy>), AoAdmmError> {
+        let decision = self.prepared.mttkrp(mode, factors, cfg, out)?;
+        let scale = self.buf.base_scale();
+        if scale != 1.0 {
+            out.scale(scale);
+        }
+        delta_mttkrp_add(self.buf.delta_coo(), factors, mode, out)?;
+        Ok(decision)
+    }
+}
+
+/// Accumulate `MTTKRP(delta, mode)` into `out` (`out += ...`).
+/// Sequential coordinate-wise pass — the delta is small by design; when
+/// it isn't, the merge policy should have fired.
+pub fn delta_mttkrp_add(
+    delta: &CooTensor,
+    factors: &[DMat],
+    mode: usize,
+    out: &mut DMat,
+) -> Result<(), AoAdmmError> {
+    let nmodes = delta.nmodes();
+    if factors.len() != nmodes || mode >= nmodes {
+        return Err(AoAdmmError::Config("bad delta MTTKRP arguments".into()));
+    }
+    if delta.nnz() == 0 {
+        return Ok(());
+    }
+    let rank = out.ncols();
+    let mut prod = vec![0.0; rank];
+    for n in 0..delta.nnz() {
+        for p in prod.iter_mut() {
+            *p = delta.values()[n];
+        }
+        for (m, fac) in factors.iter().enumerate() {
+            if m == mode {
+                continue;
+            }
+            vecops::hadamard_assign(&mut prod, fac.row(delta.mode_inds(m)[n] as usize));
+        }
+        let orow = out.row_mut(delta.mode_inds(mode)[n] as usize);
+        for (o, &p) in orow.iter_mut().zip(&prod) {
+            *o += p;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::StreamOp;
+    use aoadmm::mttkrp::mttkrp_reference;
+    use aoadmm::CsfPolicy;
+    use testkit::tolerance::assert_mats_close;
+    use testkit::{gen, tolerance};
+
+    #[test]
+    fn delta_mttkrp_matches_reference_on_pure_delta() {
+        let coo = gen::tensor(&[9, 7, 5], 120, 11);
+        let factors = gen::factors(&[9, 7, 5], 4, 0.0, 1.0, 12);
+        for mode in 0..3 {
+            let expect = mttkrp_reference(&coo, &factors, mode).unwrap();
+            let mut out = DMat::zeros(coo.dims()[mode], 4);
+            delta_mttkrp_add(&coo, &factors, mode, &mut out).unwrap();
+            assert_mats_close(
+                "pure delta vs reference",
+                &out,
+                &expect,
+                tolerance::KERNEL_RTOL,
+                tolerance::KERNEL_ATOL,
+            );
+        }
+    }
+
+    #[test]
+    fn view_matches_reference_on_merged_tensor() {
+        let base = gen::tensor(&[10, 8, 6], 160, 21);
+        let mut buf = DeltaBuffer::new(base).unwrap();
+        buf.ingest(&[
+            StreamOp::Add {
+                coord: vec![0, 0, 0],
+                val: 0.7,
+            },
+            StreamOp::Set {
+                coord: vec![9, 7, 5],
+                val: 2.0,
+            },
+            StreamOp::Grow {
+                mode: 0,
+                new_len: 12,
+            },
+            StreamOp::Add {
+                coord: vec![11, 3, 2],
+                val: 1.3,
+            },
+        ])
+        .unwrap();
+        buf.decay(0.9).unwrap();
+
+        let mut prepared = PreparedTensor::build(buf.base_coo(), CsfPolicy::PerMode).unwrap();
+        prepared.grow_dims(buf.dims()).unwrap();
+        let view = DeltaView::new(&prepared, &buf);
+
+        let merged = buf.merged_coo();
+        let factors = gen::factors(buf.dims(), 5, 0.0, 1.0, 31);
+        let cfg = Factorizer::new(5);
+        for mode in 0..3 {
+            let expect = mttkrp_reference(&merged, &factors, mode).unwrap();
+            let mut out = DMat::zeros(buf.dims()[mode], 5);
+            view.mttkrp(mode, &factors, &cfg, &mut out).unwrap();
+            assert_mats_close(
+                &format!("delta view vs merged reference, mode {mode}"),
+                &out,
+                &expect,
+                tolerance::KERNEL_RTOL,
+                tolerance::KERNEL_ATOL,
+            );
+        }
+        assert_eq!(view.nnz(), buf.nnz());
+        let expect_norm = merged.norm_sq();
+        assert!((view.norm_sq() - expect_norm).abs() < 1e-10 * expect_norm.max(1.0));
+    }
+}

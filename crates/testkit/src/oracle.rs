@@ -151,8 +151,8 @@ pub fn solve_spd(g: &DMat, rhs: &[f64]) -> Option<Vec<f64>> {
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut s = rhs[i];
-        for k in 0..i {
-            s -= l.get(i, k) * y[k];
+        for (k, &yk) in y.iter().enumerate().take(i) {
+            s -= l.get(i, k) * yk;
         }
         y[i] = s / l.get(i, i);
     }
@@ -160,8 +160,8 @@ pub fn solve_spd(g: &DMat, rhs: &[f64]) -> Option<Vec<f64>> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut s = y[i];
-        for k in (i + 1)..n {
-            s -= l.get(k, i) * x[k];
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            s -= l.get(k, i) * xk;
         }
         x[i] = s / l.get(i, i);
     }

@@ -36,7 +36,7 @@ where
 
     // Delta-debugging over the nonzero list: try dropping chunks of
     // decreasing size until no single-entry removal keeps the failure.
-    let mut chunk = (entries.len() + 1) / 2;
+    let mut chunk = entries.len().div_ceil(2);
     while chunk >= 1 && entries.len() > 1 {
         let mut start = 0;
         let mut removed_any = false;

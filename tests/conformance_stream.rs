@@ -1,0 +1,345 @@
+//! Streaming conformance: the incrementally maintained CSF+delta state
+//! against cold recomputation on the fully merged tensor.
+//!
+//! Four layers, each differential against an oracle that shares no code
+//! with the streaming path:
+//!
+//! 1. The [`DeltaBuffer`] state after every batch against
+//!    `testkit::gen::apply_delta_batches` (dense-map semantics).
+//! 2. [`DeltaView`] MTTKRP against the COO oracle on the merged tensor,
+//!    under rayon pools of 1 and 4 threads.
+//! 3. A bounded factorization driven from the CSF+delta view against the
+//!    identical run on a freshly compiled merged tensor, from the same
+//!    initial factors — trajectories must agree within solver tolerance.
+//! 4. The full [`StreamingFactorizer`] loop: warm-started refits must
+//!    reach the fit of cold refactorization after every batch in
+//!    strictly fewer total outer iterations, and background rebuilds
+//!    must land in the same state as synchronous ones.
+
+use aoadmm::{
+    factorize, factorize_prepared, init_factors, Factorizer, KruskalModel, PreparedTensor,
+    TensorSource,
+};
+use aoadmm_stream::{
+    DeltaBuffer, DeltaView, MergePolicy, RebuildMode, StreamOp, StreamingConfig,
+    StreamingFactorizer,
+};
+use splinalg::DMat;
+use sptensor::{CooTensor, Idx};
+use std::collections::BTreeMap;
+use testkit::gen::{self, DeltaBatch, DeltaOp, StreamSpec};
+use testkit::oracle;
+use testkit::tolerance::{assert_mats_close, KERNEL_ATOL, KERNEL_RTOL, SOLVER_RTOL};
+
+const THREAD_SWEEP: [usize; 2] = [1, 4];
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+/// Translate the testkit generator's op vocabulary into the stream
+/// crate's (kept separate so the oracle shares no types with the code
+/// under test).
+fn to_stream_ops(batch: &DeltaBatch) -> Vec<StreamOp> {
+    batch
+        .ops
+        .iter()
+        .map(|op| match op {
+            DeltaOp::Add { coord, val } => StreamOp::Add {
+                coord: coord.clone(),
+                val: *val,
+            },
+            DeltaOp::Set { coord, val } => StreamOp::Set {
+                coord: coord.clone(),
+                val: *val,
+            },
+            DeltaOp::Grow { mode, new_len } => StreamOp::Grow {
+                mode: *mode,
+                new_len: *new_len,
+            },
+        })
+        .collect()
+}
+
+/// Entry-wise comparison of two COO tensors over the union of their
+/// coordinates (absent = 0.0). Exact coordinate equality is not required
+/// because `Set` is encoded as an additive correction: the reassembled
+/// value differs from the oracle's by one rounding step.
+fn assert_coo_close(got: &CooTensor, want: &CooTensor, rtol: f64, atol: f64, label: &str) {
+    assert_eq!(got.dims(), want.dims(), "{label}: dims");
+    let mut union: BTreeMap<Vec<Idx>, (f64, f64)> = BTreeMap::new();
+    got.for_each_nonzero(|c, v| {
+        union.entry(c.to_vec()).or_insert((0.0, 0.0)).0 = v;
+    });
+    want.for_each_nonzero(|c, v| {
+        union.entry(c.to_vec()).or_insert((0.0, 0.0)).1 = v;
+    });
+    for (coord, (g, w)) in union {
+        let tol = atol + rtol * w.abs().max(g.abs());
+        assert!(
+            (g - w).abs() <= tol,
+            "{label}: value mismatch at {coord:?}: got {g}, want {w}"
+        );
+    }
+}
+
+#[test]
+fn buffer_tracks_the_oracle_batch_by_batch() {
+    for seed in [1u64, 2, 3] {
+        let (base, batches) = gen::delta_stream(&StreamSpec::small(seed));
+        let mut buf = DeltaBuffer::new(base.clone()).expect("non-empty base");
+        for k in 0..batches.len() {
+            buf.ingest(&to_stream_ops(&batches[k])).expect("valid ops");
+            let want = gen::apply_delta_batches(&base, &batches[..=k]);
+            assert_eq!(buf.nnz(), want.nnz(), "seed {seed} batch {k}: entry count");
+            assert_coo_close(
+                &buf.merged_coo(),
+                &want,
+                1e-12,
+                1e-13,
+                &format!("seed {seed} batch {k}"),
+            );
+            let direct = want.norm_sq();
+            assert!(
+                (buf.norm_sq() - direct).abs() <= 1e-9 * direct.max(1.0),
+                "seed {seed} batch {k}: incremental norm drifted"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_view_mttkrp_matches_the_merged_oracle() {
+    let (base, batches) = gen::delta_stream(&StreamSpec::small(7));
+    let mut buf = DeltaBuffer::new(base).expect("non-empty base");
+    for batch in &batches {
+        buf.ingest(&to_stream_ops(batch)).expect("valid ops");
+    }
+    let mut prepared =
+        PreparedTensor::build(buf.base_coo(), aoadmm::CsfPolicy::PerMode).expect("compiles");
+    prepared.grow_dims(buf.dims()).expect("grown dims");
+    let merged = buf.merged_coo();
+    let rank = 5;
+    let factors = gen::factors(buf.dims(), rank, -1.0, 1.0, 40);
+    let cfg = Factorizer::new(rank);
+
+    for threads in THREAD_SWEEP {
+        pool(threads).install(|| {
+            let view = DeltaView::new(&prepared, &buf);
+            for mode in 0..buf.dims().len() {
+                let want = oracle::mttkrp(&merged, &factors, mode);
+                let mut got = DMat::zeros(buf.dims()[mode], rank);
+                view.mttkrp(mode, &factors, &cfg, &mut got).expect("mttkrp");
+                assert_mats_close(
+                    &format!("view mttkrp, mode {mode}, {threads} threads"),
+                    &got,
+                    &want,
+                    KERNEL_RTOL,
+                    KERNEL_ATOL,
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn incremental_state_matches_cold_factorization_of_merged() {
+    let (base, batches) = gen::delta_stream(&StreamSpec::small(5));
+    let mut buf = DeltaBuffer::new(base).expect("non-empty base");
+    for batch in &batches {
+        buf.ingest(&to_stream_ops(batch)).expect("valid ops");
+    }
+    let mut prepared =
+        PreparedTensor::build(buf.base_coo(), aoadmm::CsfPolicy::PerMode).expect("compiles");
+    prepared.grow_dims(buf.dims()).expect("grown dims");
+    let merged = buf.merged_coo();
+    let cold_prepared =
+        PreparedTensor::build(&merged, aoadmm::CsfPolicy::PerMode).expect("compiles");
+
+    let rank = 4;
+    // Negative tolerance disables early stopping: both runs execute
+    // exactly max_outer iterations, so the comparison is trajectory
+    // against trajectory, not stopping rule against stopping rule.
+    let cfg = Factorizer::new(rank).seed(17).max_outer(12).tolerance(-1.0);
+    let init = init_factors(buf.dims(), rank, cfg.seed_value(), merged.norm_sq());
+
+    for threads in THREAD_SWEEP {
+        pool(threads).install(|| {
+            let view = DeltaView::new(&prepared, &buf);
+            let warm = factorize_prepared(&view, &cfg, KruskalModel::new(init.clone()), None, None)
+                .expect("view factorization");
+            let cold = factorize_prepared(
+                &cold_prepared,
+                &cfg,
+                KruskalModel::new(init.clone()),
+                None,
+                None,
+            )
+            .expect("cold factorization");
+            assert_eq!(
+                warm.trace.outer_iterations(),
+                cold.trace.outer_iterations(),
+                "{threads} threads: iteration counts"
+            );
+            for (m, (a, b)) in warm
+                .model
+                .factors()
+                .iter()
+                .zip(cold.model.factors())
+                .enumerate()
+            {
+                assert_mats_close(
+                    &format!("factor {m}, {threads} threads"),
+                    a,
+                    b,
+                    SOLVER_RTOL,
+                    1e-8,
+                );
+            }
+            let (ew, ec) = (
+                warm.trace.iterations.last().unwrap().rel_error,
+                cold.trace.iterations.last().unwrap().rel_error,
+            );
+            assert!(
+                (ew - ec).abs() <= 1e-6,
+                "{threads} threads: rel_error {ew} vs {ec}"
+            );
+        });
+    }
+}
+
+/// The acceptance headline: a [`StreamingFactorizer`] serving CSF+delta
+/// with bounded warm refits reaches the fit of cold refactorization
+/// after every batch, in strictly fewer total outer iterations.
+#[test]
+fn warm_refits_beat_cold_refactorization() {
+    let (base, batches) = gen::delta_stream(&StreamSpec::small(9));
+    let fz = Factorizer::new(4).seed(3).max_outer(60).tolerance(1e-5);
+
+    let scfg = StreamingConfig::new(fz.clone())
+        .refit_outer(8)
+        .refit_tol(1e-5)
+        .policy(MergePolicy::never());
+    let mut sf = StreamingFactorizer::new(base.clone(), scfg).expect("initial fit");
+    let mut warm_iters = sf.records()[0].outer_iterations;
+    for batch in &batches {
+        let rec = sf.push_batch(&to_stream_ops(batch)).expect("batch");
+        assert!(rec.outer_iterations <= 8, "refit cap respected");
+        warm_iters += rec.outer_iterations;
+    }
+
+    let mut cold_iters = 0usize;
+    let mut cold_final = f64::NAN;
+    for k in 0..=batches.len() {
+        let t = gen::apply_delta_batches(&base, &batches[..k]);
+        let res = factorize(&t, &fz).expect("cold run");
+        cold_iters += res.trace.outer_iterations();
+        cold_final = res.trace.iterations.last().unwrap().rel_error;
+    }
+
+    let final_tensor = gen::apply_delta_batches(&base, &batches);
+    let warm_final = sf.model().relative_error(&final_tensor);
+    assert!(
+        warm_iters < cold_iters,
+        "warm path used {warm_iters} outer iterations, cold used {cold_iters}"
+    );
+    assert!(
+        warm_final <= cold_final + 0.02,
+        "warm fit {warm_final} did not reach cold fit {cold_final}"
+    );
+    // The served incremental state is the merged tensor: the refit's own
+    // error accounting agrees with a from-scratch evaluation against the
+    // oracle-merged tensor.
+    assert!(
+        (sf.rel_error() - warm_final).abs() <= 1e-6,
+        "served-state error {} disagrees with merged-tensor error {warm_final}",
+        sf.rel_error()
+    );
+}
+
+#[test]
+fn merge_policies_do_not_change_the_model() {
+    let (base, batches) = gen::delta_stream(&StreamSpec::small(13));
+    let fz = Factorizer::new(3).seed(5).max_outer(30).tolerance(1e-6);
+
+    let run = |policy: MergePolicy| {
+        let cfg = StreamingConfig::new(fz.clone())
+            .refit_outer(6)
+            .policy(policy);
+        let mut sf = StreamingFactorizer::new(base.clone(), cfg).expect("initial fit");
+        for batch in &batches {
+            sf.push_batch(&to_stream_ops(batch)).expect("batch");
+        }
+        sf.flush().expect("flush");
+        sf
+    };
+
+    let never = run(MergePolicy::never());
+    let always = run(MergePolicy::always(RebuildMode::Synchronous));
+    let background = run(MergePolicy::always(RebuildMode::Background));
+
+    // All three maintained the same logical tensor...
+    let want = gen::apply_delta_batches(&base, &batches);
+    for (label, sf) in [
+        ("never", &never),
+        ("always-sync", &always),
+        ("always-background", &background),
+    ] {
+        assert_eq!(sf.buffer().delta_nnz(), 0, "{label}: flushed");
+        assert_coo_close(&sf.current_coo(), &want, 1e-10, 1e-12, label);
+        assert!(sf.rel_error().is_finite(), "{label}: fit");
+    }
+    // ...and merging is a serving-layer decision, not a model change:
+    // every policy saw the same per-batch tensors, so the fits agree
+    // within solver tolerance even though the MTTKRP groupings differ.
+    assert!(
+        (never.rel_error() - always.rel_error()).abs() <= 1e-3,
+        "never {} vs always {}",
+        never.rel_error(),
+        always.rel_error()
+    );
+    assert!(
+        (background.rel_error() - always.rel_error()).abs() <= 1e-3,
+        "background {} vs always {}",
+        background.rel_error(),
+        always.rel_error()
+    );
+}
+
+#[test]
+fn mode_growth_flows_through_the_whole_loop() {
+    // A spec that grows aggressively, so every layer sees new rows.
+    let spec = StreamSpec {
+        growth_prob: 1.0,
+        max_grow_rows: 4,
+        ..StreamSpec::small(21)
+    };
+    let (base, batches) = gen::delta_stream(&spec);
+    let base_dims = base.dims().to_vec();
+    let cfg = StreamingConfig::new(Factorizer::new(3).seed(1).max_outer(25).tolerance(1e-6))
+        .refit_outer(5);
+    let mut sf = StreamingFactorizer::new(base.clone(), cfg).expect("initial fit");
+    for batch in &batches {
+        sf.push_batch(&to_stream_ops(batch)).expect("batch");
+    }
+    let want = gen::apply_delta_batches(&base, &batches);
+    assert_eq!(sf.buffer().dims(), want.dims());
+    assert!(sf
+        .buffer()
+        .dims()
+        .iter()
+        .zip(&base_dims)
+        .any(|(now, then)| now > then));
+    for (m, f) in sf.factors().iter().enumerate() {
+        assert_eq!(f.nrows(), want.dims()[m], "factor {m} grew with its mode");
+    }
+    let err = sf.model().relative_error(&want);
+    assert!(
+        (sf.rel_error() - err).abs() <= 1e-6,
+        "grown-state error {} vs merged evaluation {err}",
+        sf.rel_error()
+    );
+}
