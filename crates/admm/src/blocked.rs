@@ -16,11 +16,12 @@
 
 use crate::config::AdmmConfig;
 use crate::prox::Prox;
-use crate::solver::{run_block, AdmmStats, BlockOutcome};
+use crate::solver::{run_block, AdmmStats};
+use crate::workspace::BlockScratch;
 use rayon::prelude::*;
 use splinalg::{Cholesky, DMat};
 
-/// Run the blockwise strategy. Called via [`crate::admm_update`].
+/// Run the blockwise strategy. Called via [`crate::admm_update_ws`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_blocked(
     chol: &Cholesky,
@@ -31,6 +32,7 @@ pub(crate) fn run_blocked(
     u: &mut DMat,
     prox: &dyn Prox,
     cfg: &AdmmConfig,
+    scratch_pool: &mut Vec<BlockScratch>,
 ) -> AdmmStats {
     let f = k.ncols();
     let nrows = k.nrows();
@@ -47,18 +49,28 @@ pub(crate) fn run_blocked(
     // Saturate: a block size of usize::MAX means "one block" and must
     // not overflow the chunk arithmetic.
     let chunk = cfg.block_size.max(1).saturating_mul(f);
+    let nblocks = h.as_slice().len().div_ceil(chunk);
 
-    // Each rayon job owns disjoint row blocks of H/U and the matching
-    // block of K; scratch rows are allocated once per block (tiny: 2*F).
-    let outcomes: Vec<(BlockOutcome, usize)> = h
-        .as_mut_slice()
+    // Grow the per-block scratch pool outside the parallel region (no-op
+    // once warm), so the row sweep itself never allocates.
+    if scratch_pool.len() < nblocks {
+        scratch_pool.resize_with(nblocks, BlockScratch::default);
+    }
+    let scratch = &mut scratch_pool[..nblocks];
+    for b in scratch.iter_mut() {
+        b.ensure(f);
+    }
+
+    // Each rayon job owns disjoint row blocks of H/U, the matching block
+    // of K, and its entry of the scratch pool; outcomes are written into
+    // the scratch instead of collected into a fresh Vec.
+    h.as_mut_slice()
         .par_chunks_mut(chunk)
         .zip(u.as_mut_slice().par_chunks_mut(chunk))
         .zip(k.as_slice().par_chunks(chunk))
-        .map(|((hb, ub), kb)| {
-            let mut haux = vec![0.0; f];
-            let mut hold = vec![0.0; f];
-            let rows = kb.len() / f;
+        .zip(scratch.par_iter_mut())
+        .for_each(|(((hb, ub), kb), sc)| {
+            sc.rows = kb.len() / f;
             let out = run_block(
                 chol,
                 rho,
@@ -72,24 +84,23 @@ pub(crate) fn run_blocked(
                 prox,
                 cfg.tol,
                 cfg.max_inner,
-                &mut haux,
-                &mut hold,
+                sc,
             );
-            (out, rows)
-        })
-        .collect();
+            sc.outcome = out;
+        });
 
     let mut stats = AdmmStats {
         iterations: 0,
         row_iterations: 0,
         blocks_converged: 0,
-        blocks: outcomes.len(),
+        blocks: nblocks,
         primal: 0.0,
         dual: 0.0,
     };
-    for (o, rows) in &outcomes {
+    for sc in scratch_pool[..nblocks].iter() {
+        let o = &sc.outcome;
         stats.iterations = stats.iterations.max(o.iterations);
-        stats.row_iterations += (o.iterations * rows) as u64;
+        stats.row_iterations += (o.iterations * sc.rows) as u64;
         if o.converged {
             stats.blocks_converged += 1;
         }

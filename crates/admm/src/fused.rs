@@ -12,25 +12,29 @@
 //! matrices from memory — exactly the memory-bandwidth-bound behaviour
 //! the blocked reformulation removes. This implementation is kept
 //! deliberately faithful to that structure because it is the baseline of
-//! Figures 4 and 6.
+//! Figures 4 and 6. Within each kernel, rows are processed in panels of
+//! [`PANEL_ROWS`] so the triangular factor streams once per panel and
+//! the residual partials reduce deterministically (fixed panels merged
+//! in panel order, not in work-stealing order).
 
 use crate::config::AdmmConfig;
 use crate::prox::Prox;
 use crate::solver::{relative, AdmmStats};
 use rayon::prelude::*;
+use splinalg::panel::PANEL_ROWS;
 use splinalg::{vecops, Cholesky, DMat};
 
-/// Residual partial sums reduced across row chunks.
+/// Residual partial sums reduced across row panels.
 #[derive(Debug, Clone, Copy, Default)]
-struct Partials {
-    r_num: f64,
-    h_sq: f64,
-    s_num: f64,
-    u_sq: f64,
+pub(crate) struct Partials {
+    pub(crate) r_num: f64,
+    pub(crate) h_sq: f64,
+    pub(crate) s_num: f64,
+    pub(crate) u_sq: f64,
 }
 
 impl Partials {
-    fn merge(self, o: Partials) -> Partials {
+    pub(crate) fn merge(self, o: Partials) -> Partials {
         Partials {
             r_num: self.r_num + o.r_num,
             h_sq: self.h_sq + o.h_sq,
@@ -40,7 +44,32 @@ impl Partials {
     }
 }
 
-/// Run the fused baseline strategy. Called via [`crate::admm_update`].
+/// Per-panel scratch for the fused strategy.
+#[derive(Debug, Default)]
+pub(crate) struct FusedScratch {
+    /// Transposed-panel scratch for [`Cholesky::solve_panel`].
+    pub(crate) tpose: Vec<f64>,
+    /// Previous primal row (`F`).
+    pub(crate) hold: Vec<f64>,
+    /// The panel's residual partials, merged in panel order after the
+    /// sweep (replaces the nondeterministic fold/reduce grouping).
+    pub(crate) partials: Partials,
+}
+
+impl FusedScratch {
+    fn ensure(&mut self, f: usize) {
+        let panel = PANEL_ROWS * f;
+        if self.tpose.len() < panel {
+            self.tpose.resize(panel, 0.0);
+        }
+        if self.hold.len() < f {
+            self.hold.resize(f, 0.0);
+        }
+    }
+}
+
+/// Run the fused baseline strategy. Called via [`crate::admm_update_ws`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_fused(
     chol: &Cholesky,
     rho: f64,
@@ -49,6 +78,8 @@ pub(crate) fn run_fused(
     u: &mut DMat,
     prox: &dyn Prox,
     cfg: &AdmmConfig,
+    haux_buf: &mut Vec<f64>,
+    panel_pool: &mut Vec<FusedScratch>,
 ) -> AdmmStats {
     let f = k.ncols();
     let nrows = k.nrows();
@@ -64,8 +95,23 @@ pub(crate) fn run_fused(
     }
 
     // The full auxiliary matrix is materialized, as in the baseline: each
-    // inner iteration streams K, H, U and Ht through memory.
-    let mut haux = DMat::zeros(nrows, f);
+    // inner iteration streams K, H, U and Ht through memory. The buffer
+    // (and the per-panel scratch below) comes from the workspace, so
+    // steady-state updates allocate nothing.
+    if haux_buf.len() < nrows * f {
+        haux_buf.resize(nrows * f, 0.0);
+    }
+    let haux = &mut haux_buf[..nrows * f];
+
+    let chunk = PANEL_ROWS * f;
+    let npanels = nrows.div_ceil(PANEL_ROWS);
+    if panel_pool.len() < npanels {
+        panel_pool.resize_with(npanels, FusedScratch::default);
+    }
+    let panels = &mut panel_pool[..npanels];
+    for p in panels.iter_mut() {
+        p.ensure(f);
+    }
 
     let mut iterations = 0;
     let mut primal = f64::INFINITY;
@@ -75,30 +121,36 @@ pub(crate) fn run_fused(
     while iterations < cfg.max_inner {
         iterations += 1;
 
-        // Kernel 1 (parallel over rows, then barrier): line 6 solves.
-        haux.as_mut_slice()
-            .par_chunks_mut(f)
-            .zip(k.as_slice().par_chunks(f))
-            .zip(h.as_slice().par_chunks(f))
-            .zip(u.as_slice().par_chunks(f))
-            .for_each(|(((hx, kr), hr), ur)| {
-                for c in 0..f {
-                    hx[c] = kr[c] + rho * (hr[c] + ur[c]);
+        // Kernel 1 (parallel over panels, then barrier): line 6 solves,
+        // one streaming of L per panel.
+        haux.par_chunks_mut(chunk)
+            .zip(k.as_slice().par_chunks(chunk))
+            .zip(h.as_slice().par_chunks(chunk))
+            .zip(u.as_slice().par_chunks(chunk))
+            .zip(panels.par_iter_mut())
+            .for_each(|((((hx, kp), hp), up), sc)| {
+                for i in 0..hx.len() {
+                    hx[i] = kp[i] + rho * (hp[i] + up[i]);
                 }
-                chol.solve_row(hx);
+                chol.solve_panel(hx, &mut sc.tpose[..hx.len()]);
             });
 
-        // Kernel 2 (parallel over rows with reduction): lines 7-11.
-        let p = h
-            .as_mut_slice()
-            .par_chunks_mut(f)
-            .zip(u.as_mut_slice().par_chunks_mut(f))
-            .zip(haux.as_slice().par_chunks(f))
-            .fold(
-                || (vec![0.0; f], Partials::default()),
-                |(mut hold, mut acc), ((hr, ur), hx)| {
+        // Kernel 2 (parallel over panels): lines 7-11, partials per
+        // panel.
+        h.as_mut_slice()
+            .par_chunks_mut(chunk)
+            .zip(u.as_mut_slice().par_chunks_mut(chunk))
+            .zip(haux.par_chunks(chunk))
+            .zip(panels.par_iter_mut())
+            .for_each(|(((hp, up), hxp), sc)| {
+                let mut acc = Partials::default();
+                let hold = &mut sc.hold[..f];
+                let alpha = cfg.relaxation;
+                for r in 0..hp.len() / f {
+                    let hr = &mut hp[r * f..(r + 1) * f];
+                    let ur = &mut up[r * f..(r + 1) * f];
+                    let hx = &hxp[r * f..(r + 1) * f];
                     hold.copy_from_slice(hr);
-                    let alpha = cfg.relaxation;
                     // With over-relaxation the prox/dual steps see the
                     // blended auxiliary alpha*Ht + (1-alpha)*H_old.
                     let blend = |c: usize| {
@@ -120,13 +172,19 @@ pub(crate) fn run_fused(
                     }
                     acc.r_num += r_num;
                     acc.h_sq += vecops::norm_sq(hr);
-                    acc.s_num += vecops::dist_sq(hr, &hold);
+                    acc.s_num += vecops::dist_sq(hr, hold);
                     acc.u_sq += vecops::norm_sq(ur);
-                    (hold, acc)
-                },
-            )
-            .map(|(_, acc)| acc)
-            .reduce(Partials::default, Partials::merge);
+                }
+                sc.partials = acc;
+            });
+
+        // Deterministic reduction: fixed panels merged in panel order, so
+        // the convergence test sees the same floating-point grouping at
+        // any thread count.
+        let mut p = Partials::default();
+        for sc in panels.iter() {
+            p = p.merge(sc.partials);
+        }
 
         primal = relative(p.r_num, p.h_sq);
         // Same zero-dual fallback as `run_block`: unconstrained runs keep

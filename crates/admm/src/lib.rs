@@ -27,9 +27,13 @@ pub mod config;
 pub mod dual;
 pub mod fused;
 pub mod prox;
+pub mod reference;
 pub mod solver;
+pub mod workspace;
 
 pub use config::{AdaptiveRho, AdmmConfig, AdmmStrategy};
 pub use dual::DualState;
 pub use prox::{constraints, Prox};
-pub use solver::{admm_update, AdmmStats};
+pub use reference::admm_update_reference;
+pub use solver::{admm_update, admm_update_ws, AdmmStats};
+pub use workspace::AdmmWorkspace;

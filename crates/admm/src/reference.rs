@@ -1,0 +1,376 @@
+//! Legacy scalar (row-at-a-time) ADMM kernels.
+//!
+//! This is the pre-panel implementation of the inner ADMM, kept verbatim
+//! as a differential-testing oracle and benchmark baseline for the
+//! panelized hot path:
+//!
+//! * the conformance suite pins [`crate::admm_update_ws`] (blocked
+//!   strategy) **bit-equal** to [`admm_update_reference`] — rows are
+//!   independent within an inner iteration and the panel sweep issues
+//!   the same per-row operations in the same order, so even the early
+//!   convergence decisions must match exactly;
+//! * the `panel_vs_scalar` criterion groups measure the panel layer's
+//!   speedup against this path.
+//!
+//! It intentionally retains the legacy allocation behaviour (per-block
+//! scratch rows, `gram.clone()` per factorization and per adaptive-rho
+//! rescale, collected outcome vectors, work-stealing residual reduction
+//! in the fused strategy) — that overhead is the baseline the workspace
+//! path is measured against. Do not "fix" it.
+
+use crate::config::{AdmmConfig, AdmmStrategy};
+use crate::prox::Prox;
+use crate::solver::{relative, AdmmStats, BlockOutcome};
+use rayon::prelude::*;
+use splinalg::{vecops, Cholesky, DMat, LinalgError};
+
+/// Legacy row-at-a-time ADMM on a contiguous block of rows.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_block_reference(
+    chol: &Cholesky,
+    rho: f64,
+    gram: &DMat,
+    adaptive: Option<crate::config::AdaptiveRho>,
+    relaxation: f64,
+    k: &[f64],
+    h: &mut [f64],
+    u: &mut [f64],
+    f: usize,
+    prox: &dyn Prox,
+    tol: f64,
+    max_inner: usize,
+    haux_buf: &mut [f64],
+    hold_buf: &mut [f64],
+) -> BlockOutcome {
+    debug_assert_eq!(k.len(), h.len());
+    debug_assert_eq!(k.len(), u.len());
+    debug_assert_eq!(haux_buf.len(), f);
+    debug_assert_eq!(hold_buf.len(), f);
+    let nrows = k.len() / f;
+
+    let mut rho = rho;
+    let mut local_chol: Option<Cholesky> = None;
+    let mut rescales = 0usize;
+
+    let mut primal = f64::INFINITY;
+    let mut dual = f64::INFINITY;
+    let mut iterations = 0;
+    while iterations < max_inner {
+        iterations += 1;
+        let chol = local_chol.as_ref().unwrap_or(chol);
+        let mut r_num = 0.0;
+        let mut h_sq = 0.0;
+        let mut s_num = 0.0;
+        let mut u_sq = 0.0;
+
+        for r in 0..nrows {
+            let kr = &k[r * f..(r + 1) * f];
+            let hr = &mut h[r * f..(r + 1) * f];
+            let ur = &mut u[r * f..(r + 1) * f];
+
+            for c in 0..f {
+                haux_buf[c] = kr[c] + rho * (hr[c] + ur[c]);
+            }
+            chol.solve_row(haux_buf);
+
+            if relaxation != 1.0 {
+                for c in 0..f {
+                    haux_buf[c] = relaxation * haux_buf[c] + (1.0 - relaxation) * hr[c];
+                }
+            }
+
+            hold_buf.copy_from_slice(hr);
+
+            for c in 0..f {
+                hr[c] = haux_buf[c] - ur[c];
+            }
+            prox.apply_row(hr, rho);
+
+            for c in 0..f {
+                ur[c] += hr[c] - haux_buf[c];
+            }
+
+            r_num += vecops::dist_sq(hr, haux_buf);
+            h_sq += vecops::norm_sq(hr);
+            s_num += vecops::dist_sq(hr, hold_buf);
+            u_sq += vecops::norm_sq(ur);
+        }
+
+        primal = relative(r_num, h_sq);
+        dual = relative(s_num, if u_sq > 0.0 { u_sq } else { h_sq });
+        if primal <= tol && dual <= tol {
+            return BlockOutcome {
+                iterations,
+                primal,
+                dual,
+                converged: true,
+            };
+        }
+
+        if let Some(ar) = adaptive {
+            if rescales < ar.max_rescales {
+                let mu_sq = ar.mu * ar.mu;
+                let new_rho = if r_num > mu_sq * s_num {
+                    Some(rho * ar.tau)
+                } else if s_num > mu_sq * r_num {
+                    Some(rho / ar.tau)
+                } else {
+                    None
+                };
+                if let Some(nr) = new_rho {
+                    let scale = rho / nr;
+                    for x in u.iter_mut() {
+                        *x *= scale;
+                    }
+                    let mut normal = gram.clone();
+                    normal.add_diag(nr);
+                    local_chol = Some(Cholesky::factor(&normal).expect("G + rho I is SPD"));
+                    rho = nr;
+                    rescales += 1;
+                }
+            }
+        }
+    }
+    BlockOutcome {
+        iterations,
+        primal,
+        dual,
+        converged: false,
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Partials {
+    r_num: f64,
+    h_sq: f64,
+    s_num: f64,
+    u_sq: f64,
+}
+
+impl Partials {
+    fn merge(self, o: Partials) -> Partials {
+        Partials {
+            r_num: self.r_num + o.r_num,
+            h_sq: self.h_sq + o.h_sq,
+            s_num: self.s_num + o.s_num,
+            u_sq: self.u_sq + o.u_sq,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_blocked_reference(
+    chol: &Cholesky,
+    rho: f64,
+    gram: &DMat,
+    k: &DMat,
+    h: &mut DMat,
+    u: &mut DMat,
+    prox: &dyn Prox,
+    cfg: &AdmmConfig,
+) -> AdmmStats {
+    let f = k.ncols();
+    let nrows = k.nrows();
+    if nrows == 0 {
+        return AdmmStats {
+            iterations: 0,
+            row_iterations: 0,
+            blocks_converged: 0,
+            blocks: 0,
+            primal: 0.0,
+            dual: 0.0,
+        };
+    }
+    let chunk = cfg.block_size.max(1).saturating_mul(f);
+
+    let outcomes: Vec<(BlockOutcome, usize)> = h
+        .as_mut_slice()
+        .par_chunks_mut(chunk)
+        .zip(u.as_mut_slice().par_chunks_mut(chunk))
+        .zip(k.as_slice().par_chunks(chunk))
+        .map(|((hb, ub), kb)| {
+            let mut haux = vec![0.0; f];
+            let mut hold = vec![0.0; f];
+            let rows = kb.len() / f;
+            let out = run_block_reference(
+                chol,
+                rho,
+                gram,
+                cfg.adaptive_rho,
+                cfg.relaxation,
+                kb,
+                hb,
+                ub,
+                f,
+                prox,
+                cfg.tol,
+                cfg.max_inner,
+                &mut haux,
+                &mut hold,
+            );
+            (out, rows)
+        })
+        .collect();
+
+    let mut stats = AdmmStats {
+        iterations: 0,
+        row_iterations: 0,
+        blocks_converged: 0,
+        blocks: outcomes.len(),
+        primal: 0.0,
+        dual: 0.0,
+    };
+    for (o, rows) in &outcomes {
+        stats.iterations = stats.iterations.max(o.iterations);
+        stats.row_iterations += (o.iterations * rows) as u64;
+        if o.converged {
+            stats.blocks_converged += 1;
+        }
+        stats.primal = stats.primal.max(o.primal);
+        stats.dual = stats.dual.max(o.dual);
+    }
+    stats
+}
+
+fn run_fused_reference(
+    chol: &Cholesky,
+    rho: f64,
+    k: &DMat,
+    h: &mut DMat,
+    u: &mut DMat,
+    prox: &dyn Prox,
+    cfg: &AdmmConfig,
+) -> AdmmStats {
+    let f = k.ncols();
+    let nrows = k.nrows();
+    if nrows == 0 {
+        return AdmmStats {
+            iterations: 0,
+            row_iterations: 0,
+            blocks_converged: 1,
+            blocks: 1,
+            primal: 0.0,
+            dual: 0.0,
+        };
+    }
+
+    let mut haux = DMat::zeros(nrows, f);
+
+    let mut iterations = 0;
+    let mut primal = f64::INFINITY;
+    let mut dual = f64::INFINITY;
+    let mut converged = false;
+
+    while iterations < cfg.max_inner {
+        iterations += 1;
+
+        haux.as_mut_slice()
+            .par_chunks_mut(f)
+            .zip(k.as_slice().par_chunks(f))
+            .zip(h.as_slice().par_chunks(f))
+            .zip(u.as_slice().par_chunks(f))
+            .for_each(|(((hx, kr), hr), ur)| {
+                for c in 0..f {
+                    hx[c] = kr[c] + rho * (hr[c] + ur[c]);
+                }
+                chol.solve_row(hx);
+            });
+
+        let p = h
+            .as_mut_slice()
+            .par_chunks_mut(f)
+            .zip(u.as_mut_slice().par_chunks_mut(f))
+            .zip(haux.as_slice().par_chunks(f))
+            .fold(
+                || (vec![0.0; f], Partials::default()),
+                |(mut hold, mut acc), ((hr, ur), hx)| {
+                    hold.copy_from_slice(hr);
+                    let alpha = cfg.relaxation;
+                    let blend = |c: usize| {
+                        if alpha == 1.0 {
+                            hx[c]
+                        } else {
+                            alpha * hx[c] + (1.0 - alpha) * hold[c]
+                        }
+                    };
+                    for c in 0..f {
+                        hr[c] = blend(c) - ur[c];
+                    }
+                    prox.apply_row(hr, rho);
+                    let mut r_num = 0.0;
+                    for c in 0..f {
+                        let hb = blend(c);
+                        ur[c] += hr[c] - hb;
+                        r_num += (hr[c] - hb) * (hr[c] - hb);
+                    }
+                    acc.r_num += r_num;
+                    acc.h_sq += vecops::norm_sq(hr);
+                    acc.s_num += vecops::dist_sq(hr, &hold);
+                    acc.u_sq += vecops::norm_sq(ur);
+                    (hold, acc)
+                },
+            )
+            .map(|(_, acc)| acc)
+            .reduce(Partials::default, Partials::merge);
+
+        primal = relative(p.r_num, p.h_sq);
+        dual = relative(p.s_num, if p.u_sq > 0.0 { p.u_sq } else { p.h_sq });
+        if primal <= cfg.tol && dual <= cfg.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    AdmmStats {
+        iterations,
+        row_iterations: (iterations * nrows) as u64,
+        blocks_converged: usize::from(converged),
+        blocks: 1,
+        primal,
+        dual,
+    }
+}
+
+/// Legacy scalar [`crate::admm_update`]: per-row solves, per-call
+/// allocations, work-stealing fused reduction.
+///
+/// Differential-testing oracle and benchmark baseline only — use
+/// [`crate::admm_update_ws`] in production code.
+pub fn admm_update_reference(
+    gram: &DMat,
+    k: &DMat,
+    h: &mut DMat,
+    u: &mut DMat,
+    prox: &dyn Prox,
+    cfg: &AdmmConfig,
+) -> Result<AdmmStats, LinalgError> {
+    let f = gram.nrows();
+    if k.ncols() != f || h.ncols() != f || u.ncols() != f {
+        return Err(LinalgError::DimMismatch {
+            op: "admm_update",
+            lhs: (f, f),
+            rhs: (k.nrows(), k.ncols()),
+        });
+    }
+    if k.nrows() != h.nrows() || k.nrows() != u.nrows() {
+        return Err(LinalgError::DimMismatch {
+            op: "admm_update rows",
+            lhs: (h.nrows(), f),
+            rhs: (k.nrows(), f),
+        });
+    }
+
+    let mut rho = gram.trace() / f as f64;
+    if rho.is_nan() || rho <= 1e-12 {
+        rho = 1.0;
+    }
+
+    let mut normal = gram.clone();
+    normal.add_diag(rho);
+    let chol = Cholesky::factor(&normal)?;
+
+    match cfg.strategy {
+        AdmmStrategy::Blocked => Ok(run_blocked_reference(&chol, rho, gram, k, h, u, prox, cfg)),
+        AdmmStrategy::Fused => Ok(run_fused_reference(&chol, rho, k, h, u, prox, cfg)),
+    }
+}

@@ -12,10 +12,12 @@
 
 use crate::config::{AdmmConfig, AdmmStrategy};
 use crate::prox::Prox;
+use crate::workspace::{AdmmWorkspace, BlockScratch};
+use splinalg::panel::PANEL_ROWS;
 use splinalg::{vecops, Cholesky, DMat, LinalgError};
 
 /// Outcome of one ADMM run (per block, or global for the fused strategy).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BlockOutcome {
     /// Inner iterations executed.
     pub iterations: usize,
@@ -56,14 +58,23 @@ impl AdmmStats {
 /// Run ADMM to convergence on a contiguous block of rows.
 ///
 /// `k`, `h`, `u` are the block's rows of the MTTKRP output, primal and
-/// dual matrices (flat, row-major, `nrows * f` long). `haux_buf` and
-/// `hold_buf` are `f`-length scratch rows.
+/// dual matrices (flat, row-major, `nrows * f` long). All scratch —
+/// solve panels, the previous-row buffer, the block-private factor —
+/// comes from `scratch` and is reused across calls.
+///
+/// Rows are swept in panels of [`PANEL_ROWS`]: the right-hand sides of a
+/// whole panel are built in one pass, solved with one streaming of the
+/// triangular factor ([`Cholesky::solve_panel`]), and then relaxed /
+/// proxed / dual-updated row by row. Per row this performs exactly the
+/// operations of the row-at-a-time kernel in exactly the same order
+/// (rows are independent within an inner iteration, and the residual
+/// partials still accumulate in ascending row order), so the sweep is
+/// bit-identical to [`crate::reference::run_block_reference`].
 ///
 /// When `adaptive` is set, the block privately rebalances its penalty
 /// with Boyd's residual-balancing rule, re-factoring `gram + rho*I`
-/// on each rescale (the blocked formulation makes this per-block cost
-/// acceptable; `gram` must then be the Gram matrix `chol` was built
-/// from).
+/// into the scratch factor on each rescale (no allocation once warm;
+/// `gram` must be the Gram matrix `chol` was built from).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_block(
     chol: &Cholesky,
@@ -78,19 +89,27 @@ pub(crate) fn run_block(
     prox: &dyn Prox,
     tol: f64,
     max_inner: usize,
-    haux_buf: &mut [f64],
-    hold_buf: &mut [f64],
+    scratch: &mut BlockScratch,
 ) -> BlockOutcome {
     debug_assert_eq!(k.len(), h.len());
     debug_assert_eq!(k.len(), u.len());
-    debug_assert_eq!(haux_buf.len(), f);
-    debug_assert_eq!(hold_buf.len(), f);
     let nrows = k.len() / f;
+    scratch.ensure(f);
+    let BlockScratch {
+        rhs,
+        tpose,
+        hold,
+        chol: local_chol,
+        ..
+    } = scratch;
+    let hold = &mut hold[..f];
 
     // Penalty state: starts on the shared factorization; a rescale
-    // switches to a block-private one.
+    // switches to the block-private factor. `local_chol` may hold a
+    // stale factor from a previous update, so an explicit flag tracks
+    // whether it is current.
     let mut rho = rho;
-    let mut local_chol: Option<Cholesky> = None;
+    let mut use_local = false;
     let mut rescales = 0usize;
 
     let mut primal = f64::INFINITY;
@@ -98,50 +117,70 @@ pub(crate) fn run_block(
     let mut iterations = 0;
     while iterations < max_inner {
         iterations += 1;
-        let chol = local_chol.as_ref().unwrap_or(chol);
+        let chol = if use_local {
+            local_chol.as_ref().expect("set when use_local")
+        } else {
+            chol
+        };
         let mut r_num = 0.0; // ||H - Ht||^2
         let mut h_sq = 0.0; // ||H||^2
         let mut s_num = 0.0; // ||H - H0||^2
         let mut u_sq = 0.0; // ||U||^2
 
-        for r in 0..nrows {
-            let kr = &k[r * f..(r + 1) * f];
-            let hr = &mut h[r * f..(r + 1) * f];
-            let ur = &mut u[r * f..(r + 1) * f];
+        let mut row = 0;
+        while row < nrows {
+            let p = PANEL_ROWS.min(nrows - row);
+            let base = row * f;
+            let len = p * f;
+            let rhs_p = &mut rhs[..len];
 
-            // Line 6: Ht_row = (G + rho I)^-1 (K + rho (H + U))_row.
-            for c in 0..f {
-                haux_buf[c] = kr[c] + rho * (hr[c] + ur[c]);
-            }
-            chol.solve_row(haux_buf);
-
-            // Over-relaxation (Boyd 3.4.3): blend toward the previous
-            // primal before the prox and dual steps.
-            if relaxation != 1.0 {
-                for c in 0..f {
-                    haux_buf[c] = relaxation * haux_buf[c] + (1.0 - relaxation) * hr[c];
+            // Line 6 for the whole panel:
+            // Ht = (G + rho I)^-1 (K + rho (H + U)).
+            {
+                let kp = &k[base..base + len];
+                let hp = &h[base..base + len];
+                let up = &u[base..base + len];
+                for i in 0..len {
+                    rhs_p[i] = kp[i] + rho * (hp[i] + up[i]);
                 }
             }
+            chol.solve_panel(rhs_p, &mut tpose[..len]);
 
-            // Line 7: H0 <- H.
-            hold_buf.copy_from_slice(hr);
+            // Lines 7-11 row by row within the panel.
+            for r in 0..p {
+                let hx = &mut rhs_p[r * f..(r + 1) * f];
+                let hr = &mut h[base + r * f..base + (r + 1) * f];
+                let ur = &mut u[base + r * f..base + (r + 1) * f];
 
-            // Line 8: H <- prox_{r/rho}(Ht - U).
-            for c in 0..f {
-                hr[c] = haux_buf[c] - ur[c];
+                // Over-relaxation (Boyd 3.4.3): blend toward the previous
+                // primal before the prox and dual steps.
+                if relaxation != 1.0 {
+                    for c in 0..f {
+                        hx[c] = relaxation * hx[c] + (1.0 - relaxation) * hr[c];
+                    }
+                }
+
+                // Line 7: H0 <- H.
+                hold.copy_from_slice(hr);
+
+                // Line 8: H <- prox_{r/rho}(Ht - U).
+                for c in 0..f {
+                    hr[c] = hx[c] - ur[c];
+                }
+                prox.apply_row(hr, rho);
+
+                // Line 9: U <- U + H - Ht.
+                for c in 0..f {
+                    ur[c] += hr[c] - hx[c];
+                }
+
+                // Lines 10-11 partials.
+                r_num += vecops::dist_sq(hr, hx);
+                h_sq += vecops::norm_sq(hr);
+                s_num += vecops::dist_sq(hr, hold);
+                u_sq += vecops::norm_sq(ur);
             }
-            prox.apply_row(hr, rho);
-
-            // Line 9: U <- U + H - Ht.
-            for c in 0..f {
-                ur[c] += hr[c] - haux_buf[c];
-            }
-
-            // Lines 10-11 partials.
-            r_num += vecops::dist_sq(hr, haux_buf);
-            h_sq += vecops::norm_sq(hr);
-            s_num += vecops::dist_sq(hr, hold_buf);
-            u_sq += vecops::norm_sq(ur);
+            row += p;
         }
 
         primal = relative(r_num, h_sq);
@@ -177,10 +216,19 @@ pub(crate) fn run_block(
                     for x in u.iter_mut() {
                         *x *= scale;
                     }
-                    let mut normal = gram.clone();
-                    normal.add_diag(nr);
-                    // A PSD gram + positive rho is always factorable.
-                    local_chol = Some(Cholesky::factor(&normal).expect("G + rho I is SPD"));
+                    // A PSD gram + positive rho is always factorable; the
+                    // diagonal shift is applied inside the factorization,
+                    // reusing the scratch factor's buffers (the legacy
+                    // path cloned the gram and reallocated the factor on
+                    // every rescale).
+                    match local_chol.as_mut() {
+                        Some(c) => c.refactor_shifted(gram, nr).expect("G + rho I is SPD"),
+                        None => {
+                            *local_chol =
+                                Some(Cholesky::factor_shifted(gram, nr).expect("G + rho I is SPD"))
+                        }
+                    }
+                    use_local = true;
                     rho = nr;
                     rescales += 1;
                 }
@@ -218,6 +266,9 @@ pub(crate) fn relative(num: f64, den: f64) -> f64 {
 /// Returns per-update statistics. Errors only if `G + rho I` is not
 /// positive definite, which cannot happen for `rho > 0` with a
 /// positive semidefinite `G` (Gram matrices are PSD by construction).
+///
+/// Allocates its scratch internally; hot loops should hold an
+/// [`AdmmWorkspace`] and call [`admm_update_ws`] instead.
 pub fn admm_update(
     gram: &DMat,
     k: &DMat,
@@ -225,6 +276,32 @@ pub fn admm_update(
     u: &mut DMat,
     prox: &dyn Prox,
     cfg: &AdmmConfig,
+) -> Result<AdmmStats, LinalgError> {
+    let mut ws = AdmmWorkspace::new();
+    admm_update_ws(gram, k, h, u, prox, cfg, &mut ws)
+}
+
+/// [`admm_update`] with caller-owned scratch: zero heap allocation once
+/// the workspace is warm.
+///
+/// The workspace carries the Cholesky factor of `G + rho*I` (re-factored
+/// in place each call — the shift is applied inside the factorization,
+/// so the gram is never cloned), the per-block solve panels, and the
+/// fused strategy's auxiliary matrix. Results are bit-identical to
+/// [`admm_update`] and to the scalar reference path
+/// ([`crate::reference::admm_update_reference`]) for the blocked
+/// strategy; the fused strategy's residual reduction is deterministic
+/// (fixed panels merged in panel order) where the reference reduces in
+/// work-stealing order.
+#[allow(clippy::too_many_arguments)]
+pub fn admm_update_ws(
+    gram: &DMat,
+    k: &DMat,
+    h: &mut DMat,
+    u: &mut DMat,
+    prox: &dyn Prox,
+    cfg: &AdmmConfig,
+    ws: &mut AdmmWorkspace,
 ) -> Result<AdmmStats, LinalgError> {
     let f = gram.nrows();
     if k.ncols() != f || h.ncols() != f || u.ncols() != f {
@@ -250,16 +327,36 @@ pub fn admm_update(
         rho = 1.0;
     }
 
-    // Line 4: L = Cholesky(G + rho I), shared by every row and block.
-    let mut normal = gram.clone();
-    normal.add_diag(rho);
-    let chol = Cholesky::factor(&normal)?;
+    // Line 4: L = Cholesky(G + rho I), shared by every row and block,
+    // re-factored into the workspace's buffers.
+    if let Some(c) = ws.chol.as_mut() {
+        c.refactor_shifted(gram, rho)?;
+    } else {
+        ws.chol = Some(Cholesky::factor_shifted(gram, rho)?);
+    }
+    let AdmmWorkspace {
+        chol,
+        blocks,
+        fused_haux,
+        fused_panels,
+    } = ws;
+    let chol = chol.as_ref().expect("factored above");
 
     match cfg.strategy {
         AdmmStrategy::Blocked => Ok(crate::blocked::run_blocked(
-            &chol, rho, gram, k, h, u, prox, cfg,
+            chol, rho, gram, k, h, u, prox, cfg, blocks,
         )),
-        AdmmStrategy::Fused => Ok(crate::fused::run_fused(&chol, rho, k, h, u, prox, cfg)),
+        AdmmStrategy::Fused => Ok(crate::fused::run_fused(
+            chol,
+            rho,
+            k,
+            h,
+            u,
+            prox,
+            cfg,
+            fused_haux,
+            fused_panels,
+        )),
     }
 }
 

@@ -1,0 +1,81 @@
+//! Reusable scratch for the ADMM hot loop.
+//!
+//! One [`AdmmWorkspace`] is owned by the outer AO driver and lent to
+//! [`crate::admm_update_ws`] on every mode update. It holds everything
+//! the update used to allocate per call:
+//!
+//! * the Cholesky factor of `G + rho*I` (re-factored in place — the
+//!   normal matrix keeps its `F x F` shape across all modes),
+//! * per-block scratch for the blocked strategy (solve panels, the
+//!   previous-row buffer, the block-private factor used by adaptive rho,
+//!   and the block's outcome — written in place so the parallel sweep
+//!   no longer `collect()`s),
+//! * the materialized auxiliary matrix and per-panel scratch for the
+//!   fused baseline strategy.
+//!
+//! Buffers grow to the high-water mark of the shapes they have served
+//! and are then reused, so steady-state outer iterations perform no heap
+//! allocation anywhere in the ADMM row sweep.
+
+use crate::fused::FusedScratch;
+use crate::solver::BlockOutcome;
+use splinalg::panel::PANEL_ROWS;
+use splinalg::Cholesky;
+
+/// Per-block scratch state for the blocked strategy.
+#[derive(Debug, Default)]
+pub(crate) struct BlockScratch {
+    /// Right-hand-side panel (`PANEL_ROWS * F`), overwritten by the
+    /// panel solve.
+    pub rhs: Vec<f64>,
+    /// Transposed-panel scratch for [`Cholesky::solve_panel`].
+    pub tpose: Vec<f64>,
+    /// Previous primal row (`F`), for the dual-residual partial.
+    pub hold: Vec<f64>,
+    /// Block-private factor of `G + rho*I` once adaptive rho diverges
+    /// from the shared penalty; re-factored in place on later rescales.
+    pub chol: Option<Cholesky>,
+    /// Outcome of the block's last run (replaces the collected tuples).
+    pub outcome: BlockOutcome,
+    /// Rows the block covered on its last run.
+    pub rows: usize,
+}
+
+impl BlockScratch {
+    /// Grow the scratch rows for factor width `f`; no-op once warm.
+    pub fn ensure(&mut self, f: usize) {
+        let panel = PANEL_ROWS * f;
+        if self.rhs.len() < panel {
+            self.rhs.resize(panel, 0.0);
+        }
+        if self.tpose.len() < panel {
+            self.tpose.resize(panel, 0.0);
+        }
+        if self.hold.len() < f {
+            self.hold.resize(f, 0.0);
+        }
+    }
+}
+
+/// Grow-once scratch arena for [`crate::admm_update_ws`].
+///
+/// Create one per factorization loop and pass it to every update; the
+/// first call sizes everything, later calls allocate nothing.
+#[derive(Debug, Default)]
+pub struct AdmmWorkspace {
+    /// Shared factor of `G + rho*I`, re-factored in place per update.
+    pub(crate) chol: Option<Cholesky>,
+    /// Per-block scratch for the blocked strategy.
+    pub(crate) blocks: Vec<BlockScratch>,
+    /// Materialized auxiliary matrix for the fused strategy.
+    pub(crate) fused_haux: Vec<f64>,
+    /// Per-panel scratch for the fused strategy.
+    pub(crate) fused_panels: Vec<FusedScratch>,
+}
+
+impl AdmmWorkspace {
+    /// Create an empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -1,7 +1,9 @@
 //! Criterion microbenchmarks for the inner ADMM: fused baseline vs.
 //! blocked at several block sizes.
 
-use admm::{admm_update, constraints, AdmmConfig};
+use admm::{
+    admm_update, admm_update_reference, admm_update_ws, constraints, AdmmConfig, AdmmWorkspace,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -65,5 +67,51 @@ fn bench_rank_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strategies, bench_rank_scaling);
+/// The panelized zero-allocation update against the legacy scalar
+/// reference, for both strategies. State is reset in place each
+/// iteration so the workspace variant's steady-state (no allocation,
+/// panel solves, in-place refactorization) is what gets measured.
+fn bench_panel_vs_scalar(c: &mut Criterion) {
+    let rows = 50_000;
+    let f = 32;
+    let (gram, k) = problem(rows, f, 17);
+    let nonneg = constraints::nonneg();
+
+    let mut group = c.benchmark_group("admm_panel_vs_scalar");
+    group.sample_size(10);
+
+    for (strategy, cfg0) in [
+        ("blocked_50", AdmmConfig::blocked(50)),
+        ("fused", AdmmConfig::fused()),
+    ] {
+        let mut cfg = cfg0;
+        cfg.max_inner = 10;
+        cfg.tol = 0.0; // fixed work for a fair kernel comparison
+        let mut h = DMat::zeros(rows, f);
+        let mut u = DMat::zeros(rows, f);
+        group.bench_with_input(BenchmarkId::new("scalar", strategy), strategy, |b, _| {
+            b.iter(|| {
+                h.as_mut_slice().fill(0.0);
+                u.as_mut_slice().fill(0.0);
+                admm_update_reference(&gram, &k, &mut h, &mut u, &*nonneg, &cfg).unwrap()
+            });
+        });
+        let mut ws = AdmmWorkspace::new();
+        group.bench_with_input(BenchmarkId::new("panel", strategy), strategy, |b, _| {
+            b.iter(|| {
+                h.as_mut_slice().fill(0.0);
+                u.as_mut_slice().fill(0.0);
+                admm_update_ws(&gram, &k, &mut h, &mut u, &*nonneg, &cfg, &mut ws).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_rank_scaling,
+    bench_panel_vs_scalar
+);
 criterion_main!(benches);

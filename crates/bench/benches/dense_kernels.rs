@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use splinalg::{ops, Cholesky, DMat};
+use splinalg::{ops, panel, Cholesky, DMat, Workspace};
 
 fn spd(f: usize, seed: u64) -> DMat {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -69,11 +69,62 @@ fn bench_khatri_rao(c: &mut Criterion) {
     group.finish();
 }
 
+/// Panel (register-blocked) Gram kernel against the legacy scalar
+/// kernel — same deterministic reduction, different inner loop.
+fn bench_gram_panel_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram_panel_vs_scalar");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    for f in [16usize, 50] {
+        let a = DMat::random(100_000, f, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("scalar", f), &f, |b, _| {
+            b.iter(|| a.gram());
+        });
+        let mut ws = Workspace::new();
+        let mut out = DMat::zeros(f, f);
+        group.bench_with_input(BenchmarkId::new("panel", f), &f, |b, _| {
+            b.iter(|| panel::gram_into(&a, &mut ws, &mut out).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Panel triangular solves against per-row solves. Both variants clone
+/// the right-hand side each iteration, so the measured difference is
+/// the solve kernel itself.
+fn bench_solve_panel_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_panel_vs_scalar");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for f in [16usize, 50] {
+        let chol = Cholesky::factor(&spd(f, 8)).unwrap();
+        let rhs = DMat::random(10_000, f, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("scalar", f), &f, |b, _| {
+            b.iter(|| {
+                let mut x = rhs.clone();
+                chol.solve_mat(&mut x).unwrap();
+                x
+            });
+        });
+        let mut ws = Workspace::new();
+        group.bench_with_input(BenchmarkId::new("panel", f), &f, |b, _| {
+            b.iter(|| {
+                let mut x = rhs.clone();
+                chol.solve_mat_panel(&mut x, &mut ws).unwrap();
+                x
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cholesky,
     bench_solve,
     bench_gram,
-    bench_khatri_rao
+    bench_khatri_rao,
+    bench_gram_panel_vs_scalar,
+    bench_solve_panel_vs_scalar
 );
 criterion_main!(benches);

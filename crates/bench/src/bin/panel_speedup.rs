@@ -1,0 +1,169 @@
+//! Panel vs. scalar dense-kernel speedup summary.
+//!
+//! Times each panelized kernel (register-blocked Gram, panel triangular
+//! solves, the zero-allocation ADMM update) against its legacy scalar
+//! implementation on identical inputs and writes a machine-readable
+//! summary to `bench_results/panel_speedup.csv`. The scalar paths are
+//! retained precisely so this comparison stays honest (see
+//! `admm::reference`); both sides compute bit-identical results, so the
+//! ratio is pure kernel efficiency.
+//!
+//! Usage: `cargo run --release -p aoadmm-bench --bin panel_speedup -- \
+//!         [--rows 100000] [--reps 5] [--seed 1]`
+
+use admm::{admm_update_reference, admm_update_ws, constraints, AdmmConfig, AdmmWorkspace};
+use aoadmm_bench::{bar, csv_writer, Args};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::{panel, Cholesky, DMat, Workspace};
+use std::io::Write;
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `body`.
+fn median_secs(reps: usize, mut body: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            body();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct Row {
+    kernel: &'static str,
+    rows: usize,
+    rank: usize,
+    scalar: f64,
+    panel: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let rows: usize = args.get("rows", 100_000);
+    let reps: usize = args.get("reps", 5);
+    let seed: u64 = args.get("seed", 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut results: Vec<Row> = Vec::new();
+
+    // --- Gram: A^T A over a tall factor. ---
+    for f in [16usize, 50] {
+        let a = DMat::random(rows, f, -1.0, 1.0, &mut rng);
+        let scalar = median_secs(reps, || {
+            let _ = a.gram();
+        });
+        let mut ws = Workspace::new();
+        let mut out = DMat::zeros(f, f);
+        panel::gram_into(&a, &mut ws, &mut out).unwrap(); // warm
+        let panel_t = median_secs(reps, || {
+            panel::gram_into(&a, &mut ws, &mut out).unwrap();
+        });
+        results.push(Row {
+            kernel: "gram",
+            rows,
+            rank: f,
+            scalar,
+            panel: panel_t,
+        });
+    }
+
+    // --- Triangular solves: (G + rho I)^-1 applied to a tall RHS. ---
+    let solve_rows = rows / 5;
+    for f in [16usize, 50] {
+        let w = DMat::random(2 * f, f, -1.0, 1.0, &mut rng);
+        let mut g = w.gram();
+        g.add_diag(f as f64);
+        let chol = Cholesky::factor(&g).unwrap();
+        let rhs = DMat::random(solve_rows, f, -1.0, 1.0, &mut rng);
+        let mut x = rhs.clone();
+        let scalar = median_secs(reps, || {
+            x.copy_from(&rhs).unwrap();
+            chol.solve_mat(&mut x).unwrap();
+        });
+        let mut ws = Workspace::new();
+        let panel_t = median_secs(reps, || {
+            x.copy_from(&rhs).unwrap();
+            chol.solve_mat_panel(&mut x, &mut ws).unwrap();
+        });
+        results.push(Row {
+            kernel: "solve",
+            rows: solve_rows,
+            rank: f,
+            scalar,
+            panel: panel_t,
+        });
+    }
+
+    // --- Full ADMM update: legacy scalar reference vs. workspace path,
+    // fixed inner work so both sides do identical arithmetic. ---
+    let admm_rows = rows / 2;
+    let f = 32;
+    let w = DMat::random(3 * f, f, 0.1, 1.0, &mut rng);
+    let gram = w.gram();
+    let k = DMat::random(admm_rows, f, -0.5, 2.0, &mut rng);
+    let nonneg = constraints::nonneg();
+    for (name, cfg0) in [
+        ("admm_blocked", AdmmConfig::blocked(50)),
+        ("admm_fused", AdmmConfig::fused()),
+    ] {
+        let mut cfg = cfg0;
+        cfg.max_inner = 10;
+        cfg.tol = 0.0;
+        let mut h = DMat::zeros(admm_rows, f);
+        let mut u = DMat::zeros(admm_rows, f);
+        let scalar = median_secs(reps, || {
+            h.as_mut_slice().fill(0.0);
+            u.as_mut_slice().fill(0.0);
+            admm_update_reference(&gram, &k, &mut h, &mut u, &*nonneg, &cfg).unwrap();
+        });
+        let mut ws = AdmmWorkspace::new();
+        admm_update_ws(&gram, &k, &mut h, &mut u, &*nonneg, &cfg, &mut ws).unwrap(); // warm
+        let panel_t = median_secs(reps, || {
+            h.as_mut_slice().fill(0.0);
+            u.as_mut_slice().fill(0.0);
+            admm_update_ws(&gram, &k, &mut h, &mut u, &*nonneg, &cfg, &mut ws).unwrap();
+        });
+        results.push(Row {
+            kernel: name,
+            rows: admm_rows,
+            rank: f,
+            scalar,
+            panel: panel_t,
+        });
+    }
+
+    // --- Report. ---
+    println!("panel vs scalar dense kernels ({reps} reps, median)\n");
+    println!(
+        "{:<14} {:>8} {:>5} {:>12} {:>12} {:>8}",
+        "kernel", "rows", "F", "scalar (s)", "panel (s)", "speedup"
+    );
+    let (mut csv, path) = csv_writer("panel_speedup");
+    writeln!(csv, "kernel,rows,rank,scalar_seconds,panel_seconds,speedup").unwrap();
+    let max_speedup = results
+        .iter()
+        .map(|r| r.scalar / r.panel)
+        .fold(1.0f64, f64::max);
+    for r in &results {
+        let speedup = r.scalar / r.panel;
+        println!(
+            "{:<14} {:>8} {:>5} {:>12.6} {:>12.6} {:>7.2}x {}",
+            r.kernel,
+            r.rows,
+            r.rank,
+            r.scalar,
+            r.panel,
+            speedup,
+            bar(speedup / max_speedup, 24)
+        );
+        writeln!(
+            csv,
+            "{},{},{},{:.6},{:.6},{:.3}",
+            r.kernel, r.rows, r.rank, r.scalar, r.panel, speedup
+        )
+        .unwrap();
+    }
+    println!("\ncsv: {}", path.display());
+}

@@ -17,7 +17,8 @@ use crate::FactorizeResult;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
-use splinalg::{ops, Cholesky, DMat};
+use splinalg::panel::{self, PANEL_ROWS};
+use splinalg::{ops, Cholesky, DMat, Workspace};
 use sptensor::CooTensor;
 use std::time::Instant;
 
@@ -83,6 +84,13 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
         grams = factors.iter().map(|f| f.gram()).collect();
     }
     let mut kbufs: Vec<DMat> = dims.iter().map(|&d| DMat::zeros(d, cfg.rank)).collect();
+    // Hot-loop scratch (see driver.rs): the combined Gram buffer, the
+    // in-place-refactored Cholesky, per-panel transpose scratch for the
+    // panel solves and the dense-kernel workspace. All grow-once.
+    let mut gram_buf = DMat::zeros(cfg.rank, cfg.rank);
+    let mut chol: Option<Cholesky> = None;
+    let mut tpose_pool: Vec<Vec<f64>> = Vec::new();
+    let mut lin_ws = Workspace::new();
     let setup = t0.elapsed();
 
     let mut iterations = Vec::new();
@@ -93,29 +101,46 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
         let mut modes = Vec::with_capacity(nmodes);
         let mut last_inner = 0.0;
         for m in 0..nmodes {
-            let mut gram = ops::gram_hadamard(&grams, m)?;
-            gram.add_diag(cfg.ridge * (1.0 + gram.trace()));
+            ops::gram_hadamard_into(&grams, m, &mut gram_buf)?;
+            let ridge = cfg.ridge * (1.0 + gram_buf.trace());
 
             let tm = Instant::now();
             mttkrp_dense_planned(&csfs[m].0, &csfs[m].1, &factors, &mut kbufs[m])?;
             let mttkrp_time = tm.elapsed();
 
-            // Exact per-row solve A_m = K * (G + ridge)^-1, parallel over
-            // rows (the tall dimension).
+            // Exact solve A_m = K * (G + ridge)^-1, parallel over row
+            // panels (the tall dimension). The ridge shift is applied
+            // inside the factorization and the factor's buffers are
+            // reused across modes and iterations.
             let ta = Instant::now();
-            let chol = Cholesky::factor(&gram)?;
+            match chol.as_mut() {
+                Some(c) => c.refactor_shifted(&gram_buf, ridge)?,
+                None => chol = Some(Cholesky::factor_shifted(&gram_buf, ridge)?),
+            }
+            let ch = chol.as_ref().expect("factored above");
             let f = cfg.rank;
+            let chunk = PANEL_ROWS * f;
+            let npanels = dims[m].div_ceil(PANEL_ROWS);
+            if tpose_pool.len() < npanels {
+                tpose_pool.resize_with(npanels, Vec::new);
+            }
+            for tp in tpose_pool[..npanels].iter_mut() {
+                if tp.len() < chunk {
+                    tp.resize(chunk, 0.0);
+                }
+            }
             factors[m]
                 .as_mut_slice()
-                .par_chunks_mut(f)
-                .zip(kbufs[m].as_slice().par_chunks(f))
-                .for_each(|(arow, krow)| {
-                    arow.copy_from_slice(krow);
-                    chol.solve_row(arow);
+                .par_chunks_mut(chunk)
+                .zip(kbufs[m].as_slice().par_chunks(chunk))
+                .zip(tpose_pool[..npanels].par_iter_mut())
+                .for_each(|((apanel, kpanel), tp)| {
+                    apanel.copy_from_slice(kpanel);
+                    ch.solve_panel(apanel, &mut tp[..apanel.len()]);
                 });
             let solve_time = ta.elapsed();
 
-            grams[m] = factors[m].gram();
+            panel::gram_into(&factors[m], &mut lin_ws, &mut grams[m])?;
             if m == nmodes - 1 {
                 last_inner = ops::inner_product(&kbufs[m], &factors[m])?;
             }

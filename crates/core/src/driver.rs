@@ -24,10 +24,10 @@ use crate::mttkrp_onecsf::mttkrp_one_csf_planned;
 use crate::mttkrp_plan::{build_mode_plans, MttkrpPlan, PlanStrategy};
 use crate::sparsity::{prepare_leaf, SparsityDecision, Structure};
 use crate::trace::{FactorizeTrace, IterRecord, ModeRecord};
-use admm::admm_update;
+use admm::{admm_update_ws, AdmmWorkspace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use splinalg::{ops, DMat};
+use splinalg::{ops, panel, DMat, Workspace};
 use sptensor::{CooTensor, Csf};
 use std::time::Instant;
 
@@ -374,6 +374,15 @@ fn run(
     };
     let mut kbufs: Vec<DMat> = dims.iter().map(|&d| DMat::zeros(d, rank)).collect();
     let xnorm_sq = source.norm_sq();
+    // Scratch owned here and lent to every kernel below: the combined
+    // Gram matrix, the ADMM workspace (Cholesky factor, solve panels,
+    // block outcomes) and the dense-kernel workspace (gram partials).
+    // Everything reaches its high-water mark during the first outer
+    // iteration; steady-state iterations perform no heap allocation in
+    // the gram / solve / ADMM row-sweep path.
+    let mut gram_buf = DMat::zeros(rank, rank);
+    let mut admm_ws = AdmmWorkspace::new();
+    let mut lin_ws = Workspace::new();
     let setup = t0.elapsed();
 
     let mut iterations: Vec<IterRecord> = Vec::new();
@@ -385,8 +394,9 @@ fn run(
         let mut last_inner = 0.0;
 
         for m in 0..nmodes {
-            // Line 4/8/12: combined Gram matrix of the other modes.
-            let gram = ops::gram_hadamard(&grams, m)?;
+            // Line 4/8/12: combined Gram matrix of the other modes,
+            // written into the reused buffer.
+            ops::gram_hadamard_into(&grams, m, &mut gram_buf)?;
 
             // Line 5/9/13: MTTKRP (timed together with any sparse
             // snapshot build, which is part of its cost).
@@ -396,18 +406,20 @@ fn run(
 
             // Line 6/10/14: inner ADMM.
             let ta = Instant::now();
-            let stats = admm_update(
-                &gram,
+            let stats = admm_update_ws(
+                &gram_buf,
                 &kbufs[m],
                 &mut factors[m],
                 &mut duals[m],
                 &**cfg.constraint_for(m),
                 cfg.admm_config(),
+                &mut admm_ws,
             )?;
             let admm_time = ta.elapsed();
 
-            // Refresh this mode's Gram matrix for subsequent modes.
-            grams[m] = factors[m].gram();
+            // Refresh this mode's Gram matrix for subsequent modes
+            // (panel kernel, bit-identical to `factors[m].gram()`).
+            panel::gram_into(&factors[m], &mut lin_ws, &mut grams[m])?;
 
             if m == nmodes - 1 {
                 // Fit trick: <X, M> = <K_last, A_last>; K was computed

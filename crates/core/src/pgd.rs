@@ -29,7 +29,8 @@ use crate::FactorizeResult;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
-use splinalg::{ops, vecops, DMat};
+use splinalg::panel::{self, PANEL_ROWS};
+use splinalg::{ops, vecops, DMat, Workspace};
 use sptensor::CooTensor;
 use std::time::Instant;
 
@@ -117,6 +118,11 @@ pub fn pgd_factorize(
         grams = factors.iter().map(|f| f.gram()).collect();
     }
     let mut kbufs: Vec<DMat> = dims.iter().map(|&d| DMat::zeros(d, cfg.rank)).collect();
+    // Hot-loop scratch (see driver.rs): the combined Gram buffer, a
+    // per-panel gradient-row pool and the dense-kernel workspace.
+    let mut gram_buf = DMat::zeros(cfg.rank, cfg.rank);
+    let mut grad_pool: Vec<Vec<f64>> = Vec::new();
+    let mut lin_ws = Workspace::new();
     let setup = t0.elapsed();
 
     let mut iterations = Vec::new();
@@ -127,45 +133,62 @@ pub fn pgd_factorize(
         let mut modes = Vec::with_capacity(nmodes);
         let mut last_inner = 0.0;
         for m in 0..nmodes {
-            let gram = ops::gram_hadamard(&grams, m)?;
+            ops::gram_hadamard_into(&grams, m, &mut gram_buf)?;
+            let gram = &gram_buf;
 
             let tm = Instant::now();
             crate::mttkrp::mttkrp_dense_planned(&csfs[m].0, &csfs[m].1, &factors, &mut kbufs[m])?;
             let mttkrp_time = tm.elapsed();
 
             let ta = Instant::now();
-            let lip = lipschitz_bound(&gram).max(1e-12);
+            let lip = lipschitz_bound(gram).max(1e-12);
             let step = cfg.step_safety / lip;
             let prox = factorizer.constraint_for(m);
             let f = cfg.rank;
             // inner_steps rounds of A <- prox(A - step*(A G - K)),
-            // parallel over rows (each row's gradient only needs its own
-            // row of A and the shared F x F Gram).
+            // parallel over row panels (each row's gradient only needs
+            // its own row of A and the shared F x F Gram). The gradient
+            // row comes from a per-panel scratch pool, so the steps
+            // allocate nothing once warm.
+            let chunk = PANEL_ROWS * f;
+            let npanels = dims[m].div_ceil(PANEL_ROWS);
+            if grad_pool.len() < npanels {
+                grad_pool.resize_with(npanels, Vec::new);
+            }
+            for gp in grad_pool[..npanels].iter_mut() {
+                if gp.len() < f {
+                    gp.resize(f, 0.0);
+                }
+            }
             for _ in 0..cfg.inner_steps {
                 factors[m]
                     .as_mut_slice()
-                    .par_chunks_mut(f)
-                    .zip(kbufs[m].as_slice().par_chunks(f))
-                    .for_each(|(arow, krow)| {
-                        // grad_row = arow * G - krow.
-                        let mut grad = vec![0.0f64; f];
-                        for (c, &a) in arow.iter().enumerate() {
-                            if a != 0.0 {
-                                vecops::axpy(a, gram.row(c), &mut grad);
+                    .par_chunks_mut(chunk)
+                    .zip(kbufs[m].as_slice().par_chunks(chunk))
+                    .zip(grad_pool[..npanels].par_iter_mut())
+                    .for_each(|((apanel, kpanel), gp)| {
+                        let grad = &mut gp[..f];
+                        for (arow, krow) in apanel.chunks_mut(f).zip(kpanel.chunks(f)) {
+                            // grad_row = arow * G - krow.
+                            vecops::fill(grad, 0.0);
+                            for (c, &a) in arow.iter().enumerate() {
+                                if a != 0.0 {
+                                    vecops::axpy(a, gram.row(c), grad);
+                                }
                             }
+                            for (g, &k) in grad.iter_mut().zip(krow) {
+                                *g -= k;
+                            }
+                            for (a, g) in arow.iter_mut().zip(grad.iter()) {
+                                *a -= step * g;
+                            }
+                            prox.apply_row(arow, 1.0 / step);
                         }
-                        for (g, &k) in grad.iter_mut().zip(krow) {
-                            *g -= k;
-                        }
-                        for (a, g) in arow.iter_mut().zip(&grad) {
-                            *a -= step * g;
-                        }
-                        prox.apply_row(arow, 1.0 / step);
                     });
             }
             let grad_time = ta.elapsed();
 
-            grams[m] = factors[m].gram();
+            panel::gram_into(&factors[m], &mut lin_ws, &mut grams[m])?;
             if m == nmodes - 1 {
                 last_inner = ops::inner_product(&kbufs[m], &factors[m])?;
             }

@@ -12,6 +12,8 @@
 
 use crate::dense::DMat;
 use crate::error::LinalgError;
+use crate::panel::PANEL_ROWS;
+use crate::workspace::Workspace;
 
 /// A lower-triangular Cholesky factor `L` with `A = L * L^T`.
 ///
@@ -46,6 +48,17 @@ impl Cholesky {
     /// [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly
     /// positive (within a small numerical slack).
     pub fn factor(a: &DMat) -> Result<Self, LinalgError> {
+        Self::factor_shifted(a, 0.0)
+    }
+
+    /// Factor `A + shift*I` without materializing the shifted matrix.
+    ///
+    /// ADMM factors `G + rho*I` on every mode update and on every
+    /// adaptive-rho rescale; reading the shift on the diagonal inside the
+    /// factorization replaces the `clone + add_diag + factor` sequence
+    /// and is bit-identical to it (the shifted diagonal entry is formed
+    /// by the same single addition either way).
+    pub fn factor_shifted(a: &DMat, shift: f64) -> Result<Self, LinalgError> {
         if a.nrows() != a.ncols() {
             return Err(LinalgError::DimMismatch {
                 op: "cholesky",
@@ -55,30 +68,44 @@ impl Cholesky {
         }
         let n = a.nrows();
         let mut l = DMat::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                // sum = A[i][j] - sum_k L[i][k] * L[j][k]
-                let mut sum = a.get(i, j);
-                let (li, lj) = (l.row(i), l.row(j));
-                for k in 0..j {
-                    sum -= li[k] * lj[k];
-                }
-                if i == j {
-                    if sum <= 0.0 {
-                        return Err(LinalgError::NotPositiveDefinite {
-                            pivot: i,
-                            value: sum,
-                        });
-                    }
-                    l.set(i, j, sum.sqrt());
-                } else {
-                    let v = sum / l.get(j, j);
-                    l.set(i, j, v);
-                }
-            }
-        }
+        factor_core(a, shift, &mut l)?;
         let lt = l.transpose();
         Ok(Cholesky { l, lt })
+    }
+
+    /// Re-factor `A + shift*I` in place, reusing the existing `L`/`L^T`
+    /// buffers when the dimension is unchanged.
+    ///
+    /// This is the steady-state path: the normal matrix keeps its shape
+    /// (`F x F`) across every mode update and rho rescale, so after the
+    /// first factorization no further allocation happens. Falls back to
+    /// a fresh allocation when the dimension changed. On error the
+    /// factor contents are unspecified; callers must not solve with a
+    /// factor whose last (re)factorization failed.
+    pub fn refactor_shifted(&mut self, a: &DMat, shift: f64) -> Result<(), LinalgError> {
+        if a.nrows() != a.ncols() {
+            return Err(LinalgError::DimMismatch {
+                op: "cholesky",
+                lhs: (a.nrows(), a.ncols()),
+                rhs: (a.nrows(), a.ncols()),
+            });
+        }
+        if self.dim() != a.nrows() {
+            *self = Self::factor_shifted(a, shift)?;
+            return Ok(());
+        }
+        let n = a.nrows();
+        // factor_core overwrites the whole lower triangle; the strict
+        // upper triangle is still zero from the previous factorization.
+        factor_core(a, shift, &mut self.l)?;
+        let l = self.l.as_slice();
+        let lt = self.lt.as_mut_slice();
+        for i in 0..n {
+            for j in 0..n {
+                lt[i * n + j] = l[j * n + i];
+            }
+        }
+        Ok(())
     }
 
     /// Dimension `F` of the factored matrix.
@@ -138,6 +165,138 @@ impl Cholesky {
         }
         Ok(())
     }
+
+    /// Solve `A x = b` in place for a panel of `P` right-hand-side rows
+    /// (`panel.len() == P * F`, row-major), streaming `L` once per panel
+    /// instead of once per row.
+    ///
+    /// The panel is transposed into `scratch` (`F x P`, so each
+    /// elimination step updates `P` contiguous lanes with unit stride),
+    /// eliminated, and transposed back. Per right-hand side this
+    /// performs exactly the operations of [`Cholesky::solve_row`] in
+    /// exactly the same order — only interleaved across the panel — so
+    /// the result is bit-identical to `P` separate `solve_row` calls.
+    ///
+    /// `scratch` must hold at least `panel.len()` doubles (take it from
+    /// [`Workspace::panel`]).
+    pub fn solve_panel(&self, panel: &mut [f64], scratch: &mut [f64]) {
+        let n = self.dim();
+        if n == 0 || panel.is_empty() {
+            return;
+        }
+        debug_assert_eq!(panel.len() % n, 0);
+        let p = panel.len() / n;
+        if p == 1 {
+            // A one-row panel is exactly the scalar kernel; skip the
+            // transposes.
+            self.solve_row(panel);
+            return;
+        }
+        debug_assert!(scratch.len() >= panel.len());
+        let t = &mut scratch[..panel.len()];
+        for r in 0..p {
+            for c in 0..n {
+                t[c * p + r] = panel[r * n + c];
+            }
+        }
+        let l = self.l.as_slice();
+        // Forward substitution: L y = b, one lane per right-hand side.
+        for i in 0..n {
+            let (done, rest) = t.split_at_mut(i * p);
+            let xi = &mut rest[..p];
+            let li = &l[i * n..i * n + i];
+            for (k, &lik) in li.iter().enumerate() {
+                let xk = &done[k * p..(k + 1) * p];
+                for (x, &y) in xi.iter_mut().zip(xk) {
+                    *x -= lik * y;
+                }
+            }
+            let d = l[i * n + i];
+            for x in xi.iter_mut() {
+                *x /= d;
+            }
+        }
+        // Backward substitution: L^T x = y, streaming rows of the stored
+        // transpose.
+        let lt = self.lt.as_slice();
+        for i in (0..n).rev() {
+            let (rest, done) = t.split_at_mut((i + 1) * p);
+            let xi = &mut rest[i * p..];
+            let row = &lt[i * n..(i + 1) * n];
+            for (k, &lik) in row.iter().enumerate().skip(i + 1) {
+                let xk = &done[(k - i - 1) * p..(k - i) * p];
+                for (x, &y) in xi.iter_mut().zip(xk) {
+                    *x -= lik * y;
+                }
+            }
+            let d = row[i];
+            for x in xi.iter_mut() {
+                *x /= d;
+            }
+        }
+        for r in 0..p {
+            for c in 0..n {
+                panel[r * n + c] = t[c * p + r];
+            }
+        }
+    }
+
+    /// Solve for a whole matrix of right-hand sides in panels of
+    /// [`PANEL_ROWS`], allocation-free given a warmed workspace.
+    ///
+    /// Bit-identical to [`Cholesky::solve_mat`].
+    pub fn solve_mat_panel(&self, b: &mut DMat, ws: &mut Workspace) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if b.ncols() != n {
+            return Err(LinalgError::DimMismatch {
+                op: "cholesky solve_mat_panel",
+                lhs: (n, n),
+                rhs: (b.nrows(), b.ncols()),
+            });
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        let scratch = ws.panel(PANEL_ROWS * n);
+        for panel in b.as_mut_slice().chunks_mut(PANEL_ROWS * n) {
+            self.solve_panel(panel, scratch);
+        }
+        Ok(())
+    }
+}
+
+/// Cholesky–Banachiewicz elimination of `a + shift*I` into the lower
+/// triangle of `l` (which must be `n x n` with a zero strict upper
+/// triangle). Shared by [`Cholesky::factor_shifted`] and
+/// [`Cholesky::refactor_shifted`].
+fn factor_core(a: &DMat, shift: f64, l: &mut DMat) -> Result<(), LinalgError> {
+    let n = a.nrows();
+    for i in 0..n {
+        for j in 0..=i {
+            // sum = A[i][j] - sum_k L[i][k] * L[j][k]
+            let mut sum = a.get(i, j);
+            if i == j {
+                sum += shift;
+            }
+            let (li, lj) = (l.row(i), l.row(j));
+            for k in 0..j {
+                sum -= li[k] * lj[k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite {
+                        pivot: i,
+                        value: sum,
+                    });
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                let v = sum / l.get(j, j);
+                l.set(i, j, v);
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -225,6 +384,95 @@ mod tests {
         let ch = Cholesky::factor(&DMat::eye(3)).unwrap();
         let mut b = DMat::zeros(2, 4);
         assert!(ch.solve_mat(&mut b).is_err());
+    }
+
+    #[test]
+    fn factor_shifted_bit_identical_to_clone_add_diag() {
+        for &(n, seed, shift) in &[(5usize, 2u64, 0.7f64), (16, 8, 3.25), (1, 1, 0.5)] {
+            let a = random_spd(n, seed);
+            let mut shifted = a.clone();
+            shifted.add_diag(shift);
+            let legacy = Cholesky::factor(&shifted).unwrap();
+            let fused = Cholesky::factor_shifted(&a, shift).unwrap();
+            assert_eq!(
+                legacy
+                    .factor_l()
+                    .as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                fused
+                    .factor_l()
+                    .as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn refactor_shifted_reuses_buffers_and_matches_fresh() {
+        let a = random_spd(7, 21);
+        let b = random_spd(7, 22);
+        let mut ch = Cholesky::factor_shifted(&a, 1.0).unwrap();
+        ch.refactor_shifted(&b, 2.5).unwrap();
+        let fresh = Cholesky::factor_shifted(&b, 2.5).unwrap();
+        assert_eq!(ch.factor_l().as_slice(), fresh.factor_l().as_slice());
+        // The stored transpose must be rebuilt too (backward substitution
+        // reads it).
+        let mut rng = ChaCha8Rng::seed_from_u64(30);
+        let x = DMat::random(1, 7, -1.0, 1.0, &mut rng);
+        let mut x1 = x.clone();
+        let mut x2 = x;
+        ch.solve_row(x1.row_mut(0));
+        fresh.solve_row(x2.row_mut(0));
+        assert_eq!(x1.as_slice(), x2.as_slice());
+        // Dimension change falls back to reallocation.
+        let c = random_spd(4, 23);
+        ch.refactor_shifted(&c, 0.5).unwrap();
+        assert_eq!(ch.dim(), 4);
+    }
+
+    #[test]
+    fn solve_panel_bit_identical_to_solve_row() {
+        use crate::workspace::Workspace;
+        let mut ws = Workspace::new();
+        for &(n, rows) in &[(6usize, 1usize), (6, 5), (6, 32), (17, 33), (1, 4)] {
+            let a = random_spd(n, (n * 100 + rows) as u64);
+            let ch = Cholesky::factor(&a).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(rows as u64);
+            let b = DMat::random(rows, n, -2.0, 2.0, &mut rng);
+
+            let mut scalar = b.clone();
+            for i in 0..rows {
+                ch.solve_row(scalar.row_mut(i));
+            }
+            let mut panel = b.clone();
+            let scratch = ws.panel(rows * n);
+            ch.solve_panel(panel.as_mut_slice(), scratch);
+
+            let sb: Vec<u64> = scalar.as_slice().iter().map(|x| x.to_bits()).collect();
+            let pb: Vec<u64> = panel.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(sb, pb, "n={n} rows={rows}");
+        }
+    }
+
+    #[test]
+    fn solve_mat_panel_bit_identical_to_solve_mat() {
+        use crate::workspace::Workspace;
+        let a = random_spd(9, 77);
+        let ch = Cholesky::factor(&a).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(78);
+        // More rows than one panel, not a multiple of PANEL_ROWS.
+        let b = DMat::random(3 * crate::panel::PANEL_ROWS + 7, 9, -1.0, 1.0, &mut rng);
+        let mut x1 = b.clone();
+        ch.solve_mat(&mut x1).unwrap();
+        let mut x2 = b;
+        let mut ws = Workspace::new();
+        ch.solve_mat_panel(&mut x2, &mut ws).unwrap();
+        assert_eq!(x1.as_slice(), x2.as_slice());
     }
 
     #[test]

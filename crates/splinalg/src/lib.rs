@@ -21,6 +21,10 @@
 //! * [`HybridMat`] — the hybrid dense+CSR structure: mostly-dense columns
 //!   are split out into a small dense panel and the long tail of sparse
 //!   columns stays in CSR (Section IV-C).
+//! * [`panel`] — panelized (register/cache-blocked) variants of the dense
+//!   kernels with a bit-identical determinism contract, fed by a
+//!   [`Workspace`] scratch arena so steady-state iterations never touch
+//!   the allocator.
 
 #![warn(missing_docs)]
 
@@ -30,13 +34,16 @@ pub mod dense;
 pub mod error;
 pub mod hybrid;
 pub mod ops;
+pub mod panel;
 pub mod vecops;
+pub mod workspace;
 
 pub use cholesky::Cholesky;
 pub use csr::CsrMatrix;
 pub use dense::DMat;
 pub use error::LinalgError;
 pub use hybrid::HybridMat;
+pub use workspace::Workspace;
 
 /// Column/row index type used by sparse matrix structures.
 ///

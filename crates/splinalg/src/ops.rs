@@ -55,6 +55,27 @@ pub fn hadamard(a: &DMat, b: &DMat) -> Result<DMat, LinalgError> {
 /// This is lines 4/8/12 of Algorithm 2 — the normal matrix of the
 /// least-squares subproblem for `skip_mode`.
 pub fn gram_hadamard(grams: &[DMat], skip_mode: usize) -> Result<DMat, LinalgError> {
+    let first = grams
+        .iter()
+        .enumerate()
+        .find(|(m, _)| *m != skip_mode)
+        .map(|(_, g)| g)
+        .ok_or_else(|| LinalgError::InvalidArgument("gram_hadamard needs >= 2 modes".into()))?;
+    let mut out = DMat::zeros(first.nrows(), first.ncols());
+    gram_hadamard_into(grams, skip_mode, &mut out)?;
+    Ok(out)
+}
+
+/// [`gram_hadamard`] into a caller-owned output, allocation-free.
+///
+/// The outer driver calls this once per mode per outer iteration with a
+/// reused `F x F` buffer, so the normal-matrix assembly stops cloning.
+/// `out` must already have the shape of the combined Gram matrices.
+pub fn gram_hadamard_into(
+    grams: &[DMat],
+    skip_mode: usize,
+    out: &mut DMat,
+) -> Result<(), LinalgError> {
     let mut iter = grams
         .iter()
         .enumerate()
@@ -63,7 +84,7 @@ pub fn gram_hadamard(grams: &[DMat], skip_mode: usize) -> Result<DMat, LinalgErr
     let first = iter
         .next()
         .ok_or_else(|| LinalgError::InvalidArgument("gram_hadamard needs >= 2 modes".into()))?;
-    let mut out = first.clone();
+    out.copy_from(first)?;
     for g in iter {
         if g.nrows() != out.nrows() || g.ncols() != out.ncols() {
             return Err(LinalgError::DimMismatch {
@@ -74,7 +95,7 @@ pub fn gram_hadamard(grams: &[DMat], skip_mode: usize) -> Result<DMat, LinalgErr
         }
         vecops::hadamard_assign(out.as_mut_slice(), g.as_slice());
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Sum of all entries of the Hadamard product of every Gram matrix:
@@ -89,18 +110,31 @@ pub fn model_norm_sq(grams: &[DMat]) -> Result<f64, LinalgError> {
             "model_norm_sq needs at least one gram".into(),
         ));
     }
-    let mut acc = grams[0].clone();
+    let first = &grams[0];
     for g in &grams[1..] {
-        if g.nrows() != acc.nrows() || g.ncols() != acc.ncols() {
+        if g.nrows() != first.nrows() || g.ncols() != first.ncols() {
             return Err(LinalgError::DimMismatch {
                 op: "model_norm_sq",
-                lhs: (acc.nrows(), acc.ncols()),
+                lhs: (first.nrows(), first.ncols()),
                 rhs: (g.nrows(), g.ncols()),
             });
         }
-        vecops::hadamard_assign(acc.as_mut_slice(), g.as_slice());
     }
-    Ok(acc.as_slice().iter().sum())
+    // Entry-wise: multiply across grams in mode order, sum in entry
+    // order. This groups the arithmetic exactly as the old
+    // clone + hadamard_assign + sum formulation (per-entry products in
+    // the same order, one running sum over entries), so results are
+    // bit-identical — but nothing is allocated on this once-per-iteration
+    // fit-check path.
+    let mut total = 0.0;
+    for e in 0..first.as_slice().len() {
+        let mut prod = first.as_slice()[e];
+        for g in &grams[1..] {
+            prod *= g.as_slice()[e];
+        }
+        total += prod;
+    }
+    Ok(total)
 }
 
 /// Inner product `<A, B>` of two equally shaped matrices, i.e.
@@ -193,6 +227,38 @@ mod tests {
             }
         }
         assert!((fast - direct).abs() < 1e-9 * direct.abs().max(1.0));
+    }
+
+    #[test]
+    fn gram_hadamard_into_bit_identical_to_alloc_version() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let grams: Vec<DMat> = (0..4)
+            .map(|_| DMat::random(6, 6, 0.0, 1.0, &mut rng).gram())
+            .collect();
+        for skip in 0..4 {
+            let alloc = gram_hadamard(&grams, skip).unwrap();
+            let mut out = DMat::zeros(6, 6);
+            out.fill(99.0); // stale contents must be fully overwritten
+            gram_hadamard_into(&grams, skip, &mut out).unwrap();
+            assert_eq!(alloc.as_slice(), out.as_slice());
+        }
+        let mut bad = DMat::zeros(5, 5);
+        assert!(gram_hadamard_into(&grams, 0, &mut bad).is_err());
+    }
+
+    #[test]
+    fn model_norm_sq_matches_clone_based_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let grams: Vec<DMat> = (0..3)
+            .map(|_| DMat::random(8, 5, -1.0, 1.0, &mut rng).gram())
+            .collect();
+        let fast = model_norm_sq(&grams).unwrap();
+        let mut acc = grams[0].clone();
+        for g in &grams[1..] {
+            vecops::hadamard_assign(acc.as_mut_slice(), g.as_slice());
+        }
+        let reference: f64 = acc.as_slice().iter().sum();
+        assert_eq!(fast.to_bits(), reference.to_bits());
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Panelized (register/cache-blocked) dense kernels.
+//!
+//! The paper hands all dense work to MKL; this module is our equivalent
+//! of MKL's SYRK/TRSM panel kernels, written so the compiler can
+//! autovectorize the inner loops: fixed-width register blocks over rows,
+//! unit-stride innermost loops over columns, and no per-call heap
+//! allocation (scratch comes from a [`Workspace`]).
+//!
+//! # Determinism contract
+//!
+//! Every kernel here is **bit-identical** to the legacy scalar kernel it
+//! replaces ([`DMat::gram`], [`crate::Cholesky::solve_row`]) for finite
+//! inputs, across any rayon thread count. Two mechanisms make that hold:
+//!
+//! * Parallel reductions use fixed-size chunks whose partials are merged
+//!   sequentially in chunk order (never work-stealing fold/reduce), so
+//!   the floating-point grouping is independent of scheduling.
+//! * Register blocking only batches *independent* per-entry update
+//!   chains: the 4-row Gram micro-kernel issues the same per-entry adds
+//!   in the same order as the row-at-a-time loop, and the panel solve
+//!   performs the same per-row elimination sequence as `solve_row`, just
+//!   interleaved across rows of a panel.
+//!
+//! Inputs are assumed finite (no NaN/inf); the factorization pipeline
+//! guards against non-finite values upstream. With finite inputs,
+//! accumulating `0.0 * x` is exact and sign-preserving, which is what
+//! lets the micro-kernel drop the legacy `row[a] == 0.0` skip without
+//! changing a single bit of the result.
+
+use crate::dense::DMat;
+use crate::error::LinalgError;
+use crate::vecops;
+use crate::workspace::Workspace;
+use rayon::prelude::*;
+
+/// Rows per solve/sweep panel.
+///
+/// Large enough that the `F x F` triangular factor is streamed once per
+/// P rows instead of once per row; small enough that a transposed panel
+/// (`P * F` doubles, up to 50 KB at F = 200) stays cache-resident.
+pub const PANEL_ROWS: usize = 32;
+
+/// Rows per parallel Gram chunk. Must match the chunking of
+/// [`DMat::gram`] so the two kernels share one deterministic reduction
+/// order (the conformance suite pins them bit-equal).
+pub const GRAM_CHUNK_ROWS: usize = 512;
+
+/// Gram matrix `A^T A` into a caller-owned `F x F` output, allocation-free.
+///
+/// Bit-identical to [`DMat::gram`]: same fixed 512-row chunks, same
+/// chunk-ordered merge of partials, same per-entry accumulation order
+/// inside a chunk — but the partials live in the workspace instead of a
+/// fresh `Vec<Vec<f64>>` per call, and rows are processed four at a time
+/// so the compiler keeps four accumulator chains in registers.
+///
+/// Returns an error when `out` is not `ncols x ncols`.
+pub fn gram_into(a: &DMat, ws: &mut Workspace, out: &mut DMat) -> Result<(), LinalgError> {
+    let f = a.ncols();
+    if out.nrows() != f || out.ncols() != f {
+        return Err(LinalgError::DimMismatch {
+            op: "gram_into",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (out.nrows(), out.ncols()),
+        });
+    }
+    if f == 0 || a.nrows() == 0 {
+        out.fill(0.0);
+        return Ok(());
+    }
+    let chunk = f * GRAM_CHUNK_ROWS;
+    let data = a.as_slice();
+    let nchunks = data.len().div_ceil(chunk);
+    let partials = ws.gram_partials(nchunks * f * f);
+    partials
+        .par_chunks_mut(f * f)
+        .zip(data.par_chunks(chunk))
+        .for_each(|(acc, rows)| {
+            vecops::fill(acc, 0.0);
+            accumulate_gram_chunk(acc, rows, f);
+        });
+    // Merge partials sequentially in chunk order: bit-identical across
+    // runs and thread counts (see DMat::gram).
+    let g = out.as_mut_slice();
+    vecops::fill(g, 0.0);
+    for p in partials.chunks_exact(f * f) {
+        for (a, b) in g.iter_mut().zip(p) {
+            *a += b;
+        }
+    }
+    // Mirror the upper triangle into the lower triangle.
+    for a in 0..f {
+        for b in (a + 1)..f {
+            g[b * f + a] = g[a * f + b];
+        }
+    }
+    Ok(())
+}
+
+/// Upper-triangle Gram accumulation for one chunk of rows, register
+/// blocked four rows at a time.
+///
+/// The legacy loop accumulates, for each entry `(a, b)`, the products
+/// `row_r[a] * row_r[b]` in ascending row order `r`. The quad block
+/// issues those same adds per entry as four sequential `+=` (Rust never
+/// reassociates or FMA-contracts float arithmetic), so the sum for every
+/// entry is grouped exactly as in the row-at-a-time kernel. The legacy
+/// `ra == 0.0` skip is dropped in the quad block: for finite inputs,
+/// adding `0.0 * row[b]` cannot change the accumulator's value *or* its
+/// sign bit (the running sum never becomes `-0.0`: it starts at `+0.0`
+/// and `+0.0 + -0.0 == +0.0` under round-to-nearest), so skipping and
+/// not skipping produce the same bits.
+fn accumulate_gram_chunk(acc: &mut [f64], rows: &[f64], f: usize) {
+    let mut quads = rows.chunks_exact(4 * f);
+    for quad in quads.by_ref() {
+        let (r0, rest) = quad.split_at(f);
+        let (r1, rest) = rest.split_at(f);
+        let (r2, r3) = rest.split_at(f);
+        for a in 0..f {
+            let (a0, a1, a2, a3) = (r0[a], r1[a], r2[a], r3[a]);
+            if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                continue;
+            }
+            let grow = &mut acc[a * f..(a + 1) * f];
+            for b in a..f {
+                let mut s = grow[b];
+                s += a0 * r0[b];
+                s += a1 * r1[b];
+                s += a2 * r2[b];
+                s += a3 * r3[b];
+                grow[b] = s;
+            }
+        }
+    }
+    // Remainder rows (< 4): legacy row-at-a-time kernel.
+    for row in quads.remainder().chunks_exact(f) {
+        for (a, &ra) in row.iter().enumerate() {
+            if ra == 0.0 {
+                continue;
+            }
+            let grow = &mut acc[a * f..(a + 1) * f];
+            for b in a..f {
+                grow[b] += ra * row[b];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn bits(m: &DMat) -> Vec<u64> {
+        m.as_slice().iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn gram_into_bit_identical_to_legacy() {
+        let mut ws = Workspace::new();
+        // Row counts straddling the quad width and the chunk width.
+        for &(n, f) in &[(1usize, 3usize), (4, 3), (5, 3), (513, 8), (1027, 5)] {
+            let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+            let a = DMat::random(n, f, -1.0, 1.0, &mut rng);
+            let legacy = a.gram();
+            let mut out = DMat::zeros(f, f);
+            gram_into(&a, &mut ws, &mut out).unwrap();
+            assert_eq!(bits(&legacy), bits(&out), "n={n} f={f}");
+        }
+    }
+
+    #[test]
+    fn gram_into_handles_zero_rows_in_quads() {
+        // Sparse-ish rows exercise the dropped zero-skip inside quads.
+        let mut a = DMat::zeros(9, 4);
+        for i in 0..9 {
+            if i % 3 != 0 {
+                a.set(i, i % 4, (i as f64) - 4.0);
+            }
+        }
+        let mut ws = Workspace::new();
+        let mut out = DMat::zeros(4, 4);
+        gram_into(&a, &mut ws, &mut out).unwrap();
+        assert_eq!(bits(&a.gram()), bits(&out));
+    }
+
+    #[test]
+    fn gram_into_rejects_bad_shape() {
+        let a = DMat::zeros(3, 2);
+        let mut ws = Workspace::new();
+        let mut out = DMat::zeros(3, 3);
+        assert!(gram_into(&a, &mut ws, &mut out).is_err());
+    }
+
+    #[test]
+    fn gram_into_empty_matrix() {
+        let a = DMat::zeros(0, 4);
+        let mut ws = Workspace::new();
+        let mut out = DMat::zeros(4, 4);
+        out.fill(7.0);
+        gram_into(&a, &mut ws, &mut out).unwrap();
+        assert!(out.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,81 @@
+//! Reusable scratch memory for the dense hot-path kernels.
+//!
+//! Every steady-state AO-ADMM outer iteration runs the same dense
+//! kernels on the same shapes: Gram accumulation partials, transposed
+//! solve panels, Hadamard-combined normal matrices. Allocating those
+//! buffers fresh on every call (the pre-panel implementation did) puts
+//! the allocator on the hot path and defeats the cache residency the
+//! blocked formulation is built around. A [`Workspace`] owns those
+//! buffers instead: each accessor grows its buffer to the requested
+//! length on first use (or after a shape change) and then hands out the
+//! same memory on every subsequent call, so steady-state iterations
+//! perform no heap allocation in the dense-kernel path.
+//!
+//! Buffers grow monotonically to the high-water mark of the shapes they
+//! have served and are never shrunk; a workspace is cheap to keep alive
+//! for the lifetime of a driver loop. Contents are unspecified between
+//! calls — every kernel fully initializes the region it uses.
+
+/// Grow-once scratch arena for the dense kernels in this crate.
+///
+/// Owned by the outer driver (one per factorization loop) and lent to
+/// [`crate::panel::gram_into`] and the panel triangular solves. Not
+/// `Sync`: parallel kernels that need per-task scratch take disjoint
+/// slices of a workspace buffer, never the workspace itself.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    gram_partials: Vec<f64>,
+    panel: Vec<f64>,
+}
+
+impl Workspace {
+    /// Create an empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch for per-chunk Gram partials (`nchunks * F * F` doubles),
+    /// contents unspecified.
+    pub(crate) fn gram_partials(&mut self, len: usize) -> &mut [f64] {
+        if self.gram_partials.len() < len {
+            self.gram_partials.resize(len, 0.0);
+        }
+        &mut self.gram_partials[..len]
+    }
+
+    /// Scratch for a transposed solve panel (`P * F` doubles), contents
+    /// unspecified.
+    pub fn panel(&mut self, len: usize) -> &mut [f64] {
+        if self.panel.len() < len {
+            self.panel.resize(len, 0.0);
+        }
+        &mut self.panel[..len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_grow_monotonically_and_are_reused() {
+        let mut ws = Workspace::new();
+        let p = ws.panel(16).as_ptr();
+        assert_eq!(ws.panel(16).len(), 16);
+        // A smaller request must not shrink or move the buffer.
+        assert_eq!(ws.panel(8).len(), 8);
+        assert_eq!(ws.panel(16).as_ptr(), p);
+        // Growing reallocates once, then stays put.
+        let _ = ws.panel(64);
+        let p2 = ws.panel(64).as_ptr();
+        assert_eq!(ws.panel(64).as_ptr(), p2);
+    }
+
+    #[test]
+    fn gram_partials_independent_of_panel() {
+        let mut ws = Workspace::new();
+        ws.gram_partials(9).fill(1.0);
+        ws.panel(4).fill(2.0);
+        assert!(ws.gram_partials(9).iter().all(|&x| x == 1.0));
+    }
+}

@@ -17,4 +17,5 @@ run baselines $B/baselines --max-outer 10
 run recovery $B/recovery
 run distsim $B/distsim
 run table2 $B/table2 --scale 0.5 --ranks 50,100,200 --max-outer 8
+run panel_speedup $B/panel_speedup
 echo ALL-DONE

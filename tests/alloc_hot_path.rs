@@ -1,0 +1,168 @@
+//! Allocation counter for the AO-ADMM hot path.
+//!
+//! The workspace refactor's contract is that once every grow-once buffer
+//! has reached its high-water mark, a steady-state mode update — combined
+//! Gram (`gram_hadamard_into`), Cholesky re-factorization + ADMM row
+//! sweep (`admm_update_ws`), Gram refresh (`panel::gram_into`), panel
+//! solves (`solve_mat_panel`) and the fit check (`model_norm_sq`) —
+//! performs **zero** heap allocation. This test installs a counting
+//! global allocator (which is why it is its own test binary), warms the
+//! workspaces with one full round of calls, then repeats the identical
+//! calls with counting enabled and asserts the count stayed at zero.
+
+use admm::prox::NonNeg;
+use admm::{admm_update_ws, AdaptiveRho, AdmmConfig, AdmmWorkspace};
+use splinalg::{ops, panel, Cholesky, DMat, Workspace};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static TRACKING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `body` with allocation counting enabled and return how many heap
+/// allocations it performed.
+fn count_allocations(body: impl FnOnce()) -> usize {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    body();
+    TRACKING.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+fn problem(n: usize, f: usize, seed: u64) -> (Vec<DMat>, DMat) {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let grams: Vec<DMat> = (0..3)
+        .map(|_| DMat::random(2 * f + 1, f, 0.1, 1.0, &mut rng).gram())
+        .collect();
+    let mut k = DMat::random(n, f, 0.0, 2.0, &mut rng);
+    for v in k.as_mut_slice().iter_mut().step_by(3) {
+        *v = -*v;
+    }
+    (grams, k)
+}
+
+#[test]
+fn steady_state_mode_update_does_not_allocate() {
+    let (n, f) = (150, 8);
+    let (grams, k) = problem(n, f, 41);
+    let mut gram_buf = DMat::zeros(f, f);
+    let mut h = DMat::zeros(n, f);
+    let mut u = DMat::zeros(n, f);
+    let mut admm_ws = AdmmWorkspace::new();
+    let mut lin_ws = Workspace::new();
+    let mut gram_out = DMat::zeros(f, f);
+
+    let mut cfg = AdmmConfig::blocked(50);
+    cfg.adaptive_rho = Some(AdaptiveRho::default());
+    cfg.max_inner = 40;
+
+    let round = |gram_buf: &mut DMat,
+                 h: &mut DMat,
+                 u: &mut DMat,
+                 admm_ws: &mut AdmmWorkspace,
+                 lin_ws: &mut Workspace,
+                 gram_out: &mut DMat| {
+        ops::gram_hadamard_into(&grams, 0, gram_buf).unwrap();
+        admm_update_ws(gram_buf, &k, h, u, &NonNeg, &cfg, admm_ws).unwrap();
+        panel::gram_into(h, lin_ws, gram_out).unwrap();
+        let _ = ops::model_norm_sq(&grams).unwrap();
+    };
+
+    // Warm-up: every grow-once buffer reaches its high-water mark.
+    round(
+        &mut gram_buf,
+        &mut h,
+        &mut u,
+        &mut admm_ws,
+        &mut lin_ws,
+        &mut gram_out,
+    );
+
+    let allocs = count_allocations(|| {
+        round(
+            &mut gram_buf,
+            &mut h,
+            &mut u,
+            &mut admm_ws,
+            &mut lin_ws,
+            &mut gram_out,
+        );
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state blocked mode update allocated {allocs} times"
+    );
+}
+
+#[test]
+fn steady_state_fused_update_does_not_allocate() {
+    let (n, f) = (130, 6);
+    let (grams, k) = problem(n, f, 43);
+    let mut gram_buf = DMat::zeros(f, f);
+    let mut h = DMat::zeros(n, f);
+    let mut u = DMat::zeros(n, f);
+    let mut ws = AdmmWorkspace::new();
+    let mut cfg = AdmmConfig::fused();
+    cfg.max_inner = 30;
+
+    ops::gram_hadamard_into(&grams, 1, &mut gram_buf).unwrap();
+    admm_update_ws(&gram_buf, &k, &mut h, &mut u, &NonNeg, &cfg, &mut ws).unwrap();
+
+    let allocs = count_allocations(|| {
+        ops::gram_hadamard_into(&grams, 1, &mut gram_buf).unwrap();
+        admm_update_ws(&gram_buf, &k, &mut h, &mut u, &NonNeg, &cfg, &mut ws).unwrap();
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state fused mode update allocated {allocs} times"
+    );
+}
+
+#[test]
+fn warm_panel_solve_does_not_allocate() {
+    let f = 8;
+    let (grams, k) = problem(3 * 32 + 7, f, 47);
+    let chol = Cholesky::factor_shifted(&grams[0], 1.0).unwrap();
+    let mut ws = Workspace::new();
+    let mut b = k.clone();
+    chol.solve_mat_panel(&mut b, &mut ws).unwrap();
+
+    b.copy_from(&k).unwrap();
+    let allocs = count_allocations(|| {
+        chol.solve_mat_panel(&mut b, &mut ws).unwrap();
+    });
+    assert_eq!(allocs, 0, "warm panel solve allocated {allocs} times");
+}

@@ -1,0 +1,301 @@
+//! Differential conformance for the panelized dense-kernel layer.
+//!
+//! The panel kernels (`panel::gram_into`, `Cholesky::solve_panel` /
+//! `solve_mat_panel`, and the panel ADMM row sweep behind
+//! `admm_update_ws`) are performance rewrites of scalar kernels whose
+//! outputs are pinned bit-for-bit: every per-entry floating-point
+//! operation happens in the same order as in the scalar path, so the
+//! results must be *identical*, not merely close. This suite checks
+//!
+//! * each panel kernel against the `testkit` oracle (tolerance-based —
+//!   the oracle uses a different summation order), and
+//! * each panel kernel against its legacy scalar implementation
+//!   bit-for-bit (`f64::to_bits` equality), across ranks
+//!   `F in {1, 8, 16, 32}` and 1/2/4-thread rayon pools.
+//!
+//! Rank 1 exercises the degenerate panels, 8/16 the remainder loops,
+//! and 32 a full `PANEL_ROWS`-wide right-hand side.
+
+use admm::prox::NonNeg;
+use admm::{admm_update_reference, admm_update_ws, AdaptiveRho, AdmmConfig, AdmmWorkspace, Prox};
+use splinalg::panel::{self, PANEL_ROWS};
+use splinalg::{Cholesky, DMat, Workspace};
+use testkit::tolerance::{KERNEL_ATOL, KERNEL_RTOL};
+use testkit::{assert_mats_close, gen, oracle};
+
+const RANKS: [usize; 4] = [1, 8, 16, 32];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+fn assert_bits_equal(what: &str, got: &DMat, want: &DMat) {
+    assert_eq!(got.nrows(), want.nrows(), "{what}: row count");
+    assert_eq!(got.ncols(), want.ncols(), "{what}: col count");
+    for (i, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: entry {i} differs: {a:e} vs {b:e}"
+        );
+    }
+}
+
+/// A tall factor with a mix of dense and exactly-zero rows, so the panel
+/// gram kernel's quad loop, remainder loop and zero-skip paths all run.
+fn tall_factor(nrows: usize, f: usize, seed: u64) -> DMat {
+    let mut a = gen::factors(&[nrows], f, -1.0, 1.0, seed).pop().unwrap();
+    for r in (0..nrows).step_by(7) {
+        for c in 0..f {
+            a.set(r, c, 0.0);
+        }
+    }
+    a
+}
+
+#[test]
+fn panel_gram_matches_oracle_and_legacy_bitwise() {
+    // Row counts around the parallel chunking (512) and panel (4-row
+    // micro-kernel) boundaries.
+    for &f in &RANKS {
+        for (si, &n) in [1usize, 5, 100, 513, 1100].iter().enumerate() {
+            let a = tall_factor(n, f, 700 + si as u64);
+            let want_oracle = oracle::gram(&a);
+            let legacy = a.gram();
+            for &threads in &THREADS {
+                let mut ws = Workspace::new();
+                let mut out = DMat::zeros(f, f);
+                pool(threads)
+                    .install(|| panel::gram_into(&a, &mut ws, &mut out))
+                    .unwrap();
+                assert_mats_close(
+                    &format!("panel gram vs oracle, n={n} f={f} threads={threads}"),
+                    &out,
+                    &want_oracle,
+                    KERNEL_RTOL,
+                    KERNEL_ATOL,
+                );
+                assert_bits_equal(
+                    &format!("panel gram vs legacy, n={n} f={f} threads={threads}"),
+                    &out,
+                    &legacy,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn panel_solve_matches_oracle_and_scalar_bitwise() {
+    for &f in &RANKS {
+        // Rows straddling one, several and a partial PANEL_ROWS panel.
+        for &n in &[1usize, PANEL_ROWS, 3 * PANEL_ROWS + 7] {
+            let w = gen::factors(&[2 * f + 3], f, 0.1, 1.0, 800 + f as u64)
+                .pop()
+                .unwrap();
+            let gram = w.gram();
+            let rho = gram.trace() / f as f64;
+            let k = gen::factors(&[n], f, -2.0, 2.0, 801 + f as u64)
+                .pop()
+                .unwrap();
+
+            let chol = Cholesky::factor_shifted(&gram, rho).unwrap();
+
+            // Scalar path: one solve_row per row.
+            let mut scalar = k.clone();
+            for r in 0..n {
+                chol.solve_row(scalar.row_mut(r));
+            }
+
+            // Oracle: exact least-squares rows against G + rho I.
+            let mut normal = gram.clone();
+            normal.add_diag(rho);
+            let want = oracle::least_squares_rows(&normal, &k).unwrap();
+            assert_mats_close(
+                &format!("scalar solve vs oracle, n={n} f={f}"),
+                &scalar,
+                &want,
+                KERNEL_RTOL,
+                KERNEL_ATOL,
+            );
+
+            for &threads in &THREADS {
+                let mut ws = Workspace::new();
+                let mut panel_out = k.clone();
+                pool(threads)
+                    .install(|| chol.solve_mat_panel(&mut panel_out, &mut ws))
+                    .unwrap();
+                assert_bits_equal(
+                    &format!("panel solve vs scalar, n={n} f={f} threads={threads}"),
+                    &panel_out,
+                    &scalar,
+                );
+            }
+        }
+    }
+}
+
+/// Shared ADMM problem: a Gram from a thin random factor and an MTTKRP
+/// stand-in with sign flips so the non-negativity constraint is active.
+fn admm_problem(n: usize, f: usize, seed: u64) -> (DMat, DMat) {
+    let w = gen::factors(&[2 * f + 1], f, 0.1, 1.0, seed).pop().unwrap();
+    let mut k = gen::factors(&[n], f, 0.0, 2.0, seed + 1).pop().unwrap();
+    for v in k.as_mut_slice().iter_mut().step_by(3) {
+        *v = -*v;
+    }
+    (w.gram(), k)
+}
+
+#[test]
+fn blocked_admm_ws_is_bit_identical_to_scalar_reference() {
+    // Early stopping and adaptive rho stay enabled: per-block decisions
+    // are sequential row-order sums in both paths, so even the control
+    // flow must match exactly.
+    for &f in &RANKS {
+        let n = 150;
+        let (gram, k) = admm_problem(n, f, 900 + f as u64);
+        for adaptive in [None, Some(AdaptiveRho::default())] {
+            let mut cfg = AdmmConfig::blocked(50);
+            cfg.tol = 1e-9;
+            cfg.max_inner = 120;
+            cfg.adaptive_rho = adaptive;
+
+            let mut h_ref = DMat::zeros(n, f);
+            let mut u_ref = DMat::zeros(n, f);
+            let stats_ref =
+                admm_update_reference(&gram, &k, &mut h_ref, &mut u_ref, &NonNeg, &cfg).unwrap();
+
+            for &threads in &THREADS {
+                let mut h = DMat::zeros(n, f);
+                let mut u = DMat::zeros(n, f);
+                let mut ws = AdmmWorkspace::new();
+                let stats = pool(threads)
+                    .install(|| admm_update_ws(&gram, &k, &mut h, &mut u, &NonNeg, &cfg, &mut ws))
+                    .unwrap();
+                let tag = format!(
+                    "blocked f={f} threads={threads} adaptive={}",
+                    adaptive.is_some()
+                );
+                assert_bits_equal(&format!("{tag}: H"), &h, &h_ref);
+                assert_bits_equal(&format!("{tag}: U"), &u, &u_ref);
+                assert_eq!(stats, stats_ref, "{tag}: stats");
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_admm_ws_matches_reference_trajectory() {
+    // The fused reference reduces residual partials in work-stealing
+    // order, so its *stats* are not bit-stable; with tol = 0 both paths
+    // run exactly max_inner iterations and the per-row updates (which
+    // never read the reduction) must agree bit-for-bit. The workspace
+    // path's own reduction is deterministic, so its stats are also
+    // checked for thread-count invariance.
+    for &f in &RANKS {
+        let n = 130;
+        let (gram, k) = admm_problem(n, f, 950 + f as u64);
+        let mut cfg = AdmmConfig::fused();
+        cfg.tol = 0.0;
+        cfg.max_inner = 30;
+
+        let mut h_ref = DMat::zeros(n, f);
+        let mut u_ref = DMat::zeros(n, f);
+        admm_update_reference(&gram, &k, &mut h_ref, &mut u_ref, &NonNeg, &cfg).unwrap();
+
+        let mut first_stats = None;
+        for &threads in &THREADS {
+            let mut h = DMat::zeros(n, f);
+            let mut u = DMat::zeros(n, f);
+            let mut ws = AdmmWorkspace::new();
+            let stats = pool(threads)
+                .install(|| admm_update_ws(&gram, &k, &mut h, &mut u, &NonNeg, &cfg, &mut ws))
+                .unwrap();
+            let tag = format!("fused f={f} threads={threads}");
+            assert_bits_equal(&format!("{tag}: H"), &h, &h_ref);
+            assert_bits_equal(&format!("{tag}: U"), &u, &u_ref);
+            match &first_stats {
+                None => first_stats = Some(stats),
+                Some(s) => assert_eq!(&stats, s, "{tag}: stats drift across thread counts"),
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_reuse_across_shapes_matches_fresh_workspace() {
+    // A workspace warmed on one problem shape must not leak state (stale
+    // Cholesky factors, oversized panels, old block outcomes) into a
+    // later, smaller problem.
+    let mut ws = AdmmWorkspace::new();
+    let shapes = [(200usize, 16usize), (37, 3), (64, 8), (5, 1)];
+    for (si, &(n, f)) in shapes.iter().enumerate() {
+        let (gram, k) = admm_problem(n, f, 980 + si as u64);
+        for strategy_cfg in [AdmmConfig::blocked(50), AdmmConfig::fused()] {
+            let mut cfg = strategy_cfg;
+            cfg.tol = 1e-9;
+            cfg.max_inner = 60;
+            cfg.adaptive_rho = Some(AdaptiveRho::default());
+
+            let mut h_fresh = DMat::zeros(n, f);
+            let mut u_fresh = DMat::zeros(n, f);
+            admm_update_ws(
+                &gram,
+                &k,
+                &mut h_fresh,
+                &mut u_fresh,
+                &NonNeg,
+                &cfg,
+                &mut AdmmWorkspace::new(),
+            )
+            .unwrap();
+
+            let mut h = DMat::zeros(n, f);
+            let mut u = DMat::zeros(n, f);
+            admm_update_ws(&gram, &k, &mut h, &mut u, &NonNeg, &cfg, &mut ws).unwrap();
+            let tag = format!("reused ws, shape ({n}, {f})");
+            assert_bits_equal(&format!("{tag}: H"), &h, &h_fresh);
+            assert_bits_equal(&format!("{tag}: U"), &u, &u_fresh);
+        }
+    }
+}
+
+#[test]
+fn panel_sweep_preserves_feasibility() {
+    // The panel row sweep must call the prox exactly once per row per
+    // iteration; feasibility of the output is a cheap end-to-end check
+    // that no row is skipped at panel boundaries.
+    for &f in &RANKS {
+        for &n in &[
+            PANEL_ROWS - 1,
+            PANEL_ROWS,
+            PANEL_ROWS + 1,
+            4 * PANEL_ROWS + 3,
+        ] {
+            let (gram, k) = admm_problem(n, f, 990 + f as u64);
+            let mut h = DMat::zeros(n, f);
+            let mut u = DMat::zeros(n, f);
+            let mut ws = AdmmWorkspace::new();
+            admm_update_ws(
+                &gram,
+                &k,
+                &mut h,
+                &mut u,
+                &NonNeg,
+                &AdmmConfig::blocked(50),
+                &mut ws,
+            )
+            .unwrap();
+            for r in 0..n {
+                assert!(
+                    NonNeg.is_feasible_row(h.row(r), 1e-12),
+                    "row {r} infeasible (n={n}, f={f})"
+                );
+            }
+        }
+    }
+}
