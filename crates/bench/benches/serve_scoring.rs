@@ -1,0 +1,126 @@
+//! Criterion microbenchmarks for the serving read path: batched-panel
+//! point scoring against the per-query scalar loop, and norm-bound
+//! pruned top-K against the brute-force scan.
+
+use aoadmm::KruskalModel;
+use aoadmm_serve::{ModelRegistry, ServeEngine, TopKQuery};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::DMat;
+use sptensor::Idx;
+use std::sync::Arc;
+
+/// Engine over random factors; `skew > 0` applies power-law row
+/// magnitudes (row i scaled by `(i+1)^-skew`) like the popularity skew
+/// of the dataset analogs — the regime norm-bound pruning targets.
+fn engine(dims: &[usize], rank: usize, skew: f64, seed: u64) -> ServeEngine {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let factors = dims
+        .iter()
+        .map(|&d| {
+            let mut f = DMat::random(d, rank, -1.0, 1.0, &mut rng);
+            for i in 0..d {
+                let scale = ((i + 1) as f64).powf(-skew);
+                for v in f.row_mut(i) {
+                    *v *= scale;
+                }
+            }
+            f
+        })
+        .collect();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(KruskalModel::new(factors));
+    ServeEngine::new(registry)
+}
+
+fn coords(dims: &[usize], n: usize) -> Vec<Vec<Idx>> {
+    (0..n as u64)
+        .map(|i| {
+            dims.iter()
+                .enumerate()
+                .map(|(m, &d)| {
+                    (i.wrapping_mul(0x9e3779b97f4a7c15)
+                        .wrapping_add(m as u64 * 0x85ebca6b)
+                        % d as u64) as Idx
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Point scoring of a 256-query slab: batched panel kernels
+/// (`predict_many_into`, one snapshot + gathered-Hadamard chunks)
+/// against the per-query scalar `value_at` walk (`predict_direct`).
+fn bench_point(c: &mut Criterion) {
+    let dims = [50_000usize, 10_000, 500];
+    let mut group = c.benchmark_group("serve_point_256q");
+    for rank in [8usize, 16, 32] {
+        let e = engine(&dims, rank, 0.0, 7);
+        let qs = coords(&dims, 256);
+        let mut values = Vec::new();
+        group.bench_with_input(BenchmarkId::new("batched", rank), &rank, |b, _| {
+            b.iter(|| e.predict_many_into(&qs, &mut values).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", rank), &rank, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for q in &qs {
+                    acc += e.predict_direct(q).unwrap();
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Top-K over a large free mode: Cauchy-Schwarz pruned scan against the
+/// brute-force panel scan (both exact; pruning skips the norm tail).
+fn bench_topk(c: &mut Criterion) {
+    let dims = [200_000usize, 1_000, 200];
+    let mut group = c.benchmark_group("serve_topk_mode0");
+    group.sample_size(20);
+    for (rank, k) in [(16usize, 10usize), (16, 100), (32, 10)] {
+        let e = engine(&dims, rank, 0.6, 11);
+        let anchors = coords(&dims, 16);
+        let label = format!("f{rank}_k{k}");
+        let mut hits = Vec::new();
+        group.bench_with_input(BenchmarkId::new("pruned", &label), &k, |b, &k| {
+            b.iter(|| {
+                for a in &anchors {
+                    e.topk_into_with(
+                        &TopKQuery {
+                            free_mode: 0,
+                            anchor: a.clone(),
+                            k,
+                        },
+                        true,
+                        &mut hits,
+                    )
+                    .unwrap();
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("brute", &label), &k, |b, &k| {
+            b.iter(|| {
+                for a in &anchors {
+                    e.topk_into_with(
+                        &TopKQuery {
+                            free_mode: 0,
+                            anchor: a.clone(),
+                            k,
+                        },
+                        false,
+                        &mut hits,
+                    )
+                    .unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point, bench_topk);
+criterion_main!(benches);

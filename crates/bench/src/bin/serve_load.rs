@@ -1,0 +1,231 @@
+//! Closed-loop load generator for the serving engine.
+//!
+//! Stands up a [`aoadmm_serve::ServeEngine`] over a synthetic Kruskal
+//! model and drives it with a fixed number of concurrent closed-loop
+//! clients (each issues its next operation the moment the previous one
+//! returns). Sweeps client counts over five scenarios, recording
+//! throughput (queries/sec) and per-operation p50/p95/p99 latency to
+//! `bench_results/serve_load.csv`:
+//!
+//! * `point_batched` — 256-query slabs through `predict_many_into`
+//!   (panel-kernel scoring, one snapshot per slab),
+//! * `point_perquery` — the same 256 queries through `predict_direct`
+//!   one at a time (per-query scalar baseline),
+//! * `point_coalesced` — single-query `predict` through the combining
+//!   micro-batcher (cross-thread coalescing, one query per op),
+//! * `topk_pruned` / `topk_brute` — norm-bound pruned vs brute-force
+//!   exact top-K.
+//!
+//! Usage: `cargo run --release -p aoadmm-bench --bin serve_load -- \
+//!         [--rows 100000] [--rank 16] [--ops 200] [--slab 256] [--k 10] \
+//!         [--clients 1,2,4,8] [--skew 0.6] [--seed 1]`
+//!
+//! `--skew` applies power-law row magnitudes (row i scaled by
+//! `(i+1)^-skew`), matching the popularity skew of the dataset analogs;
+//! `--skew 0` benchmarks the uniform worst case for pruning.
+
+use aoadmm::KruskalModel;
+use aoadmm_bench::{csv_writer, Args};
+use aoadmm_serve::{ModelRegistry, ServeEngine, TopKQuery};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::DMat;
+use sptensor::Idx;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn coord_for(i: u64, dims: &[usize]) -> Vec<Idx> {
+    dims.iter()
+        .enumerate()
+        .map(|(m, &d)| {
+            (i.wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(m as u64 * 0x85ebca6b)
+                % d as u64) as Idx
+        })
+        .collect()
+}
+
+struct Cell {
+    qps: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+/// One scenario operation: (query slab, value buffer, top-K hit buffer).
+type OpFn<'a> = dyn Fn(&[Vec<Idx>], &mut Vec<f64>, &mut Vec<(Idx, f64)>) + Sync + 'a;
+
+/// One scenario cell: `clients` closed-loop threads, `ops` operations
+/// each, `per_op` queries inside every operation. Latency percentiles
+/// are per operation (microseconds); throughput counts queries.
+fn run_cell(
+    clients: usize,
+    ops: usize,
+    per_op: usize,
+    slabs: &[Vec<Vec<Idx>>],
+    f: &OpFn<'_>,
+) -> Cell {
+    let wall = Instant::now();
+    let mut lats: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(ops);
+                    let mut values = Vec::new();
+                    let mut hits = Vec::new();
+                    for i in 0..ops {
+                        let slab = &slabs[(c * ops + i) % slabs.len()];
+                        let t = Instant::now();
+                        f(slab, &mut values, &mut hits);
+                        lats.push(t.elapsed().as_nanos() as u64);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall = wall.elapsed().as_secs_f64();
+    lats.sort_unstable();
+    let pct = |p: f64| lats[(p * (lats.len() - 1) as f64).round() as usize] as f64 / 1e3;
+    Cell {
+        qps: (lats.len() * per_op) as f64 / wall,
+        p50: pct(0.50),
+        p95: pct(0.95),
+        p99: pct(0.99),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let rows: usize = args.get("rows", 100_000);
+    let rank: usize = args.get("rank", 16);
+    let ops: usize = args.get("ops", 200);
+    let slab: usize = args.get("slab", 256);
+    let k: usize = args.get("k", 10);
+    let seed: u64 = args.get("seed", 1);
+    let clients: Vec<usize> = args
+        .get_str("clients", "1,2,4,8")
+        .split(',')
+        .map(|s| s.trim().parse().expect("client count"))
+        .collect();
+
+    let skew: f64 = args.get("skew", 0.6);
+    let dims = vec![rows, rows / 10 + 1, 500];
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let factors = dims
+        .iter()
+        .map(|&d| {
+            let mut f = DMat::random(d, rank, -1.0, 1.0, &mut rng);
+            // Power-law row magnitudes, matching the popularity skew of
+            // the dataset analogs (few hot users/items, a long tail) —
+            // the regime norm-bound pruning is built for.
+            for i in 0..d {
+                let scale = ((i + 1) as f64).powf(-skew);
+                for v in f.row_mut(i) {
+                    *v *= scale;
+                }
+            }
+            f
+        })
+        .collect();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(KruskalModel::new(factors));
+    let engine = Arc::new(ServeEngine::new(registry));
+    println!(
+        "serving rank-{rank} model over dims {dims:?}; {ops} ops/client, {slab} queries/slab\n"
+    );
+
+    // Distinct pregenerated query slabs, cycled by every client, so
+    // coordinate hashing stays out of the measured loop.
+    let slabs: Vec<Vec<Vec<Idx>>> = (0..64u64)
+        .map(|s| {
+            (0..slab as u64)
+                .map(|i| coord_for(s * slab as u64 + i, &dims))
+                .collect()
+        })
+        .collect();
+
+    let (mut csv, path) = csv_writer("serve_load");
+    writeln!(
+        csv,
+        "scenario,clients,queries_per_op,qps,p50_us,p95_us,p99_us"
+    )
+    .unwrap();
+
+    let e = &engine;
+    let scenarios: Vec<(&str, usize, Box<OpFn<'_>>)> = vec![
+        (
+            "point_batched",
+            slab,
+            Box::new(move |s, values, _| {
+                e.predict_many_into(s, values).expect("predict_many");
+            }),
+        ),
+        (
+            "point_perquery",
+            slab,
+            Box::new(move |s, _, _| {
+                for c in s {
+                    e.predict_direct(c).expect("predict");
+                }
+            }),
+        ),
+        (
+            "point_coalesced",
+            1,
+            Box::new(move |s, _, _| {
+                e.predict(&s[0]).expect("predict");
+            }),
+        ),
+        (
+            "topk_pruned",
+            1,
+            Box::new(move |s, _, hits| {
+                let q = TopKQuery {
+                    free_mode: 0,
+                    anchor: s[0].clone(),
+                    k,
+                };
+                e.topk_into_with(&q, true, hits).expect("topk");
+            }),
+        ),
+        (
+            "topk_brute",
+            1,
+            Box::new(move |s, _, hits| {
+                let q = TopKQuery {
+                    free_mode: 0,
+                    anchor: s[0].clone(),
+                    k,
+                };
+                e.topk_into_with(&q, false, hits).expect("topk");
+            }),
+        ),
+    ];
+
+    for (name, per_op, f) in &scenarios {
+        println!("{name} ({per_op} queries/op):");
+        for &c in &clients {
+            // Warm the pools at this concurrency before measuring.
+            run_cell(c, 8.max(ops / 10), *per_op, &slabs, f.as_ref());
+            let cell = run_cell(c, ops, *per_op, &slabs, f.as_ref());
+            println!(
+                "  {c:>2} clients: qps {:>9.0}  p50 {:>8.1}us  p95 {:>8.1}us  p99 {:>8.1}us",
+                cell.qps, cell.p50, cell.p95, cell.p99
+            );
+            writeln!(
+                csv,
+                "{name},{c},{per_op},{:.0},{:.2},{:.2},{:.2}",
+                cell.qps, cell.p50, cell.p95, cell.p99
+            )
+            .unwrap();
+        }
+    }
+    drop(csv);
+    println!("\nwrote {}", path.display());
+}

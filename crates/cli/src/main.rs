@@ -11,6 +11,9 @@
 //! * `als` — the unconstrained CP-ALS baseline.
 //! * `stream` — replay a `.tns` tensor as timed update batches through
 //!   the streaming subsystem, reporting per-batch refit latency and fit.
+//! * `serve-bench` — closed-loop latency/throughput benchmark of the
+//!   serving engine (batched vs direct point queries, pruned vs brute
+//!   top-K) against a saved or freshly fit model.
 //!
 //! Run `aoadmm help` for full usage.
 
@@ -35,6 +38,7 @@ USAGE:
                    --output X.tns [--scale F] [--seed S]
   aoadmm stats     --input X.tns
   aoadmm stream    --input X.tns --rank R [options]
+  aoadmm serve-bench (--model M.model | --input X.tns --rank R) [options]
   aoadmm help
 
 factorize options:
@@ -68,6 +72,15 @@ stream options (replays the tensor's nonzeros as update batches):
                            the warm-vs-cold iteration and latency totals
   (--constraint, --max-outer, --tol, --seed, --threads as for factorize)
 
+serve-bench options (closed-loop read-path benchmark):
+  --model FILE             serve a saved factor model (skips fitting)
+  --input X.tns --rank R   or fit one first (--max-outer, --seed as above)
+  --clients N              concurrent query threads (default 4)
+  --queries N              queries per client per scenario (default 2000)
+  --k K                    top-K depth (default 10)
+  --free-mode M            top-K free mode (default 0)
+  --seed S                 query-sequence seed (default 0)
+
 constraint SPECs:
   none | nonneg | l1:LAMBDA | nonneg-l1:LAMBDA | ridge:LAMBDA |
   simplex | box:LO,HI | maxnorm:BOUND
@@ -96,6 +109,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "generate" => generate(&args),
         "stats" => stats(&args),
         "stream" => stream(&args),
+        "serve-bench" => serve_bench(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -401,6 +415,121 @@ fn stream(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One serve-bench query: (query id, top-K hit buffer).
+type QueryFn<'a> = dyn Fn(u64, &mut Vec<(sptensor::Idx, f64)>) + Sync + 'a;
+
+fn serve_bench(args: &Args) -> Result<(), String> {
+    use aoadmm_serve::{ModelRegistry, ServeEngine, TopKQuery};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    setup_threads(args)?;
+    let model = if let Some(path) = args.get_str("model") {
+        eprintln!("loading model {path} ...");
+        model_io::load_model(&path).map_err(|e| e.to_string())?
+    } else {
+        let tensor = load_input(args)?;
+        let rank: usize = args.require_parsed("rank")?;
+        let res = Factorizer::new(rank)
+            .max_outer(args.get("max-outer", 20)?)
+            .seed(args.get("seed", 0)?)
+            .factorize(&tensor)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "fit rank-{rank} model, relative error {:.4}",
+            res.trace.final_error
+        );
+        res.model
+    };
+    let dims = model.dims();
+    let rank = model.rank();
+    println!("serving rank-{rank} model over dims {dims:?}");
+
+    let clients: usize = args.get("clients", 4)?;
+    let queries: usize = args.get("queries", 2000)?;
+    let k: usize = args.get("k", 10)?;
+    let free_mode: usize = args.get("free-mode", 0)?;
+    if free_mode >= dims.len() {
+        return Err(format!("--free-mode {free_mode} out of range for {dims:?}"));
+    }
+    let seed: u64 = args.get("seed", 0)?;
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(model);
+    let engine = Arc::new(ServeEngine::new(registry));
+
+    // Deterministic per-client query coordinates.
+    let coord_for = |i: u64| -> Vec<sptensor::Idx> {
+        dims.iter()
+            .enumerate()
+            .map(|(m, &d)| {
+                ((i ^ seed)
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add(m as u64 * 0x85ebca6b)
+                    % d as u64) as sptensor::Idx
+            })
+            .collect()
+    };
+
+    // Closed loop: each client issues its queries back to back; one
+    // latency sample per query, throughput over the whole wall.
+    let run_scenario = |name: &str, f: &QueryFn<'_>| {
+        let wall = Instant::now();
+        let mut lats: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    s.spawn(move || {
+                        let mut lats = Vec::with_capacity(queries);
+                        let mut hits = Vec::new();
+                        for i in 0..queries {
+                            let id = (c * queries + i) as u64;
+                            let t = Instant::now();
+                            f(id, &mut hits);
+                            lats.push(t.elapsed().as_nanos() as u64);
+                        }
+                        lats
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let wall = wall.elapsed().as_secs_f64();
+        lats.sort_unstable();
+        let pct = |p: f64| lats[(p * (lats.len() - 1) as f64).round() as usize] as f64 / 1e3;
+        println!(
+            "{name:<16} qps {:>9.0}  p50 {:>8.1}us  p95 {:>8.1}us  p99 {:>8.1}us",
+            lats.len() as f64 / wall,
+            pct(0.50),
+            pct(0.95),
+            pct(0.99)
+        );
+    };
+
+    println!("{clients} clients x {queries} queries per scenario\n");
+    let e = &engine;
+    run_scenario("point/batched", &|i, _hits| {
+        e.predict(&coord_for(i)).expect("predict");
+    });
+    run_scenario("point/direct", &|i, _hits| {
+        e.predict_direct(&coord_for(i)).expect("predict");
+    });
+    let tq = |i: u64| TopKQuery {
+        free_mode,
+        anchor: coord_for(i),
+        k,
+    };
+    run_scenario("topk/pruned", &|i, hits| {
+        e.topk_into_with(&tq(i), true, hits).expect("topk");
+    });
+    run_scenario("topk/brute", &|i, hits| {
+        e.topk_into_with(&tq(i), false, hits).expect("topk");
+    });
+    Ok(())
+}
+
 fn stats(args: &Args) -> Result<(), String> {
     let tensor = load_input(args)?;
     print!("{}", TensorStats::compute(&tensor).summary());
@@ -595,6 +724,84 @@ mod tests {
             s("--background-merge"),
         ])
         .unwrap();
+
+        let _ = std::fs::remove_file(tns);
+        let _ = std::fs::remove_file(model);
+    }
+
+    #[test]
+    fn end_to_end_serve_bench() {
+        let dir = std::env::temp_dir();
+        let tns = dir.join("aoadmm_cli_serve.tns");
+        let model = dir.join("aoadmm_cli_serve.model");
+        let s = |x: &str| x.to_string();
+
+        run(&[
+            s("generate"),
+            s("--dims"),
+            s("20,15,10"),
+            s("--nnz"),
+            s("400"),
+            s("--output"),
+            s(tns.to_str().unwrap()),
+        ])
+        .unwrap();
+        run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("3"),
+            s("--max-outer"),
+            s("3"),
+            s("--output"),
+            s(model.to_str().unwrap()),
+        ])
+        .unwrap();
+
+        // Serve the saved model, tiny load.
+        run(&[
+            s("serve-bench"),
+            s("--model"),
+            s(model.to_str().unwrap()),
+            s("--clients"),
+            s("2"),
+            s("--queries"),
+            s("50"),
+            s("--k"),
+            s("5"),
+            s("--free-mode"),
+            s("1"),
+        ])
+        .unwrap();
+
+        // Or fit on the fly from a tensor.
+        run(&[
+            s("serve-bench"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("3"),
+            s("--max-outer"),
+            s("2"),
+            s("--clients"),
+            s("1"),
+            s("--queries"),
+            s("20"),
+        ])
+        .unwrap();
+
+        // Free mode must be in range.
+        assert!(run(&[
+            s("serve-bench"),
+            s("--model"),
+            s(model.to_str().unwrap()),
+            s("--queries"),
+            s("1"),
+            s("--free-mode"),
+            s("9"),
+        ])
+        .is_err());
 
         let _ = std::fs::remove_file(tns);
         let _ = std::fs::remove_file(model);

@@ -86,6 +86,70 @@ impl KruskalModel {
         acc
     }
 
+    /// Row dimension of every mode — the shape of the tensor the model
+    /// reconstructs.
+    pub fn dims(&self) -> Vec<usize> {
+        self.factors.iter().map(|m| m.nrows()).collect()
+    }
+
+    /// Check that the model's shape matches `dims`, with a descriptive
+    /// error naming the offending mode. Call before indexing a model
+    /// against coordinates drawn from a tensor of shape `dims`.
+    pub fn check_dims(&self, dims: &[usize]) -> Result<(), crate::error::AoAdmmError> {
+        if dims.len() != self.nmodes() {
+            return Err(crate::error::AoAdmmError::Config(format!(
+                "model has {} modes but {} were expected",
+                self.nmodes(),
+                dims.len()
+            )));
+        }
+        for (m, (fac, &d)) in self.factors.iter().zip(dims).enumerate() {
+            if fac.nrows() != d {
+                return Err(crate::error::AoAdmmError::Config(format!(
+                    "mode {m} factor has {} rows but dimension {d} was expected",
+                    fac.nrows()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// L2 norm of every row of one factor. Serving layers cache these:
+    /// by Cauchy–Schwarz, `|dot(row_i, w)| <= ||row_i|| * ||w||`, which
+    /// bounds any query score through mode `mode` and lets a top-K scan
+    /// stop early once no remaining row can beat the current heap.
+    pub fn row_norms(&self, mode: usize) -> Vec<f64> {
+        let fac = &self.factors[mode];
+        (0..fac.nrows())
+            .map(|i| fac.row(i).iter().map(|v| v * v).sum::<f64>().sqrt())
+            .collect()
+    }
+
+    /// Query weight vector for a top-K scan over `free_mode`: the
+    /// Hadamard product of the fixed-mode factor rows,
+    /// `out[f] = prod_{m != free_mode} factors[m](coord[m], f)`
+    /// (`coord[free_mode]` is ignored). The score of candidate row `i`
+    /// in the free mode is then `dot(factors[free_mode].row(i), out)`,
+    /// which equals [`KruskalModel::value_at`] with `coord[free_mode] = i`.
+    ///
+    /// # Panics
+    /// Panics (debug) on arity mismatch; indexes out of bounds when a
+    /// fixed coordinate exceeds its mode dimension.
+    pub fn weights_into(&self, free_mode: usize, coord: &[Idx], out: &mut [f64]) {
+        debug_assert_eq!(coord.len(), self.nmodes());
+        debug_assert_eq!(out.len(), self.rank());
+        debug_assert!(free_mode < self.nmodes());
+        out.fill(1.0);
+        for (m, fac) in self.factors.iter().enumerate() {
+            if m == free_mode {
+                continue;
+            }
+            for (o, &v) in out.iter_mut().zip(fac.row(coord[m] as usize)) {
+                *o *= v;
+            }
+        }
+    }
+
     /// `||M||_F^2` via the Gram-matrix identity (cheap).
     pub fn norm_sq(&self) -> f64 {
         let grams: Vec<DMat> = self.factors.iter().map(|m| m.gram()).collect();
@@ -244,6 +308,49 @@ mod tests {
         // Plain case: ||X||^2=4, <X,M>=1, ||M||^2=1 -> sqrt(3)/2.
         let e = relative_error_fast(4.0, 1.0, 1.0);
         assert!((e - (3.0f64).sqrt() / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dims_and_check_dims() {
+        let m = model(3, 4, 5, 2, 9);
+        assert_eq!(m.dims(), vec![3, 4, 5]);
+        assert!(m.check_dims(&[3, 4, 5]).is_ok());
+        let err = m.check_dims(&[3, 4]).unwrap_err().to_string();
+        assert!(err.contains("3 modes"), "{err}");
+        let err = m.check_dims(&[3, 7, 5]).unwrap_err().to_string();
+        assert!(err.contains("mode 1") && err.contains("7"), "{err}");
+    }
+
+    #[test]
+    fn row_norms_match_manual() {
+        let m = model(4, 3, 2, 3, 10);
+        let norms = m.row_norms(0);
+        assert_eq!(norms.len(), 4);
+        for (i, &n) in norms.iter().enumerate() {
+            let manual: f64 = m.factor(0).row(i).iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert_eq!(n, manual);
+        }
+    }
+
+    #[test]
+    fn weights_dot_free_row_equals_value_at() {
+        let m = model(3, 4, 5, 3, 12);
+        let mut w = vec![0.0; 3];
+        for free in 0..3 {
+            m.weights_into(free, &[2, 1, 4], &mut w);
+            for cand in 0..m.factor(free).nrows() {
+                let score: f64 = m
+                    .factor(free)
+                    .row(cand)
+                    .iter()
+                    .zip(&w)
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let mut coord = [2u32, 1, 4];
+                coord[free] = cand as Idx;
+                assert!((score - m.value_at(&coord)).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub use trace::{FactorizeTrace, IterRecord, RefitRecord};
 /// constraints, factorize, inspect.
 pub mod prelude {
     pub use crate::als::{als_factorize, AlsConfig};
-    pub use crate::model_io::{load_model, save_model};
+    pub use crate::model_io::{load_model, load_model_for_dims, save_model};
     pub use crate::model_ops::{arrange, factor_match_score, normalize_columns};
     pub use crate::{
         CsfPolicy, FactorizeResult, Factorizer, KruskalModel, MttkrpPlan, PlanStrategy,

@@ -107,30 +107,74 @@ pub fn read_model<R: Read>(reader: R) -> Result<KruskalModel, AoAdmmError> {
             .strip_prefix(&format!("mode {m} rows "))
             .ok_or_else(|| parse_err(n, format!("expected `mode {m} rows <R>`, got {l:?}")))?;
         let rows: usize = rest.parse().map_err(|e| parse_err(n, e))?;
-        let mut fac = DMat::zeros(rows, rank);
-        for i in 0..rows {
+        if rows < 1 {
+            // A zero-row factor parses but panics much later, on the
+            // first query that indexes the mode — reject it here.
+            return Err(parse_err(n, format!("mode {m} must have rows >= 1")));
+        }
+        if rows.checked_mul(rank).is_none() {
+            return Err(parse_err(n, format!("mode {m} rows {rows} overflows")));
+        }
+        // Grown per parsed row rather than pre-sized from the header, so
+        // a corrupt `rows` claim fails on the missing data lines instead
+        // of aborting the process on a gigantic upfront allocation.
+        let mut data = Vec::new();
+        for _ in 0..rows {
             let (n, l) = next_line("factor row")?;
             let mut count = 0;
             for (c, tok) in l.split_whitespace().enumerate() {
                 if c >= rank {
                     return Err(parse_err(n, "too many values in row"));
                 }
-                fac.set(i, c, tok.parse().map_err(|e| parse_err(n, e))?);
+                let v: f64 = tok.parse().map_err(|e| parse_err(n, e))?;
+                if !v.is_finite() {
+                    return Err(parse_err(n, format!("non-finite factor value {tok:?}")));
+                }
+                data.push(v);
                 count += 1;
             }
             if count != rank {
                 return Err(parse_err(n, format!("expected {rank} values, got {count}")));
             }
         }
+        let fac = DMat::from_vec(rows, rank, data)
+            .map_err(|e| AoAdmmError::Config(format!("mode {m} factor: {e}")))?;
         factors.push(fac);
     }
     Ok(KruskalModel::new(factors))
 }
 
-/// Read a model from a file.
+/// Read a model from a file, naming the path in every error.
 pub fn load_model<P: AsRef<Path>>(path: P) -> Result<KruskalModel, AoAdmmError> {
-    let f = std::fs::File::open(path).map_err(io_err)?;
-    read_model(f)
+    let path = path.as_ref();
+    let with_path = |msg: std::fmt::Arguments| {
+        AoAdmmError::Config(format!("model file {}: {msg}", path.display()))
+    };
+    let f = std::fs::File::open(path).map_err(|e| with_path(format_args!("{e}")))?;
+    read_model(f).map_err(|e| match e {
+        AoAdmmError::Config(msg) => with_path(format_args!("{msg}")),
+        other => other,
+    })
+}
+
+/// Read a model from a file and check its shape against the tensor it
+/// will serve: every factor's row count must equal the corresponding
+/// entry of `dims`. A mismatched model otherwise loads fine and panics
+/// only when a query first indexes the short mode — long after the
+/// loading code that caused it.
+pub fn load_model_for_dims<P: AsRef<Path>>(
+    path: P,
+    dims: &[usize],
+) -> Result<KruskalModel, AoAdmmError> {
+    let path = path.as_ref();
+    let model = load_model(path)?;
+    model.check_dims(dims).map_err(|e| match e {
+        AoAdmmError::Config(msg) => {
+            AoAdmmError::Config(format!("model file {}: {msg}", path.display()))
+        }
+        other => other,
+    })?;
+    Ok(model)
 }
 
 #[cfg(test)]
@@ -194,6 +238,68 @@ mod tests {
         assert!(read_model(src.as_bytes()).is_err());
         let src = "nmodes 1\nrank 2\nmode 0 rows 1\n1.0\n";
         assert!(read_model(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_row_mode() {
+        // Regression: a `rows 0` factor used to load silently and panic
+        // on the first query into that mode.
+        let src = "nmodes 2\nrank 1\nmode 0 rows 0\nmode 1 rows 1\n1.0\n";
+        let err = read_model(src.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("rows >= 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_absurd_row_claim_without_allocating() {
+        // Regression: a corrupt header claiming ~10^10 rows used to
+        // abort the process on a hundreds-of-GB upfront allocation;
+        // it must fail as an ordinary truncation error instead.
+        let src = "nmodes 1\nrank 2\nmode 0 rows 9999999999\n1.0 2.0\n";
+        let err = read_model(src.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("truncated"), "{err}");
+        let src = format!("nmodes 1\nrank 3\nmode 0 rows {}\n1.0\n", usize::MAX);
+        let err = read_model(src.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let src = format!("nmodes 1\nrank 1\nmode 0 rows 1\n{bad}\n");
+            let err = read_model(src.as_bytes()).unwrap_err().to_string();
+            assert!(err.contains("non-finite"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn load_errors_name_the_path() {
+        let missing = std::env::temp_dir().join("aoadmm_model_io_no_such_file.txt");
+        let err = load_model(&missing).unwrap_err().to_string();
+        assert!(err.contains("aoadmm_model_io_no_such_file"), "{err}");
+
+        let path = std::env::temp_dir().join("aoadmm_model_io_bad.txt");
+        std::fs::write(&path, "nmodes x\n").unwrap();
+        let err = load_model(&path).unwrap_err().to_string();
+        assert!(err.contains("aoadmm_model_io_bad"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_for_dims_rejects_shape_mismatch() {
+        let m = model();
+        let path = std::env::temp_dir().join("aoadmm_model_io_dims.txt");
+        save_model(&m, &path).unwrap();
+        assert!(load_model_for_dims(&path, &[7, 5, 6]).is_ok());
+        let err = load_model_for_dims(&path, &[7, 9, 6])
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("aoadmm_model_io_dims") && err.contains("mode 1"),
+            "{err}"
+        );
+        let err = load_model_for_dims(&path, &[7, 5]).unwrap_err().to_string();
+        assert!(err.contains("modes"), "{err}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

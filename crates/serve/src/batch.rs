@@ -1,0 +1,316 @@
+//! Micro-batching point-query scorer (combining leader/follower).
+//!
+//! Point queries are tiny — `O(nmodes * F)` flops — so at high
+//! concurrency the per-query overhead (snapshotting the model, touching
+//! scratch, cache misses on the factors) dominates. This scorer
+//! coalesces concurrent callers that share a query structure (full
+//! reconstruction at one coordinate) into panel-sized batches: each
+//! caller enqueues its coordinate, the first caller to find no active
+//! leader *becomes* the leader and scores everything queued (including
+//! its own query) through the gathered-Hadamard panel kernels, then
+//! hands results back and notifies. Followers just wait on their slot.
+//!
+//! One batch is scored against **one** registry snapshot, so every
+//! answer in a batch reflects a single coherent epoch that was current
+//! during the call. Slot cells and scoring scratch are recycled through
+//! free lists, so the steady-state path allocates nothing
+//! (`tests/alloc_serve.rs` pins the single-caller path).
+//!
+//! The batched value groups its arithmetic exactly like
+//! [`aoadmm::KruskalModel::value_at`] — factor entries multiplied in
+//! mode order, components summed in ascending column order — so batched
+//! and scalar scoring agree bit-for-bit.
+
+use crate::error::ServeError;
+use crate::model::ServableModel;
+use crate::pool::{ScratchPool, ServeScratch};
+use crate::registry::ModelRegistry;
+use parking_lot::Mutex;
+use splinalg::panel;
+use sptensor::Idx;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One caller's slot in the queue.
+struct SlotState {
+    coord: Vec<Idx>,
+    done: bool,
+    result: Result<f64, ServeError>,
+}
+
+/// Cells use `std::sync` rather than `parking_lot` because followers
+/// block on a condvar, and panics on the leader must not wedge them —
+/// `std`'s poisoning is recovered explicitly below.
+struct SlotCell {
+    state: std::sync::Mutex<SlotState>,
+    cv: std::sync::Condvar,
+}
+
+/// Lock a slot cell, recovering from poisoning (a panicking leader must
+/// not wedge followers; the slot's `done`/`result` state stays valid).
+fn lock_slot(cell: &SlotCell) -> std::sync::MutexGuard<'_, SlotState> {
+    cell.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SlotCell {
+    fn new() -> Arc<Self> {
+        Arc::new(SlotCell {
+            state: std::sync::Mutex::new(SlotState {
+                coord: Vec::new(),
+                done: false,
+                result: Err(ServeError::Empty),
+            }),
+            cv: std::sync::Condvar::new(),
+        })
+    }
+}
+
+#[derive(Default)]
+struct Queue {
+    pending: VecDeque<Arc<SlotCell>>,
+    leader_active: bool,
+    /// The (single) leader's drain buffer, parked here between
+    /// leadership stints so repeated leading allocates nothing.
+    drain: Vec<Arc<SlotCell>>,
+}
+
+/// The combining scorer. One per engine; shared by all query threads.
+pub(crate) struct BatchScorer {
+    queue: Mutex<Queue>,
+    cells: Mutex<Vec<Arc<SlotCell>>>,
+    max_batch: usize,
+}
+
+impl BatchScorer {
+    pub(crate) fn new(max_batch: usize) -> Self {
+        BatchScorer {
+            queue: Mutex::new(Queue::default()),
+            cells: Mutex::new(Vec::new()),
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    fn take_cell(&self) -> Arc<SlotCell> {
+        self.cells.lock().pop().unwrap_or_else(SlotCell::new)
+    }
+
+    fn put_cell(&self, cell: Arc<SlotCell>) {
+        self.cells.lock().push(cell);
+    }
+
+    /// Score one coordinate, coalescing with concurrent callers.
+    pub(crate) fn score(
+        &self,
+        registry: &ModelRegistry,
+        pool: &ScratchPool,
+        coord: &[Idx],
+    ) -> Result<f64, ServeError> {
+        let cell = self.take_cell();
+        {
+            let mut st = lock_slot(&cell);
+            st.coord.clear();
+            st.coord.extend_from_slice(coord);
+            st.done = false;
+        }
+        let lead = {
+            let mut q = self.queue.lock();
+            q.pending.push_back(cell.clone());
+            if q.leader_active {
+                false
+            } else {
+                q.leader_active = true;
+                true
+            }
+        };
+        if lead {
+            self.drive(registry, pool);
+        }
+        let result = {
+            let mut st = lock_slot(&cell);
+            while !st.done {
+                st = cell.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            std::mem::replace(&mut st.result, Err(ServeError::Empty))
+        };
+        self.put_cell(cell);
+        result
+    }
+
+    /// Leader loop: drain panel-sized batches until the queue is empty,
+    /// then resign so the next enqueuer can lead.
+    fn drive(&self, registry: &ModelRegistry, pool: &ScratchPool) {
+        let mut batch = std::mem::take(&mut self.queue.lock().drain);
+        loop {
+            batch.clear();
+            {
+                let mut q = self.queue.lock();
+                while batch.len() < self.max_batch {
+                    match q.pending.pop_front() {
+                        Some(c) => batch.push(c),
+                        None => break,
+                    }
+                }
+                if batch.is_empty() {
+                    // Resignation and the emptiness check share one lock
+                    // hold, so no enqueued cell can be stranded.
+                    q.leader_active = false;
+                    q.drain = std::mem::take(&mut batch);
+                    return;
+                }
+            }
+            let snapshot = registry.snapshot();
+            let mut scratch = pool.take();
+            score_batch(snapshot.as_deref(), &batch, &mut scratch);
+        }
+    }
+}
+
+/// Score one batch against one coherent snapshot and wake the owners.
+fn score_batch(model: Option<&ServableModel>, batch: &[Arc<SlotCell>], scratch: &mut ServeScratch) {
+    let finish = |cell: &SlotCell, result: Result<f64, ServeError>| {
+        let mut st = lock_slot(cell);
+        st.result = result;
+        st.done = true;
+        cell.cv.notify_all();
+    };
+    let Some(model) = model else {
+        for cell in batch {
+            finish(cell, Err(ServeError::Empty));
+        }
+        return;
+    };
+
+    let b = batch.len();
+    let nmodes = model.nmodes();
+    let f = model.rank();
+    let ServeScratch {
+        ws,
+        coords,
+        ids,
+        valid,
+        values,
+        errors,
+        ..
+    } = scratch;
+    if values.len() < b {
+        values.resize(b, 0.0);
+    }
+    let values = &mut values[..b];
+
+    // Gather and validate every coordinate under its cell lock; invalid
+    // queries are parked at row 0 (always in range) and answered with
+    // the validation error afterwards.
+    coords.clear();
+    valid.clear();
+    errors.clear();
+    for cell in batch {
+        let st = lock_slot(cell);
+        match model.check_coord(&st.coord) {
+            Ok(()) => {
+                coords.extend_from_slice(&st.coord);
+                valid.push(true);
+                errors.push(None);
+            }
+            Err(e) => {
+                coords.extend(std::iter::repeat_n(0, nmodes));
+                valid.push(false);
+                errors.push(Some(e));
+            }
+        }
+    }
+
+    let acc = ws.batch(b * f);
+    for m in 0..nmodes {
+        ids.clear();
+        ids.extend((0..b).map(|q| coords[q * nmodes + m] as usize));
+        if panel::gather_hadamard_rows(model.model().factor(m), ids, m == 0, acc).is_err() {
+            // Unreachable after validation; fail the batch loudly
+            // rather than hand back garbage.
+            for cell in batch {
+                finish(
+                    cell,
+                    Err(ServeError::Invalid("internal batch gather failed".into())),
+                );
+            }
+            return;
+        }
+    }
+    if panel::row_sums_into(acc, f, values).is_err() {
+        for cell in batch {
+            finish(
+                cell,
+                Err(ServeError::Invalid("internal batch reduce failed".into())),
+            );
+        }
+        return;
+    }
+
+    for (q, cell) in batch.iter().enumerate() {
+        let result = match errors[q].take() {
+            Some(e) => Err(e),
+            None => Ok(values[q]),
+        };
+        finish(cell, result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoadmm::KruskalModel;
+    use splinalg::DMat;
+
+    fn registry() -> ModelRegistry {
+        let mut rng = {
+            use rand::SeedableRng;
+            rand_chacha::ChaCha8Rng::seed_from_u64(5)
+        };
+        let reg = ModelRegistry::new();
+        reg.publish(KruskalModel::new(vec![
+            DMat::random(6, 4, -1.0, 1.0, &mut rng),
+            DMat::random(5, 4, -1.0, 1.0, &mut rng),
+            DMat::random(7, 4, -1.0, 1.0, &mut rng),
+        ]));
+        reg
+    }
+
+    #[test]
+    fn single_caller_matches_value_at_bitwise() {
+        let reg = registry();
+        let pool = ScratchPool::new();
+        let scorer = BatchScorer::new(8);
+        let snap = reg.snapshot().unwrap();
+        for coord in [[0u32, 0, 0], [5, 4, 6], [2, 3, 1]] {
+            let got = scorer.score(&reg, &pool, &coord).unwrap();
+            assert_eq!(got.to_bits(), snap.model().value_at(&coord).to_bits());
+        }
+    }
+
+    #[test]
+    fn invalid_queries_get_errors_not_poisoned_batches() {
+        let reg = registry();
+        let pool = ScratchPool::new();
+        let scorer = BatchScorer::new(8);
+        assert!(matches!(
+            scorer.score(&reg, &pool, &[6, 0, 0]),
+            Err(ServeError::Invalid(_))
+        ));
+        assert!(matches!(
+            scorer.score(&reg, &pool, &[0, 0]),
+            Err(ServeError::Invalid(_))
+        ));
+        // A valid query right after still answers correctly.
+        assert!(scorer.score(&reg, &pool, &[0, 0, 0]).is_ok());
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let reg = ModelRegistry::new();
+        let pool = ScratchPool::new();
+        let scorer = BatchScorer::new(4);
+        assert!(matches!(
+            scorer.score(&reg, &pool, &[0, 0, 0]),
+            Err(ServeError::Empty)
+        ));
+    }
+}

@@ -1,0 +1,248 @@
+//! The query-side front door: one engine per deployment, shared by all
+//! serving threads.
+
+use crate::batch::BatchScorer;
+use crate::error::ServeError;
+use crate::model::ServableModel;
+use crate::pool::ScratchPool;
+use crate::registry::ModelRegistry;
+use crate::topk::{self, TopKQuery, TopKResult};
+use splinalg::panel::{self, PANEL_ROWS};
+use sptensor::Idx;
+use std::sync::Arc;
+
+/// Serving engine over a [`ModelRegistry`]: batched point reconstruction
+/// and pruned exact top-K. `&self` everywhere — share one engine across
+/// however many query threads the deployment runs.
+pub struct ServeEngine {
+    registry: Arc<ModelRegistry>,
+    batcher: BatchScorer,
+    pool: ScratchPool,
+    pruned: bool,
+}
+
+impl ServeEngine {
+    /// An engine over `registry`, with panel-sized micro-batches and
+    /// norm-bound pruning enabled.
+    pub fn new(registry: Arc<ModelRegistry>) -> Self {
+        ServeEngine {
+            registry,
+            batcher: BatchScorer::new(PANEL_ROWS),
+            pool: ScratchPool::new(),
+            pruned: true,
+        }
+    }
+
+    /// Cap coalesced point-query batches at `n` (default
+    /// [`PANEL_ROWS`]).
+    pub fn batch_limit(mut self, n: usize) -> Self {
+        self.batcher = BatchScorer::new(n);
+        self
+    }
+
+    /// Toggle norm-bound pruning for top-K (default on). Both settings
+    /// return identical results; brute force is the fallback when a
+    /// workload's norms are too uniform to prune.
+    pub fn pruning(mut self, on: bool) -> Self {
+        self.pruned = on;
+        self
+    }
+
+    /// The registry this engine reads from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Epoch of the most recently published model.
+    pub fn epoch(&self) -> u64 {
+        self.registry.epoch()
+    }
+
+    /// Reconstruct the model value at `coord`, coalescing with
+    /// concurrent callers into one batched panel scoring pass. The
+    /// answer reflects a single coherent model epoch current during the
+    /// call, bit-identical to `value_at` on that epoch.
+    pub fn predict(&self, coord: &[Idx]) -> Result<f64, ServeError> {
+        self.batcher.score(&self.registry, &self.pool, coord)
+    }
+
+    /// Reconstruct the model value at `coord` without micro-batching:
+    /// snapshot, validate, scalar `value_at`. The per-query baseline
+    /// the load generator compares against.
+    pub fn predict_direct(&self, coord: &[Idx]) -> Result<f64, ServeError> {
+        let model = self.registry.snapshot().ok_or(ServeError::Empty)?;
+        model.check_coord(coord)?;
+        Ok(model.model().value_at(coord))
+    }
+
+    /// Score a caller-assembled batch of coordinates in one pass:
+    /// panel-sized chunks through the gathered-Hadamard kernels against
+    /// one coherent epoch. This is the bulk fast path — amortizing the
+    /// snapshot and per-mode dispatch across the whole slice is what
+    /// beats per-query scalar scoring in the load generator.
+    pub fn predict_many(&self, coords: &[Vec<Idx>]) -> Result<Vec<f64>, ServeError> {
+        let mut out = Vec::new();
+        self.predict_many_into(coords, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ServeEngine::predict_many`] into a caller-retained buffer; with
+    /// a reused buffer the call allocates nothing in steady state.
+    /// Values are bit-identical to `value_at` per coordinate. The whole
+    /// batch is validated up front — any bad coordinate fails the call
+    /// before anything is scored. Returns the epoch scored against.
+    pub fn predict_many_into(
+        &self,
+        coords: &[Vec<Idx>],
+        out: &mut Vec<f64>,
+    ) -> Result<u64, ServeError> {
+        let model = self.registry.snapshot().ok_or(ServeError::Empty)?;
+        for c in coords {
+            model.check_coord(c)?;
+        }
+        out.clear();
+        out.resize(coords.len(), 0.0);
+        let f = model.rank();
+        let nmodes = model.nmodes();
+        let mut scratch = self.pool.take();
+        let crate::pool::ServeScratch { ws, ids, .. } = &mut *scratch;
+        for (ci, chunk) in coords.chunks(PANEL_ROWS).enumerate() {
+            let b = chunk.len();
+            let acc = ws.batch(b * f);
+            for m in 0..nmodes {
+                ids.clear();
+                ids.extend(chunk.iter().map(|c| c[m] as usize));
+                panel::gather_hadamard_rows(model.model().factor(m), ids, m == 0, acc)?;
+            }
+            let off = ci * PANEL_ROWS;
+            panel::row_sums_into(acc, f, &mut out[off..off + b])?;
+        }
+        Ok(model.epoch())
+    }
+
+    /// Exact top-K over `q.free_mode`, descending score with ties by
+    /// ascending row id, computed against one coherent epoch (reported
+    /// in the result).
+    pub fn topk(&self, q: &TopKQuery) -> Result<TopKResult, ServeError> {
+        let mut hits = Vec::new();
+        let epoch = self.topk_into(q, &mut hits)?;
+        Ok(TopKResult { epoch, hits })
+    }
+
+    /// [`ServeEngine::topk`] into a caller-retained buffer (cleared
+    /// first); with a reused buffer the query allocates nothing in
+    /// steady state. Returns the epoch scored against.
+    pub fn topk_into(&self, q: &TopKQuery, hits: &mut Vec<(Idx, f64)>) -> Result<u64, ServeError> {
+        self.topk_into_with(q, self.pruned, hits)
+    }
+
+    /// Top-K with an explicit pruning choice — the differential hook
+    /// for conformance tests and benchmarks.
+    pub fn topk_into_with(
+        &self,
+        q: &TopKQuery,
+        pruned: bool,
+        hits: &mut Vec<(Idx, f64)>,
+    ) -> Result<u64, ServeError> {
+        let model = self.registry.snapshot().ok_or(ServeError::Empty)?;
+        let mut scratch = self.pool.take();
+        topk::topk_scan(&model, q, pruned, &mut scratch, hits)?;
+        Ok(model.epoch())
+    }
+
+    /// The current model snapshot (one coherent epoch), if any.
+    pub fn snapshot(&self) -> Option<Arc<ServableModel>> {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoadmm::KruskalModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use splinalg::DMat;
+
+    fn engine() -> ServeEngine {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let reg = Arc::new(ModelRegistry::new());
+        reg.publish(KruskalModel::new(vec![
+            DMat::random(40, 6, -1.0, 1.0, &mut rng),
+            DMat::random(8, 6, -1.0, 1.0, &mut rng),
+            DMat::random(9, 6, -1.0, 1.0, &mut rng),
+        ]));
+        ServeEngine::new(reg)
+    }
+
+    #[test]
+    fn predict_batched_matches_direct_bitwise() {
+        let eng = engine();
+        for coord in [[0u32, 0, 0], [39, 7, 8], [13, 2, 5]] {
+            let a = eng.predict(&coord).unwrap();
+            let b = eng.predict_direct(&coord).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_many_matches_direct_bitwise_across_chunks() {
+        let eng = engine();
+        // 70 queries: spans two full 32-row panels plus a remainder.
+        let coords: Vec<Vec<Idx>> = (0..70u32).map(|i| vec![i % 40, i % 8, i % 9]).collect();
+        let (got, epoch) = {
+            let mut out = Vec::new();
+            let e = eng.predict_many_into(&coords, &mut out).unwrap();
+            (out, e)
+        };
+        assert_eq!(epoch, 1);
+        assert_eq!(got.len(), coords.len());
+        for (c, v) in coords.iter().zip(&got) {
+            assert_eq!(v.to_bits(), eng.predict_direct(c).unwrap().to_bits());
+        }
+        // Whole-batch validation: one bad coordinate fails the call.
+        let mut bad = coords.clone();
+        bad[40] = vec![40, 0, 0];
+        assert!(matches!(
+            eng.predict_many(&bad),
+            Err(ServeError::Invalid(_))
+        ));
+        assert!(eng.predict_many(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn topk_pruned_matches_brute() {
+        let eng = engine();
+        let q = TopKQuery {
+            free_mode: 0,
+            anchor: vec![0, 3, 4],
+            k: 7,
+        };
+        let mut pruned = Vec::new();
+        let mut brute = Vec::new();
+        eng.topk_into_with(&q, true, &mut pruned).unwrap();
+        eng.topk_into_with(&q, false, &mut brute).unwrap();
+        assert_eq!(pruned, brute);
+        assert_eq!(pruned.len(), 7);
+        assert!(pruned.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn topk_reports_epoch_and_empty_registry_errors() {
+        let eng = ServeEngine::new(Arc::new(ModelRegistry::new()));
+        let q = TopKQuery {
+            free_mode: 0,
+            anchor: vec![0, 0, 0],
+            k: 1,
+        };
+        assert!(matches!(eng.topk(&q), Err(ServeError::Empty)));
+        assert!(matches!(
+            eng.predict_direct(&[0, 0, 0]),
+            Err(ServeError::Empty)
+        ));
+
+        let eng = engine();
+        assert_eq!(eng.topk(&q).unwrap().epoch, 1);
+        assert_eq!(eng.epoch(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the serving engine.
+
+use splinalg::LinalgError;
+use std::fmt;
+
+/// Errors raised while answering queries.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The query does not fit the current model (wrong arity,
+    /// out-of-range coordinate, bad free mode).
+    Invalid(String),
+    /// No model has been published to the registry yet.
+    Empty,
+    /// Propagated linear-algebra error (programming error in the
+    /// scoring path; queries themselves are validated before scoring).
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+            ServeError::Empty => write!(f, "no model published yet"),
+            ServeError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ServeError {
+    fn from(e: LinalgError) -> Self {
+        ServeError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ServeError::Invalid("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(ServeError::Empty.to_string().contains("no model"));
+        let l: ServeError = LinalgError::InvalidArgument("x".into()).into();
+        assert!(l.to_string().contains("linear"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # aoadmm-serve — the read path over factorized tensors
+//!
+//! The factorization side of this workspace (the AO-ADMM driver, the
+//! streaming refit loop) produces constrained Kruskal models; this crate
+//! answers queries against them at serving rates. It is the inference
+//! half of the ROADMAP's "serve heavy traffic" north star:
+//!
+//! * [`ModelRegistry`] — epoch-stamped atomic hot-swap. A refit loop
+//!   publishes complete models; readers snapshot one `Arc` and can never
+//!   observe a torn mix of factor matrices. Implements
+//!   [`aoadmm_stream::ModelSink`], so a
+//!   [`aoadmm_stream::StreamingFactorizer`] publishes every warm refit
+//!   straight into service.
+//! * [`ServeEngine`] — the shared front door. Point reconstruction
+//!   queries are coalesced across threads into panel-sized batches and
+//!   scored through the `splinalg::panel` kernels with pooled
+//!   [`splinalg::Workspace`] scratch (zero steady-state allocation);
+//!   top-K queries rank one free mode's rows with exact Cauchy–Schwarz
+//!   norm-bound pruning over a norm-descending factor permutation, with
+//!   a brute-force fallback that returns identical results.
+//!
+//! ```no_run
+//! use aoadmm_serve::{ModelRegistry, ServeEngine, TopKQuery};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! // ... publish a model (directly or via StreamingFactorizer::attach_sink) ...
+//! let engine = ServeEngine::new(registry);
+//! let score = engine.predict(&[3, 7, 2])?;
+//! let recs = engine.topk(&TopKQuery { free_mode: 1, anchor: vec![3, 0, 2], k: 10 })?;
+//! # Ok::<(), aoadmm_serve::ServeError>(())
+//! ```
+
+mod batch;
+mod engine;
+mod error;
+mod model;
+mod pool;
+mod registry;
+mod topk;
+
+pub use engine::ServeEngine;
+pub use error::ServeError;
+pub use model::ServableModel;
+pub use registry::ModelRegistry;
+pub use topk::{TopKQuery, TopKResult};

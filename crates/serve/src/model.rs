@@ -1,0 +1,210 @@
+//! An immutable, query-ready view of one published model epoch.
+
+use crate::error::ServeError;
+use aoadmm::KruskalModel;
+use splinalg::DMat;
+use sptensor::Idx;
+
+/// A [`KruskalModel`] frozen for serving, together with the read-side
+/// indexes queries need: per-mode row norms (the Cauchy–Schwarz pruning
+/// bound) and a norm-descending permutation of every factor so a pruned
+/// top-K scan walks contiguous memory.
+///
+/// A `ServableModel` is built once per publish (outside the registry's
+/// swap lock) and never mutated afterwards; readers share it through an
+/// `Arc`, so a query sees either all of one epoch or all of another,
+/// never a mix. The permuted factor copies double the model's footprint
+/// — the price of turning the pruned scan into sequential panel reads.
+#[derive(Debug)]
+pub struct ServableModel {
+    model: KruskalModel,
+    pub(crate) epoch: u64,
+    dims: Vec<usize>,
+    /// Per mode: row ids sorted by descending L2 norm, ties by
+    /// ascending id.
+    order: Vec<Vec<Idx>>,
+    /// Per mode: row norms aligned with `order` (position `j` holds the
+    /// norm of row `order[m][j]`).
+    norms_desc: Vec<Vec<f64>>,
+    /// Per mode: the factor with rows permuted into `order`, so a scan
+    /// in bound order is a scan in memory order.
+    permuted: Vec<DMat>,
+}
+
+impl ServableModel {
+    /// Freeze `model` for serving; the registry stamps the epoch.
+    pub(crate) fn new(model: KruskalModel) -> Self {
+        let dims = model.dims();
+        let mut order = Vec::with_capacity(model.nmodes());
+        let mut norms_desc = Vec::with_capacity(model.nmodes());
+        let mut permuted = Vec::with_capacity(model.nmodes());
+        for m in 0..model.nmodes() {
+            let norms = model.row_norms(m);
+            let mut ids: Vec<Idx> = (0..norms.len() as Idx).collect();
+            ids.sort_by(|&a, &b| {
+                norms[b as usize]
+                    .total_cmp(&norms[a as usize])
+                    .then(a.cmp(&b))
+            });
+            let fac = model.factor(m);
+            let mut perm = DMat::zeros(fac.nrows(), fac.ncols());
+            let mut sorted_norms = Vec::with_capacity(ids.len());
+            for (j, &id) in ids.iter().enumerate() {
+                perm.row_mut(j).copy_from_slice(fac.row(id as usize));
+                sorted_norms.push(norms[id as usize]);
+            }
+            order.push(ids);
+            norms_desc.push(sorted_norms);
+            permuted.push(perm);
+        }
+        ServableModel {
+            model,
+            epoch: 0,
+            dims,
+            order,
+            norms_desc,
+            permuted,
+        }
+    }
+
+    /// The epoch the registry assigned when this model was published.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &KruskalModel {
+        &self.model
+    }
+
+    /// Tensor shape this model reconstructs.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Decomposition rank.
+    pub fn rank(&self) -> usize {
+        self.model.rank()
+    }
+
+    /// Number of modes.
+    pub fn nmodes(&self) -> usize {
+        self.model.nmodes()
+    }
+
+    /// Norm-descending row-id order of one mode.
+    pub(crate) fn order(&self, mode: usize) -> &[Idx] {
+        &self.order[mode]
+    }
+
+    /// Row norms of one mode, aligned with [`ServableModel::order`].
+    pub(crate) fn norms_desc(&self, mode: usize) -> &[f64] {
+        &self.norms_desc[mode]
+    }
+
+    /// The norm-permuted factor of one mode.
+    pub(crate) fn permuted(&self, mode: usize) -> &DMat {
+        &self.permuted[mode]
+    }
+
+    /// Validate a full reconstruction coordinate against this model.
+    pub fn check_coord(&self, coord: &[Idx]) -> Result<(), ServeError> {
+        if coord.len() != self.nmodes() {
+            return Err(ServeError::Invalid(format!(
+                "coordinate has {} modes, model has {}",
+                coord.len(),
+                self.nmodes()
+            )));
+        }
+        for (m, (&c, &d)) in coord.iter().zip(&self.dims).enumerate() {
+            if c as usize >= d {
+                return Err(ServeError::Invalid(format!(
+                    "mode {m} index {c} out of range (dimension {d})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate a top-K anchor: full arity, `free_mode` in range, and
+    /// every *fixed* coordinate in range (the free slot is ignored).
+    pub fn check_anchor(&self, free_mode: usize, anchor: &[Idx]) -> Result<(), ServeError> {
+        if free_mode >= self.nmodes() {
+            return Err(ServeError::Invalid(format!(
+                "free mode {free_mode} out of range for {} modes",
+                self.nmodes()
+            )));
+        }
+        if anchor.len() != self.nmodes() {
+            return Err(ServeError::Invalid(format!(
+                "anchor has {} modes, model has {}",
+                anchor.len(),
+                self.nmodes()
+            )));
+        }
+        for (m, (&c, &d)) in anchor.iter().zip(&self.dims).enumerate() {
+            if m != free_mode && c as usize >= d {
+                return Err(ServeError::Invalid(format!(
+                    "mode {m} index {c} out of range (dimension {d})"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn servable(seed: u64) -> ServableModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        ServableModel::new(KruskalModel::new(vec![
+            DMat::random(6, 3, -1.0, 1.0, &mut rng),
+            DMat::random(4, 3, -1.0, 1.0, &mut rng),
+            DMat::random(5, 3, -1.0, 1.0, &mut rng),
+        ]))
+    }
+
+    #[test]
+    fn order_is_norm_descending_and_permutation_consistent() {
+        let s = servable(1);
+        for m in 0..3 {
+            let norms = s.norms_desc(m);
+            assert!(norms.windows(2).all(|w| w[0] >= w[1]), "mode {m}");
+            for (j, &id) in s.order(m).iter().enumerate() {
+                assert_eq!(s.permuted(m).row(j), s.model().factor(m).row(id as usize));
+                let manual: f64 = s
+                    .model()
+                    .factor(m)
+                    .row(id as usize)
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>()
+                    .sqrt();
+                assert_eq!(norms[j], manual);
+            }
+        }
+    }
+
+    #[test]
+    fn norm_ties_break_by_ascending_id() {
+        let fac = DMat::from_vec(3, 1, vec![2.0, -2.0, 2.0]).unwrap();
+        let s = ServableModel::new(KruskalModel::new(vec![fac.clone(), fac]));
+        assert_eq!(s.order(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn coord_validation() {
+        let s = servable(2);
+        assert!(s.check_coord(&[5, 3, 4]).is_ok());
+        assert!(s.check_coord(&[6, 0, 0]).is_err());
+        assert!(s.check_coord(&[0, 0]).is_err());
+        assert!(s.check_anchor(1, &[0, 99, 0]).is_ok());
+        assert!(s.check_anchor(1, &[0, 99, 9]).is_err());
+        assert!(s.check_anchor(3, &[0, 0, 0]).is_err());
+        assert!(s.check_anchor(0, &[0, 0]).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Pooled per-query scratch: the PR 4 workspace discipline applied to
+//! the read path.
+//!
+//! Every query needs the same scratch shapes — a weight row, a score
+//! panel, a top-K candidate list. A [`ScratchPool`] keeps a free list
+//! of [`ServeScratch`] arenas; a query checks one out, runs entirely in
+//! its grow-once buffers, and returns it on drop. Once every buffer has
+//! reached its high-water mark (one query per shape), steady-state
+//! queries perform no heap allocation in the scoring path — see
+//! `tests/alloc_serve.rs`.
+
+use crate::error::ServeError;
+use parking_lot::Mutex;
+use splinalg::{DMat, Workspace};
+use sptensor::Idx;
+
+/// Grow-once scratch for one in-flight query (or one scoring batch).
+pub struct ServeScratch {
+    /// Dense-kernel scratch (score panels, Hadamard accumulators).
+    pub(crate) ws: Workspace,
+    /// `1 x F` query weight row, reshaped only when the rank changes.
+    pub(crate) weights: DMat,
+    /// Top-K candidates, kept sorted worst-first.
+    pub(crate) entries: Vec<(f64, Idx)>,
+    /// Flattened coordinates of a point-query batch (`B * nmodes`).
+    pub(crate) coords: Vec<Idx>,
+    /// Per-mode gathered row ids of a batch (`B`).
+    pub(crate) ids: Vec<usize>,
+    /// Per-query validity of a batch (`B`).
+    pub(crate) valid: Vec<bool>,
+    /// Per-query batch values (`B`), separate from `ws` so the reducer
+    /// can read the accumulator while writing here.
+    pub(crate) values: Vec<f64>,
+    /// Per-query validation errors of a batch (`B`).
+    pub(crate) errors: Vec<Option<ServeError>>,
+}
+
+impl Default for ServeScratch {
+    fn default() -> Self {
+        ServeScratch {
+            ws: Workspace::new(),
+            weights: DMat::zeros(1, 1),
+            entries: Vec::new(),
+            coords: Vec::new(),
+            ids: Vec::new(),
+            valid: Vec::new(),
+            values: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+}
+
+impl ServeScratch {
+    /// The weight row, reshaped to `1 x f` if the rank changed since
+    /// the last query (steady state: no reallocation).
+    pub(crate) fn weights_row(&mut self, f: usize) -> &mut DMat {
+        if self.weights.nrows() != 1 || self.weights.ncols() != f {
+            self.weights = DMat::zeros(1, f);
+        }
+        &mut self.weights
+    }
+}
+
+/// Lock-protected free list of scratch arenas.
+///
+/// `take` pops an arena (or makes an empty one when the pool runs dry —
+/// under a fixed concurrency level that happens only during warmup);
+/// the guard returns it on drop, keeping its high-water buffers for the
+/// next query.
+pub struct ScratchPool {
+    free: Mutex<Vec<ServeScratch>>,
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScratchPool {
+    /// An empty pool; arenas are created on demand and retained.
+    pub fn new() -> Self {
+        ScratchPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Check out an arena.
+    pub(crate) fn take(&self) -> ScratchGuard<'_> {
+        let scratch = self.free.lock().pop().unwrap_or_default();
+        ScratchGuard {
+            scratch: Some(scratch),
+            pool: self,
+        }
+    }
+}
+
+/// RAII check-out of a [`ServeScratch`]; returns it to the pool on drop.
+pub(crate) struct ScratchGuard<'a> {
+    scratch: Option<ServeScratch>,
+    pool: &'a ScratchPool,
+}
+
+impl std::ops::Deref for ScratchGuard<'_> {
+    type Target = ServeScratch;
+    fn deref(&self) -> &ServeScratch {
+        self.scratch.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ServeScratch {
+        self.scratch.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        let scratch = self.scratch.take().expect("dropped once");
+        self.pool.free.lock().push(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arenas_are_recycled() {
+        let pool = ScratchPool::new();
+        let ptr = {
+            let mut g = pool.take();
+            g.entries.reserve(64);
+            g.entries.as_ptr() as usize
+        };
+        // The returned arena (with its grown buffer) is handed out again.
+        let g = pool.take();
+        assert_eq!(g.entries.as_ptr() as usize, ptr);
+        assert!(g.entries.capacity() >= 64);
+    }
+
+    #[test]
+    fn weights_row_reshapes_only_on_rank_change() {
+        let mut s = ServeScratch::default();
+        let p = s.weights_row(4).as_slice().as_ptr();
+        assert_eq!(s.weights_row(4).as_slice().as_ptr(), p);
+        assert_eq!(s.weights_row(2).ncols(), 2);
+    }
+}

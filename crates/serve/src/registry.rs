@@ -1,0 +1,117 @@
+//! Epoch-stamped atomic model hot-swap.
+
+use crate::model::ServableModel;
+use aoadmm::KruskalModel;
+use aoadmm_stream::ModelSink;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The hand-off point between the write path (a refit loop) and the
+/// read path (query engines).
+///
+/// A publish builds the [`ServableModel`] — row-norm indexes and all —
+/// *outside* any lock, then swaps a single `Arc` under a briefly held
+/// write lock and stamps a monotonically increasing epoch. Readers call
+/// [`ModelRegistry::snapshot`], which clones the `Arc` under the read
+/// lock; everything a query touches afterwards hangs off that one
+/// pointer, so a reader can never observe factor matrices from two
+/// different epochs, no matter how publishes interleave with queries.
+/// Old epochs stay alive exactly as long as some in-flight query still
+/// holds their `Arc`.
+pub struct ModelRegistry {
+    current: RwLock<Option<Arc<ServableModel>>>,
+    epochs: AtomicU64,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry; queries fail with `Empty` until the first
+    /// publish.
+    pub fn new() -> Self {
+        ModelRegistry {
+            current: RwLock::new(None),
+            epochs: AtomicU64::new(0),
+        }
+    }
+
+    /// Freeze `model` and swap it into service. Returns the epoch
+    /// assigned to it (epochs start at 1 and only grow).
+    pub fn publish(&self, model: KruskalModel) -> u64 {
+        let mut servable = ServableModel::new(model);
+        // Index building above runs lock-free; only the swap itself is
+        // serialized. Assigning the epoch under the same lock keeps the
+        // stored epoch sequence monotonic under concurrent publishers.
+        let mut slot = self.current.write();
+        let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        servable.epoch = epoch;
+        *slot = Some(Arc::new(servable));
+        epoch
+    }
+
+    /// The current model, or `None` before the first publish. The
+    /// returned `Arc` pins one coherent epoch for as long as the caller
+    /// holds it.
+    pub fn snapshot(&self) -> Option<Arc<ServableModel>> {
+        self.current.read().clone()
+    }
+
+    /// Epoch of the most recent publish (0 before the first).
+    pub fn epoch(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+}
+
+impl ModelSink for ModelRegistry {
+    fn publish(&self, model: KruskalModel) {
+        ModelRegistry::publish(self, model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splinalg::DMat;
+
+    fn model(v: f64) -> KruskalModel {
+        let mut fac = DMat::zeros(2, 2);
+        fac.fill(v);
+        KruskalModel::new(vec![fac.clone(), fac])
+    }
+
+    #[test]
+    fn starts_empty_then_swaps() {
+        let reg = ModelRegistry::new();
+        assert!(reg.snapshot().is_none());
+        assert_eq!(reg.epoch(), 0);
+        assert_eq!(reg.publish(model(1.0)), 1);
+        assert_eq!(reg.publish(model(2.0)), 2);
+        let snap = reg.snapshot().unwrap();
+        assert_eq!(snap.epoch(), 2);
+        assert_eq!(snap.model().factor(0).get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn old_snapshot_survives_a_swap() {
+        let reg = ModelRegistry::new();
+        reg.publish(model(1.0));
+        let old = reg.snapshot().unwrap();
+        reg.publish(model(2.0));
+        assert_eq!(old.epoch(), 1);
+        assert_eq!(old.model().factor(0).get(0, 0), 1.0);
+        assert_eq!(reg.snapshot().unwrap().epoch(), 2);
+    }
+
+    #[test]
+    fn sink_publish_routes_to_registry() {
+        let reg = ModelRegistry::new();
+        let sink: &dyn ModelSink = &reg;
+        sink.publish(model(3.0));
+        assert_eq!(reg.epoch(), 1);
+    }
+}

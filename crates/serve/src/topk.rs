@@ -1,0 +1,207 @@
+//! Exact top-K over one free mode, with norm-bound pruning.
+//!
+//! A top-K query fixes a row in every mode but one and ranks the free
+//! mode's rows by model score. With the fixed-mode weight vector `w`
+//! (Hadamard product of the fixed rows), candidate row `i` scores
+//! `dot(free.row(i), w)`, bounded above by Cauchy–Schwarz:
+//!
+//! ```text
+//! dot(free.row(i), w) <= ||free.row(i)|| * ||w||
+//! ```
+//!
+//! The [`ServableModel`] caches each mode's row norms and a
+//! norm-descending permutation of each factor, so the pruned scan walks
+//! candidates best-bound-first through contiguous memory, one
+//! [`PANEL_ROWS`]-row score panel at a time, and stops as soon as no
+//! remaining row's bound can beat the current k-th score. The bound is
+//! a true upper bound for any sign pattern, so pruning is **exact**:
+//! the scan stops only on `bound < kth` (strict — an equal bound could
+//! still tie the k-th score and win its tie-break), and every skipped
+//! row therefore scores strictly below the k-th. The brute-force
+//! fallback scans all rows in natural order; both paths score through
+//! [`splinalg::panel::scores_into`] and produce identical results.
+//!
+//! Ordering is total and scan-order independent: descending score, ties
+//! by ascending row id.
+
+use crate::error::ServeError;
+use crate::model::ServableModel;
+use crate::pool::ServeScratch;
+use splinalg::panel::{self, PANEL_ROWS};
+use sptensor::Idx;
+
+/// One top-K request: rank the rows of `free_mode` given fixed rows in
+/// every other mode. `anchor` has full arity; its `free_mode` slot is
+/// ignored.
+#[derive(Debug, Clone)]
+pub struct TopKQuery {
+    /// The mode whose rows are ranked.
+    pub free_mode: usize,
+    /// Fixed coordinates (free slot ignored).
+    pub anchor: Vec<Idx>,
+    /// How many rows to return (clipped to the mode's dimension).
+    pub k: usize,
+}
+
+/// A top-K answer: the epoch it was computed against and the hits in
+/// descending score order (ties by ascending row id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// Epoch of the model that produced these scores.
+    pub epoch: u64,
+    /// `(row id, score)` pairs, best first.
+    pub hits: Vec<(Idx, f64)>,
+}
+
+/// `a` strictly outranks `b` under (score desc, id asc).
+fn outranks(a: (f64, Idx), b: (f64, Idx)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// Insert `cand` into `entries` (sorted worst-first), keeping at most
+/// `k` entries.
+fn offer(entries: &mut Vec<(f64, Idx)>, k: usize, cand: (f64, Idx)) {
+    if entries.len() == k {
+        if !outranks(cand, entries[0]) {
+            return;
+        }
+        entries.remove(0);
+    }
+    let pos = entries.partition_point(|&e| outranks(cand, e));
+    entries.insert(pos, cand);
+}
+
+/// Answer `q` against `model`, appending hits (best first) to `out`.
+///
+/// `out` is cleared first; with a caller-retained `out` and pooled
+/// scratch the scan allocates nothing in steady state.
+pub(crate) fn topk_scan(
+    model: &ServableModel,
+    q: &TopKQuery,
+    pruned: bool,
+    scratch: &mut ServeScratch,
+    out: &mut Vec<(Idx, f64)>,
+) -> Result<(), ServeError> {
+    model.check_anchor(q.free_mode, &q.anchor)?;
+    out.clear();
+    let n = model.dims()[q.free_mode];
+    let k = q.k.min(n);
+    if k == 0 {
+        return Ok(());
+    }
+    let f = model.rank();
+    scratch.weights_row(f);
+    let ServeScratch {
+        ws,
+        weights,
+        entries,
+        ..
+    } = scratch;
+    model
+        .model()
+        .weights_into(q.free_mode, &q.anchor, weights.row_mut(0));
+    let wnorm = weights.row(0).iter().map(|v| v * v).sum::<f64>().sqrt();
+
+    entries.clear();
+    let fac = if pruned {
+        model.permuted(q.free_mode)
+    } else {
+        model.model().factor(q.free_mode)
+    };
+    let norms = model.norms_desc(q.free_mode);
+    let order = model.order(q.free_mode);
+
+    let mut start = 0;
+    while start < n {
+        if pruned && entries.len() == k {
+            // Rows from `start` on are norm-descending: if even the
+            // best remaining bound cannot strictly beat the k-th score
+            // (and an equal bound cannot, by the strict comparison,
+            // displace an incumbent it ties), the scan is done.
+            let bound = norms[start] * wnorm;
+            if bound < entries[0].0 {
+                break;
+            }
+        }
+        let len = PANEL_ROWS.min(n - start);
+        let scores = ws.batch(len);
+        panel::scores_into(fac, start, len, weights, scores)?;
+        for (j, &score) in scores.iter().enumerate() {
+            let id = if pruned {
+                order[start + j]
+            } else {
+                (start + j) as Idx
+            };
+            offer(entries, k, (score, id));
+        }
+        start += len;
+    }
+
+    out.extend(entries.iter().rev().map(|&(score, id)| (id, score)));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoadmm::KruskalModel;
+    use splinalg::DMat;
+
+    fn servable(free_rows: &[f64]) -> ServableModel {
+        // Rank 1, 2 modes: score of free row i is free_rows[i] * fixed.
+        let free = DMat::from_vec(free_rows.len(), 1, free_rows.to_vec()).unwrap();
+        let fixed = DMat::from_vec(1, 1, vec![1.0]).unwrap();
+        let mut s = ServableModel::new(KruskalModel::new(vec![free, fixed]));
+        s.epoch = 1;
+        s
+    }
+
+    fn run(model: &ServableModel, k: usize, pruned: bool) -> Vec<(Idx, f64)> {
+        let mut scratch = ServeScratch::default();
+        let mut out = Vec::new();
+        let q = TopKQuery {
+            free_mode: 0,
+            anchor: vec![0, 0],
+            k,
+        };
+        topk_scan(model, &q, pruned, &mut scratch, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn pruned_equals_brute_on_mixed_signs() {
+        let model = servable(&[0.5, -3.0, 2.0, 2.0, -0.5, 1.0]);
+        for k in [1, 2, 3, 6, 10] {
+            let brute = run(&model, k, false);
+            let pruned = run(&model, k, true);
+            assert_eq!(brute, pruned, "k={k}");
+        }
+        // Largest norm (|-3| = 3) is not the largest score: pruning
+        // must still return the true maximum, 2.0 at the smaller id.
+        assert_eq!(run(&model, 1, true), vec![(2, 2.0)]);
+    }
+
+    #[test]
+    fn ties_resolve_by_ascending_id() {
+        let model = servable(&[1.0, 2.0, 2.0, 1.0]);
+        assert_eq!(run(&model, 3, true), vec![(1, 2.0), (2, 2.0), (0, 1.0)]);
+        assert_eq!(run(&model, 3, false), vec![(1, 2.0), (2, 2.0), (0, 1.0)]);
+    }
+
+    #[test]
+    fn k_zero_and_k_clipped() {
+        let model = servable(&[1.0, 2.0]);
+        assert!(run(&model, 0, true).is_empty());
+        assert_eq!(run(&model, 5, true).len(), 2);
+    }
+
+    #[test]
+    fn offer_keeps_worst_first_invariant() {
+        let mut entries = Vec::new();
+        for (i, s) in [3.0, 1.0, 2.0, 5.0, 2.0].iter().enumerate() {
+            offer(&mut entries, 3, (*s, i as Idx));
+        }
+        // Kept: 5.0@3, 3.0@0, 2.0@2 (2.0@2 beats 2.0@4 by id).
+        assert_eq!(entries, vec![(2.0, 2), (3.0, 0), (5.0, 3)]);
+    }
+}

@@ -145,6 +145,139 @@ fn accumulate_gram_chunk(acc: &mut [f64], rows: &[f64], f: usize) {
     }
 }
 
+/// Batched row scoring: `out[i * w.nrows() + q] = dot(a.row(row0 + i), w.row(q))`
+/// for `i in 0..nrows`.
+///
+/// This is the serving-side entry point: `a` is a factor matrix, each
+/// row of `w` is one query's weight vector (the Hadamard product of the
+/// fixed-mode factor rows), and the output is a `nrows x B` score panel.
+/// Rows of `a` are processed four at a time with one accumulator chain
+/// per row, so the compiler keeps the chains in registers and the `F`
+/// loop stays unit-stride in both operands. Per-score accumulation runs
+/// in ascending column order, matching the scalar
+/// `dot(a.row(i), w.row(q))` loop bit-for-bit.
+///
+/// Returns an error when the widths disagree, the row range is out of
+/// bounds, or `out` is not `nrows * w.nrows()` long.
+pub fn scores_into(
+    a: &DMat,
+    row0: usize,
+    nrows: usize,
+    w: &DMat,
+    out: &mut [f64],
+) -> Result<(), LinalgError> {
+    let f = a.ncols();
+    let b = w.nrows();
+    if w.ncols() != f || row0 + nrows > a.nrows() || out.len() != nrows * b {
+        return Err(LinalgError::DimMismatch {
+            op: "scores_into",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (w.nrows(), w.ncols()),
+        });
+    }
+    let rows = &a.as_slice()[row0 * f..(row0 + nrows) * f];
+    let mut quads = rows.chunks_exact(4 * f);
+    let mut i = 0;
+    for quad in quads.by_ref() {
+        let (r0, rest) = quad.split_at(f);
+        let (r1, rest) = rest.split_at(f);
+        let (r2, r3) = rest.split_at(f);
+        for q in 0..b {
+            let wq = w.row(q);
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+            for (c, &wc) in wq.iter().enumerate() {
+                s0 += r0[c] * wc;
+                s1 += r1[c] * wc;
+                s2 += r2[c] * wc;
+                s3 += r3[c] * wc;
+            }
+            out[i * b + q] = s0;
+            out[(i + 1) * b + q] = s1;
+            out[(i + 2) * b + q] = s2;
+            out[(i + 3) * b + q] = s3;
+        }
+        i += 4;
+    }
+    for row in quads.remainder().chunks_exact(f) {
+        for q in 0..b {
+            let mut s = 0.0;
+            for (&rc, &wc) in row.iter().zip(w.row(q)) {
+                s += rc * wc;
+            }
+            out[i * b + q] = s;
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// Gathered Hadamard accumulation for batched point reconstruction.
+///
+/// For each query `q`, multiplies `acc[q * F..]` elementwise by
+/// `fac.row(ids[q])` — or initializes it to that row when `init` is
+/// set. A batch of point queries calls this once per mode over pooled
+/// workspace scratch, then reduces with [`row_sums_into`]; the resulting
+/// per-query value groups its arithmetic exactly like the scalar
+/// `sum_f prod_m fac_m[c_m, f]` loop (products in mode order, sum in
+/// ascending column order), so batched and scalar scoring agree
+/// bit-for-bit.
+///
+/// Returns an error when `acc` is not `ids.len() * F` long or an id is
+/// out of range.
+pub fn gather_hadamard_rows(
+    fac: &DMat,
+    ids: &[usize],
+    init: bool,
+    acc: &mut [f64],
+) -> Result<(), LinalgError> {
+    let f = fac.ncols();
+    if acc.len() != ids.len() * f {
+        return Err(LinalgError::DimMismatch {
+            op: "gather_hadamard_rows",
+            lhs: (ids.len(), f),
+            rhs: (acc.len(), 1),
+        });
+    }
+    if let Some(&bad) = ids.iter().find(|&&i| i >= fac.nrows()) {
+        return Err(LinalgError::InvalidArgument(format!(
+            "gather_hadamard_rows: row {bad} out of range for {} rows",
+            fac.nrows()
+        )));
+    }
+    for (slot, &id) in acc.chunks_exact_mut(f).zip(ids) {
+        let row = fac.row(id);
+        if init {
+            slot.copy_from_slice(row);
+        } else {
+            for (s, &v) in slot.iter_mut().zip(row) {
+                *s *= v;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reduce a `B x F` accumulator panel to per-query sums:
+/// `out[q] = sum_c acc[q * F + c]`, accumulated in ascending column
+/// order. Companion to [`gather_hadamard_rows`].
+pub fn row_sums_into(acc: &[f64], f: usize, out: &mut [f64]) -> Result<(), LinalgError> {
+    if f == 0 || acc.len() != out.len() * f {
+        return Err(LinalgError::DimMismatch {
+            op: "row_sums_into",
+            lhs: (out.len(), f),
+            rhs: (acc.len(), 1),
+        });
+    }
+    for (o, slot) in out.iter_mut().zip(acc.chunks_exact(f)) {
+        let mut s = 0.0;
+        for &v in slot {
+            s += v;
+        }
+        *o = s;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +333,90 @@ mod tests {
         out.fill(7.0);
         gram_into(&a, &mut ws, &mut out).unwrap();
         assert!(out.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scores_into_bit_identical_to_scalar_dots() {
+        // Row counts straddling the quad width; several batch widths.
+        for &(n, f, b) in &[(1usize, 3usize, 1usize), (4, 5, 2), (7, 8, 3), (35, 2, 5)] {
+            let mut rng = ChaCha8Rng::seed_from_u64((n * 31 + b) as u64);
+            let a = DMat::random(n, f, -1.0, 1.0, &mut rng);
+            let w = DMat::random(b, f, -1.0, 1.0, &mut rng);
+            let mut out = vec![0.0; n * b];
+            scores_into(&a, 0, n, &w, &mut out).unwrap();
+            for i in 0..n {
+                for q in 0..b {
+                    let mut s = 0.0;
+                    for c in 0..f {
+                        s += a.get(i, c) * w.get(q, c);
+                    }
+                    assert_eq!(s.to_bits(), out[i * b + q].to_bits(), "n={n} f={f} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scores_into_row_window() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let a = DMat::random(10, 4, -1.0, 1.0, &mut rng);
+        let w = DMat::random(2, 4, -1.0, 1.0, &mut rng);
+        let mut full = vec![0.0; 10 * 2];
+        scores_into(&a, 0, 10, &w, &mut full).unwrap();
+        let mut win = vec![0.0; 5 * 2];
+        scores_into(&a, 3, 5, &w, &mut win).unwrap();
+        assert_eq!(&full[6..16], &win[..]);
+    }
+
+    #[test]
+    fn scores_into_rejects_bad_shapes() {
+        let a = DMat::zeros(4, 3);
+        let w = DMat::zeros(2, 2);
+        let mut out = vec![0.0; 8];
+        assert!(scores_into(&a, 0, 4, &w, &mut out).is_err());
+        let w = DMat::zeros(2, 3);
+        assert!(scores_into(&a, 2, 3, &w, &mut out).is_err());
+        let mut short = vec![0.0; 3];
+        assert!(scores_into(&a, 0, 4, &w, &mut short).is_err());
+    }
+
+    #[test]
+    fn gather_hadamard_and_row_sums_match_scalar_model_value() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let facs = [
+            DMat::random(5, 3, -1.0, 1.0, &mut rng),
+            DMat::random(4, 3, -1.0, 1.0, &mut rng),
+            DMat::random(6, 3, -1.0, 1.0, &mut rng),
+        ];
+        let coords = [[0usize, 0, 0], [4, 3, 5], [2, 1, 4]];
+        let mut acc = vec![0.0; coords.len() * 3];
+        for (m, fac) in facs.iter().enumerate() {
+            let ids: Vec<usize> = coords.iter().map(|c| c[m]).collect();
+            gather_hadamard_rows(fac, &ids, m == 0, &mut acc).unwrap();
+        }
+        let mut out = vec![0.0; coords.len()];
+        row_sums_into(&acc, 3, &mut out).unwrap();
+        for (q, c) in coords.iter().enumerate() {
+            let mut expect = 0.0;
+            for r in 0..3 {
+                let mut p = 1.0;
+                for (m, fac) in facs.iter().enumerate() {
+                    p *= fac.get(c[m], r);
+                }
+                expect += p;
+            }
+            assert_eq!(expect.to_bits(), out[q].to_bits());
+        }
+    }
+
+    #[test]
+    fn gather_hadamard_rejects_bad_ids_and_shapes() {
+        let fac = DMat::zeros(3, 2);
+        let mut acc = vec![0.0; 4];
+        assert!(gather_hadamard_rows(&fac, &[0, 3], true, &mut acc).is_err());
+        assert!(gather_hadamard_rows(&fac, &[0], true, &mut acc).is_err());
+        let mut out = vec![0.0; 2];
+        assert!(row_sums_into(&acc, 3, &mut out).is_err());
+        assert!(row_sums_into(&acc, 0, &mut out).is_err());
     }
 }

@@ -26,6 +26,7 @@
 pub struct Workspace {
     gram_partials: Vec<f64>,
     panel: Vec<f64>,
+    batch: Vec<f64>,
 }
 
 impl Workspace {
@@ -50,6 +51,16 @@ impl Workspace {
             self.panel.resize(len, 0.0);
         }
         &mut self.panel[..len]
+    }
+
+    /// Scratch for batched scoring (`B * F` query accumulators or a
+    /// score panel), contents unspecified. Independent of
+    /// [`Workspace::panel`] so a scorer can hold both at once.
+    pub fn batch(&mut self, len: usize) -> &mut [f64] {
+        if self.batch.len() < len {
+            self.batch.resize(len, 0.0);
+        }
+        &mut self.batch[..len]
     }
 }
 

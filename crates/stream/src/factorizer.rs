@@ -23,8 +23,23 @@ use aoadmm::{
 };
 use splinalg::DMat;
 use sptensor::CooTensor;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Receiver for freshly refit models — the bridge from the write path
+/// (this crate) to a read path such as a serving registry.
+///
+/// [`StreamingFactorizer`] calls [`ModelSink::publish`] with a complete,
+/// self-consistent [`KruskalModel`] after every refit (and once on
+/// attach), never with intermediate per-mode state, so a sink can swap
+/// the model into service atomically without ever exposing a torn mix
+/// of factor matrices. Publication happens on the factorizer's thread:
+/// implementations should hand off quickly.
+pub trait ModelSink: Send + Sync {
+    /// Take ownership of the new model.
+    fn publish(&self, model: KruskalModel);
+}
 
 /// Configuration for the streaming loop: a base [`Factorizer`] (rank,
 /// constraints, ADMM settings, CSF policy) plus the streaming-specific
@@ -114,6 +129,7 @@ pub struct StreamingFactorizer {
     batch: usize,
     records: Vec<RefitRecord>,
     job: Option<RebuildJob>,
+    sink: Option<Arc<dyn ModelSink>>,
 }
 
 impl StreamingFactorizer {
@@ -168,7 +184,16 @@ impl StreamingFactorizer {
             batch: 1,
             records: vec![record],
             job: None,
+            sink: None,
         })
+    }
+
+    /// Attach a sink that receives every refit model, and publish the
+    /// current model to it immediately so the sink never serves stale
+    /// (or no) state while waiting for the first batch.
+    pub fn attach_sink(&mut self, sink: Arc<dyn ModelSink>) {
+        sink.publish(self.model());
+        self.sink = Some(sink);
     }
 
     /// Ingest one batch of operations and refit. Returns the batch's
@@ -227,6 +252,10 @@ impl StreamingFactorizer {
         self.duals = DualState::from_mats(res.duals);
         self.grams = res.grams;
         let refit = t1.elapsed();
+
+        if let Some(sink) = &self.sink {
+            sink.publish(KruskalModel::new(self.factors.clone()));
+        }
 
         self.records.push(RefitRecord {
             batch: self.batch,
@@ -441,6 +470,35 @@ mod tests {
         assert_eq!(sf.factors()[0].nrows(), 8);
         // Refit keeps shapes consistent.
         assert_eq!(sf.model().factor(1).nrows(), 10);
+    }
+
+    #[test]
+    fn sink_sees_attach_and_every_refit() {
+        struct Recorder(std::sync::Mutex<Vec<Vec<usize>>>);
+        impl ModelSink for Recorder {
+            fn publish(&self, model: KruskalModel) {
+                self.0.lock().unwrap().push(model.dims());
+            }
+        }
+        let base = gen::tensor(&[8, 7, 6], 150, 3);
+        let mut sf = StreamingFactorizer::new(base, small_cfg(3)).unwrap();
+        let sink = Arc::new(Recorder(std::sync::Mutex::new(Vec::new())));
+        sf.attach_sink(sink.clone());
+        sf.push_batch(&[StreamOp::Add {
+            coord: vec![0, 0, 0],
+            val: 0.5,
+        }])
+        .unwrap();
+        sf.push_batch(&[StreamOp::Grow {
+            mode: 2,
+            new_len: 9,
+        }])
+        .unwrap();
+        let seen = sink.0.lock().unwrap();
+        // Attach + two refits; the grown batch publishes grown dims.
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0], vec![8, 7, 6]);
+        assert_eq!(seen[2], vec![8, 7, 9]);
     }
 
     #[test]

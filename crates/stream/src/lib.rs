@@ -34,7 +34,7 @@ mod view;
 
 pub use delta::{DeltaBuffer, IngestStats};
 pub use error::StreamError;
-pub use factorizer::{StreamingConfig, StreamingFactorizer};
+pub use factorizer::{ModelSink, StreamingConfig, StreamingFactorizer};
 pub use ops::StreamOp;
 pub use policy::{MergePolicy, RebuildMode};
 pub use replay::{replay_batches, ReplayConfig};

@@ -194,6 +194,42 @@ pub fn model_value(factors: &[DMat], coord: &[u32]) -> f64 {
     v
 }
 
+/// Exact top-K oracle for serving: score **every** row of `free_mode`
+/// with the other coordinates fixed at `anchor` (whose free slot is
+/// ignored), sort by descending score with ties broken by ascending row
+/// id, and keep the first `k`.
+///
+/// The arithmetic is grouped the way the serving layer specifies it —
+/// weight `w[f]` as the product of the fixed-mode entries in ascending
+/// mode order, score as the dot product accumulated in ascending column
+/// order — so a correct serving implementation matches this oracle
+/// bit-for-bit and the result set/order comparison can be exact.
+pub fn topk(factors: &[DMat], free_mode: usize, anchor: &[u32], k: usize) -> Vec<(u32, f64)> {
+    let rank = factors[0].ncols();
+    let mut w = vec![1.0; rank];
+    for (m, fac) in factors.iter().enumerate() {
+        if m == free_mode {
+            continue;
+        }
+        for (c, o) in w.iter_mut().enumerate() {
+            *o *= fac.get(anchor[m] as usize, c);
+        }
+    }
+    let free = &factors[free_mode];
+    let mut scored: Vec<(u32, f64)> = (0..free.nrows())
+        .map(|i| {
+            let mut s = 0.0;
+            for (c, &wc) in w.iter().enumerate() {
+                s += free.get(i, c) * wc;
+            }
+            (i as u32, s)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k.min(free.nrows()));
+    scored
+}
+
 /// Guard for the dense-enumeration oracles: they visit every cell of the
 /// cube, so the cube must stay small.
 const MAX_DENSE_CELLS: usize = 4_000_000;
@@ -321,6 +357,33 @@ mod tests {
 
     fn mat(rows: usize, cols: usize, vals: &[f64]) -> DMat {
         DMat::from_vec(rows, cols, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn topk_hand_computed_with_ties() {
+        // Rank 1, free mode 0: score of row i is free[i] * fixed[anchor].
+        let free = mat(4, 1, &[1.0, 3.0, 3.0, 2.0]);
+        let fixed = mat(2, 1, &[1.0, -1.0]);
+        let hits = topk(&[free.clone(), fixed.clone()], 0, &[0, 0], 3);
+        assert_eq!(hits, vec![(1, 3.0), (2, 3.0), (3, 2.0)]);
+        // Negative fixed row flips the ranking.
+        let hits = topk(&[free, fixed], 0, &[0, 1], 2);
+        assert_eq!(hits, vec![(0, -1.0), (3, -2.0)]);
+    }
+
+    #[test]
+    fn topk_agrees_with_model_value() {
+        let a = mat(3, 2, &[0.3, -0.7, 1.2, 0.4, -0.2, 0.9]);
+        let b = mat(2, 2, &[0.5, 1.5, -0.6, 0.8]);
+        let c = mat(4, 2, &[1.0, 0.2, -0.4, 0.7, 0.9, -1.1, 0.3, 0.6]);
+        let facs = [a, b, c];
+        let hits = topk(&facs, 2, &[1, 0, 0], 4);
+        assert_eq!(hits.len(), 4);
+        for &(id, score) in &hits {
+            let direct = model_value(&facs, &[1, 0, id]);
+            assert!((score - direct).abs() < 1e-12);
+        }
+        assert!(hits.windows(2).all(|w| w[0].1 >= w[1].1));
     }
 
     #[test]

@@ -1,19 +1,28 @@
-//! Recommender-system scenario (the paper's Reddit / Amazon motivation):
-//! a user x item x word tensor of review interactions, factorized with
-//! non-negativity plus l1 sparsity so the latent topics are
-//! interpretable, then used to rank items for a user.
+//! Recommender-system scenario (the paper's Reddit / Amazon motivation),
+//! end to end through the serving stack: a user x item x word tensor of
+//! review interactions is factorized with non-negativity plus l1
+//! sparsity, published into a [`aoadmm_serve::ModelRegistry`], and
+//! queried through a [`aoadmm_serve::ServeEngine`] — while a
+//! [`aoadmm_stream::StreamingFactorizer`] ingests fresh reviews and
+//! hot-swaps every warm refit into service under the live queries.
 //!
-//! Run with: `cargo run --release -p aoadmm --example recommender`
+//! Run with: `cargo run --release -p aoadmm-serve --example recommender`
 
 use admm::constraints;
 use aoadmm::{Factorizer, SparsityConfig};
+use aoadmm_serve::{ModelRegistry, ServeEngine, TopKQuery};
+use aoadmm_stream::{MergePolicy, ModelSink, StreamOp, StreamingConfig, StreamingFactorizer};
 use sptensor::gen::Analog;
+use sptensor::Idx;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 fn main() {
     // A scaled-down Amazon-style tensor: user x item x word with
     // power-law popularity and plantable sparse structure.
     let tensor = Analog::Amazon.generate(0.02, 11).expect("generator");
-    let (nusers, nitems, nwords) = (tensor.dims()[0], tensor.dims()[1], tensor.dims()[2]);
+    let dims = tensor.dims().to_vec();
+    let (nusers, nitems, nwords) = (dims[0], dims[1], dims[2]);
     println!(
         "review tensor: {nusers} users x {nitems} items x {nwords} words, {} nnz",
         tensor.nnz()
@@ -21,60 +30,133 @@ fn main() {
 
     // Non-negative l1: non-negativity makes components additive (parts of
     // taste), l1 keeps each component's word list short.
-    let result = Factorizer::new(12)
+    let factorizer = Factorizer::new(12)
         .constrain_all(constraints::nonneg_lasso(0.05))
         .sparsity(SparsityConfig::default())
         .max_outer(25)
-        .seed(3)
-        .factorize(&tensor)
-        .expect("factorization");
-
+        .seed(3);
+    let result = factorizer.factorize(&tensor).expect("factorization");
     println!(
         "factorized in {:.2}s, relative error {:.4}",
         result.trace.total.as_secs_f64(),
         result.trace.final_error
     );
-    let dens = result.model.factor_densities(0.0);
-    println!(
-        "factor densities: users {:.1}%, items {:.1}%, words {:.1}%",
-        dens[0] * 100.0,
-        dens[1] * 100.0,
-        dens[2] * 100.0
-    );
 
-    // Score items for one user by collapsing the word mode: the
-    // user-item affinity is sum_f U(u,f) * I(i,f) * (sum_w W(w,f)),
-    // i.e. weight each component by its total word mass.
-    let user = 0usize;
-    let ufac = result.model.factor(0);
-    let ifac = result.model.factor(1);
-    let wfac = result.model.factor(2);
-    let rank = result.model.rank();
+    // Put the model into service: publish a coherent snapshot, stand up
+    // the shared engine. From here on, every read goes through the
+    // serving API — batched point reconstruction and pruned top-K.
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(result.model);
+    let engine = Arc::new(ServeEngine::new(Arc::clone(&registry)));
 
-    let word_mass: Vec<f64> = (0..rank)
-        .map(|f| (0..nwords).map(|w| wfac.get(w, f)).sum())
-        .collect();
-
-    let mut scores: Vec<(usize, f64)> = (0..nitems)
-        .map(|i| {
-            let s: f64 = (0..rank)
-                .map(|f| ufac.get(user, f) * ifac.get(i, f) * word_mass[f])
-                .sum();
-            (i, s)
+    // Rank items for a (user, word) context: free mode 1, anchored at
+    // the user's row and the context word's row.
+    let user: Idx = 0;
+    let word: Idx = 7;
+    let recs = engine
+        .topk(&TopKQuery {
+            free_mode: 1,
+            anchor: vec![user, 0, word],
+            k: 5,
         })
-        .collect();
-    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-
-    println!("\ntop-5 recommendations for user {user}:");
-    for (rank_pos, (item, score)) in scores.iter().take(5).enumerate() {
-        println!("  #{:<2} item {item:<6} score {score:.4}", rank_pos + 1);
+        .expect("top-k");
+    println!(
+        "\ntop-5 items for user {user} in word context {word} (epoch {}):",
+        recs.epoch
+    );
+    for (pos, (item, score)) in recs.hits.iter().enumerate() {
+        let check = engine.predict(&[user, *item, word]).expect("predict");
+        println!(
+            "  #{:<2} item {item:<6} score {score:.4} (reconstruction {check:.4})",
+            pos + 1
+        );
     }
 
-    // The user's dominant latent components.
-    let mut comps: Vec<(usize, f64)> = (0..rank).map(|f| (f, ufac.get(user, f))).collect();
-    comps.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("\nuser {user} loads heaviest on components:");
-    for (f, w) in comps.iter().take(3) {
-        println!("  component {f}: weight {w:.3}");
+    // Now the streaming half: new reviews keep arriving. The streaming
+    // factorizer warm-refits after every batch and publishes each refit
+    // straight into the registry; readers never stop querying and never
+    // see a torn model — only whole epochs.
+    let cfg = StreamingConfig::new(factorizer.max_outer(30).tolerance(1e-7))
+        .refit_outer(4)
+        .policy(MergePolicy::never());
+    let mut stream = StreamingFactorizer::new(tensor, cfg).expect("streaming factorizer");
+    stream.attach_sink(Arc::clone(&registry) as Arc<dyn ModelSink>);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        // Two query threads hammer the engine while refits hot-swap.
+        for t in 0..2u64 {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            s.spawn(move || {
+                let mut hits = Vec::new();
+                let mut i = t;
+                while !stop.load(Ordering::Acquire) {
+                    i += 1;
+                    let coord = [
+                        (i % nusers as u64) as Idx,
+                        (i % nitems as u64) as Idx,
+                        (i % nwords as u64) as Idx,
+                    ];
+                    engine.predict(&coord).expect("predict under refit");
+                    engine
+                        .topk_into(
+                            &TopKQuery {
+                                free_mode: 1,
+                                anchor: coord.to_vec(),
+                                k: 3,
+                            },
+                            &mut hits,
+                        )
+                        .expect("top-k under refit");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // The ingest loop: batches of fresh reviews, one warm refit and
+        // one hot-swap each.
+        for b in 0..6u64 {
+            let ops: Vec<StreamOp> = (0..40)
+                .map(|j| StreamOp::Add {
+                    coord: vec![
+                        ((b * 31 + j * 7) % nusers as u64) as Idx,
+                        ((b * 17 + j * 5) % nitems as u64) as Idx,
+                        ((b * 13 + j * 3) % nwords as u64) as Idx,
+                    ],
+                    val: 1.0,
+                })
+                .collect();
+            let record = stream.push_batch(&ops).expect("refit");
+            println!(
+                "ingested batch {b}: refit to rel error {:.4}, published epoch {}",
+                record.rel_error,
+                registry.epoch()
+            );
+        }
+        stop.store(true, Ordering::Release);
+    });
+    println!(
+        "served {} query pairs concurrently with {} hot-swaps",
+        served.load(Ordering::Relaxed),
+        registry.epoch() - 1
+    );
+
+    // Recommendations against the final refit, from the same engine.
+    let recs = engine
+        .topk(&TopKQuery {
+            free_mode: 1,
+            anchor: vec![user, 0, word],
+            k: 5,
+        })
+        .expect("top-k");
+    println!(
+        "\ntop-5 items for user {user} after streaming (epoch {}):",
+        recs.epoch
+    );
+    for (pos, (item, score)) in recs.hits.iter().enumerate() {
+        println!("  #{:<2} item {item:<6} score {score:.4}", pos + 1);
     }
 }

@@ -1,0 +1,170 @@
+//! Allocation counter for the serving hot path.
+//!
+//! The serving engine inherits the workspace discipline of the solver
+//! hot path (see `tests/alloc_hot_path.rs`): slot cells, scoring
+//! scratch, the leader's drain buffer and the top-K entry heap all live
+//! in free lists or grow-once buffers. Once a query shape has been seen
+//! once, repeating it — point reconstruction through the micro-batcher
+//! and top-K through the pruned scanner — performs **zero** heap
+//! allocation. This test installs a counting global allocator (its own
+//! test binary for that reason), warms the engine with one round of
+//! queries, then repeats them with counting enabled.
+
+use aoadmm::KruskalModel;
+use aoadmm_serve::{ModelRegistry, ServeEngine, TopKQuery};
+use splinalg::DMat;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static TRACKING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `body` with allocation counting enabled and return how many heap
+/// allocations it performed.
+fn count_allocations(body: impl FnOnce()) -> usize {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    body();
+    TRACKING.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+fn engine() -> ServeEngine {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(KruskalModel::new(vec![
+        DMat::random(90, 8, -1.0, 1.0, &mut rng),
+        DMat::random(40, 8, -1.0, 1.0, &mut rng),
+        DMat::random(25, 8, -1.0, 1.0, &mut rng),
+    ]));
+    ServeEngine::new(registry)
+}
+
+#[test]
+fn warm_predict_does_not_allocate() {
+    let engine = engine();
+    let coords: [[u32; 3]; 4] = [[0, 0, 0], [89, 39, 24], [17, 22, 3], [55, 1, 19]];
+
+    // Warm-up: slot cell, scratch arena and queue reach capacity.
+    for c in &coords {
+        engine.predict(c).unwrap();
+    }
+
+    let allocs = count_allocations(|| {
+        for _ in 0..16 {
+            for c in &coords {
+                engine.predict(c).unwrap();
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "warm predict allocated {allocs} times");
+}
+
+#[test]
+fn warm_bulk_predict_does_not_allocate() {
+    let engine = engine();
+    let coords: Vec<Vec<u32>> = (0..70u32).map(|i| vec![i % 90, i % 40, i % 25]).collect();
+    let mut values = Vec::new();
+    engine.predict_many_into(&coords, &mut values).unwrap();
+
+    let allocs = count_allocations(|| {
+        for _ in 0..16 {
+            engine.predict_many_into(&coords, &mut values).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "warm bulk predict allocated {allocs} times");
+}
+
+#[test]
+fn warm_topk_does_not_allocate() {
+    let engine = engine();
+    let queries = [
+        TopKQuery {
+            free_mode: 0,
+            anchor: vec![0, 12, 7],
+            k: 10,
+        },
+        TopKQuery {
+            free_mode: 1,
+            anchor: vec![31, 0, 20],
+            k: 5,
+        },
+        TopKQuery {
+            free_mode: 2,
+            anchor: vec![60, 9, 0],
+            k: 25,
+        },
+    ];
+    let mut hits = Vec::new();
+
+    for q in &queries {
+        engine.topk_into(q, &mut hits).unwrap();
+    }
+
+    let allocs = count_allocations(|| {
+        for _ in 0..16 {
+            for q in &queries {
+                engine.topk_into(q, &mut hits).unwrap();
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "warm top-K allocated {allocs} times");
+}
+
+#[test]
+fn warm_mixed_load_does_not_allocate() {
+    // Interleaved point + top-K traffic through one engine: the two
+    // paths share the scratch pool; alternating between them must not
+    // thrash arenas back to the allocator.
+    let engine = engine();
+    let q = TopKQuery {
+        free_mode: 0,
+        anchor: vec![0, 18, 11],
+        k: 15,
+    };
+    let mut hits = Vec::new();
+    engine.predict(&[4, 4, 4]).unwrap();
+    engine.topk_into(&q, &mut hits).unwrap();
+
+    let allocs = count_allocations(|| {
+        for _ in 0..32 {
+            engine.predict(&[4, 4, 4]).unwrap();
+            engine.topk_into(&q, &mut hits).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "warm mixed load allocated {allocs} times");
+}

@@ -1,0 +1,345 @@
+//! Serving conformance: the batched, pruned read path against
+//! brute-force oracles, plus hot-swap coherence under concurrency.
+//!
+//! Four layers:
+//!
+//! 1. Micro-batched point reconstruction against `oracle::model_value`,
+//!    **bit-exact**, issued concurrently from 1/2/4 query threads (the
+//!    batched kernel groups its arithmetic exactly like the scalar
+//!    loop, so no tolerance is needed).
+//! 2. Pruned and brute-force top-K against `testkit::oracle::topk`:
+//!    exact result **set and tie-stable order** across a sweep of
+//!    shapes, ranks straddling the panel widths, free modes and k.
+//! 3. Hot-swap coherence: a writer republishes epoch-constant models
+//!    while readers query; every answer must factor as one single
+//!    epoch (a torn mix of factor matrices cannot produce `F * e^3`).
+//! 4. The full streaming loop: `StreamingFactorizer` publishing every
+//!    warm refit through its sink while readers query — snapshots stay
+//!    internally coherent, and the final published model is bitwise the
+//!    factorizer's final state.
+
+use aoadmm::KruskalModel;
+use aoadmm_serve::{ModelRegistry, ServeEngine, TopKQuery};
+use aoadmm_stream::{MergePolicy, StreamOp, StreamingConfig, StreamingFactorizer};
+use splinalg::DMat;
+use sptensor::Idx;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use testkit::gen;
+use testkit::oracle;
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn engine_for(factors: Vec<DMat>) -> ServeEngine {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(KruskalModel::new(factors));
+    ServeEngine::new(registry)
+}
+
+/// Deterministic coordinate for query `i` in a tensor of shape `dims`.
+fn coord_for(i: u64, dims: &[usize]) -> Vec<Idx> {
+    dims.iter()
+        .enumerate()
+        .map(|(m, &d)| ((i.wrapping_mul(2654435761).wrapping_add(m as u64 * 97)) % d as u64) as Idx)
+        .collect()
+}
+
+#[test]
+fn batched_point_queries_match_oracle_bitwise_across_thread_counts() {
+    for &(dims, rank) in &[
+        (&[9usize, 7, 8][..], 5usize),
+        (&[40, 6, 11][..], 16),
+        (&[13, 13][..], 8),
+        (&[5, 4, 3, 6][..], 3),
+    ] {
+        let factors = gen::factors(dims, rank, -1.0, 1.0, 21);
+        let engine = Arc::new(engine_for(factors.clone()));
+        for &threads in &THREAD_SWEEP {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let engine = Arc::clone(&engine);
+                    let factors = &factors;
+                    s.spawn(move || {
+                        for i in 0..200u64 {
+                            let coord = coord_for(i * threads as u64 + t as u64, dims);
+                            let got = engine.predict(&coord).unwrap();
+                            let want = oracle::model_value(factors, &coord);
+                            assert_eq!(
+                                got.to_bits(),
+                                want.to_bits(),
+                                "dims={dims:?} rank={rank} coord={coord:?}"
+                            );
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn bulk_predict_matches_oracle_bitwise() {
+    for &(dims, rank) in &[(&[40usize, 6, 11][..], 16usize), (&[9, 7, 8][..], 5)] {
+        let factors = gen::factors(dims, rank, -1.0, 1.0, 33);
+        let engine = engine_for(factors.clone());
+        // 75 queries: two full 32-row panels plus a remainder chunk.
+        let coords: Vec<Vec<Idx>> = (0..75u64).map(|i| coord_for(i, dims)).collect();
+        let mut values = Vec::new();
+        let epoch = engine.predict_many_into(&coords, &mut values).unwrap();
+        assert_eq!(epoch, 1);
+        for (c, v) in coords.iter().zip(&values) {
+            let want = oracle::model_value(&factors, c);
+            assert_eq!(v.to_bits(), want.to_bits(), "dims={dims:?} coord={c:?}");
+        }
+    }
+}
+
+#[test]
+fn topk_pruned_and_brute_match_oracle_exactly() {
+    // Free-mode row counts straddle the 32-row panel and the 4-row
+    // quad; ranks straddle the register widths.
+    for &(dims, rank) in &[
+        (&[33usize, 8, 9][..], 1usize),
+        (&[5, 6, 7][..], 8),
+        (&[64, 3, 50][..], 16),
+        (&[100, 4, 4][..], 32),
+        (&[31, 12][..], 6),
+    ] {
+        let factors = gen::factors(dims, rank, -1.0, 1.0, 77);
+        let engine = engine_for(factors.clone());
+        for free_mode in 0..dims.len() {
+            for (a, anchor_seed) in [0u64, 5].iter().enumerate() {
+                let anchor = coord_for(*anchor_seed + a as u64, dims);
+                for k in [1usize, 5, dims[free_mode], dims[free_mode] + 10] {
+                    let want = oracle::topk(&factors, free_mode, &anchor, k);
+                    let q = TopKQuery {
+                        free_mode,
+                        anchor: anchor.clone(),
+                        k,
+                    };
+                    for pruned in [true, false] {
+                        let mut hits = Vec::new();
+                        engine.topk_into_with(&q, pruned, &mut hits).unwrap();
+                        let got: Vec<(u32, u64)> =
+                            hits.iter().map(|&(id, s)| (id, s.to_bits())).collect();
+                        let exact: Vec<(u32, u64)> =
+                            want.iter().map(|&(id, s)| (id, s.to_bits())).collect();
+                        assert_eq!(
+                            got, exact,
+                            "dims={dims:?} rank={rank} free={free_mode} k={k} pruned={pruned}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn topk_tie_order_is_stable_with_duplicate_rows() {
+    // Duplicate free-mode rows force score ties; order must be by
+    // ascending row id in both scan strategies, matching the oracle.
+    let mut free = DMat::zeros(12, 2);
+    for i in 0..12 {
+        let v = [(3.0, 1.0), (1.0, 2.0), (3.0, 1.0)][i % 3];
+        free.row_mut(i).copy_from_slice(&[v.0, v.1]);
+    }
+    let fixed = DMat::from_vec(3, 2, vec![0.5, 1.0, -0.25, 0.75, 1.0, 0.0]).unwrap();
+    let factors = vec![free, fixed];
+    let engine = engine_for(factors.clone());
+    for anchor_row in 0..3u32 {
+        for k in [1usize, 4, 9, 12] {
+            let anchor = vec![0, anchor_row];
+            let want = oracle::topk(&factors, 0, &anchor, k);
+            for pruned in [true, false] {
+                let mut hits = Vec::new();
+                engine
+                    .topk_into_with(
+                        &TopKQuery {
+                            free_mode: 0,
+                            anchor: anchor.clone(),
+                            k,
+                        },
+                        pruned,
+                        &mut hits,
+                    )
+                    .unwrap();
+                let got: Vec<(u32, f64)> = hits;
+                assert_eq!(got, want, "anchor={anchor_row} k={k} pruned={pruned}");
+            }
+        }
+    }
+}
+
+/// An all-constant model: every entry of every factor is `v`. A point
+/// query then scores exactly `rank * v^nmodes`; any torn mix of two
+/// epochs `a != b` would score `rank * a^i * b^(3-i)`, which for the
+/// integer epochs used below is never a perfect value of the same form.
+fn constant_model(dims: &[usize], rank: usize, v: f64) -> KruskalModel {
+    KruskalModel::new(
+        dims.iter()
+            .map(|&d| {
+                let mut f = DMat::zeros(d, rank);
+                f.fill(v);
+                f
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn hot_swap_readers_never_observe_a_torn_model() {
+    let dims = [40usize, 30, 20];
+    let rank = 8;
+    const EPOCHS: u64 = 60;
+    let registry = Arc::new(ModelRegistry::new());
+    // Epoch e carries value e in every entry (registry epochs start at
+    // 1 and count up with each publish, so value == epoch).
+    registry.publish(constant_model(&dims, rank, 1.0));
+    let engine = Arc::new(ServeEngine::new(Arc::clone(&registry)));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                for e in 2..=EPOCHS {
+                    let got = registry.publish(constant_model(&dims, rank, e as f64));
+                    assert_eq!(got, e);
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+        for reader in 0..3 {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Acquire) || i == 0 {
+                    i += 1;
+                    if reader < 2 {
+                        let coord = coord_for(i, &dims);
+                        let v = engine.predict(&coord).unwrap();
+                        // v must equal rank * e^3 for a single integer
+                        // epoch e — exact in f64 for these magnitudes.
+                        let e = (v / rank as f64).cbrt().round();
+                        assert!(
+                            e >= 1.0 && e <= EPOCHS as f64 && v == rank as f64 * e * e * e,
+                            "torn read: value {v} is not rank * e^3 for any epoch"
+                        );
+                        assert!(
+                            e as u64 >= last_epoch,
+                            "epoch went backwards: {e} after {last_epoch}"
+                        );
+                        last_epoch = e as u64;
+                    } else {
+                        let mut hits = Vec::new();
+                        let epoch = engine
+                            .topk_into(
+                                &TopKQuery {
+                                    free_mode: 0,
+                                    anchor: vec![0, 3, 4],
+                                    k: 5,
+                                },
+                                &mut hits,
+                            )
+                            .unwrap();
+                        let e = epoch as f64;
+                        // All rows tie; ids 0..5 by tie order, every
+                        // score exactly rank * e^3 of the *reported*
+                        // epoch.
+                        let expect: Vec<(Idx, f64)> =
+                            (0..5).map(|id| (id, rank as f64 * e * e * e)).collect();
+                        assert_eq!(hits, expect, "torn top-K at epoch {epoch}");
+                        assert!(epoch >= last_epoch);
+                        last_epoch = epoch;
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(registry.epoch(), EPOCHS);
+}
+
+#[test]
+fn streaming_refits_hot_swap_coherently_under_live_queries() {
+    let dims = [10usize, 9, 8];
+    let base = gen::tensor(&dims, 220, 3);
+    let cfg = StreamingConfig::new(
+        aoadmm::Factorizer::new(4)
+            .seed(7)
+            .max_outer(30)
+            .tolerance(1e-7),
+    )
+    .refit_outer(4)
+    .policy(MergePolicy::never());
+    let mut sf = StreamingFactorizer::new(base, cfg).unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    sf.attach_sink(Arc::clone(&registry) as Arc<dyn aoadmm_stream::ModelSink>);
+    let engine = Arc::new(ServeEngine::new(Arc::clone(&registry)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+
+    const BATCHES: usize = 12;
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            s.spawn(move || {
+                let mut i = t as u64;
+                let mut hits = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    i += 1;
+                    let snap = engine.snapshot().expect("published on attach");
+                    // One coherent epoch: rank agrees across factors by
+                    // construction of KruskalModel; dims must be the
+                    // base shape (this run never grows a mode).
+                    assert_eq!(snap.dims(), &dims);
+                    assert_eq!(snap.rank(), 4);
+                    let coord = coord_for(i, &dims);
+                    let v = engine.predict(&coord).unwrap();
+                    assert!(v.is_finite());
+                    let epoch = engine
+                        .topk_into(
+                            &TopKQuery {
+                                free_mode: 1,
+                                anchor: coord.clone(),
+                                k: 3,
+                            },
+                            &mut hits,
+                        )
+                        .unwrap();
+                    assert!(epoch >= 1 && epoch <= 1 + BATCHES as u64);
+                    assert!(hits.iter().all(|h| h.1.is_finite()));
+                    queries.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        for b in 0..BATCHES {
+            sf.push_batch(&[
+                StreamOp::Add {
+                    coord: vec![(b % 10) as Idx, (b % 9) as Idx, (b % 8) as Idx],
+                    val: 0.3,
+                },
+                StreamOp::Set {
+                    coord: vec![((b + 3) % 10) as Idx, 0, 1],
+                    val: 1.0,
+                },
+            ])
+            .unwrap();
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    assert!(queries.load(Ordering::Relaxed) > 0);
+    // Attach published once, then one publish per batch.
+    assert_eq!(registry.epoch(), 1 + BATCHES as u64);
+    // The served model is bitwise the factorizer's final state.
+    let snap = registry.snapshot().unwrap();
+    for (m, fac) in sf.factors().iter().enumerate() {
+        assert_eq!(snap.model().factor(m).max_abs_diff(fac), 0.0);
+    }
+}
