@@ -66,6 +66,12 @@ fn bench_khatri_rao(c: &mut Criterion) {
     group.bench_function("300x400_f16", |b| {
         b.iter(|| ops::khatri_rao(&bmat, &cmat).unwrap());
     });
+    // The workspace variant measured separately: same arithmetic, no
+    // allocation per call.
+    let mut out = DMat::zeros(300 * 400, 16);
+    group.bench_function("300x400_f16_into", |b| {
+        b.iter(|| ops::khatri_rao_into(&bmat, &cmat, &mut out).unwrap());
+    });
     group.finish();
 }
 

@@ -1,0 +1,146 @@
+//! Dimension-tree vs. per-mode MTTKRP speedup over a full AO sweep.
+//!
+//! The per-mode path traverses a mode-rooted CSF top to bottom for every
+//! mode, touching all `N` factors each time; the dimension-tree plan
+//! memoizes partial Khatri-Rao slabs, so a steady-state sweep performs
+//! roughly two full traversals plus slab-sized fixups instead of `N`.
+//! This harness times the complete sweep — MTTKRP for every mode with
+//! the invalidation traffic of an AO loop (the served mode's factor is
+//! marked changed after each serve) — and writes the comparison to
+//! `bench_results/dimtree_speedup.csv`. Both paths produce the same
+//! values up to reduction order, so the ratio is pure traversal savings.
+//!
+//! Usage: `cargo run --release -p aoadmm-bench --bin dimtree_speedup -- \
+//!         [--nnz 300000] [--rank 16] [--reps 5] [--seed 1]`
+
+use aoadmm::mttkrp::mttkrp_dense_planned;
+use aoadmm::mttkrp_plan::build_mode_plans;
+use aoadmm::IterationPlan;
+use aoadmm_bench::{bar, csv_writer, Args};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::DMat;
+use sptensor::gen::random_uniform;
+use std::io::Write;
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `body`.
+fn median_secs(reps: usize, mut body: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            body();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct Row {
+    shape: String,
+    nmodes: usize,
+    nnz: usize,
+    rank: usize,
+    per_mode: f64,
+    dimtree: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let nnz: usize = args.get("nnz", 300_000);
+    let rank: usize = args.get("rank", 16);
+    let reps: usize = args.get("reps", 5);
+    let seed: u64 = args.get("seed", 1);
+    let mut results: Vec<Row> = Vec::new();
+
+    let shapes: Vec<Vec<usize>> = vec![
+        vec![600, 500, 400],
+        vec![220, 180, 150, 120],
+        vec![90, 80, 70, 60, 50],
+    ];
+
+    for dims in &shapes {
+        let t = random_uniform(dims, nnz, seed).expect("tensor gen");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed + 1);
+        let factors: Vec<DMat> = dims
+            .iter()
+            .map(|&d| DMat::random(d, rank, -1.0, 1.0, &mut rng))
+            .collect();
+        let mut outs: Vec<DMat> = dims.iter().map(|&d| DMat::zeros(d, rank)).collect();
+
+        // --- Per-mode CSFs: one full-depth traversal per mode. ---
+        let csfs = build_mode_plans(&t).expect("per-mode plans");
+        let per_mode = median_secs(reps, || {
+            for (m, out) in outs.iter_mut().enumerate() {
+                mttkrp_dense_planned(&csfs[m].0, &csfs[m].1, &factors, out).unwrap();
+            }
+        });
+
+        // --- Dimension tree: memoized slabs across the sweep. ---
+        let mut plan = IterationPlan::build(&t).expect("dimension tree");
+        // Warm-up sweep sizes the arena and fills the cache, as the
+        // driver's first outer iteration does.
+        for (m, out) in outs.iter_mut().enumerate() {
+            plan.mttkrp_dense(m, &factors, out).unwrap();
+            plan.note_factor_changed(m);
+        }
+        let dimtree = median_secs(reps, || {
+            for (m, out) in outs.iter_mut().enumerate() {
+                plan.mttkrp_dense(m, &factors, out).unwrap();
+                plan.note_factor_changed(m);
+            }
+        });
+
+        results.push(Row {
+            shape: dims
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+            nmodes: dims.len(),
+            nnz: t.nnz(),
+            rank,
+            per_mode,
+            dimtree,
+        });
+    }
+
+    // --- Report. ---
+    println!("dimension-tree vs per-mode MTTKRP, full AO sweep ({reps} reps, median)\n");
+    println!(
+        "{:<18} {:>6} {:>9} {:>5} {:>13} {:>13} {:>8}",
+        "shape", "modes", "nnz", "F", "per-mode (s)", "dim-tree (s)", "speedup"
+    );
+    let (mut csv, path) = csv_writer("dimtree_speedup");
+    writeln!(
+        csv,
+        "shape,nmodes,nnz,rank,per_mode_seconds,dimtree_seconds,speedup"
+    )
+    .unwrap();
+    let max_speedup = results
+        .iter()
+        .map(|r| r.per_mode / r.dimtree)
+        .fold(1.0f64, f64::max);
+    for r in &results {
+        let speedup = r.per_mode / r.dimtree;
+        println!(
+            "{:<18} {:>6} {:>9} {:>5} {:>13.6} {:>13.6} {:>7.2}x {}",
+            r.shape,
+            r.nmodes,
+            r.nnz,
+            r.rank,
+            r.per_mode,
+            r.dimtree,
+            speedup,
+            bar(speedup / max_speedup, 24)
+        );
+        writeln!(
+            csv,
+            "{},{},{},{},{:.6},{:.6},{:.3}",
+            r.shape, r.nmodes, r.nnz, r.rank, r.per_mode, r.dimtree, speedup
+        )
+        .unwrap();
+    }
+    println!("\ncsv: {}", path.display());
+}

@@ -53,9 +53,12 @@ factorize options:
   --max-inner N            inner ADMM iteration cap (default 25)
   --adaptive-rho           enable residual-balancing penalty adaptation
   --sparsity auto|off|csr|hybrid   leaf-factor MTTKRP policy (default auto)
+  --csf per-mode|one|dimtree       tensor representation (default per-mode);
+                           dimtree memoizes partial-MTTKRP slabs across modes
   --threads N              rayon thread count (default: all cores)
   --output FILE            save the factor model
-  --trace FILE             save per-iteration CSV (iter,seconds,rel_error)
+  --trace FILE             save per-iteration CSV
+                           (iter,seconds,rel_error,slab_hits,slab_misses)
   --checkpoint FILE        save resumable state (factors + duals) at the end
   --resume FILE            start from a previously saved checkpoint
 
@@ -166,11 +169,19 @@ fn factorize(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown sparsity policy {other:?}")),
     };
 
+    let csf = match args.get_str("csf").as_deref().unwrap_or("per-mode") {
+        "per-mode" => aoadmm::CsfPolicy::PerMode,
+        "one" => aoadmm::CsfPolicy::One,
+        "dimtree" => aoadmm::CsfPolicy::DimTree,
+        other => return Err(format!("unknown csf policy {other:?}")),
+    };
+
     let global = parse_constraint(args.get_str("constraint").as_deref().unwrap_or("nonneg"))?;
     let mut fz = Factorizer::new(rank)
         .constrain_all(global)
         .admm(admm_cfg)
         .sparsity(sparsity)
+        .csf_policy(csf)
         .max_outer(args.get("max-outer", 200)?)
         .tolerance(args.get("tol", 1e-6)?)
         .seed(args.get("seed", 0)?);
@@ -206,6 +217,10 @@ fn factorize(args: &Args) -> Result<(), String> {
         a * 100.0,
         o * 100.0
     );
+    let (hits, misses) = slab_totals(&res.trace);
+    if hits + misses > 0 {
+        println!("dim-tree slab reuse: {hits} hits / {misses} rebuilds");
+    }
     let dens = res.model.factor_densities(0.0);
     for (mode, d) in dens.iter().enumerate() {
         println!("factor {mode}: density {:.1}%", d * 100.0);
@@ -536,15 +551,31 @@ fn stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Dimension-tree slab reuse totals over a whole run (0/0 off the
+/// dim-tree path).
+fn slab_totals(trace: &aoadmm::FactorizeTrace) -> (u64, u64) {
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for it in &trace.iterations {
+        for m in &it.modes {
+            hits += m.slab_hits as u64;
+            misses += m.slab_misses as u64;
+        }
+    }
+    (hits, misses)
+}
+
 fn write_trace(trace: &aoadmm::FactorizeTrace, path: &str) -> Result<(), String> {
     use std::io::Write;
     let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
     let mut w = std::io::BufWriter::new(f);
-    writeln!(w, "iter,seconds,rel_error").map_err(|e| e.to_string())?;
+    writeln!(w, "iter,seconds,rel_error,slab_hits,slab_misses").map_err(|e| e.to_string())?;
     for it in &trace.iterations {
+        let hits: u64 = it.modes.iter().map(|m| m.slab_hits as u64).sum();
+        let misses: u64 = it.modes.iter().map(|m| m.slab_misses as u64).sum();
         writeln!(
             w,
-            "{},{:.6},{:.8}",
+            "{},{:.6},{:.8},{hits},{misses}",
             it.iter,
             it.elapsed.as_secs_f64(),
             it.rel_error
@@ -658,6 +689,60 @@ mod tests {
 
         let _ = std::fs::remove_file(tns);
         let _ = std::fs::remove_file(model);
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn dimtree_policy_trace_reports_slab_reuse() {
+        let dir = std::env::temp_dir();
+        let tns = dir.join("aoadmm_cli_dimtree.tns");
+        let trace = dir.join("aoadmm_cli_dimtree.csv");
+        let s = |x: &str| x.to_string();
+
+        run(&[
+            s("generate"),
+            s("--dims"),
+            s("24,18,20"),
+            s("--nnz"),
+            s("700"),
+            s("--output"),
+            s(tns.to_str().unwrap()),
+        ])
+        .unwrap();
+
+        run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("4"),
+            s("--max-outer"),
+            s("4"),
+            s("--csf"),
+            s("dimtree"),
+            s("--trace"),
+            s(trace.to_str().unwrap()),
+        ])
+        .unwrap();
+
+        let csv = std::fs::read_to_string(&trace).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "iter,seconds,rel_error,slab_hits,slab_misses"
+        );
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for line in lines {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 5, "bad row {line:?}");
+            hits += cols[3].parse::<u64>().unwrap();
+            misses += cols[4].parse::<u64>().unwrap();
+        }
+        assert!(hits > 0, "dim-tree run recorded no slab reuse:\n{csv}");
+        assert!(misses > 0, "dim-tree run recorded no slab rebuilds:\n{csv}");
+
+        let _ = std::fs::remove_file(tns);
         let _ = std::fs::remove_file(trace);
     }
 

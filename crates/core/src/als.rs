@@ -7,10 +7,11 @@
 //! the constrained solver and is used by the harness to sanity-check
 //! convergence behaviour.
 
+use crate::dimtree::IterationPlan;
 use crate::error::AoAdmmError;
 use crate::kruskal::{relative_error_fast, KruskalModel};
 use crate::mttkrp::mttkrp_dense_planned;
-use crate::mttkrp_plan::build_mode_plans;
+use crate::mttkrp_plan::{build_mode_plans, PlanStrategy};
 use crate::sparsity::{SparsityDecision, Structure};
 use crate::trace::{FactorizeTrace, IterRecord, ModeRecord};
 use crate::FactorizeResult;
@@ -36,6 +37,10 @@ pub struct AlsConfig {
     /// Ridge added to the normal matrix for numerical stability (the
     /// Gram Hadamard product can be near-singular for collinear factors).
     pub ridge: f64,
+    /// Serve MTTKRP from a dimension-tree plan ([`crate::dimtree`])
+    /// instead of per-mode CSFs. Ignored for tensors with fewer than
+    /// three modes.
+    pub use_dimtree: bool,
 }
 
 impl Default for AlsConfig {
@@ -46,6 +51,7 @@ impl Default for AlsConfig {
             tol: 1e-6,
             seed: 0,
             ridge: 1e-12,
+            use_dimtree: false,
         }
     }
 }
@@ -64,9 +70,19 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
     let dims = tensor.dims().to_vec();
     let t0 = Instant::now();
 
-    // Per-mode CSFs and their MTTKRP execution plans, built in parallel
-    // once and reused across every outer iteration.
-    let csfs = build_mode_plans(tensor)?;
+    // MTTKRP engine: either a dimension-tree iteration plan (slabs
+    // memoized across modes) or per-mode CSFs with their execution
+    // plans, built once and reused across every outer iteration.
+    let mut tree = if cfg.use_dimtree && nmodes >= 3 {
+        Some(IterationPlan::build(tensor)?)
+    } else {
+        None
+    };
+    let csfs = if tree.is_some() {
+        Vec::new()
+    } else {
+        build_mode_plans(tensor)?
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut factors: Vec<DMat> = dims
         .iter()
@@ -105,7 +121,16 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
             let ridge = cfg.ridge * (1.0 + gram_buf.trace());
 
             let tm = Instant::now();
-            mttkrp_dense_planned(&csfs[m].0, &csfs[m].1, &factors, &mut kbufs[m])?;
+            let (strategy, slab_hits, slab_misses) = match tree.as_mut() {
+                Some(plan) => {
+                    let t = plan.mttkrp_dense(m, &factors, &mut kbufs[m])?;
+                    (PlanStrategy::DimTree, t.hits, t.misses)
+                }
+                None => {
+                    mttkrp_dense_planned(&csfs[m].0, &csfs[m].1, &factors, &mut kbufs[m])?;
+                    (csfs[m].1.strategy(), 0, 0)
+                }
+            };
             let mttkrp_time = tm.elapsed();
 
             // Exact solve A_m = K * (G + ridge)^-1, parallel over row
@@ -140,13 +165,17 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
                 });
             let solve_time = ta.elapsed();
 
+            if let Some(plan) = tree.as_mut() {
+                plan.note_factor_changed(m);
+            }
+
             panel::gram_into(&factors[m], &mut lin_ws, &mut grams[m])?;
             if m == nmodes - 1 {
                 last_inner = ops::inner_product(&kbufs[m], &factors[m])?;
             }
             modes.push(ModeRecord {
                 mode: m,
-                mttkrp_strategy: Some(csfs[m].1.strategy()),
+                mttkrp_strategy: Some(strategy),
                 mttkrp: mttkrp_time,
                 admm: solve_time,
                 admm_iterations: 1,
@@ -155,6 +184,8 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
                     density: 1.0,
                     structure: Structure::Dense,
                 },
+                slab_hits,
+                slab_misses,
             });
         }
 
@@ -264,6 +295,43 @@ mod tests {
         .is_err());
         let empty = CooTensor::new(vec![2, 2]).unwrap();
         assert!(als_factorize(&empty, &AlsConfig::default()).is_err());
+    }
+
+    #[test]
+    fn als_dimtree_matches_per_mode() {
+        let t = planted(&PlantedConfig::small()).unwrap();
+        let cfg = AlsConfig {
+            rank: 6,
+            max_outer: 12,
+            seed: 5,
+            ..Default::default()
+        };
+        let flat = als_factorize(&t, &cfg).unwrap();
+        let tree = als_factorize(
+            &t,
+            &AlsConfig {
+                use_dimtree: true,
+                ..cfg
+            },
+        )
+        .unwrap();
+        // Same math, different contraction order: errors agree to
+        // round-off accumulated over the run.
+        assert!(
+            (flat.trace.final_error - tree.trace.final_error).abs() < 1e-7,
+            "flat {} vs tree {}",
+            flat.trace.final_error,
+            tree.trace.final_error
+        );
+        let last = tree.trace.iterations.last().unwrap();
+        assert!(last
+            .modes
+            .iter()
+            .all(|r| r.mttkrp_strategy == Some(PlanStrategy::DimTree)));
+        assert!(
+            last.modes.iter().any(|r| r.slab_hits > 0),
+            "steady state should reuse slabs"
+        );
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub enum CsfPolicy {
     /// ([`crate::mttkrp_onecsf`]). Third-order tensors only — higher
     /// orders fall back to `PerMode`.
     One,
+    /// A dimension-tree iteration plan ([`crate::dimtree`]): two
+    /// half-tree CSFs with partial Khatri-Rao slabs memoized across
+    /// modes, so each full AO sweep traverses the tensor roughly twice
+    /// instead of `nmodes` times. Requires at least three modes —
+    /// matrices fall back to `PerMode`.
+    DimTree,
 }
 
 /// A per-outer-iteration progress callback (see [`Factorizer::progress`]).

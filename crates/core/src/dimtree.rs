@@ -1,0 +1,960 @@
+//! Dimension-tree MTTKRP: memoized partial Khatri–Rao slabs shared
+//! across the modes of one outer iteration.
+//!
+//! The per-mode kernels ([`crate::mttkrp`]) traverse the whole tensor
+//! once per mode per outer iteration — `N` full traversals that each
+//! recompute Khatri–Rao partial products an earlier mode already formed.
+//! Following Ballard & Hayashi's dimension-tree formulation (PAPERS.md,
+//! arXiv:1806.07985), an [`IterationPlan`] instead compiles the tensor
+//! into **two** CSFs that split the mode set in half:
+//!
+//! * half A is ordered `[0 .. h-1, h .. N-1]` and *serves* modes
+//!   `0 .. h-1` from its top `h` levels,
+//! * half B is ordered `[h .. N-1, 0 .. h-1]` and serves the rest,
+//!
+//! with `h = ceil(N/2)`. For each served level the plan memoizes two
+//! families of *slabs* (semi-sparse intermediates, one `rank`-row per
+//! CSF node, keyed by the mode subset they contract):
+//!
+//! * **below-slabs** `B[l][n]` — the subtree sum under node `n`
+//!   *excluding* `n`'s own factor row: the contraction of all modes at
+//!   levels `l+1 .. N-1`;
+//! * **above-slabs** `P[l][n]` — the Hadamard product of the ancestor
+//!   factor rows of `n`: the contraction of all modes at levels
+//!   `0 .. l-1`.
+//!
+//! The MTTKRP for the mode at level `l` is then a cheap per-node
+//! combine: `out[fid(n)] += P[l][n] .* B[l][n]` (for the root level,
+//! `out[fid(r)] += F_1(fid(c)) .* B[1][c]` over the root's children). In
+//! the steady AO sweep each half performs **one** full-depth traversal
+//! (to refresh its deepest below-slab after the other half's modes
+//! changed) and the remaining modes of the half reuse it — roughly
+//! halving per-iteration tensor traffic for `N >= 3`.
+//!
+//! **Invalidation.** Every slab records the factor modes it contracted
+//! (`dep_modes`) and the logical clock at which it was built; the plan
+//! bumps the clock in [`IterationPlan::note_factor_changed`]. A slab is
+//! stale exactly when some dependency changed after it was built, and
+//! stale slabs are recomputed lazily, deepest first — arbitrary update
+//! orders (including external single-mode edits) stay correct. Reuse is
+//! counted per call and surfaced as hit/miss statistics for
+//! [`crate::trace::ModeRecord`].
+//!
+//! **Memory and determinism.** All slabs plus the traversal scratch live
+//! in a [`SlabArena`] sized when the rank is first seen; steady-state
+//! calls perform zero heap allocation (the per-mode path's invariant,
+//! preserved). Every parallel loop runs over chunk lists frozen at plan
+//! build, and every output or slab row is written by exactly one task
+//! that accumulates its contributions in a fixed order — results are
+//! bit-identical across thread pools for a fixed plan, and agree with
+//! the per-mode oracle within the testkit tolerance policy (the
+//! association of floating-point additions differs, nothing else).
+
+use crate::config::Factorizer;
+use crate::error::AoAdmmError;
+use crate::mttkrp::RowScatter;
+use crate::mttkrp_plan::balance_by_prefix;
+use crate::mttkrp_sparse::LeafRepr;
+use crate::sparsity::{prepare_leaf, SparsityDecision, Structure};
+use rayon::prelude::*;
+use splinalg::{vecops, DMat, SlabArena, SlabId};
+use sptensor::{CooTensor, Csf};
+use std::marker::PhantomData;
+
+/// Outcome of one dimension-tree MTTKRP call.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeMttkrp {
+    /// Sparsity decision for the leaf factor read (dense when the call
+    /// reused memoized slabs and never touched the leaf per nonzero).
+    pub decision: SparsityDecision,
+    /// Memoized slabs found valid and reused by this call.
+    pub hits: u32,
+    /// Slabs that were stale (or never built) and had to be recomputed.
+    pub misses: u32,
+}
+
+/// One memoized slab family: a `rank`-row per node of one CSF level.
+#[derive(Debug)]
+struct Slab {
+    /// Node count at the covered level (rows of the slab).
+    rows: usize,
+    /// Arena segment (`rows * rank` doubles), assigned by `size_arena`.
+    id: SlabId,
+    /// Clock stamp of the last rebuild; 0 = never built.
+    built_at: u64,
+    /// Tensor modes whose factors this slab contracted.
+    dep_modes: Vec<usize>,
+    /// Frozen parallel chunks over the rebuild loop's domain (nodes at
+    /// `level` for below-slabs, parents at `level - 1` for above-slabs),
+    /// balanced by subtree nonzeros / child counts respectively.
+    chunks: Vec<std::ops::Range<usize>>,
+}
+
+/// Inverted index for serving a non-root level: nodes grouped by their
+/// fiber id, so each output row is written by exactly one task.
+#[derive(Debug)]
+struct ServeIndex {
+    /// Sorted distinct fiber ids present at the level.
+    fids: Vec<u32>,
+    /// Group boundaries into `nodes` (`fids.len() + 1` entries).
+    fid_ptr: Vec<usize>,
+    /// Node indices, grouped by fid, ascending within each group.
+    nodes: Vec<u32>,
+    /// Frozen chunks over fid groups, balanced by group size.
+    chunks: Vec<std::ops::Range<usize>>,
+}
+
+impl ServeIndex {
+    fn build(csf: &Csf, level: usize, target_chunks: usize) -> Self {
+        let mut pairs: Vec<(u32, u32)> = csf
+            .fids(level)
+            .iter()
+            .enumerate()
+            .map(|(n, &f)| (f, n as u32))
+            .collect();
+        pairs.sort_unstable();
+        let mut fids: Vec<u32> = Vec::new();
+        let mut fid_ptr: Vec<usize> = Vec::new();
+        let mut nodes: Vec<u32> = Vec::with_capacity(pairs.len());
+        for (f, n) in pairs {
+            if fids.last().copied() != Some(f) {
+                fids.push(f);
+                fid_ptr.push(nodes.len());
+            }
+            nodes.push(n);
+        }
+        fid_ptr.push(nodes.len());
+        let chunks = balance_by_prefix(&fid_ptr, target_chunks);
+        ServeIndex {
+            fids,
+            fid_ptr,
+            nodes,
+            chunks,
+        }
+    }
+}
+
+/// One of the two CSFs plus its memoized slabs and serve schedules.
+#[derive(Debug)]
+struct Half {
+    csf: Csf,
+    /// Number of top levels this half serves (its *home* levels).
+    levels: usize,
+    /// Deepest below-slab level, `max(1, levels - 1)`; rebuilt by direct
+    /// tensor traversal, shallower below-slabs fold up from it.
+    deep_level: usize,
+    /// Accumulator rows per traversal task for the deep rebuild
+    /// (`nmodes - 2 - deep_level`; one per intermediate level below).
+    scratch_levels: usize,
+    /// Arena segment for the deep rebuild's per-chunk scratch.
+    scratch_id: SlabId,
+    /// Below-slabs for levels `1 ..= deep_level` (index `l - 1`).
+    b: Vec<Slab>,
+    /// Above-slabs for levels `1 .. levels` (index `l - 1`).
+    p: Vec<Slab>,
+    /// Frozen root chunks for serving level 0, balanced by child count.
+    root_serve_chunks: Vec<std::ops::Range<usize>>,
+    /// Inverted serve indices for levels `1 .. levels` (index `l - 1`).
+    serve: Vec<ServeIndex>,
+}
+
+impl Half {
+    fn build(
+        tensor: &CooTensor,
+        order: &[usize],
+        levels: usize,
+        target_chunks: usize,
+        arena: &mut SlabArena,
+    ) -> Result<Self, AoAdmmError> {
+        let csf = Csf::from_coo(tensor, order)?;
+        let nmodes = csf.nmodes();
+        let deep_level = (levels - 1).max(1);
+        let scratch_levels = nmodes - 2 - deep_level;
+        let mut b = Vec::with_capacity(deep_level);
+        for l in 1..=deep_level {
+            let off = leaf_offsets(&csf, l);
+            b.push(Slab {
+                rows: csf.fids(l).len(),
+                id: arena.reserve(0),
+                built_at: 0,
+                dep_modes: csf.mode_order()[l + 1..].to_vec(),
+                chunks: balance_by_prefix(&off, target_chunks),
+            });
+        }
+        let mut p = Vec::with_capacity(levels.saturating_sub(1));
+        for l in 1..levels {
+            p.push(Slab {
+                rows: csf.fids(l).len(),
+                id: arena.reserve(0),
+                built_at: 0,
+                dep_modes: csf.mode_order()[..l].to_vec(),
+                chunks: balance_by_prefix(csf.fptr(l - 1), target_chunks),
+            });
+        }
+        let root_serve_chunks = balance_by_prefix(csf.fptr(0), target_chunks);
+        let serve = (1..levels)
+            .map(|l| ServeIndex::build(&csf, l, target_chunks))
+            .collect();
+        let scratch_id = arena.reserve(0);
+        Ok(Half {
+            csf,
+            levels,
+            deep_level,
+            scratch_levels,
+            scratch_id,
+            b,
+            p,
+            root_serve_chunks,
+            serve,
+        })
+    }
+}
+
+/// First-leaf offset of every node (plus one past the end) at `level`:
+/// the per-node nonzero counts used to balance traversal chunks.
+fn leaf_offsets(csf: &Csf, level: usize) -> Vec<usize> {
+    let n = csf.fids(level).len();
+    (0..=n)
+        .map(|mut i| {
+            for l in level..csf.nmodes() - 1 {
+                i = csf.fptr(l)[i];
+            }
+            i
+        })
+        .collect()
+}
+
+/// A cross-mode MTTKRP plan: two half-tree CSFs with memoized
+/// partial-MTTKRP slabs, serving every mode of the tensor.
+///
+/// Built once per tensor ([`IterationPlan::build`]), sized for a rank on
+/// first use, and driven by alternating [`IterationPlan::mttkrp`] /
+/// [`IterationPlan::note_factor_changed`] calls. See the module docs for
+/// the algorithm.
+#[derive(Debug)]
+pub struct IterationPlan {
+    dims: Vec<usize>,
+    nnz: usize,
+    /// Rank the arena is currently sized for (0 = not yet sized).
+    rank: usize,
+    halves: Vec<Half>,
+    /// Mode -> (half index, level within that half's CSF).
+    home: Vec<(usize, usize)>,
+    /// Logical clock; bumped by `note_factor_changed`.
+    clock: u64,
+    /// Clock value at which each mode's factor last changed.
+    last_changed: Vec<u64>,
+    arena: SlabArena,
+    total_hits: u64,
+    total_misses: u64,
+}
+
+impl IterationPlan {
+    /// Compile `tensor` into the two half-tree CSFs and their (unsized)
+    /// slab layout. Rejects tensors with fewer than three modes — the
+    /// tree has nothing to share there; callers fall back to the
+    /// per-mode path.
+    pub fn build(tensor: &CooTensor) -> Result<Self, AoAdmmError> {
+        let nmodes = tensor.nmodes();
+        if nmodes < 3 {
+            return Err(AoAdmmError::Config(format!(
+                "dimension-tree plan needs >= 3 modes, tensor has {nmodes}"
+            )));
+        }
+        let h = nmodes.div_ceil(2);
+        let order_a: Vec<usize> = (0..nmodes).collect();
+        let order_b: Vec<usize> = (h..nmodes).chain(0..h).collect();
+        let target_chunks = rayon::current_num_threads().max(1) * 8;
+        let mut arena = SlabArena::new();
+        let halves = vec![
+            Half::build(tensor, &order_a, h, target_chunks, &mut arena)?,
+            Half::build(tensor, &order_b, nmodes - h, target_chunks, &mut arena)?,
+        ];
+        let mut home = vec![(0usize, 0usize); nmodes];
+        for (hi, half) in halves.iter().enumerate() {
+            for l in 0..half.levels {
+                home[half.csf.mode_order()[l]] = (hi, l);
+            }
+        }
+        Ok(IterationPlan {
+            dims: tensor.dims().to_vec(),
+            nnz: tensor.nnz(),
+            rank: 0,
+            halves,
+            home,
+            clock: 1,
+            last_changed: vec![1; nmodes],
+            arena,
+            total_hits: 0,
+            total_misses: 0,
+        })
+    }
+
+    /// Mode lengths of the compiled tensor.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of modes.
+    pub fn nmodes(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Slab reuse hits accumulated over the plan's lifetime.
+    pub fn total_hits(&self) -> u64 {
+        self.total_hits
+    }
+
+    /// Slab rebuilds accumulated over the plan's lifetime.
+    pub fn total_misses(&self) -> u64 {
+        self.total_misses
+    }
+
+    /// Resident bytes of the slab arena (0 until the rank is known).
+    pub fn slab_memory_bytes(&self) -> usize {
+        self.arena.memory_bytes()
+    }
+
+    /// Record that `mode`'s factor matrix changed: every slab that
+    /// contracted it becomes stale and will be rebuilt on next use.
+    /// Drivers call this after each mode update; external callers must
+    /// do the same after editing a factor in place.
+    pub fn note_factor_changed(&mut self, mode: usize) {
+        if mode < self.last_changed.len() {
+            self.clock += 1;
+            self.last_changed[mode] = self.clock;
+        }
+    }
+
+    /// Grow mode lengths (streaming growth). Slabs and serve indices are
+    /// per-node and indices own no nonzeros yet, so everything stays
+    /// valid; new output rows are zeroed by the serve.
+    pub fn grow_dims(&mut self, new_dims: &[usize]) -> Result<(), AoAdmmError> {
+        for half in &mut self.halves {
+            half.csf.grow_dims(new_dims)?;
+        }
+        self.dims = new_dims.to_vec();
+        Ok(())
+    }
+
+    /// MTTKRP for `mode` under the dynamic-sparsity policy: when the
+    /// call must re-traverse the tensor (deep slab rebuild), the leaf
+    /// factor is read through the snapshot `cfg`'s policy chooses;
+    /// otherwise only memoized slabs and mid-level rows are touched and
+    /// the decision reports dense.
+    pub fn mttkrp(
+        &mut self,
+        mode: usize,
+        factors: &[DMat],
+        cfg: &Factorizer,
+        out: &mut DMat,
+    ) -> Result<TreeMttkrp, AoAdmmError> {
+        self.validate(mode, factors, out)?;
+        self.ensure_rank(out.ncols());
+        let (hi, level) = self.home[mode];
+        let leaf_mode = *self.halves[hi].csf.mode_order().last().unwrap();
+        let (leaf, decision) = if self.deep_rebuild_needed(hi, level) {
+            let prox = cfg.constraint_for(leaf_mode);
+            prepare_leaf(
+                &factors[leaf_mode],
+                prox.induces_sparsity(),
+                cfg.sparsity_config(),
+            )
+        } else {
+            (
+                LeafRepr::Dense,
+                SparsityDecision {
+                    density: 1.0,
+                    structure: Structure::Dense,
+                },
+            )
+        };
+        let (hits, misses) = match &leaf {
+            LeafRepr::Dense => self.run_mode(hi, level, factors, &factors[leaf_mode], out),
+            LeafRepr::Csr(csr) => self.run_mode(hi, level, factors, csr, out),
+            LeafRepr::Hybrid(h) => self.run_mode(hi, level, factors, h, out),
+        };
+        Ok(TreeMttkrp {
+            decision,
+            hits,
+            misses,
+        })
+    }
+
+    /// MTTKRP for `mode` with every factor read dense — the ALS/PGD
+    /// entry point (no sparsity policy in play).
+    pub fn mttkrp_dense(
+        &mut self,
+        mode: usize,
+        factors: &[DMat],
+        out: &mut DMat,
+    ) -> Result<TreeMttkrp, AoAdmmError> {
+        self.validate(mode, factors, out)?;
+        self.ensure_rank(out.ncols());
+        let (hi, level) = self.home[mode];
+        let leaf_mode = *self.halves[hi].csf.mode_order().last().unwrap();
+        let (hits, misses) = self.run_mode(hi, level, factors, &factors[leaf_mode], out);
+        Ok(TreeMttkrp {
+            decision: SparsityDecision {
+                density: 1.0,
+                structure: Structure::Dense,
+            },
+            hits,
+            misses,
+        })
+    }
+
+    // ---- internals ---------------------------------------------------
+
+    fn validate(&self, mode: usize, factors: &[DMat], out: &DMat) -> Result<(), AoAdmmError> {
+        let nmodes = self.dims.len();
+        if factors.len() != nmodes || mode >= nmodes {
+            return Err(AoAdmmError::Config(format!(
+                "{} factors / mode {mode} for a {nmodes}-mode tree plan",
+                factors.len()
+            )));
+        }
+        let f = out.ncols();
+        if out.nrows() != self.dims[mode] {
+            return Err(AoAdmmError::Config(format!(
+                "output has {} rows; mode {mode} has length {}",
+                out.nrows(),
+                self.dims[mode]
+            )));
+        }
+        for (m, fac) in factors.iter().enumerate() {
+            if fac.ncols() != f || (m != mode && fac.nrows() != self.dims[m]) {
+                return Err(AoAdmmError::Config(format!(
+                    "factor {m} is {}x{}; expected {}x{f}",
+                    fac.nrows(),
+                    fac.ncols(),
+                    self.dims[m]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Size (or re-size) the arena for `rank`: one segment per slab plus
+    /// per-half traversal scratch, reserved in a fixed order. A rank
+    /// change drops all memoized contents (stamps reset to unbuilt).
+    fn ensure_rank(&mut self, rank: usize) {
+        if self.rank == rank {
+            return;
+        }
+        self.arena.clear();
+        for half in &mut self.halves {
+            let deep_chunks = half.b[half.deep_level - 1].chunks.len();
+            half.scratch_id = self.arena.reserve(deep_chunks * half.scratch_levels * rank);
+            for s in half.b.iter_mut().chain(half.p.iter_mut()) {
+                s.id = self.arena.reserve(s.rows * rank);
+                s.built_at = 0;
+            }
+        }
+        self.rank = rank;
+    }
+
+    fn slab_valid(&self, s: &Slab) -> bool {
+        s.built_at > 0
+            && s.dep_modes
+                .iter()
+                .all(|&m| self.last_changed[m] <= s.built_at)
+    }
+
+    /// Would serving `(hi, level)` right now trigger a full-depth tensor
+    /// traversal? True iff every below-slab from the serving level down
+    /// to the deep level is stale.
+    fn deep_rebuild_needed(&self, hi: usize, level: usize) -> bool {
+        let half = &self.halves[hi];
+        (level.max(1)..=half.deep_level).all(|l| !self.slab_valid(&half.b[l - 1]))
+    }
+
+    fn run_mode<L: RowScatter>(
+        &mut self,
+        hi: usize,
+        level: usize,
+        factors: &[DMat],
+        leaf: &L,
+        out: &mut DMat,
+    ) -> (u32, u32) {
+        let mut hits = 0u32;
+        let mut misses = 0u32;
+        self.ensure_b(hi, level.max(1), factors, leaf, &mut hits, &mut misses);
+        if level >= 1 {
+            self.ensure_p(hi, level, factors, &mut hits, &mut misses);
+        }
+        self.serve(hi, level, factors, out);
+        self.total_hits += u64::from(hits);
+        self.total_misses += u64::from(misses);
+        (hits, misses)
+    }
+
+    /// Make below-slab `level` of half `hi` current, rebuilding it (and,
+    /// transitively, deeper below-slabs) if stale. The deepest slab is
+    /// rebuilt by direct tensor traversal; shallower ones fold up from
+    /// the level below.
+    fn ensure_b<L: RowScatter>(
+        &mut self,
+        hi: usize,
+        level: usize,
+        factors: &[DMat],
+        leaf: &L,
+        hits: &mut u32,
+        misses: &mut u32,
+    ) {
+        if self.slab_valid(&self.halves[hi].b[level - 1]) {
+            *hits += 1;
+            return;
+        }
+        *misses += 1;
+        if level == self.halves[hi].deep_level {
+            self.rebuild_b_deep(hi, factors, leaf);
+        } else {
+            self.ensure_b(hi, level + 1, factors, leaf, hits, misses);
+            self.rebuild_b_shallow(hi, level, factors);
+        }
+        self.halves[hi].b[level - 1].built_at = self.clock;
+    }
+
+    /// Make above-slab `level` of half `hi` current (and, transitively,
+    /// shallower above-slabs — `P[l]` extends `P[l-1]` by one factor).
+    fn ensure_p(
+        &mut self,
+        hi: usize,
+        level: usize,
+        factors: &[DMat],
+        hits: &mut u32,
+        misses: &mut u32,
+    ) {
+        if self.slab_valid(&self.halves[hi].p[level - 1]) {
+            *hits += 1;
+            return;
+        }
+        *misses += 1;
+        if level > 1 {
+            self.ensure_p(hi, level - 1, factors, hits, misses);
+        }
+        self.rebuild_p(hi, level, factors);
+        self.halves[hi].p[level - 1].built_at = self.clock;
+    }
+
+    /// Rebuild the deepest below-slab by traversing every subtree under
+    /// its level: `B[n] = sum_children vec(child)` with `vec` the
+    /// standard bottom-up CSF value. Parallel over frozen node chunks;
+    /// each task owns its nodes' slab rows and a disjoint scratch
+    /// region, so no synchronization and a fixed summation order.
+    fn rebuild_b_deep<L: RowScatter>(&mut self, hi: usize, factors: &[DMat], leaf: &L) {
+        let rank = self.rank;
+        let half = &self.halves[hi];
+        let csf = &half.csf;
+        let l_deep = half.deep_level;
+        let slab = &half.b[l_deep - 1];
+        let per_chunk = half.scratch_levels * rank;
+        let (slab_data, scratch_data) = self.arena.get_pair_mut(slab.id, half.scratch_id);
+        let slab_w = SliceWriter::new(slab_data);
+        let scratch_w = SliceWriter::new(scratch_data);
+        let fptr = csf.fptr(l_deep);
+        slab.chunks.par_iter().enumerate().for_each(|(ci, chunk)| {
+            // SAFETY: chunks partition the nodes, so each task writes
+            // disjoint slab rows; scratch regions are indexed by chunk
+            // position and equally sized, so they are disjoint too.
+            let scratch = unsafe { scratch_w.slice_mut(ci * per_chunk, per_chunk) };
+            for n in chunk.clone() {
+                let row = unsafe { slab_w.slice_mut(n * rank, rank) };
+                vecops::fill(row, 0.0);
+                below_sum(
+                    csf,
+                    factors,
+                    leaf,
+                    l_deep + 1,
+                    fptr[n]..fptr[n + 1],
+                    scratch,
+                    rank,
+                    row,
+                );
+            }
+        });
+    }
+
+    /// Rebuild below-slab `level` from the one directly below it:
+    /// `B[level][n] = sum_children F_{mode(level+1)}(fid(c)) .* B[level+1][c]`.
+    fn rebuild_b_shallow(&mut self, hi: usize, level: usize, factors: &[DMat]) {
+        let rank = self.rank;
+        let half = &self.halves[hi];
+        let csf = &half.csf;
+        let slab = &half.b[level - 1];
+        let deeper_id = half.b[level].id;
+        let (dst, src) = self.arena.get_pair_mut(slab.id, deeper_id);
+        let w = SliceWriter::new(dst);
+        let src: &[f64] = src;
+        let fids_child = csf.fids(level + 1);
+        let fptr = csf.fptr(level);
+        let fac = &factors[csf.mode_order()[level + 1]];
+        slab.chunks.par_iter().for_each(|chunk| {
+            for n in chunk.clone() {
+                // SAFETY: chunks partition the nodes; row `n` is written
+                // only by the task owning `n`'s chunk.
+                let row = unsafe { w.slice_mut(n * rank, rank) };
+                vecops::fill(row, 0.0);
+                for c in fptr[n]..fptr[n + 1] {
+                    vecops::hadamard_acc(
+                        &src[c * rank..(c + 1) * rank],
+                        fac.row(fids_child[c] as usize),
+                        row,
+                    );
+                }
+            }
+        });
+    }
+
+    /// Rebuild above-slab `level`: each node inherits its parent's
+    /// ancestor product extended by the parent's own factor row
+    /// (`P[1][c] = F_{mode(0)}(fid(root))`). Parallel over frozen parent
+    /// chunks; a parent's children are contiguous, so writes stay
+    /// disjoint.
+    fn rebuild_p(&mut self, hi: usize, level: usize, factors: &[DMat]) {
+        let rank = self.rank;
+        let half = &self.halves[hi];
+        let csf = &half.csf;
+        let slab = &half.p[level - 1];
+        let fids_par = csf.fids(level - 1);
+        let fptr = csf.fptr(level - 1);
+        let fac = &factors[csf.mode_order()[level - 1]];
+        if level == 1 {
+            let w = SliceWriter::new(self.arena.get_mut(slab.id));
+            slab.chunks.par_iter().for_each(|chunk| {
+                for pn in chunk.clone() {
+                    let frow = fac.row(fids_par[pn] as usize);
+                    for c in fptr[pn]..fptr[pn + 1] {
+                        // SAFETY: parents partition their contiguous
+                        // child ranges across chunks.
+                        unsafe { w.slice_mut(c * rank, rank) }.copy_from_slice(frow);
+                    }
+                }
+            });
+        } else {
+            let shallower_id = half.p[level - 2].id;
+            let (dst, src) = self.arena.get_pair_mut(slab.id, shallower_id);
+            let w = SliceWriter::new(dst);
+            let src: &[f64] = src;
+            slab.chunks.par_iter().for_each(|chunk| {
+                for pn in chunk.clone() {
+                    let frow = fac.row(fids_par[pn] as usize);
+                    let prow = &src[pn * rank..(pn + 1) * rank];
+                    for c in fptr[pn]..fptr[pn + 1] {
+                        // SAFETY: as above — contiguous disjoint child
+                        // ranges per parent.
+                        let row = unsafe { w.slice_mut(c * rank, rank) };
+                        for t in 0..rank {
+                            row[t] = prow[t] * frow[t];
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// Combine memoized slabs into the MTTKRP output for the mode at
+    /// `(hi, level)`. Every output row is written by exactly one task in
+    /// a fixed order (root fids are unique; non-root levels go through
+    /// the inverted fid index).
+    fn serve(&mut self, hi: usize, level: usize, factors: &[DMat], out: &mut DMat) {
+        let rank = self.rank;
+        out.fill(0.0);
+        let w = SliceWriter::new(out.as_mut_slice());
+        let half = &self.halves[hi];
+        let csf = &half.csf;
+        if level == 0 {
+            let b1 = self.arena.get(half.b[0].id);
+            let fac1 = &factors[csf.mode_order()[1]];
+            let fids0 = csf.fids(0);
+            let fptr0 = csf.fptr(0);
+            let fids1 = csf.fids(1);
+            half.root_serve_chunks.par_iter().for_each(|chunk| {
+                for r in chunk.clone() {
+                    // SAFETY: root fids are strictly increasing and
+                    // unique; each row belongs to one task.
+                    let row = unsafe { w.slice_mut(fids0[r] as usize * rank, rank) };
+                    for c in fptr0[r]..fptr0[r + 1] {
+                        vecops::hadamard_acc(
+                            &b1[c * rank..(c + 1) * rank],
+                            fac1.row(fids1[c] as usize),
+                            row,
+                        );
+                    }
+                }
+            });
+        } else {
+            let bl = self.arena.get(half.b[level - 1].id);
+            let pl = self.arena.get(half.p[level - 1].id);
+            let idx = &half.serve[level - 1];
+            idx.chunks.par_iter().for_each(|chunk| {
+                for g in chunk.clone() {
+                    // SAFETY: fid groups are disjoint by construction;
+                    // each output row belongs to one task.
+                    let row = unsafe { w.slice_mut(idx.fids[g] as usize * rank, rank) };
+                    for k in idx.fid_ptr[g]..idx.fid_ptr[g + 1] {
+                        let n = idx.nodes[k] as usize;
+                        vecops::hadamard_acc(
+                            &pl[n * rank..(n + 1) * rank],
+                            &bl[n * rank..(n + 1) * rank],
+                            row,
+                        );
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Accumulate `sum_{node in range} vec(node)` into `target`, where
+/// `vec(node) = F_{mode(level)}(fid) .* sum_children vec(child)` and
+/// leaves contribute `val * Leaf(fid, :)`. `scratch` holds one
+/// `rank`-row per intermediate level below `level` (flat, caller-owned
+/// — no allocation).
+#[allow(clippy::too_many_arguments)]
+fn below_sum<L: RowScatter>(
+    csf: &Csf,
+    factors: &[DMat],
+    leaf: &L,
+    level: usize,
+    range: std::ops::Range<usize>,
+    scratch: &mut [f64],
+    rank: usize,
+    target: &mut [f64],
+) {
+    if level == csf.nmodes() - 1 {
+        let fids = csf.fids(level);
+        let vals = csf.vals();
+        for n in range {
+            leaf.scatter_row(fids[n] as usize, vals[n], target);
+        }
+        return;
+    }
+    let fids = csf.fids(level);
+    let fptr = csf.fptr(level);
+    let fac = &factors[csf.mode_order()[level]];
+    for n in range {
+        let (buf, rest) = scratch.split_at_mut(rank);
+        vecops::fill(buf, 0.0);
+        below_sum(
+            csf,
+            factors,
+            leaf,
+            level + 1,
+            fptr[n]..fptr[n + 1],
+            rest,
+            rank,
+            buf,
+        );
+        vecops::hadamard_acc(buf, fac.row(fids[n] as usize), target);
+    }
+}
+
+/// Raw-pointer view of a flat buffer whose sub-slices are written
+/// concurrently at *provably disjoint* offsets (see the SAFETY comments
+/// at each use site). The dimension-tree analogue of the per-mode
+/// kernel's row writer, generalized from matrix rows to arbitrary
+/// disjoint ranges (slab rows, scratch regions).
+struct SliceWriter<'a> {
+    data: *mut f64,
+    len: usize,
+    _marker: PhantomData<&'a mut f64>,
+}
+
+// SAFETY: every use hands disjoint ranges to different tasks — chunk
+// lists partition node/root/group domains, and scratch regions are
+// indexed by chunk position.
+unsafe impl Send for SliceWriter<'_> {}
+unsafe impl Sync for SliceWriter<'_> {}
+
+impl<'a> SliceWriter<'a> {
+    fn new(s: &'a mut [f64]) -> Self {
+        SliceWriter {
+            data: s.as_mut_ptr(),
+            len: s.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// `start + len <= self.len` and no other thread may hold a
+    /// reference overlapping `[start, start + len)`.
+    // Returning &mut from &self is the point of this wrapper: disjoint
+    // ranges are handed to different tasks under the caller's aliasing
+    // contract.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [f64] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut(self.data.add(start), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mttkrp::mttkrp_reference;
+    use sptensor::gen;
+
+    fn random_factors(dims: &[usize], f: usize, seed: u64) -> Vec<DMat> {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        dims.iter()
+            .map(|&d| DMat::random(d, f, -1.0, 1.0, &mut rng))
+            .collect()
+    }
+
+    fn assert_close(a: &DMat, b: &DMat, what: &str) {
+        let d = a.max_abs_diff(b);
+        assert!(d < 1e-9, "{what}: max abs diff {d}");
+    }
+
+    #[test]
+    fn tree_matches_reference_all_modes_orders_3_to_5() {
+        for (dims, nnz) in [
+            (vec![12, 9, 15], 400usize),
+            (vec![8, 7, 6, 5], 350),
+            (vec![6, 5, 4, 5, 3], 300),
+        ] {
+            let coo = gen::random_uniform(&dims, nnz, 11).unwrap();
+            let factors = random_factors(&dims, 4, 12);
+            let mut plan = IterationPlan::build(&coo).unwrap();
+            for mode in 0..dims.len() {
+                let mut out = DMat::zeros(dims[mode], 4);
+                plan.mttkrp_dense(mode, &factors, &mut out).unwrap();
+                let want = mttkrp_reference(&coo, &factors, mode).unwrap();
+                assert_close(&out, &want, &format!("{}-mode, mode {mode}", dims.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn ao_sweep_reuses_slabs_and_stays_correct() {
+        let dims = vec![10, 8, 9, 7];
+        let coo = gen::random_uniform(&dims, 600, 21).unwrap();
+        let mut factors = random_factors(&dims, 3, 22);
+        let mut plan = IterationPlan::build(&coo).unwrap();
+        let mut total_hits = 0u32;
+        for sweep in 0..3 {
+            for mode in 0..4 {
+                let mut out = DMat::zeros(dims[mode], 3);
+                let r = plan.mttkrp_dense(mode, &factors, &mut out).unwrap();
+                total_hits += r.hits;
+                let want = mttkrp_reference(&coo, &factors, mode).unwrap();
+                assert_close(&out, &want, &format!("sweep {sweep}, mode {mode}"));
+                // Simulate the mode update the driver would perform.
+                factors[mode].scale(1.0 + 0.1 * (mode as f64 + 1.0));
+                plan.note_factor_changed(mode);
+            }
+        }
+        assert!(total_hits > 0, "no slab was ever reused across a sweep");
+        assert_eq!(u64::from(total_hits), plan.total_hits());
+    }
+
+    #[test]
+    fn stale_slabs_recompute_after_external_single_mode_update() {
+        let dims = vec![9, 7, 8, 6];
+        let coo = gen::random_uniform(&dims, 500, 31).unwrap();
+        let mut factors = random_factors(&dims, 4, 32);
+        let mut plan = IterationPlan::build(&coo).unwrap();
+        // Warm every slab.
+        for mode in 0..4 {
+            let mut out = DMat::zeros(dims[mode], 4);
+            plan.mttkrp_dense(mode, &factors, &mut out).unwrap();
+        }
+        // Change exactly one factor out of band, in every position.
+        for changed in 0..4 {
+            factors[changed].scale(-0.5);
+            plan.note_factor_changed(changed);
+            for mode in 0..4 {
+                let mut out = DMat::zeros(dims[mode], 4);
+                plan.mttkrp_dense(mode, &factors, &mut out).unwrap();
+                let want = mttkrp_reference(&coo, &factors, mode).unwrap();
+                assert_close(&out, &want, &format!("changed {changed}, mode {mode}"));
+            }
+        }
+    }
+
+    #[test]
+    fn missing_note_factor_changed_serves_stale_results_by_design() {
+        // The memoization contract: without note_factor_changed the plan
+        // may keep serving from slabs built against the old factor.
+        let dims = vec![8, 7, 6];
+        let coo = gen::random_uniform(&dims, 300, 41).unwrap();
+        let mut factors = random_factors(&dims, 3, 42);
+        let mut plan = IterationPlan::build(&coo).unwrap();
+        let mut before = DMat::zeros(dims[0], 3);
+        plan.mttkrp_dense(0, &factors, &mut before).unwrap();
+        factors[2].scale(3.0); // silent edit
+        let mut after = DMat::zeros(dims[0], 3);
+        plan.mttkrp_dense(0, &factors, &mut after).unwrap();
+        assert_eq!(before.max_abs_diff(&after), 0.0, "slab should be reused");
+        plan.note_factor_changed(2);
+        plan.mttkrp_dense(0, &factors, &mut after).unwrap();
+        let want = mttkrp_reference(&coo, &factors, 0).unwrap();
+        assert_close(&after, &want, "after invalidation");
+    }
+
+    #[test]
+    fn rank_change_resizes_and_stays_correct() {
+        let dims = vec![7, 6, 5, 4];
+        let coo = gen::random_uniform(&dims, 250, 51).unwrap();
+        let mut plan = IterationPlan::build(&coo).unwrap();
+        for rank in [3usize, 6, 2] {
+            let factors = random_factors(&dims, rank, 52 + rank as u64);
+            for mode in 0..4 {
+                let mut out = DMat::zeros(dims[mode], rank);
+                plan.mttkrp_dense(mode, &factors, &mut out).unwrap();
+                let want = mttkrp_reference(&coo, &factors, mode).unwrap();
+                assert_close(&out, &want, &format!("rank {rank}, mode {mode}"));
+            }
+        }
+    }
+
+    #[test]
+    fn grow_dims_zeroes_new_rows() {
+        let dims = vec![6, 5, 4];
+        let coo = gen::random_uniform(&dims, 200, 61).unwrap();
+        let mut plan = IterationPlan::build(&coo).unwrap();
+        let new_dims = vec![9, 5, 7];
+        plan.grow_dims(&new_dims).unwrap();
+        let factors = random_factors(&new_dims, 3, 62);
+        for mode in 0..3 {
+            let mut out = DMat::zeros(new_dims[mode], 3);
+            out.fill(5.0); // dirty
+            plan.mttkrp_dense(mode, &factors, &mut out).unwrap();
+            // Compare against the reference over the grown logical shape.
+            let mut grown = coo.clone();
+            for (m, &d) in new_dims.iter().enumerate() {
+                grown.grow_mode(m, d).unwrap();
+            }
+            let want = mttkrp_reference(&grown, &factors, mode).unwrap();
+            assert_close(&out, &want, &format!("grown mode {mode}"));
+        }
+    }
+
+    #[test]
+    fn rejects_fewer_than_three_modes() {
+        let coo = gen::random_uniform(&[10, 8], 50, 71).unwrap();
+        assert!(IterationPlan::build(&coo).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let dims = vec![6, 5, 4];
+        let coo = gen::random_uniform(&dims, 100, 81).unwrap();
+        let mut plan = IterationPlan::build(&coo).unwrap();
+        let factors = random_factors(&dims, 3, 82);
+        let mut bad_rows = DMat::zeros(7, 3);
+        assert!(plan.mttkrp_dense(0, &factors, &mut bad_rows).is_err());
+        let mut out = DMat::zeros(6, 3);
+        let short: Vec<DMat> = factors[..2].to_vec();
+        assert!(plan.mttkrp_dense(0, &short, &mut out).is_err());
+    }
+}

@@ -18,6 +18,7 @@
 //! is reached.
 
 use crate::config::{CsfPolicy, Factorizer};
+use crate::dimtree::IterationPlan;
 use crate::error::AoAdmmError;
 use crate::kruskal::{relative_error_fast, KruskalModel};
 use crate::mttkrp_onecsf::mttkrp_one_csf_planned;
@@ -25,6 +26,7 @@ use crate::mttkrp_plan::{build_mode_plans, MttkrpPlan, PlanStrategy};
 use crate::sparsity::{prepare_leaf, SparsityDecision, Structure};
 use crate::trace::{FactorizeTrace, IterRecord, ModeRecord};
 use admm::{admm_update_ws, AdmmWorkspace};
+use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use splinalg::{ops, panel, DMat, Workspace};
@@ -48,6 +50,35 @@ pub struct FactorizeResult {
     pub grams: Vec<DMat>,
 }
 
+/// What one [`TensorSource::mttkrp`] call did: the sparsity decision for
+/// the leaf factor, the plan strategy that ran, and — on the
+/// dimension-tree path — how many memoized slabs were reused vs rebuilt.
+#[derive(Debug, Clone, Copy)]
+pub struct MttkrpInfo {
+    /// Sparsity decision taken for the leaf factor read.
+    pub decision: SparsityDecision,
+    /// Plan strategy that ran (`None` on the one-CSF conflicting-update
+    /// path, which has no root-mode plan strategy).
+    pub strategy: Option<PlanStrategy>,
+    /// Dimension-tree slabs found valid and reused (0 off the tree path).
+    pub slab_hits: u32,
+    /// Dimension-tree slabs rebuilt because a dependency factor changed
+    /// (0 off the tree path).
+    pub slab_misses: u32,
+}
+
+impl MttkrpInfo {
+    /// Info for the per-mode / one-CSF paths, which have no slab cache.
+    fn flat(decision: SparsityDecision, strategy: Option<PlanStrategy>) -> Self {
+        MttkrpInfo {
+            decision,
+            strategy,
+            slab_hits: 0,
+            slab_misses: 0,
+        }
+    }
+}
+
 /// Something the AO-ADMM outer loop can be driven from: the driver only
 /// needs per-mode MTTKRP plus the logical shape and data norm. The
 /// static representation is [`PreparedTensor`]; the streaming crate adds
@@ -64,14 +95,18 @@ pub trait TensorSource: Sync {
     fn norm_sq(&self) -> f64;
     /// `out = X_(mode) * khatri_rao(other factors)`, applying the
     /// dynamic-sparsity policy where the representation allows it.
-    /// Returns the sparsity decision and the plan strategy that ran.
     fn mttkrp(
         &self,
         mode: usize,
         factors: &[DMat],
         cfg: &Factorizer,
         out: &mut DMat,
-    ) -> Result<(SparsityDecision, Option<PlanStrategy>), AoAdmmError>;
+    ) -> Result<MttkrpInfo, AoAdmmError>;
+    /// Notification that `mode`'s factor matrix changed since the last
+    /// MTTKRP. Sources that memoize cross-mode intermediates (the
+    /// dimension-tree plan) use this to invalidate them; the default is
+    /// a no-op. The driver calls it after every ADMM mode update.
+    fn note_factor_changed(&self, _mode: usize) {}
 }
 
 /// A tensor compiled into its CSF representation(s) with MTTKRP
@@ -108,6 +143,7 @@ impl PreparedTensor {
                 }
             }
             CsfSet::One(csf, _) => csf.grow_dims(new_dims)?,
+            CsfSet::Tree(plan) => plan.get_mut().grow_dims(new_dims)?,
         }
         self.dims = new_dims.to_vec();
         Ok(())
@@ -133,8 +169,14 @@ impl TensorSource for PreparedTensor {
         factors: &[DMat],
         cfg: &Factorizer,
         out: &mut DMat,
-    ) -> Result<(SparsityDecision, Option<PlanStrategy>), AoAdmmError> {
+    ) -> Result<MttkrpInfo, AoAdmmError> {
         self.set.mttkrp(mode, factors, cfg, out)
+    }
+
+    fn note_factor_changed(&self, mode: usize) {
+        if let CsfSet::Tree(plan) = &self.set {
+            plan.lock().note_factor_changed(mode);
+        }
     }
 }
 
@@ -147,6 +189,11 @@ impl TensorSource for PreparedTensor {
 enum CsfSet {
     PerMode(Vec<(Csf, MttkrpPlan)>),
     One(Csf, MttkrpPlan),
+    // The dimension-tree plan memoizes cross-mode slabs, so serving a
+    // mode mutates it; the mutex bridges that to the &self TensorSource
+    // interface. The outer loop serves modes sequentially, so the lock
+    // is uncontended.
+    Tree(Mutex<IterationPlan>),
 }
 
 impl CsfSet {
@@ -158,6 +205,9 @@ impl CsfSet {
                 let csf = Csf::from_coo_rooted(tensor, root)?;
                 let plan = MttkrpPlan::build(&csf);
                 Ok(CsfSet::One(csf, plan))
+            }
+            CsfPolicy::DimTree if tensor.nmodes() >= 3 => {
+                Ok(CsfSet::Tree(Mutex::new(IterationPlan::build(tensor)?)))
             }
             _ => Ok(CsfSet::PerMode(build_mode_plans(tensor)?)),
         }
@@ -174,7 +224,7 @@ impl CsfSet {
         factors: &[DMat],
         cfg: &Factorizer,
         out: &mut DMat,
-    ) -> Result<(SparsityDecision, Option<PlanStrategy>), AoAdmmError> {
+    ) -> Result<MttkrpInfo, AoAdmmError> {
         let dense_decision = SparsityDecision {
             density: 1.0,
             structure: Structure::Dense,
@@ -190,7 +240,7 @@ impl CsfSet {
                     cfg.sparsity_config(),
                 );
                 leaf.mttkrp_planned(csf, plan, factors, out)?;
-                Ok((decision, Some(plan.strategy())))
+                Ok(MttkrpInfo::flat(decision, Some(plan.strategy())))
             }
             CsfSet::One(csf, plan) => {
                 if csf.mode_order()[0] == mode {
@@ -202,11 +252,20 @@ impl CsfSet {
                         cfg.sparsity_config(),
                     );
                     leaf.mttkrp_planned(csf, plan, factors, out)?;
-                    Ok((decision, Some(plan.strategy())))
+                    Ok(MttkrpInfo::flat(decision, Some(plan.strategy())))
                 } else {
                     mttkrp_one_csf_planned(csf, plan, factors, mode, out)?;
-                    Ok((dense_decision, None))
+                    Ok(MttkrpInfo::flat(dense_decision, None))
                 }
+            }
+            CsfSet::Tree(plan) => {
+                let tree = plan.lock().mttkrp(mode, factors, cfg, out)?;
+                Ok(MttkrpInfo {
+                    decision: tree.decision,
+                    strategy: Some(PlanStrategy::DimTree),
+                    slab_hits: tree.hits,
+                    slab_misses: tree.misses,
+                })
             }
         }
     }
@@ -401,7 +460,7 @@ fn run(
             // Line 5/9/13: MTTKRP (timed together with any sparse
             // snapshot build, which is part of its cost).
             let tm = Instant::now();
-            let (decision, strategy) = source.mttkrp(m, &factors, cfg, &mut kbufs[m])?;
+            let info = source.mttkrp(m, &factors, cfg, &mut kbufs[m])?;
             let mttkrp_time = tm.elapsed();
 
             // Line 6/10/14: inner ADMM.
@@ -417,6 +476,10 @@ fn run(
             )?;
             let admm_time = ta.elapsed();
 
+            // The ADMM step rewrote factors[m]; memoizing sources must
+            // drop any cached intermediate that read the old values.
+            source.note_factor_changed(m);
+
             // Refresh this mode's Gram matrix for subsequent modes
             // (panel kernel, bit-identical to `factors[m].gram()`).
             panel::gram_into(&factors[m], &mut lin_ws, &mut grams[m])?;
@@ -429,12 +492,14 @@ fn run(
 
             modes.push(ModeRecord {
                 mode: m,
-                mttkrp_strategy: strategy,
+                mttkrp_strategy: info.strategy,
                 mttkrp: mttkrp_time,
                 admm: admm_time,
                 admm_iterations: stats.iterations,
                 admm_row_iterations: stats.row_iterations,
-                sparsity: decision,
+                sparsity: info.decision,
+                slab_hits: info.slab_hits,
+                slab_misses: info.slab_misses,
             });
         }
 
@@ -681,6 +746,69 @@ mod tests {
             .factorize(&t)
             .unwrap();
         assert_eq!(res.model.nmodes(), 4);
+    }
+
+    #[test]
+    fn dimtree_policy_matches_per_mode() {
+        let t = small_tensor();
+        let run = |policy: CsfPolicy| {
+            Factorizer::new(5)
+                .constrain_all(constraints::nonneg())
+                .csf_policy(policy)
+                .max_outer(6)
+                .seed(8)
+                .factorize(&t)
+                .unwrap()
+        };
+        let per_mode = run(CsfPolicy::PerMode);
+        let tree = run(CsfPolicy::DimTree);
+        assert!(
+            (per_mode.trace.final_error - tree.trace.final_error).abs() < 1e-8,
+            "{} vs {}",
+            per_mode.trace.final_error,
+            tree.trace.final_error
+        );
+        for m in 0..3 {
+            assert!(per_mode.model.factor(m).max_abs_diff(tree.model.factor(m)) < 1e-6);
+        }
+        // Steady-state sweeps reuse memoized slabs; the trace must see
+        // both the strategy tag and nonzero hit counters.
+        let last = tree.trace.iterations.last().unwrap();
+        assert!(last
+            .modes
+            .iter()
+            .all(|r| r.mttkrp_strategy == Some(PlanStrategy::DimTree)));
+        assert!(last.modes.iter().any(|r| r.slab_hits > 0));
+        let flat_last = per_mode.trace.iterations.last().unwrap();
+        assert!(flat_last
+            .modes
+            .iter()
+            .all(|r| r.slab_hits == 0 && r.slab_misses == 0));
+    }
+
+    #[test]
+    fn dimtree_policy_works_on_four_modes() {
+        let mut cfg = PlantedConfig::small();
+        cfg.dims = vec![10, 8, 9, 7];
+        cfg.zipf_exponents = vec![0.5; 4];
+        cfg.nnz = 1_000;
+        let t = planted(&cfg).unwrap();
+        let run = |policy: CsfPolicy| {
+            Factorizer::new(4)
+                .csf_policy(policy)
+                .max_outer(4)
+                .seed(2)
+                .factorize(&t)
+                .unwrap()
+        };
+        let per_mode = run(CsfPolicy::PerMode);
+        let tree = run(CsfPolicy::DimTree);
+        assert!(
+            (per_mode.trace.final_error - tree.trace.final_error).abs() < 1e-8,
+            "{} vs {}",
+            per_mode.trace.final_error,
+            tree.trace.final_error
+        );
     }
 
     #[test]

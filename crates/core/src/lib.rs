@@ -47,6 +47,7 @@ pub mod als;
 pub mod block_model;
 pub mod checkpoint;
 pub mod config;
+pub mod dimtree;
 pub mod driver;
 pub mod error;
 pub mod kruskal;
@@ -61,9 +62,10 @@ pub mod sparsity;
 pub mod trace;
 
 pub use config::{CsfPolicy, Factorizer};
+pub use dimtree::{IterationPlan, TreeMttkrp};
 pub use driver::{
-    factorize, factorize_prepared, factorize_warm, init_factors, FactorizeResult, PreparedTensor,
-    TensorSource,
+    factorize, factorize_prepared, factorize_warm, init_factors, FactorizeResult, MttkrpInfo,
+    PreparedTensor, TensorSource,
 };
 pub use error::AoAdmmError;
 pub use kruskal::KruskalModel;

@@ -511,7 +511,8 @@ mod tests {
         // Dense matricization X_(1) is 5 x 12 with column j*3 + k
         // (mode-1 matricization pairs (j, k) with k fastest, matching
         // khatri_rao(B, C) whose row j*K + k is B(j,:) .* C(k,:)).
-        let kr = splinalg::ops::khatri_rao(&factors[1], &factors[2]).unwrap();
+        let mut kr = DMat::zeros(factors[1].nrows() * factors[2].nrows(), 2);
+        splinalg::ops::khatri_rao_into(&factors[1], &factors[2], &mut kr).unwrap();
         let mut x1 = DMat::zeros(5, 12);
         for n in 0..coo.nnz() {
             let (i, j, k) = (

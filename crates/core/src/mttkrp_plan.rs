@@ -46,6 +46,13 @@ pub enum PlanStrategy {
     /// reduction. Used when few or heavily skewed roots would starve
     /// root-level parallelism (third-order tensors only).
     FiberPrivatized,
+    /// Serve the mode from the cross-mode dimension tree
+    /// ([`crate::dimtree::IterationPlan`]), reusing partial-MTTKRP slabs
+    /// memoized by earlier modes of the same outer iteration. This label
+    /// is reported by the tree path for traces; a per-CSF [`MttkrpPlan`]
+    /// never executes it (a forced request falls back to
+    /// [`PlanStrategy::RootParallel`]).
+    DimTree,
 }
 
 impl PlanStrategy {
@@ -54,6 +61,7 @@ impl PlanStrategy {
         match self {
             PlanStrategy::RootParallel => "root-parallel",
             PlanStrategy::FiberPrivatized => "fiber-privatized",
+            PlanStrategy::DimTree => "dim-tree",
         }
     }
 }
@@ -151,11 +159,13 @@ impl MttkrpPlan {
             Some(s) => s,
             None => choose_strategy(csf.nmodes(), threads, nroots, nnz, nfibers, max_root_nnz),
         };
-        // The fiber traversal is only defined for three levels.
-        let strategy = if chosen == PlanStrategy::FiberPrivatized && csf.nmodes() != 3 {
-            PlanStrategy::RootParallel
-        } else {
-            chosen
+        // The fiber traversal is only defined for three levels, and the
+        // dimension tree is not a per-CSF strategy at all — both
+        // normalize to the root traversal here.
+        let strategy = match chosen {
+            PlanStrategy::FiberPrivatized if csf.nmodes() != 3 => PlanStrategy::RootParallel,
+            PlanStrategy::DimTree => PlanStrategy::RootParallel,
+            s => s,
         };
 
         let root_chunks = balance_by_prefix(&offsets, threads * 8);
@@ -186,7 +196,7 @@ impl MttkrpPlan {
         };
 
         let chunks = match strategy {
-            PlanStrategy::RootParallel => root_chunks.len(),
+            PlanStrategy::RootParallel | PlanStrategy::DimTree => root_chunks.len(),
             PlanStrategy::FiberPrivatized => fiber_chunks.len(),
         };
         MttkrpPlan {
@@ -275,7 +285,10 @@ fn choose_strategy(
 /// cumulative weight of items `0..i`) into at most `target_chunks`
 /// contiguous ranges of roughly equal weight. Every chunk gets at least
 /// one item; an item heavier than the even share gets its own chunk.
-fn balance_by_prefix(prefix: &[usize], target_chunks: usize) -> Vec<std::ops::Range<usize>> {
+pub(crate) fn balance_by_prefix(
+    prefix: &[usize],
+    target_chunks: usize,
+) -> Vec<std::ops::Range<usize>> {
     let n = prefix.len() - 1;
     if n == 0 {
         return Vec::new();
@@ -486,5 +499,21 @@ mod tests {
     fn strategy_names_are_stable() {
         assert_eq!(PlanStrategy::RootParallel.name(), "root-parallel");
         assert_eq!(PlanStrategy::FiberPrivatized.name(), "fiber-privatized");
+        assert_eq!(PlanStrategy::DimTree.name(), "dim-tree");
+    }
+
+    #[test]
+    fn forced_dimtree_strategy_falls_back_to_root_parallel() {
+        // DimTree is a cross-mode label, not a per-CSF traversal.
+        let coo = gen::random_uniform(&[10, 10, 10], 300, 41).unwrap();
+        let csf = Csf::from_coo_rooted(&coo, 0).unwrap();
+        let plan = MttkrpPlan::with_options(
+            &csf,
+            PlanOptions {
+                threads: Some(4),
+                force_strategy: Some(PlanStrategy::DimTree),
+            },
+        );
+        assert_eq!(plan.strategy(), PlanStrategy::RootParallel);
     }
 }

@@ -20,9 +20,10 @@
 //! AO-ADMM. The `baselines` harness binary quantifies that gap.
 
 use crate::config::Factorizer;
+use crate::dimtree::IterationPlan;
 use crate::error::AoAdmmError;
 use crate::kruskal::{relative_error_fast, KruskalModel};
-use crate::mttkrp_plan::build_mode_plans;
+use crate::mttkrp_plan::{build_mode_plans, PlanStrategy};
 use crate::sparsity::{SparsityDecision, Structure};
 use crate::trace::{FactorizeTrace, IterRecord, ModeRecord};
 use crate::FactorizeResult;
@@ -50,6 +51,10 @@ pub struct PgdConfig {
     pub step_safety: f64,
     /// Factor-initialization seed.
     pub seed: u64,
+    /// Serve MTTKRP from a dimension-tree plan ([`crate::dimtree`])
+    /// instead of per-mode CSFs. Ignored for tensors with fewer than
+    /// three modes.
+    pub use_dimtree: bool,
 }
 
 impl Default for PgdConfig {
@@ -61,6 +66,7 @@ impl Default for PgdConfig {
             tol: 1e-6,
             step_safety: 1.0,
             seed: 0,
+            use_dimtree: false,
         }
     }
 }
@@ -98,9 +104,19 @@ pub fn pgd_factorize(
     let dims = tensor.dims().to_vec();
     let t0 = Instant::now();
 
-    // Per-mode CSFs and their MTTKRP execution plans, built in parallel
-    // once and reused across every outer iteration.
-    let csfs = build_mode_plans(tensor)?;
+    // MTTKRP engine: dimension-tree plan or per-mode CSFs with their
+    // execution plans, built once and reused across every outer
+    // iteration (see als.rs).
+    let mut tree = if cfg.use_dimtree && nmodes >= 3 {
+        Some(IterationPlan::build(tensor)?)
+    } else {
+        None
+    };
+    let csfs = if tree.is_some() {
+        Vec::new()
+    } else {
+        build_mode_plans(tensor)?
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut factors: Vec<DMat> = dims
         .iter()
@@ -137,7 +153,21 @@ pub fn pgd_factorize(
             let gram = &gram_buf;
 
             let tm = Instant::now();
-            crate::mttkrp::mttkrp_dense_planned(&csfs[m].0, &csfs[m].1, &factors, &mut kbufs[m])?;
+            let (strategy, slab_hits, slab_misses) = match tree.as_mut() {
+                Some(plan) => {
+                    let t = plan.mttkrp_dense(m, &factors, &mut kbufs[m])?;
+                    (PlanStrategy::DimTree, t.hits, t.misses)
+                }
+                None => {
+                    crate::mttkrp::mttkrp_dense_planned(
+                        &csfs[m].0,
+                        &csfs[m].1,
+                        &factors,
+                        &mut kbufs[m],
+                    )?;
+                    (csfs[m].1.strategy(), 0, 0)
+                }
+            };
             let mttkrp_time = tm.elapsed();
 
             let ta = Instant::now();
@@ -188,13 +218,17 @@ pub fn pgd_factorize(
             }
             let grad_time = ta.elapsed();
 
+            if let Some(plan) = tree.as_mut() {
+                plan.note_factor_changed(m);
+            }
+
             panel::gram_into(&factors[m], &mut lin_ws, &mut grams[m])?;
             if m == nmodes - 1 {
                 last_inner = ops::inner_product(&kbufs[m], &factors[m])?;
             }
             modes.push(ModeRecord {
                 mode: m,
-                mttkrp_strategy: Some(csfs[m].1.strategy()),
+                mttkrp_strategy: Some(strategy),
                 mttkrp: mttkrp_time,
                 admm: grad_time,
                 admm_iterations: cfg.inner_steps,
@@ -203,6 +237,8 @@ pub fn pgd_factorize(
                     density: 1.0,
                     structure: Structure::Dense,
                 },
+                slab_hits,
+                slab_misses,
             });
         }
 
@@ -305,6 +341,43 @@ mod tests {
             "AO-ADMM {} vs PGD {}",
             admm_res.trace.final_error,
             pgd_res.trace.final_error
+        );
+    }
+
+    #[test]
+    fn pgd_dimtree_matches_per_mode() {
+        let t = tensor();
+        let fz = Factorizer::new(6).constrain_all(constraints::nonneg());
+        let cfg = PgdConfig {
+            rank: 6,
+            max_outer: 10,
+            seed: 4,
+            ..Default::default()
+        };
+        let flat = pgd_factorize(&t, &fz, &cfg).unwrap();
+        let tree = pgd_factorize(
+            &t,
+            &fz,
+            &PgdConfig {
+                use_dimtree: true,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert!(
+            (flat.trace.final_error - tree.trace.final_error).abs() < 1e-7,
+            "flat {} vs tree {}",
+            flat.trace.final_error,
+            tree.trace.final_error
+        );
+        let last = tree.trace.iterations.last().unwrap();
+        assert!(last
+            .modes
+            .iter()
+            .all(|r| r.mttkrp_strategy == Some(PlanStrategy::DimTree)));
+        assert!(
+            last.modes.iter().any(|r| r.slab_hits > 0),
+            "steady state should reuse slabs"
         );
     }
 

@@ -28,6 +28,12 @@ pub struct ModeRecord {
     pub admm_row_iterations: u64,
     /// Sparsity decision taken for this mode's MTTKRP leaf factor.
     pub sparsity: SparsityDecision,
+    /// Dimension-tree slabs reused from the memo cache by this mode's
+    /// MTTKRP (0 off the [`CsfPolicy::DimTree`](crate::CsfPolicy) path).
+    pub slab_hits: u32,
+    /// Dimension-tree slabs recomputed because a dependency factor
+    /// changed (0 off the dimension-tree path).
+    pub slab_misses: u32,
 }
 
 /// Record of one outer iteration.
@@ -183,6 +189,8 @@ mod tests {
                 density: 1.0,
                 structure: Structure::Dense,
             },
+            slab_hits: 0,
+            slab_misses: 0,
         }
     }
 

@@ -43,7 +43,7 @@ pub use csr::CsrMatrix;
 pub use dense::DMat;
 pub use error::LinalgError;
 pub use hybrid::HybridMat;
-pub use workspace::Workspace;
+pub use workspace::{SlabArena, SlabId, Workspace};
 
 /// Column/row index type used by sparse matrix structures.
 ///

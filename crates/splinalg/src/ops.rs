@@ -20,8 +20,33 @@ pub fn khatri_rao(b: &DMat, c: &DMat) -> Result<DMat, LinalgError> {
             rhs: (c.nrows(), c.ncols()),
         });
     }
+    let mut out = DMat::zeros(b.nrows() * c.nrows(), b.ncols());
+    khatri_rao_into(b, c, &mut out)?;
+    Ok(out)
+}
+
+/// [`khatri_rao`] into a caller-owned `J*K x F` output, allocation-free.
+///
+/// Repeated oracle comparisons and the dimension-tree slab rebuilds call
+/// the Khatri–Rao product in a loop; writing into reused workspace
+/// storage keeps the allocator off those paths. Every entry of `out` is
+/// overwritten.
+pub fn khatri_rao_into(b: &DMat, c: &DMat, out: &mut DMat) -> Result<(), LinalgError> {
+    if b.ncols() != c.ncols() {
+        return Err(LinalgError::DimMismatch {
+            op: "khatri_rao_into",
+            lhs: (b.nrows(), b.ncols()),
+            rhs: (c.nrows(), c.ncols()),
+        });
+    }
+    if out.nrows() != b.nrows() * c.nrows() || out.ncols() != b.ncols() {
+        return Err(LinalgError::DimMismatch {
+            op: "khatri_rao_into",
+            lhs: (b.nrows() * c.nrows(), b.ncols()),
+            rhs: (out.nrows(), out.ncols()),
+        });
+    }
     let f = b.ncols();
-    let mut out = DMat::zeros(b.nrows() * c.nrows(), f);
     for j in 0..b.nrows() {
         let brow = b.row(j);
         for k in 0..c.nrows() {
@@ -32,7 +57,7 @@ pub fn khatri_rao(b: &DMat, c: &DMat) -> Result<DMat, LinalgError> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Elementwise (Hadamard) product of two equally shaped matrices.
@@ -176,6 +201,21 @@ mod tests {
         let b = DMat::zeros(2, 2);
         let c = DMat::zeros(2, 3);
         assert!(khatri_rao(&b, &c).is_err());
+    }
+
+    #[test]
+    fn khatri_rao_into_matches_allocating_version() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let b = DMat::random(6, 3, -1.0, 1.0, &mut rng);
+        let c = DMat::random(4, 3, -1.0, 1.0, &mut rng);
+        let want = khatri_rao(&b, &c).unwrap();
+        let mut out = DMat::zeros(24, 3);
+        out.fill(77.0); // stale contents must be fully overwritten
+        khatri_rao_into(&b, &c, &mut out).unwrap();
+        assert_eq!(want.as_slice(), out.as_slice());
+        // Wrong output shape is rejected, not silently resized.
+        let mut bad = DMat::zeros(23, 3);
+        assert!(khatri_rao_into(&b, &c, &mut bad).is_err());
     }
 
     #[test]

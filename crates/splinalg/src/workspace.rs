@@ -64,6 +64,102 @@ impl Workspace {
     }
 }
 
+/// Handle to one reserved segment of a [`SlabArena`].
+///
+/// Opaque index — only meaningful for the arena that issued it, and only
+/// until the next [`SlabArena::clear`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlabId(usize);
+
+/// Segmented scratch arena for memoized kernel intermediates.
+///
+/// Unlike [`Workspace`], whose buffers are anonymous scratch reused by
+/// whichever kernel runs next, a `SlabArena` hands out *named* segments
+/// ([`SlabId`]) whose contents persist across calls — the storage for
+/// dimension-tree partial-MTTKRP slabs that are built in one mode update
+/// and read back in later ones. All segments live in a single backing
+/// `Vec` reserved up front at plan build, so steady-state iterations
+/// never touch the allocator and the slabs stay contiguous in memory.
+#[derive(Debug, Default)]
+pub struct SlabArena {
+    data: Vec<f64>,
+    segs: Vec<std::ops::Range<usize>>,
+}
+
+impl SlabArena {
+    /// Create an empty arena; segments are reserved with [`SlabArena::reserve`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all segments but keep the backing capacity, so a re-reserve
+    /// at the same or smaller total size performs no allocation.
+    pub fn clear(&mut self) {
+        self.segs.clear();
+        self.data.clear();
+    }
+
+    /// Reserve a new zero-initialized segment of `len` doubles and return
+    /// its handle. Reservation may allocate; do it at plan build, not in
+    /// the steady state.
+    pub fn reserve(&mut self, len: usize) -> SlabId {
+        let start = self.data.len();
+        self.data.resize(start + len, 0.0);
+        self.segs.push(start..start + len);
+        SlabId(self.segs.len() - 1)
+    }
+
+    /// Read access to a segment.
+    pub fn get(&self, id: SlabId) -> &[f64] {
+        &self.data[self.segs[id.0].clone()]
+    }
+
+    /// Write access to a segment.
+    pub fn get_mut(&mut self, id: SlabId) -> &mut [f64] {
+        &mut self.data[self.segs[id.0].clone()]
+    }
+
+    /// Simultaneous mutable access to two *distinct* segments — the
+    /// split borrow a slab rebuild needs when one slab is accumulated
+    /// from (or alongside) another.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn get_pair_mut(&mut self, a: SlabId, b: SlabId) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(a.0, b.0, "get_pair_mut needs two distinct segments");
+        let (ar, br) = (self.segs[a.0].clone(), self.segs[b.0].clone());
+        // Segments are reserved back to back, so one always ends at or
+        // before the other's start (equality only via empty segments).
+        if ar.end <= br.start {
+            let (lo, hi) = self.data.split_at_mut(br.start);
+            (&mut lo[ar], &mut hi[..br.len()])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(ar.start);
+            (&mut hi[..ar.len()], &mut lo[br])
+        }
+    }
+
+    /// Number of reserved segments.
+    pub fn num_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Total doubles across all reserved segments.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no segments are reserved.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Resident bytes of the backing storage (capacity, not length).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +184,74 @@ mod tests {
         ws.gram_partials(9).fill(1.0);
         ws.panel(4).fill(2.0);
         assert!(ws.gram_partials(9).iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn slab_arena_segments_are_disjoint_and_persistent() {
+        let mut a = SlabArena::new();
+        let s0 = a.reserve(4);
+        let s1 = a.reserve(3);
+        a.get_mut(s0).fill(1.0);
+        a.get_mut(s1).fill(2.0);
+        assert_eq!(a.get(s0), &[1.0; 4]);
+        assert_eq!(a.get(s1), &[2.0; 3]);
+        assert_eq!(a.num_segments(), 2);
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
+    fn slab_arena_split_borrow_both_orders() {
+        let mut a = SlabArena::new();
+        let s0 = a.reserve(2);
+        let s1 = a.reserve(2);
+        a.get_mut(s0).fill(3.0);
+        a.get_mut(s1).fill(5.0);
+        {
+            let (w, r) = a.get_pair_mut(s0, s1);
+            assert_eq!(&*r, &[5.0, 5.0]);
+            w[0] = r[0] + 1.0;
+        }
+        {
+            let (w, r) = a.get_pair_mut(s1, s0);
+            assert_eq!(r[0], 6.0);
+            w[1] = 9.0;
+        }
+        assert_eq!(a.get(s0), &[6.0, 3.0]);
+        assert_eq!(a.get(s1), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn slab_arena_clear_keeps_capacity() {
+        let mut a = SlabArena::new();
+        let _ = a.reserve(64);
+        let cap = a.memory_bytes();
+        a.clear();
+        assert!(a.is_empty());
+        let _ = a.reserve(32);
+        assert_eq!(
+            a.memory_bytes(),
+            cap,
+            "clear + smaller reserve must not reallocate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct segments")]
+    fn slab_arena_rejects_aliased_split_borrow() {
+        let mut a = SlabArena::new();
+        let s = a.reserve(2);
+        let _ = a.get_pair_mut(s, s);
+    }
+
+    #[test]
+    fn slab_arena_split_borrow_with_empty_segment() {
+        // Zero-length segments share a start offset with their
+        // neighbour; the split must still resolve.
+        let mut a = SlabArena::new();
+        let empty = a.reserve(0);
+        let full = a.reserve(3);
+        let (e, f) = a.get_pair_mut(empty, full);
+        assert!(e.is_empty());
+        assert_eq!(f.len(), 3);
     }
 }

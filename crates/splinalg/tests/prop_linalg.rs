@@ -63,7 +63,8 @@ proptest! {
         let f = b.ncols();
         let mut rng = ChaCha8Rng::seed_from_u64(c_seed);
         let c = DMat::random(6, f, -1.0, 1.0, &mut rng);
-        let kr = ops::khatri_rao(&c, &b).unwrap();
+        let mut kr = DMat::zeros(c.nrows() * b.nrows(), f);
+        ops::khatri_rao_into(&c, &b, &mut kr).unwrap();
         let lhs = kr.gram();
         let rhs = ops::hadamard(&b.gram(), &c.gram()).unwrap();
         prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);

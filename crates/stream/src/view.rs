@@ -13,8 +13,7 @@
 //! batch without recompiling anything until the merge policy fires.
 
 use crate::delta::DeltaBuffer;
-use aoadmm::sparsity::SparsityDecision;
-use aoadmm::{AoAdmmError, Factorizer, PlanStrategy, PreparedTensor, TensorSource};
+use aoadmm::{AoAdmmError, Factorizer, MttkrpInfo, PreparedTensor, TensorSource};
 use splinalg::{vecops, DMat};
 use sptensor::CooTensor;
 
@@ -59,14 +58,18 @@ impl TensorSource for DeltaView<'_> {
         factors: &[DMat],
         cfg: &Factorizer,
         out: &mut DMat,
-    ) -> Result<(SparsityDecision, Option<PlanStrategy>), AoAdmmError> {
-        let decision = self.prepared.mttkrp(mode, factors, cfg, out)?;
+    ) -> Result<MttkrpInfo, AoAdmmError> {
+        let info = self.prepared.mttkrp(mode, factors, cfg, out)?;
         let scale = self.buf.base_scale();
         if scale != 1.0 {
             out.scale(scale);
         }
         delta_mttkrp_add(self.buf.delta_coo(), factors, mode, out)?;
-        Ok(decision)
+        Ok(info)
+    }
+
+    fn note_factor_changed(&self, mode: usize) {
+        self.prepared.note_factor_changed(mode);
     }
 }
 

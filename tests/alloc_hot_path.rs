@@ -152,6 +152,49 @@ fn steady_state_fused_update_does_not_allocate() {
 }
 
 #[test]
+fn dimtree_steady_state_sweeps_do_not_allocate() {
+    // The dimension-tree plan sizes its slab arena once, at the first
+    // MTTKRP of a given rank; after that, full AO sweeps — including the
+    // slab rebuilds forced by note_factor_changed — must run entirely in
+    // the arena and the frozen chunk schedules.
+    use aoadmm::IterationPlan;
+    use rand::SeedableRng;
+    let t = sptensor::gen::random_uniform(&[18, 14, 10, 8], 900, 53).unwrap();
+    let rank = 6;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(54);
+    let factors: Vec<DMat> = t
+        .dims()
+        .iter()
+        .map(|&d| DMat::random(d, rank, -1.0, 1.0, &mut rng))
+        .collect();
+    let mut outs: Vec<DMat> = t.dims().iter().map(|&d| DMat::zeros(d, rank)).collect();
+    let mut plan = IterationPlan::build(&t).unwrap();
+
+    let sweep = |plan: &mut IterationPlan, outs: &mut [DMat]| {
+        for (mode, out) in outs.iter_mut().enumerate() {
+            plan.mttkrp_dense(mode, &factors, out).unwrap();
+            // Pretend the mode update rewrote the factor, as the AO loop
+            // does: forces the same invalidation/rebuild traffic.
+            plan.note_factor_changed(mode);
+        }
+    };
+
+    // Warm-up: arena sized, chunk scratch at its high-water mark.
+    sweep(&mut plan, &mut outs);
+
+    let allocs = count_allocations(|| {
+        for _ in 0..3 {
+            sweep(&mut plan, &mut outs);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "3 steady-state dim-tree sweeps allocated {allocs} times"
+    );
+    assert!(plan.total_hits() > 0);
+}
+
+#[test]
 fn warm_panel_solve_does_not_allocate() {
     let f = 8;
     let (grams, k) = problem(3 * 32 + 7, f, 47);

@@ -9,9 +9,13 @@
 //! edge cases: empty root slices, single-fiber roots, empty tensors and
 //! plan/CSF pairing rejection.
 
+use admm::constraints;
 use aoadmm::mttkrp::{mttkrp_dense, mttkrp_dense_planned, mttkrp_reference};
 use aoadmm::mttkrp_onecsf::mttkrp_one_csf;
-use aoadmm::{MttkrpPlan, PlanOptions, PlanStrategy};
+use aoadmm::{
+    Factorizer, IterationPlan, MttkrpPlan, PlanOptions, PlanStrategy, SparsityConfig, Structure,
+    StructureChoice,
+};
 use splinalg::DMat;
 use sptensor::{CooTensor, Csf};
 use testkit::shrink::{describe, shrink_tensor};
@@ -281,6 +285,168 @@ fn empty_tensor_is_rejected_before_planning() {
         Csf::from_coo_rooted(&empty, 0).is_err(),
         "CSF construction must reject an empty tensor (so no plan can exist for one)"
     );
+}
+
+// ---- Dimension-tree iteration plan -----------------------------------
+
+/// Tensors the dimension-tree suite runs over: 3, 4 and 5 modes, with
+/// uniform and skewed index distributions.
+fn dimtree_zoo() -> Vec<CooTensor> {
+    vec![
+        gen::tensor(&[14, 11, 9], 600, 161),
+        gen::skewed_tensor(&[40, 7, 25], 1_500, 3.0, 162),
+        gen::tensor(&[8, 7, 6, 5], 400, 163),
+        gen::skewed_tensor(&[12, 5, 9, 7], 900, 2.0, 164),
+        gen::tensor(&[6, 5, 4, 5, 3], 350, 165),
+    ]
+}
+
+#[test]
+fn dimtree_matches_oracle_all_modes_all_orders_all_threads() {
+    for (ti, coo) in dimtree_zoo().iter().enumerate() {
+        let factors = gen::factors(coo.dims(), 4, -1.0, 1.0, 600 + ti as u64);
+        for threads in THREAD_SWEEP {
+            let p = pool(threads);
+            p.install(|| {
+                let mut plan = IterationPlan::build(coo).unwrap();
+                // Two full AO-style sweeps: the first populates the slab
+                // cache, the second serves from it.
+                for sweep in 0..2 {
+                    for mode in 0..coo.nmodes() {
+                        let mut out = DMat::zeros(coo.dims()[mode], 4);
+                        plan.mttkrp_dense(mode, &factors, &mut out).unwrap();
+                        let want = oracle::mttkrp(coo, &factors, mode);
+                        testkit::assert_mats_close(
+                            &format!(
+                                "dim-tree tensor {ti}, sweep {sweep}, mode {mode}, \
+                                 {threads} threads"
+                            ),
+                            &out,
+                            &want,
+                            KERNEL_RTOL,
+                            KERNEL_ATOL,
+                        );
+                    }
+                }
+                assert!(plan.total_hits() > 0, "second sweep must reuse slabs");
+            });
+        }
+    }
+}
+
+#[test]
+fn dimtree_leaf_read_variants_match_oracle() {
+    // The sparsity-gated entry point reads the leaf factor through the
+    // snapshot the policy chooses; force each representation in turn.
+    let coo = gen::skewed_tensor(&[12, 15, 10, 6], 1_100, 2.0, 171);
+    let factors = gen::factors(coo.dims(), 5, 0.0, 1.0, 172);
+    for choice in [
+        StructureChoice::Force(Structure::Dense),
+        StructureChoice::Force(Structure::Csr),
+        StructureChoice::Force(Structure::Hybrid),
+    ] {
+        // A sparsity-inducing constraint so the policy engages at all.
+        let cfg = Factorizer::new(5)
+            .constrain_all(constraints::nonneg())
+            .sparsity(SparsityConfig {
+                choice,
+                ..Default::default()
+            });
+        let mut plan = IterationPlan::build(&coo).unwrap();
+        for mode in 0..coo.nmodes() {
+            let mut out = DMat::zeros(coo.dims()[mode], 5);
+            plan.mttkrp(mode, &factors, &cfg, &mut out).unwrap();
+            let want = oracle::mttkrp(&coo, &factors, mode);
+            testkit::assert_mats_close(
+                &format!("dim-tree leaf variant {choice:?}, mode {mode}"),
+                &out,
+                &want,
+                KERNEL_RTOL,
+                KERNEL_ATOL,
+            );
+        }
+    }
+}
+
+#[test]
+fn dimtree_stale_subtrees_recompute_after_single_mode_updates() {
+    // AO-style single-mode updates: after each factor change (and its
+    // note_factor_changed), every mode's MTTKRP must match the oracle on
+    // the *current* factors — any stale slab that survives invalidation
+    // shows up as a mismatch here.
+    for (ti, coo) in dimtree_zoo().iter().enumerate() {
+        let mut factors = gen::factors(coo.dims(), 3, -1.0, 1.0, 700 + ti as u64);
+        let mut plan = IterationPlan::build(coo).unwrap();
+        // Warm the cache.
+        for mode in 0..coo.nmodes() {
+            let mut out = DMat::zeros(coo.dims()[mode], 3);
+            plan.mttkrp_dense(mode, &factors, &mut out).unwrap();
+        }
+        for changed in 0..coo.nmodes() {
+            let fresh = gen::factors(
+                coo.dims(),
+                3,
+                -1.0,
+                1.0,
+                710 + 7 * ti as u64 + changed as u64,
+            );
+            factors[changed] = fresh[changed].clone();
+            plan.note_factor_changed(changed);
+            for mode in 0..coo.nmodes() {
+                let mut out = DMat::zeros(coo.dims()[mode], 3);
+                plan.mttkrp_dense(mode, &factors, &mut out).unwrap();
+                let want = oracle::mttkrp(coo, &factors, mode);
+                testkit::assert_mats_close(
+                    &format!("tensor {ti}: after updating mode {changed}, serving mode {mode}"),
+                    &out,
+                    &want,
+                    KERNEL_RTOL,
+                    KERNEL_ATOL,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dimtree_is_bit_deterministic_across_pools() {
+    // The plan freezes its chunk schedule and reduction order at build;
+    // recomputing every slab under a different pool must land on
+    // bit-identical output.
+    let coo = gen::skewed_tensor(&[9, 22, 18, 6], 1_200, 2.5, 181);
+    let factors = gen::factors(coo.dims(), 4, -1.0, 1.0, 182);
+    let mut plan = pool(1).install(|| IterationPlan::build(&coo).unwrap());
+    let mut base: Vec<DMat> = Vec::new();
+    pool(1).install(|| {
+        for mode in 0..coo.nmodes() {
+            let mut out = DMat::zeros(coo.dims()[mode], 4);
+            plan.mttkrp_dense(mode, &factors, &mut out).unwrap();
+            base.push(out);
+        }
+    });
+    for threads in THREAD_SWEEP {
+        // Invalidate everything so each pool recomputes from scratch.
+        for mode in 0..coo.nmodes() {
+            plan.note_factor_changed(mode);
+        }
+        pool(threads).install(|| {
+            for (mode, want) in base.iter().enumerate() {
+                let mut out = DMat::zeros(coo.dims()[mode], 4);
+                plan.mttkrp_dense(mode, &factors, &mut out).unwrap();
+                assert_eq!(
+                    want.max_abs_diff(&out),
+                    0.0,
+                    "dim-tree mode {mode} not bit-deterministic at {threads} threads"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn dimtree_rejects_matrices() {
+    let coo = gen::tensor(&[30, 20], 400, 191);
+    assert!(IterationPlan::build(&coo).is_err());
 }
 
 #[test]
