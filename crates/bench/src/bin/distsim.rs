@@ -1,15 +1,17 @@
-//! Distributed-memory simulation (paper Section IV-B's closing remark):
-//! communication volume and estimated overhead of coarse-grained 1D
-//! distributed AO-ADMM as the node count grows — demonstrating that the
-//! blocked ADMM itself contributes *zero* communication and the volume
-//! is dominated by MTTKRP reductions and factor gathers.
+//! Sharded-execution communication profile (paper Section IV-B's closing
+//! remark): measured wire bytes and estimated overhead of the sharded
+//! AO-ADMM engine as the shard count grows — demonstrating that blocked
+//! ADMM itself contributes *zero* communication and the volume is
+//! dominated by MTTKRP reduce-scatters and factor allgathers, with the
+//! split-mode factor never travelling at all.
 //!
 //! Usage: `cargo run --release -p aoadmm-bench --bin distsim -- \
 //!         [--scale 0.25] [--rank 25] [--max-outer 3] [--seed 1]`
 
 use admm::{constraints, AdmmConfig};
+use aoadmm::Factorizer;
 use aoadmm_bench::{csv_writer, load_analog, Args};
-use aoadmm_distsim::{dist_factorize, CostModel, DistConfig};
+use aoadmm_distsim::{shard_factorize, Phase, ShardConfig};
 use sptensor::gen::Analog;
 use std::io::Write;
 
@@ -24,62 +26,60 @@ fn main() {
     let mut fixed = AdmmConfig::blocked(50);
     fixed.tol = 0.0;
     fixed.max_inner = 10;
+    let cfg = Factorizer::new(rank)
+        .constrain_all(constraints::nonneg())
+        .admm(fixed)
+        .max_outer(max_outer)
+        .tolerance(0.0)
+        .seed(seed);
 
+    println!("Sharded AO-ADMM engine, Reddit analog, rank {rank}, {max_outer} outer iters\n");
     println!(
-        "Simulated distributed AO-ADMM (coarse 1D), Reddit analog, rank {rank}, {max_outer} outer iters\n"
-    );
-    println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10}",
-        "nodes", "MTTKRP MB", "factor MB", "gram MB", "est comm s", "max nnz/node", "rel err"
+        "{:>7} {:>12} {:>12} {:>12} {:>10} {:>13} {:>10}",
+        "shards", "KReduce MB", "factor MB", "gram MB", "est comm s", "max nnz/shard", "rel err"
     );
     let (mut csv, path) = csv_writer("distsim");
     writeln!(
         csv,
-        "nodes,mttkrp_bytes,factor_bytes,gram_bytes,est_comm_seconds,max_node_nnz,final_error"
+        "shards,kreduce_bytes,factor_bytes,gram_bytes,est_comm_seconds,max_shard_nnz,final_error"
     )
     .unwrap();
 
     let mut reference_err = None;
     for p in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = DistConfig {
-            nnodes: p,
-            rank,
-            max_outer,
-            tol: 0.0,
-            seed,
-            admm: fixed,
-            cost: CostModel::default(),
-        };
-        let res = dist_factorize(&t, constraints::nonneg(), &cfg).expect("distributed run");
+        let res = shard_factorize(&t, &cfg, &ShardConfig::new(p)).expect("sharded run");
+        assert_eq!(
+            res.comm.diff_from_prediction(&res.predicted),
+            None,
+            "measured traffic deviates from the analytic model"
+        );
+        let kreduce = res.comm.phase_bytes(Phase::KReduce);
+        let factor = res.comm.phase_bytes(Phase::FactorRows);
+        let gram = res.comm.phase_bytes(Phase::GramReduce);
         let mb = |b: u64| b as f64 / 1e6;
         println!(
-            "{p:>6} {:>12.2} {:>12.2} {:>12.3} {:>10.4} {:>12} {:>10.4}",
-            mb(res.comm.mttkrp_bytes),
-            mb(res.comm.factor_bytes),
-            mb(res.comm.gram_bytes),
+            "{p:>7} {:>12.2} {:>12.2} {:>12.3} {:>10.4} {:>13} {:>10.4}",
+            mb(kreduce),
+            mb(factor),
+            mb(gram),
             res.est_comm_seconds,
-            res.max_node_nnz,
-            res.final_error
+            res.max_shard_nnz,
+            res.trace.final_error
         );
         writeln!(
             csv,
-            "{p},{},{},{},{:.6},{},{:.6}",
-            res.comm.mttkrp_bytes,
-            res.comm.factor_bytes,
-            res.comm.gram_bytes,
-            res.est_comm_seconds,
-            res.max_node_nnz,
-            res.final_error
+            "{p},{kreduce},{factor},{gram},{:.6},{},{:.6}",
+            res.est_comm_seconds, res.max_shard_nnz, res.trace.final_error
         )
         .unwrap();
-        // Numerical invariance across node counts.
-        let r = *reference_err.get_or_insert(res.final_error);
+        // Numerical invariance across shard counts.
+        let r = *reference_err.get_or_insert(res.trace.final_error);
         assert!(
-            (res.final_error - r).abs() < 1e-8,
-            "node count changed the answer: {r} vs {}",
-            res.final_error
+            (res.trace.final_error - r).abs() < 1e-8,
+            "shard count changed the answer: {r} vs {}",
+            res.trace.final_error
         );
     }
-    println!("\n(final error is node-count invariant; ADMM adds zero communicated bytes)");
+    println!("\n(final error is shard-count invariant; ADMM adds zero communicated bytes)");
     println!("wrote {}", path.display());
 }

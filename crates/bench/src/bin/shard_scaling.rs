@@ -1,0 +1,98 @@
+//! Shard-scaling harness for the sharded execution engine: wall time,
+//! measured wire bytes and per-shard load as the shard count and the
+//! per-shard pool size grow, on a planted tensor large enough for the
+//! partition to matter.
+//!
+//! The CSV checked in under `bench_results/shard_scaling.csv` is
+//! produced by this binary; CI compiles it on every push and the full
+//! run regenerates the numbers.
+//!
+//! Usage: `cargo run --release -p aoadmm-bench --bin shard_scaling -- \
+//!         [--scale 0.25] [--rank 16] [--max-outer 4] [--seed 2] \
+//!         [--threads 1]`
+
+use admm::{constraints, AdmmConfig};
+use aoadmm::Factorizer;
+use aoadmm_bench::{csv_writer, load_analog, Args};
+use aoadmm_distsim::{shard_factorize, Phase, ShardConfig};
+use sptensor::gen::Analog;
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.25);
+    let rank: usize = args.get("rank", 16);
+    let max_outer: usize = args.get("max-outer", 4);
+    let seed: u64 = args.get("seed", 2);
+    let threads: usize = args.get("threads", 1);
+
+    let t = load_analog(Analog::Amazon, scale, seed);
+    let mut fixed = AdmmConfig::blocked(50);
+    fixed.tol = 0.0;
+    fixed.max_inner = 8;
+    let cfg = Factorizer::new(rank)
+        .constrain_all(constraints::nonneg())
+        .admm(fixed)
+        .max_outer(max_outer)
+        .tolerance(0.0)
+        .seed(seed);
+
+    println!(
+        "Shard scaling, Amazon analog {:?} ({} nnz), rank {rank}, {max_outer} rounds, {threads} thread(s)/shard\n",
+        t.dims(),
+        t.nnz()
+    );
+    println!(
+        "{:>7} {:>9} {:>10} {:>12} {:>13} {:>10} {:>10}",
+        "shards", "time s", "rel err", "wire MB", "max nnz/shard", "balance", "est comm s"
+    );
+    let (mut csv, path) = csv_writer("shard_scaling");
+    writeln!(
+        csv,
+        "shards,threads_per_shard,seconds,final_error,total_bytes,kreduce_bytes,factor_bytes,\
+         gram_bytes,max_shard_nnz,nnz_balance,est_comm_seconds"
+    )
+    .unwrap();
+
+    let ideal = |s: usize| t.nnz().div_ceil(s).max(1) as f64;
+    let mut reference_err = None;
+    for s in [1usize, 2, 3, 4, 6, 8] {
+        let sc = ShardConfig::new(s).threads_per_shard(threads);
+        let t0 = Instant::now();
+        let res = shard_factorize(&t, &cfg, &sc).expect("sharded run");
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            res.comm.diff_from_prediction(&res.predicted),
+            None,
+            "measured traffic deviates from the analytic model"
+        );
+        let balance = res.max_shard_nnz as f64 / ideal(s);
+        println!(
+            "{s:>7} {secs:>9.3} {:>10.5} {:>12.3} {:>13} {balance:>10.3} {:>10.5}",
+            res.trace.final_error,
+            res.comm.total_bytes() as f64 / 1e6,
+            res.max_shard_nnz,
+            res.est_comm_seconds
+        );
+        writeln!(
+            csv,
+            "{s},{threads},{secs:.4},{:.6},{},{},{},{},{},{balance:.4},{:.6}",
+            res.trace.final_error,
+            res.comm.total_bytes(),
+            res.comm.phase_bytes(Phase::KReduce),
+            res.comm.phase_bytes(Phase::FactorRows),
+            res.comm.phase_bytes(Phase::GramReduce),
+            res.max_shard_nnz,
+            res.est_comm_seconds
+        )
+        .unwrap();
+        let r = *reference_err.get_or_insert(res.trace.final_error);
+        assert!(
+            (res.trace.final_error - r).abs() < 1e-8,
+            "shard count changed the answer: {r} vs {}",
+            res.trace.final_error
+        );
+    }
+    println!("\nwrote {}", path.display());
+}

@@ -56,6 +56,11 @@ factorize options:
   --csf per-mode|one|dimtree       tensor representation (default per-mode);
                            dimtree memoizes partial-MTTKRP slabs across modes
   --threads N              rayon thread count (default: all cores)
+  --shards N               run the sharded execution engine over N shards
+                           (longest-mode partition; prints a wire-traffic
+                           report validated against the analytic model)
+  --shard-threads N        rayon threads per shard pool (default 0: run
+                           each shard inline on its worker thread)
   --output FILE            save the factor model
   --trace FILE             save per-iteration CSV
                            (iter,seconds,rel_error,slab_hits,slab_misses)
@@ -195,9 +200,37 @@ fn factorize(args: &Args) -> Result<(), String> {
         fz = fz.constrain_mode(mode, parse_constraint(cspec)?);
     }
 
-    let res = if let Some(ckpath) = args.get_str("resume") {
-        let ck = aoadmm::checkpoint::Checkpoint::load(&ckpath).map_err(|e| e.to_string())?;
-        eprintln!("resuming from {ckpath}");
+    let resume = args
+        .get_str("resume")
+        .map(|ckpath| {
+            let ck = aoadmm::checkpoint::Checkpoint::load(&ckpath).map_err(|e| e.to_string())?;
+            eprintln!("resuming from {ckpath}");
+            Ok::<_, String>(ck)
+        })
+        .transpose()?;
+    let res = if let Some(nshards) = args.get_opt::<usize>("shards")? {
+        let sc = aoadmm_distsim::ShardConfig::new(nshards)
+            .threads_per_shard(args.get("shard-threads", 0)?);
+        let sres = match resume {
+            Some(ck) => aoadmm_distsim::shard_factorize_warm(
+                &tensor,
+                &fz,
+                &sc,
+                ck.model,
+                Some(ck.duals),
+                None,
+            ),
+            None => aoadmm_distsim::shard_factorize(&tensor, &fz, &sc),
+        }
+        .map_err(|e| e.to_string())?;
+        print_comm_report(&sres);
+        aoadmm::FactorizeResult {
+            model: sres.model,
+            trace: sres.trace,
+            duals: sres.duals,
+            grams: sres.grams,
+        }
+    } else if let Some(ck) = resume {
         fz.factorize_warm(&tensor, ck.model, Some(ck.duals))
             .map_err(|e| e.to_string())?
     } else {
@@ -241,6 +274,37 @@ fn factorize(args: &Args) -> Result<(), String> {
         println!("checkpoint written to {path}");
     }
     Ok(())
+}
+
+/// Summarize where a sharded run's wire bytes went and confirm the
+/// measured traffic matches the analytic communication model.
+fn print_comm_report(res: &aoadmm_distsim::ShardResult) {
+    use aoadmm_distsim::Phase;
+    let part = &res.partition;
+    println!(
+        "sharded over {} shard(s), split mode {} ({} rows), max {} nnz/shard",
+        part.nshards(),
+        part.split_mode(),
+        part.split_ranges().last().map_or(0, |r| r.end),
+        res.max_shard_nnz
+    );
+    let mb = |b: u64| b as f64 / 1e6;
+    println!(
+        "wire traffic: {:.3} MB total (KReduce {:.3} MB, FactorRows {:.3} MB, \
+         GramReduce {:.3} MB) over {} round(s)",
+        mb(res.comm.total_bytes()),
+        mb(res.comm.phase_bytes(Phase::KReduce)),
+        mb(res.comm.phase_bytes(Phase::FactorRows)),
+        mb(res.comm.phase_bytes(Phase::GramReduce)),
+        res.comm.rounds()
+    );
+    match res.comm.diff_from_prediction(&res.predicted) {
+        None => println!(
+            "traffic matches the analytic prediction exactly; est. network time {:.4}s",
+            res.est_comm_seconds
+        ),
+        Some(diff) => println!("WARNING: traffic deviates from prediction: {diff}"),
+    }
 }
 
 fn als(args: &Args) -> Result<(), String> {
@@ -690,6 +754,95 @@ mod tests {
         let _ = std::fs::remove_file(tns);
         let _ = std::fs::remove_file(model);
         let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn sharded_factorize_matches_shared_memory() {
+        let dir = std::env::temp_dir();
+        let tns = dir.join("aoadmm_cli_shard.tns");
+        let m1 = dir.join("aoadmm_cli_shard_1.model");
+        let m3 = dir.join("aoadmm_cli_shard_3.model");
+        let ck = dir.join("aoadmm_cli_shard.ckpt");
+        let s = |x: &str| x.to_string();
+
+        run(&[
+            s("generate"),
+            s("--dims"),
+            s("40,24,28"),
+            s("--nnz"),
+            s("900"),
+            s("--output"),
+            s(tns.to_str().unwrap()),
+        ])
+        .unwrap();
+
+        // Fixed inner work (zero inner tolerance, fixed iteration count)
+        // makes the trajectory shard-count invariant.
+        let factorize_to = |extra: &[String], out: &std::path::Path| {
+            let mut v = vec![
+                s("factorize"),
+                s("--input"),
+                s(tns.to_str().unwrap()),
+                s("--rank"),
+                s("4"),
+                s("--max-outer"),
+                s("4"),
+                s("--tol"),
+                s("0"),
+                s("--inner-tol"),
+                s("0"),
+                s("--max-inner"),
+                s("8"),
+                s("--output"),
+                s(out.to_str().unwrap()),
+            ];
+            v.extend_from_slice(extra);
+            run(&v).unwrap();
+        };
+        factorize_to(&[], &m1);
+        factorize_to(&[s("--shards"), s("3"), s("--shard-threads"), s("1")], &m3);
+
+        let shared = model_io::load_model(&m1).unwrap();
+        let sharded = model_io::load_model(&m3).unwrap();
+        for m in 0..3 {
+            let d = shared.factor(m).max_abs_diff(sharded.factor(m));
+            assert!(d < 1e-6, "mode {m}: sharded CLI run diverged by {d}");
+        }
+
+        // Sharded checkpoint + sharded resume round-trips.
+        run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("4"),
+            s("--max-outer"),
+            s("2"),
+            s("--shards"),
+            s("2"),
+            s("--checkpoint"),
+            s(ck.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(ck.exists());
+        run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("4"),
+            s("--max-outer"),
+            s("2"),
+            s("--shards"),
+            s("2"),
+            s("--resume"),
+            s(ck.to_str().unwrap()),
+        ])
+        .unwrap();
+
+        for f in [&tns, &m1, &m3, &ck] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

@@ -214,6 +214,16 @@ impl Factorizer {
         driver::factorize(tensor, self)
     }
 
+    /// Run AO-ADMM cold-started from any [`driver::TensorSource`]
+    /// (see [`driver::factorize_source`]) — for tensors that only exist
+    /// as a composed view, like the sharded source in `aoadmm-distsim`.
+    pub fn factorize_source(
+        &self,
+        source: &dyn driver::TensorSource,
+    ) -> Result<FactorizeResult, AoAdmmError> {
+        driver::factorize_source(source, self)
+    }
+
     /// Run AO-ADMM starting from an existing model (and optionally its
     /// dual state): resume a checkpoint, or refine an ALS/PGD solution
     /// under constraints.

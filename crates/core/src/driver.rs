@@ -314,6 +314,28 @@ pub fn factorize(tensor: &CooTensor, cfg: &Factorizer) -> Result<FactorizeResult
     run(&prepared, cfg, factors, duals, None, t0)
 }
 
+/// Run AO-ADMM cold-started from any [`TensorSource`] — the entry point
+/// for tensors that never exist as one local `CooTensor` (the sharded
+/// view in `aoadmm-distsim` serves MTTKRP from per-shard CSF sets).
+/// Seeded factor initialization is drawn from the source's logical shape
+/// and norm exactly as [`factorize`] draws it from a concrete tensor, so
+/// a source that reproduces the tensor's MTTKRP reproduces its run.
+pub fn factorize_source(
+    source: &dyn TensorSource,
+    cfg: &Factorizer,
+) -> Result<FactorizeResult, AoAdmmError> {
+    cfg.validate_shape(source.dims(), source.nnz())?;
+    let rank = cfg.rank();
+    let t0 = Instant::now();
+    let factors = init_factors(source.dims(), rank, cfg.seed_value(), source.norm_sq());
+    let duals: Vec<DMat> = source
+        .dims()
+        .iter()
+        .map(|&d| DMat::zeros(d, rank))
+        .collect();
+    run(source, cfg, factors, duals, None, t0)
+}
+
 /// Run AO-ADMM starting from existing factors (and optionally duals):
 /// warm restarts, checkpoint resumption, or refining an ALS solution
 /// under constraints.
@@ -850,6 +872,30 @@ mod tests {
         for m in 0..3 {
             assert_eq!(
                 direct.model.factor(m).max_abs_diff(manual.model.factor(m)),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn source_entry_point_matches_factorize_exactly() {
+        // factorize_source over a PreparedTensor is the same cold start
+        // as factorize: same seeded init, same loop, same trajectory.
+        let t = small_tensor();
+        let cfg = Factorizer::new(5)
+            .constrain_all(constraints::nonneg())
+            .max_outer(5)
+            .seed(11);
+        let direct = cfg.factorize(&t).unwrap();
+        let prepared = PreparedTensor::build(&t, cfg.csf_policy_value()).unwrap();
+        let via_source = factorize_source(&prepared, &cfg).unwrap();
+        assert_eq!(direct.trace.final_error, via_source.trace.final_error);
+        for m in 0..3 {
+            assert_eq!(
+                direct
+                    .model
+                    .factor(m)
+                    .max_abs_diff(via_source.model.factor(m)),
                 0.0
             );
         }

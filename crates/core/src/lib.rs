@@ -64,8 +64,8 @@ pub mod trace;
 pub use config::{CsfPolicy, Factorizer};
 pub use dimtree::{IterationPlan, TreeMttkrp};
 pub use driver::{
-    factorize, factorize_prepared, factorize_warm, init_factors, FactorizeResult, MttkrpInfo,
-    PreparedTensor, TensorSource,
+    factorize, factorize_prepared, factorize_source, factorize_warm, init_factors, FactorizeResult,
+    MttkrpInfo, PreparedTensor, TensorSource,
 };
 pub use error::AoAdmmError;
 pub use kruskal::KruskalModel;

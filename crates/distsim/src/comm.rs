@@ -1,93 +1,260 @@
-//! Simulated collectives and their cost accounting.
+//! Analytic communication-volume model and measured-traffic reports.
 //!
-//! The simulation executes the *data movement semantics* of the
-//! collectives (so the algorithm is the real distributed algorithm) and
-//! meters the bytes and message counts a ring implementation would move,
-//! evaluated under a simple alpha-beta (latency + inverse-bandwidth)
-//! machine model.
+//! [`CommPrediction`] computes, from a [`Partition`] and the rank alone,
+//! exactly how many bytes the execution engine's message layer will move
+//! per round, per phase and per directed edge. The comm-validation suite
+//! asserts the measured [`CommLedger`] equals the prediction **byte for
+//! byte** — so the model and the wiring cannot drift apart unnoticed.
+//!
+//! Per outer round the engine's protocol moves, for `S` shards, rank
+//! `F`, split mode `s`:
+//!
+//! - **KReduce** (`m != s`): shard `p` sends shard `q` the rows of its
+//!   partial MTTKRP that `q` owns — `|owned(m, q)| * F * 8` bytes per
+//!   edge per mode (a reduce-scatter as point-to-point sends; empty
+//!   blocks are skipped).
+//! - **FactorRows** (`m != s`): shard `p` replicates its updated owned
+//!   rows to every peer — `|owned(m, p)| * F * 8` bytes per edge per
+//!   mode (an allgather).
+//! - **GramReduce** (`m == s` only): each shard sends its partial
+//!   `F x F` Gram to every peer — `F^2 * 8` bytes per edge. The
+//!   split-mode factor rows themselves **never travel**: that mode's
+//!   nonzeros are fully local (the medium-grained observation of Liavas
+//!   & Sidiropoulos), so only the tiny Gram moves.
+//! - **Objective** (last mode only): one scalar per edge, 8 bytes.
+//!
+//! Estimated wall time uses the usual alpha-beta machine model
+//! ([`CostModel`]).
 
-/// Bytes and messages moved by each collective type, plus per-phase
-/// attribution.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct CommStats {
-    /// Total bytes moved by all-reduce operations (sum over nodes).
-    pub allreduce_bytes: u64,
-    /// Total bytes moved by all-gather operations (sum over nodes).
-    pub allgather_bytes: u64,
-    /// Total point-to-point messages (ring steps summed over nodes).
-    pub messages: u64,
-    /// All-reduce bytes attributable to MTTKRP outputs.
-    pub mttkrp_bytes: u64,
-    /// Bytes attributable to factor-row all-gathers.
-    pub factor_bytes: u64,
-    /// Bytes attributable to `F x F` Gram all-reduces.
-    pub gram_bytes: u64,
+use crate::msg::{CommLedger, Phase, NPHASES};
+use crate::partition::Partition;
+
+/// Exact per-round, per-phase, per-edge byte prediction for a
+/// partitioned run. Built by [`CommPrediction::predict`].
+#[derive(Debug, Clone)]
+pub struct CommPrediction {
+    nshards: usize,
+    rounds: usize,
+    /// Per-round bytes `kreduce[src * S + dst]`.
+    kreduce_edge: Vec<u64>,
+    /// Per-round bytes `factor[src * S + dst]`.
+    factor_edge: Vec<u64>,
+    /// Per-round bytes on every off-diagonal edge.
+    gram_edge: u64,
+    /// Per-round bytes on every off-diagonal edge (last mode only, but
+    /// that is once per round).
+    objective_edge: u64,
+    /// Per-round message counts by phase.
+    msgs_per_round: [u64; NPHASES],
 }
 
-impl CommStats {
-    /// Record a ring all-reduce of `elems` f64 elements over `p` nodes.
-    ///
-    /// A ring all-reduce of a `B`-byte buffer sends `2(p-1)/p * B` bytes
-    /// per node in `2(p-1)` steps; summed over nodes that is
-    /// `2(p-1) * B` bytes.
-    pub fn allreduce(&mut self, elems: usize, p: usize, kind: Phase) {
-        if p <= 1 {
-            return;
+impl CommPrediction {
+    /// Predict the traffic of `rounds` outer rounds at rank `rank` under
+    /// `part`.
+    pub fn predict(part: &Partition, rank: usize, rounds: usize) -> Self {
+        let s = part.nshards();
+        let split = part.split_mode();
+        let f = rank as u64;
+        let mut kreduce_edge = vec![0u64; s * s];
+        let mut factor_edge = vec![0u64; s * s];
+        let mut msgs = [0u64; NPHASES];
+        for m in 0..part.nmodes() {
+            if m == split {
+                continue;
+            }
+            for p in 0..s {
+                for q in 0..s {
+                    if p == q {
+                        continue;
+                    }
+                    let owned_q = part.owned(m, q).len() as u64;
+                    let owned_p = part.owned(m, p).len() as u64;
+                    kreduce_edge[p * s + q] += owned_q * f * 8;
+                    factor_edge[p * s + q] += owned_p * f * 8;
+                    if owned_q > 0 {
+                        msgs[Phase::KReduce.index()] += 1;
+                    }
+                    if owned_p > 0 {
+                        msgs[Phase::FactorRows.index()] += 1;
+                    }
+                }
+            }
         }
-        let bytes = (elems * 8) as u64;
-        let total = 2 * (p as u64 - 1) * bytes;
-        self.allreduce_bytes += total;
-        self.messages += (2 * (p - 1) * p) as u64;
-        self.attribute(total, kind);
+        let off_diag = (s * s - s) as u64;
+        msgs[Phase::GramReduce.index()] = off_diag;
+        msgs[Phase::Objective.index()] = off_diag;
+        CommPrediction {
+            nshards: s,
+            rounds,
+            kreduce_edge,
+            factor_edge,
+            gram_edge: f * f * 8,
+            objective_edge: 8,
+            msgs_per_round: msgs,
+        }
     }
 
-    /// Record a ring all-gather where each node contributes
-    /// `elems_per_node` f64 elements.
-    pub fn allgather(&mut self, elems_per_node: usize, p: usize, kind: Phase) {
-        if p <= 1 {
-            return;
-        }
-        let per = (elems_per_node * 8) as u64;
-        // Each node receives (p-1) shares: total (p-1)*per*p bytes.
-        let total = (p as u64 - 1) * per * p as u64;
-        self.allgather_bytes += total;
-        self.messages += ((p - 1) * p) as u64;
-        self.attribute(total, kind);
+    /// Rounds the prediction covers.
+    pub fn rounds(&self) -> usize {
+        self.rounds
     }
 
-    fn attribute(&mut self, bytes: u64, kind: Phase) {
-        match kind {
-            Phase::Mttkrp => self.mttkrp_bytes += bytes,
-            Phase::Factor => self.factor_bytes += bytes,
-            Phase::Gram => self.gram_bytes += bytes,
+    /// Predicted bytes from `src` to `dst` in one round of `phase`.
+    pub fn edge_bytes(&self, phase: Phase, src: usize, dst: usize) -> u64 {
+        if src == dst {
+            return 0;
+        }
+        match phase {
+            Phase::KReduce => self.kreduce_edge[src * self.nshards + dst],
+            Phase::FactorRows => self.factor_edge[src * self.nshards + dst],
+            Phase::GramReduce => self.gram_edge,
+            Phase::Objective => self.objective_edge,
         }
     }
 
-    /// Total bytes across collective types.
+    /// Predicted bytes of one round of `phase` over all edges.
+    pub fn round_bytes(&self, phase: Phase) -> u64 {
+        let s = self.nshards;
+        (0..s * s)
+            .map(|e| self.edge_bytes(phase, e / s, e % s))
+            .sum()
+    }
+
+    /// Predicted bytes of `phase` over the whole run.
+    pub fn phase_bytes(&self, phase: Phase) -> u64 {
+        self.round_bytes(phase) * self.rounds as u64
+    }
+
+    /// Predicted total bytes over the whole run.
     pub fn total_bytes(&self) -> u64 {
-        self.allreduce_bytes + self.allgather_bytes
+        Phase::ALL.iter().map(|&p| self.phase_bytes(p)).sum()
     }
 
-    /// Fraction of communicated bytes attributable to MTTKRP — the
-    /// paper's claim is that this dominates (blocked ADMM adds nothing).
-    pub fn mttkrp_fraction(&self) -> f64 {
+    /// Predicted total messages over the whole run.
+    pub fn total_messages(&self) -> u64 {
+        self.msgs_per_round.iter().sum::<u64>() * self.rounds as u64
+    }
+
+    /// Fraction of predicted bytes carried by the MTTKRP reduce phase —
+    /// the paper's claim is that this (plus the factor gathers it
+    /// implies) dominates, while ADMM itself contributes zero bytes.
+    pub fn kreduce_fraction(&self) -> f64 {
         let t = self.total_bytes();
         if t == 0 {
             return 0.0;
         }
-        self.mttkrp_bytes as f64 / t as f64
+        self.phase_bytes(Phase::KReduce) as f64 / t as f64
     }
 }
 
-/// Which algorithm phase a collective belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Phase {
-    /// Summing partial MTTKRP outputs.
-    Mttkrp,
-    /// Replicating updated factor rows.
-    Factor,
-    /// Refreshing the `F x F` Gram cache.
-    Gram,
+/// Measured traffic of a finished run: an immutable snapshot of the
+/// [`CommLedger`] truncated to the rounds actually executed.
+#[derive(Debug, Clone)]
+pub struct CommReport {
+    nshards: usize,
+    rounds: usize,
+    /// `bytes[(((round-1) * NPHASES + phase) * S + src) * S + dst]`.
+    bytes: Vec<u64>,
+    msgs: [u64; NPHASES],
+}
+
+impl CommReport {
+    /// Snapshot `ledger` over the first `rounds` rounds.
+    pub fn from_ledger(ledger: &CommLedger, nshards: usize, rounds: usize) -> Self {
+        let mut bytes = vec![0u64; rounds * NPHASES * nshards * nshards];
+        let mut idx = 0;
+        for r in 1..=rounds {
+            for &phase in &Phase::ALL {
+                for src in 0..nshards {
+                    for dst in 0..nshards {
+                        bytes[idx] = ledger.edge_bytes(r as u32, phase, src, dst);
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        let mut msgs = [0u64; NPHASES];
+        for &phase in &Phase::ALL {
+            msgs[phase.index()] = ledger.phase_messages(phase);
+        }
+        CommReport {
+            nshards,
+            rounds,
+            bytes,
+            msgs,
+        }
+    }
+
+    /// Rounds the report covers.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Measured bytes from `src` to `dst` in round `round` (1-based) of
+    /// `phase`.
+    pub fn edge_bytes(&self, round: usize, phase: Phase, src: usize, dst: usize) -> u64 {
+        let s = self.nshards;
+        self.bytes[(((round - 1) * NPHASES + phase.index()) * s + src) * s + dst]
+    }
+
+    /// Measured bytes of `phase` in round `round`.
+    pub fn round_bytes(&self, round: usize, phase: Phase) -> u64 {
+        let s = self.nshards;
+        let base = (((round - 1) * NPHASES + phase.index()) * s) * s;
+        self.bytes[base..base + s * s].iter().sum()
+    }
+
+    /// Measured bytes of `phase` over the whole run.
+    pub fn phase_bytes(&self, phase: Phase) -> u64 {
+        (1..=self.rounds).map(|r| self.round_bytes(r, phase)).sum()
+    }
+
+    /// Measured total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        Phase::ALL.iter().map(|&p| self.phase_bytes(p)).sum()
+    }
+
+    /// Measured total messages.
+    pub fn total_messages(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// First discrepancy between this report and `pred`, as a
+    /// human-readable description — `None` when every `(round, phase,
+    /// edge)` cell matches exactly. The comm-validation suite asserts
+    /// `None`.
+    pub fn diff_from_prediction(&self, pred: &CommPrediction) -> Option<String> {
+        if pred.rounds() != self.rounds {
+            return Some(format!(
+                "prediction covers {} rounds, report covers {}",
+                pred.rounds(),
+                self.rounds
+            ));
+        }
+        for r in 1..=self.rounds {
+            for &phase in &Phase::ALL {
+                for src in 0..self.nshards {
+                    for dst in 0..self.nshards {
+                        let got = self.edge_bytes(r, phase, src, dst);
+                        let want = pred.edge_bytes(phase, src, dst);
+                        if got != want {
+                            return Some(format!(
+                                "round {r} {phase:?} edge {src}->{dst}: measured {got} bytes, predicted {want}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if self.total_messages() != pred.total_messages() {
+            return Some(format!(
+                "measured {} messages, predicted {}",
+                self.total_messages(),
+                pred.total_messages()
+            ));
+        }
+        None
+    }
 }
 
 /// Alpha-beta machine model for estimating communication time.
@@ -109,61 +276,96 @@ impl Default for CostModel {
 }
 
 impl CostModel {
-    /// Estimated seconds to execute the recorded collectives, assuming
-    /// perfect overlap across nodes (divide totals by node count).
-    pub fn estimate_seconds(&self, stats: &CommStats, p: usize) -> f64 {
-        if p <= 1 {
+    /// Estimated seconds for the measured traffic, assuming perfect
+    /// overlap across shards (divide totals by the shard count).
+    pub fn estimate_seconds(&self, report: &CommReport) -> f64 {
+        if report.nshards <= 1 {
             return 0.0;
         }
-        let per_node_bytes = stats.total_bytes() as f64 / p as f64;
-        let per_node_msgs = stats.messages as f64 / p as f64;
-        per_node_msgs * self.alpha + per_node_bytes * self.beta
+        let per = report.nshards as f64;
+        (report.total_messages() as f64 / per) * self.alpha
+            + (report.total_bytes() as f64 / per) * self.beta
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sptensor::gen;
 
-    #[test]
-    fn single_node_is_free() {
-        let mut s = CommStats::default();
-        s.allreduce(1000, 1, Phase::Mttkrp);
-        s.allgather(1000, 1, Phase::Factor);
-        assert_eq!(s.total_bytes(), 0);
-        assert_eq!(s.messages, 0);
+    fn prediction(s: usize, rounds: usize) -> (CommPrediction, Partition, usize) {
+        let t = gen::random_uniform(&[40, 30, 20], 600, 3).unwrap();
+        let part = Partition::build(&t, s);
+        (CommPrediction::predict(&part, 5, rounds), part, 5)
     }
 
     #[test]
-    fn bytes_grow_with_nodes() {
-        let mut s2 = CommStats::default();
-        s2.allreduce(10_000, 2, Phase::Mttkrp);
-        let mut s8 = CommStats::default();
-        s8.allreduce(10_000, 8, Phase::Mttkrp);
-        assert!(s8.allreduce_bytes > s2.allreduce_bytes);
+    fn single_shard_predicts_zero() {
+        let (pred, _, _) = prediction(1, 4);
+        assert_eq!(pred.total_bytes(), 0);
+        assert_eq!(pred.total_messages(), 0);
     }
 
     #[test]
-    fn attribution_sums_to_total() {
-        let mut s = CommStats::default();
-        s.allreduce(5_000, 4, Phase::Mttkrp);
-        s.allgather(2_000, 4, Phase::Factor);
-        s.allreduce(64, 4, Phase::Gram);
+    fn volumes_scale_with_rounds_and_shards() {
+        let (p2, _, _) = prediction(2, 3);
+        let (p4, _, _) = prediction(4, 3);
+        assert!(p4.total_bytes() > p2.total_bytes());
+        let (p2b, _, _) = prediction(2, 6);
+        assert_eq!(p2b.total_bytes(), 2 * p2.total_bytes());
+    }
+
+    #[test]
+    fn split_mode_moves_only_grams() {
+        // The split mode contributes no KReduce/FactorRows bytes; its
+        // footprint is the F^2 gram blocks. Non-split modes contribute
+        // exactly their row count * rank * 8 per (phase, round).
+        let (pred, part, rank) = prediction(3, 1);
+        let s = part.nshards();
+        let dims = [40usize, 30, 20];
+        let split = part.split_mode();
+        let expected_rows: u64 = (0..3)
+            .filter(|&m| m != split)
+            .map(|m| (dims[m] * rank * 8) as u64)
+            .sum();
         assert_eq!(
-            s.mttkrp_bytes + s.factor_bytes + s.gram_bytes,
-            s.total_bytes()
+            pred.round_bytes(Phase::KReduce),
+            (s as u64 - 1) * expected_rows
         );
-        assert!(s.mttkrp_fraction() > 0.5);
+        assert_eq!(
+            pred.round_bytes(Phase::FactorRows),
+            (s as u64 - 1) * expected_rows
+        );
+        assert_eq!(
+            pred.round_bytes(Phase::GramReduce),
+            ((s * s - s) * rank * rank * 8) as u64
+        );
+        assert_eq!(pred.round_bytes(Phase::Objective), (s * s - s) as u64 * 8);
     }
 
     #[test]
-    fn cost_model_monotone_in_bytes() {
+    fn diagonal_edges_are_zero() {
+        let (pred, _, _) = prediction(4, 2);
+        for &phase in &Phase::ALL {
+            for p in 0..4 {
+                assert_eq!(pred.edge_bytes(phase, p, p), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_monotone_in_traffic() {
         let m = CostModel::default();
-        let mut small = CommStats::default();
-        small.allreduce(1_000, 4, Phase::Mttkrp);
-        let mut big = CommStats::default();
-        big.allreduce(1_000_000, 4, Phase::Mttkrp);
-        assert!(m.estimate_seconds(&big, 4) > m.estimate_seconds(&small, 4));
-        assert_eq!(m.estimate_seconds(&big, 1), 0.0);
+        let t = gen::random_uniform(&[40, 30, 20], 600, 3).unwrap();
+        let part = Partition::build(&t, 4);
+        let ledger = crate::msg::CommLedger::new(4, 2);
+        let small = CommReport::from_ledger(&ledger, 4, 1);
+        assert_eq!(m.estimate_seconds(&small), 0.0);
+        let fabric = crate::msg::Fabric::new(4);
+        let ep = fabric.endpoint(0);
+        ep.send_block(1, Phase::KReduce, 0, 1, vec![0.0; 1000], &ledger);
+        let bigger = CommReport::from_ledger(&ledger, 4, 1);
+        assert!(m.estimate_seconds(&bigger) > 0.0);
+        let _ = part;
     }
 }

@@ -1,0 +1,1268 @@
+//! The sharded AO-ADMM execution engine.
+//!
+//! [`shard_factorize`] partitions the tensor along its longest mode into
+//! per-shard CSF sets ([`Partition`]), runs one SPMD worker thread per
+//! shard — each with its own rayon pool — and exchanges factor rows,
+//! partial-MTTKRP blocks and partial Grams through the typed message
+//! fabric of [`crate::msg`]. No factor state is shared: every byte that
+//! would cross a network in a real distributed run crosses a channel
+//! here, and is metered into a [`CommLedger`] that the validation suite
+//! compares against [`CommPrediction`] byte for byte.
+//!
+//! ## Protocol
+//!
+//! Per outer round, per mode `m` (split mode `s`), every shard runs the
+//! same three sub-steps:
+//!
+//! 1. **Local** ([`ShardState::step_local`]): Hadamard Gram product,
+//!    then a *partial* MTTKRP over the shard's local nonzeros; for
+//!    `m != s` the partial rows owned by each peer are posted to it
+//!    ([`Phase::KReduce`] — a reduce-scatter as point-to-point sends).
+//! 2. **Update** ([`ShardState::step_update`]): peer partials are merged
+//!    into the owned `K` rows in frozen shard order, blocked ADMM runs
+//!    on the owned rows only, and the results go out — updated factor
+//!    rows to every peer for `m != s` ([`Phase::FactorRows`]), or the
+//!    local `F x F` partial Gram for `m == s` ([`Phase::GramReduce`]).
+//!    Split-mode factor rows never travel: the split mode's nonzeros are
+//!    fully local, so remote shards only need the Gram (the
+//!    medium-grained observation of Liavas & Sidiropoulos).
+//! 3. **Absorb** ([`ShardState::step_absorb`]): peer factor rows (or
+//!    Gram partials) are merged, the mode's Gram is refreshed, and on
+//!    the last mode the partial inner product `<K_local, A_owned>` is
+//!    posted ([`Phase::Objective`]) so every shard evaluates the same
+//!    stopping rule on the same relative error.
+//!
+//! ## Determinism
+//!
+//! All merges are *frozen shard-ordered reductions*: the first
+//! contributor is copied, later contributors are added in ascending
+//! shard index (`copy`-first also preserves signed zeros, so a 1-shard
+//! run is bit-identical to the shared-memory driver, whose buffers are
+//! overwritten rather than accumulated). Combined with the
+//! bit-deterministic MTTKRP chunk schedules and the chunk-ordered panel
+//! Gram reduction, the whole sharded trajectory is a pure function of
+//! `(tensor, config, partition)` — independent of thread interleaving.
+//! [`LockstepEngine`] exploits that: it runs the identical
+//! [`ShardState`] sub-steps sequentially over the same fabric, giving a
+//! single-threaded twin the conformance suite asserts bit-equal to the
+//! threaded run, and an allocation-countable [`LockstepEngine::round`]
+//! for the hot-path suite.
+
+use crate::comm::{CommPrediction, CommReport, CostModel};
+use crate::msg::{Body, CommLedger, Endpoint, Fabric, Phase, RecvError};
+use crate::partition::Partition;
+use admm::{admm_update_ws, AdmmWorkspace};
+use aoadmm::kruskal::relative_error_fast;
+use aoadmm::trace::{FactorizeTrace, IterRecord, ModeRecord};
+use aoadmm::{
+    init_factors, AoAdmmError, Factorizer, KruskalModel, MttkrpInfo, PreparedTensor,
+    SparsityDecision, Structure, TensorSource,
+};
+use splinalg::{ops, panel, vecops, DMat, Workspace};
+use sptensor::CooTensor;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Execution-engine configuration: how many shards, how much parallelism
+/// inside each, and the machine model for the wall-time estimate.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shards the tensor is partitioned into.
+    pub nshards: usize,
+    /// Rayon threads per shard worker (`0` = run on the ambient pool).
+    pub threads_per_shard: usize,
+    /// Alpha-beta model for [`ShardResult::est_comm_seconds`].
+    pub cost: CostModel,
+}
+
+impl ShardConfig {
+    /// Configuration with `nshards` shards on the ambient rayon pool.
+    pub fn new(nshards: usize) -> Self {
+        ShardConfig {
+            nshards,
+            threads_per_shard: 0,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Set the per-shard rayon pool size.
+    pub fn threads_per_shard(mut self, n: usize) -> Self {
+        self.threads_per_shard = n;
+        self
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig::new(2)
+    }
+}
+
+/// Result of a sharded run: everything [`aoadmm::FactorizeResult`]
+/// carries, plus the partition and the communication accounting.
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// The factor matrices, assembled from the shard-owned blocks.
+    pub model: KruskalModel,
+    /// Convergence/timing history, recorded by shard 0.
+    pub trace: FactorizeTrace,
+    /// Final ADMM duals, stitched full-size from the owned blocks.
+    pub duals: Vec<DMat>,
+    /// Final Gram matrices (replicated; taken from shard 0).
+    pub grams: Vec<DMat>,
+    /// The partition the run executed under.
+    pub partition: Partition,
+    /// Measured wire traffic, per round / phase / edge.
+    pub comm: CommReport,
+    /// Analytic prediction for the same rounds (the validation suite
+    /// asserts `comm.diff_from_prediction(&predicted)` is `None`).
+    pub predicted: CommPrediction,
+    /// Alpha-beta estimate of the communication wall time.
+    pub est_comm_seconds: f64,
+    /// Nonzeros held by the heaviest shard.
+    pub max_shard_nnz: usize,
+}
+
+fn comm_error(e: RecvError) -> AoAdmmError {
+    AoAdmmError::Config(format!("sharded engine: {e}"))
+}
+
+fn block_len_error(src: usize, phase: Phase, got: usize, want: usize) -> AoAdmmError {
+    AoAdmmError::Config(format!(
+        "sharded engine: {phase:?} block from shard {src} has {got} elements, expected {want}"
+    ))
+}
+
+/// One shard's complete private state plus the sub-step methods of the
+/// protocol. The threaded SPMD driver and the [`LockstepEngine`] run the
+/// *same* methods — only the schedule differs — which is what makes the
+/// sequential twin a bit-exact oracle for the concurrency layer.
+struct ShardState {
+    id: usize,
+    nshards: usize,
+    split: usize,
+    cfg: Factorizer,
+    part: Arc<Partition>,
+    /// Local nonzeros compiled to CSF; `None` when the shard holds none.
+    prepared: Option<PreparedTensor>,
+    xnorm_sq: f64,
+    rank: usize,
+    dims: Vec<usize>,
+    /// Full-size replicated factors. Split-mode rows outside `owned` go
+    /// stale — and are never read, because every local nonzero's
+    /// split-mode index is owned.
+    factors: Vec<DMat>,
+    /// Owned-rows primal working blocks (ADMM output), one per mode.
+    hblocks: Vec<DMat>,
+    /// Owned-rows dual blocks, one per mode.
+    ublocks: Vec<DMat>,
+    /// Owned-rows merged MTTKRP result, one per mode.
+    k_owned: Vec<DMat>,
+    /// Full-size partial MTTKRP buffers, one per mode.
+    partials: Vec<DMat>,
+    /// Replicated Gram cache.
+    grams: Vec<DMat>,
+    gram_buf: DMat,
+    /// Split-mode partial Gram (of the owned rows).
+    gpartial: DMat,
+    admm_ws: AdmmWorkspace,
+    lin_ws: Workspace,
+    /// Last MTTKRP info per mode (trace reporting, shard 0).
+    mttkrp_info: Vec<MttkrpInfo>,
+    /// Last ADMM `(iterations, row_iterations)` per mode.
+    admm_stats: Vec<(usize, u64)>,
+    /// Partial `<K_last, A_last>` of the owned rows.
+    partial_inner: f64,
+}
+
+fn dense_info() -> MttkrpInfo {
+    MttkrpInfo {
+        decision: SparsityDecision {
+            density: 1.0,
+            structure: Structure::Dense,
+        },
+        strategy: None,
+        slab_hits: 0,
+        slab_misses: 0,
+    }
+}
+
+impl ShardState {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        id: usize,
+        part: Arc<Partition>,
+        cfg: &Factorizer,
+        local: &CooTensor,
+        xnorm_sq: f64,
+        factors: Vec<DMat>,
+        duals_full: &[DMat],
+        grams: Vec<DMat>,
+    ) -> Result<Self, AoAdmmError> {
+        let rank = cfg.rank();
+        let dims: Vec<usize> = local.dims().to_vec();
+        let nmodes = dims.len();
+        let prepared = if local.nnz() > 0 {
+            Some(PreparedTensor::build(local, cfg.csf_policy_value())?)
+        } else {
+            None
+        };
+        let mut hblocks = Vec::with_capacity(nmodes);
+        let mut ublocks = Vec::with_capacity(nmodes);
+        let mut k_owned = Vec::with_capacity(nmodes);
+        for (m, dual) in duals_full.iter().enumerate().take(nmodes) {
+            let own = part.owned(m, id);
+            hblocks.push(DMat::zeros(own.len(), rank));
+            k_owned.push(DMat::zeros(own.len(), rank));
+            let mut u = DMat::zeros(own.len(), rank);
+            copy_rows(dual, &own, &mut u);
+            ublocks.push(u);
+        }
+        Ok(ShardState {
+            id,
+            nshards: part.nshards(),
+            split: part.split_mode(),
+            cfg: cfg.clone(),
+            part,
+            prepared,
+            xnorm_sq,
+            rank,
+            partials: dims.iter().map(|&d| DMat::zeros(d, rank)).collect(),
+            dims,
+            factors,
+            hblocks,
+            ublocks,
+            k_owned,
+            grams,
+            gram_buf: DMat::zeros(rank, rank),
+            gpartial: DMat::zeros(rank, rank),
+            admm_ws: AdmmWorkspace::new(),
+            lin_ws: Workspace::new(),
+            mttkrp_info: vec![dense_info(); nmodes],
+            admm_stats: vec![(0, 0); nmodes],
+            partial_inner: 0.0,
+        })
+    }
+
+    fn nmodes(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn owned(&self, m: usize) -> Range<usize> {
+        self.part.owned(m, self.id)
+    }
+
+    /// Sub-step 1: combined Gram, partial MTTKRP, post `K` rows to their
+    /// owners (`m != split`).
+    fn step_local(
+        &mut self,
+        m: usize,
+        round: u32,
+        ep: &Endpoint,
+        ledger: &CommLedger,
+    ) -> Result<(), AoAdmmError> {
+        ops::gram_hadamard_into(&self.grams, m, &mut self.gram_buf)?;
+        if let Some(prep) = &self.prepared {
+            self.mttkrp_info[m] =
+                prep.mttkrp(m, &self.factors, &self.cfg, &mut self.partials[m])?;
+        } else {
+            self.partials[m].fill(0.0);
+            self.mttkrp_info[m] = dense_info();
+        }
+        if m != self.split {
+            let f = self.rank;
+            for q in 0..self.nshards {
+                if q == self.id {
+                    continue;
+                }
+                let r = self.part.owned(m, q);
+                if r.is_empty() {
+                    continue;
+                }
+                let mut buf = ep.take_buffer(q);
+                buf.extend_from_slice(&self.partials[m].as_slice()[r.start * f..r.end * f]);
+                ep.send_block(q, Phase::KReduce, m, round, buf, ledger);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sub-step 2: merge peer `K` partials (frozen shard order), blocked
+    /// ADMM on the owned rows, post updated rows (or the split-mode
+    /// partial Gram).
+    fn step_update(
+        &mut self,
+        m: usize,
+        round: u32,
+        ep: &Endpoint,
+        ledger: &CommLedger,
+    ) -> Result<(), AoAdmmError> {
+        let own = self.owned(m);
+        let f = self.rank;
+        if !own.is_empty() {
+            if m == self.split {
+                // Split-mode nonzeros are fully local: the shard's own
+                // partial already is the exact K for its rows.
+                let src = &self.partials[m];
+                self.k_owned[m]
+                    .as_mut_slice()
+                    .copy_from_slice(&src.as_slice()[own.start * f..own.end * f]);
+            } else {
+                for src in 0..self.nshards {
+                    if src == self.id {
+                        let rows = &self.partials[m].as_slice()[own.start * f..own.end * f];
+                        merge_into(self.k_owned[m].as_mut_slice(), rows, src == 0);
+                    } else {
+                        let msg = ep.recv(src, Phase::KReduce, m, round).map_err(comm_error)?;
+                        let Body::Block(buf) = msg.body else {
+                            return Err(block_len_error(src, Phase::KReduce, 0, own.len() * f));
+                        };
+                        if buf.len() != own.len() * f {
+                            return Err(block_len_error(
+                                src,
+                                Phase::KReduce,
+                                buf.len(),
+                                own.len() * f,
+                            ));
+                        }
+                        merge_into(self.k_owned[m].as_mut_slice(), &buf, src == 0);
+                        ep.return_buffer(src, buf);
+                    }
+                }
+            }
+
+            // Blocked ADMM on the owned rows only — zero communication,
+            // the paper's Section IV-B property.
+            copy_rows(&self.factors[m], &own, &mut self.hblocks[m]);
+            let stats = admm_update_ws(
+                &self.gram_buf,
+                &self.k_owned[m],
+                &mut self.hblocks[m],
+                &mut self.ublocks[m],
+                &**self.cfg.constraint_for(m),
+                self.cfg.admm_config(),
+                &mut self.admm_ws,
+            )?;
+            self.admm_stats[m] = (stats.iterations, stats.row_iterations);
+            write_rows(&mut self.factors[m], &own, &self.hblocks[m]);
+        } else {
+            self.admm_stats[m] = (0, 0);
+        }
+
+        if m == self.split {
+            // Only the F x F partial Gram travels for the split mode.
+            if own.is_empty() {
+                self.gpartial.fill(0.0);
+            } else {
+                panel::gram_into(&self.hblocks[m], &mut self.lin_ws, &mut self.gpartial)?;
+            }
+            for q in 0..self.nshards {
+                if q == self.id {
+                    continue;
+                }
+                let mut buf = ep.take_buffer(q);
+                buf.extend_from_slice(self.gpartial.as_slice());
+                ep.send_block(q, Phase::GramReduce, m, round, buf, ledger);
+            }
+        } else if !own.is_empty() {
+            for q in 0..self.nshards {
+                if q == self.id {
+                    continue;
+                }
+                let mut buf = ep.take_buffer(q);
+                buf.extend_from_slice(self.hblocks[m].as_slice());
+                ep.send_block(q, Phase::FactorRows, m, round, buf, ledger);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sub-step 3: absorb peer rows / Gram partials, refresh the mode's
+    /// Gram, and on the last mode post the partial inner product.
+    fn step_absorb(
+        &mut self,
+        m: usize,
+        round: u32,
+        ep: &Endpoint,
+        ledger: &CommLedger,
+    ) -> Result<(), AoAdmmError> {
+        let f = self.rank;
+        if m == self.split {
+            // Frozen shard-ordered all-reduce of the partial Grams.
+            for src in 0..self.nshards {
+                if src == self.id {
+                    let first = src == 0;
+                    let (gp, gm) = (&self.gpartial, &mut self.grams[m]);
+                    merge_into(gm.as_mut_slice(), gp.as_slice(), first);
+                } else {
+                    let msg = ep
+                        .recv(src, Phase::GramReduce, m, round)
+                        .map_err(comm_error)?;
+                    let Body::Block(buf) = msg.body else {
+                        return Err(block_len_error(src, Phase::GramReduce, 0, f * f));
+                    };
+                    if buf.len() != f * f {
+                        return Err(block_len_error(src, Phase::GramReduce, buf.len(), f * f));
+                    }
+                    merge_into(self.grams[m].as_mut_slice(), &buf, src == 0);
+                    ep.return_buffer(src, buf);
+                }
+            }
+        } else {
+            for src in 0..self.nshards {
+                if src == self.id {
+                    continue;
+                }
+                let r = self.part.owned(m, src);
+                if r.is_empty() {
+                    continue;
+                }
+                let msg = ep
+                    .recv(src, Phase::FactorRows, m, round)
+                    .map_err(comm_error)?;
+                let Body::Block(buf) = msg.body else {
+                    return Err(block_len_error(src, Phase::FactorRows, 0, r.len() * f));
+                };
+                if buf.len() != r.len() * f {
+                    return Err(block_len_error(
+                        src,
+                        Phase::FactorRows,
+                        buf.len(),
+                        r.len() * f,
+                    ));
+                }
+                self.factors[m].as_mut_slice()[r.start * f..r.end * f].copy_from_slice(&buf);
+                ep.return_buffer(src, buf);
+            }
+            // Full factor is now replicated: the Gram is recomputed
+            // locally — zero wire bytes for non-split modes.
+            panel::gram_into(&self.factors[m], &mut self.lin_ws, &mut self.grams[m])?;
+        }
+        if let Some(prep) = &self.prepared {
+            prep.note_factor_changed(m);
+        }
+        if m == self.nmodes() - 1 {
+            // Fit trick, shard-local part: <X, M> = <K_last, A_last> and
+            // both operands are row-partitioned by ownership.
+            let own = self.owned(m);
+            self.partial_inner = if own.is_empty() {
+                0.0
+            } else {
+                ops::inner_product(&self.k_owned[m], &self.hblocks[m])?
+            };
+            for q in 0..self.nshards {
+                if q == self.id {
+                    continue;
+                }
+                ep.send_scalar(q, Phase::Objective, m, round, self.partial_inner, ledger);
+            }
+        }
+        Ok(())
+    }
+
+    /// End of round: frozen shard-ordered sum of the partial inner
+    /// products, then the relative error every shard agrees on.
+    fn finish_round(&mut self, round: u32, ep: &Endpoint) -> Result<f64, AoAdmmError> {
+        let m = self.nmodes() - 1;
+        let mut inner = 0.0;
+        for src in 0..self.nshards {
+            let v = if src == self.id {
+                self.partial_inner
+            } else {
+                let msg = ep
+                    .recv(src, Phase::Objective, m, round)
+                    .map_err(comm_error)?;
+                match msg.body {
+                    Body::Scalar(v) => v,
+                    Body::Block(_) => {
+                        return Err(block_len_error(src, Phase::Objective, 0, 1));
+                    }
+                }
+            };
+            if src == 0 {
+                inner = v;
+            } else {
+                inner += v;
+            }
+        }
+        let model_norm_sq = ops::model_norm_sq(&self.grams)?;
+        Ok(relative_error_fast(self.xnorm_sq, inner, model_norm_sq))
+    }
+
+    fn mode_record(&self, m: usize, mttkrp: Duration, admm: Duration) -> ModeRecord {
+        let info = self.mttkrp_info[m];
+        let (iters, row_iters) = self.admm_stats[m];
+        ModeRecord {
+            mode: m,
+            mttkrp_strategy: info.strategy,
+            mttkrp,
+            admm,
+            admm_iterations: iters,
+            admm_row_iterations: row_iters,
+            sparsity: info.decision,
+            slab_hits: info.slab_hits,
+            slab_misses: info.slab_misses,
+        }
+    }
+}
+
+/// `dst = src` (first contributor) or `dst += src` (the rest). Copying
+/// the first contributor rather than zero-filling and accumulating keeps
+/// 1-shard merges bit-identical to the shared-memory driver's overwrites
+/// (including signed zeros).
+fn merge_into(dst: &mut [f64], src: &[f64], first: bool) {
+    if first {
+        dst.copy_from_slice(src);
+    } else {
+        vecops::axpy(1.0, src, dst);
+    }
+}
+
+/// Copy rows `r` of `src` (full-size) into `dst` (block-size).
+fn copy_rows(src: &DMat, r: &Range<usize>, dst: &mut DMat) {
+    let f = src.ncols();
+    dst.as_mut_slice()
+        .copy_from_slice(&src.as_slice()[r.start * f..r.end * f]);
+}
+
+/// Copy `src` (block-size) into rows `r` of `dst` (full-size).
+fn write_rows(dst: &mut DMat, r: &Range<usize>, src: &DMat) {
+    let f = dst.ncols();
+    dst.as_mut_slice()[r.start * f..r.end * f].copy_from_slice(src.as_slice());
+}
+
+/// Everything a run needs before the first round.
+struct EngineSetup {
+    part: Arc<Partition>,
+    states: Vec<ShardState>,
+    fabric: Arc<Fabric>,
+    ledger: Arc<CommLedger>,
+    max_shard_nnz: usize,
+}
+
+/// Warm-start payload: (model, optional duals, optional Gram cache).
+type WarmState = (KruskalModel, Option<Vec<DMat>>, Option<Vec<DMat>>);
+
+fn build_setup(
+    tensor: &CooTensor,
+    cfg: &Factorizer,
+    sc: &ShardConfig,
+    warm: Option<WarmState>,
+) -> Result<EngineSetup, AoAdmmError> {
+    cfg.validate(tensor)?;
+    if sc.nshards == 0 {
+        return Err(AoAdmmError::Config("nshards must be positive".into()));
+    }
+    let rank = cfg.rank();
+    let part = Arc::new(Partition::build(tensor, sc.nshards));
+    let locals = part.split_tensor(tensor);
+    let max_shard_nnz = locals.iter().map(CooTensor::nnz).max().unwrap_or(0);
+    let xnorm_sq = tensor.norm_sq();
+
+    let (factors, duals_full, grams) = match warm {
+        None => {
+            let factors = init_factors(tensor.dims(), rank, cfg.seed_value(), xnorm_sq);
+            let duals: Vec<DMat> = tensor
+                .dims()
+                .iter()
+                .map(|&d| DMat::zeros(d, rank))
+                .collect();
+            let grams: Vec<DMat> = factors.iter().map(|f| f.gram()).collect();
+            (factors, duals, grams)
+        }
+        Some((model, duals, grams)) => {
+            let (factors, duals) = validate_warm_state(cfg, tensor.dims(), model, duals)?;
+            let grams = match grams {
+                Some(g) => {
+                    if g.len() != factors.len()
+                        || g.iter().any(|m| m.nrows() != rank || m.ncols() != rank)
+                    {
+                        return Err(AoAdmmError::Config(
+                            "warm-start gram cache does not match the configured rank".into(),
+                        ));
+                    }
+                    g
+                }
+                None => warm_grams(&factors, &part, rank)?,
+            };
+            (factors, duals, grams)
+        }
+    };
+
+    let mut states = Vec::with_capacity(sc.nshards);
+    for (p, local) in locals.iter().enumerate() {
+        states.push(ShardState::new(
+            p,
+            Arc::clone(&part),
+            cfg,
+            local,
+            xnorm_sq,
+            factors.clone(),
+            &duals_full,
+            grams.clone(),
+        )?);
+    }
+    let fabric = Fabric::new(sc.nshards);
+    let ledger = CommLedger::new(sc.nshards, cfg.max_outer_iterations());
+    Ok(EngineSetup {
+        part,
+        states,
+        fabric,
+        ledger,
+        max_shard_nnz,
+    })
+}
+
+/// Reconstruct the Gram invariant the running engine maintains, for a
+/// warm start with no Gram cache. Non-split modes hold the full-matrix
+/// panel Gram; the split mode holds the frozen shard-ordered sum of
+/// owned-row partial Grams (empty shards contribute explicit zeros),
+/// exactly as [`ShardState::step_absorb`] leaves it. Recomputing the
+/// split mode with a full-matrix sweep instead would change the
+/// summation order and knock a resumed run off the uninterrupted
+/// trajectory's bits.
+fn warm_grams(factors: &[DMat], part: &Partition, rank: usize) -> Result<Vec<DMat>, AoAdmmError> {
+    let mut ws = Workspace::new();
+    let mut grams = Vec::with_capacity(factors.len());
+    for (m, fac) in factors.iter().enumerate() {
+        let mut g = DMat::zeros(rank, rank);
+        if m == part.split_mode() {
+            let mut gp = DMat::zeros(rank, rank);
+            for p in 0..part.nshards() {
+                let own = part.owned(m, p);
+                if own.is_empty() {
+                    gp.fill(0.0);
+                } else {
+                    let mut block = DMat::zeros(own.len(), rank);
+                    copy_rows(fac, &own, &mut block);
+                    panel::gram_into(&block, &mut ws, &mut gp)?;
+                }
+                merge_into(g.as_mut_slice(), gp.as_slice(), p == 0);
+            }
+        } else {
+            panel::gram_into(fac, &mut ws, &mut g)?;
+        }
+        grams.push(g);
+    }
+    Ok(grams)
+}
+
+/// Warm-start validation, mirroring the shared-memory driver's checks.
+fn validate_warm_state(
+    cfg: &Factorizer,
+    dims: &[usize],
+    model: KruskalModel,
+    duals: Option<Vec<DMat>>,
+) -> Result<(Vec<DMat>, Vec<DMat>), AoAdmmError> {
+    let rank = cfg.rank();
+    if model.rank() != rank {
+        return Err(AoAdmmError::Config(format!(
+            "warm-start model has rank {}, configuration says {rank}",
+            model.rank()
+        )));
+    }
+    if model.nmodes() != dims.len() {
+        return Err(AoAdmmError::Config(format!(
+            "warm-start model has {} modes, tensor has {}",
+            model.nmodes(),
+            dims.len()
+        )));
+    }
+    for (m, fac) in model.factors().iter().enumerate() {
+        if fac.nrows() != dims[m] {
+            return Err(AoAdmmError::Config(format!(
+                "warm-start factor {m} has {} rows; mode is {}",
+                fac.nrows(),
+                dims[m]
+            )));
+        }
+    }
+    let factors = model.into_factors();
+    let duals = match duals {
+        Some(d) => {
+            if d.len() != factors.len()
+                || d.iter()
+                    .zip(&factors)
+                    .any(|(a, b)| a.nrows() != b.nrows() || a.ncols() != b.ncols())
+            {
+                return Err(AoAdmmError::Config(
+                    "warm-start duals do not match the factor shapes".into(),
+                ));
+            }
+            d
+        }
+        None => factors
+            .iter()
+            .map(|f| DMat::zeros(f.nrows(), f.ncols()))
+            .collect(),
+    };
+    Ok((factors, duals))
+}
+
+/// What one shard worker hands back after its loop.
+struct ShardRun {
+    iterations: Vec<IterRecord>,
+    rel_errors: Vec<f64>,
+    converged: bool,
+}
+
+/// One shard's SPMD loop: the shared-memory driver's outer loop with the
+/// mode body replaced by the three sub-steps plus the round finish.
+fn run_shard(
+    st: &mut ShardState,
+    ep: &Endpoint,
+    ledger: &CommLedger,
+    t0: Instant,
+) -> Result<ShardRun, AoAdmmError> {
+    let max_outer = st.cfg.max_outer_iterations();
+    let tol = st.cfg.outer_tolerance();
+    let nmodes = st.nmodes();
+    let record = st.id == 0;
+    let mut iterations: Vec<IterRecord> = Vec::new();
+    let mut rel_errors: Vec<f64> = Vec::with_capacity(max_outer);
+    let mut prev_err = f64::INFINITY;
+    let mut converged = false;
+
+    for outer in 1..=max_outer {
+        let round = outer as u32;
+        let mut modes: Vec<ModeRecord> = Vec::with_capacity(if record { nmodes } else { 0 });
+        for m in 0..nmodes {
+            let tm = Instant::now();
+            st.step_local(m, round, ep, ledger)?;
+            let mttkrp_time = tm.elapsed();
+            let ta = Instant::now();
+            st.step_update(m, round, ep, ledger)?;
+            let admm_time = ta.elapsed();
+            st.step_absorb(m, round, ep, ledger)?;
+            if record {
+                modes.push(st.mode_record(m, mttkrp_time, admm_time));
+            }
+        }
+        let rel_error = st.finish_round(round, ep)?;
+        rel_errors.push(rel_error);
+        if record {
+            iterations.push(IterRecord {
+                iter: outer,
+                rel_error,
+                elapsed: t0.elapsed(),
+                modes,
+            });
+            if let Some(cb) = st.cfg.progress_callback() {
+                cb(iterations.last().expect("just pushed"));
+            }
+        }
+        // The paper's stopping rule, evaluated on a relative error every
+        // shard computed from identical merged scalars — all shards take
+        // the same branch, no extra vote needed.
+        if outer > 1 && prev_err - rel_error < tol {
+            converged = true;
+            break;
+        }
+        prev_err = rel_error;
+    }
+    Ok(ShardRun {
+        iterations,
+        rel_errors,
+        converged,
+    })
+}
+
+/// Run sharded AO-ADMM on `tensor`, cold-started exactly like the
+/// shared-memory driver (same seeded init), over `sc.nshards` SPMD
+/// worker threads.
+pub fn shard_factorize(
+    tensor: &CooTensor,
+    cfg: &Factorizer,
+    sc: &ShardConfig,
+) -> Result<ShardResult, AoAdmmError> {
+    let t0 = Instant::now();
+    let setup = build_setup(tensor, cfg, sc, None)?;
+    run_threaded(setup, sc, t0)
+}
+
+/// Run sharded AO-ADMM warm-started from an existing model (plus
+/// optional duals and Gram cache) — checkpoint resumption on a sharded
+/// engine. State validation mirrors the shared-memory driver.
+pub fn shard_factorize_warm(
+    tensor: &CooTensor,
+    cfg: &Factorizer,
+    sc: &ShardConfig,
+    model: KruskalModel,
+    duals: Option<Vec<DMat>>,
+    grams: Option<Vec<DMat>>,
+) -> Result<ShardResult, AoAdmmError> {
+    let t0 = Instant::now();
+    let setup = build_setup(tensor, cfg, sc, Some((model, duals, grams)))?;
+    run_threaded(setup, sc, t0)
+}
+
+fn run_threaded(
+    setup: EngineSetup,
+    sc: &ShardConfig,
+    t0: Instant,
+) -> Result<ShardResult, AoAdmmError> {
+    let EngineSetup {
+        part,
+        mut states,
+        fabric,
+        ledger,
+        max_shard_nnz,
+    } = setup;
+    let setup_time = t0.elapsed();
+    let threads = sc.threads_per_shard;
+
+    let results: Vec<Result<ShardRun, AoAdmmError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(states.len());
+        for (id, st) in states.iter_mut().enumerate() {
+            let ep = fabric.endpoint(id);
+            let ledger = Arc::clone(&ledger);
+            handles.push(scope.spawn(move || -> Result<ShardRun, AoAdmmError> {
+                // The endpoint must drop (closing this shard's outgoing
+                // channels) even on error, so peers never deadlock on a
+                // dead sender.
+                if threads == 0 {
+                    run_shard(st, &ep, &ledger, t0)
+                } else {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .map_err(|e| AoAdmmError::Config(format!("shard worker pool: {e}")))?;
+                    pool.install(|| run_shard(st, &ep, &ledger, t0))
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(AoAdmmError::Config(
+                        "sharded engine: shard worker panicked".into(),
+                    ))
+                })
+            })
+            .collect()
+    });
+
+    let mut runs = Vec::with_capacity(results.len());
+    for r in results {
+        runs.push(r?);
+    }
+    // Every shard evaluated the stopping rule on identical scalars; a
+    // disagreement would mean the determinism contract is broken.
+    let rounds = runs[0].rel_errors.len();
+    if runs.iter().any(|r| r.rel_errors.len() != rounds) {
+        return Err(AoAdmmError::Config(
+            "sharded engine: shards disagree on the round count".into(),
+        ));
+    }
+
+    let run0 = runs.swap_remove(0);
+    let final_error = run0.rel_errors.last().copied().unwrap_or(f64::NAN);
+    let trace = FactorizeTrace {
+        iterations: run0.iterations,
+        total: t0.elapsed(),
+        setup: setup_time,
+        final_error,
+        converged: run0.converged,
+    };
+    Ok(assemble(
+        states,
+        part,
+        &ledger,
+        &sc.cost,
+        rounds,
+        trace,
+        max_shard_nnz,
+    ))
+}
+
+/// Stitch the per-shard final state into a full-size result and snapshot
+/// the communication accounting.
+fn assemble(
+    mut states: Vec<ShardState>,
+    part: Arc<Partition>,
+    ledger: &CommLedger,
+    cost: &CostModel,
+    rounds: usize,
+    trace: FactorizeTrace,
+    max_shard_nnz: usize,
+) -> ShardResult {
+    let nshards = part.nshards();
+    let split = part.split_mode();
+    let rank = states[0].rank;
+    let dims = states[0].dims.clone();
+    let nmodes = dims.len();
+
+    // Shard 0's replicated factors are current everywhere except the
+    // split-mode rows owned by other shards — stitch those in.
+    let mut first = states.remove(0);
+    for (i, st) in states.iter().enumerate() {
+        let p = i + 1;
+        let r = part.owned(split, p);
+        if r.is_empty() {
+            continue;
+        }
+        let f = rank;
+        first.factors[split].as_mut_slice()[r.start * f..r.end * f]
+            .copy_from_slice(&st.factors[split].as_slice()[r.start * f..r.end * f]);
+    }
+
+    let mut duals: Vec<DMat> = dims.iter().map(|&d| DMat::zeros(d, rank)).collect();
+    for (m, dual) in duals.iter_mut().enumerate().take(nmodes) {
+        let r = part.owned(m, 0);
+        if !r.is_empty() {
+            write_rows(dual, &r, &first.ublocks[m]);
+        }
+        for (i, st) in states.iter().enumerate() {
+            let r = part.owned(m, i + 1);
+            if !r.is_empty() {
+                write_rows(dual, &r, &st.ublocks[m]);
+            }
+        }
+    }
+
+    let comm = CommReport::from_ledger(ledger, nshards, rounds);
+    let predicted = CommPrediction::predict(&part, rank, rounds);
+    let est_comm_seconds = cost.estimate_seconds(&comm);
+    let factors = std::mem::take(&mut first.factors);
+    let grams = std::mem::take(&mut first.grams);
+    ShardResult {
+        model: KruskalModel::new(factors),
+        trace,
+        duals,
+        grams,
+        partition: part.as_ref().clone(),
+        comm,
+        predicted,
+        est_comm_seconds,
+        max_shard_nnz,
+    }
+}
+
+/// The sequential twin of the threaded engine: the same [`ShardState`]
+/// sub-steps over the same message fabric, scheduled round-robin on one
+/// thread. Because the SPMD protocol is deterministic, the twin's
+/// trajectory is bit-identical to the threaded run — the conformance
+/// suite asserts exactly that, isolating the concurrency layer from the
+/// numerics. Its [`LockstepEngine::round`] is also the unit the
+/// allocation hot-path suite counts: after warmup a round performs no
+/// heap allocation (recycled message buffers, pre-sized channels,
+/// preallocated workspaces).
+pub struct LockstepEngine {
+    states: Vec<ShardState>,
+    endpoints: Vec<Endpoint>,
+    part: Arc<Partition>,
+    ledger: Arc<CommLedger>,
+    cost: CostModel,
+    rel_errors: Vec<f64>,
+    round: u32,
+    prev_err: f64,
+    converged: bool,
+    max_shard_nnz: usize,
+    t0: Instant,
+    setup_time: Duration,
+}
+
+impl LockstepEngine {
+    /// Build the engine cold-started exactly like [`shard_factorize`].
+    pub fn build(
+        tensor: &CooTensor,
+        cfg: &Factorizer,
+        sc: &ShardConfig,
+    ) -> Result<Self, AoAdmmError> {
+        let t0 = Instant::now();
+        let setup = build_setup(tensor, cfg, sc, None)?;
+        let endpoints: Vec<Endpoint> = (0..setup.states.len())
+            .map(|p| setup.fabric.endpoint(p))
+            .collect();
+        let max_outer = setup.states[0].cfg.max_outer_iterations();
+        Ok(LockstepEngine {
+            endpoints,
+            part: setup.part,
+            ledger: setup.ledger,
+            cost: sc.cost,
+            rel_errors: Vec::with_capacity(max_outer),
+            round: 0,
+            prev_err: f64::INFINITY,
+            converged: false,
+            max_shard_nnz: setup.max_shard_nnz,
+            t0,
+            setup_time: t0.elapsed(),
+            states: setup.states,
+        })
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds_run(&self) -> usize {
+        self.round as usize
+    }
+
+    /// Relative errors of the rounds executed so far.
+    pub fn rel_errors(&self) -> &[f64] {
+        &self.rel_errors
+    }
+
+    /// Whether the stopping rule has fired.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Execute one outer round across all shards and return its relative
+    /// error. Steady-state rounds are allocation-free — this is the unit
+    /// the hot-path allocation suite counts.
+    pub fn round(&mut self) -> Result<f64, AoAdmmError> {
+        self.round += 1;
+        let round = self.round;
+        let nmodes = self.states[0].nmodes();
+        let s = self.states.len();
+        let states = &mut self.states;
+        let eps = &self.endpoints;
+        let ledger = &self.ledger;
+        for m in 0..nmodes {
+            // Within a stage every send strictly precedes the matching
+            // receive of the next stage, so the single thread never
+            // blocks on an empty channel.
+            for p in 0..s {
+                states[p].step_local(m, round, &eps[p], ledger)?;
+            }
+            for p in 0..s {
+                states[p].step_update(m, round, &eps[p], ledger)?;
+            }
+            for p in 0..s {
+                states[p].step_absorb(m, round, &eps[p], ledger)?;
+            }
+        }
+        let mut rel_error = f64::NAN;
+        for p in 0..s {
+            let e = states[p].finish_round(round, &eps[p])?;
+            if p == 0 {
+                rel_error = e;
+            } else {
+                debug_assert_eq!(
+                    e.to_bits(),
+                    rel_error.to_bits(),
+                    "shards disagree on the relative error"
+                );
+            }
+        }
+        self.rel_errors.push(rel_error);
+        if self.round > 1 && self.prev_err - rel_error < self.states[0].cfg.outer_tolerance() {
+            self.converged = true;
+        }
+        self.prev_err = rel_error;
+        Ok(rel_error)
+    }
+
+    /// Run rounds under the driver's stopping rule (tolerance or the
+    /// outer-iteration cap).
+    pub fn run_to_convergence(&mut self) -> Result<(), AoAdmmError> {
+        let max_outer = self.states[0].cfg.max_outer_iterations();
+        while (self.round as usize) < max_outer && !self.converged {
+            self.round()?;
+        }
+        Ok(())
+    }
+
+    /// Assemble the final [`ShardResult`]. The trace carries the
+    /// per-round errors but no per-mode records — the lockstep twin is a
+    /// conformance/counting vehicle, not a profiling one.
+    pub fn finish(mut self) -> ShardResult {
+        let rounds = self.round as usize;
+        let final_error = self.rel_errors.last().copied().unwrap_or(f64::NAN);
+        let iterations = self
+            .rel_errors
+            .iter()
+            .enumerate()
+            .map(|(i, &rel_error)| IterRecord {
+                iter: i + 1,
+                rel_error,
+                elapsed: self.t0.elapsed(),
+                modes: Vec::new(),
+            })
+            .collect();
+        let trace = FactorizeTrace {
+            iterations,
+            total: self.t0.elapsed(),
+            setup: self.setup_time,
+            final_error,
+            converged: self.converged,
+        };
+        // Drop the endpoints before assembling so the fabric closes in
+        // the same order as the threaded teardown.
+        self.endpoints.clear();
+        assemble(
+            std::mem::take(&mut self.states),
+            Arc::clone(&self.part),
+            &self.ledger,
+            &self.cost,
+            rounds,
+            trace,
+            self.max_shard_nnz,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use admm::constraints;
+    use sptensor::gen::{planted, PlantedConfig};
+
+    fn tensor() -> CooTensor {
+        planted(&PlantedConfig::small()).unwrap()
+    }
+
+    /// Deterministic-reduction ADMM discipline: zero tolerance and a
+    /// fixed inner-iteration count make the blocked solver a pure
+    /// per-row function, so block boundaries (which differ between the
+    /// sharded owned ranges and the shared-memory full matrix) cannot
+    /// change the trajectory.
+    fn fixed_admm() -> admm::AdmmConfig {
+        let mut a = admm::AdmmConfig::blocked(50);
+        a.tol = 0.0;
+        a.max_inner = 8;
+        a
+    }
+
+    fn cfg() -> Factorizer {
+        Factorizer::new(4)
+            .constrain_all(constraints::nonneg())
+            .admm(fixed_admm())
+            .max_outer(5)
+            .tolerance(0.0)
+            .seed(3)
+    }
+
+    #[test]
+    fn single_shard_is_bit_identical_to_shared_memory() {
+        let t = tensor();
+        let oracle = cfg().factorize(&t).unwrap();
+        let sharded = shard_factorize(&t, &cfg(), &ShardConfig::new(1)).unwrap();
+        assert_eq!(
+            oracle.trace.final_error.to_bits(),
+            sharded.trace.final_error.to_bits()
+        );
+        for m in 0..3 {
+            assert_eq!(
+                oracle.model.factor(m).max_abs_diff(sharded.model.factor(m)),
+                0.0
+            );
+            assert_eq!(oracle.duals[m].max_abs_diff(&sharded.duals[m]), 0.0);
+            assert_eq!(oracle.grams[m].max_abs_diff(&sharded.grams[m]), 0.0);
+        }
+        assert_eq!(sharded.comm.total_bytes(), 0);
+    }
+
+    #[test]
+    fn threaded_matches_lockstep_bitwise() {
+        let t = tensor();
+        for s in [2usize, 3] {
+            let threaded = shard_factorize(&t, &cfg(), &ShardConfig::new(s)).unwrap();
+            let mut twin = LockstepEngine::build(&t, &cfg(), &ShardConfig::new(s)).unwrap();
+            twin.run_to_convergence().unwrap();
+            let lockstep = twin.finish();
+            assert_eq!(
+                threaded.trace.final_error.to_bits(),
+                lockstep.trace.final_error.to_bits(),
+                "S={s}"
+            );
+            for m in 0..3 {
+                assert_eq!(
+                    threaded
+                        .model
+                        .factor(m)
+                        .max_abs_diff(lockstep.model.factor(m)),
+                    0.0,
+                    "S={s} mode {m}"
+                );
+            }
+            assert_eq!(threaded.comm.total_bytes(), lockstep.comm.total_bytes());
+        }
+    }
+
+    #[test]
+    fn sharded_tracks_oracle_within_tolerance() {
+        let t = tensor();
+        let oracle = cfg().factorize(&t).unwrap();
+        for s in [2usize, 4] {
+            let sharded = shard_factorize(&t, &cfg(), &ShardConfig::new(s)).unwrap();
+            assert!(
+                (sharded.trace.final_error - oracle.trace.final_error).abs() < 1e-8,
+                "S={s}: {} vs {}",
+                sharded.trace.final_error,
+                oracle.trace.final_error
+            );
+        }
+    }
+
+    #[test]
+    fn measured_comm_matches_prediction() {
+        let t = tensor();
+        for s in [1usize, 2, 3] {
+            let res = shard_factorize(&t, &cfg(), &ShardConfig::new(s)).unwrap();
+            assert_eq!(res.comm.diff_from_prediction(&res.predicted), None, "S={s}");
+        }
+    }
+
+    #[test]
+    fn warm_start_resumes_sharded_run() {
+        let t = tensor();
+        let full = shard_factorize(&t, &cfg().max_outer(6), &ShardConfig::new(2)).unwrap();
+        let half = shard_factorize(&t, &cfg().max_outer(3), &ShardConfig::new(2)).unwrap();
+        let resumed = shard_factorize_warm(
+            &t,
+            &cfg().max_outer(3),
+            &ShardConfig::new(2),
+            half.model.clone(),
+            Some(half.duals.clone()),
+            Some(half.grams.clone()),
+        )
+        .unwrap();
+        assert_eq!(
+            full.trace.final_error.to_bits(),
+            resumed.trace.final_error.to_bits()
+        );
+        for m in 0..3 {
+            assert_eq!(
+                full.model.factor(m).max_abs_diff(resumed.model.factor(m)),
+                0.0
+            );
+        }
+        // Without the Gram cache, warm_grams must reconstruct the exact
+        // shard-ordered gram state — same bits, checkpoint-grade resume.
+        let reconstructed = shard_factorize_warm(
+            &t,
+            &cfg().max_outer(3),
+            &ShardConfig::new(2),
+            half.model,
+            Some(half.duals),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            full.trace.final_error.to_bits(),
+            reconstructed.trace.final_error.to_bits()
+        );
+        for m in 0..3 {
+            assert_eq!(
+                full.model
+                    .factor(m)
+                    .max_abs_diff(reconstructed.model.factor(m)),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let t = tensor();
+        assert!(shard_factorize(&t, &cfg(), &ShardConfig::new(0)).is_err());
+        assert!(shard_factorize(&t, &Factorizer::new(0), &ShardConfig::new(2)).is_err());
+        let wrong_model = KruskalModel::new(vec![DMat::zeros(3, 2); 3]);
+        assert!(
+            shard_factorize_warm(&t, &cfg(), &ShardConfig::new(2), wrong_model, None, None)
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,479 @@
+//! The explicit message-passing layer between shards.
+//!
+//! Shards communicate only through typed point-to-point messages over a
+//! [`Fabric`] of per-edge FIFO channels — no shared factor state. The
+//! layer is built for two properties the engine's tests depend on:
+//!
+//! - **Determinism**: one channel per directed edge preserves per-sender
+//!   order, and both sides of every collective walk peers in ascending
+//!   shard index, so message matching needs no tags beyond a protocol
+//!   check. Merges applied in receive order are therefore frozen,
+//!   shard-ordered reductions.
+//! - **Zero steady-state allocation**: channels are `VecDeque`s with
+//!   pre-reserved capacity (`std::sync::mpsc` allocates per send), and
+//!   block payload buffers are recycled through a per-edge return
+//!   channel ([`Endpoint::return_buffer`]) so after warmup every send
+//!   reuses a buffer that has already reached its high-water capacity.
+//!
+//! Every block send is metered into a [`CommLedger`] — a pre-sized table
+//! of atomic counters indexed by `(round, phase, src, dst)` — which the
+//! comm-validation suite compares against the analytic predictions of
+//! [`crate::comm`], byte for byte.
+//!
+//! A dropped [`Endpoint`] (normal exit or unwinding panic) closes its
+//! outgoing channels, so peers blocked in [`Endpoint::recv`] observe
+//! `Disconnected` instead of deadlocking when a shard dies.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Communication phases of one outer round, in protocol order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Partial-MTTKRP blocks routed to the owner of the rows
+    /// (reduce-scatter of `K`; every mode except the split mode).
+    KReduce,
+    /// Updated owned factor rows replicated to all peers (allgather;
+    /// every mode except the split mode).
+    FactorRows,
+    /// Partial `F x F` Gram blocks of the split mode (allreduce; the
+    /// split-mode factor itself never travels).
+    GramReduce,
+    /// Scalar partial inner products for the fit check (allreduce; last
+    /// mode only).
+    Objective,
+}
+
+/// Number of [`Phase`] variants (ledger sizing).
+pub const NPHASES: usize = 4;
+
+impl Phase {
+    /// Dense index for ledger/prediction tables.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::KReduce => 0,
+            Phase::FactorRows => 1,
+            Phase::GramReduce => 2,
+            Phase::Objective => 3,
+        }
+    }
+
+    /// All phases in protocol order.
+    pub const ALL: [Phase; NPHASES] = [
+        Phase::KReduce,
+        Phase::FactorRows,
+        Phase::GramReduce,
+        Phase::Objective,
+    ];
+}
+
+/// Payload of one message.
+#[derive(Debug)]
+pub enum Body {
+    /// A row-major block of `f64`s (factor rows, partial K rows, or a
+    /// partial Gram). The buffer is recycled by the receiver.
+    Block(Vec<f64>),
+    /// A scalar (partial inner product).
+    Scalar(f64),
+}
+
+/// A typed message between shards.
+#[derive(Debug)]
+pub struct Msg {
+    /// Protocol phase this message belongs to.
+    pub phase: Phase,
+    /// Mode being updated when it was sent.
+    pub mode: u32,
+    /// 1-based outer round.
+    pub round: u32,
+    /// Payload.
+    pub body: Body,
+}
+
+/// Channel error: the sending side is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+/// A FIFO channel with pre-reserved capacity and close-on-drop
+/// semantics. Sends never block (the deque grows past `cap` only if the
+/// in-flight bound is exceeded, which the lockstep protocol prevents);
+/// receives block until a message or a close arrives.
+struct Channel<T> {
+    q: Mutex<ChannelQ<T>>,
+    cv: Condvar,
+}
+
+struct ChannelQ<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Channel<T> {
+    fn new(cap: usize) -> Self {
+        Channel {
+            q: Mutex::new(ChannelQ {
+                buf: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn send(&self, t: T) {
+        let mut q = self.q.lock().expect("channel lock");
+        q.buf.push_back(t);
+        drop(q);
+        self.cv.notify_one();
+    }
+
+    fn recv(&self) -> Result<T, Disconnected> {
+        let mut q = self.q.lock().expect("channel lock");
+        loop {
+            if let Some(t) = q.buf.pop_front() {
+                return Ok(t);
+            }
+            if q.closed {
+                return Err(Disconnected);
+            }
+            q = self.cv.wait(q).expect("channel wait");
+        }
+    }
+
+    fn try_recv(&self) -> Option<T> {
+        self.q.lock().expect("channel lock").buf.pop_front()
+    }
+
+    fn close(&self) {
+        self.q.lock().expect("channel lock").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// In-flight bound per directed edge. A shard can run at most one
+/// collective step ahead of a peer before its own receives block, so a
+/// small constant suffices; exceeding it only costs a deque growth.
+const EDGE_CAPACITY: usize = 8;
+
+/// The full `S x S` mesh of typed channels plus the buffer-return mesh.
+pub struct Fabric {
+    nshards: usize,
+    /// `data[src * S + dst]`: messages from `src` to `dst`.
+    data: Vec<Channel<Msg>>,
+    /// `recycle[src * S + dst]`: consumed payload buffers flowing back
+    /// from `dst` (the receiver) to `src` (the original sender).
+    recycle: Vec<Channel<Vec<f64>>>,
+}
+
+impl Fabric {
+    /// Build the mesh for `nshards` shards.
+    pub fn new(nshards: usize) -> Arc<Self> {
+        let n = nshards * nshards;
+        Arc::new(Fabric {
+            nshards,
+            data: (0..n).map(|_| Channel::new(EDGE_CAPACITY)).collect(),
+            recycle: (0..n).map(|_| Channel::new(EDGE_CAPACITY)).collect(),
+        })
+    }
+
+    /// Number of shards in the mesh.
+    pub fn nshards(&self) -> usize {
+        self.nshards
+    }
+
+    fn edge(&self, src: usize, dst: usize) -> &Channel<Msg> {
+        &self.data[src * self.nshards + dst]
+    }
+
+    fn recycle_edge(&self, src: usize, dst: usize) -> &Channel<Vec<f64>> {
+        &self.recycle[src * self.nshards + dst]
+    }
+
+    /// One shard's handle on the mesh. Call once per shard id.
+    pub fn endpoint(self: &Arc<Self>, id: usize) -> Endpoint {
+        assert!(id < self.nshards, "endpoint id out of range");
+        Endpoint {
+            id,
+            fabric: Arc::clone(self),
+        }
+    }
+}
+
+/// Per-round, per-edge, per-phase byte accounting, recorded at send
+/// time. Pre-sized at construction so steady-state recording is a pair
+/// of relaxed atomic adds.
+pub struct CommLedger {
+    nshards: usize,
+    max_rounds: usize,
+    /// `bytes[(((round-1) * NPHASES + phase) * S + src) * S + dst]`.
+    bytes: Vec<AtomicU64>,
+    /// Message counts per phase.
+    msgs: [AtomicU64; NPHASES],
+}
+
+impl CommLedger {
+    /// Ledger covering up to `max_rounds` outer rounds.
+    pub fn new(nshards: usize, max_rounds: usize) -> Arc<Self> {
+        let cells = max_rounds * NPHASES * nshards * nshards;
+        Arc::new(CommLedger {
+            nshards,
+            max_rounds,
+            bytes: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+            msgs: Default::default(),
+        })
+    }
+
+    fn cell(&self, round: u32, phase: Phase, src: usize, dst: usize) -> usize {
+        let r = round as usize - 1;
+        debug_assert!(r < self.max_rounds);
+        ((r * NPHASES + phase.index()) * self.nshards + src) * self.nshards + dst
+    }
+
+    fn record(&self, round: u32, phase: Phase, src: usize, dst: usize, nbytes: u64) {
+        self.bytes[self.cell(round, phase, src, dst)].fetch_add(nbytes, Ordering::Relaxed);
+        self.msgs[phase.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes recorded for one `(round, phase, src, dst)` cell.
+    pub fn edge_bytes(&self, round: u32, phase: Phase, src: usize, dst: usize) -> u64 {
+        self.bytes[self.cell(round, phase, src, dst)].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes of one phase across all rounds and edges.
+    pub fn phase_bytes(&self, phase: Phase) -> u64 {
+        let s = self.nshards;
+        let mut total = 0;
+        for r in 0..self.max_rounds {
+            let base = (r * NPHASES + phase.index()) * s * s;
+            for cell in &self.bytes[base..base + s * s] {
+                total += cell.load(Ordering::Relaxed);
+            }
+        }
+        total
+    }
+
+    /// Total bytes across everything.
+    pub fn total_bytes(&self) -> u64 {
+        Phase::ALL.iter().map(|&p| self.phase_bytes(p)).sum()
+    }
+
+    /// Messages sent in one phase.
+    pub fn phase_messages(&self, phase: Phase) -> u64 {
+        self.msgs[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent.
+    pub fn total_messages(&self) -> u64 {
+        self.msgs.iter().map(|m| m.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// One shard's sending/receiving handle. Dropping it (including during a
+/// panic unwind) closes the shard's outgoing channels so peers can't
+/// deadlock on a dead sender.
+pub struct Endpoint {
+    id: usize,
+    fabric: Arc<Fabric>,
+}
+
+impl Endpoint {
+    /// This endpoint's shard id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Take a recycled payload buffer for a send to `dst`, or a fresh
+    /// one during warmup. The buffer comes back cleared.
+    pub fn take_buffer(&self, dst: usize) -> Vec<f64> {
+        let mut buf = self
+            .fabric
+            .recycle_edge(self.id, dst)
+            .try_recv()
+            .unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Hand a consumed payload buffer back to its sender `src`.
+    pub fn return_buffer(&self, src: usize, buf: Vec<f64>) {
+        self.fabric.recycle_edge(src, self.id).send(buf);
+    }
+
+    /// Send a block to `dst`, metering its bytes into `ledger`.
+    pub fn send_block(
+        &self,
+        dst: usize,
+        phase: Phase,
+        mode: usize,
+        round: u32,
+        data: Vec<f64>,
+        ledger: &CommLedger,
+    ) {
+        ledger.record(round, phase, self.id, dst, (data.len() * 8) as u64);
+        self.fabric.edge(self.id, dst).send(Msg {
+            phase,
+            mode: mode as u32,
+            round,
+            body: Body::Block(data),
+        });
+    }
+
+    /// Send a scalar to `dst`, metering its 8 bytes into `ledger`.
+    pub fn send_scalar(
+        &self,
+        dst: usize,
+        phase: Phase,
+        mode: usize,
+        round: u32,
+        value: f64,
+        ledger: &CommLedger,
+    ) {
+        ledger.record(round, phase, self.id, dst, 8);
+        self.fabric.edge(self.id, dst).send(Msg {
+            phase,
+            mode: mode as u32,
+            round,
+            body: Body::Scalar(value),
+        });
+    }
+
+    /// Receive the next message from `src`, checking it belongs to the
+    /// expected protocol step (per-edge FIFO plus the lockstep schedule
+    /// make the next message unambiguous; a mismatch is a protocol bug).
+    pub fn recv(
+        &self,
+        src: usize,
+        phase: Phase,
+        mode: usize,
+        round: u32,
+    ) -> Result<Msg, RecvError> {
+        let msg = self
+            .fabric
+            .edge(src, self.id)
+            .recv()
+            .map_err(|_| RecvError::Disconnected { src })?;
+        if msg.phase != phase || msg.mode != mode as u32 || msg.round != round {
+            return Err(RecvError::Protocol {
+                src,
+                expected: (phase, mode as u32, round),
+                got: (msg.phase, msg.mode, msg.round),
+            });
+        }
+        Ok(msg)
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        for dst in 0..self.fabric.nshards {
+            self.fabric.edge(self.id, dst).close();
+        }
+    }
+}
+
+/// Receive-side failure.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer endpoint is gone (it erred or panicked).
+    Disconnected {
+        /// Shard whose endpoint disappeared.
+        src: usize,
+    },
+    /// The next in-order message did not match the protocol step.
+    Protocol {
+        /// Sending shard.
+        src: usize,
+        /// `(phase, mode, round)` this receive expected.
+        expected: (Phase, u32, u32),
+        /// `(phase, mode, round)` actually received.
+        got: (Phase, u32, u32),
+    },
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Disconnected { src } => {
+                write!(f, "shard {src} disconnected mid-protocol")
+            }
+            RecvError::Protocol { src, expected, got } => write!(
+                f,
+                "protocol violation from shard {src}: expected {expected:?}, got {got:?}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn block_roundtrip_with_recycling() {
+        let fabric = Fabric::new(2);
+        let ledger = CommLedger::new(2, 3);
+        let a = fabric.endpoint(0);
+        let b = fabric.endpoint(1);
+
+        let mut buf = a.take_buffer(1);
+        buf.extend_from_slice(&[1.0, 2.0, 3.0]);
+        a.send_block(1, Phase::KReduce, 0, 1, buf, &ledger);
+
+        let msg = b.recv(0, Phase::KReduce, 0, 1).unwrap();
+        let payload = match msg.body {
+            Body::Block(v) => v,
+            _ => panic!("expected block"),
+        };
+        assert_eq!(payload, vec![1.0, 2.0, 3.0]);
+        let cap = payload.capacity();
+        b.return_buffer(0, payload);
+
+        // The recycled buffer comes back with its capacity intact.
+        let again = a.take_buffer(1);
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap);
+
+        assert_eq!(ledger.edge_bytes(1, Phase::KReduce, 0, 1), 24);
+        assert_eq!(ledger.phase_bytes(Phase::KReduce), 24);
+        assert_eq!(ledger.phase_messages(Phase::KReduce), 1);
+    }
+
+    #[test]
+    fn protocol_mismatch_is_detected() {
+        let fabric = Fabric::new(2);
+        let ledger = CommLedger::new(2, 1);
+        let a = fabric.endpoint(0);
+        let b = fabric.endpoint(1);
+        a.send_scalar(1, Phase::Objective, 2, 1, 4.5, &ledger);
+        let err = b.recv(0, Phase::KReduce, 0, 1).unwrap_err();
+        assert!(matches!(err, RecvError::Protocol { src: 0, .. }));
+    }
+
+    #[test]
+    fn dropped_endpoint_unblocks_receiver() {
+        let fabric = Fabric::new(2);
+        let b = fabric.endpoint(1);
+        let f2 = Arc::clone(&fabric);
+        let t = thread::spawn(move || {
+            let a = f2.endpoint(0);
+            drop(a); // shard 0 dies without sending
+        });
+        t.join().unwrap();
+        let err = b.recv(0, Phase::KReduce, 0, 1).unwrap_err();
+        assert!(matches!(err, RecvError::Disconnected { src: 0 }));
+    }
+
+    #[test]
+    fn scalar_bytes_are_metered() {
+        let fabric = Fabric::new(3);
+        let ledger = CommLedger::new(3, 2);
+        let a = fabric.endpoint(0);
+        a.send_scalar(1, Phase::Objective, 2, 2, 1.0, &ledger);
+        a.send_scalar(2, Phase::Objective, 2, 2, 1.0, &ledger);
+        assert_eq!(ledger.phase_bytes(Phase::Objective), 16);
+        assert_eq!(ledger.total_messages(), 2);
+        assert_eq!(ledger.edge_bytes(2, Phase::Objective, 0, 2), 8);
+        assert_eq!(ledger.edge_bytes(1, Phase::Objective, 0, 2), 0);
+    }
+}

@@ -1,107 +1,163 @@
-//! Row partitioning of modes over simulated nodes.
+//! Row partitioning of modes over shards.
 //!
-//! The coarse-grained 1D decomposition assigns each mode's rows to nodes
-//! in contiguous ranges. Mode-0 ranges are balanced by *nonzero count*
-//! (they determine MTTKRP work per node); the other modes are balanced
-//! by row count (they determine ADMM work per node).
+//! The execution engine uses a coarse-grained 1D decomposition along the
+//! tensor's **longest mode** (the *split mode*): each shard owns a
+//! contiguous range of split-mode indices and every nonzero whose
+//! split-mode coordinate falls in that range. Split-mode ranges are
+//! balanced by *nonzero count* (they determine per-shard MTTKRP work);
+//! every other mode is range-partitioned evenly by row count (those
+//! ranges determine ADMM ownership, not data placement).
+//!
+//! ## Balance bound
+//!
+//! The split-mode ranges come from a greedy prefix scan of the slice
+//! histogram that closes a range as soon as it reaches
+//! `target = ceil(nnz / S)`. Each of the first `S-1` ranges therefore
+//! holds fewer than `target + max_slice` nonzeros (it was below `target`
+//! before its last slice), and the final range holds at most
+//! `nnz - (S-1)*target <= target`. The documented (and property-tested)
+//! bound is
+//!
+//! ```text
+//! max_shard_nnz <= ceil(nnz / S) + max_slice_nnz - 1
+//! ```
+//!
+//! where `max_slice_nnz` is the heaviest single slice of the split mode —
+//! the irreducible granularity of any contiguous 1D split.
 
 use sptensor::CooTensor;
+use std::ops::Range;
 
-/// Contiguous row ranges per node, for every mode.
+/// Contiguous per-shard row ranges for every mode, plus the identity of
+/// the split mode whose ranges also partition the nonzeros.
 #[derive(Debug, Clone)]
 pub struct Partition {
-    nnodes: usize,
-    /// `ranges[m][p]` = row range of mode `m` owned by node `p`.
-    ranges: Vec<Vec<std::ops::Range<usize>>>,
+    nshards: usize,
+    split_mode: usize,
+    /// `ranges[m][p]` = rows of mode `m` owned by shard `p`.
+    ranges: Vec<Vec<Range<usize>>>,
 }
 
 impl Partition {
-    /// Partition `tensor` over `nnodes` nodes.
-    ///
-    /// Mode 0 is split at nonzero-count boundaries (greedy prefix split
-    /// of the slice histogram); other modes are split evenly by rows.
-    pub fn build(tensor: &CooTensor, nnodes: usize) -> Self {
-        assert!(nnodes > 0, "need at least one node");
+    /// Partition `tensor` over `nshards` shards, splitting along the
+    /// longest mode (ties break to the lowest mode index).
+    pub fn build(tensor: &CooTensor, nshards: usize) -> Self {
+        let split = (0..tensor.nmodes())
+            .max_by_key(|&m| (tensor.dims()[m], std::cmp::Reverse(m)))
+            .expect("tensors have >= 2 modes");
+        Self::build_on_mode(tensor, split, nshards)
+    }
+
+    /// Partition along an explicit `split_mode` (tests and experiments;
+    /// [`Partition::build`] picks the longest mode).
+    pub fn build_on_mode(tensor: &CooTensor, split_mode: usize, nshards: usize) -> Self {
+        assert!(nshards > 0, "need at least one shard");
+        assert!(split_mode < tensor.nmodes(), "split mode out of range");
         let nmodes = tensor.nmodes();
         let mut ranges = Vec::with_capacity(nmodes);
 
-        // Mode 0: balance nnz.
-        let counts = tensor.slice_counts(0);
-        let total: usize = counts.iter().sum();
-        let target = total.div_ceil(nnodes).max(1);
-        let mut mode0 = Vec::with_capacity(nnodes);
-        let mut start = 0usize;
-        let mut acc = 0usize;
-        for (i, &c) in counts.iter().enumerate() {
-            acc += c;
-            if acc >= target && mode0.len() + 1 < nnodes {
-                mode0.push(start..i + 1);
-                start = i + 1;
-                acc = 0;
-            }
-        }
-        mode0.push(start..counts.len());
-        while mode0.len() < nnodes {
-            // Degenerate: fewer slices than nodes; give empty ranges.
-            let end = mode0.last().map(|r| r.end).unwrap_or(0);
-            mode0.push(end..end);
-        }
-        ranges.push(mode0);
-
-        // Other modes: even row split.
-        for m in 1..nmodes {
+        for m in 0..nmodes {
             let d = tensor.dims()[m];
-            let per = d.div_ceil(nnodes);
-            let mut v = Vec::with_capacity(nnodes);
-            for p in 0..nnodes {
-                let lo = (p * per).min(d);
-                let hi = ((p + 1) * per).min(d);
-                v.push(lo..hi);
+            if m == split_mode {
+                // Greedy nnz-balanced prefix split (see module docs for
+                // the resulting balance bound).
+                let counts = tensor.slice_counts(m);
+                let total: usize = counts.iter().sum();
+                let target = total.div_ceil(nshards).max(1);
+                let mut v = Vec::with_capacity(nshards);
+                let mut start = 0usize;
+                let mut acc = 0usize;
+                for (i, &c) in counts.iter().enumerate() {
+                    acc += c;
+                    if acc >= target && v.len() + 1 < nshards {
+                        v.push(start..i + 1);
+                        start = i + 1;
+                        acc = 0;
+                    }
+                }
+                v.push(start..d);
+                while v.len() < nshards {
+                    // Fewer slices than shards: trailing empty ranges.
+                    let end = v.last().map(|r: &Range<usize>| r.end).unwrap_or(0);
+                    v.push(end..end);
+                }
+                ranges.push(v);
+            } else {
+                // Even row split: ADMM ownership only.
+                let per = d.div_ceil(nshards);
+                let mut v = Vec::with_capacity(nshards);
+                for p in 0..nshards {
+                    let lo = (p * per).min(d);
+                    let hi = ((p + 1) * per).min(d);
+                    v.push(lo..hi);
+                }
+                ranges.push(v);
             }
-            ranges.push(v);
         }
-        Partition { nnodes, ranges }
+        Partition {
+            nshards,
+            split_mode,
+            ranges,
+        }
     }
 
-    /// Number of nodes.
-    pub fn nnodes(&self) -> usize {
-        self.nnodes
+    /// Number of shards.
+    pub fn nshards(&self) -> usize {
+        self.nshards
     }
 
-    /// Row range of mode `m` owned by node `p`.
-    pub fn range(&self, m: usize, p: usize) -> std::ops::Range<usize> {
+    /// The mode whose ranges partition the nonzeros.
+    pub fn split_mode(&self) -> usize {
+        self.split_mode
+    }
+
+    /// Number of modes covered by the partition.
+    pub fn nmodes(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Rows of mode `m` owned by shard `p` (factor rows the shard
+    /// updates in ADMM; for the split mode, also the nonzeros it holds).
+    pub fn owned(&self, m: usize, p: usize) -> Range<usize> {
         self.ranges[m][p].clone()
     }
 
-    /// Owner node of row `i` in mode `m`.
+    /// The split-mode ranges of all shards, in shard order.
+    pub fn split_ranges(&self) -> Vec<Range<usize>> {
+        self.ranges[self.split_mode].clone()
+    }
+
+    /// Owner shard of row `i` in mode `m`.
     pub fn owner(&self, m: usize, i: usize) -> usize {
         self.ranges[m]
             .iter()
             .position(|r| r.contains(&i))
-            .expect("row within dims is owned by some node")
+            .expect("row within dims is owned by some shard")
     }
 
-    /// Split the tensor into per-node local tensors by mode-0 ownership.
+    /// Split the tensor into per-shard locals by split-mode ownership.
     ///
-    /// Every local tensor keeps the *global* dimensions so factor indices
-    /// remain global (ghost rows of non-owned modes are read from the
-    /// replicated factors, as in the real algorithm).
+    /// Each local keeps the *global* dimensions and coordinates, so
+    /// factor indices remain global (remote factor rows are read from
+    /// the replicated copies, exactly as the distributed algorithm
+    /// does). Relative nonzero order is preserved, so a shard-ordered
+    /// concatenation of the locals is a permutation of the input with a
+    /// frozen order — the basis of the deterministic merges.
     pub fn split_tensor(&self, tensor: &CooTensor) -> Vec<CooTensor> {
-        let mut locals: Vec<CooTensor> = (0..self.nnodes)
-            .map(|_| CooTensor::new(tensor.dims().to_vec()).expect("valid dims"))
-            .collect();
-        let nmodes = tensor.nmodes();
-        let mut coord = vec![0u32; nmodes];
-        for n in 0..tensor.nnz() {
-            for (m, c) in coord.iter_mut().enumerate() {
-                *c = tensor.mode_inds(m)[n];
-            }
-            let p = self.owner(0, coord[0] as usize);
-            locals[p]
-                .push(&coord, tensor.values()[n])
-                .expect("coordinate already validated");
-        }
-        locals
+        tensor
+            .split_mode(self.split_mode, &self.ranges[self.split_mode], false)
+            .expect("partition ranges are a contiguous cover by construction")
+    }
+
+    /// The balance bound the split-mode ranges satisfy (see module
+    /// docs): `ceil(nnz/S) + max_slice_nnz - 1`.
+    pub fn nnz_balance_bound(&self, tensor: &CooTensor) -> usize {
+        let max_slice = tensor
+            .slice_counts(self.split_mode)
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        tensor.nnz().div_ceil(self.nshards) + max_slice.saturating_sub(1)
     }
 }
 
@@ -115,16 +171,27 @@ mod tests {
     }
 
     #[test]
+    fn splits_longest_mode() {
+        let t = tensor();
+        assert_eq!(Partition::build(&t, 3).split_mode(), 0);
+        let t2 = gen::random_uniform(&[10, 50, 20], 300, 4).unwrap();
+        assert_eq!(Partition::build(&t2, 3).split_mode(), 1);
+        // Tie breaks to the lowest mode index.
+        let t3 = gen::random_uniform(&[30, 30, 10], 300, 5).unwrap();
+        assert_eq!(Partition::build(&t3, 2).split_mode(), 0);
+    }
+
+    #[test]
     fn ranges_cover_and_are_disjoint() {
         let t = tensor();
         for p in [1usize, 2, 3, 7] {
             let part = Partition::build(&t, p);
             for m in 0..3 {
-                let mut covered = 0usize;
                 let mut prev_end = 0usize;
-                for node in 0..p {
-                    let r = part.range(m, node);
-                    assert!(r.start == prev_end, "mode {m} node {node} gap");
+                let mut covered = 0usize;
+                for shard in 0..p {
+                    let r = part.owned(m, shard);
+                    assert!(r.start == prev_end, "mode {m} shard {shard} gap");
                     prev_end = r.end;
                     covered += r.len();
                 }
@@ -141,7 +208,7 @@ mod tests {
         for m in 0..3 {
             for i in 0..t.dims()[m] {
                 let p = part.owner(m, i);
-                assert!(part.range(m, p).contains(&i));
+                assert!(part.owned(m, p).contains(&i));
             }
         }
     }
@@ -155,18 +222,17 @@ mod tests {
         assert_eq!(total, t.nnz());
         let norm: f64 = locals.iter().map(|l| l.norm_sq()).sum();
         assert!((norm - t.norm_sq()).abs() < 1e-9);
-        // Every local nonzero's mode-0 index belongs to that node.
         for (p, l) in locals.iter().enumerate() {
-            for &i in l.mode_inds(0) {
-                assert_eq!(part.owner(0, i as usize), p);
+            assert_eq!(l.dims(), t.dims()); // global dims retained
+            for &i in l.mode_inds(part.split_mode()) {
+                assert_eq!(part.owner(part.split_mode(), i as usize), p);
             }
         }
     }
 
     #[test]
-    fn mode0_split_is_nnz_balanced() {
-        // A skewed tensor: node loads should be within 2x of each other
-        // when slices allow it.
+    fn split_respects_balance_bound() {
+        // A skewed tensor stresses the greedy prefix split.
         let t = sptensor::gen::planted(&sptensor::gen::PlantedConfig {
             dims: vec![100, 20, 20],
             nnz: 5_000,
@@ -177,24 +243,24 @@ mod tests {
             seed: 9,
         })
         .unwrap();
-        let part = Partition::build(&t, 4);
-        let locals = part.split_tensor(&t);
-        let loads: Vec<usize> = locals.iter().map(|l| l.nnz()).collect();
-        let max = *loads.iter().max().unwrap();
-        let avg = t.nnz() / 4;
-        assert!(max < avg * 3, "imbalanced loads {loads:?} (avg {avg})");
+        for s in [2usize, 3, 4, 7] {
+            let part = Partition::build(&t, s);
+            let locals = part.split_tensor(&t);
+            let max = locals.iter().map(CooTensor::nnz).max().unwrap();
+            let bound = part.nnz_balance_bound(&t);
+            assert!(max <= bound, "S={s}: max shard nnz {max} > bound {bound}");
+        }
     }
 
     #[test]
-    fn more_nodes_than_slices_degenerates_gracefully() {
-        let t = gen::random_uniform(&[2, 10, 10], 50, 1).unwrap();
-        let part = Partition::build(&t, 5);
+    fn more_shards_than_slices_degenerates_gracefully() {
+        let t = gen::random_uniform(&[10, 2, 10], 50, 1).unwrap();
+        let part = Partition::build_on_mode(&t, 1, 5);
         let locals = part.split_tensor(&t);
-        assert_eq!(locals.iter().map(|l| l.nnz()).sum::<usize>(), t.nnz());
-        // Ranges still partition mode 0.
+        assert_eq!(locals.iter().map(CooTensor::nnz).sum::<usize>(), t.nnz());
         let mut end = 0;
         for p in 0..5 {
-            let r = part.range(0, p);
+            let r = part.owned(1, p);
             assert_eq!(r.start, end);
             end = r.end;
         }

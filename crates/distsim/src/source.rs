@@ -1,0 +1,247 @@
+//! A [`TensorSource`] over per-shard CSF sets.
+//!
+//! [`ShardedSource`] presents a partitioned tensor — the same per-shard
+//! locals the execution engine runs on — as a single logical
+//! [`TensorSource`], serving MTTKRP as the frozen shard-ordered merge of
+//! per-shard partials. Feeding it to the *shared-memory* driver
+//! ([`aoadmm::factorize_source`]) proves the data-representation half of
+//! the engine in isolation: if the sharded representation reproduces the
+//! tensor's MTTKRP, it reproduces its factorization trajectory, with no
+//! message layer or ownership protocol in the loop.
+//!
+//! The merge discipline is identical to the engine's: for the split mode
+//! each shard's owned rows are copied from its own partial (split-mode
+//! nonzeros are fully local, so no summation is needed); for every other
+//! mode the full partials are reduced in ascending shard order,
+//! copy-first then accumulate.
+
+use crate::partition::Partition;
+use aoadmm::{AoAdmmError, CsfPolicy, Factorizer, MttkrpInfo, PreparedTensor, TensorSource};
+use splinalg::{vecops, DMat};
+use sptensor::CooTensor;
+use std::sync::Mutex;
+
+/// A partitioned tensor behind the [`TensorSource`] interface.
+pub struct ShardedSource {
+    part: Partition,
+    /// Per-shard compiled locals (`None` for shards holding no nonzeros).
+    shards: Vec<Option<PreparedTensor>>,
+    dims: Vec<usize>,
+    nnz: usize,
+    norm_sq: f64,
+    /// Per-shard, per-mode partial MTTKRP buffers. Interior mutability
+    /// bridges scratch reuse to the `&self` trait interface; the driver
+    /// serves modes sequentially, so the lock is uncontended.
+    scratch: Mutex<Vec<Vec<DMat>>>,
+}
+
+impl ShardedSource {
+    /// Partition `tensor` over `nshards` shards (longest-mode split) and
+    /// compile each local under `policy`.
+    pub fn build(
+        tensor: &CooTensor,
+        policy: CsfPolicy,
+        nshards: usize,
+    ) -> Result<Self, AoAdmmError> {
+        if nshards == 0 {
+            return Err(AoAdmmError::Config("nshards must be positive".into()));
+        }
+        let part = Partition::build(tensor, nshards);
+        let locals = part.split_tensor(tensor);
+        let mut shards = Vec::with_capacity(nshards);
+        for local in &locals {
+            shards.push(if local.nnz() > 0 {
+                Some(PreparedTensor::build(local, policy)?)
+            } else {
+                None
+            });
+        }
+        let nmodes = tensor.nmodes();
+        Ok(ShardedSource {
+            part,
+            shards,
+            dims: tensor.dims().to_vec(),
+            nnz: tensor.nnz(),
+            norm_sq: tensor.norm_sq(),
+            scratch: Mutex::new(vec![Vec::with_capacity(nmodes); nshards]),
+        })
+    }
+
+    /// The partition behind the view.
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// Nonzeros held by shard `p`.
+    pub fn shard_nnz(&self, p: usize) -> usize {
+        self.shards[p].as_ref().map_or(0, |s| s.nnz())
+    }
+}
+
+impl TensorSource for ShardedSource {
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn norm_sq(&self) -> f64 {
+        self.norm_sq
+    }
+
+    fn mttkrp(
+        &self,
+        mode: usize,
+        factors: &[DMat],
+        cfg: &Factorizer,
+        out: &mut DMat,
+    ) -> Result<MttkrpInfo, AoAdmmError> {
+        let mut scratch = self.scratch.lock().expect("sharded source scratch");
+        let (rows, cols) = (out.nrows(), out.ncols());
+        let mut info: Option<MttkrpInfo> = None;
+        let mut hits = 0u32;
+        let mut misses = 0u32;
+        for (p, prep) in self.shards.iter().enumerate() {
+            let per_mode = &mut scratch[p];
+            while per_mode.len() <= mode {
+                let m = per_mode.len();
+                per_mode.push(DMat::zeros(self.dims[m], cols));
+            }
+            let buf = &mut per_mode[mode];
+            if buf.nrows() != rows || buf.ncols() != cols {
+                *buf = DMat::zeros(rows, cols);
+            }
+            match prep {
+                Some(prep) => {
+                    let i = prep.mttkrp(mode, factors, cfg, buf)?;
+                    hits += i.slab_hits;
+                    misses += i.slab_misses;
+                    if info.is_none() {
+                        info = Some(i);
+                    }
+                }
+                None => buf.fill(0.0),
+            }
+        }
+
+        let f = cols;
+        if mode == self.part.split_mode() {
+            // Split-mode nonzeros are fully local: each owner's partial
+            // holds the exact K rows, no summation required.
+            for p in 0..self.shards.len() {
+                let r = self.part.owned(mode, p);
+                if r.is_empty() {
+                    continue;
+                }
+                out.as_mut_slice()[r.start * f..r.end * f]
+                    .copy_from_slice(&scratch[p][mode].as_slice()[r.start * f..r.end * f]);
+            }
+        } else {
+            // Frozen shard-ordered reduction, copy-first — the same
+            // discipline as the engine's KReduce merge.
+            for (p, per_mode) in scratch.iter().enumerate() {
+                let src = per_mode[mode].as_slice();
+                if p == 0 {
+                    out.as_mut_slice().copy_from_slice(src);
+                } else {
+                    vecops::axpy(1.0, src, out.as_mut_slice());
+                }
+            }
+        }
+
+        let mut info = info.unwrap_or(MttkrpInfo {
+            decision: aoadmm::SparsityDecision {
+                density: 1.0,
+                structure: aoadmm::Structure::Dense,
+            },
+            strategy: None,
+            slab_hits: 0,
+            slab_misses: 0,
+        });
+        info.slab_hits = hits;
+        info.slab_misses = misses;
+        Ok(info)
+    }
+
+    fn note_factor_changed(&self, mode: usize) {
+        for prep in self.shards.iter().flatten() {
+            prep.note_factor_changed(mode);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use admm::constraints;
+    use sptensor::gen::{planted, PlantedConfig};
+
+    fn tensor() -> CooTensor {
+        planted(&PlantedConfig::small()).unwrap()
+    }
+
+    fn cfg() -> Factorizer {
+        // Zero inner tolerance + fixed inner iterations: the blocked
+        // solver becomes a pure per-row function, so only MTTKRP
+        // reduction order separates the sharded view from the oracle.
+        let mut admm_cfg = admm::AdmmConfig::blocked(50);
+        admm_cfg.tol = 0.0;
+        admm_cfg.max_inner = 8;
+        Factorizer::new(4)
+            .constrain_all(constraints::nonneg())
+            .admm(admm_cfg)
+            .max_outer(5)
+            .tolerance(0.0)
+            .seed(7)
+    }
+
+    #[test]
+    fn single_shard_source_is_bit_identical() {
+        let t = tensor();
+        let oracle = cfg().factorize(&t).unwrap();
+        let source = ShardedSource::build(&t, cfg().csf_policy_value(), 1).unwrap();
+        let via = cfg().factorize_source(&source).unwrap();
+        assert_eq!(
+            oracle.trace.final_error.to_bits(),
+            via.trace.final_error.to_bits()
+        );
+        for m in 0..3 {
+            assert_eq!(
+                oracle.model.factor(m).max_abs_diff(via.model.factor(m)),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_source_matches_oracle_within_tolerance() {
+        let t = tensor();
+        let oracle = cfg().factorize(&t).unwrap();
+        for s in [2usize, 3, 4] {
+            let source = ShardedSource::build(&t, cfg().csf_policy_value(), s).unwrap();
+            let via = cfg().factorize_source(&source).unwrap();
+            assert!(
+                (oracle.trace.final_error - via.trace.final_error).abs() < 1e-8,
+                "S={s}: {} vs {}",
+                oracle.trace.final_error,
+                via.trace.final_error
+            );
+            for m in 0..3 {
+                let d = oracle.model.factor(m).max_abs_diff(via.model.factor(m));
+                assert!(d < 1e-6, "S={s} mode {m} diff {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_nnz_sums_to_total() {
+        let t = tensor();
+        let source = ShardedSource::build(&t, CsfPolicy::PerMode, 3).unwrap();
+        let sum: usize = (0..3).map(|p| source.shard_nnz(p)).sum();
+        assert_eq!(sum, t.nnz());
+        assert_eq!(source.nnz(), t.nnz());
+        assert_eq!(source.dims(), t.dims());
+    }
+}

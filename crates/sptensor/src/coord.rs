@@ -6,6 +6,7 @@
 //! per mode) so mode-wise passes are unit stride.
 
 use crate::{Idx, TensorError};
+use std::ops::Range;
 
 /// A sparse tensor in coordinate format with `f64` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -360,6 +361,146 @@ impl CooTensor {
         Ok(())
     }
 
+    /// Extract the nonzeros whose mode-`mode` coordinate lies in `range`.
+    ///
+    /// Relative nonzero order is preserved. With `reindex` the split
+    /// mode's coordinates are rebased to `0..range.len()` and the
+    /// extracted tensor's mode length becomes `range.len()` (a fully
+    /// local view; `range` must be non-empty since zero-length modes are
+    /// not representable). Without `reindex`, coordinates and dimensions
+    /// are unchanged — the "global dims" shard view used by the sharded
+    /// execution engine, where remote rows are simply absent.
+    ///
+    /// [`CooTensor::rebase_mode`] with `offset = range.start` is the
+    /// exact inverse of a reindexed extraction.
+    pub fn extract_mode_range(
+        &self,
+        mode: usize,
+        range: Range<usize>,
+        reindex: bool,
+    ) -> Result<CooTensor, TensorError> {
+        if mode >= self.nmodes() {
+            return Err(TensorError::Invalid(format!(
+                "extract_mode_range on mode {mode} of a {}-mode tensor",
+                self.nmodes()
+            )));
+        }
+        if range.start > range.end || range.end > self.dims[mode] {
+            return Err(TensorError::Invalid(format!(
+                "range {}..{} out of bounds for mode {mode} (length {})",
+                range.start, range.end, self.dims[mode]
+            )));
+        }
+        let mut dims = self.dims.clone();
+        if reindex {
+            if range.is_empty() {
+                return Err(TensorError::Invalid(format!(
+                    "reindexed extraction of empty range {}..{} on mode {mode}",
+                    range.start, range.end
+                )));
+            }
+            dims[mode] = range.len();
+        }
+        let mut out = CooTensor::new(dims)?;
+        let split = &self.inds[mode];
+        for n in 0..self.nnz() {
+            let i = split[n] as usize;
+            if i < range.start || i >= range.end {
+                continue;
+            }
+            for (m, col) in self.inds.iter().enumerate() {
+                let c = if reindex && m == mode {
+                    col[n] - range.start as Idx
+                } else {
+                    col[n]
+                };
+                out.inds[m].push(c);
+            }
+            out.vals.push(self.vals[n]);
+        }
+        Ok(out)
+    }
+
+    /// Split along `mode` into one tensor per range. `ranges` must be a
+    /// contiguous partition of `0..dims[mode]` (sorted, disjoint,
+    /// gap-free), so every nonzero lands in exactly one output. See
+    /// [`CooTensor::extract_mode_range`] for `reindex` semantics (with
+    /// `reindex`, every range must be non-empty).
+    pub fn split_mode(
+        &self,
+        mode: usize,
+        ranges: &[Range<usize>],
+        reindex: bool,
+    ) -> Result<Vec<CooTensor>, TensorError> {
+        if mode >= self.nmodes() {
+            return Err(TensorError::Invalid(format!(
+                "split_mode on mode {mode} of a {}-mode tensor",
+                self.nmodes()
+            )));
+        }
+        let mut cursor = 0usize;
+        for r in ranges {
+            if r.start != cursor || r.end < r.start {
+                return Err(TensorError::Invalid(format!(
+                    "ranges do not form a contiguous partition: expected start {cursor}, got {}..{}",
+                    r.start, r.end
+                )));
+            }
+            cursor = r.end;
+        }
+        if cursor != self.dims[mode] {
+            return Err(TensorError::Invalid(format!(
+                "ranges cover 0..{cursor}, mode {mode} has length {}",
+                self.dims[mode]
+            )));
+        }
+        ranges
+            .iter()
+            .map(|r| self.extract_mode_range(mode, r.clone(), reindex))
+            .collect()
+    }
+
+    /// Add `offset` to every mode-`mode` coordinate and set the mode
+    /// length to `new_len` — the inverse of a reindexed
+    /// [`CooTensor::extract_mode_range`] (pass the range's `start` and
+    /// the original mode length).
+    pub fn rebase_mode(
+        &mut self,
+        mode: usize,
+        offset: usize,
+        new_len: usize,
+    ) -> Result<(), TensorError> {
+        if mode >= self.nmodes() {
+            return Err(TensorError::Invalid(format!(
+                "rebase_mode on mode {mode} of a {}-mode tensor",
+                self.nmodes()
+            )));
+        }
+        if new_len > Idx::MAX as usize {
+            return Err(TensorError::Invalid(format!(
+                "mode {mode} length {new_len} exceeds index type"
+            )));
+        }
+        if let Some(&max) = self.inds[mode].iter().max() {
+            let top = max as usize + offset;
+            if top >= new_len {
+                return Err(TensorError::Invalid(format!(
+                    "rebase_mode: coordinate {top} does not fit mode length {new_len}"
+                )));
+            }
+        } else if self.dims[mode].saturating_add(offset) > new_len {
+            // No nonzeros constrain the bound; still refuse a shrink.
+            return Err(TensorError::Invalid(format!(
+                "rebase_mode cannot shrink mode {mode} to {new_len}"
+            )));
+        }
+        for c in &mut self.inds[mode] {
+            *c += offset as Idx;
+        }
+        self.dims[mode] = new_len;
+        Ok(())
+    }
+
     /// Number of distinct indices appearing in mode `m` (occupied slices).
     pub fn occupied_slices(&self, m: usize) -> usize {
         let mut seen = vec![false; self.dims[m]];
@@ -574,6 +715,61 @@ mod tests {
         oracle.dedup_sum();
         a.merge_add(&b).unwrap();
         assert_eq!(a, oracle);
+    }
+
+    #[test]
+    fn extract_mode_range_global_and_reindexed() {
+        let t = t3(); // nonzeros at mode-0 indices 0, 2, 1
+        let g = t.extract_mode_range(0, 1..3, false).unwrap();
+        assert_eq!(g.dims(), &[3, 4, 5]);
+        assert_eq!(g.mode_inds(0), &[2, 1]); // order preserved
+        assert_eq!(g.values(), &[2.0, 3.0]);
+        let l = t.extract_mode_range(0, 1..3, true).unwrap();
+        assert_eq!(l.dims(), &[2, 4, 5]);
+        assert_eq!(l.mode_inds(0), &[1, 0]);
+        assert_eq!(l.mode_inds(2), &[4, 3]); // other modes untouched
+                                             // Empty global-dims extraction is fine; reindexed empty range is not.
+        assert_eq!(t.extract_mode_range(0, 1..1, false).unwrap().nnz(), 0);
+        assert!(t.extract_mode_range(0, 1..1, true).is_err());
+        assert!(t.extract_mode_range(0, 1..4, false).is_err());
+        assert!(t.extract_mode_range(9, 0..1, false).is_err());
+    }
+
+    #[test]
+    fn split_mode_partitions_every_nonzero() {
+        let t = t3();
+        let ranges = [0..1, 1..2, 2..3];
+        let shards = t.split_mode(0, &ranges, false).unwrap();
+        assert_eq!(shards.iter().map(CooTensor::nnz).sum::<usize>(), t.nnz());
+        for (s, r) in shards.iter().zip(&ranges) {
+            for &i in s.mode_inds(0) {
+                assert!(r.contains(&(i as usize)));
+            }
+        }
+        // Gap, overlap, and short coverage are rejected.
+        assert!(t.split_mode(0, &[0..1, 2..3], false).is_err());
+        assert!(t.split_mode(0, &[0..2, 1..3], false).is_err());
+        assert!(t.split_mode(0, &[0..2], false).is_err());
+    }
+
+    #[test]
+    fn rebase_inverts_reindexed_extraction() {
+        let mut t = t3();
+        t.dedup_sum();
+        let ranges = [0..2, 2..3];
+        let shards = t.split_mode(0, &ranges, true).unwrap();
+        let mut merged: Option<CooTensor> = None;
+        for (mut s, r) in shards.into_iter().zip(ranges.iter().cloned()) {
+            s.rebase_mode(0, r.start, t.dims()[0]).unwrap();
+            match &mut merged {
+                None => merged = Some(s),
+                Some(m) => m.merge_add(&s).unwrap(),
+            }
+        }
+        assert_eq!(merged.unwrap(), t);
+        let mut bad = t3();
+        assert!(bad.rebase_mode(0, 5, 3).is_err()); // coordinate overflow
+        assert!(bad.rebase_mode(9, 0, 3).is_err());
     }
 
     #[test]

@@ -195,6 +195,56 @@ fn dimtree_steady_state_sweeps_do_not_allocate() {
 }
 
 #[test]
+fn sharded_steady_state_rounds_do_not_allocate() {
+    // The sharded engine's contract extends the workspace contract
+    // across the wire: once the first rounds have sized every per-shard
+    // workspace AND cycled every message buffer through the per-edge
+    // recycle pools, a full lockstep round — MTTKRP, KReduce exchange,
+    // blocked ADMM on owned rows, FactorRows allgather, Gram reduction,
+    // objective merge — allocates nothing. Message payloads must come
+    // from the pools, not the heap.
+    use aoadmm::{CsfPolicy, Factorizer, SparsityConfig};
+    use aoadmm_distsim::{LockstepEngine, ShardConfig};
+
+    let t = sptensor::gen::random_uniform(&[40, 26, 30], 1200, 61).unwrap();
+    let mut admm_cfg = AdmmConfig::blocked(50);
+    admm_cfg.tol = 0.0;
+    admm_cfg.max_inner = 6;
+    // Unconstrained + sparsity reasoning off: keeps the factors dense so
+    // no mid-run CSR snapshot can legitimately allocate. The dim-tree
+    // MTTKRP is the arena-backed kernel with the zero-alloc guarantee
+    // (asserted above); the per-mode CSF kernel allocates per-task
+    // accumulators inside `for_each_init` by design.
+    let cfg = Factorizer::new(5)
+        .admm(admm_cfg)
+        .sparsity(SparsityConfig::disabled())
+        .csf_policy(CsfPolicy::DimTree)
+        .max_outer(40)
+        .tolerance(0.0)
+        .seed(62);
+
+    for shards in [2usize, 3] {
+        let sc = ShardConfig::new(shards);
+        let mut engine = LockstepEngine::build(&t, &cfg, &sc).unwrap();
+        // Warm-up: round 1 sizes the workspaces and mints the message
+        // buffers; rounds 2-3 let the recycle pools reach their
+        // steady-state rotation.
+        for _ in 0..3 {
+            engine.round().unwrap();
+        }
+        let allocs = count_allocations(|| {
+            for _ in 0..3 {
+                engine.round().unwrap();
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "S={shards}: 3 steady-state sharded rounds allocated {allocs} times"
+        );
+    }
+}
+
+#[test]
 fn warm_panel_solve_does_not_allocate() {
     let f = 8;
     let (grams, k) = problem(3 * 32 + 7, f, 47);

@@ -1,0 +1,221 @@
+//! Oracle-locked conformance of the sharded execution engine.
+//!
+//! The single-shard shared-memory driver is the oracle. The suite pins
+//! the engine to it across a zoo of shapes (3-, 4- and 5-mode, uniform
+//! and skewed), shard counts {1, 2, 3, 4}, per-shard pool sizes
+//! {0 (inline), 1, 2, 4}, and degenerate ragged partitions with more
+//! shards than split-mode slices.
+//!
+//! All runs use the *deterministic-reduction discipline*: zero inner
+//! ADMM tolerance and a fixed inner iteration count, which turns the
+//! blocked solver into a pure per-row function. Under that discipline
+//! the trajectory is shard-count invariant (block boundaries cannot
+//! change early stopping), so the suite demands per-iteration
+//! trajectory equality, not just a final-answer match:
+//!
+//! * `S = 1` must be **bit-exact** against the oracle — same error
+//!   bits, same factor bits, same dual bits.
+//! * threaded SPMD must be **bit-exact** against the single-threaded
+//!   lockstep schedule (same merges in the same frozen order).
+//! * pool size must not change a single bit (per-shard rayon MTTKRP
+//!   partitions output rows, never reductions).
+//! * `S > 1` must track the oracle's per-iteration relative errors to
+//!   1e-8 and its factors to 1e-6 (the residual difference is the
+//!   shard-ordered MTTKRP summation order).
+
+use admm::{constraints, AdmmConfig};
+use aoadmm::Factorizer;
+use aoadmm_distsim::{shard_factorize, LockstepEngine, ShardConfig};
+use sptensor::CooTensor;
+use testkit::gen;
+
+/// Fixed-inner-work configuration: the conformance discipline.
+fn fixed_cfg(rank: usize, max_outer: usize, seed: u64) -> Factorizer {
+    let mut a = AdmmConfig::blocked(50);
+    a.tol = 0.0;
+    a.max_inner = 8;
+    Factorizer::new(rank)
+        .constrain_all(constraints::nonneg())
+        .admm(a)
+        .max_outer(max_outer)
+        .tolerance(0.0)
+        .seed(seed)
+}
+
+/// Shape zoo: mode counts 3-5, uniform and skewed occupancy.
+fn zoo() -> Vec<(&'static str, CooTensor)> {
+    vec![
+        ("uniform-3mode", gen::tensor(&[40, 26, 30], 1500, 11)),
+        (
+            "skewed-3mode",
+            gen::skewed_tensor(&[48, 20, 24], 1800, 1.1, 12),
+        ),
+        ("uniform-4mode", gen::tensor(&[30, 18, 22, 14], 1600, 13)),
+        (
+            "skewed-4mode",
+            gen::skewed_tensor(&[36, 16, 12, 18], 1400, 0.9, 14),
+        ),
+        (
+            "uniform-5mode",
+            gen::tensor(&[24, 12, 10, 14, 16], 1500, 15),
+        ),
+    ]
+}
+
+#[test]
+fn trajectory_locks_to_oracle_across_zoo_and_shard_counts() {
+    for (name, t) in zoo() {
+        let cfg = fixed_cfg(4, 4, 21);
+        let oracle = cfg.factorize(&t).expect(name);
+        for s in [1usize, 2, 3, 4] {
+            let res = shard_factorize(&t, &cfg, &ShardConfig::new(s))
+                .unwrap_or_else(|e| panic!("{name} S={s}: {e}"));
+            assert_eq!(
+                res.trace.iterations.len(),
+                oracle.trace.iterations.len(),
+                "{name} S={s}: iteration count"
+            );
+            for (it, (a, b)) in oracle
+                .trace
+                .iterations
+                .iter()
+                .zip(&res.trace.iterations)
+                .enumerate()
+            {
+                assert!(
+                    (a.rel_error - b.rel_error).abs() < 1e-8,
+                    "{name} S={s} iter {it}: {} vs {}",
+                    a.rel_error,
+                    b.rel_error
+                );
+            }
+            for m in 0..t.nmodes() {
+                let d = oracle.model.factor(m).max_abs_diff(res.model.factor(m));
+                assert!(d < 1e-6, "{name} S={s} mode {m}: factor diff {d}");
+            }
+            if s == 1 {
+                // Degenerate sharding must reproduce the oracle bit for bit.
+                assert_eq!(
+                    oracle.trace.final_error.to_bits(),
+                    res.trace.final_error.to_bits(),
+                    "{name} S=1: error bits"
+                );
+                for m in 0..t.nmodes() {
+                    assert_eq!(
+                        oracle.model.factor(m).max_abs_diff(res.model.factor(m)),
+                        0.0,
+                        "{name} S=1 mode {m}: factor bits"
+                    );
+                    assert_eq!(
+                        oracle.duals[m].max_abs_diff(&res.duals[m]),
+                        0.0,
+                        "{name} S=1 mode {m}: dual bits"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pool_size_does_not_change_a_bit() {
+    let t = gen::skewed_tensor(&[36, 16, 12, 18], 1400, 0.9, 14);
+    let cfg = fixed_cfg(4, 4, 22);
+    let baseline = shard_factorize(&t, &cfg, &ShardConfig::new(3)).unwrap();
+    for threads in [1usize, 2, 4] {
+        let sc = ShardConfig::new(3).threads_per_shard(threads);
+        let res = shard_factorize(&t, &cfg, &sc).unwrap();
+        assert_eq!(
+            baseline.trace.final_error.to_bits(),
+            res.trace.final_error.to_bits(),
+            "threads={threads}: error bits"
+        );
+        for m in 0..t.nmodes() {
+            assert_eq!(
+                baseline.model.factor(m).max_abs_diff(res.model.factor(m)),
+                0.0,
+                "threads={threads} mode {m}: factor bits"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_spmd_matches_lockstep_bitwise() {
+    let t = gen::tensor(&[30, 18, 22, 14], 1600, 13);
+    let cfg = fixed_cfg(4, 4, 23);
+    for s in [2usize, 4] {
+        let sc = ShardConfig::new(s);
+        let mut lock = LockstepEngine::build(&t, &cfg, &sc).unwrap();
+        lock.run_to_convergence().unwrap();
+        let lock_res = lock.finish();
+        let thr = shard_factorize(&t, &cfg, &sc).unwrap();
+        assert_eq!(
+            lock_res.trace.final_error.to_bits(),
+            thr.trace.final_error.to_bits(),
+            "S={s}: error bits"
+        );
+        for m in 0..t.nmodes() {
+            assert_eq!(
+                lock_res.model.factor(m).max_abs_diff(thr.model.factor(m)),
+                0.0,
+                "S={s} mode {m}: factor bits"
+            );
+            assert_eq!(
+                lock_res.duals[m].max_abs_diff(&thr.duals[m]),
+                0.0,
+                "S={s} mode {m}: dual bits"
+            );
+        }
+    }
+}
+
+#[test]
+fn ragged_partition_with_empty_shards_still_conforms() {
+    // 6 split-mode slices, heavily skewed, spread over up to 8 shards:
+    // the greedy nnz split leaves trailing shards with empty ranges and
+    // no nonzeros at all. Those shards must still participate in every
+    // merge without perturbing the result.
+    let t = gen::skewed_tensor(&[6, 5, 4], 300, 1.3, 31);
+    let cfg = fixed_cfg(3, 4, 32);
+    let oracle = cfg.factorize(&t).unwrap();
+    for s in [4usize, 6, 8] {
+        let res = shard_factorize(&t, &cfg, &ShardConfig::new(s))
+            .unwrap_or_else(|e| panic!("S={s}: {e}"));
+        assert!(
+            res.partition.split_ranges().iter().any(|r| r.is_empty()),
+            "S={s}: expected at least one empty shard range"
+        );
+        assert!(
+            (oracle.trace.final_error - res.trace.final_error).abs() < 1e-8,
+            "S={s}: {} vs {}",
+            oracle.trace.final_error,
+            res.trace.final_error
+        );
+        for m in 0..t.nmodes() {
+            let d = oracle.model.factor(m).max_abs_diff(res.model.factor(m));
+            assert!(d < 1e-6, "S={s} mode {m}: factor diff {d}");
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_are_invariant_across_shard_counts() {
+    // Stronger than oracle tracking: any two shard counts agree with
+    // each other at the same tolerance, including with pools enabled.
+    let t = gen::tensor(&[40, 26, 30], 1500, 11);
+    let cfg = fixed_cfg(4, 5, 24);
+    let reference = shard_factorize(&t, &cfg, &ShardConfig::new(2)).unwrap();
+    for (s, threads) in [(3usize, 0usize), (4, 2)] {
+        let sc = ShardConfig::new(s).threads_per_shard(threads);
+        let res = shard_factorize(&t, &cfg, &sc).unwrap();
+        assert!(
+            (reference.trace.final_error - res.trace.final_error).abs() < 1e-8,
+            "S={s} threads={threads}"
+        );
+        for m in 0..t.nmodes() {
+            let d = reference.model.factor(m).max_abs_diff(res.model.factor(m));
+            assert!(d < 1e-6, "S={s} threads={threads} mode {m}: diff {d}");
+        }
+    }
+}

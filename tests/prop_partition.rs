@@ -1,0 +1,155 @@
+//! Property sweeps for the shard partitioning layer (seeded
+//! [`testkit::TestRng`] loops; inputs are reproducible from the seeds
+//! embedded below).
+//!
+//! Properties:
+//!
+//! * **Bijection** — splitting a tensor over shards is a partition of
+//!   its nonzeros: every (coordinate, value) pair lands in exactly one
+//!   local, owned by the shard the partition says owns it, and the
+//!   shard-ordered concatenation is a permutation of the input.
+//! * **Reindex round-trip** — a reindexed `extract_mode_range` followed
+//!   by `rebase_mode` is exactly the non-reindexed extraction.
+//! * **Balance** — the greedy nnz split respects the documented bound
+//!   `max_shard_nnz <= ceil(nnz/S) + max_slice_nnz - 1`.
+//! * **Ownership** — ranges tile every mode; `owner` inverts `owned`.
+
+use aoadmm_distsim::Partition;
+use sptensor::CooTensor;
+use testkit::{gen, TestRng};
+
+/// A random test tensor: 3-5 modes, modest dims, optional skew.
+fn random_tensor(rng: &mut TestRng) -> CooTensor {
+    let nmodes = 3 + rng.index(3);
+    let dims: Vec<usize> = (0..nmodes).map(|_| 3 + rng.index(28)).collect();
+    let cells: usize = dims.iter().product();
+    let nnz = 1 + rng.index(cells.min(1500));
+    let seed = rng.next_u64();
+    if rng.next_f64() < 0.5 {
+        gen::tensor(&dims, nnz, seed)
+    } else {
+        gen::skewed_tensor(&dims, nnz, rng.uniform(0.2, 1.4), seed)
+    }
+}
+
+/// Canonical multiset view of a tensor's nonzeros.
+fn nonzero_multiset(t: &CooTensor) -> Vec<(Vec<u32>, u64)> {
+    let mut v: Vec<(Vec<u32>, u64)> = t
+        .nonzeros()
+        .map(|(coord, val)| (coord, val.to_bits()))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn split_is_a_bijection_on_nonzeros() {
+    let mut rng = TestRng::new(0xB17E);
+    for _trial in 0..25 {
+        let t = random_tensor(&mut rng);
+        let s = 1 + rng.index(6);
+        let part = Partition::build(&t, s);
+        let locals = part.split_tensor(&t);
+        assert_eq!(locals.len(), s);
+
+        // Each shard holds exactly the nonzeros it owns...
+        let split = part.split_mode();
+        let mut merged = Vec::new();
+        for (p, local) in locals.iter().enumerate() {
+            assert_eq!(local.dims(), t.dims(), "locals keep global dims");
+            for &i in local.mode_inds(split) {
+                assert_eq!(
+                    part.owner(split, i as usize),
+                    p,
+                    "shard {p} holds a nonzero it does not own"
+                );
+            }
+            merged.extend(nonzero_multiset(local));
+        }
+        // ...and together they are a permutation of the input.
+        merged.sort();
+        assert_eq!(
+            merged,
+            nonzero_multiset(&t),
+            "S={s}: locals are not a permutation of the input"
+        );
+    }
+}
+
+#[test]
+fn reindexed_extraction_round_trips_through_rebase() {
+    let mut rng = TestRng::new(0x5EED);
+    for _trial in 0..25 {
+        let t = random_tensor(&mut rng);
+        let mode = rng.index(t.nmodes());
+        let d = t.dims()[mode];
+        let start = rng.index(d);
+        let end = start + 1 + rng.index(d - start);
+
+        let mut local = t
+            .extract_mode_range(mode, start..end, true)
+            .expect("reindexed extraction");
+        assert_eq!(local.dims()[mode], end - start);
+        local.rebase_mode(mode, start, d).expect("rebase");
+
+        let global_view = t
+            .extract_mode_range(mode, start..end, false)
+            .expect("global-dims extraction");
+        assert_eq!(local.dims(), global_view.dims());
+        assert_eq!(
+            nonzero_multiset(&local),
+            nonzero_multiset(&global_view),
+            "mode {mode} range {start}..{end}"
+        );
+        // Order is preserved too, not just the multiset.
+        for m in 0..t.nmodes() {
+            assert_eq!(local.mode_inds(m), global_view.mode_inds(m));
+        }
+    }
+}
+
+#[test]
+fn greedy_split_respects_documented_balance_bound() {
+    let mut rng = TestRng::new(0xBA1A);
+    for _trial in 0..25 {
+        let t = random_tensor(&mut rng);
+        for s in [1usize, 2, 3, 5, 8] {
+            let part = Partition::build(&t, s);
+            let locals = part.split_tensor(&t);
+            let max = locals.iter().map(CooTensor::nnz).max().unwrap();
+            let bound = part.nnz_balance_bound(&t);
+            assert!(
+                max <= bound,
+                "S={s}: max shard nnz {max} exceeds bound {bound} \
+                 (nnz {}, dims {:?})",
+                t.nnz(),
+                t.dims()
+            );
+        }
+    }
+}
+
+#[test]
+fn ranges_tile_every_mode_and_owner_inverts_owned() {
+    let mut rng = TestRng::new(0x0113);
+    for _trial in 0..25 {
+        let t = random_tensor(&mut rng);
+        let s = 1 + rng.index(7);
+        let part = Partition::build(&t, s);
+        for m in 0..t.nmodes() {
+            let mut cursor = 0usize;
+            for p in 0..s {
+                let r = part.owned(m, p);
+                assert_eq!(r.start, cursor, "mode {m} shard {p}: gap or overlap");
+                cursor = r.end;
+            }
+            assert_eq!(cursor, t.dims()[m], "mode {m}: not fully covered");
+            // Spot-check owner() against the ranges on random rows.
+            for _ in 0..8 {
+                let i = rng.index(t.dims()[m]);
+                let p = part.owner(m, i);
+                assert!(part.owned(m, p).contains(&i));
+            }
+        }
+    }
+}
