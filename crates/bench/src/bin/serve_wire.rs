@@ -1,0 +1,293 @@
+//! Closed-loop **over-the-wire** load generator for the serve daemon.
+//!
+//! Where `serve_load` drives the in-process engine, this stands up a
+//! real [`aoadmm_served::Daemon`] on loopback and drives it with
+//! concurrent pipelined [`WireClient`]s — so the numbers include
+//! framing, syscalls, admission, the SLO batcher and the worker pool.
+//! Three scenarios, swept over client counts, land in
+//! `bench_results/serve_wire.csv`:
+//!
+//! * `point_wire` — pipelined point predicts (windows through the
+//!   daemon's deadline batcher),
+//! * `topk_exact_wire` — the exact norm-bound pruned top-K tier,
+//! * `topk_approx_wire` — the bf16-quantized approximate tier with
+//!   exact f64 rescoring of survivors.
+//!
+//! The `recall_at_k` column is measured, not assumed: after timing, the
+//! approximate tier's answers for a held-out anchor set are compared
+//! against the exact oracle computed in-process (exact scenarios score
+//! 1.0 by construction — the wire path is conformance-tested
+//! bit-identical). The headline figure is the approx:exact throughput
+//! ratio at the measured recall.
+//!
+//! Usage: `cargo run --release -p aoadmm-bench --bin serve_wire -- \
+//!         [--rows 400000] [--rank 32] [--ops 12] [--window 16] [--k 10] \
+//!         [--clients 1,2,4] [--skew 0.2] [--shards 2] [--workers 2] \
+//!         [--oversample 4] [--guard 0.01] [--seed 1]`
+//!
+//! Defaults are the checked-in `bench_results/serve_wire.csv`
+//! configuration: 400k rows keeps both factor copies (102 MB f64, 26 MB
+//! bf16) out of cache so the scenario exercises the memory system the
+//! way a production catalog does, and skew 0.2 decays norms slowly
+//! enough that neither tier's norm-bound termination trivializes the
+//! scan.
+
+use aoadmm::KruskalModel;
+use aoadmm_bench::{csv_writer, Args};
+use aoadmm_serve::{ApproxPolicy, ModelRegistry, ServeEngine, TopKQuery};
+use aoadmm_served::{Daemon, DaemonConfig, Tier, WireClient};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::DMat;
+use sptensor::Idx;
+use std::io::Write;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn coord_for(i: u64, dims: &[usize]) -> Vec<Idx> {
+    dims.iter()
+        .enumerate()
+        .map(|(m, &d)| {
+            (i.wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(m as u64 * 0x85ebca6b)
+                % d as u64) as Idx
+        })
+        .collect()
+}
+
+struct Cell {
+    qps: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+/// One pipelined operation: a window of queries through one client.
+type OpFn<'a> = dyn Fn(&mut WireClient, &[Vec<Idx>]) + Sync + 'a;
+
+/// `clients` closed-loop connections, `ops` pipelined windows each.
+/// Latency percentiles are per window (microseconds); throughput counts
+/// queries. Warm-up windows run first and are excluded from the wall.
+fn run_cell(
+    addr: SocketAddr,
+    clients: usize,
+    ops: usize,
+    slabs: &[Vec<Vec<Idx>>],
+    f: &OpFn<'_>,
+) -> Cell {
+    let warm = (ops / 4).max(2);
+    let per_op = slabs[0].len();
+    let (mut lats, wall) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = WireClient::connect(addr).expect("connect");
+                    let mut lats = Vec::with_capacity(ops);
+                    for i in 0..warm {
+                        f(&mut client, &slabs[(c * warm + i) % slabs.len()]);
+                    }
+                    let timed = Instant::now();
+                    for i in 0..ops {
+                        let slab = &slabs[(c * ops + i) % slabs.len()];
+                        let t = Instant::now();
+                        f(&mut client, slab);
+                        lats.push(t.elapsed().as_nanos() as u64);
+                    }
+                    (lats, timed.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        let mut lats = Vec::with_capacity(clients * ops);
+        let mut wall = 0.0f64;
+        for h in handles {
+            let (l, w) = h.join().expect("client");
+            lats.extend(l);
+            wall = wall.max(w);
+        }
+        (lats, wall)
+    });
+    lats.sort_unstable();
+    let pct = |p: f64| lats[(p * (lats.len() - 1) as f64).round() as usize] as f64 / 1e3;
+    Cell {
+        qps: (lats.len() * per_op) as f64 / wall,
+        p50: pct(0.50),
+        p95: pct(0.95),
+        p99: pct(0.99),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let rows: usize = args.get("rows", 400_000);
+    let rank: usize = args.get("rank", 32);
+    let ops: usize = args.get("ops", 12);
+    let window: usize = args.get("window", 16);
+    let k: usize = args.get("k", 10);
+    let seed: u64 = args.get("seed", 1);
+    let skew: f64 = args.get("skew", 0.2);
+    let shards: usize = args.get("shards", 2);
+    let workers: usize = args.get("workers", 2);
+    let policy = ApproxPolicy {
+        oversample: args.get("oversample", 4),
+        guard: args.get("guard", 0.01),
+    };
+    let clients: Vec<usize> = args
+        .get_str("clients", "1,2,4")
+        .split(',')
+        .map(|s| s.trim().parse().expect("client count"))
+        .collect();
+
+    let dims = vec![rows, 97, 83];
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let factors: Vec<DMat> = dims
+        .iter()
+        .map(|&d| {
+            let mut f = DMat::random(d, rank, -1.0, 1.0, &mut rng);
+            // Power-law row magnitudes (popularity skew), the regime the
+            // norm-ordered scans — exact and approximate — are built for.
+            for i in 0..d {
+                let scale = ((i + 1) as f64).powf(-skew);
+                for v in f.row_mut(i) {
+                    *v *= scale;
+                }
+            }
+            f
+        })
+        .collect();
+    let model = KruskalModel::new(factors);
+
+    let daemon = Daemon::bind(DaemonConfig {
+        nshards: shards,
+        workers,
+        batch_deadline: Duration::from_micros(200),
+        approx: policy,
+        ..DaemonConfig::default()
+    })
+    .expect("bind loopback");
+    daemon.registry().publish(model.clone()).expect("publish");
+    let addr = daemon.local_addr();
+    println!(
+        "daemon on {addr}: rank-{rank} model over dims {dims:?}, {shards} shard(s), \
+         {workers} workers; {ops} windows/client x {window} queries\n"
+    );
+
+    // Pregenerated query windows, cycled by every client.
+    let slabs: Vec<Vec<Vec<Idx>>> = (0..64u64)
+        .map(|s| {
+            (0..window as u64)
+                .map(|i| coord_for(s * window as u64 + i, &dims))
+                .collect()
+        })
+        .collect();
+
+    // Measured recall of the approximate tier against the in-process
+    // exact oracle, over every distinct anchor in the workload.
+    let recall = {
+        let registry = std::sync::Arc::new(ModelRegistry::new());
+        registry.publish(model);
+        let oracle = ServeEngine::new(registry);
+        let mut client = WireClient::connect(addr).expect("connect");
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for slab in &slabs {
+            for anchor in slab {
+                let (_, approx) = client.topk(Tier::Approx, 0, anchor, k).expect("topk");
+                let exact = oracle
+                    .topk(&TopKQuery {
+                        free_mode: 0,
+                        anchor: anchor.clone(),
+                        k,
+                    })
+                    .expect("oracle")
+                    .hits;
+                let hit = approx
+                    .iter()
+                    .filter(|(id, _)| exact.iter().any(|(eid, _)| eid == id))
+                    .count();
+                total += hit as f64 / exact.len() as f64;
+                n += 1;
+            }
+        }
+        total / n as f64
+    };
+    println!(
+        "approx tier recall@{k} over {} anchors: {recall:.4}\n",
+        64 * window
+    );
+
+    let (mut csv, path) = csv_writer("serve_wire");
+    writeln!(
+        csv,
+        "scenario,clients,queries_per_op,qps,p50_us,p95_us,p99_us,recall_at_k"
+    )
+    .unwrap();
+
+    let scenarios: Vec<(&str, f64, Box<OpFn<'_>>)> = vec![
+        (
+            "point_wire",
+            1.0,
+            Box::new(|client: &mut WireClient, slab: &[Vec<Idx>]| {
+                for r in client.predict_pipelined(slab).expect("pipeline") {
+                    r.expect("predict");
+                }
+            }),
+        ),
+        (
+            "topk_exact_wire",
+            1.0,
+            Box::new(move |client: &mut WireClient, slab: &[Vec<Idx>]| {
+                for r in client
+                    .topk_pipelined(Tier::Exact, 0, slab, k)
+                    .expect("pipeline")
+                {
+                    r.expect("topk");
+                }
+            }),
+        ),
+        (
+            "topk_approx_wire",
+            recall,
+            Box::new(move |client: &mut WireClient, slab: &[Vec<Idx>]| {
+                for r in client
+                    .topk_pipelined(Tier::Approx, 0, slab, k)
+                    .expect("pipeline")
+                {
+                    r.expect("topk");
+                }
+            }),
+        ),
+    ];
+
+    let mut best = std::collections::HashMap::new();
+    for (name, recall_col, f) in &scenarios {
+        println!("{name} ({window} queries/op):");
+        for &c in &clients {
+            let cell = run_cell(addr, c, ops, &slabs, f.as_ref());
+            println!(
+                "  {c:>2} clients: qps {:>9.0}  p50 {:>8.1}us  p95 {:>8.1}us  p99 {:>8.1}us",
+                cell.qps, cell.p50, cell.p95, cell.p99
+            );
+            writeln!(
+                csv,
+                "{name},{c},{window},{:.0},{:.2},{:.2},{:.2},{recall_col:.4}",
+                cell.qps, cell.p50, cell.p95, cell.p99
+            )
+            .unwrap();
+            let e = best.entry(*name).or_insert(0.0f64);
+            *e = e.max(cell.qps);
+        }
+    }
+    drop(csv);
+
+    let exact = best["topk_exact_wire"];
+    let approx = best["topk_approx_wire"];
+    println!(
+        "\napprox:exact top-K throughput ratio {:.1}x at recall@{k} {recall:.4}",
+        approx / exact
+    );
+    println!("wrote {}", path.display());
+
+    let mut client = WireClient::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    daemon.wait();
+}

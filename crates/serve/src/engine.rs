@@ -7,6 +7,7 @@ use crate::model::ServableModel;
 use crate::pool::ScratchPool;
 use crate::registry::ModelRegistry;
 use crate::topk::{self, TopKQuery, TopKResult};
+use crate::topk_approx::{self, ApproxPolicy};
 use splinalg::panel::{self, PANEL_ROWS};
 use sptensor::Idx;
 use std::sync::Arc;
@@ -19,6 +20,7 @@ pub struct ServeEngine {
     batcher: BatchScorer,
     pool: ScratchPool,
     pruned: bool,
+    approx: ApproxPolicy,
 }
 
 impl ServeEngine {
@@ -30,6 +32,7 @@ impl ServeEngine {
             batcher: BatchScorer::new(PANEL_ROWS),
             pool: ScratchPool::new(),
             pruned: true,
+            approx: ApproxPolicy::default(),
         }
     }
 
@@ -45,6 +48,13 @@ impl ServeEngine {
     /// workload's norms are too uniform to prune.
     pub fn pruning(mut self, on: bool) -> Self {
         self.pruned = on;
+        self
+    }
+
+    /// Set the approximate-tier policy (default
+    /// [`ApproxPolicy::default`]).
+    pub fn approx_policy(mut self, policy: ApproxPolicy) -> Self {
+        self.approx = policy;
         self
     }
 
@@ -147,6 +157,41 @@ impl ServeEngine {
         let model = self.registry.snapshot().ok_or(ServeError::Empty)?;
         let mut scratch = self.pool.take();
         topk::topk_scan(&model, q, pruned, &mut scratch, hits)?;
+        Ok(model.epoch())
+    }
+
+    /// Approximate top-K over `q.free_mode`: bf16 quantized scan with
+    /// guard-bounded early termination, then exact rescoring of the
+    /// oversampled survivors. Returned scores are bit-identical to the
+    /// exact path's scores for the same rows; the id set may miss a
+    /// true winner (recall, not precision, is the approximation).
+    pub fn topk_approx(&self, q: &TopKQuery) -> Result<TopKResult, ServeError> {
+        let mut hits = Vec::new();
+        let epoch = self.topk_approx_into(q, &mut hits)?;
+        Ok(TopKResult { epoch, hits })
+    }
+
+    /// [`ServeEngine::topk_approx`] into a caller-retained buffer
+    /// (cleared first). Returns the epoch scored against.
+    pub fn topk_approx_into(
+        &self,
+        q: &TopKQuery,
+        hits: &mut Vec<(Idx, f64)>,
+    ) -> Result<u64, ServeError> {
+        self.topk_approx_into_with(q, self.approx, hits)
+    }
+
+    /// Approximate top-K with an explicit policy — the differential
+    /// hook for the recall conformance suite and the wire benchmark.
+    pub fn topk_approx_into_with(
+        &self,
+        q: &TopKQuery,
+        policy: ApproxPolicy,
+        hits: &mut Vec<(Idx, f64)>,
+    ) -> Result<u64, ServeError> {
+        let model = self.registry.snapshot().ok_or(ServeError::Empty)?;
+        let mut scratch = self.pool.take();
+        topk_approx::topk_approx_scan(&model, q, policy, &mut scratch, hits)?;
         Ok(model.epoch())
     }
 

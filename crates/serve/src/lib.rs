@@ -18,6 +18,17 @@
 //!   top-K queries rank one free mode's rows with exact Cauchy–Schwarz
 //!   norm-bound pruning over a norm-descending factor permutation, with
 //!   a brute-force fallback that returns identical results.
+//! * [`ApproxPolicy`] — the approximate top-K tier: a bf16 quantized
+//!   scan with guard-bounded early termination, then exact f64
+//!   rescoring of the oversampled survivors. Survivor scores are
+//!   bit-identical to the exact path; recall is measured, not assumed
+//!   (`tests/conformance_approx.rs`).
+//! * [`ShardedRegistry`] / [`ShardedEngine`] — one epoch partitioned by
+//!   split-mode row range, swapped as a single coherent shard set.
+//!   Point and routed top-K queries are bit-identical to an unsharded
+//!   registry; split-mode top-K fans out and merges under the same
+//!   total order. This is the storage layout behind the `aoadmm serve`
+//!   wire daemon (`aoadmm-served`).
 //!
 //! ```no_run
 //! use aoadmm_serve::{ModelRegistry, ServeEngine, TopKQuery};
@@ -37,10 +48,14 @@ mod error;
 mod model;
 mod pool;
 mod registry;
+mod shard;
 mod topk;
+mod topk_approx;
 
 pub use engine::ServeEngine;
 pub use error::ServeError;
 pub use model::ServableModel;
-pub use registry::ModelRegistry;
+pub use registry::{ModelRegistry, SwapTrace};
+pub use shard::{ShardSet, ShardedEngine, ShardedRegistry};
 pub use topk::{TopKQuery, TopKResult};
+pub use topk_approx::ApproxPolicy;

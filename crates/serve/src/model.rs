@@ -2,7 +2,7 @@
 
 use crate::error::ServeError;
 use aoadmm::KruskalModel;
-use splinalg::DMat;
+use splinalg::{Bf16Mat, DMat};
 use sptensor::Idx;
 
 /// A [`KruskalModel`] frozen for serving, together with the read-side
@@ -29,6 +29,9 @@ pub struct ServableModel {
     /// Per mode: the factor with rows permuted into `order`, so a scan
     /// in bound order is a scan in memory order.
     permuted: Vec<DMat>,
+    /// Per mode: bf16-packed copy of `permuted`, the storage the
+    /// approximate top-K tier scans (a quarter of the f64 bytes).
+    quant: Vec<Bf16Mat>,
 }
 
 impl ServableModel {
@@ -57,6 +60,7 @@ impl ServableModel {
             norms_desc.push(sorted_norms);
             permuted.push(perm);
         }
+        let quant = permuted.iter().map(Bf16Mat::from_dmat).collect();
         ServableModel {
             model,
             epoch: 0,
@@ -64,6 +68,7 @@ impl ServableModel {
             order,
             norms_desc,
             permuted,
+            quant,
         }
     }
 
@@ -105,6 +110,11 @@ impl ServableModel {
     /// The norm-permuted factor of one mode.
     pub(crate) fn permuted(&self, mode: usize) -> &DMat {
         &self.permuted[mode]
+    }
+
+    /// The bf16-packed norm-permuted factor of one mode.
+    pub(crate) fn quant(&self, mode: usize) -> &Bf16Mat {
+        &self.quant[mode]
     }
 
     /// Validate a full reconstruction coordinate against this model.

@@ -22,6 +22,12 @@ pub struct ServeScratch {
     pub(crate) weights: DMat,
     /// Top-K candidates, kept sorted worst-first.
     pub(crate) entries: Vec<(f64, Idx)>,
+    /// Quantized weight row for the approximate scan.
+    pub(crate) wq: Vec<f32>,
+    /// Quantized score panel for the approximate scan.
+    pub(crate) qscores: Vec<f32>,
+    /// Oversampled approximate-scan survivors, kept sorted worst-first.
+    pub(crate) survivors: Vec<(f64, Idx)>,
     /// Flattened coordinates of a point-query batch (`B * nmodes`).
     pub(crate) coords: Vec<Idx>,
     /// Per-mode gathered row ids of a batch (`B`).
@@ -41,6 +47,9 @@ impl Default for ServeScratch {
             ws: Workspace::new(),
             weights: DMat::zeros(1, 1),
             entries: Vec::new(),
+            wq: Vec::new(),
+            qscores: Vec::new(),
+            survivors: Vec::new(),
             coords: Vec::new(),
             ids: Vec::new(),
             valid: Vec::new(),

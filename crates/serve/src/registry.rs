@@ -22,7 +22,15 @@ use std::sync::Arc;
 pub struct ModelRegistry {
     current: RwLock<Option<Arc<ServableModel>>>,
     epochs: AtomicU64,
+    trace: RwLock<Option<SwapTrace>>,
 }
+
+/// Observer invoked after every hot swap with the new epoch and the
+/// model's dims — the serving analog of the factorization trace path.
+/// Swaps used to be silent, which made staleness bugs (a refit loop
+/// wedged, a registry fed the wrong model shape) hard to diagnose;
+/// installing a trace turns every publish into one loggable event.
+pub type SwapTrace = Arc<dyn Fn(u64, &[usize]) + Send + Sync>;
 
 impl Default for ModelRegistry {
     fn default() -> Self {
@@ -37,20 +45,36 @@ impl ModelRegistry {
         ModelRegistry {
             current: RwLock::new(None),
             epochs: AtomicU64::new(0),
+            trace: RwLock::new(None),
         }
+    }
+
+    /// Install a swap observer, called after every publish with the
+    /// assigned epoch and the published model's dims. The callback runs
+    /// on the publisher's thread, outside the swap lock — keep it
+    /// cheap (a log line, a counter bump).
+    pub fn set_swap_trace(&self, trace: SwapTrace) {
+        *self.trace.write() = Some(trace);
     }
 
     /// Freeze `model` and swap it into service. Returns the epoch
     /// assigned to it (epochs start at 1 and only grow).
     pub fn publish(&self, model: KruskalModel) -> u64 {
         let mut servable = ServableModel::new(model);
+        let dims = servable.dims().to_vec();
         // Index building above runs lock-free; only the swap itself is
         // serialized. Assigning the epoch under the same lock keeps the
         // stored epoch sequence monotonic under concurrent publishers.
-        let mut slot = self.current.write();
-        let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
-        servable.epoch = epoch;
-        *slot = Some(Arc::new(servable));
+        let epoch = {
+            let mut slot = self.current.write();
+            let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+            servable.epoch = epoch;
+            *slot = Some(Arc::new(servable));
+            epoch
+        };
+        if let Some(trace) = self.trace.read().clone() {
+            trace(epoch, &dims);
+        }
         epoch
     }
 
@@ -105,6 +129,20 @@ mod tests {
         assert_eq!(old.epoch(), 1);
         assert_eq!(old.model().factor(0).get(0, 0), 1.0);
         assert_eq!(reg.snapshot().unwrap().epoch(), 2);
+    }
+
+    #[test]
+    fn swap_trace_sees_every_publish() {
+        let reg = ModelRegistry::new();
+        type SwapLog = Arc<parking_lot::Mutex<Vec<(u64, Vec<usize>)>>>;
+        let seen: SwapLog = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        reg.set_swap_trace(Arc::new(move |epoch, dims| {
+            sink.lock().push((epoch, dims.to_vec()));
+        }));
+        reg.publish(model(1.0));
+        reg.publish(model(2.0));
+        assert_eq!(*seen.lock(), vec![(1, vec![2, 2]), (2, vec![2, 2])]);
     }
 
     #[test]

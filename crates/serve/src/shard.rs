@@ -1,0 +1,640 @@
+//! Sharded registries: one model epoch partitioned by user-mode rows.
+//!
+//! A wire daemon that outgrows one registry splits the *split mode*
+//! (typically the user mode) into contiguous, nearly-equal row ranges
+//! and keeps one [`ServableModel`] per range. Each shard holds its
+//! slice of the split factor plus full copies of every other factor, so
+//! any query that touches a shard can be answered entirely inside it.
+//!
+//! Coherence is the same single-pointer discipline as
+//! [`ModelRegistry`](crate::ModelRegistry), lifted one level: a publish
+//! slices the factor and builds every shard's indexes outside the lock,
+//! then swaps **one `Arc<ShardSet>`** holding all shards. A reader that
+//! snapshots the set sees every shard at the same epoch — there is no
+//! window where a fan-out query could mix shard 0 of epoch 3 with shard
+//! 1 of epoch 4.
+//!
+//! Routing is exact, not approximate:
+//!
+//! * Point queries route by the split-mode coordinate; the shard scores
+//!   the rebased coordinate with the same kernels as the unsharded
+//!   engine, so values are bit-identical to a single registry.
+//! * Top-K with the free mode *not* the split mode routes by the
+//!   anchor's split coordinate and runs one shard's scan — the shard's
+//!   non-split factors are full copies, so the result is bit-identical.
+//! * Top-K *over* the split mode fans out: every shard answers locally
+//!   (ids rebased back to global), and the merge applies the same total
+//!   order (score desc, id asc). Per-row scores are bit-identical to
+//!   the unsharded scan, so the exact tier's merged result is too. The
+//!   approximate tier fans out the same way; its per-shard oversampling
+//!   makes the union a superset of one global approximate scan, so the
+//!   recall bound carries over (verified, not assumed, by the
+//!   conformance suite).
+
+use crate::error::ServeError;
+use crate::model::ServableModel;
+use crate::pool::ScratchPool;
+use crate::registry::SwapTrace;
+use crate::topk::{self, TopKQuery, TopKResult};
+use crate::topk_approx::{self, ApproxPolicy};
+use aoadmm::KruskalModel;
+use aoadmm_stream::ModelSink;
+use parking_lot::RwLock;
+use splinalg::DMat;
+use sptensor::Idx;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One published epoch, sliced into shards. Immutable after publish;
+/// readers pin the whole set with one `Arc` clone.
+pub struct ShardSet {
+    epoch: u64,
+    split_mode: usize,
+    dims: Vec<usize>,
+    ranges: Vec<Range<usize>>,
+    models: Vec<Arc<ServableModel>>,
+}
+
+impl ShardSet {
+    /// Epoch shared by every shard in this set.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards.
+    pub fn nshards(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Global row range of the split mode owned by shard `s`.
+    pub fn range(&self, s: usize) -> &Range<usize> {
+        &self.ranges[s]
+    }
+
+    /// The servable model of shard `s` (split factor sliced to
+    /// [`ShardSet::range`], other factors full copies).
+    pub fn shard(&self, s: usize) -> &Arc<ServableModel> {
+        &self.models[s]
+    }
+
+    /// Global tensor shape of the published model.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The shard owning global split-mode row `row`.
+    fn owner(&self, row: usize) -> usize {
+        // Ranges are contiguous and ascending; the owner is the first
+        // range ending past `row`.
+        self.ranges.partition_point(|r| r.end <= row)
+    }
+
+    /// Validate a full reconstruction coordinate against the *global*
+    /// dims of this set.
+    pub fn check_coord(&self, coord: &[Idx]) -> Result<(), ServeError> {
+        if coord.len() != self.dims.len() {
+            return Err(ServeError::Invalid(format!(
+                "coordinate has {} modes, model has {}",
+                coord.len(),
+                self.dims.len()
+            )));
+        }
+        for (m, (&c, &d)) in coord.iter().zip(&self.dims).enumerate() {
+            if c as usize >= d {
+                return Err(ServeError::Invalid(format!(
+                    "mode {m} index {c} out of range (dimension {d})"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`ModelRegistry`](crate::ModelRegistry) whose published models are
+/// partitioned by split-mode row range. Readers snapshot one coherent
+/// [`ShardSet`]; the wire daemon runs one of these per deployment.
+pub struct ShardedRegistry {
+    split_mode: usize,
+    nshards: usize,
+    current: RwLock<Option<Arc<ShardSet>>>,
+    epochs: AtomicU64,
+    trace: RwLock<Option<SwapTrace>>,
+}
+
+impl ShardedRegistry {
+    /// An empty registry splitting `split_mode` into `nshards`
+    /// contiguous row ranges (first `rows % nshards` shards take one
+    /// extra row). `nshards` must be at least 1.
+    pub fn new(split_mode: usize, nshards: usize) -> Self {
+        assert!(nshards >= 1, "need at least one shard");
+        ShardedRegistry {
+            split_mode,
+            nshards,
+            current: RwLock::new(None),
+            epochs: AtomicU64::new(0),
+            trace: RwLock::new(None),
+        }
+    }
+
+    /// The mode whose rows are partitioned.
+    pub fn split_mode(&self) -> usize {
+        self.split_mode
+    }
+
+    /// Number of shards per published epoch.
+    pub fn nshards(&self) -> usize {
+        self.nshards
+    }
+
+    /// Install a swap observer (same contract as
+    /// [`ModelRegistry::set_swap_trace`](crate::ModelRegistry::set_swap_trace)).
+    pub fn set_swap_trace(&self, trace: SwapTrace) {
+        *self.trace.write() = Some(trace);
+    }
+
+    /// Slice `model` into shards and swap the whole set into service.
+    /// Returns the epoch assigned. Errors if the split mode is out of
+    /// range for the model.
+    pub fn publish(&self, model: KruskalModel) -> Result<u64, ServeError> {
+        if self.split_mode >= model.nmodes() {
+            return Err(ServeError::Invalid(format!(
+                "split mode {} out of range for {} modes",
+                self.split_mode,
+                model.nmodes()
+            )));
+        }
+        let dims = model.dims();
+        let ranges = split_ranges(dims[self.split_mode], self.nshards);
+        // All slicing and index building (norm permutations, bf16
+        // packs, for every shard) runs outside the lock; only the
+        // single-pointer swap is serialized.
+        let mut built: Vec<ServableModel> = ranges
+            .iter()
+            .map(|r| ServableModel::new(slice_model(&model, self.split_mode, r)))
+            .collect();
+        let epoch = {
+            let mut slot = self.current.write();
+            let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+            for m in &mut built {
+                m.epoch = epoch;
+            }
+            *slot = Some(Arc::new(ShardSet {
+                epoch,
+                split_mode: self.split_mode,
+                dims: dims.clone(),
+                ranges,
+                models: built.into_iter().map(Arc::new).collect(),
+            }));
+            epoch
+        };
+        if let Some(trace) = self.trace.read().clone() {
+            trace(epoch, &dims);
+        }
+        Ok(epoch)
+    }
+
+    /// The current shard set, or `None` before the first publish.
+    pub fn snapshot(&self) -> Option<Arc<ShardSet>> {
+        self.current.read().clone()
+    }
+
+    /// Epoch of the most recent publish (0 before the first).
+    pub fn epoch(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+}
+
+impl ModelSink for ShardedRegistry {
+    fn publish(&self, model: KruskalModel) {
+        ShardedRegistry::publish(self, model).expect("sink publishes a conforming model");
+    }
+}
+
+/// Contiguous nearly-equal partition of `rows` into `nshards` ranges;
+/// the first `rows % nshards` ranges take one extra row. Trailing
+/// ranges may be empty when `rows < nshards`.
+fn split_ranges(rows: usize, nshards: usize) -> Vec<Range<usize>> {
+    let base = rows / nshards;
+    let rem = rows % nshards;
+    let mut ranges = Vec::with_capacity(nshards);
+    let mut start = 0;
+    for s in 0..nshards {
+        let len = base + usize::from(s < rem);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// One shard's model: split-mode factor restricted to `range`, every
+/// other factor copied whole.
+fn slice_model(model: &KruskalModel, split_mode: usize, range: &Range<usize>) -> KruskalModel {
+    let f = model.rank();
+    let factors = (0..model.nmodes())
+        .map(|m| {
+            if m != split_mode {
+                return model.factor(m).clone();
+            }
+            let mut sliced = DMat::zeros(range.len(), f);
+            for (j, i) in range.clone().enumerate() {
+                sliced.row_mut(j).copy_from_slice(model.factor(m).row(i));
+            }
+            sliced
+        })
+        .collect();
+    KruskalModel::new(factors)
+}
+
+/// Query engine over a [`ShardedRegistry`]: routed point scoring and
+/// routed/fanned-out top-K, `&self` everywhere. Results are
+/// bit-identical to a [`ServeEngine`](crate::ServeEngine) over one
+/// unsharded registry (approximate-tier fan-out is recall-equivalent
+/// rather than id-identical; see the module docs).
+pub struct ShardedEngine {
+    registry: Arc<ShardedRegistry>,
+    pool: ScratchPool,
+    pruned: bool,
+    approx: ApproxPolicy,
+}
+
+impl ShardedEngine {
+    /// An engine over `registry` with pruning on and the default
+    /// approximate policy.
+    pub fn new(registry: Arc<ShardedRegistry>) -> Self {
+        ShardedEngine {
+            registry,
+            pool: ScratchPool::new(),
+            pruned: true,
+            approx: ApproxPolicy::default(),
+        }
+    }
+
+    /// Toggle norm-bound pruning for exact top-K (default on).
+    pub fn pruning(mut self, on: bool) -> Self {
+        self.pruned = on;
+        self
+    }
+
+    /// Set the approximate-tier policy.
+    pub fn approx_policy(mut self, policy: ApproxPolicy) -> Self {
+        self.approx = policy;
+        self
+    }
+
+    /// The registry this engine reads from.
+    pub fn registry(&self) -> &Arc<ShardedRegistry> {
+        &self.registry
+    }
+
+    /// Epoch of the most recently published set.
+    pub fn epoch(&self) -> u64 {
+        self.registry.epoch()
+    }
+
+    /// The current shard set (one coherent epoch), if any.
+    pub fn snapshot(&self) -> Option<Arc<ShardSet>> {
+        self.registry.snapshot()
+    }
+
+    /// Reconstruct the value at `coord`: route by the split coordinate,
+    /// score inside the owning shard. Bit-identical to the unsharded
+    /// engine's `predict_direct`.
+    pub fn predict(&self, coord: &[Idx]) -> Result<f64, ServeError> {
+        let set = self.registry.snapshot().ok_or(ServeError::Empty)?;
+        self.predict_on(&set, coord)
+    }
+
+    /// [`ShardedEngine::predict`] against a caller-pinned snapshot —
+    /// the wire daemon pins one [`ShardSet`] per request at decode
+    /// time, which is what makes its per-connection epoch stream
+    /// monotone.
+    pub fn predict_on(&self, set: &ShardSet, coord: &[Idx]) -> Result<f64, ServeError> {
+        set.check_coord(coord)?;
+        let row = coord[set.split_mode] as usize;
+        let s = set.owner(row);
+        let mut local = coord.to_vec();
+        local[set.split_mode] = (row - set.ranges[s].start) as Idx;
+        Ok(set.models[s].model().value_at(&local))
+    }
+
+    /// Score a batch of coordinates against one coherent epoch,
+    /// bucketed per shard. Values land at their query's position in
+    /// `out`, bit-identical per coordinate to the unsharded engine.
+    /// Returns the epoch scored against.
+    pub fn predict_many_into(
+        &self,
+        coords: &[Vec<Idx>],
+        out: &mut Vec<f64>,
+    ) -> Result<u64, ServeError> {
+        let set = self.registry.snapshot().ok_or(ServeError::Empty)?;
+        for c in coords {
+            set.check_coord(c)?;
+        }
+        out.clear();
+        out.resize(coords.len(), 0.0);
+        for (qi, coord) in coords.iter().enumerate() {
+            let row = coord[set.split_mode] as usize;
+            let s = set.owner(row);
+            let mut local = coord.to_vec();
+            local[set.split_mode] = (row - set.ranges[s].start) as Idx;
+            out[qi] = set.models[s].model().value_at(&local);
+        }
+        Ok(set.epoch)
+    }
+
+    /// Per-item batch scoring against a caller-pinned snapshot: one
+    /// bad coordinate yields its own error instead of failing the
+    /// batch — the contract a wire batch needs, where requests from
+    /// different clients share a flush. Valid coordinates are bucketed
+    /// by owning shard and scored through the panel kernels, so a
+    /// flushed wire batch amortizes per-mode dispatch the same way the
+    /// in-process bulk path does; values stay bit-identical to
+    /// `value_at` per coordinate.
+    pub fn predict_batch_on(
+        &self,
+        set: &ShardSet,
+        coords: &[Vec<Idx>],
+        out: &mut Vec<Result<f64, ServeError>>,
+    ) -> Result<(), ServeError> {
+        use splinalg::panel::{self, PANEL_ROWS};
+        out.clear();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); set.nshards()];
+        for (qi, coord) in coords.iter().enumerate() {
+            match set.check_coord(coord) {
+                Err(e) => out.push(Err(e)),
+                Ok(()) => {
+                    out.push(Ok(0.0));
+                    buckets[set.owner(coord[set.split_mode] as usize)].push(qi);
+                }
+            }
+        }
+        let mut scratch = self.pool.take();
+        let crate::pool::ServeScratch {
+            ws, ids, values, ..
+        } = &mut *scratch;
+        for (s, bucket) in buckets.iter().enumerate() {
+            let model = set.models[s].model();
+            let f = model.rank();
+            let base = set.ranges[s].start;
+            for chunk in bucket.chunks(PANEL_ROWS) {
+                let b = chunk.len();
+                let acc = ws.batch(b * f);
+                // `m` walks modes; `coords[qi]` is indexed per query.
+                #[allow(clippy::needless_range_loop)]
+                for m in 0..model.nmodes() {
+                    ids.clear();
+                    ids.extend(chunk.iter().map(|&qi| {
+                        let c = coords[qi][m] as usize;
+                        if m == set.split_mode {
+                            c - base
+                        } else {
+                            c
+                        }
+                    }));
+                    panel::gather_hadamard_rows(model.factor(m), ids, m == 0, acc)?;
+                }
+                values.clear();
+                values.resize(b, 0.0);
+                panel::row_sums_into(acc, f, values)?;
+                for (j, &qi) in chunk.iter().enumerate() {
+                    out[qi] = Ok(values[j]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact top-K, routed or fanned out depending on the free mode.
+    pub fn topk(&self, q: &TopKQuery) -> Result<TopKResult, ServeError> {
+        let mut hits = Vec::new();
+        let epoch = self.topk_into_with(q, self.pruned, &mut hits)?;
+        Ok(TopKResult { epoch, hits })
+    }
+
+    /// Exact top-K with an explicit pruning choice, into a
+    /// caller-retained buffer (cleared first). Returns the epoch.
+    pub fn topk_into_with(
+        &self,
+        q: &TopKQuery,
+        pruned: bool,
+        hits: &mut Vec<(Idx, f64)>,
+    ) -> Result<u64, ServeError> {
+        let set = self.registry.snapshot().ok_or(ServeError::Empty)?;
+        self.topk_on(&set, q, pruned, hits)?;
+        Ok(set.epoch)
+    }
+
+    /// Exact top-K against a caller-pinned snapshot.
+    pub fn topk_on(
+        &self,
+        set: &ShardSet,
+        q: &TopKQuery,
+        pruned: bool,
+        hits: &mut Vec<(Idx, f64)>,
+    ) -> Result<(), ServeError> {
+        self.topk_dispatch(set, q, hits, |model, local_q, scratch, out| {
+            topk::topk_scan(model, local_q, pruned, scratch, out)
+        })
+    }
+
+    /// Approximate top-K with the engine's policy.
+    pub fn topk_approx(&self, q: &TopKQuery) -> Result<TopKResult, ServeError> {
+        let mut hits = Vec::new();
+        let epoch = self.topk_approx_into_with(q, self.approx, &mut hits)?;
+        Ok(TopKResult { epoch, hits })
+    }
+
+    /// Approximate top-K with an explicit policy, into a
+    /// caller-retained buffer (cleared first). Returns the epoch.
+    pub fn topk_approx_into_with(
+        &self,
+        q: &TopKQuery,
+        policy: ApproxPolicy,
+        hits: &mut Vec<(Idx, f64)>,
+    ) -> Result<u64, ServeError> {
+        let set = self.registry.snapshot().ok_or(ServeError::Empty)?;
+        self.topk_approx_on(&set, q, policy, hits)?;
+        Ok(set.epoch)
+    }
+
+    /// Approximate top-K against a caller-pinned snapshot.
+    pub fn topk_approx_on(
+        &self,
+        set: &ShardSet,
+        q: &TopKQuery,
+        policy: ApproxPolicy,
+        hits: &mut Vec<(Idx, f64)>,
+    ) -> Result<(), ServeError> {
+        self.topk_dispatch(set, q, hits, |model, local_q, scratch, out| {
+            topk_approx::topk_approx_scan(model, local_q, policy, scratch, out)
+        })
+    }
+
+    /// Shared routing for both tiers: free mode == split mode fans out
+    /// and merges under (score desc, global id asc); otherwise the
+    /// anchor's split coordinate picks one shard.
+    fn topk_dispatch<F>(
+        &self,
+        set: &ShardSet,
+        q: &TopKQuery,
+        hits: &mut Vec<(Idx, f64)>,
+        mut scan: F,
+    ) -> Result<(), ServeError>
+    where
+        F: FnMut(
+            &ServableModel,
+            &TopKQuery,
+            &mut crate::pool::ServeScratch,
+            &mut Vec<(Idx, f64)>,
+        ) -> Result<(), ServeError>,
+    {
+        hits.clear();
+        // Validate against *global* dims first so routing errors read
+        // the same as the unsharded engine's.
+        if q.free_mode >= set.dims.len() {
+            return Err(ServeError::Invalid(format!(
+                "free mode {} out of range for {} modes",
+                q.free_mode,
+                set.dims.len()
+            )));
+        }
+        if q.anchor.len() != set.dims.len() {
+            return Err(ServeError::Invalid(format!(
+                "anchor has {} modes, model has {}",
+                q.anchor.len(),
+                set.dims.len()
+            )));
+        }
+        for (m, (&c, &d)) in q.anchor.iter().zip(&set.dims).enumerate() {
+            if m != q.free_mode && c as usize >= d {
+                return Err(ServeError::Invalid(format!(
+                    "mode {m} index {c} out of range (dimension {d})"
+                )));
+            }
+        }
+        let mut scratch = self.pool.take();
+        if q.free_mode == set.split_mode {
+            // Fan out: every shard ranks its own row slice; the merge
+            // re-applies the global total order. O(nshards * k) local
+            // buffers — the wire daemon's fan-out is per-request, not
+            // steady-state hot-path.
+            let mut merged: Vec<(f64, Idx)> = Vec::new();
+            let mut local = Vec::new();
+            for s in 0..set.nshards() {
+                scan(&set.models[s], q, &mut scratch, &mut local)?;
+                let base = set.ranges[s].start as Idx;
+                for &(id, score) in &local {
+                    topk::offer(&mut merged, q.k, (score, id + base));
+                }
+            }
+            hits.extend(merged.iter().rev().map(|&(score, id)| (id, score)));
+        } else {
+            let row = q.anchor[set.split_mode] as usize;
+            let s = set.owner(row);
+            let mut local_q = q.clone();
+            local_q.anchor[set.split_mode] = (row - set.ranges[s].start) as Idx;
+            scan(&set.models[s], &local_q, &mut scratch, hits)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model(rows: usize, seed: u64) -> KruskalModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        KruskalModel::new(vec![
+            DMat::random(rows, 5, -1.0, 1.0, &mut rng),
+            DMat::random(7, 5, -1.0, 1.0, &mut rng),
+            DMat::random(6, 5, -1.0, 1.0, &mut rng),
+        ])
+    }
+
+    #[test]
+    fn split_ranges_cover_and_balance() {
+        for (rows, n) in [(10, 3), (9, 3), (2, 4), (0, 2), (5, 1)] {
+            let ranges = split_ranges(rows, n);
+            assert_eq!(ranges.len(), n);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges[n - 1].end, rows);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+                assert!(w[0].len() >= w[1].len());
+                assert!(w[0].len() - w[1].len() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_routing_matches_ranges() {
+        let reg = ShardedRegistry::new(0, 3);
+        reg.publish(model(10, 1)).unwrap();
+        let set = reg.snapshot().unwrap();
+        for row in 0..10 {
+            let s = set.owner(row);
+            assert!(set.range(s).contains(&row), "row {row} -> shard {s}");
+        }
+    }
+
+    #[test]
+    fn publish_is_coherent_and_traced() {
+        let reg = ShardedRegistry::new(0, 4);
+        let seen: Arc<parking_lot::Mutex<Vec<u64>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        reg.set_swap_trace(Arc::new(move |e, dims| {
+            assert_eq!(dims, &[10, 7, 6]);
+            sink.lock().push(e);
+        }));
+        assert_eq!(reg.publish(model(10, 2)).unwrap(), 1);
+        assert_eq!(reg.publish(model(10, 3)).unwrap(), 2);
+        assert_eq!(*seen.lock(), vec![1, 2]);
+        let set = reg.snapshot().unwrap();
+        assert_eq!(set.epoch(), 2);
+        for s in 0..set.nshards() {
+            assert_eq!(set.shard(s).epoch(), 2);
+        }
+        // Split mode out of range errors instead of publishing.
+        let bad = ShardedRegistry::new(3, 2);
+        assert!(bad.publish(model(4, 4)).is_err());
+        assert_eq!(bad.epoch(), 0);
+    }
+
+    #[test]
+    fn batch_on_matches_value_at_with_per_item_errors() {
+        let reg = Arc::new(ShardedRegistry::new(0, 3));
+        let m = model(40, 6);
+        reg.publish(m.clone()).unwrap();
+        let eng = ShardedEngine::new(reg);
+        let set = eng.snapshot().unwrap();
+        // 70 queries across shard boundaries, one invalid in the middle.
+        let mut coords: Vec<Vec<Idx>> = (0..70u32).map(|i| vec![i % 40, i % 7, i % 6]).collect();
+        coords[33] = vec![40, 0, 0];
+        let mut out = Vec::new();
+        eng.predict_batch_on(&set, &coords, &mut out).unwrap();
+        assert_eq!(out.len(), 70);
+        for (qi, res) in out.iter().enumerate() {
+            if qi == 33 {
+                assert!(matches!(res, Err(ServeError::Invalid(_))));
+            } else {
+                let v = res.as_ref().unwrap();
+                assert_eq!(v.to_bits(), m.value_at(&coords[qi]).to_bits(), "q{qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_rows_leaves_empty_tails() {
+        let reg = ShardedRegistry::new(0, 8);
+        reg.publish(model(3, 5)).unwrap();
+        let set = reg.snapshot().unwrap();
+        assert_eq!(set.range(2).len(), 1);
+        assert!(set.range(3).is_empty());
+        let eng = ShardedEngine::new(Arc::new(ShardedRegistry::new(0, 8)));
+        assert!(matches!(eng.predict(&[0, 0, 0]), Err(ServeError::Empty)));
+    }
+}

@@ -59,8 +59,9 @@ fn outranks(a: (f64, Idx), b: (f64, Idx)) -> bool {
 }
 
 /// Insert `cand` into `entries` (sorted worst-first), keeping at most
-/// `k` entries.
-fn offer(entries: &mut Vec<(f64, Idx)>, k: usize, cand: (f64, Idx)) {
+/// `k` entries. Shared with the approximate tier's survivor set and the
+/// sharded engine's fan-out merge.
+pub(crate) fn offer(entries: &mut Vec<(f64, Idx)>, k: usize, cand: (f64, Idx)) {
     if entries.len() == k {
         if !outranks(cand, entries[0]) {
             return;

@@ -1,0 +1,350 @@
+//! Approximate top-K: a bf16 candidate scan with exact rescoring.
+//!
+//! The exact pruned scan in [`crate::topk`] reads full f64 rows until
+//! the Cauchy–Schwarz bound closes. On workloads whose norms decay
+//! slowly, that scan is memory-bound over `8 * F` bytes per candidate.
+//! The approximate tier trades a bounded amount of recall for a quarter
+//! of that traffic:
+//!
+//! 1. **Quantized scan.** Walk the free mode's bf16-packed,
+//!    norm-descending factor ([`ServableModel::quant`]) scoring every
+//!    candidate in f32 ([`splinalg::bf16::scores_bf16_into`]), and keep
+//!    the best `oversample * k` candidates seen so far.
+//! 2. **Early termination.** Stop the scan once even the best remaining
+//!    norm bound cannot beat the current k-th *quantized* score by more
+//!    than a guard margin `guard * ||row_max|| * ||w||` — the slack that
+//!    absorbs bf16's relative error, so a true winner whose quantized
+//!    score was rounded down still makes the survivor set.
+//! 3. **Exact rescoring.** Rescore every survivor with the same
+//!    ascending-column f64 accumulation the exact path uses — survivor
+//!    scores are bit-identical to what [`crate::topk`] would have
+//!    produced for those rows — and return the top `k` under the usual
+//!    total order (score desc, id asc).
+//!
+//! Recall is not 1.0 by construction: a row whose quantized score
+//! underestimates its true score by more than the guard, or that falls
+//! outside the oversampled survivor set, can be missed. The conformance
+//! suite measures recall@k against the exact path on power-law norm
+//! fixtures; the default policy holds recall@10 >= 0.99 there.
+
+use crate::error::ServeError;
+use crate::model::ServableModel;
+use crate::pool::ServeScratch;
+use crate::topk::TopKQuery;
+use splinalg::bf16::{quantize_weights, scores_bf16_into};
+use sptensor::Idx;
+
+/// Rows scored per quantized-scan chunk. Larger than the exact path's
+/// panel because the packed rows are a quarter the bytes: one chunk of
+/// rank-32 bf16 rows is 32 KiB, L2-resident, and big enough that the
+/// per-chunk bound check and loop overheads vanish against the
+/// vectorized scoring sweep. Termination granularity stays conservative:
+/// the scan can overshoot by at most one chunk.
+const SCAN_ROWS: usize = 512;
+
+/// Tuning knobs of the approximate tier. The defaults are what the
+/// conformance fixtures and the wire benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxPolicy {
+    /// Survivor-set size as a multiple of `k`: the quantized scan keeps
+    /// the best `oversample * k` candidates for exact rescoring.
+    /// Minimum 1; larger values trade scan work for recall.
+    pub oversample: usize,
+    /// Early-termination slack as a fraction of the largest possible
+    /// score `||row_max|| * ||w||`. The scan only stops when the best
+    /// remaining bound trails the k-th quantized score by more than
+    /// this margin, so quantization error cannot hide a true winner
+    /// behind an early stop. bf16 carries ~2^-9 relative error; the
+    /// default 0.01 leaves a factor of ~5 of headroom.
+    pub guard: f64,
+}
+
+impl Default for ApproxPolicy {
+    fn default() -> Self {
+        ApproxPolicy {
+            oversample: 4,
+            guard: 0.01,
+        }
+    }
+}
+
+/// Answer `q` approximately against `model`, appending hits (best
+/// first) to `out`. `out` is cleared first; with pooled scratch and a
+/// caller-retained `out` the scan allocates nothing in steady state.
+pub(crate) fn topk_approx_scan(
+    model: &ServableModel,
+    q: &TopKQuery,
+    policy: ApproxPolicy,
+    scratch: &mut ServeScratch,
+    out: &mut Vec<(Idx, f64)>,
+) -> Result<(), ServeError> {
+    model.check_anchor(q.free_mode, &q.anchor)?;
+    out.clear();
+    let n = model.dims()[q.free_mode];
+    let k = q.k.min(n);
+    if k == 0 {
+        return Ok(());
+    }
+    let f = model.rank();
+    scratch.weights_row(f);
+    let ServeScratch {
+        weights,
+        entries,
+        wq,
+        qscores,
+        survivors,
+        ..
+    } = scratch;
+    model
+        .model()
+        .weights_into(q.free_mode, &q.anchor, weights.row_mut(0));
+    let w = weights.row(0);
+    let wnorm = w.iter().map(|v| v * v).sum::<f64>().sqrt();
+    quantize_weights(w, wq);
+
+    let quant = model.quant(q.free_mode);
+    let norms = model.norms_desc(q.free_mode);
+    let order = model.order(q.free_mode);
+    // Absolute guard: `guard` scaled by the largest score any row could
+    // reach. An additive margin stays sign-safe where a multiplicative
+    // one would flip around zero.
+    let guard_abs = policy.guard * norms.first().copied().unwrap_or(0.0) * wnorm;
+    let cap = policy.oversample.max(1).saturating_mul(k).min(n);
+
+    survivors.clear();
+    qscores.resize(SCAN_ROWS, 0.0);
+    let mut start = 0;
+    while start < n {
+        if survivors.len() == cap {
+            // Rows from `start` on are norm-descending; `survivors` is
+            // sorted worst-first, so the k-th best quantized score sits
+            // `k` from the end. Stop only when the margin exceeds the
+            // guard — a candidate whose f32 score was rounded down by
+            // less than `guard_abs` still gets scanned and kept.
+            let kth_q = survivors[cap - k].0;
+            if norms[start] * wnorm < kth_q - guard_abs {
+                break;
+            }
+        }
+        let len = SCAN_ROWS.min(n - start);
+        scores_bf16_into(quant, start, len, wq, &mut qscores[..len])?;
+        // Threshold precheck: once the survivor set is full, only a
+        // candidate strictly above the worst survivor — or tying it,
+        // where the id tie-break decides — can enter. The f32 compare
+        // rejects almost every row without paying for `offer`'s f64
+        // conversion and ordered insert. Skipping is strict (`<`), so
+        // tie handling is exactly `offer`'s.
+        let mut thr = if survivors.len() == cap {
+            survivors[0].0 as f32
+        } else {
+            f32::NEG_INFINITY
+        };
+        // Block-max fast path: a 64-row block whose maximum trails the
+        // threshold cannot contribute, and the max-reduction vectorizes
+        // where the per-row compare-and-offer loop cannot. Once the
+        // survivor set is full almost every block is skipped this way.
+        const BLOCK: usize = 64;
+        let mut b = 0;
+        while b < len {
+            let blen = BLOCK.min(len - b);
+            let block = &qscores[b..b + blen];
+            let bmax = block.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            if bmax < thr {
+                b += blen;
+                continue;
+            }
+            for (j, &score) in block.iter().enumerate() {
+                if score < thr {
+                    continue;
+                }
+                crate::topk::offer(survivors, cap, (score as f64, order[start + b + j]));
+                if survivors.len() == cap {
+                    thr = survivors[0].0 as f32;
+                }
+            }
+            b += blen;
+        }
+        start += len;
+    }
+
+    // Exact rescoring: the same ascending-column f64 accumulation as
+    // `panel::scores_into`, so a survivor's score is bit-identical to
+    // the exact path's score for that row.
+    let fac = model.model().factor(q.free_mode);
+    entries.clear();
+    for &(_, id) in survivors.iter() {
+        let row = fac.row(id as usize);
+        let mut s = 0.0f64;
+        for (&rc, &wc) in row.iter().zip(w) {
+            s += rc * wc;
+        }
+        crate::topk::offer(entries, k, (s, id));
+    }
+    out.extend(entries.iter().rev().map(|&(score, id)| (id, score)));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::topk_scan;
+    use aoadmm::KruskalModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use splinalg::DMat;
+
+    fn servable(rows: usize, rank: usize, seed: u64) -> ServableModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut s = ServableModel::new(KruskalModel::new(vec![
+            DMat::random(rows, rank, -1.0, 1.0, &mut rng),
+            DMat::random(5, rank, -1.0, 1.0, &mut rng),
+        ]));
+        s.epoch = 1;
+        s
+    }
+
+    fn query(k: usize) -> TopKQuery {
+        TopKQuery {
+            free_mode: 0,
+            anchor: vec![0, 3],
+            k,
+        }
+    }
+
+    #[test]
+    fn full_rescore_equals_exact_path() {
+        // With `cap >= n` every row survives to exact rescoring, so the
+        // result must be identical to the exact scan, bit for bit.
+        let model = servable(50, 6, 11);
+        let mut scratch = ServeScratch::default();
+        let mut exact = Vec::new();
+        let mut approx = Vec::new();
+        for k in [1, 3, 10] {
+            let q = query(k);
+            topk_scan(&model, &q, true, &mut scratch, &mut exact).unwrap();
+            let policy = ApproxPolicy {
+                oversample: 50,
+                guard: 0.0,
+            };
+            topk_approx_scan(&model, &q, policy, &mut scratch, &mut approx).unwrap();
+            assert_eq!(exact.len(), approx.len(), "k={k}");
+            for (e, a) in exact.iter().zip(&approx) {
+                assert_eq!(e.0, a.0, "k={k}");
+                assert_eq!(e.1.to_bits(), a.1.to_bits(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn survivor_scores_are_bit_exact() {
+        // Any id the approximate path returns carries the exact path's
+        // score for that id, regardless of policy.
+        let model = servable(200, 8, 7);
+        let mut scratch = ServeScratch::default();
+        let q = query(10);
+        let mut exact = Vec::new();
+        topk_scan(&model, &q, false, &mut scratch, &mut exact).unwrap();
+        let mut full = Vec::new();
+        topk_scan(
+            &model,
+            &TopKQuery {
+                k: 200,
+                ..q.clone()
+            },
+            false,
+            &mut scratch,
+            &mut full,
+        )
+        .unwrap();
+        let mut approx = Vec::new();
+        topk_approx_scan(
+            &model,
+            &q,
+            ApproxPolicy::default(),
+            &mut scratch,
+            &mut approx,
+        )
+        .unwrap();
+        for &(id, score) in &approx {
+            let reference = full.iter().find(|&&(i, _)| i == id).unwrap().1;
+            assert_eq!(score.to_bits(), reference.to_bits(), "id={id}");
+        }
+    }
+
+    #[test]
+    fn k_zero_clip_and_validation() {
+        let model = servable(10, 4, 3);
+        let mut scratch = ServeScratch::default();
+        let mut out = vec![(0, 0.0)];
+        topk_approx_scan(
+            &model,
+            &query(0),
+            ApproxPolicy::default(),
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+        topk_approx_scan(
+            &model,
+            &query(25),
+            ApproxPolicy::default(),
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 10);
+        let bad = TopKQuery {
+            free_mode: 0,
+            anchor: vec![0, 9],
+            k: 1,
+        };
+        assert!(topk_approx_scan(
+            &model,
+            &bad,
+            ApproxPolicy::default(),
+            &mut scratch,
+            &mut out
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn early_termination_still_finds_dominant_rows() {
+        // Power-law norms: the winners live in the first few permuted
+        // rows, so the guard-bounded stop cannot miss them.
+        let rows = 400;
+        let rank = 4;
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let mut free = DMat::random(rows, rank, -1.0, 1.0, &mut rng);
+        for i in 0..rows {
+            let scale = ((i + 1) as f64).powf(-0.8);
+            for v in free.row_mut(i) {
+                *v *= scale;
+            }
+        }
+        let mut model = ServableModel::new(KruskalModel::new(vec![
+            free,
+            DMat::random(5, rank, -1.0, 1.0, &mut rng),
+        ]));
+        model.epoch = 1;
+        let mut scratch = ServeScratch::default();
+        let q = query(10);
+        let mut exact = Vec::new();
+        topk_scan(&model, &q, true, &mut scratch, &mut exact).unwrap();
+        let mut approx = Vec::new();
+        topk_approx_scan(
+            &model,
+            &q,
+            ApproxPolicy::default(),
+            &mut scratch,
+            &mut approx,
+        )
+        .unwrap();
+        let hit = approx
+            .iter()
+            .filter(|&&(id, _)| exact.iter().any(|&(e, _)| e == id))
+            .count();
+        assert!(hit >= 9, "recall@10 = {hit}/10");
+    }
+}

@@ -1,0 +1,297 @@
+//! Blocking wire client, with pipelining for the closed-loop bench.
+//!
+//! One client owns one connection. Because the daemon releases
+//! responses in request order, a client may pipeline: write a window
+//! of requests, then read the same number of responses back — the
+//! batch helpers here do exactly that, which is what lets a single
+//! connection keep the daemon's batcher fed instead of paying a full
+//! round trip per query.
+
+use crate::stats::StatsReport;
+use crate::wire::{self, ErrorCode, FrameBuf, Request, Response, Tier, WireError};
+use sptensor::Idx;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(io::Error),
+    /// The daemon sent bytes that do not decode.
+    Wire(WireError),
+    /// The daemon answered with a typed error.
+    Remote {
+        /// Rejection category.
+        code: ErrorCode,
+        /// For `OverLimit`: suggested back-off.
+        retry_after_ms: u32,
+        /// Daemon-side detail.
+        msg: String,
+    },
+    /// The daemon answered with the wrong response type or id.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Remote { code, msg, .. } => write!(f, "remote error ({code:?}): {msg}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+fn remote(code: ErrorCode, retry_after_ms: u32, msg: String) -> ClientError {
+    ClientError::Remote {
+        code,
+        retry_after_ms,
+        msg,
+    }
+}
+
+/// A blocking connection to an `aoadmm serve` daemon.
+pub struct WireClient {
+    stream: TcpStream,
+    fb: FrameBuf,
+    wbuf: Vec<u8>,
+    next_id: u32,
+}
+
+impl WireClient {
+    /// Connect (Nagle disabled — this protocol is request/response).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient {
+            stream,
+            fb: FrameBuf::new(),
+            wbuf: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        id
+    }
+
+    /// Queue `req` into the write buffer without flushing — the
+    /// pipelining primitive.
+    fn enqueue(&mut self, req: &Request) {
+        wire::encode_request(req, &mut self.wbuf);
+    }
+
+    /// Write every queued request to the socket.
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.write_all(&self.wbuf)?;
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// Read the next response frame (blocking).
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if let Some(body) = self.fb.next_frame()? {
+                return Ok(wire::decode_response(&body)?);
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                )));
+            }
+            self.fb.push(&buf[..n]);
+        }
+    }
+
+    /// One full round trip.
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.enqueue(req);
+        self.flush()?;
+        self.recv()
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        match self.call(&Request::Ping { id })? {
+            Response::Pong { id: got } if got == id => Ok(()),
+            Response::Error {
+                code,
+                retry_after_ms,
+                msg,
+                ..
+            } => Err(remote(code, retry_after_ms, msg)),
+            _ => Err(ClientError::Unexpected("pong")),
+        }
+    }
+
+    /// Reconstruct one coordinate; returns `(epoch, value)`.
+    pub fn predict(&mut self, coord: &[Idx]) -> Result<(u64, f64), ClientError> {
+        let id = self.fresh_id();
+        let resp = self.call(&Request::Predict {
+            id,
+            coord: coord.to_vec(),
+        })?;
+        Self::expect_value(id, resp)
+    }
+
+    /// Top-K over `free_mode`; returns `(epoch, hits)` best first.
+    pub fn topk(
+        &mut self,
+        tier: Tier,
+        free_mode: usize,
+        anchor: &[Idx],
+        k: usize,
+    ) -> Result<(u64, Vec<(Idx, f64)>), ClientError> {
+        let id = self.fresh_id();
+        let resp = self.call(&Request::TopK {
+            id,
+            tier,
+            free_mode: free_mode as u8,
+            k: k as u32,
+            anchor: anchor.to_vec(),
+        })?;
+        Self::expect_hits(id, resp)
+    }
+
+    /// Fetch the daemon's per-endpoint counters and histograms.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        let id = self.fresh_id();
+        match self.call(&Request::Stats { id })? {
+            Response::Stats { id: got, report } if got == id => Ok(report),
+            Response::Error {
+                code,
+                retry_after_ms,
+                msg,
+                ..
+            } => Err(remote(code, retry_after_ms, msg)),
+            _ => Err(ClientError::Unexpected("stats report")),
+        }
+    }
+
+    /// Ask the daemon to drain and exit; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        match self.call(&Request::Shutdown { id })? {
+            Response::ShutdownAck { id: got } if got == id => Ok(()),
+            _ => Err(ClientError::Unexpected("shutdown ack")),
+        }
+    }
+
+    /// Pipelined point scoring: write every request, then read every
+    /// response in order. Per-item results; the call itself only fails
+    /// on transport errors.
+    #[allow(clippy::type_complexity)]
+    pub fn predict_pipelined(
+        &mut self,
+        coords: &[Vec<Idx>],
+    ) -> Result<Vec<Result<(u64, f64), ClientError>>, ClientError> {
+        let ids: Vec<u32> = coords
+            .iter()
+            .map(|coord| {
+                let id = self.fresh_id();
+                self.enqueue(&Request::Predict {
+                    id,
+                    coord: coord.clone(),
+                });
+                id
+            })
+            .collect();
+        self.flush()?;
+        ids.into_iter()
+            .map(|id| {
+                let resp = self.recv()?;
+                Ok(Self::expect_value(id, resp))
+            })
+            .collect()
+    }
+
+    /// Pipelined top-K: write every query, then read every response in
+    /// order.
+    #[allow(clippy::type_complexity)]
+    pub fn topk_pipelined(
+        &mut self,
+        tier: Tier,
+        free_mode: usize,
+        anchors: &[Vec<Idx>],
+        k: usize,
+    ) -> Result<Vec<Result<(u64, Vec<(Idx, f64)>), ClientError>>, ClientError> {
+        let ids: Vec<u32> = anchors
+            .iter()
+            .map(|anchor| {
+                let id = self.fresh_id();
+                self.enqueue(&Request::TopK {
+                    id,
+                    tier,
+                    free_mode: free_mode as u8,
+                    k: k as u32,
+                    anchor: anchor.clone(),
+                });
+                id
+            })
+            .collect();
+        self.flush()?;
+        ids.into_iter()
+            .map(|id| {
+                let resp = self.recv()?;
+                Ok(Self::expect_hits(id, resp))
+            })
+            .collect()
+    }
+
+    fn expect_value(id: u32, resp: Response) -> Result<(u64, f64), ClientError> {
+        match resp {
+            Response::Value {
+                id: got,
+                epoch,
+                value,
+            } if got == id => Ok((epoch, value)),
+            Response::Error {
+                code,
+                retry_after_ms,
+                msg,
+                ..
+            } => Err(remote(code, retry_after_ms, msg)),
+            _ => Err(ClientError::Unexpected("value")),
+        }
+    }
+
+    fn expect_hits(id: u32, resp: Response) -> Result<(u64, Vec<(Idx, f64)>), ClientError> {
+        match resp {
+            Response::Hits {
+                id: got,
+                epoch,
+                hits,
+            } if got == id => Ok((epoch, hits)),
+            Response::Error {
+                code,
+                retry_after_ms,
+                msg,
+                ..
+            } => Err(remote(code, retry_after_ms, msg)),
+            _ => Err(ClientError::Unexpected("hits")),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # aoadmm-served — the network serving tier
+//!
+//! `aoadmm-serve` answers queries in-process; this crate puts that
+//! engine behind a socket. It is deliberately dependency-light: plain
+//! nonblocking `std::net` sockets, `std::sync` channels, and the same
+//! typed-message discipline as the distsim fabric, now length-prefixed
+//! onto TCP.
+//!
+//! * [`wire`] — the protocol: `u32` length prefix + opcode byte,
+//!   little-endian fields, `f64` scores as raw bits (so wire-served
+//!   values are bit-identical to in-process scoring).
+//! * [`Daemon`] — the `aoadmm serve` daemon: one nonblocking I/O
+//!   thread feeding an SLO-deadline predict batcher and a top-K worker
+//!   pool over a per-deployment [`aoadmm_serve::ShardedRegistry`].
+//!   Per-connection token-bucket admission control, per-endpoint stats
+//!   with log2 latency histograms, in-order response release (a
+//!   client's observed epochs are monotone), and drain-before-exit
+//!   shutdown.
+//! * [`WireClient`] — blocking client with pipelined batch helpers,
+//!   shared by the CLI subcommands and the `serve_wire` closed-loop
+//!   benchmark.
+//!
+//! ```no_run
+//! use aoadmm_served::{Daemon, DaemonConfig, WireClient, Tier};
+//!
+//! let daemon = Daemon::bind(DaemonConfig::default())?;
+//! let addr = daemon.local_addr();
+//! // ... publish a model through daemon.registry() ...
+//! let mut client = WireClient::connect(addr)?;
+//! let (epoch, value) = client.predict(&[3, 7, 2]).unwrap();
+//! let (_, hits) = client.topk(Tier::Approx, 0, &[0, 7, 2], 10).unwrap();
+//! client.shutdown().unwrap();
+//! daemon.wait();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use client::{ClientError, WireClient};
+pub use server::{Daemon, DaemonConfig};
+pub use stats::{Endpoint, EndpointStats, StatsRegistry, StatsReport};
+pub use wire::{ErrorCode, Request, Response, Tier, WireError};

@@ -1,0 +1,814 @@
+//! The `aoadmm serve` daemon: a nonblocking TCP front-end over a
+//! sharded registry.
+//!
+//! ## Thread layout
+//!
+//! One **I/O thread** owns the listener and every connection. It runs
+//! a nonblocking poll loop — accept, read, frame-decode, admission
+//! check, dispatch, write — with a short idle sleep; no async runtime,
+//! just `std::net` sockets in nonblocking mode. Scoring never happens
+//! on the I/O thread:
+//!
+//! * **Predict** requests go to the *deadline batcher*: the first
+//!   request of a batch is the leader and arms the SLO deadline;
+//!   followers ride along until the batch fills
+//!   ([`DaemonConfig::batch_max`]) or the deadline expires
+//!   ([`DaemonConfig::batch_deadline`]), whichever comes first — the
+//!   wire-level analog of the in-process leader/follower micro-batcher.
+//!   A flush scores the whole batch through the panel kernels.
+//! * **Top-K** requests go to a small worker pool over an MPSC queue.
+//!
+//! ## Epoch coherence
+//!
+//! The I/O thread pins one [`ShardSet`] snapshot per request *at
+//! decode time* and attaches it to the dispatched work, and responses
+//! on a connection are released strictly in request order (out-of-order
+//! completions park until their turn). Snapshots taken later in the
+//! single decode stream never have a smaller epoch, so the epoch
+//! sequence a client observes on one connection is monotone — across
+//! hot swaps, batching, and worker reordering. A swap mid-batch is
+//! also harmless: each request scores against its own pinned set, so a
+//! flush spanning a swap splits into per-epoch runs instead of mixing
+//! factors.
+//!
+//! ## Shutdown
+//!
+//! A wire `Shutdown` (or [`Daemon::shutdown`]) stops accepts and
+//! reads, then drains: every dispatched request completes, every
+//! response is written, and only then do the threads exit. In-flight
+//! work is never dropped.
+
+use crate::admission::TokenBucket;
+use crate::stats::{Endpoint, StatsRegistry, StatsReport};
+use crate::wire::{self, ErrorCode, FrameBuf, Request, Response, Tier};
+use aoadmm_serve::{ApproxPolicy, ServeError, ShardSet, ShardedEngine, ShardedRegistry, TopKQuery};
+use sptensor::Idx;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything the daemon needs to bind and serve.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port (read it
+    /// back from [`Daemon::local_addr`]).
+    pub addr: String,
+    /// Mode whose rows partition the registry (the "user" mode).
+    pub split_mode: usize,
+    /// Number of shards per published epoch.
+    pub nshards: usize,
+    /// Top-K worker threads.
+    pub workers: usize,
+    /// Flush a predict batch at this many requests even before the
+    /// deadline.
+    pub batch_max: usize,
+    /// SLO deadline: a predict waits at most this long for followers
+    /// before its batch flushes.
+    pub batch_deadline: Duration,
+    /// Token-bucket refill rate per connection, tokens/second;
+    /// `f64::INFINITY` disables admission control.
+    pub rate: f64,
+    /// Token-bucket capacity (burst size) per connection.
+    pub burst: f64,
+    /// Approximate-tier policy served for `Tier::Approx` queries.
+    pub approx: ApproxPolicy,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".into(),
+            split_mode: 0,
+            nshards: 1,
+            workers: 2,
+            batch_max: 64,
+            batch_deadline: Duration::from_micros(500),
+            rate: f64::INFINITY,
+            burst: 64.0,
+            approx: ApproxPolicy::default(),
+        }
+    }
+}
+
+/// One top-K unit of work for the pool.
+struct TopKWork {
+    conn: u64,
+    seq: u64,
+    id: u32,
+    tier: Tier,
+    q: TopKQuery,
+    set: Arc<ShardSet>,
+    t0: Instant,
+}
+
+/// One completed response heading back to the I/O thread.
+struct Done {
+    conn: u64,
+    seq: u64,
+    bytes: Vec<u8>,
+}
+
+/// One predict waiting in the deadline batcher.
+struct PendingPredict {
+    conn: u64,
+    seq: u64,
+    id: u32,
+    coord: Vec<Idx>,
+    set: Arc<ShardSet>,
+    t0: Instant,
+}
+
+struct BatchState {
+    pending: Vec<PendingPredict>,
+    /// Arrival of the current leader (first pending request).
+    leader_at: Option<Instant>,
+    closed: bool,
+}
+
+/// SLO-aware predict batcher: leader arms the deadline, followers ride.
+struct Batcher {
+    state: Mutex<BatchState>,
+    cv: Condvar,
+}
+
+impl Batcher {
+    fn new() -> Self {
+        Batcher {
+            state: Mutex::new(BatchState {
+                pending: Vec::new(),
+                leader_at: None,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: PendingPredict, batch_max: usize) {
+        let mut st = self.state.lock().expect("batcher lock");
+        if st.pending.is_empty() {
+            st.leader_at = Some(item.t0);
+        }
+        st.pending.push(item);
+        if st.pending.len() == 1 || st.pending.len() >= batch_max {
+            self.cv.notify_one();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("batcher lock").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Block until a batch is due (full, past deadline, or draining on
+    /// close); `None` means closed and fully drained.
+    fn next_batch(&self, batch_max: usize, deadline: Duration) -> Option<Vec<PendingPredict>> {
+        let mut st = self.state.lock().expect("batcher lock");
+        loop {
+            if st.pending.len() >= batch_max {
+                break;
+            }
+            if let Some(leader) = st.leader_at {
+                let due = leader + deadline;
+                let now = Instant::now();
+                if now >= due || st.closed {
+                    break;
+                }
+                let (s, _) = self.cv.wait_timeout(st, due - now).expect("batcher wait");
+                st = s;
+            } else if st.closed {
+                return None;
+            } else {
+                let (s, _) = self
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(5))
+                    .expect("batcher wait");
+                st = s;
+            }
+        }
+        st.leader_at = None;
+        Some(std::mem::take(&mut st.pending))
+    }
+}
+
+fn error_response(id: u32, e: &ServeError) -> Response {
+    let code = match e {
+        ServeError::Invalid(_) => ErrorCode::Invalid,
+        ServeError::Empty => ErrorCode::Empty,
+        ServeError::Linalg(_) => ErrorCode::Internal,
+    };
+    Response::Error {
+        id,
+        code,
+        retry_after_ms: 0,
+        msg: e.to_string(),
+    }
+}
+
+fn encode(resp: &Response) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    wire::encode_response(resp, &mut bytes);
+    bytes
+}
+
+/// One live connection, owned by the I/O thread.
+struct Conn {
+    stream: TcpStream,
+    fb: FrameBuf,
+    wq: VecDeque<Vec<u8>>,
+    /// Bytes of `wq.front()` already written.
+    woff: usize,
+    bucket: TokenBucket,
+    /// Next sequence number to assign to an incoming request.
+    next_seq: u64,
+    /// Next sequence number allowed to enter the write queue.
+    next_release: u64,
+    /// Out-of-order completions waiting for their turn.
+    parked: BTreeMap<u64, Vec<u8>>,
+    dead: bool,
+}
+
+impl Conn {
+    fn release(&mut self, seq: u64, bytes: Vec<u8>) {
+        if seq != self.next_release {
+            self.parked.insert(seq, bytes);
+            return;
+        }
+        self.wq.push_back(bytes);
+        self.next_release += 1;
+        while let Some(next) = self.parked.remove(&self.next_release) {
+            self.wq.push_back(next);
+            self.next_release += 1;
+        }
+    }
+}
+
+struct IoState {
+    cfg: DaemonConfig,
+    listener: TcpListener,
+    registry: Arc<ShardedRegistry>,
+    stats: Arc<StatsRegistry>,
+    batcher: Arc<Batcher>,
+    work_tx: Sender<TopKWork>,
+    resp_rx: Receiver<Done>,
+    shutdown: Arc<AtomicBool>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    /// Requests dispatched to the batcher or pool whose responses have
+    /// not yet come back. Only the I/O thread touches it.
+    in_flight: u64,
+    draining: bool,
+}
+
+impl IoState {
+    fn run(mut self) {
+        loop {
+            let mut busy = false;
+            if self.shutdown.load(Ordering::Relaxed) {
+                self.draining = true;
+            }
+            if !self.draining {
+                busy |= self.accept_new();
+                busy |= self.read_all();
+            }
+            busy |= self.collect_done();
+            busy |= self.flush_writes();
+            self.reap_dead();
+            if self.draining && self.in_flight == 0 && self.writes_drained() {
+                break;
+            }
+            if !busy {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        // Final best-effort flush already happened (writes_drained);
+        // close the scoring side so workers and the batcher exit.
+        self.batcher.close();
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    fn accept_new(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            fb: FrameBuf::new(),
+                            wq: VecDeque::new(),
+                            woff: 0,
+                            bucket: TokenBucket::new(self.cfg.rate, self.cfg.burst, Instant::now()),
+                            next_seq: 0,
+                            next_release: 0,
+                            parked: BTreeMap::new(),
+                            dead: false,
+                        },
+                    );
+                    any = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    fn read_all(&mut self) -> bool {
+        let mut any = false;
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let mut conn = self.conns.remove(&id).expect("conn present");
+            if !conn.dead {
+                any |= self.read_conn(id, &mut conn);
+            }
+            self.conns.insert(id, conn);
+        }
+        any
+    }
+
+    fn read_conn(&mut self, conn_id: u64, conn: &mut Conn) -> bool {
+        let mut buf = [0u8; 16 * 1024];
+        let mut any = false;
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    any = true;
+                    conn.fb.push(&buf[..n]);
+                    loop {
+                        match conn.fb.next_frame() {
+                            Ok(Some(body)) => self.handle_frame(conn_id, conn, &body),
+                            Ok(None) => break,
+                            Err(e) => {
+                                // Framing is unrecoverable: answer once,
+                                // then drop the connection.
+                                let seq = conn.next_seq;
+                                conn.next_seq += 1;
+                                conn.release(
+                                    seq,
+                                    encode(&Response::Error {
+                                        id: 0,
+                                        code: ErrorCode::Invalid,
+                                        retry_after_ms: 0,
+                                        msg: e.to_string(),
+                                    }),
+                                );
+                                conn.dead = true;
+                                break;
+                            }
+                        }
+                    }
+                    if conn.dead || self.draining {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        any
+    }
+
+    fn handle_frame(&mut self, conn_id: u64, conn: &mut Conn, body: &[u8]) {
+        let t0 = Instant::now();
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let req = match wire::decode_request(body) {
+            Ok(req) => req,
+            Err(e) => {
+                conn.release(
+                    seq,
+                    encode(&Response::Error {
+                        id: 0,
+                        code: ErrorCode::Invalid,
+                        retry_after_ms: 0,
+                        msg: e.to_string(),
+                    }),
+                );
+                return;
+            }
+        };
+        match req {
+            Request::Ping { id } => {
+                conn.release(seq, encode(&Response::Pong { id }));
+                self.stats
+                    .record(Endpoint::Ping, t0.elapsed().as_nanos() as u64, false);
+            }
+            Request::Stats { id } => {
+                let report = self.stats.report();
+                conn.release(seq, encode(&Response::Stats { id, report }));
+                self.stats
+                    .record(Endpoint::Stats, t0.elapsed().as_nanos() as u64, false);
+            }
+            Request::Shutdown { id } => {
+                conn.release(seq, encode(&Response::ShutdownAck { id }));
+                self.draining = true;
+            }
+            Request::Predict { id, coord } => {
+                if let Err(resp) = self.admit(conn, Endpoint::Predict, id, t0) {
+                    conn.release(seq, resp);
+                    return;
+                }
+                match self.registry.snapshot() {
+                    None => {
+                        conn.release(seq, encode(&error_response(id, &ServeError::Empty)));
+                        self.stats
+                            .record(Endpoint::Predict, t0.elapsed().as_nanos() as u64, true);
+                    }
+                    Some(set) => {
+                        self.in_flight += 1;
+                        self.batcher.push(
+                            PendingPredict {
+                                conn: conn_id,
+                                seq,
+                                id,
+                                coord,
+                                set,
+                                t0,
+                            },
+                            self.cfg.batch_max,
+                        );
+                    }
+                }
+            }
+            Request::TopK {
+                id,
+                tier,
+                free_mode,
+                k,
+                anchor,
+            } => {
+                let endpoint = match tier {
+                    Tier::Exact => Endpoint::TopKExact,
+                    Tier::Approx => Endpoint::TopKApprox,
+                };
+                if let Err(resp) = self.admit(conn, endpoint, id, t0) {
+                    conn.release(seq, resp);
+                    return;
+                }
+                match self.registry.snapshot() {
+                    None => {
+                        conn.release(seq, encode(&error_response(id, &ServeError::Empty)));
+                        self.stats
+                            .record(endpoint, t0.elapsed().as_nanos() as u64, true);
+                    }
+                    Some(set) => {
+                        self.in_flight += 1;
+                        let work = TopKWork {
+                            conn: conn_id,
+                            seq,
+                            id,
+                            tier,
+                            q: TopKQuery {
+                                free_mode: free_mode as usize,
+                                anchor,
+                                k: k as usize,
+                            },
+                            set,
+                            t0,
+                        };
+                        // Workers only exit after this sender is gone.
+                        self.work_tx.send(work).expect("worker pool alive");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Admission-check one scoring request; `Err` carries the encoded
+    /// over-limit response.
+    fn admit(
+        &self,
+        conn: &mut Conn,
+        endpoint: Endpoint,
+        id: u32,
+        t0: Instant,
+    ) -> Result<(), Vec<u8>> {
+        match conn.bucket.admit(t0) {
+            Ok(()) => Ok(()),
+            Err(retry) => {
+                self.stats
+                    .record(endpoint, t0.elapsed().as_nanos() as u64, true);
+                Err(encode(&Response::Error {
+                    id,
+                    code: ErrorCode::OverLimit,
+                    retry_after_ms: retry.as_millis().min(u32::MAX as u128) as u32 + 1,
+                    msg: "token bucket empty".into(),
+                }))
+            }
+        }
+    }
+
+    fn collect_done(&mut self) -> bool {
+        let mut any = false;
+        while let Ok(done) = self.resp_rx.try_recv() {
+            any = true;
+            self.in_flight -= 1;
+            if let Some(conn) = self.conns.get_mut(&done.conn) {
+                conn.release(done.seq, done.bytes);
+            }
+        }
+        any
+    }
+
+    fn flush_writes(&mut self) -> bool {
+        let mut any = false;
+        for conn in self.conns.values_mut() {
+            if conn.dead {
+                continue;
+            }
+            while let Some(front) = conn.wq.front() {
+                match conn.stream.write(&front[conn.woff..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        any = true;
+                        conn.woff += n;
+                        if conn.woff == front.len() {
+                            conn.wq.pop_front();
+                            conn.woff = 0;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    fn reap_dead(&mut self) {
+        self.conns.retain(|_, c| !c.dead);
+    }
+
+    /// True when every live connection's queue (and parked set, which
+    /// only matters while requests are in flight) is empty.
+    fn writes_drained(&self) -> bool {
+        self.conns
+            .values()
+            .all(|c| c.dead || (c.wq.is_empty() && c.parked.is_empty()))
+    }
+}
+
+fn worker_loop(
+    rx: Arc<Mutex<Receiver<TopKWork>>>,
+    resp_tx: Sender<Done>,
+    engine: Arc<ShardedEngine>,
+    policy: ApproxPolicy,
+    stats: Arc<StatsRegistry>,
+) {
+    let mut hits: Vec<(Idx, f64)> = Vec::new();
+    loop {
+        let work = match rx.lock().expect("pool lock").recv() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let res = match work.tier {
+            Tier::Exact => engine.topk_on(&work.set, &work.q, true, &mut hits),
+            Tier::Approx => engine.topk_approx_on(&work.set, &work.q, policy, &mut hits),
+        };
+        let (endpoint, is_err) = match work.tier {
+            Tier::Exact => (Endpoint::TopKExact, res.is_err()),
+            Tier::Approx => (Endpoint::TopKApprox, res.is_err()),
+        };
+        let resp = match res {
+            Ok(()) => Response::Hits {
+                id: work.id,
+                epoch: work.set.epoch(),
+                hits: hits.clone(),
+            },
+            Err(e) => error_response(work.id, &e),
+        };
+        stats.record(endpoint, work.t0.elapsed().as_nanos() as u64, is_err);
+        let _ = resp_tx.send(Done {
+            conn: work.conn,
+            seq: work.seq,
+            bytes: encode(&resp),
+        });
+    }
+}
+
+fn batcher_loop(
+    batcher: Arc<Batcher>,
+    resp_tx: Sender<Done>,
+    engine: Arc<ShardedEngine>,
+    stats: Arc<StatsRegistry>,
+    batch_max: usize,
+    deadline: Duration,
+) {
+    let mut coords: Vec<Vec<Idx>> = Vec::new();
+    let mut results: Vec<Result<f64, ServeError>> = Vec::new();
+    while let Some(mut batch) = batcher.next_batch(batch_max, deadline) {
+        // A flush spanning a hot swap splits into per-epoch runs; each
+        // request scores against the set pinned at its decode.
+        let mut lo = 0;
+        while lo < batch.len() {
+            let mut hi = lo + 1;
+            while hi < batch.len() && Arc::ptr_eq(&batch[hi].set, &batch[lo].set) {
+                hi += 1;
+            }
+            coords.clear();
+            coords.extend(
+                batch[lo..hi]
+                    .iter_mut()
+                    .map(|p| std::mem::take(&mut p.coord)),
+            );
+            let run_set = batch[lo].set.clone();
+            let epoch = run_set.epoch();
+            if let Err(e) = engine.predict_batch_on(&run_set, &coords, &mut results) {
+                // Kernel-level failure (programming error): every item
+                // in the run gets the same typed internal error.
+                results.clear();
+                results.resize_with(coords.len(), || {
+                    Err(ServeError::Invalid(format!("internal: {e}")))
+                });
+            }
+            for (item, res) in batch[lo..hi].iter().zip(results.drain(..)) {
+                let (resp, is_err) = match res {
+                    Ok(value) => (
+                        Response::Value {
+                            id: item.id,
+                            epoch,
+                            value,
+                        },
+                        false,
+                    ),
+                    Err(e) => (error_response(item.id, &e), true),
+                };
+                stats.record(
+                    Endpoint::Predict,
+                    item.t0.elapsed().as_nanos() as u64,
+                    is_err,
+                );
+                let _ = resp_tx.send(Done {
+                    conn: item.conn,
+                    seq: item.seq,
+                    bytes: encode(&resp),
+                });
+            }
+            lo = hi;
+        }
+    }
+}
+
+/// A running daemon: bound socket, I/O thread, worker pool, batcher.
+///
+/// Publish models through [`Daemon::registry`] (it implements
+/// `ModelSink`, so a streaming refit loop can republish directly into
+/// the sharded registry). Drop or [`Daemon::shutdown`] drains and
+/// joins every thread.
+pub struct Daemon {
+    addr: SocketAddr,
+    registry: Arc<ShardedRegistry>,
+    stats: Arc<StatsRegistry>,
+    shutdown: Arc<AtomicBool>,
+    batcher: Arc<Batcher>,
+    io: Option<JoinHandle<()>>,
+    scorers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Bind `cfg.addr` and start serving. The registry starts empty;
+    /// queries answer `Empty` until the first publish.
+    pub fn bind(cfg: DaemonConfig) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(ShardedRegistry::new(cfg.split_mode, cfg.nshards));
+        let engine = Arc::new(ShardedEngine::new(registry.clone()).approx_policy(cfg.approx));
+        let stats = Arc::new(StatsRegistry::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let batcher = Arc::new(Batcher::new());
+        let (work_tx, work_rx) = channel::<TopKWork>();
+        let (resp_tx, resp_rx) = channel::<Done>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+
+        let mut scorers = Vec::new();
+        for i in 0..cfg.workers.max(1) {
+            let rx = work_rx.clone();
+            let tx = resp_tx.clone();
+            let eng = engine.clone();
+            let st = stats.clone();
+            let policy = cfg.approx;
+            scorers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-topk-{i}"))
+                    .spawn(move || worker_loop(rx, tx, eng, policy, st))
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let b = batcher.clone();
+            let tx = resp_tx;
+            let eng = engine;
+            let st = stats.clone();
+            let (bmax, bdl) = (cfg.batch_max.max(1), cfg.batch_deadline);
+            scorers.push(
+                std::thread::Builder::new()
+                    .name("serve-batcher".into())
+                    .spawn(move || batcher_loop(b, tx, eng, st, bmax, bdl))
+                    .expect("spawn batcher"),
+            );
+        }
+        let io_state = IoState {
+            cfg,
+            listener,
+            registry: registry.clone(),
+            stats: stats.clone(),
+            batcher: batcher.clone(),
+            work_tx,
+            resp_rx,
+            shutdown: shutdown.clone(),
+            conns: HashMap::new(),
+            next_conn: 0,
+            in_flight: 0,
+            draining: false,
+        };
+        let io = std::thread::Builder::new()
+            .name("serve-io".into())
+            .spawn(move || io_state.run())
+            .expect("spawn io");
+
+        Ok(Daemon {
+            addr,
+            registry,
+            stats,
+            shutdown,
+            batcher,
+            io: Some(io),
+            scorers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The sharded registry queries read from. Publish here (it is a
+    /// `ModelSink`) to hot-swap the served model.
+    pub fn registry(&self) -> &Arc<ShardedRegistry> {
+        &self.registry
+    }
+
+    /// In-process view of the same counters the stats RPC reports.
+    pub fn stats_report(&self) -> StatsReport {
+        self.stats.report()
+    }
+
+    /// Block until the daemon exits (a wire `Shutdown` arrived or
+    /// [`Daemon::shutdown`] was called from another handle), then join
+    /// every thread.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    /// Signal shutdown, drain in-flight work, and join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(io) = self.io.take() {
+            let _ = io.join();
+        }
+        // The I/O thread closed the batcher and dropped the work
+        // sender on exit; scorers drain and return.
+        self.batcher.close();
+        for h in self.scorers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.join_all();
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-endpoint request counters and latency histograms.
+//!
+//! The daemon records every request against its endpoint: a request
+//! count, an error count (typed rejections included), and a log2
+//! latency histogram — bucket `i` counts requests whose latency in
+//! nanoseconds satisfied `2^i <= ns < 2^(i+1)`. Log2 buckets make the
+//! histogram fixed-size and lock-free (one atomic increment per
+//! request) while still resolving p50/p95/p99 to within a factor of
+//! two, which is what a closed-loop benchmark needs from a stats RPC.
+//!
+//! Recording is wait-free (`Relaxed` atomics); a concurrent
+//! [`StatsRegistry::report`] may be off by in-flight increments, never
+//! torn.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 latency buckets: `2^39` ns is ~9 minutes, far past
+/// any latency this tier produces; slower requests clamp into the last
+/// bucket.
+pub const HIST_BUCKETS: usize = 40;
+
+/// The daemon's request endpoints, in wire-code order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Endpoint {
+    /// Point reconstruction.
+    Predict = 0,
+    /// Exact top-K.
+    TopKExact = 1,
+    /// Approximate top-K.
+    TopKApprox = 2,
+    /// Stats RPC itself.
+    Stats = 3,
+    /// Liveness probe.
+    Ping = 4,
+}
+
+/// All endpoints, in wire-code order.
+pub const ENDPOINTS: [Endpoint; 5] = [
+    Endpoint::Predict,
+    Endpoint::TopKExact,
+    Endpoint::TopKApprox,
+    Endpoint::Stats,
+    Endpoint::Ping,
+];
+
+impl Endpoint {
+    /// Decode a wire endpoint code.
+    pub fn from_u8(v: u8) -> Option<Endpoint> {
+        ENDPOINTS.get(v as usize).copied()
+    }
+
+    /// Stable lowercase name (CSV column / log field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Predict => "predict",
+            Endpoint::TopKExact => "topk_exact",
+            Endpoint::TopKApprox => "topk_approx",
+            Endpoint::Stats => "stats",
+            Endpoint::Ping => "ping",
+        }
+    }
+}
+
+/// Bucket index of a latency: `floor(log2(ns))`, clamped.
+fn bucket(ns: u64) -> usize {
+    (63 - ns.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+struct Counters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    hist: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Counters {
+    fn new() -> Self {
+        Counters {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Shared, wait-free stats sink: one set of counters per endpoint.
+pub struct StatsRegistry {
+    per: [Counters; 5],
+}
+
+impl Default for StatsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatsRegistry {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        StatsRegistry {
+            per: std::array::from_fn(|_| Counters::new()),
+        }
+    }
+
+    /// Record one request: its endpoint, end-to-end daemon latency in
+    /// nanoseconds, and whether it was answered with an error.
+    pub fn record(&self, endpoint: Endpoint, latency_ns: u64, error: bool) {
+        let c = &self.per[endpoint as usize];
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        if error {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        c.hist[bucket(latency_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every endpoint's counters.
+    pub fn report(&self) -> StatsReport {
+        StatsReport {
+            endpoints: ENDPOINTS
+                .iter()
+                .map(|&endpoint| {
+                    let c = &self.per[endpoint as usize];
+                    let mut hist = [0u64; HIST_BUCKETS];
+                    for (slot, a) in hist.iter_mut().zip(&c.hist) {
+                        *slot = a.load(Ordering::Relaxed);
+                    }
+                    EndpointStats {
+                        endpoint,
+                        requests: c.requests.load(Ordering::Relaxed),
+                        errors: c.errors.load(Ordering::Relaxed),
+                        hist,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One endpoint's counters as carried by the stats RPC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Which endpoint.
+    pub endpoint: Endpoint,
+    /// Requests answered (errors included).
+    pub requests: u64,
+    /// Requests answered with a typed error.
+    pub errors: u64,
+    /// Log2 latency histogram; bucket `i` counts latencies in
+    /// `[2^i, 2^(i+1))` nanoseconds.
+    pub hist: [u64; HIST_BUCKETS],
+}
+
+impl EndpointStats {
+    /// Zeroed counters for one endpoint.
+    pub fn new(endpoint: Endpoint) -> Self {
+        EndpointStats {
+            endpoint,
+            requests: 0,
+            errors: 0,
+            hist: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile latency in nanoseconds
+    /// (the top edge of the bucket holding the quantile), or 0 with no
+    /// samples. `q` in `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total: u64 = self.hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &count) in self.hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 63
+    }
+}
+
+/// The full answer of the stats RPC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReport {
+    /// One entry per endpoint, in wire-code order.
+    pub endpoints: Vec<EndpointStats>,
+}
+
+impl StatsReport {
+    /// The entry for one endpoint.
+    pub fn endpoint(&self, endpoint: Endpoint) -> Option<&EndpointStats> {
+        self.endpoints.iter().find(|e| e.endpoint == endpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(3), 1);
+        assert_eq!(bucket(1024), 10);
+        assert_eq!(bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_report() {
+        let reg = StatsRegistry::new();
+        reg.record(Endpoint::Predict, 1000, false);
+        reg.record(Endpoint::Predict, 2000, true);
+        reg.record(Endpoint::TopKApprox, 500, false);
+        let report = reg.report();
+        let p = report.endpoint(Endpoint::Predict).unwrap();
+        assert_eq!((p.requests, p.errors), (2, 1));
+        assert_eq!(p.hist.iter().sum::<u64>(), 2);
+        assert_eq!(report.endpoint(Endpoint::TopKApprox).unwrap().requests, 1);
+        assert_eq!(report.endpoint(Endpoint::Ping).unwrap().requests, 0);
+    }
+
+    #[test]
+    fn quantiles_walk_the_histogram() {
+        let mut ep = EndpointStats::new(Endpoint::Predict);
+        // 90 samples in bucket 10 (~1-2us), 10 in bucket 20 (~1-2ms).
+        ep.hist[10] = 90;
+        ep.hist[20] = 10;
+        assert_eq!(ep.quantile_ns(0.5), 1 << 11);
+        assert_eq!(ep.quantile_ns(0.9), 1 << 11);
+        assert_eq!(ep.quantile_ns(0.95), 1 << 21);
+        assert_eq!(ep.quantile_ns(0.99), 1 << 21);
+        assert_eq!(EndpointStats::new(Endpoint::Ping).quantile_ns(0.5), 0);
+    }
+}

@@ -1,0 +1,664 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message is one *frame*: a little-endian `u32` body length
+//! followed by the body, whose first byte is the opcode. The same
+//! typed-message discipline as `aoadmm-distsim`'s fabric — a reader
+//! always knows how many bytes to wait for, and decoding is a total
+//! function from body bytes to a typed [`Request`]/[`Response`] or a
+//! [`WireError`] — applied to a real socket instead of an in-process
+//! channel.
+//!
+//! All integers are little-endian; scores travel as raw `f64` bits, so
+//! a value crosses the wire bit-identically. Requests carry a
+//! client-chosen `id` echoed in the response; the daemon additionally
+//! guarantees responses on one connection are written in request order,
+//! so a pipelining client may simply count frames.
+//!
+//! Frame bodies are capped ([`MAX_FRAME`]) — a garbage length prefix
+//! fails fast instead of waiting on gigabytes that will never arrive.
+
+use crate::stats::{EndpointStats, StatsReport, HIST_BUCKETS};
+use sptensor::Idx;
+use std::fmt;
+
+/// Hard cap on a frame body's length, generous for any top-K answer
+/// this tier produces (a hit is 12 bytes).
+pub const MAX_FRAME: usize = 1 << 22;
+
+/// Which top-K tier a wire query runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Norm-bound pruned exact scan.
+    Exact,
+    /// bf16 quantized scan with exact rescoring of survivors.
+    Approx,
+}
+
+/// Typed rejection category carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed or out-of-range query (client bug).
+    Invalid,
+    /// No model published yet; retry after a publish.
+    Empty,
+    /// Admission control rejected the request; `retry_after_ms` says
+    /// when the token bucket will have refilled.
+    OverLimit,
+    /// Daemon-side failure (server bug).
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Invalid => 1,
+            ErrorCode::Empty => 2,
+            ErrorCode::OverLimit => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => ErrorCode::Invalid,
+            2 => ErrorCode::Empty,
+            3 => ErrorCode::OverLimit,
+            4 => ErrorCode::Internal,
+            _ => return Err(WireError::BadField("error code")),
+        })
+    }
+}
+
+/// Client-to-daemon messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; free (not metered by admission control).
+    Ping {
+        /// Echoed in the response.
+        id: u32,
+    },
+    /// Reconstruct one coordinate.
+    Predict {
+        /// Echoed in the response.
+        id: u32,
+        /// Full-arity coordinate.
+        coord: Vec<Idx>,
+    },
+    /// Rank one free mode's rows.
+    TopK {
+        /// Echoed in the response.
+        id: u32,
+        /// Exact or approximate tier.
+        tier: Tier,
+        /// The mode whose rows are ranked.
+        free_mode: u8,
+        /// How many rows to return.
+        k: u32,
+        /// Full-arity anchor (free slot ignored).
+        anchor: Vec<Idx>,
+    },
+    /// Fetch per-endpoint counters and latency histograms; free.
+    Stats {
+        /// Echoed in the response.
+        id: u32,
+    },
+    /// Ask the daemon to drain in-flight work and exit; free.
+    Shutdown {
+        /// Echoed in the response.
+        id: u32,
+    },
+}
+
+/// Daemon-to-client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// Echo of the request id.
+        id: u32,
+    },
+    /// Answer to [`Request::Predict`].
+    Value {
+        /// Echo of the request id.
+        id: u32,
+        /// Model epoch the value was scored against.
+        epoch: u64,
+        /// Reconstructed value, bit-identical to in-process scoring.
+        value: f64,
+    },
+    /// Answer to [`Request::TopK`].
+    Hits {
+        /// Echo of the request id.
+        id: u32,
+        /// Model epoch the ranking was computed against.
+        epoch: u64,
+        /// `(row id, score)` pairs, best first.
+        hits: Vec<(Idx, f64)>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Echo of the request id.
+        id: u32,
+        /// Per-endpoint counters and histograms.
+        report: StatsReport,
+    },
+    /// Typed rejection of any request.
+    Error {
+        /// Echo of the request id (0 when the request was undecodable).
+        id: u32,
+        /// Rejection category.
+        code: ErrorCode,
+        /// For [`ErrorCode::OverLimit`]: suggested client back-off.
+        retry_after_ms: u32,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// Answer to [`Request::Shutdown`]; the daemon drains and exits
+    /// after sending it.
+    ShutdownAck {
+        /// Echo of the request id.
+        id: u32,
+    },
+}
+
+/// Decoding failures. Anything here means the peer violated the
+/// protocol; the daemon answers with [`ErrorCode::Invalid`] where a
+/// request id is recoverable and drops the connection otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Body ended before the message did.
+    Truncated,
+    /// Body continued past the end of the message.
+    Trailing,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// A field held an out-of-domain value.
+    BadField(&'static str),
+    /// Frame length prefix exceeded [`MAX_FRAME`].
+    TooLarge(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Trailing => write!(f, "trailing bytes after message"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadField(what) => write!(f, "bad field: {what}"),
+            WireError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const OP_PING: u8 = 0x01;
+const OP_PREDICT: u8 = 0x02;
+const OP_TOPK: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_SHUTDOWN: u8 = 0x05;
+const OP_PONG: u8 = 0x81;
+const OP_VALUE: u8 = 0x82;
+const OP_HITS: u8 = 0x83;
+const OP_STATS_REPORT: u8 = 0x84;
+const OP_ERROR: u8 = 0x85;
+const OP_SHUTDOWN_ACK: u8 = 0x86;
+
+/// Incremental frame assembly over a byte stream: push whatever the
+/// socket produced, pop complete frame bodies.
+#[derive(Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Append bytes read from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame body, if one has fully arrived.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.start..self.start + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::TooLarge(len));
+        }
+        if avail < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let body = self.buf[self.start + 4..self.start + 4 + len].to_vec();
+        self.start += 4 + len;
+        Ok(Some(body))
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Sequential little-endian reader over a frame body.
+struct Rd<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Rd { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.b.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(WireError::Trailing)
+        }
+    }
+}
+
+/// Append one full frame (length prefix + body) built by `body` to
+/// `out`.
+fn frame(out: &mut Vec<u8>, body: impl FnOnce(&mut Vec<u8>)) {
+    let at = out.len();
+    out.extend_from_slice(&[0; 4]);
+    body(out);
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn put_coords(out: &mut Vec<u8>, coord: &[Idx]) {
+    out.push(coord.len() as u8);
+    for &c in coord {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+fn get_coords(rd: &mut Rd<'_>) -> Result<Vec<Idx>, WireError> {
+    let n = rd.u8()? as usize;
+    let mut coord = Vec::with_capacity(n);
+    for _ in 0..n {
+        coord.push(rd.u32()?);
+    }
+    Ok(coord)
+}
+
+/// Append `req` to `out` as one frame.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    frame(out, |b| match req {
+        Request::Ping { id } => {
+            b.push(OP_PING);
+            b.extend_from_slice(&id.to_le_bytes());
+        }
+        Request::Predict { id, coord } => {
+            b.push(OP_PREDICT);
+            b.extend_from_slice(&id.to_le_bytes());
+            put_coords(b, coord);
+        }
+        Request::TopK {
+            id,
+            tier,
+            free_mode,
+            k,
+            anchor,
+        } => {
+            b.push(OP_TOPK);
+            b.extend_from_slice(&id.to_le_bytes());
+            b.push(match tier {
+                Tier::Exact => 0,
+                Tier::Approx => 1,
+            });
+            b.push(*free_mode);
+            b.extend_from_slice(&k.to_le_bytes());
+            put_coords(b, anchor);
+        }
+        Request::Stats { id } => {
+            b.push(OP_STATS);
+            b.extend_from_slice(&id.to_le_bytes());
+        }
+        Request::Shutdown { id } => {
+            b.push(OP_SHUTDOWN);
+            b.extend_from_slice(&id.to_le_bytes());
+        }
+    });
+}
+
+/// Decode one request body (the bytes after the length prefix).
+pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
+    let mut rd = Rd::new(body);
+    let op = rd.u8()?;
+    let req = match op {
+        OP_PING => Request::Ping { id: rd.u32()? },
+        OP_PREDICT => Request::Predict {
+            id: rd.u32()?,
+            coord: get_coords(&mut rd)?,
+        },
+        OP_TOPK => {
+            let id = rd.u32()?;
+            let tier = match rd.u8()? {
+                0 => Tier::Exact,
+                1 => Tier::Approx,
+                _ => return Err(WireError::BadField("tier")),
+            };
+            let free_mode = rd.u8()?;
+            let k = rd.u32()?;
+            let anchor = get_coords(&mut rd)?;
+            Request::TopK {
+                id,
+                tier,
+                free_mode,
+                k,
+                anchor,
+            }
+        }
+        OP_STATS => Request::Stats { id: rd.u32()? },
+        OP_SHUTDOWN => Request::Shutdown { id: rd.u32()? },
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    rd.done()?;
+    Ok(req)
+}
+
+/// Append `resp` to `out` as one frame.
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    frame(out, |b| match resp {
+        Response::Pong { id } => {
+            b.push(OP_PONG);
+            b.extend_from_slice(&id.to_le_bytes());
+        }
+        Response::Value { id, epoch, value } => {
+            b.push(OP_VALUE);
+            b.extend_from_slice(&id.to_le_bytes());
+            b.extend_from_slice(&epoch.to_le_bytes());
+            b.extend_from_slice(&value.to_bits().to_le_bytes());
+        }
+        Response::Hits { id, epoch, hits } => {
+            b.push(OP_HITS);
+            b.extend_from_slice(&id.to_le_bytes());
+            b.extend_from_slice(&epoch.to_le_bytes());
+            b.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+            for &(row, score) in hits {
+                b.extend_from_slice(&row.to_le_bytes());
+                b.extend_from_slice(&score.to_bits().to_le_bytes());
+            }
+        }
+        Response::Stats { id, report } => {
+            b.push(OP_STATS_REPORT);
+            b.extend_from_slice(&id.to_le_bytes());
+            b.push(report.endpoints.len() as u8);
+            for ep in &report.endpoints {
+                b.push(ep.endpoint as u8);
+                b.extend_from_slice(&ep.requests.to_le_bytes());
+                b.extend_from_slice(&ep.errors.to_le_bytes());
+                for &count in &ep.hist {
+                    b.extend_from_slice(&count.to_le_bytes());
+                }
+            }
+        }
+        Response::Error {
+            id,
+            code,
+            retry_after_ms,
+            msg,
+        } => {
+            b.push(OP_ERROR);
+            b.extend_from_slice(&id.to_le_bytes());
+            b.push(code.to_u8());
+            b.extend_from_slice(&retry_after_ms.to_le_bytes());
+            let bytes = msg.as_bytes();
+            let len = bytes.len().min(u16::MAX as usize);
+            b.extend_from_slice(&(len as u16).to_le_bytes());
+            b.extend_from_slice(&bytes[..len]);
+        }
+        Response::ShutdownAck { id } => {
+            b.push(OP_SHUTDOWN_ACK);
+            b.extend_from_slice(&id.to_le_bytes());
+        }
+    });
+}
+
+/// Decode one response body (the bytes after the length prefix).
+pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
+    let mut rd = Rd::new(body);
+    let op = rd.u8()?;
+    let resp = match op {
+        OP_PONG => Response::Pong { id: rd.u32()? },
+        OP_VALUE => Response::Value {
+            id: rd.u32()?,
+            epoch: rd.u64()?,
+            value: rd.f64()?,
+        },
+        OP_HITS => {
+            let id = rd.u32()?;
+            let epoch = rd.u64()?;
+            let n = rd.u32()? as usize;
+            let mut hits = Vec::with_capacity(n.min(MAX_FRAME / 12));
+            for _ in 0..n {
+                hits.push((rd.u32()?, rd.f64()?));
+            }
+            Response::Hits { id, epoch, hits }
+        }
+        OP_STATS_REPORT => {
+            let id = rd.u32()?;
+            let n = rd.u8()? as usize;
+            let mut endpoints = Vec::with_capacity(n);
+            for _ in 0..n {
+                let endpoint = crate::stats::Endpoint::from_u8(rd.u8()?)
+                    .ok_or(WireError::BadField("endpoint"))?;
+                let requests = rd.u64()?;
+                let errors = rd.u64()?;
+                let mut hist = [0u64; HIST_BUCKETS];
+                for slot in hist.iter_mut() {
+                    *slot = rd.u64()?;
+                }
+                endpoints.push(EndpointStats {
+                    endpoint,
+                    requests,
+                    errors,
+                    hist,
+                });
+            }
+            Response::Stats {
+                id,
+                report: StatsReport { endpoints },
+            }
+        }
+        OP_ERROR => {
+            let id = rd.u32()?;
+            let code = ErrorCode::from_u8(rd.u8()?)?;
+            let retry_after_ms = rd.u32()?;
+            let len = rd.u16()? as usize;
+            let msg = String::from_utf8_lossy(rd.take(len)?).into_owned();
+            Response::Error {
+                id,
+                code,
+                retry_after_ms,
+                msg,
+            }
+        }
+        OP_SHUTDOWN_ACK => Response::ShutdownAck { id: rd.u32()? },
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    rd.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Endpoint;
+
+    fn roundtrip_req(req: Request) {
+        let mut wire = Vec::new();
+        encode_request(&req, &mut wire);
+        let mut fb = FrameBuf::new();
+        fb.push(&wire);
+        let body = fb.next_frame().unwrap().unwrap();
+        assert_eq!(decode_request(&body).unwrap(), req);
+        assert!(fb.next_frame().unwrap().is_none());
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let mut wire = Vec::new();
+        encode_response(&resp, &mut wire);
+        let mut fb = FrameBuf::new();
+        fb.push(&wire);
+        let body = fb.next_frame().unwrap().unwrap();
+        assert_eq!(decode_response(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Ping { id: 7 });
+        roundtrip_req(Request::Predict {
+            id: 1,
+            coord: vec![3, 0, 9],
+        });
+        roundtrip_req(Request::TopK {
+            id: 2,
+            tier: Tier::Approx,
+            free_mode: 1,
+            k: 10,
+            anchor: vec![5, 0, 2],
+        });
+        roundtrip_req(Request::Stats { id: 3 });
+        roundtrip_req(Request::Shutdown { id: 4 });
+    }
+
+    #[test]
+    fn responses_roundtrip_bit_exact() {
+        roundtrip_resp(Response::Pong { id: 7 });
+        // A value with a busy mantissa survives bit-for-bit.
+        roundtrip_resp(Response::Value {
+            id: 1,
+            epoch: 42,
+            value: 0.1 + 0.2,
+        });
+        roundtrip_resp(Response::Hits {
+            id: 2,
+            epoch: 3,
+            hits: vec![(9, 1.5), (0, -0.25), (4, f64::MIN_POSITIVE)],
+        });
+        let mut ep = EndpointStats::new(Endpoint::Predict);
+        ep.requests = 10;
+        ep.errors = 1;
+        ep.hist[3] = 9;
+        roundtrip_resp(Response::Stats {
+            id: 5,
+            report: StatsReport {
+                endpoints: vec![ep],
+            },
+        });
+        roundtrip_resp(Response::Error {
+            id: 6,
+            code: ErrorCode::OverLimit,
+            retry_after_ms: 12,
+            msg: "slow down".into(),
+        });
+        roundtrip_resp(Response::ShutdownAck { id: 8 });
+    }
+
+    #[test]
+    fn framebuf_reassembles_split_frames() {
+        let mut wire = Vec::new();
+        encode_request(&Request::Ping { id: 1 }, &mut wire);
+        encode_request(
+            &Request::Predict {
+                id: 2,
+                coord: vec![1, 2],
+            },
+            &mut wire,
+        );
+        // Feed one byte at a time: frames pop exactly when complete.
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            fb.push(&[b]);
+            while let Some(body) = fb.next_frame().unwrap() {
+                got.push(decode_request(&body).unwrap());
+            }
+        }
+        assert_eq!(
+            got,
+            vec![
+                Request::Ping { id: 1 },
+                Request::Predict {
+                    id: 2,
+                    coord: vec![1, 2]
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        // Oversized length prefix.
+        let mut fb = FrameBuf::new();
+        fb.push(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(matches!(fb.next_frame(), Err(WireError::TooLarge(_))));
+        // Unknown opcode.
+        assert_eq!(decode_request(&[0x7f]), Err(WireError::BadOpcode(0x7f)));
+        // Truncated body.
+        assert_eq!(
+            decode_request(&[OP_PREDICT, 1, 0]),
+            Err(WireError::Truncated)
+        );
+        // Trailing bytes.
+        assert_eq!(
+            decode_request(&[OP_PING, 1, 0, 0, 0, 9]),
+            Err(WireError::Trailing)
+        );
+        // Bad tier.
+        let mut body = vec![OP_TOPK];
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.push(9);
+        assert_eq!(decode_request(&body), Err(WireError::BadField("tier")));
+    }
+}

@@ -1,0 +1,350 @@
+//! bf16 quantized factor storage and scan kernels.
+//!
+//! The approximate top-K tier scans candidate rows in reduced precision
+//! and rescores the survivors exactly (see `aoadmm-serve`). This module
+//! provides the storage half of that bargain: factors packed to
+//! bfloat16 (the top 16 bits of an IEEE f32, round-to-nearest-even) and
+//! a batched dot-product kernel over the packed rows.
+//!
+//! bf16 keeps f32's 8-bit exponent, so packing never overflows or
+//! denormalizes values a factor matrix can hold; it drops 16 mantissa
+//! bits, bounding the relative error of a stored entry by `2^-9`
+//! (~0.2%). A packed row is a quarter the bytes of its f64 original,
+//! which is the whole point: the candidate scan is memory-bound, and
+//! the scan phase of an approximate top-K only needs enough precision
+//! to *rank* candidates, not to score them.
+//!
+//! The mixed-precision discipline mirrors the panel layer's contract in
+//! spirit, not letter: [`scores_bf16_into`] accumulates in f32 with a
+//! fixed ascending-column order (deterministic across runs and thread
+//! counts), but it is *not* bit-comparable to the f64 kernels — callers
+//! that need exact values rescore through [`crate::panel::scores_into`]
+//! or a scalar f64 dot.
+
+use crate::dense::DMat;
+use crate::error::LinalgError;
+
+/// Pack one f64 to bf16 (via f32, then round-to-nearest-even on the
+/// dropped 16 mantissa bits). NaN maps to a quiet NaN pattern.
+#[inline]
+pub fn f64_to_bf16(v: f64) -> u16 {
+    let bits = (v as f32).to_bits();
+    if bits & 0x7fff_ffff > 0x7f80_0000 {
+        // NaN: keep it a NaN after truncation.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    // Round to nearest, ties to even, on bit 16.
+    let rounded = bits.wrapping_add(0x7fff + ((bits >> 16) & 1));
+    (rounded >> 16) as u16
+}
+
+/// Unpack one bf16 to f32 (exact: bf16 is a prefix of f32).
+#[inline]
+pub fn bf16_to_f32(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// A **column-major** bf16 matrix: the quantized copy of a factor used
+/// by the approximate top-K scan. Immutable after construction.
+///
+/// The scan sweeps columns over a contiguous window of rows, so storing
+/// each column contiguously turns the kernel's inner loop into
+/// independent streaming lanes the compiler can vectorize — unlike the
+/// exact f64 path, whose per-row serial accumulator chain is pinned by
+/// the bit-exactness contract.
+#[derive(Debug, Clone)]
+pub struct Bf16Mat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<u16>,
+}
+
+impl Bf16Mat {
+    /// Quantize `a` into column-major bf16.
+    pub fn from_dmat(a: &DMat) -> Self {
+        let (nrows, ncols) = (a.nrows(), a.ncols());
+        let src = a.as_slice();
+        let mut data = vec![0u16; nrows * ncols];
+        for c in 0..ncols {
+            let col = &mut data[c * nrows..(c + 1) * nrows];
+            for (r, slot) in col.iter_mut().enumerate() {
+                *slot = f64_to_bf16(src[r * ncols + c]);
+            }
+        }
+        Bf16Mat { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// One packed column.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[u16] {
+        &self.data[c * self.nrows..(c + 1) * self.nrows]
+    }
+
+    /// One packed entry.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u16 {
+        self.data[c * self.nrows + r]
+    }
+
+    /// Bytes of packed payload (diagnostics).
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len() * 2
+    }
+}
+
+/// Quantize a f64 weight vector to the f32 the scan kernel consumes.
+///
+/// `out` is cleared and refilled; with a caller-retained buffer the call
+/// allocates nothing once the capacity has been reached.
+pub fn quantize_weights(w: &[f64], out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(w.iter().map(|&v| v as f32));
+}
+
+/// Batched quantized row scoring:
+/// `out[i] = dot_f32(unpack(row row0 + i of a), w)` for `i in 0..nrows`.
+///
+/// The kernel sweeps columns in ascending order, accumulating every
+/// row's partial sum in `out` — per-row results are the same ascending-
+/// column f32 accumulation a row-major loop would produce (so results
+/// are deterministic across runs and thread counts), but because the
+/// lanes are independent and each column window is one contiguous `u16`
+/// stream, the inner loop vectorizes. Each call is single-threaded;
+/// callers partition rows. Returns an error when the widths disagree,
+/// the row window is out of bounds, or `out` is too short.
+pub fn scores_bf16_into(
+    a: &Bf16Mat,
+    row0: usize,
+    nrows: usize,
+    w: &[f32],
+    out: &mut [f32],
+) -> Result<(), LinalgError> {
+    let f = a.ncols;
+    if w.len() != f || row0 + nrows > a.nrows || out.len() != nrows {
+        return Err(LinalgError::DimMismatch {
+            op: "scores_bf16_into",
+            lhs: (a.nrows, a.ncols),
+            rhs: (w.len(), out.len()),
+        });
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: shapes were validated above and AVX-512F is present.
+            unsafe { scores_avx512(a, row0, nrows, w, out) };
+            return Ok(());
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: shapes were validated above and AVX2+FMA are present.
+            unsafe { scores_avx2(a, row0, nrows, w, out) };
+            return Ok(());
+        }
+    }
+    scores_scalar(a, row0, nrows, w, out);
+    Ok(())
+}
+
+/// Portable column sweep: TILE accumulators live in registers across
+/// the whole column loop, so each packed element costs one load + one
+/// fused multiply-add — no read-modify-write of `out` per column.
+/// Per-row accumulation is ascending-column. `f32::mul_add` rounds once
+/// per step, exactly like the vector `fmadd` the SIMD paths use, which
+/// is what keeps every path bit-identical (on hardware without FMA the
+/// scalar fallback routes through libm's exact `fmaf` — slow, but the
+/// bits still match).
+fn scores_scalar(a: &Bf16Mat, row0: usize, nrows: usize, w: &[f32], out: &mut [f32]) {
+    const TILE: usize = 16;
+    let mut t = 0;
+    while t + TILE <= nrows {
+        let mut acc = [0.0f32; TILE];
+        for (c, &wc) in w.iter().enumerate() {
+            let col = &a.col(c)[row0 + t..row0 + t + TILE];
+            for (a, &rc) in acc.iter_mut().zip(col) {
+                *a = bf16_to_f32(rc).mul_add(wc, *a);
+            }
+        }
+        out[t..t + TILE].copy_from_slice(&acc);
+        t += TILE;
+    }
+    scores_tail(a, row0, t, nrows, w, out);
+}
+
+/// Scalar remainder rows `[t, nrows)`, same accumulation order.
+fn scores_tail(a: &Bf16Mat, row0: usize, t: usize, nrows: usize, w: &[f32], out: &mut [f32]) {
+    let tail = &mut out[t..nrows];
+    tail.fill(0.0);
+    for (c, &wc) in w.iter().enumerate() {
+        let col = &a.col(c)[row0 + t..row0 + nrows];
+        for (o, &rc) in tail.iter_mut().zip(col) {
+            *o = bf16_to_f32(rc).mul_add(wc, *o);
+        }
+    }
+}
+
+/// AVX-512 column sweep over 32-row register tiles: one 512-bit load
+/// yields 32 bf16 per column step, widened to two f32 vectors and
+/// folded in with `fmadd` — the same single-rounding fused step as
+/// [`scores_scalar`]'s `mul_add`, so the paths are bit-identical; this
+/// one just runs 32 lanes per step.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn scores_avx512(a: &Bf16Mat, row0: usize, nrows: usize, w: &[f32], out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    const TILE: usize = 32;
+    let mut t = 0;
+    while t + TILE <= nrows {
+        let mut acc0 = _mm512_setzero_ps();
+        let mut acc1 = _mm512_setzero_ps();
+        for (c, &wc) in w.iter().enumerate() {
+            let col = a.col(c).as_ptr().add(row0 + t);
+            let wv = _mm512_set1_ps(wc);
+            let raw = _mm512_loadu_si512(col as *const __m512i);
+            let lo = _mm512_cvtepu16_epi32(_mm512_castsi512_si256(raw));
+            let hi = _mm512_cvtepu16_epi32(_mm512_extracti64x4_epi64::<1>(raw));
+            let lof = _mm512_castsi512_ps(_mm512_slli_epi32::<16>(lo));
+            let hif = _mm512_castsi512_ps(_mm512_slli_epi32::<16>(hi));
+            acc0 = _mm512_fmadd_ps(lof, wv, acc0);
+            acc1 = _mm512_fmadd_ps(hif, wv, acc1);
+        }
+        _mm512_storeu_ps(out.as_mut_ptr().add(t), acc0);
+        _mm512_storeu_ps(out.as_mut_ptr().add(t + 16), acc1);
+        t += TILE;
+    }
+    scores_tail(a, row0, t, nrows, w, out);
+}
+
+/// AVX2 column sweep over 16-row register tiles. Unpacks 16 bf16 per
+/// column step (`u16 -> u32 << 16`, bit-cast to f32) and folds them in
+/// with `fmadd` — every lane computes the exact fused sequence
+/// [`scores_scalar`] computes, so the two paths are bit-identical;
+/// which one runs is a pure speed decision made at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn scores_avx2(a: &Bf16Mat, row0: usize, nrows: usize, w: &[f32], out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    const TILE: usize = 16;
+    let mut t = 0;
+    while t + TILE <= nrows {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        for (c, &wc) in w.iter().enumerate() {
+            let col = a.col(c).as_ptr().add(row0 + t);
+            let wv = _mm256_set1_ps(wc);
+            let raw = _mm256_loadu_si256(col as *const __m256i);
+            let lo = _mm256_cvtepu16_epi32(_mm256_castsi256_si128(raw));
+            let hi = _mm256_cvtepu16_epi32(_mm256_extracti128_si256(raw, 1));
+            let lof = _mm256_castsi256_ps(_mm256_slli_epi32(lo, 16));
+            let hif = _mm256_castsi256_ps(_mm256_slli_epi32(hi, 16));
+            acc0 = _mm256_fmadd_ps(lof, wv, acc0);
+            acc1 = _mm256_fmadd_ps(hif, wv, acc1);
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(t), acc0);
+        _mm256_storeu_ps(out.as_mut_ptr().add(t + 8), acc1);
+        t += TILE;
+    }
+    scores_tail(a, row0, t, nrows, w, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn roundtrip_error_is_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = DMat::random(64, 7, -10.0, 10.0, &mut rng);
+        for &v in a.as_slice() {
+            let back = bf16_to_f32(f64_to_bf16(v)) as f64;
+            let err = (back - v).abs();
+            assert!(err <= v.abs() * (1.0 / 256.0) + 1e-30, "v={v} back={back}");
+        }
+    }
+
+    #[test]
+    fn exact_values_survive_packing() {
+        // Small powers of two and simple sums thereof are exact in bf16.
+        for v in [0.0, 1.0, -1.0, 0.5, 2.0, -0.75, 96.0] {
+            assert_eq!(bf16_to_f32(f64_to_bf16(v)) as f64, v);
+        }
+        // -0.0 keeps its sign bit.
+        assert_eq!(f64_to_bf16(-0.0) & 0x8000, 0x8000);
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-8 is exactly halfway between bf16 neighbors 1.0 and
+        // 1 + 2^-7; ties-to-even picks 1.0 (even trailing bit).
+        let half_ulp = 1.0 + (2.0f64).powi(-8);
+        assert_eq!(bf16_to_f32(f64_to_bf16(half_ulp)), 1.0);
+        // Just above the tie rounds up.
+        let above = 1.0 + (2.0f64).powi(-8) * 1.001;
+        assert_eq!(
+            bf16_to_f32(f64_to_bf16(above)) as f64,
+            1.0 + (2.0f64).powi(-7)
+        );
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(bf16_to_f32(f64_to_bf16(f64::NAN)).is_nan());
+    }
+
+    #[test]
+    fn scores_match_scalar_reference_across_quad_boundaries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for &(n, f) in &[(1usize, 3usize), (4, 5), (7, 8), (33, 2), (12, 16)] {
+            let a = DMat::random(n, f, -1.0, 1.0, &mut rng);
+            let q = Bf16Mat::from_dmat(&a);
+            let wf: Vec<f64> = (0..f).map(|c| (c as f64 * 0.37) - 0.5).collect();
+            let mut w = Vec::new();
+            quantize_weights(&wf, &mut w);
+            let mut out = vec![0.0f32; n];
+            scores_bf16_into(&q, 0, n, &w, &mut out).unwrap();
+            for i in 0..n {
+                let mut s = 0.0f32;
+                for c in 0..f {
+                    s = bf16_to_f32(q.get(i, c)).mul_add(w[c], s);
+                }
+                assert_eq!(s.to_bits(), out[i].to_bits(), "n={n} f={f} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_row_window_and_bad_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let a = DMat::random(10, 4, -1.0, 1.0, &mut rng);
+        let q = Bf16Mat::from_dmat(&a);
+        let w = vec![0.5f32; 4];
+        let mut full = vec![0.0f32; 10];
+        scores_bf16_into(&q, 0, 10, &w, &mut full).unwrap();
+        let mut win = vec![0.0f32; 5];
+        scores_bf16_into(&q, 3, 5, &w, &mut win).unwrap();
+        assert_eq!(&full[3..8], &win[..]);
+
+        let mut short = vec![0.0f32; 3];
+        assert!(scores_bf16_into(&q, 0, 5, &w, &mut short).is_err());
+        assert!(scores_bf16_into(&q, 8, 5, &w, &mut full[..5].as_mut()).is_err());
+        assert!(scores_bf16_into(&q, 0, 5, &w[..3], &mut full[..5].as_mut()).is_err());
+    }
+
+    #[test]
+    fn packed_bytes_and_dims() {
+        let q = Bf16Mat::from_dmat(&DMat::zeros(6, 5));
+        assert_eq!((q.nrows(), q.ncols()), (6, 5));
+        assert_eq!(q.packed_bytes(), 60);
+    }
+}

@@ -25,9 +25,13 @@
 //!   kernels with a bit-identical determinism contract, fed by a
 //!   [`Workspace`] scratch arena so steady-state iterations never touch
 //!   the allocator.
+//! * [`bf16`] — bfloat16-packed factor copies ([`Bf16Mat`]) and the
+//!   reduced-precision scan kernel behind the serving tier's
+//!   approximate top-K (quantized scan, exact rescoring of survivors).
 
 #![warn(missing_docs)]
 
+pub mod bf16;
 pub mod cholesky;
 pub mod csr;
 pub mod dense;
@@ -38,6 +42,7 @@ pub mod panel;
 pub mod vecops;
 pub mod workspace;
 
+pub use bf16::Bf16Mat;
 pub use cholesky::Cholesky;
 pub use csr::CsrMatrix;
 pub use dense::DMat;

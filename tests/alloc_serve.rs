@@ -146,6 +146,41 @@ fn warm_topk_does_not_allocate() {
 }
 
 #[test]
+fn warm_approx_topk_does_not_allocate() {
+    // The approximate tier adds three scratch buffers (quantized
+    // weights, quantized scores, survivor set) to the same pooled
+    // scratch; once a query shape has been seen, repeats are
+    // allocation-free like the exact path.
+    let engine = engine();
+    let queries = [
+        TopKQuery {
+            free_mode: 0,
+            anchor: vec![0, 12, 7],
+            k: 10,
+        },
+        TopKQuery {
+            free_mode: 1,
+            anchor: vec![31, 0, 20],
+            k: 5,
+        },
+    ];
+    let mut hits = Vec::new();
+
+    for q in &queries {
+        engine.topk_approx_into(q, &mut hits).unwrap();
+    }
+
+    let allocs = count_allocations(|| {
+        for _ in 0..16 {
+            for q in &queries {
+                engine.topk_approx_into(q, &mut hits).unwrap();
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "warm approx top-K allocated {allocs} times");
+}
+
+#[test]
 fn warm_mixed_load_does_not_allocate() {
     // Interleaved point + top-K traffic through one engine: the two
     // paths share the scratch pool; alternating between them must not

@@ -1,0 +1,201 @@
+//! Approximate top-K conformance: the recall bound and the exactness
+//! of the rescoring stage.
+//!
+//! The approximate tier is a two-stage design: a bf16-quantized scan
+//! over norm-ordered rows selects `oversample * k` survivors (with an
+//! early-termination bound), then the survivors are rescored with the
+//! same ascending-column f64 kernel the exact path uses. Two contracts
+//! fall out:
+//!
+//! 1. **Rescoring is bit-exact.** Every score the approximate tier
+//!    returns is bit-identical to the exact path's score for that row.
+//!    With the scan degenerated (oversample covers every row, zero
+//!    guard), the whole answer — ids, order, score bits — equals the
+//!    exact top-K.
+//! 2. **Recall bound.** On power-law norm fixtures (the distribution
+//!    the norm-ordered scan is designed for), the default policy
+//!    achieves recall@10 ≥ 0.99 against the exact oracle, unsharded
+//!    and sharded alike.
+
+use aoadmm::KruskalModel;
+use aoadmm_serve::{
+    ApproxPolicy, ModelRegistry, ServeEngine, ShardedEngine, ShardedRegistry, TopKQuery,
+};
+use sptensor::Idx;
+use std::sync::Arc;
+use testkit::gen;
+
+const DIMS: [usize; 3] = [600, 10, 8];
+const RANK: usize = 8;
+const K: usize = 10;
+const QUERIES: u64 = 60;
+
+/// Random factors with the free mode's row norms decaying as a power
+/// law `(i+1)^-alpha` — the skewed-popularity shape that makes
+/// norm-ordered early termination effective.
+fn power_law_model(alpha: f64, seed: u64) -> KruskalModel {
+    let mut factors = gen::factors(&DIMS, RANK, -1.0, 1.0, seed);
+    let rows = factors[0].nrows();
+    for i in 0..rows {
+        let scale = ((i + 1) as f64).powf(-alpha);
+        for v in factors[0].row_mut(i) {
+            *v *= scale;
+        }
+    }
+    KruskalModel::new(factors)
+}
+
+fn engine_for(model: &KruskalModel) -> ServeEngine {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(model.clone());
+    ServeEngine::new(registry)
+}
+
+fn query_for(i: u64, k: usize) -> TopKQuery {
+    TopKQuery {
+        free_mode: 0,
+        anchor: vec![
+            0,
+            ((i * 7 + 3) % DIMS[1] as u64) as Idx,
+            ((i * 11 + 1) % DIMS[2] as u64) as Idx,
+        ],
+        k,
+    }
+}
+
+fn recall_at_k(approx: &[(Idx, f64)], exact: &[(Idx, f64)]) -> f64 {
+    let hit = approx
+        .iter()
+        .filter(|(id, _)| exact.iter().any(|(eid, _)| eid == id))
+        .count();
+    hit as f64 / exact.len() as f64
+}
+
+#[test]
+fn degenerate_policy_is_bit_identical_to_exact_topk() {
+    let model = power_law_model(0.8, 101);
+    let engine = engine_for(&model);
+    // Oversample covering every row and zero guard means the scan
+    // cannot prune: the approximate tier must reproduce the exact
+    // answer bit for bit.
+    let full = ApproxPolicy {
+        oversample: DIMS[0],
+        guard: 0.0,
+    };
+    for i in 0..QUERIES {
+        let q = query_for(i, K);
+        let exact = engine.topk(&q).unwrap().hits;
+        let mut approx = Vec::new();
+        engine.topk_approx_into_with(&q, full, &mut approx).unwrap();
+        assert_eq!(approx.len(), exact.len());
+        for (a, e) in approx.iter().zip(&exact) {
+            assert_eq!(a.0, e.0, "query {i}");
+            assert_eq!(a.1.to_bits(), e.1.to_bits(), "query {i} id {}", a.0);
+        }
+    }
+}
+
+#[test]
+fn returned_scores_always_carry_exact_bits() {
+    let model = power_law_model(0.8, 202);
+    let engine = engine_for(&model);
+    // Even when the scan prunes aggressively, whatever it returns must
+    // be scored by the exact kernel: compare against the full ranking.
+    let tight = ApproxPolicy {
+        oversample: 2,
+        guard: 0.005,
+    };
+    for i in 0..QUERIES {
+        let q = query_for(i, K);
+        let full = engine.topk(&query_for(i, DIMS[0])).unwrap().hits;
+        let mut approx = Vec::new();
+        engine
+            .topk_approx_into_with(&q, tight, &mut approx)
+            .unwrap();
+        for &(id, score) in &approx {
+            let want = full.iter().find(|&&(fid, _)| fid == id).unwrap().1;
+            assert_eq!(score.to_bits(), want.to_bits(), "query {i} id {id}");
+        }
+    }
+}
+
+#[test]
+fn recall_at_10_meets_bound_on_power_law_fixtures() {
+    // Several skews and seeds; the default policy must hold the
+    // recall@10 ≥ 0.99 bound on all of them.
+    for (alpha, seed) in [(0.5, 11), (0.8, 22), (1.2, 33)] {
+        let model = power_law_model(alpha, seed);
+        let engine = engine_for(&model);
+        let mut total = 0.0;
+        for i in 0..QUERIES {
+            let q = query_for(i, K);
+            let exact = engine.topk(&q).unwrap().hits;
+            let approx = engine.topk_approx(&q).unwrap().hits;
+            total += recall_at_k(&approx, &exact);
+        }
+        let recall = total / QUERIES as f64;
+        assert!(
+            recall >= 0.99,
+            "alpha={alpha} seed={seed}: recall@10 {recall} < 0.99"
+        );
+    }
+}
+
+#[test]
+fn sharded_approx_recall_matches_bound() {
+    let model = power_law_model(0.8, 44);
+    let exact_engine = engine_for(&model);
+    for nshards in [2, 5] {
+        let registry = Arc::new(ShardedRegistry::new(0, nshards));
+        registry.publish(model.clone()).unwrap();
+        let sharded = ShardedEngine::new(registry);
+        let mut total = 0.0;
+        for i in 0..QUERIES {
+            let q = query_for(i, K);
+            let exact = exact_engine.topk(&q).unwrap().hits;
+            let approx = sharded.topk_approx(&q).unwrap().hits;
+            // Sharded scores are still exact-kernel bits.
+            for &(id, score) in &approx {
+                if let Some(&(_, want)) = exact.iter().find(|&&(eid, _)| eid == id) {
+                    assert_eq!(score.to_bits(), want.to_bits());
+                }
+            }
+            total += recall_at_k(&approx, &exact);
+        }
+        let recall = total / QUERIES as f64;
+        assert!(
+            recall >= 0.99,
+            "nshards={nshards}: recall@10 {recall} < 0.99"
+        );
+    }
+}
+
+#[test]
+fn recall_improves_monotonically_with_oversample() {
+    let model = power_law_model(0.8, 55);
+    let engine = engine_for(&model);
+    let mut last = 0.0;
+    for oversample in [1usize, 2, 4] {
+        let policy = ApproxPolicy {
+            oversample,
+            guard: 0.01,
+        };
+        let mut total = 0.0;
+        for i in 0..QUERIES {
+            let q = query_for(i, K);
+            let exact = engine.topk(&q).unwrap().hits;
+            let mut approx = Vec::new();
+            engine
+                .topk_approx_into_with(&q, policy, &mut approx)
+                .unwrap();
+            total += recall_at_k(&approx, &exact);
+        }
+        let recall = total / QUERIES as f64;
+        assert!(
+            recall >= last - 1e-12,
+            "recall regressed at oversample={oversample}: {recall} < {last}"
+        );
+        last = recall;
+    }
+    assert!(last >= 0.99, "oversample=4 recall {last} < 0.99");
+}

@@ -1,0 +1,292 @@
+//! Wire conformance: everything served over TCP must match the
+//! in-process engines exactly.
+//!
+//! Layers:
+//!
+//! 1. Point scores over the wire are **bit-identical** to an unsharded
+//!    in-process [`ServeEngine`] — across shard counts, so sharded
+//!    routing is also conformance-tested against the single-registry
+//!    baseline here.
+//! 2. Exact top-K over the wire equals the in-process exact path (ids,
+//!    order, and score bits), sharded fan-out included.
+//! 3. The approximate tier's wire answers carry exact-path score bits
+//!    for every id they return.
+//! 4. Admission control rejects with a typed `OverLimit` carrying a
+//!    back-off hint, and the stats RPC accounts for every request.
+//! 5. Typed errors: empty registry, bad coordinates, bad free mode.
+//! 6. Pipelined requests come back in order with echoed ids.
+
+use aoadmm::KruskalModel;
+use aoadmm_serve::{ModelRegistry, ServeEngine, TopKQuery};
+use aoadmm_served::{ClientError, Daemon, DaemonConfig, Endpoint, ErrorCode, Tier, WireClient};
+use sptensor::Idx;
+use std::sync::Arc;
+use std::time::Duration;
+use testkit::gen;
+
+const DIMS: [usize; 3] = [60, 9, 8];
+const RANK: usize = 6;
+
+fn fixture() -> KruskalModel {
+    KruskalModel::new(gen::factors(&DIMS, RANK, -1.0, 1.0, 77))
+}
+
+fn daemon_with(nshards: usize, model: &KruskalModel) -> Daemon {
+    let daemon = Daemon::bind(DaemonConfig {
+        nshards,
+        workers: 2,
+        batch_deadline: Duration::from_micros(200),
+        ..DaemonConfig::default()
+    })
+    .expect("bind loopback");
+    daemon.registry().publish(model.clone()).unwrap();
+    daemon
+}
+
+fn inproc(model: &KruskalModel) -> ServeEngine {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(model.clone());
+    ServeEngine::new(registry)
+}
+
+fn coord_for(i: u64) -> Vec<Idx> {
+    DIMS.iter()
+        .enumerate()
+        .map(|(m, &d)| ((i.wrapping_mul(2654435761).wrapping_add(m as u64 * 97)) % d as u64) as Idx)
+        .collect()
+}
+
+#[test]
+fn wire_point_scores_match_inprocess_bitwise_across_shard_counts() {
+    let model = fixture();
+    let engine = inproc(&model);
+    for nshards in [1, 3] {
+        let daemon = daemon_with(nshards, &model);
+        let mut client = WireClient::connect(daemon.local_addr()).unwrap();
+        for i in 0..120u64 {
+            let coord = coord_for(i);
+            let (epoch, got) = client.predict(&coord).unwrap();
+            assert_eq!(epoch, 1);
+            let want = engine.predict_direct(&coord).unwrap();
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "nshards={nshards} coord={coord:?}"
+            );
+        }
+        client.shutdown().unwrap();
+        daemon.wait();
+    }
+}
+
+#[test]
+fn wire_exact_topk_matches_inprocess_across_shard_counts() {
+    let model = fixture();
+    let engine = inproc(&model);
+    for nshards in [1, 4] {
+        let daemon = daemon_with(nshards, &model);
+        let mut client = WireClient::connect(daemon.local_addr()).unwrap();
+        // Free mode 0 is the split mode (fan-out); 1 routes by anchor.
+        for free_mode in [0usize, 1] {
+            for i in 0..25u64 {
+                let anchor = coord_for(i);
+                let k = 1 + (i as usize % 12);
+                let (_, got) = client.topk(Tier::Exact, free_mode, &anchor, k).unwrap();
+                let want = engine
+                    .topk(&TopKQuery {
+                        free_mode,
+                        anchor: anchor.clone(),
+                        k,
+                    })
+                    .unwrap()
+                    .hits;
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.0, w.0, "nshards={nshards} free={free_mode} i={i}");
+                    assert_eq!(g.1.to_bits(), w.1.to_bits());
+                }
+            }
+        }
+        client.shutdown().unwrap();
+        daemon.wait();
+    }
+}
+
+#[test]
+fn wire_approx_hits_carry_exact_score_bits() {
+    let model = fixture();
+    let engine = inproc(&model);
+    let daemon = daemon_with(2, &model);
+    let mut client = WireClient::connect(daemon.local_addr()).unwrap();
+    for free_mode in [0usize, 2] {
+        for i in 0..20u64 {
+            let anchor = coord_for(i);
+            let (_, got) = client.topk(Tier::Approx, free_mode, &anchor, 8).unwrap();
+            // The exact full ranking is the score oracle.
+            let full = engine
+                .topk(&TopKQuery {
+                    free_mode,
+                    anchor: anchor.clone(),
+                    k: DIMS[free_mode],
+                })
+                .unwrap()
+                .hits;
+            assert!(!got.is_empty());
+            for &(id, score) in &got {
+                let want = full.iter().find(|&&(fid, _)| fid == id).unwrap().1;
+                assert_eq!(score.to_bits(), want.to_bits(), "free={free_mode} id={id}");
+            }
+            // Best first under the same total order.
+            assert!(got
+                .windows(2)
+                .all(|w| w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)));
+        }
+    }
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn admission_control_rejects_with_typed_overlimit() {
+    let model = fixture();
+    let daemon = Daemon::bind(DaemonConfig {
+        rate: 2.0,
+        burst: 3.0,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    daemon.registry().publish(model).unwrap();
+    let mut client = WireClient::connect(daemon.local_addr()).unwrap();
+    // The burst admits 3; the 4th scoring request in the same instant
+    // must bounce with a back-off hint.
+    let mut rejected = None;
+    for _ in 0..4 {
+        match client.predict(&[0, 0, 0]) {
+            Ok(_) => {}
+            Err(ClientError::Remote {
+                code: ErrorCode::OverLimit,
+                retry_after_ms,
+                ..
+            }) => {
+                rejected = Some(retry_after_ms);
+                break;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    let retry = rejected.expect("4th request over a burst of 3 must be rejected");
+    assert!(retry > 0, "over-limit must carry a back-off hint");
+    // Control endpoints stay open while throttled.
+    client.ping().unwrap();
+    let report = client.stats().unwrap();
+    let predict = report.endpoint(Endpoint::Predict).unwrap();
+    assert_eq!(predict.requests, 4);
+    assert_eq!(predict.errors, 1);
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn stats_rpc_accounts_for_every_endpoint() {
+    let model = fixture();
+    let daemon = daemon_with(1, &model);
+    let mut client = WireClient::connect(daemon.local_addr()).unwrap();
+    for i in 0..7u64 {
+        client.predict(&coord_for(i)).unwrap();
+    }
+    for i in 0..5u64 {
+        client.topk(Tier::Exact, 0, &coord_for(i), 5).unwrap();
+    }
+    for i in 0..3u64 {
+        client.topk(Tier::Approx, 0, &coord_for(i), 5).unwrap();
+    }
+    client.ping().unwrap();
+    let report = client.stats().unwrap();
+    for (endpoint, want) in [
+        (Endpoint::Predict, 7),
+        (Endpoint::TopKExact, 5),
+        (Endpoint::TopKApprox, 3),
+        (Endpoint::Ping, 1),
+    ] {
+        let ep = report.endpoint(endpoint).unwrap();
+        assert_eq!(ep.requests, want, "{}", endpoint.name());
+        assert_eq!(ep.errors, 0);
+        // Every request landed in some latency bucket.
+        assert_eq!(ep.hist.iter().sum::<u64>(), want);
+        assert!(ep.quantile_ns(0.5) > 0);
+        assert!(ep.quantile_ns(0.99) >= ep.quantile_ns(0.5));
+    }
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn typed_errors_for_empty_registry_and_bad_queries() {
+    let daemon = Daemon::bind(DaemonConfig::default()).unwrap();
+    let mut client = WireClient::connect(daemon.local_addr()).unwrap();
+    // Empty registry.
+    match client.predict(&[0, 0, 0]) {
+        Err(ClientError::Remote {
+            code: ErrorCode::Empty,
+            ..
+        }) => {}
+        other => panic!("want Empty, got {other:?}"),
+    }
+    // Publish, then send out-of-range queries.
+    daemon.registry().publish(fixture()).unwrap();
+    match client.predict(&[999, 0, 0]) {
+        Err(ClientError::Remote {
+            code: ErrorCode::Invalid,
+            msg,
+            ..
+        }) => assert!(msg.contains("out of range")),
+        other => panic!("want Invalid, got {other:?}"),
+    }
+    match client.topk(Tier::Exact, 7, &[0, 0, 0], 3) {
+        Err(ClientError::Remote {
+            code: ErrorCode::Invalid,
+            ..
+        }) => {}
+        other => panic!("want Invalid, got {other:?}"),
+    }
+    // The connection survives typed rejections.
+    assert!(client.predict(&[0, 0, 0]).is_ok());
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn pipelined_requests_return_in_order() {
+    let model = fixture();
+    let engine = inproc(&model);
+    let daemon = daemon_with(2, &model);
+    let mut client = WireClient::connect(daemon.local_addr()).unwrap();
+    let coords: Vec<Vec<Idx>> = (0..200u64).map(coord_for).collect();
+    let results = client.predict_pipelined(&coords).unwrap();
+    assert_eq!(results.len(), coords.len());
+    for (coord, res) in coords.iter().zip(results) {
+        let (_, got) = res.unwrap();
+        let want = engine.predict_direct(coord).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+    // A pipelined window mixing valid and invalid items gets per-item
+    // answers, still in order.
+    let mut mixed: Vec<Vec<Idx>> = (0..10u64).map(coord_for).collect();
+    mixed[4] = vec![999, 0, 0];
+    let results = client.predict_pipelined(&mixed).unwrap();
+    for (i, res) in results.iter().enumerate() {
+        if i == 4 {
+            assert!(matches!(
+                res,
+                Err(ClientError::Remote {
+                    code: ErrorCode::Invalid,
+                    ..
+                })
+            ));
+        } else {
+            assert!(res.is_ok(), "item {i}");
+        }
+    }
+    client.shutdown().unwrap();
+    daemon.wait();
+}

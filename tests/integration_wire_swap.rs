@@ -1,0 +1,246 @@
+//! Hot-swap integration: publishing into a live daemon while wire
+//! clients are mid-flight.
+//!
+//! The contracts under test:
+//!
+//! 1. **No torn reads.** Each published model is "epoch-constant":
+//!    every factor entry is a per-epoch constant, so every possible
+//!    point score under epoch `e` has a single known bit pattern. A
+//!    response whose value bits disagree with the bit pattern of the
+//!    epoch it claims would prove a cross-shard mix of generations —
+//!    the sharded registry swaps one `Arc<ShardSet>`, so this must
+//!    never happen.
+//! 2. **No dropped in-flight requests.** Clients pipeline fixed-size
+//!    windows through the swaps; every request gets exactly one
+//!    response.
+//! 3. **Monotone epochs per connection.** Snapshots are pinned at
+//!    decode time on the single I/O thread and responses are released
+//!    in request order, so the epoch sequence a connection observes
+//!    never decreases.
+//! 4. **Swap-trace logging.** Every publish fires the trace hook with
+//!    the new epoch and the model dims.
+//! 5. **Stream-sink republish.** A `ShardedRegistry` is a
+//!    [`ModelSink`], so the streaming factorizer can publish straight
+//!    into a live daemon; wire clients observe the new epoch.
+
+use aoadmm::KruskalModel;
+use aoadmm_serve::{ModelRegistry, ServeEngine};
+use aoadmm_served::{Daemon, DaemonConfig, Tier, WireClient};
+use aoadmm_stream::ModelSink;
+use splinalg::DMat;
+use sptensor::Idx;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const DIMS: [usize; 3] = [48, 7, 5];
+const RANK: usize = 4;
+const EPOCHS: u64 = 6;
+
+/// A model whose every factor entry is the same per-epoch constant, so
+/// every point score under that epoch has one known bit pattern.
+fn epoch_model(epoch: u64) -> KruskalModel {
+    let c = 1.0 + epoch as f64 * 0.5;
+    let factors = DIMS
+        .iter()
+        .map(|&d| {
+            let mut m = DMat::zeros(d, RANK);
+            m.fill(c);
+            m
+        })
+        .collect();
+    KruskalModel::new(factors)
+}
+
+/// Map epoch -> the exact value bits the serving kernels produce for
+/// that epoch's model, computed through the unsharded in-process
+/// engine (the conformance baseline).
+fn expected_bits() -> HashMap<u64, u64> {
+    (1..=EPOCHS)
+        .map(|e| {
+            let registry = Arc::new(ModelRegistry::new());
+            registry.publish(epoch_model(e));
+            let engine = ServeEngine::new(registry);
+            (e, engine.predict_direct(&[0, 0, 0]).unwrap().to_bits())
+        })
+        .collect()
+}
+
+fn coord_for(i: u64) -> Vec<Idx> {
+    DIMS.iter()
+        .enumerate()
+        .map(|(m, &d)| ((i.wrapping_mul(0x9e3779b9).wrapping_add(m as u64 * 31)) % d as u64) as Idx)
+        .collect()
+}
+
+#[test]
+fn hot_swap_under_concurrent_wire_clients() {
+    let daemon = Daemon::bind(DaemonConfig {
+        nshards: 3,
+        workers: 2,
+        batch_deadline: Duration::from_micros(200),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+
+    // Satellite: every swap must be logged with epoch and dims.
+    type SwapLog = Arc<Mutex<Vec<(u64, Vec<usize>)>>>;
+    let traced: SwapLog = Arc::new(Mutex::new(Vec::new()));
+    {
+        let traced = Arc::clone(&traced);
+        daemon
+            .registry()
+            .set_swap_trace(Arc::new(move |epoch, dims| {
+                traced.lock().unwrap().push((epoch, dims.to_vec()));
+            }));
+    }
+    daemon.registry().publish(epoch_model(1)).unwrap();
+
+    let bits = expected_bits();
+    let addr = daemon.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    const CLIENTS: usize = 3;
+    const WINDOW: usize = 64;
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let bits = bits.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr).unwrap();
+                let coords: Vec<Vec<Idx>> = (0..WINDOW as u64)
+                    .map(|i| coord_for(i + c as u64))
+                    .collect();
+                let mut last_epoch = 0u64;
+                let mut answered = 0usize;
+                let mut windows = 0usize;
+                while !stop.load(Ordering::Relaxed) || windows == 0 {
+                    // Pipelined predicts: every request must come back.
+                    let results = client.predict_pipelined(&coords).unwrap();
+                    assert_eq!(results.len(), WINDOW, "dropped in-flight predict");
+                    for res in results {
+                        let (epoch, value) = res.unwrap();
+                        assert!(
+                            epoch >= last_epoch,
+                            "epoch went backwards on one connection: {epoch} < {last_epoch}"
+                        );
+                        last_epoch = epoch;
+                        let want = *bits.get(&epoch).expect("epoch out of published range");
+                        assert_eq!(
+                            value.to_bits(),
+                            want,
+                            "torn read: value does not match its epoch {epoch}"
+                        );
+                        answered += 1;
+                    }
+                    // Interleave top-K: epochs stay monotone across
+                    // request kinds on the same connection.
+                    let (epoch, hits) = client.topk(Tier::Exact, 0, &[0, 3, 2], 5).unwrap();
+                    assert!(epoch >= last_epoch);
+                    last_epoch = epoch;
+                    assert_eq!(hits.len(), 5);
+                    windows += 1;
+                }
+                (answered, windows, last_epoch)
+            })
+        })
+        .collect();
+
+    // Swap through the remaining epochs while the clients hammer away.
+    for e in 2..=EPOCHS {
+        std::thread::sleep(Duration::from_millis(20));
+        let got = daemon.registry().publish(epoch_model(e)).unwrap();
+        assert_eq!(got, e);
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    stop.store(true, Ordering::Relaxed);
+
+    for handle in clients {
+        let (answered, windows, last_epoch) = handle.join().unwrap();
+        assert_eq!(
+            answered,
+            windows * WINDOW,
+            "request/response count mismatch"
+        );
+        assert!((1..=EPOCHS).contains(&last_epoch));
+    }
+
+    // Every publish (including the first) fired the trace hook, in
+    // epoch order, with the model dims.
+    let traced = traced.lock().unwrap();
+    assert_eq!(traced.len(), EPOCHS as usize);
+    for (i, (epoch, dims)) in traced.iter().enumerate() {
+        assert_eq!(*epoch, i as u64 + 1);
+        assert_eq!(dims, &DIMS.to_vec());
+    }
+
+    let mut client = WireClient::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn stream_sink_republish_reaches_wire_clients() {
+    let daemon = Daemon::bind(DaemonConfig {
+        nshards: 2,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    daemon.registry().publish(epoch_model(1)).unwrap();
+
+    let mut client = WireClient::connect(daemon.local_addr()).unwrap();
+    let (epoch, _) = client.predict(&[0, 0, 0]).unwrap();
+    assert_eq!(epoch, 1);
+
+    // The streaming factorizer publishes through the ModelSink trait;
+    // a sharded registry is a sink, so a live daemon can be its target.
+    let sink: &dyn ModelSink = daemon.registry().as_ref();
+    sink.publish(epoch_model(2));
+
+    let bits = expected_bits();
+    let (epoch, value) = client.predict(&[0, 0, 0]).unwrap();
+    assert_eq!(epoch, 2);
+    assert_eq!(value.to_bits(), bits[&2]);
+
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn swap_mid_pipeline_window_answers_every_request() {
+    let daemon = Daemon::bind(DaemonConfig {
+        nshards: 3,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    daemon.registry().publish(epoch_model(1)).unwrap();
+    let bits = expected_bits();
+
+    let mut client = WireClient::connect(daemon.local_addr()).unwrap();
+    let coords: Vec<Vec<Idx>> = (0..400u64).map(coord_for).collect();
+
+    // Race a swap against one large pipelined window. Wherever the
+    // boundary lands, every response must be whole: right count, in
+    // order, each value matching its own epoch.
+    let publisher = {
+        let registry = Arc::clone(daemon.registry());
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_micros(300));
+            registry.publish(epoch_model(2)).unwrap()
+        })
+    };
+    let results = client.predict_pipelined(&coords).unwrap();
+    assert_eq!(publisher.join().unwrap(), 2);
+    assert_eq!(results.len(), coords.len());
+    let mut last_epoch = 0u64;
+    for res in results {
+        let (epoch, value) = res.unwrap();
+        assert!(epoch >= last_epoch);
+        last_epoch = epoch;
+        assert_eq!(value.to_bits(), bits[&epoch]);
+    }
+
+    client.shutdown().unwrap();
+    daemon.wait();
+}
