@@ -1,0 +1,218 @@
+//! ALTO vs. CSF-family MTTKRP speedup over a full AO sweep.
+//!
+//! The CSF paths traverse fiber hierarchies whose shape (and therefore
+//! whose branch behavior and memory traffic) depends on the mode
+//! ordering and the slice skew; ALTO stores one mode-agnostic
+//! bit-interleaved nonzero stream, decodes coordinates with mask
+//! extracts, and scatters through SIMD rank-vector FMAs, so its cost is
+//! uniform across modes and insensitive to skew. This harness times a
+//! complete AO sweep — MTTKRP for every mode — under the per-mode CSF
+//! set, the dimension-tree plan, and ALTO, over uniform and
+//! Zipf-skewed tensors, reports ALTO's speedup against the best CSF
+//! path per config, and records which substrate the cost model
+//! ([`aoadmm::choose_policy`]) would pick. Results land in
+//! `bench_results/alto_speedup.csv`.
+//!
+//! Usage: `cargo run --release -p aoadmm-bench --bin alto_speedup -- \
+//!         [--nnz 400000] [--rank 16] [--reps 5] [--seed 1]`
+
+use aoadmm::mttkrp::mttkrp_dense_planned;
+use aoadmm::mttkrp_plan::build_mode_plans;
+use aoadmm::{choose_policy, AltoTensor, CsfPolicy, IterationPlan};
+use aoadmm_bench::{bar, csv_writer, Args};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splinalg::DMat;
+use sptensor::gen::{planted, random_uniform, PlantedConfig};
+use sptensor::CooTensor;
+use std::io::Write;
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `body`.
+fn median_secs(reps: usize, mut body: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            body();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn policy_name(p: CsfPolicy) -> &'static str {
+    match p {
+        CsfPolicy::PerMode => "per-mode",
+        CsfPolicy::One => "one-csf",
+        CsfPolicy::DimTree => "dim-tree",
+        CsfPolicy::Alto => "alto",
+        CsfPolicy::Auto => "auto",
+    }
+}
+
+/// A Zipf-skewed tensor: one heavy mode, the rest near uniform.
+fn skewed(dims: &[usize], nnz: usize, exponent: f64, seed: u64) -> CooTensor {
+    let mut zipf = vec![0.1; dims.len()];
+    zipf[0] = exponent;
+    planted(&PlantedConfig {
+        dims: dims.to_vec(),
+        nnz,
+        rank: 4,
+        noise: 0.1,
+        factor_density: 1.0,
+        zipf_exponents: zipf,
+        seed,
+    })
+    .expect("tensor gen")
+}
+
+struct Row {
+    shape: String,
+    kind: &'static str,
+    nnz: usize,
+    rank: usize,
+    per_mode: f64,
+    dimtree: Option<f64>,
+    alto: f64,
+    auto_pick: CsfPolicy,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let nnz: usize = args.get("nnz", 400_000);
+    let rank: usize = args.get("rank", 16);
+    let reps: usize = args.get("reps", 5);
+    let seed: u64 = args.get("seed", 1);
+    let mut results: Vec<Row> = Vec::new();
+
+    let configs: Vec<(&'static str, CooTensor)> = vec![
+        (
+            "uniform",
+            random_uniform(&[500, 400, 300], nnz, seed).expect("tensor gen"),
+        ),
+        // Skew with small side modes: the CSF's best case (heavy fiber
+        // reuse) — the cost model must not be fooled into claiming a win.
+        ("skewed", skewed(&[4000, 60, 40], nnz, 1.2, seed + 1)),
+        // Skew with large side modes: hyper-sparse fibers, where the CSF
+        // pays full tree overhead per nonzero and ALTO's flat stream wins.
+        ("skewed", skewed(&[4000, 2500, 2000], nnz, 1.2, seed + 2)),
+        ("skewed", skewed(&[3000, 1500, 800, 600], nnz, 1.3, seed + 3)),
+        ("skewed", skewed(&[2000, 1000, 600, 400, 300], nnz, 1.2, seed + 4)),
+    ];
+
+    for (kind, t) in &configs {
+        let dims = t.dims().to_vec();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed + 10);
+        let factors: Vec<DMat> = dims
+            .iter()
+            .map(|&d| DMat::random(d, rank, -1.0, 1.0, &mut rng))
+            .collect();
+        let mut outs: Vec<DMat> = dims.iter().map(|&d| DMat::zeros(d, rank)).collect();
+
+        // --- Per-mode CSFs: one full-depth traversal per mode. ---
+        let csfs = build_mode_plans(t).expect("per-mode plans");
+        let per_mode = median_secs(reps, || {
+            for (m, out) in outs.iter_mut().enumerate() {
+                mttkrp_dense_planned(&csfs[m].0, &csfs[m].1, &factors, out).unwrap();
+            }
+        });
+
+        // --- Dimension tree (3+ modes): memoized slabs + invalidation. ---
+        let dimtree = (dims.len() >= 3).then(|| {
+            let mut plan = IterationPlan::build(t).expect("dimension tree");
+            for (m, out) in outs.iter_mut().enumerate() {
+                plan.mttkrp_dense(m, &factors, out).unwrap();
+                plan.note_factor_changed(m);
+            }
+            median_secs(reps, || {
+                for (m, out) in outs.iter_mut().enumerate() {
+                    plan.mttkrp_dense(m, &factors, out).unwrap();
+                    plan.note_factor_changed(m);
+                }
+            })
+        });
+
+        // --- ALTO: linearized stream, SIMD scatter. ---
+        let alto_t = AltoTensor::build(t).expect("alto build");
+        for (m, out) in outs.iter_mut().enumerate() {
+            alto_t.mttkrp_into(m, &factors, out).unwrap(); // size scratch
+        }
+        let alto = median_secs(reps, || {
+            for (m, out) in outs.iter_mut().enumerate() {
+                alto_t.mttkrp_into(m, &factors, out).unwrap();
+            }
+        });
+
+        results.push(Row {
+            shape: dims
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+            kind,
+            nnz: t.nnz(),
+            rank,
+            per_mode,
+            dimtree,
+            alto,
+            auto_pick: choose_policy(t),
+        });
+    }
+
+    // --- Report. ---
+    println!("ALTO vs CSF-family MTTKRP, full AO sweep ({reps} reps, median)\n");
+    println!(
+        "{:<16} {:>8} {:>9} {:>5} {:>13} {:>13} {:>11} {:>8} {:>9}",
+        "shape", "kind", "nnz", "F", "per-mode (s)", "dim-tree (s)", "alto (s)", "speedup", "auto"
+    );
+    let (mut csv, path) = csv_writer("alto_speedup");
+    writeln!(
+        csv,
+        "shape,kind,nmodes,nnz,rank,per_mode_seconds,dimtree_seconds,alto_seconds,\
+         best_csf_seconds,alto_speedup_vs_best_csf,auto_policy"
+    )
+    .unwrap();
+    let max_speedup = results
+        .iter()
+        .map(|r| r.per_mode.min(r.dimtree.unwrap_or(f64::INFINITY)) / r.alto)
+        .fold(1.0f64, f64::max);
+    for r in &results {
+        let best_csf = r.per_mode.min(r.dimtree.unwrap_or(f64::INFINITY));
+        let speedup = best_csf / r.alto;
+        println!(
+            "{:<16} {:>8} {:>9} {:>5} {:>13.6} {:>13} {:>11.6} {:>7.2}x {:>9} {}",
+            r.shape,
+            r.kind,
+            r.nnz,
+            r.rank,
+            r.per_mode,
+            r.dimtree
+                .map(|s| format!("{s:.6}"))
+                .unwrap_or_else(|| "-".into()),
+            r.alto,
+            speedup,
+            policy_name(r.auto_pick),
+            bar(speedup / max_speedup, 20)
+        );
+        writeln!(
+            csv,
+            "{},{},{},{},{},{:.6},{},{:.6},{:.6},{:.3},{}",
+            r.shape,
+            r.kind,
+            r.shape.matches('x').count() + 1,
+            r.nnz,
+            r.rank,
+            r.per_mode,
+            r.dimtree
+                .map(|s| format!("{s:.6}"))
+                .unwrap_or_else(|| "-".into()),
+            r.alto,
+            best_csf,
+            speedup,
+            policy_name(r.auto_pick),
+        )
+        .unwrap();
+    }
+    println!("\ncsv: {}", path.display());
+}

@@ -61,8 +61,10 @@ factorize options:
   --max-inner N            inner ADMM iteration cap (default 25)
   --adaptive-rho           enable residual-balancing penalty adaptation
   --sparsity auto|off|csr|hybrid   leaf-factor MTTKRP policy (default auto)
-  --csf per-mode|one|dimtree       tensor representation (default per-mode);
-                           dimtree memoizes partial-MTTKRP slabs across modes
+  --csf per-mode|one|dimtree|alto|auto   tensor representation (default
+                           per-mode); dimtree memoizes partial-MTTKRP slabs
+                           across modes, alto is the bit-interleaved linearized
+                           SIMD substrate, auto picks from tensor statistics
   --threads N              rayon thread count (default: all cores)
   --shards N               run the sharded execution engine over N shards
                            (longest-mode partition; prints a wire-traffic
@@ -71,7 +73,9 @@ factorize options:
                            each shard inline on its worker thread)
   --output FILE            save the factor model
   --trace FILE             save per-iteration CSV
-                           (iter,seconds,rel_error,slab_hits,slab_misses)
+                           (iter,seconds,rel_error,slab_hits,slab_misses,
+                           substrates — per-mode strategy labels joined with
+                           '|', so --csf auto decisions are observable)
   --checkpoint FILE        save resumable state (factors + duals) at the end
   --resume FILE            start from a previously saved checkpoint
 
@@ -218,6 +222,8 @@ fn factorize(args: &Args) -> Result<(), String> {
         "per-mode" => aoadmm::CsfPolicy::PerMode,
         "one" => aoadmm::CsfPolicy::One,
         "dimtree" => aoadmm::CsfPolicy::DimTree,
+        "alto" => aoadmm::CsfPolicy::Alto,
+        "auto" => aoadmm::CsfPolicy::Auto,
         other => return Err(format!("unknown csf policy {other:?}")),
     };
 
@@ -828,16 +834,25 @@ fn write_trace(trace: &aoadmm::FactorizeTrace, path: &str) -> Result<(), String>
     use std::io::Write;
     let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
     let mut w = std::io::BufWriter::new(f);
-    writeln!(w, "iter,seconds,rel_error,slab_hits,slab_misses").map_err(|e| e.to_string())?;
+    writeln!(w, "iter,seconds,rel_error,slab_hits,slab_misses,substrates")
+        .map_err(|e| e.to_string())?;
     for it in &trace.iterations {
         let hits: u64 = it.modes.iter().map(|m| m.slab_hits as u64).sum();
         let misses: u64 = it.modes.iter().map(|m| m.slab_misses as u64).sum();
+        // Per-mode strategy labels ('-' for the one-CSF non-root path,
+        // which has none), so --csf auto decisions land in the trace.
+        let substrates: Vec<&str> = it
+            .modes
+            .iter()
+            .map(|m| m.mttkrp_strategy.map(|s| s.name()).unwrap_or("-"))
+            .collect();
         writeln!(
             w,
-            "{},{:.6},{:.8},{hits},{misses}",
+            "{},{:.6},{:.8},{hits},{misses},{}",
             it.iter,
             it.elapsed.as_secs_f64(),
-            it.rel_error
+            it.rel_error,
+            substrates.join("|")
         )
         .map_err(|e| e.to_string())?;
     }
@@ -1077,18 +1092,82 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "iter,seconds,rel_error,slab_hits,slab_misses"
+            "iter,seconds,rel_error,slab_hits,slab_misses,substrates"
         );
         let mut hits = 0u64;
         let mut misses = 0u64;
         for line in lines {
             let cols: Vec<&str> = line.split(',').collect();
-            assert_eq!(cols.len(), 5, "bad row {line:?}");
+            assert_eq!(cols.len(), 6, "bad row {line:?}");
             hits += cols[3].parse::<u64>().unwrap();
             misses += cols[4].parse::<u64>().unwrap();
+            assert_eq!(cols[5], "dim-tree|dim-tree|dim-tree", "bad substrates");
         }
         assert!(hits > 0, "dim-tree run recorded no slab reuse:\n{csv}");
         assert!(misses > 0, "dim-tree run recorded no slab rebuilds:\n{csv}");
+
+        let _ = std::fs::remove_file(tns);
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn alto_policy_trace_reports_substrate() {
+        let dir = std::env::temp_dir();
+        let tns = dir.join("aoadmm_cli_alto.tns");
+        let trace = dir.join("aoadmm_cli_alto.csv");
+        let s = |x: &str| x.to_string();
+
+        run(&[
+            s("generate"),
+            s("--dims"),
+            s("24,18,20"),
+            s("--nnz"),
+            s("700"),
+            s("--output"),
+            s(tns.to_str().unwrap()),
+        ])
+        .unwrap();
+
+        run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("4"),
+            s("--max-outer"),
+            s("3"),
+            s("--csf"),
+            s("alto"),
+            s("--trace"),
+            s(trace.to_str().unwrap()),
+        ])
+        .unwrap();
+
+        let csv = std::fs::read_to_string(&trace).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "iter,seconds,rel_error,slab_hits,slab_misses,substrates"
+        );
+        for line in lines {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 6, "bad row {line:?}");
+            assert_eq!(cols[5], "alto|alto|alto", "bad substrates in {line:?}");
+        }
+
+        // `--csf auto` parses and runs end to end.
+        run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("4"),
+            s("--max-outer"),
+            s("2"),
+            s("--csf"),
+            s("auto"),
+        ])
+        .unwrap();
 
         let _ = std::fs::remove_file(tns);
         let _ = std::fs::remove_file(trace);

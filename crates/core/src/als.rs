@@ -7,12 +7,11 @@
 //! the constrained solver and is used by the harness to sanity-check
 //! convergence behaviour.
 
-use crate::dimtree::IterationPlan;
+use crate::config::CsfPolicy;
 use crate::error::AoAdmmError;
 use crate::kruskal::{relative_error_fast, KruskalModel};
-use crate::mttkrp::mttkrp_dense_planned;
-use crate::mttkrp_plan::{build_mode_plans, PlanStrategy};
 use crate::sparsity::{SparsityDecision, Structure};
+use crate::substrate::DenseEngine;
 use crate::trace::{FactorizeTrace, IterRecord, ModeRecord};
 use crate::FactorizeResult;
 use rand::SeedableRng;
@@ -39,8 +38,11 @@ pub struct AlsConfig {
     pub ridge: f64,
     /// Serve MTTKRP from a dimension-tree plan ([`crate::dimtree`])
     /// instead of per-mode CSFs. Ignored for tensors with fewer than
-    /// three modes.
+    /// three modes, and overridden by `csf_policy` when that is set.
     pub use_dimtree: bool,
+    /// Full substrate policy ([`CsfPolicy`], including `Alto` and
+    /// `Auto`). `None` keeps the legacy `use_dimtree` mapping.
+    pub csf_policy: Option<CsfPolicy>,
 }
 
 impl Default for AlsConfig {
@@ -52,6 +54,7 @@ impl Default for AlsConfig {
             seed: 0,
             ridge: 1e-12,
             use_dimtree: false,
+            csf_policy: None,
         }
     }
 }
@@ -70,19 +73,14 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
     let dims = tensor.dims().to_vec();
     let t0 = Instant::now();
 
-    // MTTKRP engine: either a dimension-tree iteration plan (slabs
-    // memoized across modes) or per-mode CSFs with their execution
-    // plans, built once and reused across every outer iteration.
-    let mut tree = if cfg.use_dimtree && nmodes >= 3 {
-        Some(IterationPlan::build(tensor)?)
+    // MTTKRP engine (dimension tree, per-mode CSFs, or ALTO), built
+    // once and reused across every outer iteration.
+    let policy = cfg.csf_policy.unwrap_or(if cfg.use_dimtree {
+        CsfPolicy::DimTree
     } else {
-        None
-    };
-    let csfs = if tree.is_some() {
-        Vec::new()
-    } else {
-        build_mode_plans(tensor)?
-    };
+        CsfPolicy::PerMode
+    });
+    let mut engine = DenseEngine::build(tensor, policy)?;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut factors: Vec<DMat> = dims
         .iter()
@@ -121,16 +119,8 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
             let ridge = cfg.ridge * (1.0 + gram_buf.trace());
 
             let tm = Instant::now();
-            let (strategy, slab_hits, slab_misses) = match tree.as_mut() {
-                Some(plan) => {
-                    let t = plan.mttkrp_dense(m, &factors, &mut kbufs[m])?;
-                    (PlanStrategy::DimTree, t.hits, t.misses)
-                }
-                None => {
-                    mttkrp_dense_planned(&csfs[m].0, &csfs[m].1, &factors, &mut kbufs[m])?;
-                    (csfs[m].1.strategy(), 0, 0)
-                }
-            };
+            let (strategy, slab_hits, slab_misses) =
+                engine.mttkrp_dense(m, &factors, &mut kbufs[m])?;
             let mttkrp_time = tm.elapsed();
 
             // Exact solve A_m = K * (G + ridge)^-1, parallel over row
@@ -165,9 +155,7 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
                 });
             let solve_time = ta.elapsed();
 
-            if let Some(plan) = tree.as_mut() {
-                plan.note_factor_changed(m);
-            }
+            engine.note_factor_changed(m);
 
             panel::gram_into(&factors[m], &mut lin_ws, &mut grams[m])?;
             if m == nmodes - 1 {
@@ -229,6 +217,7 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mttkrp_plan::PlanStrategy;
     use sptensor::gen::{planted, PlantedConfig};
 
     #[test]
@@ -332,6 +321,37 @@ mod tests {
             last.modes.iter().any(|r| r.slab_hits > 0),
             "steady state should reuse slabs"
         );
+    }
+
+    #[test]
+    fn als_alto_matches_per_mode() {
+        let t = planted(&PlantedConfig::small()).unwrap();
+        let cfg = AlsConfig {
+            rank: 6,
+            max_outer: 12,
+            seed: 5,
+            ..Default::default()
+        };
+        let flat = als_factorize(&t, &cfg).unwrap();
+        let alto = als_factorize(
+            &t,
+            &AlsConfig {
+                csf_policy: Some(CsfPolicy::Alto),
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert!(
+            (flat.trace.final_error - alto.trace.final_error).abs() < 1e-7,
+            "flat {} vs alto {}",
+            flat.trace.final_error,
+            alto.trace.final_error
+        );
+        let last = alto.trace.iterations.last().unwrap();
+        assert!(last
+            .modes
+            .iter()
+            .all(|r| r.mttkrp_strategy == Some(PlanStrategy::Alto)));
     }
 
     #[test]

@@ -1,0 +1,1073 @@
+//! ALTO: adaptive linearized tensor order — a mode-agnostic MTTKRP
+//! substrate over bit-interleaved linearized indices.
+//!
+//! The CSF-family substrates ([`crate::mttkrp`], [`crate::dimtree`])
+//! compile the tensor into per-root-mode fiber hierarchies whose
+//! pointer-chasing traversals resist vectorization and whose value
+//! arrays must be replicated (or re-sorted) per mode. Following
+//! Laukemann et al. (PAPERS.md, arXiv:2403.06348), an [`AltoTensor`]
+//! instead stores each nonzero **once**, as a single `u64` *linearized*
+//! index that bit-interleaves the coordinates of every mode:
+//!
+//! * each mode `m` owns a fixed set of bit positions, assigned
+//!   round-robin from the least-significant bit (the per-mode **masks**);
+//!   a mode's coordinate is recovered with one parallel-bit-extract
+//!   (`pext`, or its bit-identical software fallback) per nonzero —
+//!   mode-agnostic delinearization instead of per-mode fiber pointers;
+//! * nonzeros are sorted by linearized index, which orders them along a
+//!   Morton-style space-filling curve: a contiguous range of nonzeros is
+//!   confined to a compact subregion of the tensor in *every* mode at
+//!   once, the locality property the block partition exploits;
+//! * the sorted range is **recursively bisected** into nnz-balanced
+//!   blocks (frozen at build, like every parallel schedule in this
+//!   codebase), and for each block and each mode the interval of output
+//!   rows it can touch is precomputed from the curve geometry. A block
+//!   whose interval is disjoint from every other block's scatters
+//!   **lock-free** directly into the output; overlapping blocks
+//!   accumulate into per-block privatized buffers that are merged
+//!   serially in block order — the same deterministic privatize-and-merge
+//!   discipline as [`crate::mttkrp::three_mode_fiber_privatized`], so
+//!   results are bit-identical across 1/2/4-thread pools for a fixed
+//!   build.
+//!
+//! The delinearize+accumulate inner loop runs through the
+//! [`splinalg::simd`] kernels: runtime-dispatched AVX-512 / AVX2 /
+//! scalar paths whose fused multiply-adds round identically, so the
+//! *same bits* come out of every path (the conformance suite asserts
+//! `max_abs_diff == 0.0` across kernel paths and thread pools).
+//!
+//! **Memory and allocation.** Per-block Hadamard scratch and the
+//! privatized partials live in one flat arena sized when the rank is
+//! first seen ([`AltoScratch`]); steady-state MTTKRP calls perform zero
+//! heap allocation (`tests/alloc_hot_path.rs` enforces it). The whole
+//! structure is `16 * nnz` bytes plus block metadata — one copy of the
+//! tensor serving every mode, against `nmodes` copies for per-mode CSF.
+
+use crate::config::Factorizer;
+use crate::driver::{MttkrpInfo, TensorSource};
+use crate::error::AoAdmmError;
+use crate::mttkrp_plan::PlanStrategy;
+use crate::sparsity::{SparsityDecision, Structure};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use splinalg::{simd, vecops, DMat, SimdLevel};
+use sptensor::CooTensor;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Number of bits needed to store coordinates `0 .. d-1`.
+fn bits_for(d: usize) -> u32 {
+    if d <= 1 {
+        0
+    } else {
+        u64::BITS - ((d - 1) as u64).leading_zeros()
+    }
+}
+
+/// Total linearized-index bits for a shape.
+pub fn required_bits(dims: &[usize]) -> u32 {
+    dims.iter().map(|&d| bits_for(d)).sum()
+}
+
+/// Per-mode interleaved bit assignment: `masks[m]` selects mode `m`'s
+/// bits out of a linearized index; `spread[m]` lists those positions
+/// LSB-first (position of coordinate bit `k` is `spread[m][k]`).
+fn build_masks(dims: &[usize]) -> Result<(Vec<u64>, Vec<Vec<u8>>), AoAdmmError> {
+    let total = required_bits(dims);
+    if total > 64 {
+        return Err(AoAdmmError::Config(format!(
+            "ALTO linearized index needs {total} bits for shape {dims:?}; 64 is the limit"
+        )));
+    }
+    let bits: Vec<u32> = dims.iter().map(|&d| bits_for(d)).collect();
+    let mut masks = vec![0u64; dims.len()];
+    let mut spread: Vec<Vec<u8>> = bits.iter().map(|&b| Vec::with_capacity(b as usize)).collect();
+    let mut pos = 0u8;
+    // Round-robin from the LSB: bit k of every mode sits below bit k+1 of
+    // every mode, so a contiguous linearized range is compact in all
+    // modes at once (Morton-style ordering over ragged dims).
+    for round in 0..bits.iter().copied().max().unwrap_or(0) {
+        for (m, &b) in bits.iter().enumerate() {
+            if round < b {
+                masks[m] |= 1u64 << pos;
+                spread[m].push(pos);
+                pos += 1;
+            }
+        }
+    }
+    Ok((masks, spread))
+}
+
+/// Scatter the (contiguous) bits of `coord` to the positions listed in
+/// `spread` — the encode-side inverse of [`simd::extract_bits`].
+#[inline]
+fn spread_bits(coord: u64, spread: &[u8]) -> u64 {
+    let mut out = 0u64;
+    let mut c = coord;
+    while c != 0 {
+        let k = c.trailing_zeros() as usize;
+        out |= 1u64 << spread[k];
+        c &= c - 1;
+    }
+    out
+}
+
+/// Recursively bisect `0..nnz` at the nonzero midpoint until every block
+/// holds at most `ceil(nnz / target)` nonzeros. Blocks are contiguous,
+/// nonempty, and cover the range exactly once; the list is frozen at
+/// build, so the parallel schedule (and therefore the merge order) does
+/// not depend on the executing pool.
+fn partition_blocks(nnz: usize, target: usize) -> Vec<Range<usize>> {
+    fn split(lo: usize, hi: usize, max_len: usize, out: &mut Vec<Range<usize>>) {
+        if hi - lo <= max_len || hi - lo < 2 {
+            out.push(lo..hi);
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            split(lo, mid, max_len, out);
+            split(mid, hi, max_len, out);
+        }
+    }
+    let mut blocks = Vec::new();
+    if nnz > 0 {
+        split(0, nnz, nnz.div_ceil(target.max(1)), &mut blocks);
+    }
+    blocks
+}
+
+/// Rank-sized scratch arena: one Hadamard-product row per block plus one
+/// privatized output partial per conflicting (mode, block) pair. Laid
+/// out once per rank; steady-state calls reuse it without touching the
+/// allocator.
+#[derive(Debug, Default)]
+struct AltoScratch {
+    /// Rank the arena is currently laid out for (0 = not yet sized).
+    rank: usize,
+    data: Vec<f64>,
+    /// Per-block offset of the rank-length Hadamard scratch row.
+    prod_off: Vec<usize>,
+    /// `[mode][block]` offset of the privatized partial
+    /// (`interval_len * rank` doubles); `usize::MAX` for conflict-free
+    /// blocks, which need none.
+    priv_off: Vec<Vec<usize>>,
+}
+
+/// A tensor compiled into the ALTO linearized format, serving MTTKRP for
+/// every mode from a single sorted copy of the nonzeros. See the module
+/// docs for the format and execution model.
+pub struct AltoTensor {
+    dims: Vec<usize>,
+    /// Per-mode bit masks over the linearized index.
+    masks: Vec<u64>,
+    /// Per-mode bit positions, LSB-first (the encode table).
+    spread: Vec<Vec<u8>>,
+    /// Sorted linearized indices, one per nonzero.
+    lin: Vec<u64>,
+    /// Values, permuted alongside `lin`.
+    vals: Vec<f64>,
+    norm_sq: f64,
+    /// Frozen nnz-balanced blocks (ranges into `lin`/`vals`).
+    blocks: Vec<Range<usize>>,
+    /// `[mode][block]` output-row interval `[lo, hi)` the block touches.
+    intervals: Vec<Vec<(u32, u32)>>,
+    /// `[mode][block]` true when the block's interval is disjoint from
+    /// every other block's — it may scatter lock-free.
+    conflict_free: Vec<Vec<bool>>,
+    /// Kernel path selected at build ([`SimdLevel::detect`]).
+    level: SimdLevel,
+    // Interior mutability bridges the arena to the &self TensorSource
+    // interface; the outer loop serves modes sequentially, so the lock
+    // is uncontended (same pattern as the dimension-tree plan).
+    scratch: Mutex<AltoScratch>,
+}
+
+impl std::fmt::Debug for AltoTensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AltoTensor")
+            .field("dims", &self.dims)
+            .field("nnz", &self.lin.len())
+            .field("bits", &required_bits(&self.dims))
+            .field("blocks", &self.blocks.len())
+            .field("level", &self.level)
+            .finish()
+    }
+}
+
+impl AltoTensor {
+    /// True when `dims` linearizes into the 64-bit index ALTO uses.
+    pub fn encodable(dims: &[usize]) -> bool {
+        dims.len() >= 2 && required_bits(dims) <= 64
+    }
+
+    /// Compile `tensor` into the ALTO format. Rejects shapes whose
+    /// linearized index exceeds 64 bits and tensors with fewer than two
+    /// modes.
+    pub fn build(tensor: &CooTensor) -> Result<Self, AoAdmmError> {
+        let dims = tensor.dims().to_vec();
+        if dims.len() < 2 {
+            return Err(AoAdmmError::Config(
+                "ALTO needs a tensor with at least 2 modes".into(),
+            ));
+        }
+        let (masks, spread) = build_masks(&dims)?;
+        let n = tensor.nnz();
+        let mut lin = vec![0u64; n];
+        for (m, sp) in spread.iter().enumerate() {
+            let inds = tensor.mode_inds(m);
+            for (l, &i) in lin.iter_mut().zip(inds) {
+                *l |= spread_bits(u64::from(i), sp);
+            }
+        }
+        // Deterministic sort: ties (duplicate coordinates) keep input
+        // order, so the accumulation order is a pure function of the
+        // input tensor.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&i| lin[i as usize]);
+        let vals_src = tensor.values();
+        let sorted_lin: Vec<u64> = perm.iter().map(|&i| lin[i as usize]).collect();
+        let vals: Vec<f64> = perm.iter().map(|&i| vals_src[i as usize]).collect();
+        let target = rayon::current_num_threads().max(1) * 8;
+        let blocks = partition_blocks(n, target);
+        let (intervals, conflict_free) = block_geometry(&sorted_lin, &masks, &blocks);
+        Ok(AltoTensor {
+            dims,
+            masks,
+            spread,
+            lin: sorted_lin,
+            vals,
+            norm_sq: tensor.norm_sq(),
+            blocks,
+            intervals,
+            conflict_free,
+            level: SimdLevel::detect(),
+            scratch: Mutex::new(AltoScratch::default()),
+        })
+    }
+
+    /// Mode lengths.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.lin.len()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.norm_sq
+    }
+
+    /// Per-mode extraction masks over the linearized index.
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// Sorted linearized indices.
+    pub fn linearized(&self) -> &[u64] {
+        &self.lin
+    }
+
+    /// Values, in linearized order.
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// The frozen nnz-balanced block partition.
+    pub fn blocks(&self) -> &[Range<usize>] {
+        &self.blocks
+    }
+
+    /// Output-row interval `[lo, hi)` block `b` touches in `mode`.
+    pub fn block_interval(&self, mode: usize, b: usize) -> (u32, u32) {
+        self.intervals[mode][b]
+    }
+
+    /// Whether block `b` scatters lock-free in `mode`.
+    pub fn block_conflict_free(&self, mode: usize, b: usize) -> bool {
+        self.conflict_free[mode][b]
+    }
+
+    /// Kernel path selected at build.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.level
+    }
+
+    /// Resident bytes of the nonzero storage and block metadata
+    /// (excludes the rank-dependent scratch arena).
+    pub fn memory_bytes(&self) -> usize {
+        self.lin.capacity() * 8
+            + self.vals.capacity() * 8
+            + self.blocks.capacity() * std::mem::size_of::<Range<usize>>()
+            + self
+                .intervals
+                .iter()
+                .map(|v| v.capacity() * 8)
+                .sum::<usize>()
+            + self
+                .conflict_free
+                .iter()
+                .map(|v| v.capacity())
+                .sum::<usize>()
+    }
+
+    /// Bit-interleave one coordinate tuple into its linearized index.
+    pub fn encode_coords(&self, coords: &[sptensor::Idx]) -> u64 {
+        debug_assert_eq!(coords.len(), self.dims.len());
+        coords
+            .iter()
+            .zip(&self.spread)
+            .map(|(&c, sp)| spread_bits(u64::from(c), sp))
+            .fold(0u64, |acc, x| acc | x)
+    }
+
+    /// Recover the coordinate tuple from a linearized index.
+    pub fn decode_coords(&self, lin: u64, out: &mut [sptensor::Idx]) {
+        debug_assert_eq!(out.len(), self.dims.len());
+        for (o, &mask) in out.iter_mut().zip(&self.masks) {
+            *o = simd::extract_bits(lin, mask) as sptensor::Idx;
+        }
+    }
+
+    /// Grow mode lengths (streaming growth). When the new lengths still
+    /// fit the interleaved bit budget, only the logical shape changes;
+    /// otherwise the nonzeros are re-encoded, re-sorted and
+    /// re-partitioned under a wider mask set (a growth event, allowed to
+    /// allocate — steady-state MTTKRP stays allocation-free).
+    pub fn grow_dims(&mut self, new_dims: &[usize]) -> Result<(), AoAdmmError> {
+        if new_dims.len() != self.dims.len() {
+            return Err(AoAdmmError::Config(format!(
+                "grow_dims: {} modes given, tensor has {}",
+                new_dims.len(),
+                self.dims.len()
+            )));
+        }
+        for (m, (&old, &new)) in self.dims.iter().zip(new_dims).enumerate() {
+            if new < old {
+                return Err(AoAdmmError::Config(format!(
+                    "grow_dims: mode {m} shrinks from {old} to {new}"
+                )));
+            }
+        }
+        let fits = new_dims
+            .iter()
+            .zip(&self.spread)
+            .all(|(&d, sp)| bits_for(d) as usize <= sp.len());
+        if fits {
+            self.dims = new_dims.to_vec();
+            return Ok(());
+        }
+        let (masks, spread) = build_masks(new_dims)?;
+        // Re-encode through the old masks, then rebuild the layout.
+        let n = self.lin.len();
+        let nmodes = self.dims.len();
+        let mut relin = vec![0u64; n];
+        for (r, &l) in relin.iter_mut().zip(&self.lin) {
+            for m in 0..nmodes {
+                let c = simd::extract_bits(l, self.masks[m]);
+                *r |= spread_bits(c, &spread[m]);
+            }
+        }
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&i| relin[i as usize]);
+        let lin: Vec<u64> = perm.iter().map(|&i| relin[i as usize]).collect();
+        let vals: Vec<f64> = perm.iter().map(|&i| self.vals[i as usize]).collect();
+        let target = rayon::current_num_threads().max(1) * 8;
+        let blocks = partition_blocks(n, target);
+        let (intervals, conflict_free) = block_geometry(&lin, &masks, &blocks);
+        self.dims = new_dims.to_vec();
+        self.masks = masks;
+        self.spread = spread;
+        self.lin = lin;
+        self.vals = vals;
+        self.blocks = blocks;
+        self.intervals = intervals;
+        self.conflict_free = conflict_free;
+        // Scratch offsets are stale; force a relayout on next use.
+        let mut s = self.scratch.lock();
+        s.rank = 0;
+        Ok(())
+    }
+
+    /// MTTKRP for `mode` with every factor read dense, through the
+    /// kernel path selected at build.
+    pub fn mttkrp_into(
+        &self,
+        mode: usize,
+        factors: &[DMat],
+        out: &mut DMat,
+    ) -> Result<(), AoAdmmError> {
+        self.mttkrp_with_level(mode, factors, out, self.level)
+    }
+
+    /// MTTKRP for `mode` through an explicit kernel path — the hook the
+    /// conformance suite uses to prove AVX-512 / AVX2 / scalar paths
+    /// produce identical bits. A level the CPU cannot run degrades to
+    /// scalar (semantically invisible under the bit-exactness contract).
+    pub fn mttkrp_with_level(
+        &self,
+        mode: usize,
+        factors: &[DMat],
+        out: &mut DMat,
+        level: SimdLevel,
+    ) -> Result<(), AoAdmmError> {
+        self.validate(mode, factors, out)?;
+        let rank = out.ncols();
+        let mut guard = self.scratch.lock();
+        let scratch = &mut *guard;
+        self.ensure_scratch(scratch, rank);
+        out.fill(0.0);
+        if self.blocks.is_empty() {
+            return Ok(());
+        }
+        let cfree = &self.conflict_free[mode];
+        let ivs = &self.intervals[mode];
+        {
+            let out_w = SliceWriter::new(out.as_mut_slice());
+            let scr_w = SliceWriter::new(&mut scratch.data);
+            let prod_off = &scratch.prod_off;
+            let priv_off = &scratch.priv_off[mode];
+            self.blocks.par_iter().enumerate().for_each(|(b, blk)| {
+                // SAFETY: prod regions are disjoint per block; privatized
+                // regions are disjoint per (mode, block); a conflict-free
+                // block's output rows are touched by no other block.
+                let prod = unsafe { scr_w.slice_mut(prod_off[b], rank) };
+                if cfree[b] {
+                    self.accumulate_block(level, blk.clone(), mode, factors, prod, &out_w, 0, rank);
+                } else {
+                    let (lo, hi) = ivs[b];
+                    let len = (hi - lo) as usize * rank;
+                    let partial = unsafe { scr_w.slice_mut(priv_off[b], len) };
+                    vecops::fill(partial, 0.0);
+                    let pw = SliceWriter::new(partial);
+                    self.accumulate_block(
+                        level,
+                        blk.clone(),
+                        mode,
+                        factors,
+                        prod,
+                        &pw,
+                        lo as usize,
+                        rank,
+                    );
+                }
+            });
+        }
+        // Deterministic merge: conflicting partials fold into the output
+        // in frozen block order, independent of the executing pool.
+        let out_s = out.as_mut_slice();
+        for b in 0..self.blocks.len() {
+            if cfree[b] {
+                continue;
+            }
+            let (lo, hi) = ivs[b];
+            let off = scratch.priv_off[mode][b];
+            for r in lo as usize..hi as usize {
+                let src = &scratch.data[off + (r - lo as usize) * rank..][..rank];
+                simd::add_assign(level, &mut out_s[r * rank..(r + 1) * rank], src);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- internals ---------------------------------------------------
+
+    fn validate(&self, mode: usize, factors: &[DMat], out: &DMat) -> Result<(), AoAdmmError> {
+        let nmodes = self.dims.len();
+        if factors.len() != nmodes || mode >= nmodes {
+            return Err(AoAdmmError::Config(format!(
+                "{} factors / mode {mode} for a {nmodes}-mode ALTO tensor",
+                factors.len()
+            )));
+        }
+        let f = out.ncols();
+        if f == 0 || out.nrows() != self.dims[mode] {
+            return Err(AoAdmmError::Config(format!(
+                "output is {}x{f}; mode {mode} has length {}",
+                out.nrows(),
+                self.dims[mode]
+            )));
+        }
+        for (m, fac) in factors.iter().enumerate() {
+            if fac.ncols() != f || (m != mode && fac.nrows() != self.dims[m]) {
+                return Err(AoAdmmError::Config(format!(
+                    "factor {m} is {}x{}; expected {}x{f}",
+                    fac.nrows(),
+                    fac.ncols(),
+                    self.dims[m]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lay the arena out for `rank`: one Hadamard row per block, one
+    /// privatized partial per conflicting (mode, block). Only a rank
+    /// change relayouts (and only growth reallocates).
+    fn ensure_scratch(&self, scratch: &mut AltoScratch, rank: usize) {
+        if scratch.rank == rank {
+            return;
+        }
+        let nmodes = self.dims.len();
+        let mut off = 0usize;
+        scratch.prod_off.clear();
+        for _ in &self.blocks {
+            scratch.prod_off.push(off);
+            off += rank;
+        }
+        scratch.priv_off.clear();
+        for m in 0..nmodes {
+            let mut offs = Vec::with_capacity(self.blocks.len());
+            for b in 0..self.blocks.len() {
+                if self.conflict_free[m][b] {
+                    offs.push(usize::MAX);
+                } else {
+                    let (lo, hi) = self.intervals[m][b];
+                    offs.push(off);
+                    off += (hi - lo) as usize * rank;
+                }
+            }
+            scratch.priv_off.push(offs);
+        }
+        scratch.data.clear();
+        scratch.data.resize(off, 0.0);
+        scratch.rank = rank;
+    }
+
+    /// Accumulate one block's nonzeros into `dst`, whose row `r` of the
+    /// output lives at offset `(r - row_base) * rank`.
+    ///
+    /// Dispatch happens once per *block*, not per vector op: the whole
+    /// nonzero loop is monomorphized under `target_feature` for the AVX
+    /// tiers so LLVM fuses the decode + rank-vector arithmetic into wide
+    /// FMA code, while the scalar instantiation compiles the identical
+    /// body without vector features. Every path runs the same
+    /// per-element operation sequence (plain multiplies along the mode
+    /// chain, one `f64::mul_add` fold into the output row), which is
+    /// what keeps the three instantiations bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_block(
+        &self,
+        level: SimdLevel,
+        range: Range<usize>,
+        mode: usize,
+        factors: &[DMat],
+        prod: &mut [f64],
+        dst: &SliceWriter,
+        row_base: usize,
+        rank: usize,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let eff = level.min(SimdLevel::best_available());
+            // SAFETY: `eff` was just capped to what this CPU supports.
+            match eff {
+                SimdLevel::Avx512 => {
+                    return unsafe {
+                        self.accumulate_block_avx512(range, mode, factors, prod, dst, row_base, rank)
+                    };
+                }
+                SimdLevel::Avx2 => {
+                    return unsafe {
+                        self.accumulate_block_avx2(range, mode, factors, prod, dst, row_base, rank)
+                    };
+                }
+                SimdLevel::Scalar => {}
+            }
+        }
+        let _ = level;
+        self.accumulate_block_body(range, mode, factors, prod, dst, row_base, rank);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn accumulate_block_avx2(
+        &self,
+        range: Range<usize>,
+        mode: usize,
+        factors: &[DMat],
+        prod: &mut [f64],
+        dst: &SliceWriter,
+        row_base: usize,
+        rank: usize,
+    ) {
+        self.accumulate_block_body(range, mode, factors, prod, dst, row_base, rank);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn accumulate_block_avx512(
+        &self,
+        range: Range<usize>,
+        mode: usize,
+        factors: &[DMat],
+        prod: &mut [f64],
+        dst: &SliceWriter,
+        row_base: usize,
+        rank: usize,
+    ) {
+        self.accumulate_block_body(range, mode, factors, prod, dst, row_base, rank);
+    }
+
+    /// The one shared kernel body: per nonzero, decode the target row,
+    /// then fold `val * (Hadamard of non-target rows in ascending mode
+    /// order)` into it, k-major so each output element streams through
+    /// registers exactly once. Arities 2-4 are specialized (no scratch
+    /// traffic at all); 5+ modes run the chain through `prod`.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_block_body(
+        &self,
+        range: Range<usize>,
+        mode: usize,
+        factors: &[DMat],
+        prod: &mut [f64],
+        dst: &SliceWriter,
+        row_base: usize,
+        rank: usize,
+    ) {
+        let nmodes = self.dims.len();
+        let tmask = self.masks[mode];
+        match nmodes {
+            2 => {
+                let other = 1 - mode;
+                let omask = self.masks[other];
+                let fac = &factors[other];
+                for n in range {
+                    let l = self.lin[n];
+                    let r = simd::extract_bits(l, tmask) as usize;
+                    // SAFETY: r lies in this block's interval; see par loop.
+                    let out_row = unsafe { dst.slice_mut((r - row_base) * rank, rank) };
+                    let row = fac.row(simd::extract_bits(l, omask) as usize);
+                    let v = self.vals[n];
+                    for (o, &x) in out_row.iter_mut().zip(row) {
+                        *o = v.mul_add(x, *o);
+                    }
+                }
+            }
+            3 => {
+                let (ma, mb) = match mode {
+                    0 => (1, 2),
+                    1 => (0, 2),
+                    _ => (0, 1),
+                };
+                let (amask, bmask) = (self.masks[ma], self.masks[mb]);
+                let (fa, fb) = (&factors[ma], &factors[mb]);
+                for n in range {
+                    let l = self.lin[n];
+                    let r = simd::extract_bits(l, tmask) as usize;
+                    // SAFETY: r lies in this block's interval; see par loop.
+                    let out_row = unsafe { dst.slice_mut((r - row_base) * rank, rank) };
+                    let a = fa.row(simd::extract_bits(l, amask) as usize);
+                    let b = fb.row(simd::extract_bits(l, bmask) as usize);
+                    let v = self.vals[n];
+                    for ((o, &ak), &bk) in out_row.iter_mut().zip(a).zip(b) {
+                        *o = (v * ak).mul_add(bk, *o);
+                    }
+                }
+            }
+            4 => {
+                let mut others = [0usize; 3];
+                let mut w = 0;
+                for m in 0..4 {
+                    if m != mode {
+                        others[w] = m;
+                        w += 1;
+                    }
+                }
+                let [ma, mb, mc] = others;
+                let (amask, bmask, cmask) = (self.masks[ma], self.masks[mb], self.masks[mc]);
+                let (fa, fb, fc) = (&factors[ma], &factors[mb], &factors[mc]);
+                for n in range {
+                    let l = self.lin[n];
+                    let r = simd::extract_bits(l, tmask) as usize;
+                    // SAFETY: r lies in this block's interval; see par loop.
+                    let out_row = unsafe { dst.slice_mut((r - row_base) * rank, rank) };
+                    let a = fa.row(simd::extract_bits(l, amask) as usize);
+                    let b = fb.row(simd::extract_bits(l, bmask) as usize);
+                    let c = fc.row(simd::extract_bits(l, cmask) as usize);
+                    let v = self.vals[n];
+                    for (((o, &ak), &bk), &ck) in out_row.iter_mut().zip(a).zip(b).zip(c) {
+                        *o = (v * ak * bk).mul_add(ck, *o);
+                    }
+                }
+            }
+            _ => {
+                let last = if mode == nmodes - 1 {
+                    nmodes - 2
+                } else {
+                    nmodes - 1
+                };
+                for n in range {
+                    let l = self.lin[n];
+                    let r = simd::extract_bits(l, tmask) as usize;
+                    // SAFETY: r lies in this block's interval; see par loop.
+                    let out_row = unsafe { dst.slice_mut((r - row_base) * rank, rank) };
+                    let mut first = true;
+                    for (m, fac) in factors.iter().enumerate() {
+                        if m == mode {
+                            continue;
+                        }
+                        let row = fac.row(simd::extract_bits(l, self.masks[m]) as usize);
+                        if m == last {
+                            for ((o, &p), &x) in out_row.iter_mut().zip(&*prod).zip(row) {
+                                *o = p.mul_add(x, *o);
+                            }
+                        } else if first {
+                            let v = self.vals[n];
+                            for (p, &x) in prod.iter_mut().zip(row) {
+                                *p = v * x;
+                            }
+                            first = false;
+                        } else {
+                            for (p, &x) in prod.iter_mut().zip(row) {
+                                *p *= x;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-mode, per-block output-row intervals and the conflict-freedom
+/// classification (disjoint from every other block's interval).
+#[allow(clippy::type_complexity)]
+fn block_geometry(
+    lin: &[u64],
+    masks: &[u64],
+    blocks: &[Range<usize>],
+) -> (Vec<Vec<(u32, u32)>>, Vec<Vec<bool>>) {
+    let nmodes = masks.len();
+    // Block-major scan (parallel at build time), then transpose.
+    let per_block: Vec<Vec<(u32, u32)>> = blocks
+        .par_iter()
+        .map(|blk| {
+            let mut iv = vec![(u32::MAX, 0u32); nmodes];
+            for &l in &lin[blk.clone()] {
+                for (m, &mask) in masks.iter().enumerate() {
+                    let c = simd::extract_bits(l, mask) as u32;
+                    iv[m].0 = iv[m].0.min(c);
+                    iv[m].1 = iv[m].1.max(c + 1);
+                }
+            }
+            iv
+        })
+        .collect();
+    let mut intervals = vec![Vec::with_capacity(blocks.len()); nmodes];
+    for iv in &per_block {
+        for (m, &x) in iv.iter().enumerate() {
+            intervals[m].push(x);
+        }
+    }
+    let conflict_free = intervals
+        .iter()
+        .map(|ivs| {
+            (0..ivs.len())
+                .map(|b| {
+                    let (lo, hi) = ivs[b];
+                    ivs.iter()
+                        .enumerate()
+                        .all(|(o, &(olo, ohi))| o == b || ohi <= lo || hi <= olo)
+                })
+                .collect()
+        })
+        .collect();
+    (intervals, conflict_free)
+}
+
+impl TensorSource for AltoTensor {
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn nnz(&self) -> usize {
+        self.lin.len()
+    }
+
+    fn norm_sq(&self) -> f64 {
+        self.norm_sq
+    }
+
+    fn mttkrp(
+        &self,
+        mode: usize,
+        factors: &[DMat],
+        _cfg: &Factorizer,
+        out: &mut DMat,
+    ) -> Result<MttkrpInfo, AoAdmmError> {
+        // ALTO reads every factor row-wise per nonzero; a sparse leaf
+        // snapshot has no leaf-sweep to accelerate, so the dynamic
+        // sparsity policy does not apply and the decision reports dense.
+        self.mttkrp_into(mode, factors, out)?;
+        Ok(MttkrpInfo {
+            decision: SparsityDecision {
+                density: 1.0,
+                structure: Structure::Dense,
+            },
+            strategy: Some(PlanStrategy::Alto),
+            slab_hits: 0,
+            slab_misses: 0,
+        })
+    }
+}
+
+/// Raw-pointer view of a flat buffer whose sub-slices are written
+/// concurrently at *provably disjoint* offsets (the ALTO analogue of the
+/// dimension-tree slice writer; see the SAFETY comments at each use).
+struct SliceWriter<'a> {
+    data: *mut f64,
+    len: usize,
+    _marker: PhantomData<&'a mut f64>,
+}
+
+// SAFETY: every use hands disjoint ranges to different tasks — block
+// scratch regions are indexed by block position, and direct scatter is
+// restricted to conflict-free blocks whose row intervals are disjoint.
+unsafe impl Send for SliceWriter<'_> {}
+unsafe impl Sync for SliceWriter<'_> {}
+
+impl<'a> SliceWriter<'a> {
+    fn new(s: &'a mut [f64]) -> Self {
+        SliceWriter {
+            data: s.as_mut_ptr(),
+            len: s.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// `start + len <= self.len` and no other thread may hold a
+    /// reference overlapping `[start, start + len)`.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [f64] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut(self.data.add(start), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mttkrp::mttkrp_reference;
+    use sptensor::gen;
+
+    fn random_factors(dims: &[usize], f: usize, seed: u64) -> Vec<DMat> {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        dims.iter()
+            .map(|&d| DMat::random(d, f, -1.0, 1.0, &mut rng))
+            .collect()
+    }
+
+    fn assert_close(a: &DMat, b: &DMat, what: &str) {
+        let d = a.max_abs_diff(b);
+        assert!(d < 1e-9, "{what}: max abs diff {d}");
+    }
+
+    #[test]
+    fn masks_partition_the_linearized_bits() {
+        let dims = [12usize, 9, 300, 2];
+        let (masks, spread) = build_masks(&dims).unwrap();
+        let total: u32 = required_bits(&dims);
+        let union = masks.iter().fold(0u64, |a, &m| a | m);
+        assert_eq!(union.count_ones(), total);
+        for (i, &a) in masks.iter().enumerate() {
+            assert_eq!(a.count_ones() as usize, spread[i].len());
+            for &b in &masks[i + 1..] {
+                assert_eq!(a & b, 0, "masks overlap");
+            }
+        }
+        // Low round-robin rounds sit below high ones.
+        assert_eq!(union, (1u64 << total) - 1, "bits are contiguous from 0");
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let dims = vec![7usize, 30, 4];
+        let coo = gen::random_uniform(&dims, 200, 3).unwrap();
+        let alto = AltoTensor::build(&coo).unwrap();
+        let mut out = vec![0u32; 3];
+        for i in 0..coo.nnz() {
+            let coords: Vec<u32> = (0..3).map(|m| coo.mode_inds(m)[i]).collect();
+            let l = alto.encode_coords(&coords);
+            alto.decode_coords(l, &mut out);
+            assert_eq!(out, coords);
+        }
+    }
+
+    #[test]
+    fn rejects_shapes_over_64_bits() {
+        // 5 modes x 14 bits = 70 bits.
+        let dims = vec![1 << 14; 5];
+        assert!(!AltoTensor::encodable(&dims));
+        let mut coo = CooTensor::new(dims).unwrap();
+        coo.push(&[0, 0, 0, 0, 0], 1.0).unwrap();
+        assert!(AltoTensor::build(&coo).is_err());
+    }
+
+    #[test]
+    fn matches_reference_all_modes_orders_2_to_5() {
+        for (dims, nnz) in [
+            (vec![40usize, 25], 500usize),
+            (vec![12, 9, 15], 400),
+            (vec![8, 7, 6, 5], 350),
+            (vec![6, 5, 4, 5, 3], 300),
+        ] {
+            let coo = gen::random_uniform(&dims, nnz, 11).unwrap();
+            let factors = random_factors(&dims, 4, 12);
+            let alto = AltoTensor::build(&coo).unwrap();
+            for mode in 0..dims.len() {
+                let mut out = DMat::zeros(dims[mode], 4);
+                alto.mttkrp_into(mode, &factors, &mut out).unwrap();
+                let want = mttkrp_reference(&coo, &factors, mode).unwrap();
+                assert_close(&out, &want, &format!("{}-mode, mode {mode}", dims.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_paths_are_bit_identical() {
+        let dims = vec![30usize, 22, 17];
+        let coo = gen::random_uniform(&dims, 1_500, 7).unwrap();
+        let factors = random_factors(&dims, 9, 8); // odd rank exercises tails
+        let alto = AltoTensor::build(&coo).unwrap();
+        let mut levels = vec![SimdLevel::Scalar];
+        let best = SimdLevel::best_available();
+        if best >= SimdLevel::Avx2 {
+            levels.push(SimdLevel::Avx2);
+        }
+        if best >= SimdLevel::Avx512 {
+            levels.push(SimdLevel::Avx512);
+        }
+        for mode in 0..3 {
+            let mut base = DMat::zeros(dims[mode], 9);
+            alto.mttkrp_with_level(mode, &factors, &mut base, SimdLevel::Scalar)
+                .unwrap();
+            for &lv in &levels[1..] {
+                let mut out = DMat::zeros(dims[mode], 9);
+                alto.mttkrp_with_level(mode, &factors, &mut out, lv).unwrap();
+                assert_eq!(
+                    base.max_abs_diff(&out),
+                    0.0,
+                    "mode {mode}: scalar vs {lv:?} differ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_cover_nonzeros_and_intervals_bound_rows() {
+        let dims = vec![19usize, 8, 33];
+        let coo = gen::random_uniform(&dims, 900, 5).unwrap();
+        let alto = AltoTensor::build(&coo).unwrap();
+        let covered: usize = alto.blocks().iter().map(|b| b.len()).sum();
+        assert_eq!(covered, coo.nnz());
+        for w in alto.blocks().windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        for m in 0..3 {
+            for (b, blk) in alto.blocks().iter().enumerate() {
+                let (lo, hi) = alto.block_interval(m, b);
+                for n in blk.clone() {
+                    let c = simd::extract_bits(alto.linearized()[n], alto.masks()[m]) as u32;
+                    assert!(lo <= c && c < hi);
+                }
+                if alto.block_conflict_free(m, b) {
+                    for (o, _) in alto.blocks().iter().enumerate() {
+                        if o != b {
+                            let (olo, ohi) = alto.block_interval(m, o);
+                            assert!(ohi <= lo || hi <= olo, "conflict-free block overlaps");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grow_dims_within_bit_budget_keeps_layout() {
+        let dims = vec![10usize, 12, 9];
+        let coo = gen::random_uniform(&dims, 300, 13).unwrap();
+        let mut alto = AltoTensor::build(&coo).unwrap();
+        let before = alto.masks().to_vec();
+        // 10 -> 13 stays within 4 bits; 12 -> 16 stays within 4 bits.
+        alto.grow_dims(&[13, 16, 9]).unwrap();
+        assert_eq!(alto.masks(), &before[..]);
+        let factors = random_factors(&[13, 16, 9], 3, 14);
+        let mut out = DMat::zeros(13, 3);
+        alto.mttkrp_into(0, &factors, &mut out).unwrap();
+        let mut grown = coo.clone();
+        grown.grow_mode(0, 13).unwrap();
+        grown.grow_mode(1, 16).unwrap();
+        let want = mttkrp_reference(&grown, &factors, 0).unwrap();
+        assert_close(&out, &want, "grown within budget");
+    }
+
+    #[test]
+    fn grow_dims_past_bit_budget_re_encodes() {
+        let dims = vec![10usize, 12, 9];
+        let coo = gen::random_uniform(&dims, 300, 17).unwrap();
+        let mut alto = AltoTensor::build(&coo).unwrap();
+        let new_dims = vec![40usize, 12, 9]; // 4 -> 6 bits on mode 0
+        alto.grow_dims(&new_dims).unwrap();
+        let factors = random_factors(&new_dims, 3, 18);
+        let mut grown = coo.clone();
+        grown.grow_mode(0, 40).unwrap();
+        for mode in 0..3 {
+            let mut out = DMat::zeros(new_dims[mode], 3);
+            alto.mttkrp_into(mode, &factors, &mut out).unwrap();
+            let want = mttkrp_reference(&grown, &factors, mode).unwrap();
+            assert_close(&out, &want, &format!("re-encoded mode {mode}"));
+        }
+        // Shrinking is rejected.
+        assert!(alto.grow_dims(&[10, 12, 9]).is_err());
+    }
+
+    #[test]
+    fn rank_change_relayouts_and_stays_correct() {
+        let dims = vec![14usize, 11, 13];
+        let coo = gen::random_uniform(&dims, 400, 19).unwrap();
+        let alto = AltoTensor::build(&coo).unwrap();
+        for rank in [3usize, 7, 2] {
+            let factors = random_factors(&dims, rank, 20 + rank as u64);
+            for mode in 0..3 {
+                let mut out = DMat::zeros(dims[mode], rank);
+                alto.mttkrp_into(mode, &factors, &mut out).unwrap();
+                let want = mttkrp_reference(&coo, &factors, mode).unwrap();
+                assert_close(&out, &want, &format!("rank {rank}, mode {mode}"));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let dims = vec![6usize, 5, 4];
+        let coo = gen::random_uniform(&dims, 100, 23).unwrap();
+        let alto = AltoTensor::build(&coo).unwrap();
+        let factors = random_factors(&dims, 3, 24);
+        let mut bad_rows = DMat::zeros(7, 3);
+        assert!(alto.mttkrp_into(0, &factors, &mut bad_rows).is_err());
+        let mut out = DMat::zeros(6, 3);
+        let short: Vec<DMat> = factors[..2].to_vec();
+        assert!(alto.mttkrp_into(0, &short, &mut out).is_err());
+    }
+
+    #[test]
+    fn duplicate_coordinates_accumulate() {
+        let mut coo = CooTensor::new(vec![4, 4]).unwrap();
+        coo.push(&[1, 2], 2.0).unwrap();
+        coo.push(&[1, 2], 3.0).unwrap();
+        coo.push(&[0, 0], 1.0).unwrap();
+        let alto = AltoTensor::build(&coo).unwrap();
+        let factors = random_factors(&[4, 4], 2, 31);
+        let mut out = DMat::zeros(4, 2);
+        alto.mttkrp_into(0, &factors, &mut out).unwrap();
+        let want = mttkrp_reference(&coo, &factors, 0).unwrap();
+        assert_close(&out, &want, "duplicates");
+    }
+}

@@ -31,6 +31,18 @@ pub enum CsfPolicy {
     /// instead of `nmodes` times. Requires at least three modes —
     /// matrices fall back to `PerMode`.
     DimTree,
+    /// The ALTO linearized substrate ([`crate::alto`]): one sorted copy
+    /// of the nonzeros as bit-interleaved indices serving every mode,
+    /// with SIMD delinearize+accumulate kernels. Requires the shape to
+    /// linearize into 64 bits — otherwise falls back to `PerMode`.
+    Alto,
+    /// Pick between the other policies at setup from tensor statistics
+    /// (see [`crate::mttkrp_plan::choose_policy`]): ALTO for skewed or
+    /// high-order encodable tensors, a dimension tree for other
+    /// higher-order tensors, per-mode CSFs otherwise. The resolved
+    /// choice is observable per mode via
+    /// [`crate::trace::ModeRecord::mttkrp_strategy`].
+    Auto,
 }
 
 /// A per-outer-iteration progress callback (see [`Factorizer::progress`]).

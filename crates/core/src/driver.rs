@@ -17,6 +17,7 @@
 //! the outer tolerance (paper: 1e-6) or the iteration cap (paper: 200)
 //! is reached.
 
+use crate::alto::AltoTensor;
 use crate::config::{CsfPolicy, Factorizer};
 use crate::dimtree::IterationPlan;
 use crate::error::AoAdmmError;
@@ -144,6 +145,7 @@ impl PreparedTensor {
             }
             CsfSet::One(csf, _) => csf.grow_dims(new_dims)?,
             CsfSet::Tree(plan) => plan.get_mut().grow_dims(new_dims)?,
+            CsfSet::Alto(alto) => alto.grow_dims(new_dims)?,
         }
         self.dims = new_dims.to_vec();
         Ok(())
@@ -194,10 +196,17 @@ enum CsfSet {
     // interface. The outer loop serves modes sequentially, so the lock
     // is uncontended.
     Tree(Mutex<IterationPlan>),
+    // The ALTO linearized substrate manages its own interior-mutable
+    // scratch arena; one structure serves every mode.
+    Alto(AltoTensor),
 }
 
 impl CsfSet {
     fn build(tensor: &CooTensor, policy: CsfPolicy) -> Result<Self, AoAdmmError> {
+        let policy = match policy {
+            CsfPolicy::Auto => crate::mttkrp_plan::choose_policy(tensor),
+            p => p,
+        };
         match policy {
             CsfPolicy::One if tensor.nmodes() == 3 => {
                 // Root at the shortest mode for maximal prefix sharing.
@@ -208,6 +217,9 @@ impl CsfSet {
             }
             CsfPolicy::DimTree if tensor.nmodes() >= 3 => {
                 Ok(CsfSet::Tree(Mutex::new(IterationPlan::build(tensor)?)))
+            }
+            CsfPolicy::Alto if AltoTensor::encodable(tensor.dims()) => {
+                Ok(CsfSet::Alto(AltoTensor::build(tensor)?))
             }
             _ => Ok(CsfSet::PerMode(build_mode_plans(tensor)?)),
         }
@@ -267,6 +279,7 @@ impl CsfSet {
                     slab_misses: tree.misses,
                 })
             }
+            CsfSet::Alto(alto) => alto.mttkrp(mode, factors, cfg, out),
         }
     }
 }
@@ -806,6 +819,88 @@ mod tests {
             .modes
             .iter()
             .all(|r| r.slab_hits == 0 && r.slab_misses == 0));
+    }
+
+    #[test]
+    fn alto_policy_matches_per_mode() {
+        let t = small_tensor();
+        let run = |policy: CsfPolicy| {
+            Factorizer::new(5)
+                .constrain_all(constraints::nonneg())
+                .csf_policy(policy)
+                .max_outer(6)
+                .seed(8)
+                .factorize(&t)
+                .unwrap()
+        };
+        let per_mode = run(CsfPolicy::PerMode);
+        let alto = run(CsfPolicy::Alto);
+        assert!(
+            (per_mode.trace.final_error - alto.trace.final_error).abs() < 1e-8,
+            "{} vs {}",
+            per_mode.trace.final_error,
+            alto.trace.final_error
+        );
+        for m in 0..3 {
+            assert!(per_mode.model.factor(m).max_abs_diff(alto.model.factor(m)) < 1e-6);
+        }
+        // The trace reports the substrate per mode, so --csf decisions
+        // are observable downstream.
+        let last = alto.trace.iterations.last().unwrap();
+        assert!(last
+            .modes
+            .iter()
+            .all(|r| r.mttkrp_strategy == Some(PlanStrategy::Alto)));
+    }
+
+    #[test]
+    fn auto_policy_resolves_and_factorizes() {
+        // A skewed tensor auto-selects ALTO; the run must agree with the
+        // explicit per-mode baseline.
+        let mut cfg = PlantedConfig::small();
+        cfg.zipf_exponents = vec![1.4, 0.0, 0.0];
+        let t = planted(&cfg).unwrap();
+        let run = |policy: CsfPolicy| {
+            Factorizer::new(4)
+                .csf_policy(policy)
+                .max_outer(4)
+                .seed(5)
+                .factorize(&t)
+                .unwrap()
+        };
+        let per_mode = run(CsfPolicy::PerMode);
+        let auto = run(CsfPolicy::Auto);
+        assert!(
+            (per_mode.trace.final_error - auto.trace.final_error).abs() < 1e-8,
+            "{} vs {}",
+            per_mode.trace.final_error,
+            auto.trace.final_error
+        );
+    }
+
+    #[test]
+    fn alto_policy_works_on_four_modes() {
+        let mut cfg = PlantedConfig::small();
+        cfg.dims = vec![10, 8, 9, 7];
+        cfg.zipf_exponents = vec![0.5; 4];
+        cfg.nnz = 1_000;
+        let t = planted(&cfg).unwrap();
+        let run = |policy: CsfPolicy| {
+            Factorizer::new(4)
+                .csf_policy(policy)
+                .max_outer(4)
+                .seed(2)
+                .factorize(&t)
+                .unwrap()
+        };
+        let per_mode = run(CsfPolicy::PerMode);
+        let alto = run(CsfPolicy::Alto);
+        assert!(
+            (per_mode.trace.final_error - alto.trace.final_error).abs() < 1e-8,
+            "{} vs {}",
+            per_mode.trace.final_error,
+            alto.trace.final_error
+        );
     }
 
     #[test]

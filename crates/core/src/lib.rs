@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod als;
+pub mod alto;
 pub mod block_model;
 pub mod checkpoint;
 pub mod config;
@@ -59,8 +60,10 @@ pub mod mttkrp_plan;
 pub mod mttkrp_sparse;
 pub mod pgd;
 pub mod sparsity;
+pub mod substrate;
 pub mod trace;
 
+pub use alto::AltoTensor;
 pub use config::{CsfPolicy, Factorizer};
 pub use dimtree::{IterationPlan, TreeMttkrp};
 pub use driver::{
@@ -69,8 +72,11 @@ pub use driver::{
 };
 pub use error::AoAdmmError;
 pub use kruskal::KruskalModel;
-pub use mttkrp_plan::{build_mode_plans, MttkrpPlan, PlanOptions, PlanStats, PlanStrategy};
+pub use mttkrp_plan::{
+    build_mode_plans, choose_policy, MttkrpPlan, PlanOptions, PlanStats, PlanStrategy,
+};
 pub use sparsity::{SparsityConfig, SparsityDecision, Structure, StructureChoice};
+pub use substrate::DenseEngine;
 pub use trace::{FactorizeTrace, IterRecord, RefitRecord};
 
 /// Convenience re-exports for the common use cases: configure, choose

@@ -53,6 +53,12 @@ pub enum PlanStrategy {
     /// never executes it (a forced request falls back to
     /// [`PlanStrategy::RootParallel`]).
     DimTree,
+    /// Bit-interleaved linearized traversal over an
+    /// [`crate::alto::AltoTensor`] with SIMD accumulation. Like
+    /// [`PlanStrategy::DimTree`], this is a whole-substrate label for
+    /// traces — a per-CSF plan never executes it (a forced request falls
+    /// back to [`PlanStrategy::RootParallel`]).
+    Alto,
 }
 
 impl PlanStrategy {
@@ -62,6 +68,7 @@ impl PlanStrategy {
             PlanStrategy::RootParallel => "root-parallel",
             PlanStrategy::FiberPrivatized => "fiber-privatized",
             PlanStrategy::DimTree => "dim-tree",
+            PlanStrategy::Alto => "alto",
         }
     }
 }
@@ -164,7 +171,7 @@ impl MttkrpPlan {
         // normalize to the root traversal here.
         let strategy = match chosen {
             PlanStrategy::FiberPrivatized if csf.nmodes() != 3 => PlanStrategy::RootParallel,
-            PlanStrategy::DimTree => PlanStrategy::RootParallel,
+            PlanStrategy::DimTree | PlanStrategy::Alto => PlanStrategy::RootParallel,
             s => s,
         };
 
@@ -196,7 +203,9 @@ impl MttkrpPlan {
         };
 
         let chunks = match strategy {
-            PlanStrategy::RootParallel | PlanStrategy::DimTree => root_chunks.len(),
+            PlanStrategy::RootParallel | PlanStrategy::DimTree | PlanStrategy::Alto => {
+                root_chunks.len()
+            }
             PlanStrategy::FiberPrivatized => fiber_chunks.len(),
         };
         MttkrpPlan {
@@ -279,6 +288,94 @@ fn choose_strategy(
     } else {
         PlanStrategy::RootParallel
     }
+}
+
+/// Headroom kept under ALTO's 64-bit linearized index so streaming
+/// growth ([`crate::alto::AltoTensor::grow_dims`]) rarely forces a
+/// rebuild — and never an un-encodable shape — right after `Auto`
+/// selected ALTO.
+const ALTO_AUTO_BIT_BUDGET: u32 = 56;
+
+/// Resolve [`CsfPolicy::Auto`] from tensor shape/nnz statistics — the
+/// substrate-level companion of the per-CSF [`choose_strategy`] cost
+/// model.
+///
+/// The decision ladder, justified by the per-substrate cost structure:
+///
+/// 1. **ALTO** when the shape linearizes comfortably into 64 bits
+///    (≤ [`ALTO_AUTO_BIT_BUDGET`] bits), the tensor is *skewed* — some
+///    mode's heaviest slice holds ≥ `ALTO_SKEW_RATIO`× the mean slice
+///    nonzero count — and fibers are *incompressible*: the expected
+///    nonzeros per fiber in the CSF's best orientation stays below
+///    [`ALTO_FIBER_DUP_MAX`]. Skew starves the CSF root-parallel
+///    schedule (one root subtree dominates a chunk) while ALTO's
+///    nnz-balanced blocks are oblivious to it; but when side modes are
+///    short, the CSF amortizes whole Hadamard chains over long fibers —
+///    a structural saving ALTO's per-nonzero kernels cannot match, so
+///    compressible tensors stay on CSF regardless of skew.
+/// 2. **Dimension tree** for other tensors of order ≥ 4, where reusing
+///    partial Khatri-Rao slabs across modes cuts tensor traversals the
+///    most.
+/// 3. **Per-mode CSF** otherwise (the long-fiber-friendly default).
+pub fn choose_policy(tensor: &CooTensor) -> crate::config::CsfPolicy {
+    use crate::config::CsfPolicy;
+    let dims = tensor.dims();
+    let nnz = tensor.nnz();
+    let nmodes = dims.len();
+    if nmodes >= 2
+        && nnz > 0
+        && crate::alto::required_bits(dims) <= ALTO_AUTO_BIT_BUDGET
+        && tensor_is_skewed(tensor)
+        && fibers_incompressible(tensor)
+    {
+        return CsfPolicy::Alto;
+    }
+    if nmodes >= 4 {
+        CsfPolicy::DimTree
+    } else {
+        CsfPolicy::PerMode
+    }
+}
+
+/// Expected nonzeros per fiber (under a uniform-occupancy estimate, in
+/// the CSF orientation that compresses best — leaf on the longest mode)
+/// above which the CSF's amortize-over-the-fiber structure beats ALTO's
+/// per-nonzero kernels. Measured on the `alto_speedup` harness: skewed
+/// tensors with short side modes sit at 50×+ duplication and run ~1.3×
+/// faster on the per-mode CSF; hyper-sparse ones sit below 1 and run
+/// 1.3–2× faster on ALTO.
+const ALTO_FIBER_DUP_MAX: f64 = 4.0;
+
+/// Estimate the best-case CSF fiber duplication `nnz / #fiber-slots`,
+/// maximized over the leaf-mode choice — i.e. `nnz * max_dim /
+/// total_cells` — and compare against [`ALTO_FIBER_DUP_MAX`].
+fn fibers_incompressible(tensor: &CooTensor) -> bool {
+    let cells: f64 = tensor.dims().iter().map(|&d| d as f64).product();
+    let max_dim = tensor.dims().iter().copied().max().unwrap_or(1) as f64;
+    if cells <= 0.0 {
+        return false;
+    }
+    tensor.nnz() as f64 * max_dim / cells <= ALTO_FIBER_DUP_MAX
+}
+
+/// Heaviest-slice-to-mean ratio above which a mode counts as skewed for
+/// [`choose_policy`]. Uniform random tensors sit near 1–3× (Poisson
+/// tail); Zipf-distributed modes reach tens to thousands.
+const ALTO_SKEW_RATIO: f64 = 8.0;
+
+fn tensor_is_skewed(tensor: &CooTensor) -> bool {
+    let nnz = tensor.nnz() as f64;
+    tensor.dims().iter().enumerate().any(|(m, &d)| {
+        if d == 0 {
+            return false;
+        }
+        let max = tensor
+            .slice_counts(m)
+            .into_iter()
+            .max()
+            .unwrap_or(0) as f64;
+        max * d as f64 >= ALTO_SKEW_RATIO * nnz
+    })
 }
 
 /// Split `0..n` (where `prefix` has length `n + 1` and `prefix[i]` is the
@@ -496,10 +593,39 @@ mod tests {
     }
 
     #[test]
+    fn choose_policy_walks_the_decision_ladder() {
+        use crate::config::CsfPolicy;
+        use sptensor::gen::{planted, PlantedConfig};
+
+        // Skewed AND hyper-sparse (large side modes, singleton fibers):
+        // ALTO.
+        let mut cfg = PlantedConfig::small();
+        cfg.dims = vec![800, 700, 600];
+        cfg.nnz = 3_000;
+        cfg.zipf_exponents = vec![1.4, 0.0, 0.0];
+        assert_eq!(choose_policy(&planted(&cfg).unwrap()), CsfPolicy::Alto);
+
+        // Skewed but compressible (short side modes give the CSF long
+        // fibers to amortize over): stays on the CSF family.
+        let mut cfg = PlantedConfig::small();
+        cfg.dims = vec![2000, 12, 10];
+        cfg.nnz = 30_000;
+        cfg.zipf_exponents = vec![1.3, 0.0, 0.0];
+        assert_eq!(choose_policy(&planted(&cfg).unwrap()), CsfPolicy::PerMode);
+
+        // Uniform 4-mode: dimension tree. Uniform 3-mode: per-mode.
+        let t = sptensor::gen::random_uniform(&[20, 18, 16, 14], 4_000, 7).unwrap();
+        assert_eq!(choose_policy(&t), CsfPolicy::DimTree);
+        let t = sptensor::gen::random_uniform(&[40, 30, 20], 3_000, 8).unwrap();
+        assert_eq!(choose_policy(&t), CsfPolicy::PerMode);
+    }
+
+    #[test]
     fn strategy_names_are_stable() {
         assert_eq!(PlanStrategy::RootParallel.name(), "root-parallel");
         assert_eq!(PlanStrategy::FiberPrivatized.name(), "fiber-privatized");
         assert_eq!(PlanStrategy::DimTree.name(), "dim-tree");
+        assert_eq!(PlanStrategy::Alto.name(), "alto");
     }
 
     #[test]

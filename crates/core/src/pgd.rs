@@ -19,12 +19,11 @@
 //! normal-equations solve), which is exactly why the paper builds on
 //! AO-ADMM. The `baselines` harness binary quantifies that gap.
 
-use crate::config::Factorizer;
-use crate::dimtree::IterationPlan;
+use crate::config::{CsfPolicy, Factorizer};
 use crate::error::AoAdmmError;
 use crate::kruskal::{relative_error_fast, KruskalModel};
-use crate::mttkrp_plan::{build_mode_plans, PlanStrategy};
 use crate::sparsity::{SparsityDecision, Structure};
+use crate::substrate::DenseEngine;
 use crate::trace::{FactorizeTrace, IterRecord, ModeRecord};
 use crate::FactorizeResult;
 use rand::SeedableRng;
@@ -53,8 +52,11 @@ pub struct PgdConfig {
     pub seed: u64,
     /// Serve MTTKRP from a dimension-tree plan ([`crate::dimtree`])
     /// instead of per-mode CSFs. Ignored for tensors with fewer than
-    /// three modes.
+    /// three modes, and overridden by `csf_policy` when that is set.
     pub use_dimtree: bool,
+    /// Full substrate policy ([`CsfPolicy`], including `Alto` and
+    /// `Auto`). `None` keeps the legacy `use_dimtree` mapping.
+    pub csf_policy: Option<CsfPolicy>,
 }
 
 impl Default for PgdConfig {
@@ -67,6 +69,7 @@ impl Default for PgdConfig {
             step_safety: 1.0,
             seed: 0,
             use_dimtree: false,
+            csf_policy: None,
         }
     }
 }
@@ -104,19 +107,14 @@ pub fn pgd_factorize(
     let dims = tensor.dims().to_vec();
     let t0 = Instant::now();
 
-    // MTTKRP engine: dimension-tree plan or per-mode CSFs with their
-    // execution plans, built once and reused across every outer
-    // iteration (see als.rs).
-    let mut tree = if cfg.use_dimtree && nmodes >= 3 {
-        Some(IterationPlan::build(tensor)?)
+    // MTTKRP engine (dimension tree, per-mode CSFs, or ALTO), built
+    // once and reused across every outer iteration (see als.rs).
+    let policy = cfg.csf_policy.unwrap_or(if cfg.use_dimtree {
+        CsfPolicy::DimTree
     } else {
-        None
-    };
-    let csfs = if tree.is_some() {
-        Vec::new()
-    } else {
-        build_mode_plans(tensor)?
-    };
+        CsfPolicy::PerMode
+    });
+    let mut engine = DenseEngine::build(tensor, policy)?;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut factors: Vec<DMat> = dims
         .iter()
@@ -153,21 +151,8 @@ pub fn pgd_factorize(
             let gram = &gram_buf;
 
             let tm = Instant::now();
-            let (strategy, slab_hits, slab_misses) = match tree.as_mut() {
-                Some(plan) => {
-                    let t = plan.mttkrp_dense(m, &factors, &mut kbufs[m])?;
-                    (PlanStrategy::DimTree, t.hits, t.misses)
-                }
-                None => {
-                    crate::mttkrp::mttkrp_dense_planned(
-                        &csfs[m].0,
-                        &csfs[m].1,
-                        &factors,
-                        &mut kbufs[m],
-                    )?;
-                    (csfs[m].1.strategy(), 0, 0)
-                }
-            };
+            let (strategy, slab_hits, slab_misses) =
+                engine.mttkrp_dense(m, &factors, &mut kbufs[m])?;
             let mttkrp_time = tm.elapsed();
 
             let ta = Instant::now();
@@ -218,9 +203,7 @@ pub fn pgd_factorize(
             }
             let grad_time = ta.elapsed();
 
-            if let Some(plan) = tree.as_mut() {
-                plan.note_factor_changed(m);
-            }
+            engine.note_factor_changed(m);
 
             panel::gram_into(&factors[m], &mut lin_ws, &mut grams[m])?;
             if m == nmodes - 1 {
@@ -283,6 +266,7 @@ pub fn pgd_factorize(
 mod tests {
     use super::*;
     use admm::constraints;
+    use crate::mttkrp_plan::PlanStrategy;
     use sptensor::gen::{planted, PlantedConfig};
 
     fn tensor() -> CooTensor {
@@ -379,6 +363,39 @@ mod tests {
             last.modes.iter().any(|r| r.slab_hits > 0),
             "steady state should reuse slabs"
         );
+    }
+
+    #[test]
+    fn pgd_alto_matches_per_mode() {
+        let t = tensor();
+        let fz = Factorizer::new(6).constrain_all(constraints::nonneg());
+        let cfg = PgdConfig {
+            rank: 6,
+            max_outer: 10,
+            seed: 4,
+            ..Default::default()
+        };
+        let flat = pgd_factorize(&t, &fz, &cfg).unwrap();
+        let alto = pgd_factorize(
+            &t,
+            &fz,
+            &PgdConfig {
+                csf_policy: Some(CsfPolicy::Alto),
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert!(
+            (flat.trace.final_error - alto.trace.final_error).abs() < 1e-7,
+            "flat {} vs alto {}",
+            flat.trace.final_error,
+            alto.trace.final_error
+        );
+        let last = alto.trace.iterations.last().unwrap();
+        assert!(last
+            .modes
+            .iter()
+            .all(|r| r.mttkrp_strategy == Some(PlanStrategy::Alto)));
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Shared MTTKRP substrate selection for the dense-factor drivers.
+//!
+//! The ALS and PGD baselines both need an "engine" that serves dense
+//! MTTKRP for every mode across many outer iterations. Historically each
+//! driver hand-rolled the same two-way choice (dimension tree vs
+//! per-mode CSFs); [`DenseEngine`] centralizes it and adds the ALTO
+//! linearized substrate ([`crate::alto`]) plus [`CsfPolicy::Auto`]
+//! cost-model resolution ([`crate::mttkrp_plan::choose_policy`]), so
+//! every driver — AO-ADMM via [`crate::driver::PreparedTensor`], ALS and
+//! PGD via this module — selects substrates through the same policy.
+//!
+//! [`CsfPolicy::One`] is a constrained-driver concept (its non-root
+//! modes run conflicting-update MTTKRP against a *sparse-aware* leaf);
+//! the dense drivers fall back to per-mode CSFs for it, mirroring the
+//! higher-order fallbacks documented on [`CsfPolicy`].
+
+use crate::alto::AltoTensor;
+use crate::config::CsfPolicy;
+use crate::dimtree::IterationPlan;
+use crate::error::AoAdmmError;
+use crate::mttkrp::mttkrp_dense_planned;
+use crate::mttkrp_plan::{build_mode_plans, choose_policy, MttkrpPlan, PlanStrategy};
+use splinalg::DMat;
+use sptensor::{CooTensor, Csf};
+
+/// MTTKRP engine for drivers whose factors stay dense (ALS, PGD):
+/// per-mode CSFs, a dimension-tree iteration plan, or the ALTO
+/// linearized substrate, chosen by [`CsfPolicy`].
+// One engine exists per run; boxing the large variants would only add a
+// pointer chase (same reasoning as the driver's CsfSet).
+#[allow(clippy::large_enum_variant)]
+pub enum DenseEngine {
+    /// One CSF + execution plan per mode.
+    PerMode(Vec<(Csf, MttkrpPlan)>),
+    /// Dimension-tree plan with cross-mode memoized slabs.
+    Tree(IterationPlan),
+    /// ALTO linearized tensor with SIMD accumulation.
+    Alto(AltoTensor),
+}
+
+impl DenseEngine {
+    /// Compile `tensor` under `policy`, resolving [`CsfPolicy::Auto`]
+    /// through the cost model and applying the documented fallbacks
+    /// (tree needs ≥ 3 modes, ALTO needs an encodable shape, `One` is
+    /// not a dense-driver substrate).
+    pub fn build(tensor: &CooTensor, policy: CsfPolicy) -> Result<Self, AoAdmmError> {
+        let policy = match policy {
+            CsfPolicy::Auto => choose_policy(tensor),
+            p => p,
+        };
+        match policy {
+            CsfPolicy::DimTree if tensor.nmodes() >= 3 => {
+                Ok(DenseEngine::Tree(IterationPlan::build(tensor)?))
+            }
+            CsfPolicy::Alto if AltoTensor::encodable(tensor.dims()) => {
+                Ok(DenseEngine::Alto(AltoTensor::build(tensor)?))
+            }
+            _ => Ok(DenseEngine::PerMode(build_mode_plans(tensor)?)),
+        }
+    }
+
+    /// Dense MTTKRP for `mode`; returns the strategy label that ran plus
+    /// the (tree-path) slab hit/miss counters for the trace.
+    pub fn mttkrp_dense(
+        &mut self,
+        mode: usize,
+        factors: &[DMat],
+        out: &mut DMat,
+    ) -> Result<(PlanStrategy, u32, u32), AoAdmmError> {
+        match self {
+            DenseEngine::PerMode(csfs) => {
+                let (csf, plan) = &csfs[mode];
+                mttkrp_dense_planned(csf, plan, factors, out)?;
+                Ok((plan.strategy(), 0, 0))
+            }
+            DenseEngine::Tree(plan) => {
+                let t = plan.mttkrp_dense(mode, factors, out)?;
+                Ok((PlanStrategy::DimTree, t.hits, t.misses))
+            }
+            DenseEngine::Alto(alto) => {
+                alto.mttkrp_into(mode, factors, out)?;
+                Ok((PlanStrategy::Alto, 0, 0))
+            }
+        }
+    }
+
+    /// The driver rewrote `factors[mode]`; memoizing substrates drop
+    /// intermediates that read the old values (no-op elsewhere).
+    pub fn note_factor_changed(&mut self, mode: usize) {
+        if let DenseEngine::Tree(plan) = self {
+            plan.note_factor_changed(mode);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptensor::gen::{planted, PlantedConfig};
+
+    #[test]
+    fn engine_applies_documented_fallbacks() {
+        let t = planted(&PlantedConfig::small()).unwrap();
+        assert!(matches!(
+            DenseEngine::build(&t, CsfPolicy::PerMode).unwrap(),
+            DenseEngine::PerMode(_)
+        ));
+        assert!(matches!(
+            DenseEngine::build(&t, CsfPolicy::One).unwrap(),
+            DenseEngine::PerMode(_)
+        ));
+        assert!(matches!(
+            DenseEngine::build(&t, CsfPolicy::DimTree).unwrap(),
+            DenseEngine::Tree(_)
+        ));
+        assert!(matches!(
+            DenseEngine::build(&t, CsfPolicy::Alto).unwrap(),
+            DenseEngine::Alto(_)
+        ));
+        // Auto resolves to *some* substrate and builds.
+        assert!(DenseEngine::build(&t, CsfPolicy::Auto).is_ok());
+
+        let matrix = sptensor::gen::random_uniform(&[30, 20], 100, 3).unwrap();
+        assert!(matches!(
+            DenseEngine::build(&matrix, CsfPolicy::DimTree).unwrap(),
+            DenseEngine::PerMode(_)
+        ));
+    }
+
+    #[test]
+    fn engines_agree_on_dense_mttkrp() {
+        use rand::SeedableRng;
+        let t = planted(&PlantedConfig::small()).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let factors: Vec<DMat> = t
+            .dims()
+            .iter()
+            .map(|&d| DMat::random(d, 5, -1.0, 1.0, &mut rng))
+            .collect();
+        let mut engines = [
+            DenseEngine::build(&t, CsfPolicy::PerMode).unwrap(),
+            DenseEngine::build(&t, CsfPolicy::DimTree).unwrap(),
+            DenseEngine::build(&t, CsfPolicy::Alto).unwrap(),
+        ];
+        for mode in 0..t.nmodes() {
+            let mut outs: Vec<DMat> = Vec::new();
+            for e in &mut engines {
+                let mut out = DMat::zeros(t.dims()[mode], 5);
+                e.mttkrp_dense(mode, &factors, &mut out).unwrap();
+                outs.push(out);
+            }
+            for o in &outs[1..] {
+                assert!(
+                    outs[0].max_abs_diff(o) < 1e-9,
+                    "engines disagree on mode {mode}"
+                );
+            }
+        }
+    }
+}

@@ -295,7 +295,7 @@ mod tests {
 
     fn prediction(s: usize, rounds: usize) -> (CommPrediction, Partition, usize) {
         let t = gen::random_uniform(&[40, 30, 20], 600, 3).unwrap();
-        let part = Partition::build(&t, s);
+        let part = Partition::build(&t, s).unwrap();
         (CommPrediction::predict(&part, 5, rounds), part, 5)
     }
 
@@ -357,7 +357,7 @@ mod tests {
     fn cost_model_monotone_in_traffic() {
         let m = CostModel::default();
         let t = gen::random_uniform(&[40, 30, 20], 600, 3).unwrap();
-        let part = Partition::build(&t, 4);
+        let part = Partition::build(&t, 4).unwrap();
         let ledger = crate::msg::CommLedger::new(4, 2);
         let small = CommReport::from_ledger(&ledger, 4, 1);
         assert_eq!(m.estimate_seconds(&small), 0.0);

@@ -555,7 +555,7 @@ fn build_setup(
         return Err(AoAdmmError::Config("nshards must be positive".into()));
     }
     let rank = cfg.rank();
-    let part = Arc::new(Partition::build(tensor, sc.nshards));
+    let part = Arc::new(Partition::build(tensor, sc.nshards)?);
     let locals = part.split_tensor(tensor);
     let max_shard_nnz = locals.iter().map(CooTensor::nnz).max().unwrap_or(0);
     let xnorm_sq = tensor.norm_sq();

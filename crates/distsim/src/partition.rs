@@ -25,6 +25,7 @@
 //! where `max_slice_nnz` is the heaviest single slice of the split mode —
 //! the irreducible granularity of any contiguous 1D split.
 
+use aoadmm::AoAdmmError;
 use sptensor::CooTensor;
 use std::ops::Range;
 
@@ -40,19 +41,42 @@ pub struct Partition {
 
 impl Partition {
     /// Partition `tensor` over `nshards` shards, splitting along the
-    /// longest mode (ties break to the lowest mode index).
-    pub fn build(tensor: &CooTensor, nshards: usize) -> Self {
-        let split = (0..tensor.nmodes())
-            .max_by_key(|&m| (tensor.dims()[m], std::cmp::Reverse(m)))
-            .expect("tensors have >= 2 modes");
+    /// longest mode (ties break to the lowest mode index). Errors on a
+    /// tensor with fewer than two modes (a 1D split of a vector is
+    /// meaningless) or zero shards.
+    pub fn build(tensor: &CooTensor, nshards: usize) -> Result<Self, AoAdmmError> {
+        let Some(split) =
+            (0..tensor.nmodes()).max_by_key(|&m| (tensor.dims()[m], std::cmp::Reverse(m)))
+        else {
+            return Err(AoAdmmError::Config(
+                "cannot partition a tensor with no modes".into(),
+            ));
+        };
         Self::build_on_mode(tensor, split, nshards)
     }
 
     /// Partition along an explicit `split_mode` (tests and experiments;
     /// [`Partition::build`] picks the longest mode).
-    pub fn build_on_mode(tensor: &CooTensor, split_mode: usize, nshards: usize) -> Self {
-        assert!(nshards > 0, "need at least one shard");
-        assert!(split_mode < tensor.nmodes(), "split mode out of range");
+    pub fn build_on_mode(
+        tensor: &CooTensor,
+        split_mode: usize,
+        nshards: usize,
+    ) -> Result<Self, AoAdmmError> {
+        if tensor.nmodes() < 2 {
+            return Err(AoAdmmError::Config(format!(
+                "cannot partition a {}-mode tensor: sharding needs >= 2 modes",
+                tensor.nmodes()
+            )));
+        }
+        if nshards == 0 {
+            return Err(AoAdmmError::Config("need at least one shard".into()));
+        }
+        if split_mode >= tensor.nmodes() {
+            return Err(AoAdmmError::Config(format!(
+                "split mode {split_mode} out of range for a {}-mode tensor",
+                tensor.nmodes()
+            )));
+        }
         let nmodes = tensor.nmodes();
         let mut ranges = Vec::with_capacity(nmodes);
 
@@ -94,11 +118,11 @@ impl Partition {
                 ranges.push(v);
             }
         }
-        Partition {
+        Ok(Partition {
             nshards,
             split_mode,
             ranges,
-        }
+        })
     }
 
     /// Number of shards.
@@ -173,19 +197,19 @@ mod tests {
     #[test]
     fn splits_longest_mode() {
         let t = tensor();
-        assert_eq!(Partition::build(&t, 3).split_mode(), 0);
+        assert_eq!(Partition::build(&t, 3).unwrap().split_mode(), 0);
         let t2 = gen::random_uniform(&[10, 50, 20], 300, 4).unwrap();
-        assert_eq!(Partition::build(&t2, 3).split_mode(), 1);
+        assert_eq!(Partition::build(&t2, 3).unwrap().split_mode(), 1);
         // Tie breaks to the lowest mode index.
         let t3 = gen::random_uniform(&[30, 30, 10], 300, 5).unwrap();
-        assert_eq!(Partition::build(&t3, 2).split_mode(), 0);
+        assert_eq!(Partition::build(&t3, 2).unwrap().split_mode(), 0);
     }
 
     #[test]
     fn ranges_cover_and_are_disjoint() {
         let t = tensor();
         for p in [1usize, 2, 3, 7] {
-            let part = Partition::build(&t, p);
+            let part = Partition::build(&t, p).unwrap();
             for m in 0..3 {
                 let mut prev_end = 0usize;
                 let mut covered = 0usize;
@@ -204,7 +228,7 @@ mod tests {
     #[test]
     fn owner_matches_ranges() {
         let t = tensor();
-        let part = Partition::build(&t, 4);
+        let part = Partition::build(&t, 4).unwrap();
         for m in 0..3 {
             for i in 0..t.dims()[m] {
                 let p = part.owner(m, i);
@@ -216,7 +240,7 @@ mod tests {
     #[test]
     fn split_preserves_all_nonzeros() {
         let t = tensor();
-        let part = Partition::build(&t, 3);
+        let part = Partition::build(&t, 3).unwrap();
         let locals = part.split_tensor(&t);
         let total: usize = locals.iter().map(|l| l.nnz()).sum();
         assert_eq!(total, t.nnz());
@@ -244,7 +268,7 @@ mod tests {
         })
         .unwrap();
         for s in [2usize, 3, 4, 7] {
-            let part = Partition::build(&t, s);
+            let part = Partition::build(&t, s).unwrap();
             let locals = part.split_tensor(&t);
             let max = locals.iter().map(CooTensor::nnz).max().unwrap();
             let bound = part.nnz_balance_bound(&t);
@@ -253,9 +277,20 @@ mod tests {
     }
 
     #[test]
+    fn invalid_requests_return_typed_errors() {
+        // Regression: invalid partition requests used to abort via
+        // `expect`/`assert!`; they now surface as typed Config errors.
+        let t = tensor();
+        let err = Partition::build(&t, 0).unwrap_err();
+        assert!(err.to_string().contains("at least one shard"));
+        let err = Partition::build_on_mode(&t, 3, 2).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
     fn more_shards_than_slices_degenerates_gracefully() {
         let t = gen::random_uniform(&[10, 2, 10], 50, 1).unwrap();
-        let part = Partition::build_on_mode(&t, 1, 5);
+        let part = Partition::build_on_mode(&t, 1, 5).unwrap();
         let locals = part.split_tensor(&t);
         assert_eq!(locals.iter().map(CooTensor::nnz).sum::<usize>(), t.nnz());
         let mut end = 0;

@@ -46,7 +46,7 @@ impl ShardedSource {
         if nshards == 0 {
             return Err(AoAdmmError::Config("nshards must be positive".into()));
         }
-        let part = Partition::build(tensor, nshards);
+        let part = Partition::build(tensor, nshards)?;
         let locals = part.split_tensor(tensor);
         let mut shards = Vec::with_capacity(nshards);
         for local in &locals {

@@ -28,6 +28,9 @@
 //! * [`bf16`] — bfloat16-packed factor copies ([`Bf16Mat`]) and the
 //!   reduced-precision scan kernel behind the serving tier's
 //!   approximate top-K (quantized scan, exact rescoring of survivors).
+//! * [`simd`] — runtime-dispatched AVX-512/AVX2/scalar f64 kernels with a
+//!   bit-exactness contract across paths, the inner loop of the ALTO
+//!   linearized MTTKRP substrate.
 
 #![warn(missing_docs)]
 
@@ -39,6 +42,7 @@ pub mod error;
 pub mod hybrid;
 pub mod ops;
 pub mod panel;
+pub mod simd;
 pub mod vecops;
 pub mod workspace;
 
@@ -48,6 +52,7 @@ pub use csr::CsrMatrix;
 pub use dense::DMat;
 pub use error::LinalgError;
 pub use hybrid::HybridMat;
+pub use simd::SimdLevel;
 pub use workspace::{SlabArena, SlabId, Workspace};
 
 /// Column/row index type used by sparse matrix structures.

@@ -1,0 +1,540 @@
+//! Runtime-dispatched f64 SIMD kernels for linearized-format MTTKRP.
+//!
+//! The ALTO substrate (`aoadmm::alto`) streams bit-interleaved nonzeros
+//! and, per nonzero, forms a rank-length Hadamard product of factor rows
+//! and folds it into an output row. Those rank-vector operations are the
+//! innermost loop of the whole factorization, so they get explicit
+//! AVX-512 / AVX2 / scalar variants here, dispatched at runtime the same
+//! way [`crate::bf16`] dispatches its serving scan.
+//!
+//! **Bit-exactness contract.** Every kernel computes each output element
+//! through the *same sequence of operations per element* in all three
+//! paths: plain multiplies/adds are lane-independent, and every
+//! multiply-accumulate is a *fused* multiply-add (single rounding) —
+//! `f64::mul_add` on the scalar path, `vfmadd` on the vector paths. A
+//! result therefore does not depend on which path ran, which is what
+//! lets the ALTO conformance suite demand `max_abs_diff == 0.0` between
+//! kernel paths and lets a heterogeneous fleet mix AVX-512 and AVX2
+//! machines without result drift.
+//!
+//! Dispatch is by [`SimdLevel`], detected once (typically at substrate
+//! build) and threaded through the hot loop; a level the running CPU
+//! cannot execute silently degrades to the scalar path, which is
+//! semantically invisible under the contract above. The `AOADMM_SIMD`
+//! environment variable (`scalar` / `avx2` / `avx512`) caps detection,
+//! so CI legs and benchmarks can pin a path.
+
+/// Instruction-set tier a kernel call runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable scalar loop (`f64::mul_add` for fused accumulation).
+    Scalar,
+    /// 256-bit AVX2 + FMA (4 doubles per vector).
+    Avx2,
+    /// 512-bit AVX-512F (8 doubles per vector).
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Detect the best level the running CPU supports, capped by the
+    /// `AOADMM_SIMD` environment variable when set (`scalar`, `avx2`,
+    /// `avx512`; unknown values are ignored).
+    pub fn detect() -> Self {
+        let best = Self::best_available();
+        match std::env::var("AOADMM_SIMD").as_deref() {
+            Ok("scalar") => SimdLevel::Scalar,
+            Ok("avx2") => best.min(SimdLevel::Avx2),
+            Ok("avx512") => best.min(SimdLevel::Avx512),
+            _ => best,
+        }
+    }
+
+    /// Best level the running CPU supports, ignoring the environment.
+    pub fn best_available() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return SimdLevel::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return SimdLevel::Avx2;
+            }
+        }
+        SimdLevel::Scalar
+    }
+
+    /// Short label for traces and benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+
+    /// True when the running CPU can execute this level's kernels.
+    fn runnable(self) -> bool {
+        self <= Self::best_available()
+    }
+}
+
+/// Extract the bits of `lin` selected by `mask`, compacted toward bit 0
+/// — the parallel-bit-extract (`pext`) operation the ALTO delinearizer
+/// uses to recover one mode's coordinate from a bit-interleaved index.
+/// Uses the BMI2 instruction when available; the software fallback is
+/// bit-for-bit identical (the operation is integral).
+#[inline]
+pub fn extract_bits(lin: u64, mask: u64) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("bmi2") {
+            // SAFETY: bmi2 support was just verified.
+            return unsafe { extract_bits_bmi2(lin, mask) };
+        }
+    }
+    extract_bits_sw(lin, mask)
+}
+
+/// Software parallel-bit-extract: walk the set bits of `mask` from the
+/// bottom, packing the selected bits of `lin` contiguously.
+#[inline]
+pub fn extract_bits_sw(lin: u64, mask: u64) -> u64 {
+    let mut out = 0u64;
+    let mut m = mask;
+    let mut shift = 0u32;
+    while m != 0 {
+        let bit = m & m.wrapping_neg();
+        if lin & bit != 0 {
+            out |= 1u64 << shift;
+        }
+        shift += 1;
+        m ^= bit;
+    }
+    out
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+unsafe fn extract_bits_bmi2(lin: u64, mask: u64) -> u64 {
+    std::arch::x86_64::_pext_u64(lin, mask)
+}
+
+/// `out = alpha * x` (plain multiply; lane-independent, so every path
+/// rounds identically).
+#[inline]
+pub fn scale(level: SimdLevel, alpha: f64, x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if level >= SimdLevel::Avx2 && level.runnable() {
+            // SAFETY: the level was verified runnable on this CPU.
+            unsafe {
+                match level {
+                    SimdLevel::Avx512 => scale_avx512(alpha, x, out),
+                    _ => scale_avx2(alpha, x, out),
+                }
+            }
+            return;
+        }
+    }
+    let _ = level;
+    scale_scalar(alpha, x, out);
+}
+
+/// `dst .*= src` (plain multiply).
+#[inline]
+pub fn mul_assign(level: SimdLevel, dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if level >= SimdLevel::Avx2 && level.runnable() {
+            // SAFETY: the level was verified runnable on this CPU.
+            unsafe {
+                match level {
+                    SimdLevel::Avx512 => mul_assign_avx512(dst, src),
+                    _ => mul_assign_avx2(dst, src),
+                }
+            }
+            return;
+        }
+    }
+    let _ = level;
+    mul_assign_scalar(dst, src);
+}
+
+/// `acc[i] = fma(a[i], b[i], acc[i])` — fused (single-rounding) on every
+/// path.
+#[inline]
+pub fn fmadd_acc(level: SimdLevel, a: &[f64], b: &[f64], acc: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), acc.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if level >= SimdLevel::Avx2 && level.runnable() {
+            // SAFETY: the level was verified runnable on this CPU.
+            unsafe {
+                match level {
+                    SimdLevel::Avx512 => fmadd_acc_avx512(a, b, acc),
+                    _ => fmadd_acc_avx2(a, b, acc),
+                }
+            }
+            return;
+        }
+    }
+    let _ = level;
+    fmadd_acc_scalar(a, b, acc);
+}
+
+/// `acc[i] = fma(alpha, x[i], acc[i])` — fused on every path (the
+/// two-mode / matrix case, where the Hadamard product degenerates to a
+/// scalar value).
+#[inline]
+pub fn axpy_fused(level: SimdLevel, alpha: f64, x: &[f64], acc: &mut [f64]) {
+    debug_assert_eq!(x.len(), acc.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if level >= SimdLevel::Avx2 && level.runnable() {
+            // SAFETY: the level was verified runnable on this CPU.
+            unsafe {
+                match level {
+                    SimdLevel::Avx512 => axpy_fused_avx512(alpha, x, acc),
+                    _ => axpy_fused_avx2(alpha, x, acc),
+                }
+            }
+            return;
+        }
+    }
+    let _ = level;
+    axpy_fused_scalar(alpha, x, acc);
+}
+
+/// `dst += src` (plain add) — the deterministic merge of privatized
+/// block partials into the output.
+#[inline]
+pub fn add_assign(level: SimdLevel, dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if level >= SimdLevel::Avx2 && level.runnable() {
+            // SAFETY: the level was verified runnable on this CPU.
+            unsafe {
+                match level {
+                    SimdLevel::Avx512 => add_assign_avx512(dst, src),
+                    _ => add_assign_avx2(dst, src),
+                }
+            }
+            return;
+        }
+    }
+    let _ = level;
+    add_assign_scalar(dst, src);
+}
+
+// ---- scalar paths -----------------------------------------------------
+
+fn scale_scalar(alpha: f64, x: &[f64], out: &mut [f64]) {
+    for (o, xi) in out.iter_mut().zip(x) {
+        *o = alpha * xi;
+    }
+}
+
+fn mul_assign_scalar(dst: &mut [f64], src: &[f64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d *= s;
+    }
+}
+
+fn fmadd_acc_scalar(a: &[f64], b: &[f64], acc: &mut [f64]) {
+    for ((c, x), y) in acc.iter_mut().zip(a).zip(b) {
+        *c = x.mul_add(*y, *c);
+    }
+}
+
+fn axpy_fused_scalar(alpha: f64, x: &[f64], acc: &mut [f64]) {
+    for (c, xi) in acc.iter_mut().zip(x) {
+        *c = alpha.mul_add(*xi, *c);
+    }
+}
+
+fn add_assign_scalar(dst: &mut [f64], src: &[f64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+// ---- AVX2 paths (4 doubles per vector) --------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn scale_avx2(alpha: f64, x: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let va = _mm256_set1_pd(alpha);
+    let mut i = 0;
+    while i + 4 <= n {
+        let vx = _mm256_loadu_pd(x.as_ptr().add(i));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_mul_pd(va, vx));
+        i += 4;
+    }
+    scale_scalar(alpha, &x[i..], &mut out[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn mul_assign_avx2(dst: &mut [f64], src: &[f64]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let vd = _mm256_loadu_pd(dst.as_ptr().add(i));
+        let vs = _mm256_loadu_pd(src.as_ptr().add(i));
+        _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_mul_pd(vd, vs));
+        i += 4;
+    }
+    mul_assign_scalar(&mut dst[i..], &src[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn fmadd_acc_avx2(a: &[f64], b: &[f64], acc: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = acc.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let va = _mm256_loadu_pd(a.as_ptr().add(i));
+        let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+        let vc = _mm256_loadu_pd(acc.as_ptr().add(i));
+        _mm256_storeu_pd(acc.as_mut_ptr().add(i), _mm256_fmadd_pd(va, vb, vc));
+        i += 4;
+    }
+    fmadd_acc_scalar(&a[i..], &b[i..], &mut acc[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_fused_avx2(alpha: f64, x: &[f64], acc: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = acc.len();
+    let va = _mm256_set1_pd(alpha);
+    let mut i = 0;
+    while i + 4 <= n {
+        let vx = _mm256_loadu_pd(x.as_ptr().add(i));
+        let vc = _mm256_loadu_pd(acc.as_ptr().add(i));
+        _mm256_storeu_pd(acc.as_mut_ptr().add(i), _mm256_fmadd_pd(va, vx, vc));
+        i += 4;
+    }
+    axpy_fused_scalar(alpha, &x[i..], &mut acc[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn add_assign_avx2(dst: &mut [f64], src: &[f64]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let vd = _mm256_loadu_pd(dst.as_ptr().add(i));
+        let vs = _mm256_loadu_pd(src.as_ptr().add(i));
+        _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_add_pd(vd, vs));
+        i += 4;
+    }
+    add_assign_scalar(&mut dst[i..], &src[i..]);
+}
+
+// ---- AVX-512 paths (8 doubles per vector) -----------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn scale_avx512(alpha: f64, x: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let va = _mm512_set1_pd(alpha);
+    let mut i = 0;
+    while i + 8 <= n {
+        let vx = _mm512_loadu_pd(x.as_ptr().add(i));
+        _mm512_storeu_pd(out.as_mut_ptr().add(i), _mm512_mul_pd(va, vx));
+        i += 8;
+    }
+    scale_scalar(alpha, &x[i..], &mut out[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn mul_assign_avx512(dst: &mut [f64], src: &[f64]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let vd = _mm512_loadu_pd(dst.as_ptr().add(i));
+        let vs = _mm512_loadu_pd(src.as_ptr().add(i));
+        _mm512_storeu_pd(dst.as_mut_ptr().add(i), _mm512_mul_pd(vd, vs));
+        i += 8;
+    }
+    mul_assign_scalar(&mut dst[i..], &src[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn fmadd_acc_avx512(a: &[f64], b: &[f64], acc: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = acc.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let va = _mm512_loadu_pd(a.as_ptr().add(i));
+        let vb = _mm512_loadu_pd(b.as_ptr().add(i));
+        let vc = _mm512_loadu_pd(acc.as_ptr().add(i));
+        _mm512_storeu_pd(acc.as_mut_ptr().add(i), _mm512_fmadd_pd(va, vb, vc));
+        i += 8;
+    }
+    fmadd_acc_scalar(&a[i..], &b[i..], &mut acc[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_fused_avx512(alpha: f64, x: &[f64], acc: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = acc.len();
+    let va = _mm512_set1_pd(alpha);
+    let mut i = 0;
+    while i + 8 <= n {
+        let vx = _mm512_loadu_pd(x.as_ptr().add(i));
+        let vc = _mm512_loadu_pd(acc.as_ptr().add(i));
+        _mm512_storeu_pd(acc.as_mut_ptr().add(i), _mm512_fmadd_pd(va, vx, vc));
+        i += 8;
+    }
+    axpy_fused_scalar(alpha, &x[i..], &mut acc[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn add_assign_avx512(dst: &mut [f64], src: &[f64]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let vd = _mm512_loadu_pd(dst.as_ptr().add(i));
+        let vs = _mm512_loadu_pd(src.as_ptr().add(i));
+        _mm512_storeu_pd(dst.as_mut_ptr().add(i), _mm512_add_pd(vd, vs));
+        i += 8;
+    }
+    add_assign_scalar(&mut dst[i..], &src[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        // Small deterministic pseudo-random data; no rand dependency here.
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let a: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let c: Vec<f64> = (0..n).map(|_| next()).collect();
+        (a, b, c)
+    }
+
+    fn levels() -> Vec<SimdLevel> {
+        let mut l = vec![SimdLevel::Scalar];
+        let best = SimdLevel::best_available();
+        if best >= SimdLevel::Avx2 {
+            l.push(SimdLevel::Avx2);
+        }
+        if best >= SimdLevel::Avx512 {
+            l.push(SimdLevel::Avx512);
+        }
+        l
+    }
+
+    #[test]
+    fn all_levels_bit_identical_across_lengths() {
+        // Odd lengths exercise the tails; results must be *exactly* equal.
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 11, 16, 33, 64] {
+            let (a, b, c) = vecs(n, n as u64 + 1);
+            for level in levels() {
+                let mut out_s = vec![0.0; n];
+                let mut out_l = vec![0.0; n];
+                scale(SimdLevel::Scalar, 1.7, &a, &mut out_s);
+                scale(level, 1.7, &a, &mut out_l);
+                assert_eq!(out_s, out_l, "scale n={n} {level:?}");
+
+                let mut d_s = a.clone();
+                let mut d_l = a.clone();
+                mul_assign(SimdLevel::Scalar, &mut d_s, &b);
+                mul_assign(level, &mut d_l, &b);
+                assert_eq!(d_s, d_l, "mul_assign n={n} {level:?}");
+
+                let mut acc_s = c.clone();
+                let mut acc_l = c.clone();
+                fmadd_acc(SimdLevel::Scalar, &a, &b, &mut acc_s);
+                fmadd_acc(level, &a, &b, &mut acc_l);
+                assert_eq!(acc_s, acc_l, "fmadd_acc n={n} {level:?}");
+
+                let mut acc_s = c.clone();
+                let mut acc_l = c.clone();
+                axpy_fused(SimdLevel::Scalar, -0.3, &a, &mut acc_s);
+                axpy_fused(level, -0.3, &a, &mut acc_l);
+                assert_eq!(acc_s, acc_l, "axpy_fused n={n} {level:?}");
+
+                let mut acc_s = c.clone();
+                let mut acc_l = c.clone();
+                add_assign(SimdLevel::Scalar, &mut acc_s, &b);
+                add_assign(level, &mut acc_l, &b);
+                assert_eq!(acc_s, acc_l, "add_assign n={n} {level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fmadd_is_fused_not_mul_then_add() {
+        // (2^27+1)^2 = 2^54 + 2^28 + 1: the +1 is below the rounded
+        // product's ulp (4 at that magnitude), so a*b rounds to
+        // 2^54 + 2^28 and unfused subtraction cancels to 0, while a
+        // fused multiply-add keeps the exact product and yields 1 —
+        // verifies the scalar path really goes through f64::mul_add.
+        let x = (1u64 << 27) as f64 + 1.0;
+        let c = -(((1u64 << 54) + (1u64 << 28)) as f64);
+        let a = [x];
+        let b = [x];
+        let mut acc = [c];
+        fmadd_acc(SimdLevel::Scalar, &a, &b, &mut acc);
+        let fused = x.mul_add(x, c);
+        let unfused = x * x + c;
+        assert_eq!(acc[0], fused);
+        assert_eq!(fused, 1.0);
+        assert_eq!(unfused, 0.0);
+        assert_ne!(fused, unfused, "test case does not discriminate");
+    }
+
+    #[test]
+    fn extract_bits_matches_software_reference() {
+        let cases = [
+            (0u64, 0u64),
+            (u64::MAX, u64::MAX),
+            (0xdead_beef_cafe_f00d, 0x5555_5555_5555_5555),
+            (0xdead_beef_cafe_f00d, 0xaaaa_aaaa_aaaa_aaaa),
+            (0x0123_4567_89ab_cdef, 0xffff_0000_ffff_0000),
+            (0x8000_0000_0000_0001, 0x8000_0000_0000_0001),
+        ];
+        for (lin, mask) in cases {
+            assert_eq!(extract_bits(lin, mask), extract_bits_sw(lin, mask));
+        }
+        // Identity and annihilation.
+        assert_eq!(extract_bits(0x1234, u64::MAX), 0x1234);
+        assert_eq!(extract_bits(0x1234, 0), 0);
+    }
+
+    #[test]
+    fn detect_returns_a_runnable_level() {
+        let l = SimdLevel::detect();
+        assert!(l <= SimdLevel::best_available());
+        assert!(!l.name().is_empty());
+    }
+}

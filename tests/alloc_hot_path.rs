@@ -195,6 +195,44 @@ fn dimtree_steady_state_sweeps_do_not_allocate() {
 }
 
 #[test]
+fn alto_steady_state_sweeps_do_not_allocate() {
+    // The ALTO substrate sizes its scratch arena (per-block products +
+    // privatized partials for every mode) at the first MTTKRP of a given
+    // rank; after that, full AO-style sweeps over every mode must run
+    // entirely inside the arena, the frozen block schedule, and the
+    // deterministic merge loop.
+    use aoadmm::AltoTensor;
+    use rand::SeedableRng;
+    let t = sptensor::gen::random_uniform(&[18, 14, 10, 8], 900, 57).unwrap();
+    let rank = 6;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(58);
+    let factors: Vec<DMat> = t
+        .dims()
+        .iter()
+        .map(|&d| DMat::random(d, rank, -1.0, 1.0, &mut rng))
+        .collect();
+    let mut outs: Vec<DMat> = t.dims().iter().map(|&d| DMat::zeros(d, rank)).collect();
+    let alto = AltoTensor::build(&t).unwrap();
+
+    // Warm-up: scratch reaches its high-water mark for this rank.
+    for (mode, out) in outs.iter_mut().enumerate() {
+        alto.mttkrp_into(mode, &factors, out).unwrap();
+    }
+
+    let allocs = count_allocations(|| {
+        for _ in 0..3 {
+            for (mode, out) in outs.iter_mut().enumerate() {
+                alto.mttkrp_into(mode, &factors, out).unwrap();
+            }
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "3 steady-state ALTO sweeps allocated {allocs} times"
+    );
+}
+
+#[test]
 fn sharded_steady_state_rounds_do_not_allocate() {
     // The sharded engine's contract extends the workspace contract
     // across the wire: once the first rounds have sized every per-shard

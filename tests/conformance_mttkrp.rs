@@ -449,6 +449,116 @@ fn dimtree_rejects_matrices() {
     assert!(IterationPlan::build(&coo).is_err());
 }
 
+// ---- ALTO linearized substrate ----------------------------------------
+
+use aoadmm::AltoTensor;
+use splinalg::SimdLevel;
+
+/// Tensors the ALTO suite runs over: 2–5 modes, uniform and skewed.
+fn alto_zoo() -> Vec<CooTensor> {
+    vec![
+        gen::tensor(&[30, 20], 400, 801),
+        gen::skewed_tensor(&[60, 9], 900, 2.5, 802),
+        gen::tensor(&[14, 11, 9], 600, 803),
+        gen::skewed_tensor(&[40, 7, 25], 1_500, 3.0, 804),
+        gen::tensor(&[8, 7, 6, 5], 300, 805),
+        gen::skewed_tensor(&[12, 5, 9, 7], 900, 2.0, 806),
+        gen::tensor(&[6, 5, 4, 5, 3], 350, 807),
+        gen::skewed_tensor(&[9, 4, 6, 5, 4], 700, 2.0, 808),
+    ]
+}
+
+#[test]
+fn alto_matches_oracle_all_modes_all_threads() {
+    for (ti, coo) in alto_zoo().iter().enumerate() {
+        for mode in 0..coo.nmodes() {
+            for threads in THREAD_SWEEP {
+                let p = pool(threads);
+                assert_matches_oracle(
+                    &format!("alto mttkrp, tensor {ti}, {threads} threads"),
+                    coo,
+                    mode,
+                    4,
+                    800 + ti as u64,
+                    |t, factors, mode| {
+                        let alto = AltoTensor::build(t).unwrap();
+                        let mut out = DMat::zeros(t.dims()[mode], 4);
+                        p.install(|| alto.mttkrp_into(mode, factors, &mut out))
+                            .unwrap();
+                        out
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn alto_is_bit_deterministic_across_pools_and_kernel_paths() {
+    // The block schedule and merge order are frozen at build, and every
+    // SIMD path carries the same f64::mul_add contraction — so any pool
+    // size crossed with any kernel path must land on identical bits.
+    // (Levels the CPU cannot run silently degrade to scalar, which is
+    // exactly the bit-exactness contract being checked.)
+    let coo = gen::skewed_tensor(&[9, 22, 18, 6], 1_200, 2.5, 881);
+    let factors = gen::factors(coo.dims(), 4, -1.0, 1.0, 882);
+    let alto = AltoTensor::build(&coo).unwrap();
+    let mut base: Vec<DMat> = Vec::new();
+    pool(1).install(|| {
+        for mode in 0..coo.nmodes() {
+            let mut out = DMat::zeros(coo.dims()[mode], 4);
+            alto.mttkrp_with_level(mode, &factors, &mut out, SimdLevel::Scalar)
+                .unwrap();
+            base.push(out);
+        }
+    });
+    for threads in THREAD_SWEEP {
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            pool(threads).install(|| {
+                for (mode, want) in base.iter().enumerate() {
+                    let mut out = DMat::zeros(coo.dims()[mode], 4);
+                    alto.mttkrp_with_level(mode, &factors, &mut out, level)
+                        .unwrap();
+                    assert_eq!(
+                        want.max_abs_diff(&out),
+                        0.0,
+                        "alto mode {mode} not bit-identical at {threads} threads, {level:?}"
+                    );
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn alto_empty_and_degenerate_tensors_work() {
+    // Empty tensor: zero output, no blocks to schedule.
+    let empty = CooTensor::new(vec![4, 4, 4]).unwrap();
+    let alto = AltoTensor::build(&empty).unwrap();
+    let factors = gen::factors(&[4, 4, 4], 3, -1.0, 1.0, 891);
+    let mut out = DMat::zeros(4, 3);
+    alto.mttkrp_into(0, &factors, &mut out).unwrap();
+    assert!(out.as_slice().iter().all(|&v| v == 0.0));
+
+    // Single nonzero and dim-1 root slice.
+    let mut single = CooTensor::new(vec![5, 1, 5]).unwrap();
+    single.push(&[2, 0, 4], 1.25).unwrap();
+    for mode in 0..3 {
+        let factors = gen::factors(single.dims(), 3, -1.0, 1.0, 892);
+        let alto = AltoTensor::build(&single).unwrap();
+        let mut out = DMat::zeros(single.dims()[mode], 3);
+        alto.mttkrp_into(mode, &factors, &mut out).unwrap();
+        let want = oracle::mttkrp(&single, &factors, mode);
+        testkit::assert_mats_close(
+            &format!("single-nnz alto, mode {mode}"),
+            &out,
+            &want,
+            KERNEL_RTOL,
+            KERNEL_ATOL,
+        );
+    }
+}
+
 #[test]
 fn plan_reuse_is_bit_deterministic_across_pools() {
     // The same plan must produce bit-identical output no matter which

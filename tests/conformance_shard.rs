@@ -219,3 +219,52 @@ fn sharded_runs_are_invariant_across_shard_counts() {
         }
     }
 }
+
+#[test]
+fn alto_policy_sharded_runs_track_the_alto_oracle() {
+    // Each shard compiles its local tensor under the ALTO substrate;
+    // the trajectory must track the unsharded ALTO run, and degenerate
+    // S=1 sharding must reproduce it bit for bit (the shard's ALTO
+    // encoding is built from the identical local tensor). Pools don't
+    // move a bit either: ALTO's block schedule and merge order are
+    // frozen at build.
+    let zoo = [
+        ("skewed-3mode", gen::skewed_tensor(&[48, 20, 24], 1800, 1.1, 12)),
+        ("uniform-4mode", gen::tensor(&[30, 18, 22, 14], 1600, 13)),
+    ];
+    for (name, t) in zoo {
+        let cfg = fixed_cfg(4, 4, 25).csf_policy(aoadmm::CsfPolicy::Alto);
+        let oracle = cfg.factorize(&t).expect(name);
+        for s in [1usize, 3] {
+            let res = shard_factorize(&t, &cfg, &ShardConfig::new(s))
+                .unwrap_or_else(|e| panic!("{name} S={s}: {e}"));
+            assert!(
+                (oracle.trace.final_error - res.trace.final_error).abs() < 1e-8,
+                "{name} S={s}: {} vs {}",
+                oracle.trace.final_error,
+                res.trace.final_error
+            );
+            for m in 0..t.nmodes() {
+                let d = oracle.model.factor(m).max_abs_diff(res.model.factor(m));
+                assert!(d < 1e-6, "{name} S={s} mode {m}: factor diff {d}");
+            }
+            if s == 1 {
+                assert_eq!(
+                    oracle.trace.final_error.to_bits(),
+                    res.trace.final_error.to_bits(),
+                    "{name} S=1: error bits"
+                );
+            } else {
+                let pooled = shard_factorize(&t, &cfg, &ShardConfig::new(s).threads_per_shard(2))
+                    .unwrap();
+                for m in 0..t.nmodes() {
+                    assert_eq!(
+                        res.model.factor(m).max_abs_diff(pooled.model.factor(m)),
+                        0.0,
+                        "{name} S={s} mode {m}: pooled factor bits"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -118,30 +118,35 @@ fn delta_view_mttkrp_matches_the_merged_oracle() {
     for batch in &batches {
         buf.ingest(&to_stream_ops(batch)).expect("valid ops");
     }
-    let mut prepared =
-        PreparedTensor::build(buf.base_coo(), aoadmm::CsfPolicy::PerMode).expect("compiles");
-    prepared.grow_dims(buf.dims()).expect("grown dims");
     let merged = buf.merged_coo();
     let rank = 5;
     let factors = gen::factors(buf.dims(), rank, -1.0, 1.0, 40);
     let cfg = Factorizer::new(rank);
 
-    for threads in THREAD_SWEEP {
-        pool(threads).install(|| {
-            let view = DeltaView::new(&prepared, &buf);
-            for mode in 0..buf.dims().len() {
-                let want = oracle::mttkrp(&merged, &factors, mode);
-                let mut got = DMat::zeros(buf.dims()[mode], rank);
-                view.mttkrp(mode, &factors, &cfg, &mut got).expect("mttkrp");
-                assert_mats_close(
-                    &format!("view mttkrp, mode {mode}, {threads} threads"),
-                    &got,
-                    &want,
-                    KERNEL_RTOL,
-                    KERNEL_ATOL,
-                );
-            }
-        });
+    // Both base substrates must serve the view: the per-mode CSF set and
+    // the ALTO linearized encoding (whose grow_dims either widens masks
+    // in place or re-encodes).
+    for policy in [aoadmm::CsfPolicy::PerMode, aoadmm::CsfPolicy::Alto] {
+        let mut prepared =
+            PreparedTensor::build(buf.base_coo(), policy).expect("compiles");
+        prepared.grow_dims(buf.dims()).expect("grown dims");
+        for threads in THREAD_SWEEP {
+            pool(threads).install(|| {
+                let view = DeltaView::new(&prepared, &buf);
+                for mode in 0..buf.dims().len() {
+                    let want = oracle::mttkrp(&merged, &factors, mode);
+                    let mut got = DMat::zeros(buf.dims()[mode], rank);
+                    view.mttkrp(mode, &factors, &cfg, &mut got).expect("mttkrp");
+                    assert_mats_close(
+                        &format!("view mttkrp ({policy:?}), mode {mode}, {threads} threads"),
+                        &got,
+                        &want,
+                        KERNEL_RTOL,
+                        KERNEL_ATOL,
+                    );
+                }
+            });
+        }
     }
 }
 

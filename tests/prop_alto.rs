@@ -1,0 +1,210 @@
+//! Property sweeps for the ALTO linearized substrate (seeded
+//! [`testkit::TestRng`] loops; inputs are reproducible from the seeds
+//! embedded below).
+//!
+//! Properties:
+//!
+//! * **Round-trip** — `encode_coords` followed by `decode_coords` is the
+//!   identity on every in-bounds coordinate, across ragged mode sizes
+//!   and shapes whose linearized index needs more than 32 bits.
+//! * **Order + content** — the stored linearized indices are sorted
+//!   (duplicates stay adjacent, in input order, and accumulate during
+//!   the scatter) and group-summed they reproduce exactly the
+//!   deduplicated nonzero set of the source tensor.
+//! * **Cover** — the block partition tiles `0..nnz` contiguously with no
+//!   gaps or overlaps; every nonzero's target-mode row falls inside its
+//!   block's published interval; blocks flagged conflict-free overlap no
+//!   other block's interval in that mode.
+
+use aoadmm::alto::required_bits;
+use aoadmm::AltoTensor;
+use sptensor::{CooTensor, Idx};
+use testkit::{gen, TestRng};
+
+/// Ragged dims for 2-5 modes; roughly half the draws push the
+/// linearized width past 32 bits (e.g. three modes of ~2^12 rows).
+fn ragged_dims(rng: &mut TestRng) -> Vec<usize> {
+    let nmodes = 2 + rng.index(4);
+    (0..nmodes)
+        .map(|_| {
+            if rng.next_f64() < 0.4 {
+                2 + rng.index(30) // narrow mode
+            } else {
+                1 << (9 + rng.index(5)) // 512..8192 rows
+            }
+        })
+        .collect()
+}
+
+fn random_coords(rng: &mut TestRng, dims: &[usize]) -> Vec<Idx> {
+    dims.iter().map(|&d| rng.index(d) as Idx).collect()
+}
+
+/// A sparse tensor over `dims` with `nnz` random entries (duplicates
+/// allowed — ALTO must pre-accumulate them).
+fn sparse_tensor(rng: &mut TestRng, dims: &[usize], nnz: usize) -> CooTensor {
+    let mut t = CooTensor::new(dims.to_vec()).unwrap();
+    for _ in 0..nnz {
+        let c = random_coords(rng, dims);
+        t.push(&c, rng.uniform(-2.0, 2.0)).unwrap();
+    }
+    t
+}
+
+#[test]
+fn encode_decode_round_trips_on_ragged_dims() {
+    let mut rng = TestRng::new(0xA170);
+    let mut wide_cases = 0usize;
+    for _trial in 0..40 {
+        let dims = ragged_dims(&mut rng);
+        assert!(AltoTensor::encodable(&dims));
+        if required_bits(&dims) > 32 {
+            wide_cases += 1;
+        }
+        let n = 1 + rng.index(64);
+        let t = sparse_tensor(&mut rng, &dims, n);
+        let alto = AltoTensor::build(&t).unwrap();
+        let mut decoded = vec![0 as Idx; dims.len()];
+        for _ in 0..64 {
+            let coords = random_coords(&mut rng, &dims);
+            let lin = alto.encode_coords(&coords);
+            alto.decode_coords(lin, &mut decoded);
+            assert_eq!(decoded, coords, "dims {dims:?}: round-trip");
+        }
+        // Corner coordinates stress every mask bit at once.
+        let lo: Vec<Idx> = vec![0; dims.len()];
+        let hi: Vec<Idx> = dims.iter().map(|&d| (d - 1) as Idx).collect();
+        for coords in [lo, hi] {
+            let lin = alto.encode_coords(&coords);
+            alto.decode_coords(lin, &mut decoded);
+            assert_eq!(decoded, coords, "dims {dims:?}: corner round-trip");
+        }
+    }
+    assert!(
+        wide_cases >= 8,
+        "seed drift: only {wide_cases} draws exceeded 32 linearized bits"
+    );
+}
+
+#[test]
+fn masks_partition_the_linearized_bits() {
+    let mut rng = TestRng::new(0xA171);
+    for _trial in 0..40 {
+        let dims = ragged_dims(&mut rng);
+        let t = sparse_tensor(&mut rng, &dims, 8);
+        let alto = AltoTensor::build(&t).unwrap();
+        let mut seen: u64 = 0;
+        for (m, &mask) in alto.masks().iter().enumerate() {
+            assert_eq!(
+                mask.count_ones(),
+                (dims[m].max(2) - 1).ilog2() + 1,
+                "mode {m} mask width, dims {dims:?}"
+            );
+            assert_eq!(seen & mask, 0, "mode {m} mask overlaps, dims {dims:?}");
+            seen |= mask;
+        }
+        assert_eq!(seen.count_ones(), required_bits(&dims), "dims {dims:?}");
+    }
+}
+
+#[test]
+fn stored_indices_are_sorted_and_decode_to_the_dedup_multiset() {
+    let mut rng = TestRng::new(0xA172);
+    for _trial in 0..25 {
+        let dims = ragged_dims(&mut rng);
+        let n = 1 + rng.index(400);
+        let t = sparse_tensor(&mut rng, &dims, n);
+        let alto = AltoTensor::build(&t).unwrap();
+
+        let lins = alto.linearized();
+        assert!(
+            lins.windows(2).all(|w| w[0] <= w[1]),
+            "linearized indices not sorted"
+        );
+        assert_eq!(lins.len(), alto.nnz());
+        assert_eq!(lins.len(), alto.values().len());
+
+        // Group-sum adjacent duplicates, decode, and compare against the
+        // deduplicated source.
+        let mut want = t.clone();
+        want.dedup_sum();
+        let mut got: Vec<(Vec<Idx>, f64)> = Vec::new();
+        let mut i = 0usize;
+        while i < lins.len() {
+            let mut j = i;
+            let mut sum = 0.0f64;
+            while j < lins.len() && lins[j] == lins[i] {
+                sum += alto.values()[j];
+                j += 1;
+            }
+            let mut c = vec![0 as Idx; dims.len()];
+            alto.decode_coords(lins[i], &mut c);
+            got.push((c, sum));
+            i = j;
+        }
+        got.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut expect: Vec<(Vec<Idx>, f64)> = want.nonzeros().collect();
+        expect.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(got.len(), expect.len(), "dims {dims:?}: dedup count");
+        for ((gc, gv), (ec, ev)) in got.iter().zip(&expect) {
+            assert_eq!(gc, ec, "dims {dims:?}: coordinate sets differ");
+            assert!(
+                (gv - ev).abs() <= 1e-12 * ev.abs().max(1.0),
+                "dims {dims:?} coord {gc:?}: {gv} vs {ev}"
+            );
+        }
+    }
+}
+
+#[test]
+fn block_partition_is_a_bijective_cover_with_sound_intervals() {
+    let mut rng = TestRng::new(0xA173);
+    for _trial in 0..25 {
+        let dims = ragged_dims(&mut rng);
+        let nnz = 1 + rng.index(1200);
+        let t = if rng.next_f64() < 0.5 {
+            sparse_tensor(&mut rng, &dims, nnz)
+        } else {
+            gen::skewed_tensor(&dims, nnz, rng.uniform(0.5, 2.5), rng.next_u64())
+        };
+        let alto = AltoTensor::build(&t).unwrap();
+
+        // Blocks tile 0..nnz contiguously: a bijective cover.
+        let mut cursor = 0usize;
+        for (b, blk) in alto.blocks().iter().enumerate() {
+            assert_eq!(blk.start, cursor, "block {b}: gap or overlap");
+            assert!(blk.end > blk.start, "block {b}: empty block");
+            cursor = blk.end;
+        }
+        assert_eq!(cursor, alto.nnz(), "blocks do not cover all nonzeros");
+
+        for mode in 0..dims.len() {
+            let mut coords = vec![0 as Idx; dims.len()];
+            for (b, blk) in alto.blocks().iter().enumerate() {
+                let (lo, hi) = alto.block_interval(mode, b);
+                assert!(lo < hi, "mode {mode} block {b}: empty interval");
+                for i in blk.clone() {
+                    alto.decode_coords(alto.linearized()[i], &mut coords);
+                    let row = coords[mode];
+                    assert!(
+                        row >= lo && row < hi,
+                        "mode {mode} block {b}: row {row} outside [{lo},{hi})"
+                    );
+                }
+                if alto.block_conflict_free(mode, b) {
+                    for other in 0..alto.blocks().len() {
+                        if other == b {
+                            continue;
+                        }
+                        let (olo, ohi) = alto.block_interval(mode, other);
+                        assert!(
+                            hi <= olo || ohi <= lo,
+                            "mode {mode}: conflict-free block {b} [{lo},{hi}) \
+                             overlaps block {other} [{olo},{ohi})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

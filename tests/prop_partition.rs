@@ -48,7 +48,7 @@ fn split_is_a_bijection_on_nonzeros() {
     for _trial in 0..25 {
         let t = random_tensor(&mut rng);
         let s = 1 + rng.index(6);
-        let part = Partition::build(&t, s);
+        let part = Partition::build(&t, s).unwrap();
         let locals = part.split_tensor(&t);
         assert_eq!(locals.len(), s);
 
@@ -114,7 +114,7 @@ fn greedy_split_respects_documented_balance_bound() {
     for _trial in 0..25 {
         let t = random_tensor(&mut rng);
         for s in [1usize, 2, 3, 5, 8] {
-            let part = Partition::build(&t, s);
+            let part = Partition::build(&t, s).unwrap();
             let locals = part.split_tensor(&t);
             let max = locals.iter().map(CooTensor::nnz).max().unwrap();
             let bound = part.nnz_balance_bound(&t);
@@ -135,7 +135,7 @@ fn ranges_tile_every_mode_and_owner_inverts_owned() {
     for _trial in 0..25 {
         let t = random_tensor(&mut rng);
         let s = 1 + rng.index(7);
-        let part = Partition::build(&t, s);
+        let part = Partition::build(&t, s).unwrap();
         for m in 0..t.nmodes() {
             let mut cursor = 0usize;
             for p in 0..s {
