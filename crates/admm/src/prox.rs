@@ -33,10 +33,12 @@ pub trait Prox: Sync + Send {
 
     /// Whether `row` satisfies the hard constraint (within `tol`).
     /// Regularizers (which admit any point) return `true`.
-    fn is_feasible_row(&self, row: &[f64], tol: f64) -> bool {
-        let _ = (row, tol);
-        true
-    }
+    ///
+    /// Deliberately *not* defaulted: an earlier default of `true` let
+    /// hard constraints silently report infeasible points as feasible
+    /// when an implementor forgot the override. Every operator now
+    /// states its feasible set explicitly.
+    fn is_feasible_row(&self, row: &[f64], tol: f64) -> bool;
 
     /// Hint: does this operator produce exact zeros, so the factor tends
     /// to become sparse? Drives the dynamic-sparsity MTTKRP of
@@ -57,6 +59,10 @@ pub struct Unconstrained;
 impl Prox for Unconstrained {
     #[inline]
     fn apply_row(&self, _row: &mut [f64], _rho: f64) {}
+
+    fn is_feasible_row(&self, _row: &[f64], _tol: f64) -> bool {
+        true
+    }
 
     fn name(&self) -> &'static str {
         "unconstrained"
@@ -123,6 +129,10 @@ impl Prox for Lasso {
         self.lambda * row.iter().map(|x| x.abs()).sum::<f64>()
     }
 
+    fn is_feasible_row(&self, _row: &[f64], _tol: f64) -> bool {
+        true // regularizer: every point is feasible
+    }
+
     fn induces_sparsity(&self) -> bool {
         true
     }
@@ -185,6 +195,10 @@ impl Prox for Ridge {
 
     fn penalty_row(&self, row: &[f64]) -> f64 {
         self.lambda * row.iter().map(|x| x * x).sum::<f64>()
+    }
+
+    fn is_feasible_row(&self, _row: &[f64], _tol: f64) -> bool {
+        true // regularizer: every point is feasible
     }
 
     fn name(&self) -> &'static str {
@@ -252,6 +266,13 @@ impl Prox for Simplex {
         for x in row {
             *x = (*x - theta).max(0.0);
         }
+    }
+
+    fn penalty_row(&self, _row: &[f64]) -> f64 {
+        // Hard constraint: the indicator contributes 0 at feasible
+        // points, and the solver only evaluates penalties on iterates
+        // that have passed through the projection.
+        0.0
     }
 
     fn is_feasible_row(&self, row: &[f64], tol: f64) -> bool {
@@ -485,6 +506,55 @@ mod tests {
         assert_eq!(constraints::boxed(0.0, 1.0).name(), "box");
         assert_eq!(constraints::nonneg_lasso(0.1).name(), "non-negative l1");
         assert_eq!(constraints::max_row_norm(1.0).name(), "max-row-norm");
+    }
+
+    /// Regression for the removed `is_feasible_row` default: every hard
+    /// constraint must actively reject an infeasible point instead of
+    /// inheriting a blanket `true`, and every regularizer must accept
+    /// everything. A new operator that forgets to think about
+    /// feasibility no longer compiles; this pins the semantics for the
+    /// ones that exist.
+    #[test]
+    fn feasibility_is_explicit_per_operator() {
+        let bad = [-2.0, 0.5, 3.0]; // negative entry, sum != 1, norm > 2
+        let hard: Vec<Arc<dyn Prox>> = vec![
+            constraints::nonneg(),
+            constraints::nonneg_lasso(0.1),
+            constraints::boxed(0.0, 1.0),
+            constraints::simplex(),
+            constraints::max_row_norm(2.0),
+        ];
+        for op in &hard {
+            assert!(
+                !op.is_feasible_row(&bad, 1e-9),
+                "{} accepted an infeasible point",
+                op.name()
+            );
+            let mut projected = bad.to_vec();
+            op.apply_row(&mut projected, 1.0);
+            assert!(
+                op.is_feasible_row(&projected, 1e-9),
+                "{} rejects its own projection",
+                op.name()
+            );
+        }
+        let soft: Vec<Arc<dyn Prox>> = vec![
+            constraints::unconstrained(),
+            constraints::lasso(0.1),
+            constraints::ridge(0.1),
+        ];
+        for op in &soft {
+            assert!(
+                op.is_feasible_row(&bad, 0.0),
+                "regularizer {} rejected a point",
+                op.name()
+            );
+        }
+    }
+
+    #[test]
+    fn simplex_penalty_is_zero_indicator() {
+        assert_eq!(Simplex.penalty_row(&[0.25, 0.75]), 0.0);
     }
 
     /// Projection operators must be idempotent.

@@ -97,8 +97,14 @@ fn main() {
         // Skew with large side modes: hyper-sparse fibers, where the CSF
         // pays full tree overhead per nonzero and ALTO's flat stream wins.
         ("skewed", skewed(&[4000, 2500, 2000], nnz, 1.2, seed + 2)),
-        ("skewed", skewed(&[3000, 1500, 800, 600], nnz, 1.3, seed + 3)),
-        ("skewed", skewed(&[2000, 1000, 600, 400, 300], nnz, 1.2, seed + 4)),
+        (
+            "skewed",
+            skewed(&[3000, 1500, 800, 600], nnz, 1.3, seed + 3),
+        ),
+        (
+            "skewed",
+            skewed(&[2000, 1000, 600, 400, 300], nnz, 1.2, seed + 4),
+        ),
     ];
 
     for (kind, t) in &configs {

@@ -26,9 +26,12 @@ mod args;
 mod constraint_spec;
 
 use aoadmm::als::{als_factorize, AlsConfig};
-use aoadmm::{model_io, Factorizer, KruskalModel, SparsityConfig, Structure, StructureChoice};
+use aoadmm::prelude::PdsConfig;
+use aoadmm::{
+    model_io, Factorizer, InnerSolverKind, KruskalModel, SparsityConfig, Structure, StructureChoice,
+};
 use args::Args;
-use constraint_spec::parse_constraint;
+use constraint_spec::{parse_constraint, parse_constraint_spec, ConstraintSpec};
 use sptensor::gen::Analog;
 use sptensor::TensorStats;
 use std::process::ExitCode;
@@ -52,14 +55,18 @@ USAGE:
 factorize options:
   --constraint SPEC        constraint for all modes (default: nonneg)
   --mode-constraint M=SPEC per-mode override (repeatable)
+  --inner-solver admm|pds  inner solver backend (default admm); pds is the
+                           primal-dual splitting solver, required for the
+                           composite tv / box-tv constraints
   --max-outer N            outer iteration cap (default 200)
   --tol T                  outer tolerance on error improvement (default 1e-6)
   --seed S                 factor init seed (default 0)
   --strategy blocked|fused inner ADMM strategy (default blocked)
   --block-size B           rows per block (default 50)
-  --inner-tol T            inner ADMM tolerance (default 1e-3)
-  --max-inner N            inner ADMM iteration cap (default 25)
+  --inner-tol T            inner tolerance (default 1e-3)
+  --max-inner N            inner iteration cap (default 25 admm, 60 pds)
   --adaptive-rho           enable residual-balancing penalty adaptation
+                           (ADMM backend only)
   --sparsity auto|off|csr|hybrid   leaf-factor MTTKRP policy (default auto)
   --csf per-mode|one|dimtree|alto|auto   tensor representation (default
                            per-mode); dimtree memoizes partial-MTTKRP slabs
@@ -74,8 +81,11 @@ factorize options:
   --output FILE            save the factor model
   --trace FILE             save per-iteration CSV
                            (iter,seconds,rel_error,slab_hits,slab_misses,
-                           substrates — per-mode strategy labels joined with
-                           '|', so --csf auto decisions are observable)
+                           substrates,inner,constraints — substrates and
+                           inner are per-mode labels joined with '|', so
+                           --csf auto decisions and the inner-solver
+                           backend are observable; constraints is the
+                           per-mode constraint description)
   --checkpoint FILE        save resumable state (factors + duals) at the end
   --resume FILE            start from a previously saved checkpoint
 
@@ -134,6 +144,8 @@ serve-client options (one-shot actions against a running daemon):
 constraint SPECs:
   none | nonneg | l1:LAMBDA | nonneg-l1:LAMBDA | ridge:LAMBDA |
   simplex | box:LO,HI | maxnorm:BOUND
+  tv:LAMBDA | box-tv:LO,HI,LAMBDA   composite row-wise total-variation
+                                    terms; require --inner-solver pds
 ";
 
 fn main() -> ExitCode {
@@ -227,15 +239,36 @@ fn factorize(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown csf policy {other:?}")),
     };
 
-    let global = parse_constraint(args.get_str("constraint").as_deref().unwrap_or("nonneg"))?;
+    let inner = match args.get_str("inner-solver").as_deref().unwrap_or("admm") {
+        "admm" => InnerSolverKind::Admm,
+        "pds" => InnerSolverKind::Pds,
+        other => return Err(format!("unknown inner solver {other:?} (admm or pds)")),
+    };
+
+    let global = parse_constraint_spec(args.get_str("constraint").as_deref().unwrap_or("nonneg"))?;
+    // Per-mode constraint descriptions for the trace CSV.
+    let nmodes = tensor.dims().len();
+    let mut constraint_descs = vec![global.describe(); nmodes];
     let mut fz = Factorizer::new(rank)
-        .constrain_all(global)
+        .inner_solver(inner)
         .admm(admm_cfg)
         .sparsity(sparsity)
         .csf_policy(csf)
         .max_outer(args.get("max-outer", 200)?)
         .tolerance(args.get("tol", 1e-6)?)
         .seed(args.get("seed", 0)?);
+    if inner == InnerSolverKind::Pds {
+        fz = fz.pds(PdsConfig {
+            tol: args.get("inner-tol", 1e-3)?,
+            max_inner: args.get("max-inner", 60)?,
+            block_size: args.get("block-size", 50)?,
+            ..PdsConfig::default()
+        });
+    }
+    fz = match global {
+        ConstraintSpec::Prox(p) => fz.constrain_all(p),
+        ConstraintSpec::Composite(c) => fz.constrain_all_pds(c),
+    };
     for spec in args.get_all("mode-constraint") {
         let (mode, cspec) = spec
             .split_once('=')
@@ -243,7 +276,14 @@ fn factorize(args: &Args) -> Result<(), String> {
         let mode: usize = mode
             .parse()
             .map_err(|_| format!("bad mode in --mode-constraint {spec:?}"))?;
-        fz = fz.constrain_mode(mode, parse_constraint(cspec)?);
+        let parsed = parse_constraint_spec(cspec)?;
+        if mode < nmodes {
+            constraint_descs[mode] = parsed.describe();
+        }
+        fz = match parsed {
+            ConstraintSpec::Prox(p) => fz.constrain_mode(mode, p),
+            ConstraintSpec::Composite(c) => fz.constrain_mode_pds(mode, c),
+        };
     }
 
     let resume = args
@@ -310,7 +350,7 @@ fn factorize(args: &Args) -> Result<(), String> {
         println!("model written to {path}");
     }
     if let Some(path) = args.get_str("trace") {
-        write_trace(&res.trace, &path)?;
+        write_trace(&res.trace, &constraint_descs, &path)?;
         println!("trace written to {path}");
     }
     if let Some(path) = args.get_str("checkpoint") {
@@ -830,12 +870,20 @@ fn slab_totals(trace: &aoadmm::FactorizeTrace) -> (u64, u64) {
     (hits, misses)
 }
 
-fn write_trace(trace: &aoadmm::FactorizeTrace, path: &str) -> Result<(), String> {
+fn write_trace(
+    trace: &aoadmm::FactorizeTrace,
+    constraints: &[String],
+    path: &str,
+) -> Result<(), String> {
     use std::io::Write;
     let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
     let mut w = std::io::BufWriter::new(f);
-    writeln!(w, "iter,seconds,rel_error,slab_hits,slab_misses,substrates")
-        .map_err(|e| e.to_string())?;
+    writeln!(
+        w,
+        "iter,seconds,rel_error,slab_hits,slab_misses,substrates,inner,constraints"
+    )
+    .map_err(|e| e.to_string())?;
+    let constraints = constraints.join("|");
     for it in &trace.iterations {
         let hits: u64 = it.modes.iter().map(|m| m.slab_hits as u64).sum();
         let misses: u64 = it.modes.iter().map(|m| m.slab_misses as u64).sum();
@@ -846,13 +894,21 @@ fn write_trace(trace: &aoadmm::FactorizeTrace, path: &str) -> Result<(), String>
             .iter()
             .map(|m| m.mttkrp_strategy.map(|s| s.name()).unwrap_or("-"))
             .collect();
+        // Per-mode inner-solver backend, '-' for updates outside the
+        // AO-ADMM driver (ALS, PGD).
+        let inner: Vec<&str> = it
+            .modes
+            .iter()
+            .map(|m| m.inner.map(|k| k.name()).unwrap_or("-"))
+            .collect();
         writeln!(
             w,
-            "{},{:.6},{:.8},{hits},{misses},{}",
+            "{},{:.6},{:.8},{hits},{misses},{},{},{constraints}",
             it.iter,
             it.elapsed.as_secs_f64(),
             it.rel_error,
-            substrates.join("|")
+            substrates.join("|"),
+            inner.join("|")
         )
         .map_err(|e| e.to_string())?;
     }
@@ -1092,16 +1148,17 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "iter,seconds,rel_error,slab_hits,slab_misses,substrates"
+            "iter,seconds,rel_error,slab_hits,slab_misses,substrates,inner,constraints"
         );
         let mut hits = 0u64;
         let mut misses = 0u64;
         for line in lines {
             let cols: Vec<&str> = line.split(',').collect();
-            assert_eq!(cols.len(), 6, "bad row {line:?}");
+            assert_eq!(cols.len(), 8, "bad row {line:?}");
             hits += cols[3].parse::<u64>().unwrap();
             misses += cols[4].parse::<u64>().unwrap();
             assert_eq!(cols[5], "dim-tree|dim-tree|dim-tree", "bad substrates");
+            assert_eq!(cols[6], "admm|admm|admm", "bad inner backend");
         }
         assert!(hits > 0, "dim-tree run recorded no slab reuse:\n{csv}");
         assert!(misses > 0, "dim-tree run recorded no slab rebuilds:\n{csv}");
@@ -1147,11 +1204,11 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "iter,seconds,rel_error,slab_hits,slab_misses,substrates"
+            "iter,seconds,rel_error,slab_hits,slab_misses,substrates,inner,constraints"
         );
         for line in lines {
             let cols: Vec<&str> = line.split(',').collect();
-            assert_eq!(cols.len(), 6, "bad row {line:?}");
+            assert_eq!(cols.len(), 8, "bad row {line:?}");
             assert_eq!(cols[5], "alto|alto|alto", "bad substrates in {line:?}");
         }
 
@@ -1171,6 +1228,100 @@ mod tests {
 
         let _ = std::fs::remove_file(tns);
         let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn end_to_end_pds_factorize() {
+        let dir = std::env::temp_dir();
+        let tns = dir.join("aoadmm_cli_pds.tns");
+        let model = dir.join("aoadmm_cli_pds.model");
+        let trace = dir.join("aoadmm_cli_pds.csv");
+        let s = |x: &str| x.to_string();
+
+        run(&[
+            s("generate"),
+            s("--dims"),
+            s("24,18,20"),
+            s("--nnz"),
+            s("700"),
+            s("--output"),
+            s(tns.to_str().unwrap()),
+        ])
+        .unwrap();
+
+        // PDS backend with a composite TV constraint on mode 2, through
+        // the full CLI surface: parse, fit, save, trace.
+        run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("4"),
+            s("--max-outer"),
+            s("5"),
+            s("--inner-solver"),
+            s("pds"),
+            s("--constraint"),
+            s("nonneg"),
+            s("--mode-constraint"),
+            s("2=tv:0.1"),
+            s("--output"),
+            s(model.to_str().unwrap()),
+            s("--trace"),
+            s(trace.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(model.exists());
+        let m = model_io::load_model(&model).unwrap();
+        assert_eq!(m.rank(), 4);
+
+        // The trace records the backend and the per-mode constraints.
+        let csv = std::fs::read_to_string(&trace).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "iter,seconds,rel_error,slab_hits,slab_misses,substrates,inner,constraints"
+        );
+        for line in lines {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 8, "bad row {line:?}");
+            assert_eq!(cols[6], "pds|pds|pds", "bad inner backend in {line:?}");
+            assert_eq!(
+                cols[7], "non-negative|non-negative|unconstrained + l1-conjugate(first-difference)",
+                "bad constraints in {line:?}"
+            );
+        }
+
+        // A composite constraint under the default ADMM backend is a
+        // configuration error, caught before any work runs.
+        assert!(run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("4"),
+            s("--max-outer"),
+            s("2"),
+            s("--constraint"),
+            s("tv:0.1"),
+        ])
+        .is_err());
+
+        // Unknown backends are rejected.
+        assert!(run(&[
+            s("factorize"),
+            s("--input"),
+            s(tns.to_str().unwrap()),
+            s("--rank"),
+            s("4"),
+            s("--inner-solver"),
+            s("cg"),
+        ])
+        .is_err());
+
+        for f in [&tns, &model, &trace] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

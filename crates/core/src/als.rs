@@ -168,6 +168,7 @@ pub fn als_factorize(tensor: &CooTensor, cfg: &AlsConfig) -> Result<FactorizeRes
                 admm: solve_time,
                 admm_iterations: 1,
                 admm_row_iterations: dims[m] as u64,
+                inner: None,
                 sparsity: SparsityDecision {
                     density: 1.0,
                     structure: Structure::Dense,

@@ -81,7 +81,10 @@ fn build_masks(dims: &[usize]) -> Result<(Vec<u64>, Vec<Vec<u8>>), AoAdmmError> 
     }
     let bits: Vec<u32> = dims.iter().map(|&d| bits_for(d)).collect();
     let mut masks = vec![0u64; dims.len()];
-    let mut spread: Vec<Vec<u8>> = bits.iter().map(|&b| Vec::with_capacity(b as usize)).collect();
+    let mut spread: Vec<Vec<u8>> = bits
+        .iter()
+        .map(|&b| Vec::with_capacity(b as usize))
+        .collect();
     let mut pos = 0u8;
     // Round-robin from the LSB: bit k of every mode sits below bit k+1 of
     // every mode, so a contiguous linearized range is compact in all
@@ -564,7 +567,9 @@ impl AltoTensor {
             match eff {
                 SimdLevel::Avx512 => {
                     return unsafe {
-                        self.accumulate_block_avx512(range, mode, factors, prod, dst, row_base, rank)
+                        self.accumulate_block_avx512(
+                            range, mode, factors, prod, dst, row_base, rank,
+                        )
                     };
                 }
                 SimdLevel::Avx2 => {
@@ -950,7 +955,8 @@ mod tests {
                 .unwrap();
             for &lv in &levels[1..] {
                 let mut out = DMat::zeros(dims[mode], 9);
-                alto.mttkrp_with_level(mode, &factors, &mut out, lv).unwrap();
+                alto.mttkrp_with_level(mode, &factors, &mut out, lv)
+                    .unwrap();
                 assert_eq!(
                     base.max_abs_diff(&out),
                     0.0,

@@ -4,8 +4,13 @@
 //! AO-ADMM runs on billion-nonzero tensors take hours in the paper's
 //! setting; a production deployment needs to survive preemption. The
 //! state that defines the trajectory is exactly the primal factors and
-//! scaled duals, both plain matrices, stored here as two concatenated
-//! [`crate::model_io`] sections.
+//! scaled duals, both plain matrices, stored here as concatenated
+//! [`crate::model_io`] sections: the model, then the duals — as one
+//! combined section when every dual has the model's rank (the ADMM
+//! layout, format v1), or as one single-mode section per dual when the
+//! widths differ (composite PDS duals live in the constraint operator's
+//! image, so their column counts are per-mode; format v2). The reader
+//! accepts both.
 
 use crate::error::AoAdmmError;
 use crate::kruskal::KruskalModel;
@@ -20,7 +25,9 @@ use std::path::Path;
 pub struct Checkpoint {
     /// Primal factor matrices.
     pub model: KruskalModel,
-    /// Scaled ADMM dual variables, aligned with the factors.
+    /// Scaled inner-solver dual variables, aligned with the factors
+    /// (same row counts; column counts are backend-dependent, see
+    /// [`crate::Factorizer::dual_cols`]).
     pub duals: Vec<DMat>,
 }
 
@@ -35,10 +42,20 @@ impl Checkpoint {
 
     /// Serialize to any writer.
     pub fn write<W: Write>(&self, mut w: W) -> Result<(), AoAdmmError> {
-        writeln!(w, "# aoadmm checkpoint v1")
+        let uniform = self.duals.iter().all(|d| d.ncols() == self.model.rank());
+        let version = if uniform { 1 } else { 2 };
+        writeln!(w, "# aoadmm checkpoint v{version}")
             .map_err(|e| AoAdmmError::Config(format!("checkpoint I/O error: {e}")))?;
         model_io::write_model(&self.model, &mut w)?;
-        model_io::write_model(&KruskalModel::new(self.duals.clone()), &mut w)?;
+        if uniform {
+            model_io::write_model(&KruskalModel::new(self.duals.clone()), &mut w)?;
+        } else {
+            // Ragged widths cannot share one Kruskal section; each dual
+            // becomes its own single-mode section.
+            for d in &self.duals {
+                model_io::write_model(&KruskalModel::new(vec![d.clone()]), &mut w)?;
+            }
+        }
         Ok(())
     }
 
@@ -50,29 +67,50 @@ impl Checkpoint {
         let mut r = r;
         r.read_to_string(&mut content)
             .map_err(|e| AoAdmmError::Config(format!("checkpoint I/O error: {e}")))?;
-        // Split at the second `nmodes` header.
-        let second = content
-            .match_indices("nmodes ")
-            .nth(1)
-            .map(|(i, _)| i)
-            .ok_or_else(|| AoAdmmError::Config("checkpoint is missing the dual section".into()))?;
+        // Split at the `nmodes` headers: section 0 is the model, the
+        // rest are duals (one combined section in v1, one per mode in
+        // v2 — distinguished purely by section count, so the version
+        // comment stays informational).
+        let starts: Vec<usize> = content.match_indices("nmodes ").map(|(i, _)| i).collect();
+        if starts.len() < 2 {
+            return Err(AoAdmmError::Config(
+                "checkpoint is missing the dual section".into(),
+            ));
+        }
         let bytes = content.as_bytes();
-        let model = model_io::read_model(&bytes[..second])?;
-        let duals_model = model_io::read_model(&bytes[second..])?;
-        let duals = duals_model.into_factors();
+        let model = model_io::read_model(&bytes[..starts[1]])?;
+        let duals = if starts.len() == 2 {
+            let duals_model = model_io::read_model(&bytes[starts[1]..])?;
+            duals_model.into_factors()
+        } else {
+            let mut duals = Vec::with_capacity(starts.len() - 1);
+            for i in 1..starts.len() {
+                let end = starts.get(i + 1).copied().unwrap_or(bytes.len());
+                let section = model_io::read_model(&bytes[starts[i]..end])?;
+                if section.nmodes() != 1 {
+                    return Err(AoAdmmError::Config(
+                        "checkpoint per-mode dual section must hold exactly one matrix".into(),
+                    ));
+                }
+                duals.extend(section.into_factors());
+            }
+            duals
+        };
         if duals.len() != model.nmodes() {
             return Err(AoAdmmError::Config(
                 "checkpoint duals do not match the factors".into(),
             ));
         }
+        // Row counts must mirror the factors; column counts are
+        // backend-dependent (composite PDS duals are operator-image
+        // wide), so they are validated downstream against the resuming
+        // configuration's `dual_cols`.
         for (m, (d, f)) in duals.iter().zip(model.factors()).enumerate() {
-            if d.nrows() != f.nrows() || d.ncols() != f.ncols() {
+            if d.nrows() != f.nrows() {
                 return Err(AoAdmmError::Config(format!(
-                    "checkpoint dual {m} is {}x{}, factor is {}x{}",
+                    "checkpoint dual {m} has {} rows, factor has {}",
                     d.nrows(),
-                    d.ncols(),
-                    f.nrows(),
-                    f.ncols()
+                    f.nrows()
                 )));
             }
         }

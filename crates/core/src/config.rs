@@ -6,10 +6,12 @@
 
 use crate::driver;
 use crate::error::AoAdmmError;
+use crate::inner::InnerSolverKind;
 use crate::sparsity::SparsityConfig;
 use crate::FactorizeResult;
 use admm::prox::Unconstrained;
 use admm::{AdmmConfig, Prox};
+use aoadmm_pds::{pds_constraints, PdsConfig, PdsConstraint};
 use sptensor::CooTensor;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -59,6 +61,10 @@ pub struct Factorizer {
     default_constraint: Arc<dyn Prox>,
     mode_constraints: HashMap<usize, Arc<dyn Prox>>,
     admm: AdmmConfig,
+    inner: InnerSolverKind,
+    pds: PdsConfig,
+    default_pds: Option<Arc<PdsConstraint>>,
+    mode_pds: HashMap<usize, Arc<PdsConstraint>>,
     max_outer: usize,
     outer_tol: f64,
     seed: u64,
@@ -76,6 +82,10 @@ impl Factorizer {
             default_constraint: Arc::new(Unconstrained),
             mode_constraints: HashMap::new(),
             admm: AdmmConfig::default(),
+            inner: InnerSolverKind::Admm,
+            pds: PdsConfig::default(),
+            default_pds: None,
+            mode_pds: HashMap::new(),
             max_outer: 200,
             outer_tol: 1e-6,
             seed: 0,
@@ -100,6 +110,37 @@ impl Factorizer {
     /// Configure the inner ADMM (strategy, block size, tolerance, cap).
     pub fn admm(mut self, cfg: AdmmConfig) -> Self {
         self.admm = cfg;
+        self
+    }
+
+    /// Choose the inner solver run for every mode update (default: ADMM,
+    /// Algorithm 1 of the source paper; [`InnerSolverKind::Pds`] swaps in
+    /// the Condat–Vu primal-dual iteration, which additionally accepts
+    /// composite constraints via [`Factorizer::constrain_mode_pds`]).
+    pub fn inner_solver(mut self, kind: InnerSolverKind) -> Self {
+        self.inner = kind;
+        self
+    }
+
+    /// Configure the primal-dual inner solver (step scale, tolerance,
+    /// iteration cap, block size). Only consulted when
+    /// [`Factorizer::inner_solver`] selects [`InnerSolverKind::Pds`].
+    pub fn pds(mut self, cfg: PdsConfig) -> Self {
+        self.pds = cfg;
+        self
+    }
+
+    /// Apply a composite PDS constraint to every mode (per-mode
+    /// overrides still win). Requires [`InnerSolverKind::Pds`];
+    /// validation rejects composite constraints under the ADMM backend.
+    pub fn constrain_all_pds(mut self, c: Arc<PdsConstraint>) -> Self {
+        self.default_pds = Some(c);
+        self
+    }
+
+    /// Apply a composite PDS constraint to one specific mode.
+    pub fn constrain_mode_pds(mut self, mode: usize, c: Arc<PdsConstraint>) -> Self {
+        self.mode_pds.insert(mode, c);
         self
     }
 
@@ -173,6 +214,50 @@ impl Factorizer {
         &self.admm
     }
 
+    /// Configured inner-solver backend.
+    pub fn inner_solver_kind(&self) -> InnerSolverKind {
+        self.inner
+    }
+
+    /// Configured PDS settings.
+    pub fn pds_config(&self) -> &PdsConfig {
+        &self.pds
+    }
+
+    /// The PDS constraint in effect for `mode`: an explicit composite
+    /// constraint if one was set, otherwise the mode's prox constraint
+    /// lifted to a prox-only PDS constraint.
+    pub fn pds_constraint_for(&self, mode: usize) -> Arc<PdsConstraint> {
+        if let Some(c) = self.mode_pds.get(&mode) {
+            return c.clone();
+        }
+        if let Some(c) = &self.default_pds {
+            if !self.mode_constraints.contains_key(&mode) {
+                return c.clone();
+            }
+        }
+        pds_constraints::from_prox(self.constraint_for(mode).clone())
+    }
+
+    /// Column count of mode `mode`'s dual-state matrix. ADMM duals
+    /// mirror the factor (`rank` columns); a composite PDS constraint's
+    /// dual lives in the operator's image (`L.out_dim(rank)` columns);
+    /// prox-only PDS constraints keep a factor-shaped zero matrix the
+    /// solver never touches, so warm-start plumbing stays uniform.
+    pub fn dual_cols(&self, mode: usize) -> usize {
+        match self.inner {
+            InnerSolverKind::Admm => self.rank,
+            InnerSolverKind::Pds => {
+                let p = self.pds_constraint_for(mode).dual_dim(self.rank);
+                if p > 0 {
+                    p
+                } else {
+                    self.rank
+                }
+            }
+        }
+    }
+
     /// Configured outer-iteration cap.
     pub fn max_outer_iterations(&self) -> usize {
         self.max_outer
@@ -212,6 +297,23 @@ impl Factorizer {
                     dims.len()
                 )));
             }
+        }
+        for &m in self.mode_pds.keys() {
+            if m >= dims.len() {
+                return Err(AoAdmmError::Config(format!(
+                    "PDS constraint set on mode {m} of a {}-mode tensor",
+                    dims.len()
+                )));
+            }
+        }
+        if self.inner == InnerSolverKind::Admm
+            && (self.default_pds.is_some() || !self.mode_pds.is_empty())
+        {
+            return Err(AoAdmmError::Config(
+                "composite PDS constraints require the PDS inner solver \
+                 (Factorizer::inner_solver(InnerSolverKind::Pds))"
+                    .into(),
+            ));
         }
         Ok(())
     }
@@ -269,6 +371,7 @@ impl std::fmt::Debug for Factorizer {
             .field("default_constraint", &self.default_constraint.name())
             .field("mode_constraints", &self.mode_constraints.len())
             .field("admm", &self.admm)
+            .field("inner", &self.inner)
             .field("max_outer", &self.max_outer)
             .field("outer_tol", &self.outer_tol)
             .field("seed", &self.seed)

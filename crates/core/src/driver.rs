@@ -21,12 +21,12 @@ use crate::alto::AltoTensor;
 use crate::config::{CsfPolicy, Factorizer};
 use crate::dimtree::IterationPlan;
 use crate::error::AoAdmmError;
+use crate::inner::build_inner_solver;
 use crate::kruskal::{relative_error_fast, KruskalModel};
 use crate::mttkrp_onecsf::mttkrp_one_csf_planned;
 use crate::mttkrp_plan::{build_mode_plans, MttkrpPlan, PlanStrategy};
 use crate::sparsity::{prepare_leaf, SparsityDecision, Structure};
 use crate::trace::{FactorizeTrace, IterRecord, ModeRecord};
-use admm::{admm_update_ws, AdmmWorkspace};
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -41,9 +41,11 @@ pub struct FactorizeResult {
     pub model: KruskalModel,
     /// Timing and convergence history.
     pub trace: FactorizeTrace,
-    /// Final ADMM dual variables, one per mode. Feeding these back via
-    /// [`factorize_warm`] resumes the optimization exactly where it
-    /// stopped (checkpoint/restart; see [`crate::checkpoint`]).
+    /// Final inner-solver dual variables, one per mode. Feeding these
+    /// back via [`factorize_warm`] resumes the optimization exactly
+    /// where it stopped (checkpoint/restart; see [`crate::checkpoint`]).
+    /// ADMM duals mirror the factor shapes; a composite PDS constraint's
+    /// dual is [`Factorizer::dual_cols`] wide instead.
     pub duals: Vec<DMat>,
     /// Gram matrices `A_m^T A_m` of the final factors, one per mode.
     /// A streaming refit passes these back to [`factorize_prepared`] so
@@ -322,7 +324,8 @@ pub fn factorize(tensor: &CooTensor, cfg: &Factorizer) -> Result<FactorizeResult
     let duals: Vec<DMat> = tensor
         .dims()
         .iter()
-        .map(|&d| DMat::zeros(d, rank))
+        .enumerate()
+        .map(|(m, &d)| DMat::zeros(d, cfg.dual_cols(m)))
         .collect();
     run(&prepared, cfg, factors, duals, None, t0)
 }
@@ -344,7 +347,8 @@ pub fn factorize_source(
     let duals: Vec<DMat> = source
         .dims()
         .iter()
-        .map(|&d| DMat::zeros(d, rank))
+        .enumerate()
+        .map(|(m, &d)| DMat::zeros(d, cfg.dual_cols(m)))
         .collect();
     run(source, cfg, factors, duals, None, t0)
 }
@@ -425,20 +429,26 @@ fn prepare_warm_state(
     let factors = model.into_factors();
     let duals = match duals {
         Some(d) => {
+            // Row counts always mirror the factors; the column count is
+            // backend-dependent (composite PDS duals live in the
+            // operator's image).
             if d.len() != factors.len()
                 || d.iter()
                     .zip(&factors)
-                    .any(|(a, b)| a.nrows() != b.nrows() || a.ncols() != b.ncols())
+                    .enumerate()
+                    .any(|(m, (a, b))| a.nrows() != b.nrows() || a.ncols() != cfg.dual_cols(m))
             {
                 return Err(AoAdmmError::Config(
-                    "warm-start duals do not match the factor shapes".into(),
+                    "warm-start duals do not match the configured inner solver's dual shapes"
+                        .into(),
                 ));
             }
             d
         }
         None => factors
             .iter()
-            .map(|f| DMat::zeros(f.nrows(), f.ncols()))
+            .enumerate()
+            .map(|(m, f)| DMat::zeros(f.nrows(), cfg.dual_cols(m)))
             .collect(),
     };
     Ok((factors, duals))
@@ -469,13 +479,14 @@ fn run(
     let mut kbufs: Vec<DMat> = dims.iter().map(|&d| DMat::zeros(d, rank)).collect();
     let xnorm_sq = source.norm_sq();
     // Scratch owned here and lent to every kernel below: the combined
-    // Gram matrix, the ADMM workspace (Cholesky factor, solve panels,
-    // block outcomes) and the dense-kernel workspace (gram partials).
-    // Everything reaches its high-water mark during the first outer
-    // iteration; steady-state iterations perform no heap allocation in
-    // the gram / solve / ADMM row-sweep path.
+    // Gram matrix, the inner solver's workspace (Cholesky factors, solve
+    // panels, block outcomes / PDS gradient buffers) and the dense-kernel
+    // workspace (gram partials). Everything reaches its high-water mark
+    // during the first outer iteration; steady-state iterations perform
+    // no heap allocation in the gram / solve / inner row-sweep path.
     let mut gram_buf = DMat::zeros(rank, rank);
-    let mut admm_ws = AdmmWorkspace::new();
+    let mut solver = build_inner_solver(cfg, nmodes);
+    let inner_kind = solver.kind();
     let mut lin_ws = Workspace::new();
     let setup = t0.elapsed();
 
@@ -498,20 +509,13 @@ fn run(
             let info = source.mttkrp(m, &factors, cfg, &mut kbufs[m])?;
             let mttkrp_time = tm.elapsed();
 
-            // Line 6/10/14: inner ADMM.
+            // Line 6/10/14: inner solver (ADMM or PDS, per the config).
             let ta = Instant::now();
-            let stats = admm_update_ws(
-                &gram_buf,
-                &kbufs[m],
-                &mut factors[m],
-                &mut duals[m],
-                &**cfg.constraint_for(m),
-                cfg.admm_config(),
-                &mut admm_ws,
-            )?;
+            let stats =
+                solver.update_mode(m, &gram_buf, &kbufs[m], &mut factors[m], &mut duals[m])?;
             let admm_time = ta.elapsed();
 
-            // The ADMM step rewrote factors[m]; memoizing sources must
+            // The inner step rewrote factors[m]; memoizing sources must
             // drop any cached intermediate that read the old values.
             source.note_factor_changed(m);
 
@@ -532,6 +536,7 @@ fn run(
                 admm: admm_time,
                 admm_iterations: stats.iterations,
                 admm_row_iterations: stats.row_iterations,
+                inner: Some(inner_kind),
                 sparsity: info.decision,
                 slab_hits: info.slab_hits,
                 slab_misses: info.slab_misses,

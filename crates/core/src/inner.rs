@@ -1,0 +1,182 @@
+//! Pluggable inner solvers for the AO outer loop.
+//!
+//! The outer loop of Algorithm 2 is agnostic to *how* a mode's
+//! constrained least-squares subproblem
+//! `min_A 1/2 tr(A G A^T) - tr(A K^T) + r(A)` is solved; the paper uses
+//! ADMM (Algorithm 1), and Ono & Kasai's AO-PDS (arXiv:1711.00603)
+//! swaps in a Condat–Vu primal-dual iteration that additionally handles
+//! composite penalties `h(L x)` with no closed-form prox. [`InnerSolver`]
+//! is the seam between the two: the driver hands each backend the cached
+//! Gram matrix, the MTTKRP output, the factor and the mode's dual-state
+//! matrix, and records which backend ran in the trace.
+//!
+//! Both backends keep their scratch (Cholesky factors, solve panels,
+//! gradient buffers) inside the solver object, so the zero-allocation
+//! steady state of the blocked ADMM carries over unchanged.
+
+use crate::config::Factorizer;
+use crate::error::AoAdmmError;
+use admm::{admm_update_ws, AdmmConfig, AdmmWorkspace, Prox};
+use aoadmm_pds::{pds_update_ws, PdsConfig, PdsConstraint, PdsWorkspace};
+use splinalg::DMat;
+use std::sync::Arc;
+
+/// Which inner solver the driver runs for every mode update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InnerSolverKind {
+    /// Blocked/fused ADMM (Algorithm 1 of the source paper): exact
+    /// Cholesky solves plus row-separable proximity operators.
+    Admm,
+    /// Primal-dual splitting (Condat–Vu): gradient steps plus prox of
+    /// the conjugate under a linear operator — handles composite
+    /// constraints like total variation that ADMM cannot express.
+    Pds,
+}
+
+impl InnerSolverKind {
+    /// Short lowercase name for traces and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            InnerSolverKind::Admm => "admm",
+            InnerSolverKind::Pds => "pds",
+        }
+    }
+}
+
+impl std::fmt::Display for InnerSolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-update statistics every inner solver reports, backend-agnostic.
+#[derive(Debug, Clone, Copy)]
+pub struct InnerStats {
+    /// Inner iterations (maximum over blocks for blocked strategies).
+    pub iterations: usize,
+    /// Sum over rows of the iterations applied to that row.
+    pub row_iterations: u64,
+}
+
+/// One inner-solver backend, owning per-mode constraints and all hot-loop
+/// scratch. The driver creates one per factorization run and calls
+/// [`InnerSolver::update_mode`] once per mode per outer iteration.
+pub trait InnerSolver: Send {
+    /// Which backend this is (recorded per mode in the trace).
+    fn kind(&self) -> InnerSolverKind;
+
+    /// Solve mode `mode`'s subproblem in place: `factor` is the primal
+    /// iterate (warm-started from the previous outer iteration), `dual`
+    /// the mode's dual-state matrix, shaped
+    /// [`Factorizer::dual_cols`]-wide.
+    fn update_mode(
+        &mut self,
+        mode: usize,
+        gram: &DMat,
+        k: &DMat,
+        factor: &mut DMat,
+        dual: &mut DMat,
+    ) -> Result<InnerStats, AoAdmmError>;
+}
+
+/// The blocked/fused ADMM backend wrapping [`admm::admm_update_ws`].
+pub struct AdmmInnerSolver {
+    constraints: Vec<Arc<dyn Prox>>,
+    cfg: AdmmConfig,
+    ws: AdmmWorkspace,
+}
+
+impl InnerSolver for AdmmInnerSolver {
+    fn kind(&self) -> InnerSolverKind {
+        InnerSolverKind::Admm
+    }
+
+    fn update_mode(
+        &mut self,
+        mode: usize,
+        gram: &DMat,
+        k: &DMat,
+        factor: &mut DMat,
+        dual: &mut DMat,
+    ) -> Result<InnerStats, AoAdmmError> {
+        let stats = admm_update_ws(
+            gram,
+            k,
+            factor,
+            dual,
+            &*self.constraints[mode],
+            &self.cfg,
+            &mut self.ws,
+        )?;
+        Ok(InnerStats {
+            iterations: stats.iterations,
+            row_iterations: stats.row_iterations,
+        })
+    }
+}
+
+/// The primal-dual splitting backend wrapping
+/// [`aoadmm_pds::pds_update_ws`].
+pub struct PdsInnerSolver {
+    constraints: Vec<Arc<PdsConstraint>>,
+    cfg: PdsConfig,
+    ws: PdsWorkspace,
+}
+
+impl InnerSolver for PdsInnerSolver {
+    fn kind(&self) -> InnerSolverKind {
+        InnerSolverKind::Pds
+    }
+
+    fn update_mode(
+        &mut self,
+        mode: usize,
+        gram: &DMat,
+        k: &DMat,
+        factor: &mut DMat,
+        dual: &mut DMat,
+    ) -> Result<InnerStats, AoAdmmError> {
+        let stats = pds_update_ws(
+            gram,
+            k,
+            factor,
+            dual,
+            &self.constraints[mode],
+            &self.cfg,
+            &mut self.ws,
+        )?;
+        Ok(InnerStats {
+            iterations: stats.iterations,
+            row_iterations: stats.row_iterations,
+        })
+    }
+}
+
+/// Materialize the configured backend with its per-mode constraints
+/// resolved (called once per factorization run, before the outer loop).
+pub(crate) fn build_inner_solver(cfg: &Factorizer, nmodes: usize) -> Box<dyn InnerSolver> {
+    match cfg.inner_solver_kind() {
+        InnerSolverKind::Admm => Box::new(AdmmInnerSolver {
+            constraints: (0..nmodes).map(|m| cfg.constraint_for(m).clone()).collect(),
+            cfg: *cfg.admm_config(),
+            ws: AdmmWorkspace::new(),
+        }),
+        InnerSolverKind::Pds => Box::new(PdsInnerSolver {
+            constraints: (0..nmodes).map(|m| cfg.pds_constraint_for(m)).collect(),
+            cfg: *cfg.pds_config(),
+            ws: PdsWorkspace::new(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_cli_stable() {
+        assert_eq!(InnerSolverKind::Admm.name(), "admm");
+        assert_eq!(InnerSolverKind::Pds.name(), "pds");
+        assert_eq!(format!("{}", InnerSolverKind::Pds), "pds");
+    }
+}

@@ -51,6 +51,7 @@ pub mod config;
 pub mod dimtree;
 pub mod driver;
 pub mod error;
+pub mod inner;
 pub mod kruskal;
 pub mod model_io;
 pub mod model_ops;
@@ -71,6 +72,7 @@ pub use driver::{
     MttkrpInfo, PreparedTensor, TensorSource,
 };
 pub use error::AoAdmmError;
+pub use inner::{InnerSolver, InnerSolverKind, InnerStats};
 pub use kruskal::KruskalModel;
 pub use mttkrp_plan::{
     build_mode_plans, choose_policy, MttkrpPlan, PlanOptions, PlanStats, PlanStrategy,
@@ -86,9 +88,10 @@ pub mod prelude {
     pub use crate::model_io::{load_model, load_model_for_dims, save_model};
     pub use crate::model_ops::{arrange, factor_match_score, normalize_columns};
     pub use crate::{
-        CsfPolicy, FactorizeResult, Factorizer, KruskalModel, MttkrpPlan, PlanStrategy,
-        SparsityConfig, Structure,
+        CsfPolicy, FactorizeResult, Factorizer, InnerSolverKind, KruskalModel, MttkrpPlan,
+        PlanStrategy, SparsityConfig, Structure,
     };
     pub use admm::{constraints, AdaptiveRho, AdmmConfig, AdmmStrategy, Prox};
+    pub use aoadmm_pds::{pds_constraints, PdsConfig, PdsConstraint};
     pub use sptensor::{CooTensor, Csf};
 }

@@ -369,11 +369,7 @@ fn tensor_is_skewed(tensor: &CooTensor) -> bool {
         if d == 0 {
             return false;
         }
-        let max = tensor
-            .slice_counts(m)
-            .into_iter()
-            .max()
-            .unwrap_or(0) as f64;
+        let max = tensor.slice_counts(m).into_iter().max().unwrap_or(0) as f64;
         max * d as f64 >= ALTO_SKEW_RATIO * nnz
     })
 }

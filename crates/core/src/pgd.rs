@@ -216,6 +216,7 @@ pub fn pgd_factorize(
                 admm: grad_time,
                 admm_iterations: cfg.inner_steps,
                 admm_row_iterations: (cfg.inner_steps * dims[m]) as u64,
+                inner: None,
                 sparsity: SparsityDecision {
                     density: 1.0,
                     structure: Structure::Dense,
@@ -265,8 +266,8 @@ pub fn pgd_factorize(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use admm::constraints;
     use crate::mttkrp_plan::PlanStrategy;
+    use admm::constraints;
     use sptensor::gen::{planted, PlantedConfig};
 
     fn tensor() -> CooTensor {

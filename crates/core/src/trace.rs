@@ -5,6 +5,7 @@
 //! column) and the per-outer-iteration convergence curve (Figure 6, right
 //! column). The driver records everything needed for all three here.
 
+use crate::inner::InnerSolverKind;
 use crate::mttkrp_plan::PlanStrategy;
 use crate::sparsity::SparsityDecision;
 use std::time::Duration;
@@ -20,12 +21,15 @@ pub struct ModeRecord {
     pub mttkrp_strategy: Option<PlanStrategy>,
     /// Time spent in MTTKRP (including any sparse-snapshot build).
     pub mttkrp: Duration,
-    /// Time spent in the ADMM inner solver.
+    /// Time spent in the inner solver (ADMM or PDS).
     pub admm: Duration,
-    /// Inner ADMM iterations (max over blocks for the blocked strategy).
+    /// Inner-solver iterations (max over blocks for blocked strategies).
     pub admm_iterations: usize,
-    /// Total row-iterations of ADMM work.
+    /// Total row-iterations of inner-solver work.
     pub admm_row_iterations: u64,
+    /// Which inner-solver backend ran for this mode (`None` for updates
+    /// outside the AO-ADMM driver, like ALS and PGD).
+    pub inner: Option<InnerSolverKind>,
     /// Sparsity decision taken for this mode's MTTKRP leaf factor.
     pub sparsity: SparsityDecision,
     /// Dimension-tree slabs reused from the memo cache by this mode's
@@ -185,6 +189,7 @@ mod tests {
             admm: Duration::from_millis(admm_ms),
             admm_iterations: 3,
             admm_row_iterations: 30,
+            inner: Some(InnerSolverKind::Admm),
             sparsity: SparsityDecision {
                 density: 1.0,
                 structure: Structure::Dense,

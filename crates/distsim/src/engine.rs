@@ -500,6 +500,7 @@ impl ShardState {
             admm,
             admm_iterations: iters,
             admm_row_iterations: row_iters,
+            inner: Some(aoadmm::InnerSolverKind::Admm),
             sparsity: info.decision,
             slab_hits: info.slab_hits,
             slab_misses: info.slab_misses,

@@ -1,0 +1,46 @@
+//! PDS inner-solver configuration.
+
+/// Settings for one PDS factor update ([`crate::pds_update_ws`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdsConfig {
+    /// Convergence tolerance on the squared relative step change of the
+    /// primal (and, when present, dual) iterates — the same measure and
+    /// default as the inner ADMM's residual tolerance.
+    pub tol: f64,
+    /// Cap on inner iterations per block. PDS takes explicit gradient
+    /// steps instead of exact Cholesky solves, so it needs more inner
+    /// iterations than ADMM's 25 to make equivalent per-update progress.
+    pub max_inner: usize,
+    /// Rows per independent block (the blocked-ADMM discipline: per-block
+    /// convergence, cache residency, work stealing over blocks).
+    pub block_size: usize,
+    /// Fraction of the theoretical maximum primal step actually taken,
+    /// in `(0, 1]`. The maximum is `2/beta` without a composite term and
+    /// `1/beta` with one (`beta` = Gershgorin bound on `lambda_max(G)`).
+    pub step_scale: f64,
+}
+
+impl Default for PdsConfig {
+    fn default() -> Self {
+        PdsConfig {
+            tol: 1e-3,
+            max_inner: 60,
+            block_size: 50,
+            step_scale: 0.9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = PdsConfig::default();
+        assert_eq!(c.tol, 1e-3);
+        assert_eq!(c.block_size, 50);
+        assert!(c.step_scale > 0.0 && c.step_scale <= 1.0);
+        assert!(c.max_inner >= 25);
+    }
+}

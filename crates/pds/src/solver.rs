@@ -1,0 +1,648 @@
+//! The blocked Condat–Vu primal-dual sweep.
+//!
+//! [`pds_update_ws`] plays the role [`admm::admm_update_ws`] plays for
+//! ADMM: one full inner solve of a factor matrix against the cached
+//! Gram matrix `G` and MTTKRP output `K`, updating the primal factor
+//! and the per-row dual iterates in place. Rows are swept in
+//! independent blocks (per-block convergence, rayon work stealing over
+//! disjoint row ranges, frozen sequential stats merge — the
+//! bit-determinism discipline of the blocked ADMM).
+
+use crate::config::PdsConfig;
+use crate::conj::ConjugateProx;
+use crate::constraint::PdsConstraint;
+use crate::linop::LinOp;
+use crate::workspace::{PdsBlockScratch, PdsWorkspace};
+use admm::Prox;
+use rayon::prelude::*;
+use splinalg::{vecops, DMat, LinalgError};
+
+/// Outcome of one block's PDS run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PdsBlockOutcome {
+    /// Inner iterations executed.
+    pub iterations: usize,
+    /// Final squared relative primal step change.
+    pub primal: f64,
+    /// Final squared relative dual step change (0 without a composite
+    /// term).
+    pub dual: f64,
+    /// Whether both step changes fell below tolerance.
+    pub converged: bool,
+}
+
+/// Aggregate statistics of a PDS update over a whole factor matrix,
+/// shaped like [`admm::AdmmStats`] so the driver records both backends
+/// uniformly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdsStats {
+    /// Inner iterations: maximum over blocks (the wall-clock-determining
+    /// block).
+    pub iterations: usize,
+    /// Sum over rows of the iterations applied to that row.
+    pub row_iterations: u64,
+    /// Number of blocks that reached tolerance.
+    pub blocks_converged: usize,
+    /// Total number of blocks.
+    pub blocks: usize,
+    /// Worst final squared relative primal step change.
+    pub primal: f64,
+    /// Worst final squared relative dual step change.
+    pub dual: f64,
+}
+
+impl PdsStats {
+    /// Whether every block converged.
+    pub fn converged(&self) -> bool {
+        self.blocks_converged == self.blocks
+    }
+}
+
+/// Relative squared residual with a zero-denominator guard (an exactly
+/// zero numerator is converged regardless of the denominator) — same
+/// semantics as the ADMM residual measure.
+#[inline]
+fn relative(num: f64, den: f64) -> f64 {
+    if num == 0.0 {
+        0.0
+    } else if den == 0.0 {
+        f64::INFINITY
+    } else {
+        num / den
+    }
+}
+
+/// Primal and dual step sizes from the Gram bound.
+///
+/// `beta` is the Gershgorin bound `max_i sum_j |G_ij|` on
+/// `lambda_max(G)` — for a symmetric PSD Gram this dominates the
+/// spectral radius, so the gradient of the quadratic is `beta`-Lipschitz.
+/// With a composite term the dual step balances the condition
+/// `1/g1 - g2 mu^2 >= beta/2` at `g2 = beta/(2 mu^2)`, leaving
+/// `g1 <= 1/beta`; without one, plain forward-backward allows
+/// `g1 < 2/beta`.
+fn step_sizes(gram: &DMat, mu_sq: Option<f64>, step_scale: f64) -> (f64, f64) {
+    let f = gram.nrows();
+    let mut beta = 0.0f64;
+    for i in 0..f {
+        let row_sum: f64 = gram.row(i).iter().map(|x| x.abs()).sum();
+        beta = beta.max(row_sum);
+    }
+    if !beta.is_finite() || beta <= 1e-12 {
+        beta = 1.0;
+    }
+    match mu_sq {
+        Some(mu_sq) => (step_scale / beta, beta / (2.0 * mu_sq.max(1e-12))),
+        None => (step_scale * 2.0 / beta, 0.0),
+    }
+}
+
+/// Run PDS to convergence on a contiguous block of rows.
+///
+/// `k`, `x` are the block's rows of the MTTKRP output and primal factor
+/// (flat, row-major, `nrows * f`); `y` is the block's dual rows
+/// (`nrows * p`, empty when there is no composite term). Per inner
+/// iteration each row performs: gradient of the quadratic from the
+/// shared Gram, a forward-backward primal step through the row prox,
+/// and (composite only) the reflected dual ascent step through the
+/// conjugate prox. Residual partials accumulate in ascending row order,
+/// so the sweep is bit-deterministic for a fixed block partition.
+#[allow(clippy::too_many_arguments)]
+fn run_block_pds(
+    gram: &DMat,
+    gamma1: f64,
+    gamma2: f64,
+    k: &[f64],
+    x: &mut [f64],
+    y: &mut [f64],
+    f: usize,
+    p: usize,
+    prox: &dyn Prox,
+    dual_term: Option<(&dyn LinOp, &dyn ConjugateProx)>,
+    tol: f64,
+    max_inner: usize,
+    scratch: &mut PdsBlockScratch,
+) -> PdsBlockOutcome {
+    debug_assert_eq!(k.len(), x.len());
+    let nrows = k.len() / f.max(1);
+    scratch.ensure(f, p);
+    let PdsBlockScratch {
+        xprev,
+        grad,
+        reflect,
+        lbuf,
+        yprev,
+        ..
+    } = scratch;
+    let xprev = &mut xprev[..f];
+    let grad = &mut grad[..f];
+    let reflect = &mut reflect[..f];
+    let lbuf = &mut lbuf[..p];
+    let yprev = &mut yprev[..p];
+    let rho = 1.0 / gamma1; // prox_{g1 g} == Prox::apply_row(.., 1/g1)
+
+    let mut primal = f64::INFINITY;
+    let mut dual = f64::INFINITY;
+    let mut iterations = 0;
+    while iterations < max_inner {
+        iterations += 1;
+        let mut dx = 0.0; // ||X+ - X||^2
+        let mut x_sq = 0.0; // ||X+||^2
+        let mut dy = 0.0; // ||Y+ - Y||^2
+        let mut y_sq = 0.0; // ||Y+||^2
+
+        for r in 0..nrows {
+            let xr = &mut x[r * f..(r + 1) * f];
+
+            // grad = G x - k (+ L^T y). The Gram is symmetric, so the
+            // j-th entry is a dot with G's j-th row — contiguous reads.
+            let kr = &k[r * f..(r + 1) * f];
+            for j in 0..f {
+                grad[j] = vecops::dot(xr, gram.row(j)) - kr[j];
+            }
+            if let Some((linop, _)) = dual_term {
+                let yr = &y[r * p..(r + 1) * p];
+                linop.apply_transpose_acc(yr, grad);
+            }
+
+            // Forward-backward primal step through the row prox.
+            xprev.copy_from_slice(xr);
+            for j in 0..f {
+                xr[j] -= gamma1 * grad[j];
+            }
+            prox.apply_row(xr, rho);
+            dx += vecops::dist_sq(xr, xprev);
+            x_sq += vecops::norm_sq(xr);
+
+            // Reflected dual ascent through the conjugate prox.
+            if let Some((linop, conj)) = dual_term {
+                let yr = &mut y[r * p..(r + 1) * p];
+                for j in 0..f {
+                    reflect[j] = 2.0 * xr[j] - xprev[j];
+                }
+                linop.apply(reflect, lbuf);
+                yprev.copy_from_slice(yr);
+                for (yv, lv) in yr.iter_mut().zip(lbuf.iter()) {
+                    *yv += gamma2 * *lv;
+                }
+                conj.apply_row(yr, gamma2);
+                dy += vecops::dist_sq(yr, yprev);
+                y_sq += vecops::norm_sq(yr);
+            }
+        }
+
+        primal = relative(dx, x_sq);
+        // An inactive composite term keeps the dual exactly still; fall
+        // back to the primal denominator so a zero dual trajectory is
+        // detected as converged (same guard as the ADMM dual residual).
+        dual = if dual_term.is_some() {
+            relative(dy, if y_sq > 0.0 { y_sq } else { x_sq })
+        } else {
+            0.0
+        };
+        if primal <= tol && dual <= tol {
+            return PdsBlockOutcome {
+                iterations,
+                primal,
+                dual,
+                converged: true,
+            };
+        }
+    }
+    PdsBlockOutcome {
+        iterations,
+        primal,
+        dual,
+        converged: false,
+    }
+}
+
+/// One full PDS update of a factor matrix, with caller-owned scratch:
+/// zero heap allocation once the workspace is warm.
+///
+/// * `gram` — the combined Gram matrix `G` of the other modes.
+/// * `k` — the MTTKRP output for this mode.
+/// * `x` — primal factor, updated in place (also the warm-start input).
+/// * `y` — dual iterates, one row of width [`PdsConstraint::dual_dim`]
+///   per factor row, updated in place. Ignored (and unvalidated) when
+///   the constraint has no composite term, so the driver can keep its
+///   uniform factor-shaped dual carrier for prox-only runs.
+pub fn pds_update_ws(
+    gram: &DMat,
+    k: &DMat,
+    x: &mut DMat,
+    y: &mut DMat,
+    constraint: &PdsConstraint,
+    cfg: &PdsConfig,
+    ws: &mut PdsWorkspace,
+) -> Result<PdsStats, LinalgError> {
+    let f = gram.nrows();
+    if gram.ncols() != f || k.ncols() != f || x.ncols() != f {
+        return Err(LinalgError::DimMismatch {
+            op: "pds_update",
+            lhs: (f, f),
+            rhs: (k.nrows(), k.ncols()),
+        });
+    }
+    if k.nrows() != x.nrows() {
+        return Err(LinalgError::DimMismatch {
+            op: "pds_update rows",
+            lhs: (x.nrows(), f),
+            rhs: (k.nrows(), f),
+        });
+    }
+    let p = constraint.dual_dim(f);
+    let dual_active = p > 0;
+    if dual_active && (y.nrows() != x.nrows() || y.ncols() != p) {
+        return Err(LinalgError::DimMismatch {
+            op: "pds_update duals",
+            lhs: (x.nrows(), p),
+            rhs: (y.nrows(), y.ncols()),
+        });
+    }
+
+    let nrows = k.nrows();
+    let mut stats = PdsStats {
+        iterations: 0,
+        row_iterations: 0,
+        blocks_converged: 0,
+        blocks: 0,
+        primal: 0.0,
+        dual: 0.0,
+    };
+    if nrows == 0 || f == 0 {
+        return Ok(stats);
+    }
+
+    let dual_term: Option<(&dyn LinOp, &dyn ConjugateProx)> = if dual_active {
+        constraint.dual_term().map(|(l, c)| (&**l, &**c))
+    } else {
+        None
+    };
+    let (gamma1, gamma2) = step_sizes(
+        gram,
+        dual_term.map(|(l, _)| l.norm_sq_bound()),
+        cfg.step_scale,
+    );
+
+    let bs = cfg.block_size.max(1);
+    let chunk_x = bs.saturating_mul(f);
+    let chunk_y = bs.saturating_mul(p);
+    let nblocks = x.as_slice().len().div_ceil(chunk_x);
+
+    // Grow the per-block scratch pool outside the parallel region (no-op
+    // once warm), so the row sweep itself never allocates.
+    if ws.blocks.len() < nblocks {
+        ws.blocks.resize_with(nblocks, PdsBlockScratch::default);
+    }
+    let scratch = &mut ws.blocks[..nblocks];
+    for b in scratch.iter_mut() {
+        b.ensure(f, p);
+    }
+    let prox = &**constraint.prox();
+
+    // Each rayon job owns disjoint row blocks of X (and Y), the matching
+    // block of K, and its entry of the scratch pool. Two zip shapes:
+    // with an active composite term the dual matrix is chunked in
+    // lockstep; without one Y is never touched.
+    if dual_active {
+        x.as_mut_slice()
+            .par_chunks_mut(chunk_x)
+            .zip(y.as_mut_slice().par_chunks_mut(chunk_y))
+            .zip(k.as_slice().par_chunks(chunk_x))
+            .zip(scratch.par_iter_mut())
+            .for_each(|(((xb, yb), kb), sc)| {
+                sc.rows = kb.len() / f;
+                sc.outcome = run_block_pds(
+                    gram,
+                    gamma1,
+                    gamma2,
+                    kb,
+                    xb,
+                    yb,
+                    f,
+                    p,
+                    prox,
+                    dual_term,
+                    cfg.tol,
+                    cfg.max_inner,
+                    sc,
+                );
+            });
+    } else {
+        x.as_mut_slice()
+            .par_chunks_mut(chunk_x)
+            .zip(k.as_slice().par_chunks(chunk_x))
+            .zip(scratch.par_iter_mut())
+            .for_each(|((xb, kb), sc)| {
+                sc.rows = kb.len() / f;
+                let mut empty: [f64; 0] = [];
+                sc.outcome = run_block_pds(
+                    gram,
+                    gamma1,
+                    gamma2,
+                    kb,
+                    xb,
+                    &mut empty,
+                    f,
+                    0,
+                    prox,
+                    None,
+                    cfg.tol,
+                    cfg.max_inner,
+                    sc,
+                );
+            });
+    }
+
+    // Frozen sequential merge in block order (bit-deterministic across
+    // thread pools).
+    stats.blocks = nblocks;
+    for sc in ws.blocks[..nblocks].iter() {
+        let o = &sc.outcome;
+        stats.iterations = stats.iterations.max(o.iterations);
+        stats.row_iterations += (o.iterations * sc.rows) as u64;
+        if o.converged {
+            stats.blocks_converged += 1;
+        }
+        stats.primal = stats.primal.max(o.primal);
+        stats.dual = stats.dual.max(o.dual);
+    }
+    Ok(stats)
+}
+
+/// [`pds_update_ws`] with internally allocated scratch, for one-off
+/// callers and tests; hot loops should hold a [`PdsWorkspace`].
+pub fn pds_update(
+    gram: &DMat,
+    k: &DMat,
+    x: &mut DMat,
+    y: &mut DMat,
+    constraint: &PdsConstraint,
+    cfg: &PdsConfig,
+) -> Result<PdsStats, LinalgError> {
+    let mut ws = PdsWorkspace::new();
+    pds_update_ws(gram, k, x, y, constraint, cfg, &mut ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::pds_constraints;
+    use admm::constraints;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use splinalg::Cholesky;
+
+    /// K = target * G so the unconstrained minimizer of the quadratic is
+    /// exactly `target` (same construction as the ADMM solver tests).
+    fn setup(n: usize, f: usize, seed: u64) -> (DMat, DMat, DMat) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = DMat::random(3 * f, f, 0.0, 1.0, &mut rng);
+        let gram = w.gram();
+        let target = DMat::random(n, f, 0.0, 1.0, &mut rng);
+        let k = target.matmul(&gram).unwrap();
+        (gram, k, target)
+    }
+
+    fn tight() -> PdsConfig {
+        PdsConfig {
+            tol: 1e-14,
+            max_inner: 20_000,
+            ..PdsConfig::default()
+        }
+    }
+
+    #[test]
+    fn unconstrained_pds_reaches_least_squares_solution() {
+        let (gram, k, target) = setup(40, 4, 1);
+        let mut x = DMat::zeros(40, 4);
+        let mut y = DMat::zeros(40, 4);
+        let c = pds_constraints::from_prox(constraints::unconstrained());
+        let stats = pds_update(&gram, &k, &mut x, &mut y, &c, &tight()).unwrap();
+        assert!(stats.converged(), "{stats:?}");
+        assert!(
+            x.max_abs_diff(&target) < 1e-4,
+            "max diff {}",
+            x.max_abs_diff(&target)
+        );
+    }
+
+    #[test]
+    fn nonneg_pds_matches_admm_fixed_point() {
+        let (gram, mut k, _) = setup(30, 5, 2);
+        for v in k.as_mut_slice().iter_mut().step_by(3) {
+            *v = -*v; // push part of the optimum infeasible
+        }
+        let mut xp = DMat::zeros(30, 5);
+        let mut yp = DMat::zeros(30, 5);
+        let c = pds_constraints::from_prox(constraints::nonneg());
+        pds_update(&gram, &k, &mut xp, &mut yp, &c, &tight()).unwrap();
+
+        let mut ha = DMat::zeros(30, 5);
+        let mut ua = DMat::zeros(30, 5);
+        let acfg = admm::AdmmConfig {
+            tol: 1e-14,
+            max_inner: 20_000,
+            ..admm::AdmmConfig::default()
+        };
+        admm::admm_update(&gram, &k, &mut ha, &mut ua, &*constraints::nonneg(), &acfg).unwrap();
+
+        assert!(
+            xp.max_abs_diff(&ha) < 1e-4,
+            "PDS vs ADMM diff {}",
+            xp.max_abs_diff(&ha)
+        );
+        assert!(xp.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    /// TV-constrained solve: the KKT condition of
+    /// min 1/2 x^T G x - k x + lambda ||D x||_1 is checked via the dual:
+    /// at the solution, G x - k + D^T y = 0 with y in [-lambda, lambda].
+    #[test]
+    fn tv_solution_satisfies_stationarity() {
+        let (gram, k, _) = setup(20, 6, 3);
+        let mut x = DMat::zeros(20, 6);
+        let mut y = DMat::zeros(20, 5);
+        let c = pds_constraints::tv(0.4);
+        let stats = pds_update(&gram, &k, &mut x, &mut y, &c, &tight()).unwrap();
+        assert!(stats.converged(), "{stats:?}");
+        for r in 0..20 {
+            let xr = x.row(r);
+            let yr = y.row(r);
+            assert!(yr.iter().all(|&v| v.abs() <= 0.4 + 1e-9), "dual infeasible");
+            let mut resid = vec![0.0; 6];
+            for (j, rj) in resid.iter_mut().enumerate() {
+                *rj = vecops::dot(xr, gram.row(j)) - k.get(r, j);
+            }
+            crate::FirstDifference.apply_transpose_acc(yr, &mut resid);
+            let norm = resid.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(norm < 1e-4, "row {r} stationarity residual {norm}");
+        }
+    }
+
+    /// Heavier TV weight means flatter rows (smaller total variation).
+    #[test]
+    fn tv_weight_flattens_rows() {
+        let (gram, k, _) = setup(25, 8, 4);
+        let run = |lambda: f64| {
+            let mut x = DMat::zeros(25, 8);
+            let mut y = DMat::zeros(25, 7);
+            let c = pds_constraints::tv(lambda);
+            pds_update(&gram, &k, &mut x, &mut y, &c, &tight()).unwrap();
+            let mut tv = 0.0;
+            for r in 0..25 {
+                let row = x.row(r);
+                for j in 1..8 {
+                    tv += (row[j] - row[j - 1]).abs();
+                }
+            }
+            tv
+        };
+        let loose = run(0.01);
+        let tight_tv = run(1.0);
+        assert!(
+            tight_tv < loose * 0.5,
+            "TV {tight_tv} not much flatter than {loose}"
+        );
+    }
+
+    #[test]
+    fn bounded_tv_enforces_box_exactly() {
+        let (gram, mut k, _) = setup(15, 6, 5);
+        for v in k.as_mut_slice().iter_mut() {
+            *v *= 3.0; // push the optimum outside [0, 1]
+        }
+        let mut x = DMat::zeros(15, 6);
+        let mut y = DMat::zeros(15, 5);
+        let c = pds_constraints::bounded_tv(0.0, 1.0, 0.2);
+        pds_update(&gram, &k, &mut x, &mut y, &c, &tight()).unwrap();
+        assert!(
+            x.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "box violated"
+        );
+    }
+
+    /// Warm-started duals resume the trajectory: a capped run continued
+    /// from its own (x, y) state lands where a longer run lands.
+    #[test]
+    fn warm_start_resumes_trajectory() {
+        let (gram, k, _) = setup(20, 6, 6);
+        let c = pds_constraints::tv(0.3);
+        let cfg_short = PdsConfig {
+            tol: 0.0,
+            max_inner: 200,
+            ..PdsConfig::default()
+        };
+        let cfg_long = PdsConfig {
+            tol: 0.0,
+            max_inner: 400,
+            ..PdsConfig::default()
+        };
+        let mut x1 = DMat::zeros(20, 6);
+        let mut y1 = DMat::zeros(20, 5);
+        pds_update(&gram, &k, &mut x1, &mut y1, &c, &cfg_long).unwrap();
+
+        let mut x2 = DMat::zeros(20, 6);
+        let mut y2 = DMat::zeros(20, 5);
+        pds_update(&gram, &k, &mut x2, &mut y2, &c, &cfg_short).unwrap();
+        pds_update(&gram, &k, &mut x2, &mut y2, &c, &cfg_short).unwrap();
+        assert_eq!(
+            x1.max_abs_diff(&x2),
+            0.0,
+            "resumed trajectory diverged from straight run"
+        );
+    }
+
+    #[test]
+    fn block_size_does_not_change_fixed_point() {
+        let (gram, k, _) = setup(120, 3, 7);
+        let run = |bs: usize| {
+            let mut x = DMat::zeros(120, 3);
+            let mut y = DMat::zeros(120, 2);
+            let c = pds_constraints::tv(0.2);
+            let cfg = PdsConfig {
+                block_size: bs,
+                ..tight()
+            };
+            pds_update(&gram, &k, &mut x, &mut y, &c, &cfg).unwrap();
+            x
+        };
+        let x1 = run(1);
+        let x50 = run(50);
+        let xall = run(120);
+        assert!(x1.max_abs_diff(&x50) < 1e-4, "{}", x1.max_abs_diff(&x50));
+        assert!(
+            x50.max_abs_diff(&xall) < 1e-4,
+            "{}",
+            x50.max_abs_diff(&xall)
+        );
+    }
+
+    #[test]
+    fn unconstrained_pds_agrees_with_cholesky() {
+        let (gram, k, _) = setup(10, 4, 8);
+        let direct = {
+            let ch = Cholesky::factor(&gram).unwrap();
+            let mut t = k.clone();
+            ch.solve_mat(&mut t).unwrap();
+            t
+        };
+        let mut x = DMat::zeros(10, 4);
+        let mut y = DMat::zeros(10, 4);
+        let c = pds_constraints::from_prox(constraints::unconstrained());
+        pds_update(&gram, &k, &mut x, &mut y, &c, &tight()).unwrap();
+        assert!(x.max_abs_diff(&direct) < 1e-4);
+    }
+
+    #[test]
+    fn dimension_mismatches_rejected() {
+        let gram = DMat::eye(3);
+        let k = DMat::zeros(10, 4);
+        let mut x = DMat::zeros(10, 3);
+        let mut y = DMat::zeros(10, 2);
+        let c = pds_constraints::tv(0.1);
+        assert!(pds_update(&gram, &k, &mut x, &mut y, &c, &PdsConfig::default()).is_err());
+        let k = DMat::zeros(10, 3);
+        let mut bad_y = DMat::zeros(10, 3);
+        assert!(pds_update(&gram, &k, &mut x, &mut bad_y, &c, &PdsConfig::default()).is_err());
+        let mut y = DMat::zeros(10, 2);
+        assert!(pds_update(&gram, &k, &mut x, &mut y, &c, &PdsConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn empty_and_zero_cases() {
+        // Empty matrix: no blocks, instant return.
+        let gram = DMat::eye(2);
+        let k = DMat::zeros(0, 2);
+        let mut x = DMat::zeros(0, 2);
+        let mut y = DMat::zeros(0, 1);
+        let c = pds_constraints::tv(0.1);
+        let stats = pds_update(&gram, &k, &mut x, &mut y, &c, &PdsConfig::default()).unwrap();
+        assert_eq!(stats.blocks, 0);
+
+        // Zero gram: beta falls back to 1, converges to the prox of 0.
+        let gram = DMat::zeros(3, 3);
+        let k = DMat::zeros(5, 3);
+        let mut x = DMat::zeros(5, 3);
+        let mut y = DMat::zeros(5, 3);
+        let c = pds_constraints::from_prox(constraints::nonneg());
+        let stats = pds_update(&gram, &k, &mut x, &mut y, &c, &PdsConfig::default()).unwrap();
+        assert!(stats.converged());
+        assert_eq!(x.norm_fro(), 0.0);
+    }
+
+    /// Width-1 factors make the difference operator empty; the composite
+    /// term must degrade to prox-only instead of dividing by zero.
+    #[test]
+    fn tv_on_width_one_factor_degrades_gracefully() {
+        let gram = DMat::from_vec(1, 1, vec![2.0]).unwrap();
+        let k = DMat::from_vec(4, 1, vec![2.0, 4.0, -2.0, 0.0]).unwrap();
+        let mut x = DMat::zeros(4, 1);
+        let mut y = DMat::zeros(4, 0);
+        let c = pds_constraints::tv(0.5);
+        let stats = pds_update(&gram, &k, &mut x, &mut y, &c, &tight()).unwrap();
+        assert!(stats.converged());
+        assert!((x.get(0, 0) - 1.0).abs() < 1e-6); // plain least squares
+    }
+}

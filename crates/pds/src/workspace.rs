@@ -1,0 +1,62 @@
+//! Grow-once scratch for the PDS hot loop, mirroring
+//! [`admm::AdmmWorkspace`]'s allocation discipline: one workspace is
+//! owned by the outer AO driver, lent to every update, and sized to the
+//! high-water mark on first use — steady-state updates allocate nothing.
+
+use crate::solver::PdsBlockOutcome;
+
+/// Per-block scratch state for the blocked PDS sweep.
+#[derive(Debug, Default)]
+pub(crate) struct PdsBlockScratch {
+    /// Previous primal row (`f`), for the step-change residual.
+    pub xprev: Vec<f64>,
+    /// Gradient accumulator `G x - k + L^T y` (`f`).
+    pub grad: Vec<f64>,
+    /// Reflected point `2 x+ - x` fed to the operator (`f`).
+    pub reflect: Vec<f64>,
+    /// `L`-image buffer (`p`).
+    pub lbuf: Vec<f64>,
+    /// Previous dual row (`p`), for the dual step-change residual.
+    pub yprev: Vec<f64>,
+    /// Outcome of the block's last run (written in place so the parallel
+    /// sweep never collects).
+    pub outcome: PdsBlockOutcome,
+    /// Rows the block covered on its last run.
+    pub rows: usize,
+}
+
+impl PdsBlockScratch {
+    /// Grow the scratch for factor width `f` and dual width `p`; no-op
+    /// once warm.
+    pub fn ensure(&mut self, f: usize, p: usize) {
+        if self.xprev.len() < f {
+            self.xprev.resize(f, 0.0);
+        }
+        if self.grad.len() < f {
+            self.grad.resize(f, 0.0);
+        }
+        if self.reflect.len() < f {
+            self.reflect.resize(f, 0.0);
+        }
+        if self.lbuf.len() < p {
+            self.lbuf.resize(p, 0.0);
+        }
+        if self.yprev.len() < p {
+            self.yprev.resize(p, 0.0);
+        }
+    }
+}
+
+/// Grow-once scratch arena for [`crate::pds_update_ws`].
+#[derive(Debug, Default)]
+pub struct PdsWorkspace {
+    /// Per-block scratch for the blocked sweep.
+    pub(crate) blocks: Vec<PdsBlockScratch>,
+}
+
+impl PdsWorkspace {
+    /// Create an empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -29,6 +29,13 @@ impl Prox for Quantize {
         }
     }
 
+    fn is_feasible_row(&self, row: &[f64], tol: f64) -> bool {
+        row.iter().all(|&x| {
+            let snapped = (x / self.step).round().max(0.0) * self.step;
+            (x - snapped).abs() <= tol
+        })
+    }
+
     fn induces_sparsity(&self) -> bool {
         true // values below step/2 snap to exactly zero
     }

@@ -128,6 +128,52 @@ fn steady_state_mode_update_does_not_allocate() {
 }
 
 #[test]
+fn steady_state_pds_update_does_not_allocate() {
+    // The PDS inner solver shares the workspace contract: after one
+    // update has grown every per-block scratch buffer (gradient,
+    // reflection, operator image, previous iterates), steady-state
+    // updates — including a composite TV constraint exercising the
+    // operator and conjugate-prox paths — allocate nothing.
+    use aoadmm_pds::{pds_constraints, pds_update_ws, PdsConfig, PdsWorkspace};
+
+    let (n, f) = (150, 8);
+    let (grams, k) = problem(n, f, 45);
+    let mut gram_buf = DMat::zeros(f, f);
+    let mut x = DMat::zeros(n, f);
+    let mut ws = PdsWorkspace::new();
+    let cfg = PdsConfig {
+        max_inner: 40,
+        ..PdsConfig::default()
+    };
+
+    for (label, constraint, dual_cols) in [
+        (
+            "prox-only",
+            pds_constraints::from_prox(std::sync::Arc::new(NonNeg)),
+            f,
+        ),
+        ("composite TV", pds_constraints::tv(0.2), f - 1),
+    ] {
+        let mut y = DMat::zeros(n, dual_cols);
+        let round = |x: &mut DMat, y: &mut DMat, gram_buf: &mut DMat, ws: &mut PdsWorkspace| {
+            ops::gram_hadamard_into(&grams, 0, gram_buf).unwrap();
+            pds_update_ws(gram_buf, &k, x, y, &constraint, &cfg, ws).unwrap();
+        };
+
+        // Warm-up: per-block scratch reaches its high-water mark.
+        round(&mut x, &mut y, &mut gram_buf, &mut ws);
+
+        let allocs = count_allocations(|| {
+            round(&mut x, &mut y, &mut gram_buf, &mut ws);
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state PDS update ({label}) allocated {allocs} times"
+        );
+    }
+}
+
+#[test]
 fn steady_state_fused_update_does_not_allocate() {
     let (n, f) = (130, 6);
     let (grams, k) = problem(n, f, 43);

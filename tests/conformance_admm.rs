@@ -161,6 +161,72 @@ fn blocked_and_fused_agree_from_identical_warm_starts() {
     }
 }
 
+/// Simplex-constrained updates: exact feasibility, first-order
+/// stationarity against the bisection projection oracle, and bitwise
+/// pool-invariance of the blocked sweep across 1/2/4-thread pools.
+#[test]
+fn simplex_update_is_feasible_stationary_and_pool_invariant() {
+    let (g, k, h0, u0) = admm_problem(27, 5, 761);
+    let prox = constraints::simplex();
+    let cfg = tight(AdmmStrategy::Blocked, 8);
+
+    let run = |threads: usize| {
+        let (mut h, mut u) = (h0.clone(), u0.clone());
+        pool(threads)
+            .install(|| admm_update(&g, &k, &mut h, &mut u, &*prox, &cfg))
+            .unwrap();
+        (h, u)
+    };
+
+    let (h1, _) = run(1);
+    // Exact feasibility: every row is a prox output, so it lies on the
+    // simplex to rounding, and the operator agrees it is feasible.
+    for i in 0..h1.nrows() {
+        let row = h1.row(i);
+        let sum: f64 = row.iter().sum();
+        assert!((sum - 1.0).abs() <= 1e-9, "row {i} sums to {sum}");
+        assert!(row.iter().all(|&x| x >= 0.0), "row {i} negative");
+        assert!(prox.is_feasible_row(row, 1e-9), "row {i} not feasible");
+    }
+
+    // Stationarity: at the constrained minimum, a projected-gradient
+    // step must be a fixed point — project(x - s * (xG - k)) == x.
+    let grad = h1.matmul(&g).unwrap();
+    let step = 1e-3;
+    for i in 0..h1.nrows() {
+        let x = h1.row(i);
+        let moved: Vec<f64> = x
+            .iter()
+            .zip(grad.row(i).iter().zip(k.row(i)))
+            .map(|(&xv, (&gv, &kv))| xv - step * (gv - kv))
+            .collect();
+        let back = oracle::prox::simplex_project(&moved);
+        for (j, (&a, &b)) in x.iter().zip(&back).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-5,
+                "row {i} entry {j} not stationary: {a} vs {b}"
+            );
+        }
+    }
+
+    // Bit-determinism across pools: the blocked sweep merges
+    // sequentially, so trajectories cannot depend on the executor.
+    for threads in [2usize, 4] {
+        let (ht, ut) = run(threads);
+        assert_eq!(
+            h1.max_abs_diff(&ht),
+            0.0,
+            "primal differs at {threads} threads"
+        );
+        let (_, u1) = run(1);
+        assert_eq!(
+            u1.max_abs_diff(&ut),
+            0.0,
+            "dual differs at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn fast_final_error_matches_full_enumeration_oracle() {
     // The driver computes the relative error with the SPLATT inner

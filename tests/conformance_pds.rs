@@ -1,0 +1,281 @@
+//! Conformance: the PDS inner solver against the ADMM baseline.
+//!
+//! Both backends minimize the same mode subproblems, so whole
+//! factorizations must land on solutions of comparable quality
+//! (differential legs), PDS must be bit-deterministic across thread
+//! pools (the blocked sweep merges sequentially), and composite TV
+//! constraints — which only PDS can express — must converge
+//! monotonically and actually smooth the factors.
+
+use admm::constraints;
+use aoadmm::prelude::*;
+use aoadmm::{checkpoint::Checkpoint, InnerSolverKind};
+use sptensor::gen::{planted, PlantedConfig};
+use testkit::tolerance::SOLVER_RTOL;
+
+fn tensor() -> sptensor::CooTensor {
+    planted(&PlantedConfig::small()).unwrap()
+}
+
+fn base(rank: usize) -> Factorizer {
+    Factorizer::new(rank).max_outer(40).tolerance(0.0).seed(7)
+}
+
+/// Run a factorization under each backend and return the final errors.
+fn run_pair(cfg: Factorizer) -> (f64, f64) {
+    let t = tensor();
+    let admm_err = cfg
+        .clone()
+        .inner_solver(InnerSolverKind::Admm)
+        .factorize(&t)
+        .unwrap()
+        .trace
+        .final_error;
+    // First-order PDS steps close less ground per iteration than ADMM's
+    // exact Cholesky solves; a deeper inner budget and a doubled outer
+    // budget buy back the gap so the comparison isolates final solution
+    // quality, not per-iteration progress.
+    let pds_err = cfg
+        .inner_solver(InnerSolverKind::Pds)
+        .max_outer(80)
+        .pds(PdsConfig {
+            max_inner: 200,
+            tol: 1e-4,
+            ..PdsConfig::default()
+        })
+        .factorize(&t)
+        .unwrap()
+        .trace
+        .final_error;
+    (admm_err, pds_err)
+}
+
+/// Differential leg: on subproblems both backends can express, PDS must
+/// reach the same quality as ADMM. PDS takes first-order steps instead of
+/// exact Cholesky solves, so the comparison is on final objective, not
+/// trajectories; the slack is a small multiple of the solver tolerance.
+fn assert_comparable(admm_err: f64, pds_err: f64, label: &str) {
+    assert!(
+        pds_err <= admm_err + 50.0 * SOLVER_RTOL,
+        "{label}: PDS error {pds_err} vs ADMM {admm_err}"
+    );
+}
+
+#[test]
+fn pds_matches_admm_unconstrained() {
+    let (a, p) = run_pair(base(5));
+    assert_comparable(a, p, "unconstrained");
+}
+
+#[test]
+fn pds_matches_admm_nonneg() {
+    let (a, p) = run_pair(base(5).constrain_all(constraints::nonneg()));
+    assert_comparable(a, p, "nonneg");
+}
+
+#[test]
+fn pds_matches_admm_l1() {
+    let (a, p) = run_pair(base(5).constrain_all(constraints::nonneg_lasso(0.1)));
+    assert_comparable(a, p, "nonneg+l1");
+}
+
+#[test]
+fn pds_matches_admm_simplex() {
+    let (a, p) = run_pair(
+        base(4)
+            .constrain_all(constraints::nonneg())
+            .constrain_mode(1, constraints::simplex()),
+    );
+    assert_comparable(a, p, "simplex");
+}
+
+/// Hard constraints must hold exactly under PDS, not just approximately:
+/// the prox step is an exact projection.
+#[test]
+fn pds_simplex_rows_are_feasible() {
+    let t = tensor();
+    let res = base(4)
+        .constrain_all(constraints::nonneg())
+        .constrain_mode(1, constraints::simplex())
+        .inner_solver(InnerSolverKind::Pds)
+        .factorize(&t)
+        .unwrap();
+    let fac = res.model.factor(1);
+    for i in 0..fac.nrows() {
+        let sum: f64 = fac.row(i).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "row {i} sums to {sum}");
+        assert!(fac.row(i).iter().all(|&x| x >= -1e-12));
+    }
+}
+
+/// The blocked PDS sweep merges sequentially, so the trajectory must be
+/// bit-identical regardless of the rayon pool executing it. The CI
+/// matrix runs this suite under RAYON_NUM_THREADS in {1, 4}; here we
+/// additionally pin pools in-process.
+#[test]
+fn pds_is_bit_deterministic_across_pools() {
+    let t = tensor();
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            base(4)
+                .constrain_all(constraints::nonneg())
+                .max_outer(8)
+                .inner_solver(InnerSolverKind::Pds)
+                .factorize(&t)
+                .unwrap()
+        })
+    };
+    let one = run(1);
+    for threads in [2, 4] {
+        let multi = run(threads);
+        assert_eq!(one.trace.final_error, multi.trace.final_error);
+        for m in 0..3 {
+            assert_eq!(
+                one.model.factor(m).max_abs_diff(multi.model.factor(m)),
+                0.0,
+                "mode {m} differs at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Composite TV leg: only PDS can run it, and the outer error must be
+/// monotone (same acceptance bar as the ADMM driver's monotonicity test).
+#[test]
+fn pds_tv_converges_monotonically() {
+    let t = tensor();
+    let res = base(4)
+        .inner_solver(InnerSolverKind::Pds)
+        .constrain_mode_pds(2, pds_constraints::tv(0.05))
+        .max_outer(25)
+        .factorize(&t)
+        .unwrap();
+    let errs: Vec<f64> = res.trace.iterations.iter().map(|i| i.rel_error).collect();
+    assert!(errs.last().unwrap() < &errs[0], "{errs:?}");
+    for w in errs.windows(2) {
+        assert!(w[1] <= w[0] + 1e-6, "error increased: {w:?}");
+    }
+}
+
+/// A strong TV weight must actually flatten rows of the constrained mode
+/// relative to the unconstrained run.
+#[test]
+fn pds_tv_smooths_the_constrained_mode() {
+    let t = tensor();
+    let variation = |fac: &splinalg::DMat| -> f64 {
+        (0..fac.nrows())
+            .map(|i| {
+                fac.row(i)
+                    .windows(2)
+                    .map(|w| (w[1] - w[0]).abs())
+                    .sum::<f64>()
+            })
+            .sum()
+    };
+    let free = base(4)
+        .inner_solver(InnerSolverKind::Pds)
+        .max_outer(20)
+        .factorize(&t)
+        .unwrap();
+    let tv = base(4)
+        .inner_solver(InnerSolverKind::Pds)
+        .constrain_mode_pds(2, pds_constraints::tv(5.0))
+        .max_outer(20)
+        .factorize(&t)
+        .unwrap();
+    let vf = variation(free.model.factor(2));
+    let vt = variation(tv.model.factor(2));
+    assert!(vt < 0.5 * vf, "TV variation {vt} !< half of free {vf}");
+}
+
+/// The trace must record which backend ran each mode.
+#[test]
+fn trace_records_inner_backend() {
+    let t = tensor();
+    for (kind, cfg) in [
+        (InnerSolverKind::Admm, base(3).max_outer(3)),
+        (
+            InnerSolverKind::Pds,
+            base(3).max_outer(3).inner_solver(InnerSolverKind::Pds),
+        ),
+    ] {
+        let res = cfg.factorize(&t).unwrap();
+        for it in &res.trace.iterations {
+            assert!(it.modes.iter().all(|m| m.inner == Some(kind)));
+        }
+    }
+}
+
+/// Warm-resuming a PDS run from a checkpoint must land exactly where the
+/// straight run lands — including the ragged composite duals, which
+/// round-trip through the v2 per-mode checkpoint sections.
+#[test]
+fn pds_checkpoint_roundtrip_resumes_exactly() {
+    let t = tensor();
+    let cfg = || {
+        base(4)
+            .inner_solver(InnerSolverKind::Pds)
+            .constrain_mode_pds(1, pds_constraints::tv(0.1))
+    };
+    let straight = cfg().max_outer(6).factorize(&t).unwrap();
+
+    let first = cfg().max_outer(3).factorize(&t).unwrap();
+    // The TV dual on mode 1 is (rank - 1) wide: the checkpoint must
+    // survive ragged dual shapes.
+    assert_eq!(first.duals[1].ncols(), 3);
+    assert_eq!(first.duals[0].ncols(), 4);
+    let mut buf = Vec::new();
+    Checkpoint::from_result(&first).write(&mut buf).unwrap();
+    let back = Checkpoint::read(buf.as_slice()).unwrap();
+    let resumed = cfg()
+        .max_outer(3)
+        .factorize_warm(&t, back.model, Some(back.duals))
+        .unwrap();
+    for m in 0..3 {
+        let diff = resumed
+            .model
+            .factor(m)
+            .max_abs_diff(straight.model.factor(m));
+        assert!(diff < 1e-12, "mode {m} diff {diff}");
+    }
+}
+
+/// Configuration errors must be caught at validation, not at run time.
+#[test]
+fn composite_constraints_require_pds_backend() {
+    let t = tensor();
+    let err = base(3)
+        .constrain_mode_pds(0, pds_constraints::tv(0.1))
+        .factorize(&t)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("PDS"), "{err}");
+
+    let err = base(3)
+        .inner_solver(InnerSolverKind::Pds)
+        .constrain_mode_pds(9, pds_constraints::tv(0.1))
+        .factorize(&t)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("mode 9"), "{err}");
+}
+
+/// Warm-start dual validation is backend-aware: ADMM-shaped duals are
+/// rejected when resuming under PDS with a composite constraint.
+#[test]
+fn warm_start_rejects_wrong_dual_shapes() {
+    let t = tensor();
+    let admm_run = base(4).max_outer(2).factorize(&t).unwrap();
+    let err = base(4)
+        .inner_solver(InnerSolverKind::Pds)
+        .constrain_mode_pds(1, pds_constraints::tv(0.1))
+        .max_outer(2)
+        .factorize_warm(&t, admm_run.model, Some(admm_run.duals))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("dual"), "{err}");
+}

@@ -229,7 +229,10 @@ fn alto_policy_sharded_runs_track_the_alto_oracle() {
     // move a bit either: ALTO's block schedule and merge order are
     // frozen at build.
     let zoo = [
-        ("skewed-3mode", gen::skewed_tensor(&[48, 20, 24], 1800, 1.1, 12)),
+        (
+            "skewed-3mode",
+            gen::skewed_tensor(&[48, 20, 24], 1800, 1.1, 12),
+        ),
         ("uniform-4mode", gen::tensor(&[30, 18, 22, 14], 1600, 13)),
     ];
     for (name, t) in zoo {
@@ -255,8 +258,8 @@ fn alto_policy_sharded_runs_track_the_alto_oracle() {
                     "{name} S=1: error bits"
                 );
             } else {
-                let pooled = shard_factorize(&t, &cfg, &ShardConfig::new(s).threads_per_shard(2))
-                    .unwrap();
+                let pooled =
+                    shard_factorize(&t, &cfg, &ShardConfig::new(s).threads_per_shard(2)).unwrap();
                 for m in 0..t.nmodes() {
                     assert_eq!(
                         res.model.factor(m).max_abs_diff(pooled.model.factor(m)),

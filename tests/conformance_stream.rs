@@ -127,8 +127,7 @@ fn delta_view_mttkrp_matches_the_merged_oracle() {
     // the ALTO linearized encoding (whose grow_dims either widens masks
     // in place or re-encodes).
     for policy in [aoadmm::CsfPolicy::PerMode, aoadmm::CsfPolicy::Alto] {
-        let mut prepared =
-            PreparedTensor::build(buf.base_coo(), policy).expect("compiles");
+        let mut prepared = PreparedTensor::build(buf.base_coo(), policy).expect("compiles");
         prepared.grow_dims(buf.dims()).expect("grown dims");
         for threads in THREAD_SWEEP {
             pool(threads).install(|| {
@@ -312,6 +311,43 @@ fn merge_policies_do_not_change_the_model() {
         background.rel_error(),
         always.rel_error()
     );
+}
+
+/// The streaming loop carries inner-solver state across refits as an
+/// opaque payload, so the PDS backend — including a composite TV
+/// constraint whose dual is (rank - 1) wide, not factor-shaped — must
+/// survive batch ingestion, warm refits and mode growth unchanged.
+#[test]
+fn pds_state_carries_across_refits() {
+    use aoadmm::prelude::pds_constraints;
+    use aoadmm::InnerSolverKind;
+
+    let spec = StreamSpec {
+        growth_prob: 0.5,
+        max_grow_rows: 3,
+        ..StreamSpec::small(11)
+    };
+    let (base, batches) = gen::delta_stream(&spec);
+    let fz = Factorizer::new(4)
+        .seed(2)
+        .max_outer(30)
+        .tolerance(1e-6)
+        .inner_solver(InnerSolverKind::Pds)
+        .constrain_mode_pds(0, pds_constraints::tv(0.05));
+    let cfg = StreamingConfig::new(fz).refit_outer(6).refit_tol(1e-6);
+    let mut sf = StreamingFactorizer::new(base.clone(), cfg).expect("initial PDS fit");
+    for batch in &batches {
+        let rec = sf.push_batch(&to_stream_ops(batch)).expect("PDS refit");
+        assert!(rec.outer_iterations <= 6, "refit cap respected");
+        assert!(rec.rel_error.is_finite());
+    }
+    let want = gen::apply_delta_batches(&base, &batches);
+    assert_eq!(sf.buffer().dims(), want.dims());
+    for (m, f) in sf.factors().iter().enumerate() {
+        assert_eq!(f.nrows(), want.dims()[m], "factor {m} grew with its mode");
+    }
+    let err = sf.model().relative_error(&want);
+    assert!(err.is_finite() && err < 1.0, "PDS streaming fit {err}");
 }
 
 #[test]
